@@ -1,0 +1,155 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIEndToEnd walks the whole public surface: build a graph,
+// run all three algorithms, post-process, score, and round-trip through
+// the file formats.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Two K6 cliques sharing two nodes.
+	k, shared := 6, 2
+	n := 2*k - shared
+	b := repro.NewGraphBuilder(n)
+	for i := int32(0); i < int32(k); i++ {
+		for j := i + 1; j < int32(k); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	for i := int32(k - shared); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+
+	st := repro.Stats(g, true)
+	if st.Nodes != n || st.Components != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	c, err := repro.CParameter(g, repro.SpectralOptions{Seed: 1})
+	if err != nil || c <= 0 || c >= 1 {
+		t.Fatalf("c=%v err=%v", c, err)
+	}
+	lmin, err := repro.LambdaMin(g, repro.SpectralOptions{Seed: 1})
+	if err != nil || lmin >= 0 {
+		t.Fatalf("λmin=%v err=%v", lmin, err)
+	}
+
+	want := repro.NewCommunity([]int32{0, 1, 2, 3, 4, 5})
+	truth := &repro.Cover{Communities: []repro.Community{
+		want,
+		repro.NewCommunity([]int32{4, 5, 6, 7, 8, 9}),
+	}}
+
+	ocaRes, err := repro.OCA(g, repro.OCAOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th := repro.Theta(truth, ocaRes.Cover); th < 0.9 {
+		t.Fatalf("OCA Θ=%v", th)
+	}
+
+	lfkRes, err := repro.LFK(g, repro.LFKOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfkRes.Cover.Coverage(n) != 1 {
+		t.Fatal("LFK should cover all nodes")
+	}
+
+	cpmRes, err := repro.CPM(g, repro.CPMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfRes, err := repro.CFinder(g, repro.CPMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpmRes.Cover.Len() != cfRes.Cover.Len() {
+		t.Fatal("CPM and CFinder disagree")
+	}
+
+	merged := repro.MergeCommunities(ocaRes.Cover, repro.MergeThreshold)
+	full := repro.AssignOrphans(g, merged, repro.OrphanOptions{Rounds: 2})
+	if full.Coverage(n) < merged.Coverage(n) {
+		t.Fatal("orphan assignment lost coverage")
+	}
+
+	if f1 := repro.BestMatchF1(truth, ocaRes.Cover); f1 <= 0 {
+		t.Fatalf("F1=%v", f1)
+	}
+	if om := repro.OmegaIndex(truth, truth, n); om != 1 {
+		t.Fatalf("Ω(self)=%v", om)
+	}
+	if r := repro.Rho(want, want); r != 1 {
+		t.Fatalf("ρ(self)=%v", r)
+	}
+	if fit := repro.Fitness(2, 1, 0.5); fit <= 0 {
+		t.Fatalf("L=%v", fit)
+	}
+
+	// File round trips.
+	var gbuf, cbuf bytes.Buffer
+	if err := repro.WriteGraph(&gbuf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := repro.ReadGraph(&gbuf)
+	if err != nil || g2.M() != g.M() {
+		t.Fatalf("graph round trip: %v", err)
+	}
+	if err := repro.WriteCover(&cbuf, ocaRes.Cover); err != nil {
+		t.Fatal(err)
+	}
+	cv2, err := repro.ReadCover(&cbuf)
+	if err != nil || cv2.Len() != ocaRes.Cover.Len() {
+		t.Fatalf("cover round trip: %v", err)
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	lb, err := repro.GenerateLFR(repro.LFRParams{
+		N: 300, AvgDeg: 10, MaxDeg: 30, Mu: 0.2, MinCom: 15, MaxCom: 60, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Graph.N() != 300 || lb.Communities.Len() == 0 {
+		t.Fatal("LFR generation wrong")
+	}
+	if mu := repro.MeasureMixing(lb.Graph, lb.Memberships); mu < 0.05 || mu > 0.4 {
+		t.Fatalf("mixing=%v", mu)
+	}
+
+	db, err := repro.GenerateDaisyTree(repro.DaisyTreeParams{
+		Daisy: repro.DefaultDaisyParams(), K: 1, Gamma: 0.1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Flowers != 2 {
+		t.Fatalf("flowers=%d", db.Flowers)
+	}
+
+	ba, err := repro.GenerateBarabasiAlbert(200, 3, 3)
+	if err != nil || ba.N() != 200 {
+		t.Fatalf("BA: %v", err)
+	}
+	er, err := repro.GenerateGNM(100, 300, 4)
+	if err != nil || er.M() != 300 {
+		t.Fatalf("GNM: %v", err)
+	}
+	rm, err := repro.GenerateRMAT(repro.RMATParams{Scale: 8, EdgeFactor: 4, Seed: 5})
+	if err != nil || rm.N() != 256 {
+		t.Fatalf("RMAT: %v", err)
+	}
+	wk, err := repro.GenerateWikipediaLike(8, 6)
+	if err != nil || wk.N() != 256 {
+		t.Fatalf("wiki: %v", err)
+	}
+}

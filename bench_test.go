@@ -1,0 +1,122 @@
+package repro_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation.
+// Each bench drives the same harness code paths as cmd/ocabench on a
+// reduced workload, so `go test -bench=.` exercises every experiment
+// end to end; the full paper-scale sweeps are run with
+// `go run ./cmd/ocabench -full all`.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// benchConfig returns a workload sized for testing.B iteration.
+func benchConfig(seed int64) bench.Config {
+	return bench.Config{
+		Seed:      seed,
+		Workers:   1,
+		Fig2Mus:   []float64{0.2, 0.5},
+		Fig2N:     400,
+		Fig3Sizes: []int{100, 300},
+		Fig5Sizes: []int{400, 800},
+		Fig6Ks:    []int{30, 60},
+		Fig6N:     600,
+		WikiScale: 11,
+		TimeLimit: time.Minute,
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (dataset inventory) at the quick
+// scale: LFR and daisy at 10^4 nodes, R-MAT at 2^15.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable1(bench.Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2ThetaVsMu regenerates Figure 2: Θ against the mixing
+// parameter for OCA, LFK and CFinder on LFR benchmarks.
+func BenchmarkFig2ThetaVsMu(b *testing.B) {
+	var lastTheta float64
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFig2(benchConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastTheta = fig.Series[0].Y[0] // OCA at the lowest µ
+	}
+	b.ReportMetric(lastTheta, "theta")
+}
+
+// BenchmarkFig3DaisyTheta regenerates Figure 3: Θ of the daisy community
+// structure across tree sizes.
+func BenchmarkFig3DaisyTheta(b *testing.B) {
+	var lastTheta float64
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFig3(benchConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastTheta = fig.Series[0].Y[0]
+	}
+	b.ReportMetric(lastTheta, "theta")
+}
+
+// BenchmarkFig4DaisyComposition regenerates Figure 4's qualitative
+// community composition report on a single daisy.
+func BenchmarkFig4DaisyComposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig4(benchConfig(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5ScalabilityTimes regenerates Figure 5: execution time
+// against graph size, including the faithful (quadratic) CFinder.
+func BenchmarkFig5ScalabilityTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig5(benchConfig(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6CommunitySizeTimes regenerates Figure 6: execution time
+// against community size for OCA and LFK.
+func BenchmarkFig6CommunitySizeTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig6(benchConfig(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWikipedia regenerates the Section V.B Wikipedia run on the
+// synthetic substitute, reporting throughput.
+func BenchmarkWikipedia(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunWiki(benchConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EdgesPerSec, "edges/s")
+	}
+}
+
+// BenchmarkScaleExtension runs the scalability extension (OCA alone on a
+// growing Wikipedia-like graph) at a reduced scale.
+func BenchmarkScaleExtension(b *testing.B) {
+	cfg := benchConfig(1)
+	cfg.ScaleScales = []int{11}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunScale(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

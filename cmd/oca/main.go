@@ -1,0 +1,430 @@
+// Command oca is the command-line front end of the library: generate
+// benchmark graphs, run the community-search algorithms, evaluate found
+// communities against ground truth, and inspect graphs.
+//
+// Usage:
+//
+//	oca gen   -type lfr|daisy|ba|gnm|rmat|wiki [params...] -out g.txt [-truth t.txt]
+//	oca run   -algo oca|lfk|cpm|cfinder -in g.txt [-out c.txt] [params...]
+//	oca eval  -truth t.txt -found c.txt [-n nodes]
+//	oca stats -in g.txt [-triangles]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "summarize":
+		err = cmdSummarize(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "oca: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oca:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `oca - overlapping community search (ICDE 2010 reproduction)
+
+subcommands:
+  gen    generate a benchmark graph (lfr, daisy, ba, gnm, rmat, wiki)
+  run    run an algorithm (oca, lfk, cpm, cfinder) on an edge-list graph
+  eval    score found communities against ground truth (Θ, F1, Ω)
+  stats   print graph statistics
+  analyze per-community quality (density, conductance, mixing)
+  summarize lossless community-based graph compression
+  dot     render graph + communities as Graphviz dot
+
+run "oca <subcommand> -h" for flags.
+`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	typ := fs.String("type", "lfr", "generator: lfr, daisy, ba, gnm, rmat, wiki")
+	out := fs.String("out", "", "output edge-list file (default stdout)")
+	truthPath := fs.String("truth", "", "also write ground-truth communities to this file")
+	seed := fs.Int64("seed", 1, "random seed")
+	n := fs.Int("n", 1000, "nodes (lfr, daisy target size, ba, gnm)")
+	avgDeg := fs.Float64("avgdeg", 20, "lfr: average degree")
+	maxDeg := fs.Int("maxdeg", 50, "lfr: maximum degree")
+	mu := fs.Float64("mu", 0.2, "lfr: mixing parameter")
+	minCom := fs.Int("minc", 20, "lfr: min community size")
+	maxCom := fs.Int("maxc", 50, "lfr: max community size")
+	on := fs.Int("on", 0, "lfr: overlapping nodes")
+	om := fs.Int("om", 2, "lfr: memberships per overlapping node")
+	p := fs.Int("p", 5, "daisy: petal modulus")
+	q := fs.Int("q", 7, "daisy: core modulus")
+	dn := fs.Int("dn", 100, "daisy: nodes per flower")
+	alpha := fs.Float64("alpha", 0.7, "daisy: petal edge probability")
+	beta := fs.Float64("beta", 0.5, "daisy: core edge probability")
+	gamma := fs.Float64("gamma", 0.05, "daisy: attachment edge probability")
+	m := fs.Int64("m", 3, "ba: edges per node / gnm: edge count")
+	scale := fs.Int("scale", 15, "rmat, wiki: log2 of node count")
+	ef := fs.Int("ef", 10, "rmat: edge factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		g     *repro.Graph
+		truth *repro.Cover
+		err   error
+	)
+	switch *typ {
+	case "lfr":
+		var b *repro.LFRBenchmark
+		b, err = repro.GenerateLFR(repro.LFRParams{
+			N: *n, AvgDeg: *avgDeg, MaxDeg: *maxDeg, Mu: *mu,
+			MinCom: *minCom, MaxCom: *maxCom,
+			OverlapNodes: *on, OverlapMemb: *om, Seed: *seed,
+		})
+		if err == nil {
+			g, truth = b.Graph, b.Communities
+		}
+	case "daisy":
+		var b *repro.DaisyBenchmark
+		d := repro.DaisyParams{P: *p, Q: *q, N: *dn, Alpha: *alpha, Beta: *beta}
+		flowers := (*n + *dn - 1) / *dn
+		b, err = repro.GenerateDaisyTree(repro.DaisyTreeParams{
+			Daisy: d, K: flowers - 1, Gamma: *gamma, Seed: *seed,
+		})
+		if err == nil {
+			g, truth = b.Graph, b.Communities
+		}
+	case "ba":
+		g, err = repro.GenerateBarabasiAlbert(*n, int(*m), *seed)
+	case "gnm":
+		g, err = repro.GenerateGNM(*n, *m, *seed)
+	case "rmat":
+		g, err = repro.GenerateRMAT(repro.RMATParams{Scale: *scale, EdgeFactor: *ef, Seed: *seed})
+	case "wiki":
+		g, err = repro.GenerateWikipediaLike(*scale, *seed)
+	default:
+		return fmt.Errorf("unknown generator %q", *typ)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := writeTo(*out, func(w io.Writer) error { return repro.WriteGraph(w, g) }); err != nil {
+		return err
+	}
+	if *truthPath != "" {
+		if truth == nil {
+			return fmt.Errorf("generator %q has no ground truth", *typ)
+		}
+		if err := writeTo(*truthPath, func(w io.Writer) error { return repro.WriteCover(w, truth) }); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: %d nodes, %d edges\n", *typ, g.N(), g.M())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	algo := fs.String("algo", "oca", "algorithm: oca, lfk, cpm, cfinder")
+	in := fs.String("in", "", "input edge-list file (default stdin)")
+	out := fs.String("out", "", "output community file (default stdout)")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "oca: parallel seed searches (default GOMAXPROCS)")
+	cParam := fs.Float64("c", 0, "oca: inner-product parameter override (0 = compute)")
+	noMerge := fs.Bool("nomerge", false, "oca: skip ρ-merge post-processing")
+	mergeThreshold := fs.Float64("merge", repro.MergeThreshold, "oca: merge threshold")
+	orphans := fs.Bool("orphans", false, "oca: assign orphan nodes")
+	alpha := fs.Float64("alpha", 1, "lfk: fitness exponent α")
+	k := fs.Int("k", 3, "cpm/cfinder: clique size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := readGraphFrom(*in)
+	if err != nil {
+		return err
+	}
+
+	var cv *repro.Cover
+	switch *algo {
+	case "oca":
+		res, err := repro.OCA(g, repro.OCAOptions{
+			Seed: *seed, Workers: *workers, C: *cParam,
+			DisableMerge: *noMerge, MergeThreshold: *mergeThreshold,
+			AssignOrphans: *orphans,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "oca: c=%.4f seeds=%d raw=%d communities=%d coverage=%.1f%%\n",
+			res.C, res.SeedsTried, res.RawCommunities, res.Cover.Len(),
+			100*res.Cover.Coverage(g.N()))
+		cv = res.Cover
+	case "lfk":
+		res, err := repro.LFK(g, repro.LFKOptions{Seed: *seed, Alpha: *alpha})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lfk: seeds=%d communities=%d\n", res.SeedsTried, res.Cover.Len())
+		cv = res.Cover
+	case "cpm":
+		res, err := repro.CPM(g, repro.CPMOptions{K: *k})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cpm: cliques=%d communities=%d\n", res.Cliques, res.Cover.Len())
+		cv = res.Cover
+	case "cfinder":
+		res, err := repro.CFinder(g, repro.CPMOptions{K: *k})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cfinder: cliques(≥k)=%d communities=%d\n", res.Cliques, res.Cover.Len())
+		cv = res.Cover
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return writeTo(*out, func(w io.Writer) error { return repro.WriteCover(w, cv) })
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	truthPath := fs.String("truth", "", "ground-truth community file (required)")
+	foundPath := fs.String("found", "", "found community file (required)")
+	n := fs.Int("n", 0, "node count for the Omega index (0 = max id + 1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *truthPath == "" || *foundPath == "" {
+		return fmt.Errorf("eval needs -truth and -found")
+	}
+	truth, err := readCoverFrom(*truthPath)
+	if err != nil {
+		return err
+	}
+	found, err := readCoverFrom(*foundPath)
+	if err != nil {
+		return err
+	}
+	nodes := *n
+	if nodes == 0 {
+		for _, cv := range []*repro.Cover{truth, found} {
+			for _, c := range cv.Communities {
+				for _, v := range c {
+					if int(v)+1 > nodes {
+						nodes = int(v) + 1
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("reference communities: %d\n", truth.Len())
+	fmt.Printf("observed communities:  %d\n", found.Len())
+	fmt.Printf("Theta (eq. V.2):       %.4f\n", repro.Theta(truth, found))
+	fmt.Printf("best-match F1:         %.4f\n", repro.BestMatchF1(truth, found))
+	fmt.Printf("Omega index:           %.4f\n", repro.OmegaIndex(truth, found, nodes))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "input edge-list file (default stdin)")
+	triangles := fs.Bool("triangles", false, "count triangles (O(m^1.5))")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := readGraphFrom(*in)
+	if err != nil {
+		return err
+	}
+	st := repro.Stats(g, *triangles)
+	fmt.Println(st)
+	if *triangles {
+		fmt.Printf("triangles=%d\n", st.Triangles)
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "input edge-list file (default stdin)")
+	coverPath := fs.String("cover", "", "community file (required)")
+	top := fs.Int("top", 20, "show at most this many communities (largest first)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coverPath == "" {
+		return fmt.Errorf("analyze needs -cover")
+	}
+	g, err := readGraphFrom(*in)
+	if err != nil {
+		return err
+	}
+	cv, err := readCoverFrom(*coverPath)
+	if err != nil {
+		return err
+	}
+	cv.SortBySize()
+	qs := repro.AnalyzeCover(g, cv)
+	fmt.Printf("%6s %8s %10s %8s %12s %8s\n", "#", "size", "edges", "density", "conductance", "mixing")
+	for i, q := range qs {
+		if i >= *top {
+			fmt.Printf("... %d more\n", len(qs)-i)
+			break
+		}
+		fmt.Printf("%6d %8d %10d %8.3f %12.3f %8.3f\n",
+			i, q.Size, q.InternalEdges, q.Density, q.Conductance, q.MixingRatio)
+	}
+	return nil
+}
+
+func cmdSummarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	in := fs.String("in", "", "input edge-list file (default stdin)")
+	coverPath := fs.String("cover", "", "community file (required)")
+	verify := fs.Bool("verify", true, "reconstruct and compare against the original")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coverPath == "" {
+		return fmt.Errorf("summarize needs -cover")
+	}
+	g, err := readGraphFrom(*in)
+	if err != nil {
+		return err
+	}
+	cv, err := readCoverFrom(*coverPath)
+	if err != nil {
+		return err
+	}
+	s, err := repro.Summarize(g, cv)
+	if err != nil {
+		return err
+	}
+	dense := 0
+	for _, d := range s.SelfDense {
+		if d {
+			dense++
+		}
+	}
+	fmt.Printf("supernodes:  %d (%d dense interiors)\n", len(s.Supernodes), dense)
+	fmt.Printf("superedges:  %d\n", len(s.Superedges))
+	fmt.Printf("additions:   %d\n", len(s.Additions))
+	fmt.Printf("exceptions:  %d\n", len(s.Exceptions))
+	fmt.Printf("cost:        %d entries vs %d edges (ratio %.3f)\n",
+		s.Cost(), g.M(), float64(s.Cost())/float64(g.M()))
+	if *verify {
+		g2 := repro.ReconstructGraph(s)
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return fmt.Errorf("reconstruction mismatch: %d/%d nodes, %d/%d edges",
+				g2.N(), g.N(), g2.M(), g.M())
+		}
+		mismatch := false
+		g.Edges(func(u, v int32) bool {
+			if !g2.HasEdge(u, v) {
+				mismatch = true
+				return false
+			}
+			return true
+		})
+		if mismatch {
+			return fmt.Errorf("reconstruction mismatch: edge sets differ")
+		}
+		fmt.Println("verified:    reconstruction is exact")
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	in := fs.String("in", "", "input edge-list file (default stdin)")
+	coverPath := fs.String("cover", "", "community file (required)")
+	out := fs.String("out", "", "output dot file (default stdout)")
+	maxNodes := fs.Int("maxnodes", 2000, "refuse larger graphs")
+	uncovered := fs.Bool("uncovered", false, "include uncovered nodes (gray)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coverPath == "" {
+		return fmt.Errorf("dot needs -cover")
+	}
+	g, err := readGraphFrom(*in)
+	if err != nil {
+		return err
+	}
+	cv, err := readCoverFrom(*coverPath)
+	if err != nil {
+		return err
+	}
+	return writeTo(*out, func(w io.Writer) error {
+		return repro.WriteDOT(w, g, cv, repro.DOTOptions{
+			MaxNodes:         *maxNodes,
+			IncludeUncovered: *uncovered,
+		})
+	})
+}
+
+func readGraphFrom(path string) (*repro.Graph, error) {
+	if path == "" {
+		return repro.ReadGraph(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return repro.ReadGraph(f)
+}
+
+func readCoverFrom(path string) (*repro.Cover, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return repro.ReadCover(f)
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPipelineGenRunEval drives the full CLI pipeline on temp files:
+// generate an LFR benchmark, run each algorithm, evaluate against the
+// ground truth, inspect stats and per-community quality.
+func TestPipelineGenRunEval(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	truthPath := filepath.Join(dir, "t.txt")
+	foundPath := filepath.Join(dir, "c.txt")
+
+	err := cmdGen([]string{
+		"-type", "lfr", "-n", "300", "-avgdeg", "10", "-maxdeg", "30",
+		"-minc", "15", "-maxc", "60", "-mu", "0.2", "-seed", "5",
+		"-out", graphPath, "-truth", truthPath,
+	})
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	for _, p := range []string{graphPath, truthPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("missing output %s: %v", p, err)
+		}
+	}
+
+	for _, algo := range []string{"oca", "lfk", "cpm", "cfinder"} {
+		if err := cmdRun([]string{
+			"-algo", algo, "-in", graphPath, "-out", foundPath, "-seed", "7",
+		}); err != nil {
+			t.Fatalf("run %s: %v", algo, err)
+		}
+		if err := cmdEval([]string{
+			"-truth", truthPath, "-found", foundPath, "-n", "300",
+		}); err != nil {
+			t.Fatalf("eval %s: %v", algo, err)
+		}
+	}
+
+	if err := cmdStats([]string{"-in", graphPath, "-triangles"}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := cmdAnalyze([]string{"-in", graphPath, "-cover", foundPath, "-top", "3"}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+}
+
+func TestGenAllTypes(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-type", "daisy", "-n", "300", "-dn", "100"},
+		{"-type", "ba", "-n", "200", "-m", "3"},
+		{"-type", "gnm", "-n", "200", "-m", "500"},
+		{"-type", "rmat", "-scale", "8", "-ef", "4"},
+		{"-type", "wiki", "-scale", "8"},
+	}
+	for _, args := range cases {
+		out := filepath.Join(dir, args[1]+".txt")
+		if err := cmdGen(append(args, "-out", out, "-seed", "3")); err != nil {
+			t.Fatalf("gen %v: %v", args, err)
+		}
+	}
+	// Unknown type errors.
+	if err := cmdGen([]string{"-type", "nope", "-out", filepath.Join(dir, "x")}); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	// Truth requested from a generator without ground truth.
+	if err := cmdGen([]string{"-type", "ba", "-n", "50", "-m", "2",
+		"-out", filepath.Join(dir, "b.txt"), "-truth", filepath.Join(dir, "bt.txt")}); err == nil {
+		t.Fatal("truth from ba should error")
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	if err := cmdGen([]string{"-type", "gnm", "-n", "50", "-m", "100", "-out", graphPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-algo", "nope", "-in", graphPath}); err == nil ||
+		!strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestEvalMissingFlags(t *testing.T) {
+	if err := cmdEval([]string{}); err == nil {
+		t.Fatal("eval without flags should error")
+	}
+}
+
+func TestReadGraphMissingFile(t *testing.T) {
+	if _, err := readGraphFrom("/definitely/not/here.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := readCoverFrom("/definitely/not/here.txt"); err == nil {
+		t.Fatal("missing cover accepted")
+	}
+}
+
+func TestSummarizeCommand(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	truthPath := filepath.Join(dir, "t.txt")
+	if err := cmdGen([]string{
+		"-type", "daisy", "-n", "300", "-dn", "150",
+		"-out", graphPath, "-truth", truthPath, "-seed", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSummarize([]string{"-in", graphPath, "-cover", truthPath}); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	if err := cmdSummarize([]string{"-in", graphPath}); err == nil {
+		t.Fatal("summarize without -cover should error")
+	}
+}
+
+func TestDotCommand(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	truthPath := filepath.Join(dir, "t.txt")
+	dotPath := filepath.Join(dir, "g.dot")
+	if err := cmdGen([]string{
+		"-type", "daisy", "-n", "150", "-dn", "150",
+		"-out", graphPath, "-truth", truthPath, "-seed", "4",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDot([]string{"-in", graphPath, "-cover", truthPath, "-out", dotPath}); err != nil {
+		t.Fatalf("dot: %v", err)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil || !strings.Contains(string(data), "graph communities") {
+		t.Fatalf("dot output wrong: %v", err)
+	}
+	if err := cmdDot([]string{"-in", graphPath}); err == nil {
+		t.Fatal("dot without -cover should error")
+	}
+}

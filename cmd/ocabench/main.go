@@ -1,0 +1,121 @@
+// Command ocabench regenerates every table and figure of the paper's
+// evaluation (Section V): Table I, Figures 2–6 and the Wikipedia run,
+// plus the ablation experiments documented in DESIGN.md §6.
+//
+// Usage:
+//
+//	ocabench [flags] table1|fig2|fig3|fig4|fig5|fig6|wiki|fig2ov|ablate-c|ablate-merge|all
+//
+// Defaults are scaled down to finish in minutes; -full switches to the
+// paper-scale parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale workloads (slow)")
+	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "OCA parallelism (1 = comparable to single-threaded baselines)")
+	trials := flag.Int("trials", 1, "instances to average over")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	verbose := flag.Bool("v", false, "log progress to stderr")
+	timeLimit := flag.Duration("timelimit", 0, "drop an algorithm from a timing sweep after this long (0 = default)")
+	wikiScale := flag.Int("wikiscale", 0, "override the Wikipedia-substitute scale (0 = quick 15 / full 20)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "ocabench: need an experiment: table1 fig2 fig3 fig4 fig5 fig6 wiki fig2ov ablate-c ablate-merge scale all")
+		os.Exit(2)
+	}
+	cfg := bench.Config{
+		Full:      *full,
+		Seed:      *seed,
+		Workers:   *workers,
+		Trials:    *trials,
+		TimeLimit: *timeLimit,
+		WikiScale: *wikiScale,
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	experiments := flag.Args()
+	if len(experiments) == 1 && experiments[0] == "all" {
+		experiments = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "wiki"}
+	}
+	for _, exp := range experiments {
+		start := time.Now()
+		if err := runOne(exp, cfg, *csv, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ocabench %s: %v\n", exp, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", exp, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+	}
+}
+
+func runOne(exp string, cfg bench.Config, csv bool, w io.Writer) error {
+	switch exp {
+	case "table1":
+		t, err := bench.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		if csv {
+			return t.CSV(w)
+		}
+		return t.Render(w)
+	case "fig2":
+		return renderFigure(bench.RunFig2(cfg))(csv, w)
+	case "fig3":
+		return renderFigure(bench.RunFig3(cfg))(csv, w)
+	case "fig4":
+		r, err := bench.RunFig4(cfg)
+		if err != nil {
+			return err
+		}
+		return r.Render(w)
+	case "fig5":
+		return renderFigure(bench.RunFig5(cfg))(csv, w)
+	case "fig6":
+		return renderFigure(bench.RunFig6(cfg))(csv, w)
+	case "wiki":
+		r, err := bench.RunWiki(cfg)
+		if err != nil {
+			return err
+		}
+		return r.Render(w)
+	case "fig2ov":
+		return renderFigure(bench.RunFig2Overlap(cfg))(csv, w)
+	case "ablate-c":
+		return renderFigure(bench.RunAblateC(cfg))(csv, w)
+	case "ablate-merge":
+		return renderFigure(bench.RunAblateMerge(cfg))(csv, w)
+	case "scale":
+		return renderFigure(bench.RunScale(cfg))(csv, w)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// renderFigure adapts (figure, error) to a curried renderer so the
+// switch above stays flat.
+func renderFigure(fig *bench.Figure, err error) func(csv bool, w io.Writer) error {
+	return func(csv bool, w io.Writer) error {
+		if err != nil {
+			return err
+		}
+		if csv {
+			return fig.CSV(w)
+		}
+		return fig.Render(w)
+	}
+}

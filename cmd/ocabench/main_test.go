@@ -1,0 +1,52 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func testConfig() bench.Config {
+	return bench.Config{
+		Seed:        1,
+		Workers:     2,
+		Fig2Mus:     []float64{0.2},
+		Fig2N:       150,
+		Fig3Sizes:   []int{100},
+		Fig5Sizes:   []int{150},
+		Fig6Ks:      []int{30},
+		Fig6N:       150,
+		WikiScale:   8,
+		ScaleScales: []int{8},
+		TimeLimit:   time.Minute,
+	}
+}
+
+// TestRunOneAllExperiments exercises the dispatch for every experiment
+// name on tiny workloads.
+func TestRunOneAllExperiments(t *testing.T) {
+	cfg := testConfig()
+	for _, exp := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "wiki", "fig2ov", "ablate-c", "ablate-merge", "scale"} {
+		for _, csv := range []bool{false, true} {
+			if err := runOne(exp, cfg, csv, io.Discard); err != nil {
+				t.Fatalf("%s (csv=%v): %v", exp, csv, err)
+			}
+		}
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("nope", testConfig(), false, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRenderFigurePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	if err := renderFigure(nil, boom)(false, io.Discard); err != boom {
+		t.Fatalf("err=%v, want boom", err)
+	}
+}

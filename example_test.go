@@ -1,0 +1,104 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleOCA runs the paper's algorithm on two cliques that share two
+// members and prints the overlapping communities it finds.
+func ExampleOCA() {
+	// Two K6 cliques sharing nodes 4 and 5.
+	b := repro.NewGraphBuilder(10)
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	for i := int32(4); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+
+	res, err := repro.OCA(g, repro.OCAOptions{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	res.Cover.SortBySize()
+	for _, community := range res.Cover.Communities {
+		fmt.Println(community)
+	}
+	// Output:
+	// [0 1 2 3 4 5]
+	// [4 5 6 7 8 9]
+}
+
+// ExampleRho evaluates the paper's community similarity (eq. V.1).
+func ExampleRho() {
+	a := repro.NewCommunity([]int32{1, 2, 3})
+	b := repro.NewCommunity([]int32{2, 3, 4})
+	fmt.Printf("%.1f\n", repro.Rho(a, b))
+	// Output:
+	// 0.5
+}
+
+// ExampleTheta compares an observed community structure against a
+// reference one (eq. V.2).
+func ExampleTheta() {
+	ref := &repro.Cover{Communities: []repro.Community{
+		repro.NewCommunity([]int32{0, 1, 2}),
+		repro.NewCommunity([]int32{3, 4, 5}),
+	}}
+	obs := &repro.Cover{Communities: []repro.Community{
+		repro.NewCommunity([]int32{0, 1, 2}), // exact match
+		repro.NewCommunity([]int32{3, 4}),    // ρ = 2/3
+	}}
+	fmt.Printf("%.3f\n", repro.Theta(ref, obs))
+	// Output:
+	// 0.833
+}
+
+// ExampleFitness evaluates the directed-Laplacian fitness of a set with
+// s members and m internal edges.
+func ExampleFitness() {
+	c := 0.5
+	fmt.Printf("singleton: %.3f\n", repro.Fitness(1, 0, c))
+	fmt.Printf("edge:      %.3f\n", repro.Fitness(2, 1, c))
+	fmt.Printf("triangle:  %.3f\n", repro.Fitness(3, 3, c))
+	// Output:
+	// singleton: 1.000
+	// edge:      1.586
+	// triangle:  2.326
+}
+
+// ExampleSummarize compresses a graph of two cliques joined by one edge
+// into three summary entries and reconstructs it exactly.
+func ExampleSummarize() {
+	b := repro.NewGraphBuilder(12)
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(6+i, 6+j)
+		}
+	}
+	b.AddEdge(5, 6)
+	g := b.Build()
+
+	cv := &repro.Cover{Communities: []repro.Community{
+		repro.NewCommunity([]int32{0, 1, 2, 3, 4, 5}),
+		repro.NewCommunity([]int32{6, 7, 8, 9, 10, 11}),
+	}}
+	s, err := repro.Summarize(g, cv)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("edges=%d cost=%d\n", g.M(), s.Cost())
+	g2 := repro.ReconstructGraph(s)
+	fmt.Printf("lossless=%v\n", g2.M() == g.M())
+	// Output:
+	// edges=31 cost=3
+	// lossless=true
+}

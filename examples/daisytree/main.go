@@ -1,0 +1,76 @@
+// Daisy tree: generate the paper's overlapping benchmark (Section V),
+// run all three algorithms (OCA, LFK, CFinder) on it, and compare how
+// well each recovers the planted petals and cores — the story of the
+// paper's Figures 3 and 4.
+//
+//	go run ./examples/daisytree [-flowers 8] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	flowers := flag.Int("flowers", 8, "number of daisies in the tree")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	d := repro.DefaultDaisyParams()
+	bench, err := repro.GenerateDaisyTree(repro.DaisyTreeParams{
+		Daisy: d, K: *flowers - 1, Gamma: 0.05, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := bench.Graph
+	fmt.Printf("daisy tree: %d flowers (p=%d q=%d n=%d α=%g β=%g)\n",
+		bench.Flowers, d.P, d.Q, d.N, d.Alpha, d.Beta)
+	fmt.Printf("graph: %d nodes, %d edges, %d planted communities\n",
+		g.N(), g.M(), bench.Communities.Len())
+	st := bench.Communities.Stats(g.N())
+	fmt.Printf("planted overlap: %d nodes in ≥2 communities\n\n", st.OverlapNodes)
+
+	run := func(name string, f func() (*repro.Cover, error)) {
+		cv, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		// The paper applies its post-processing to every algorithm for
+		// the quality comparison.
+		cv = repro.MergeCommunities(cv, repro.MergeThreshold)
+		cv = repro.AssignOrphans(g, cv, repro.OrphanOptions{Rounds: 3})
+		fmt.Printf("%-8s communities=%-4d Θ=%.3f  F1=%.3f\n",
+			name, cv.Len(),
+			repro.Theta(bench.Communities, cv),
+			repro.BestMatchF1(bench.Communities, cv))
+	}
+
+	run("OCA", func() (*repro.Cover, error) {
+		res, err := repro.OCA(g, repro.OCAOptions{Seed: *seed, DisableMerge: true})
+		if err != nil {
+			return nil, err
+		}
+		return res.Cover, nil
+	})
+	run("LFK", func() (*repro.Cover, error) {
+		res, err := repro.LFK(g, repro.LFKOptions{Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		return res.Cover, nil
+	})
+	run("CFinder", func() (*repro.Cover, error) {
+		res, err := repro.CPM(g, repro.CPMOptions{K: 3}) // fast path, same output as CFinder
+		if err != nil {
+			return nil, err
+		}
+		return res.Cover, nil
+	})
+
+	fmt.Println("\nExpected (paper, Fig. 3): OCA recovers the petal/core structure" +
+		"\nbest; LFK over-merges flowers; CFinder's percolation blurs with size.")
+}

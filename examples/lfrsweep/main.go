@@ -1,0 +1,51 @@
+// LFR sweep: generate LFR benchmarks across the mixing parameter µ and
+// watch OCA's recovered structure degrade as communities blur — a small
+// interactive version of the paper's Figure 2.
+//
+//	go run ./examples/lfrsweep [-n 1000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "graph size")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("%6s %10s %10s %12s %12s %12s\n",
+		"mu", "realized", "theta", "communities", "planted", "coverage")
+	for _, mu := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7} {
+		bench, err := repro.GenerateLFR(repro.LFRParams{
+			N: *n, AvgDeg: 20, MaxDeg: 50, Mu: mu,
+			MinCom: 20, MaxCom: 50, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := bench.Graph
+
+		res, err := repro.OCA(g, repro.OCAOptions{Seed: *seed + 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Orphan assignment completes the cover, as the paper's quality
+		// experiments do.
+		cv := repro.AssignOrphans(g, res.Cover, repro.OrphanOptions{Rounds: 3})
+
+		fmt.Printf("%6.2f %10.3f %10.3f %12d %12d %11.1f%%\n",
+			mu,
+			repro.MeasureMixing(g, bench.Memberships),
+			repro.Theta(bench.Communities, cv),
+			cv.Len(),
+			bench.Communities.Len(),
+			100*cv.Coverage(g.N()))
+	}
+	fmt.Println("\nExpected (paper, Fig. 2): Θ ≈ 1 up to µ = 0.5, reliable to ≈ 0.7,")
+	fmt.Println("collapsing as µ approaches 0.8 (no community structure remains).")
+}

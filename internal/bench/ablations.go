@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/lfr"
+	"repro/internal/metrics"
+	"repro/internal/postprocess"
+	"repro/internal/xrand"
+)
+
+// RunFig2Overlap is the extension experiment of DESIGN.md §6: the Fig. 2
+// sweep repeated on the overlapping LFR variant (on = 10% of nodes with
+// om = 2 memberships), giving the quality comparison genuine ground-
+// truth overlap — which the paper's Fig. 2 workload lacks (its text
+// concedes "the previous benchmarks do not produce overlapping
+// communities").
+func RunFig2Overlap(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	mus := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	if len(cfg.Fig2Mus) > 0 {
+		mus = cfg.Fig2Mus
+	}
+	p := fig2Params(cfg)
+	p.OverlapNodes = p.N / 10
+	p.OverlapMemb = 2
+	algos := []algorithm{ocaAlgo(cfg.Workers), lfkAlgo(), cfinderFast()}
+
+	fig := &Figure{
+		ID: "fig2ov", Title: "Θ against µ on overlapping LFR (on=N/10, om=2)",
+		XLabel: "mu", YLabel: "Theta",
+		X:    mus,
+		Note: fmt.Sprintf("LFR n=%d with planted overlap; extension beyond the paper", p.N),
+	}
+	ys := make([][]float64, len(algos))
+	for i := range ys {
+		ys[i] = make([]float64, len(mus))
+	}
+	for xi, mu := range mus {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			p := p
+			p.Mu = mu
+			p.Seed = xrand.Derive(cfg.Seed, int64(11000+100*xi+trial))
+			b, err := lfr.Generate(p)
+			if err != nil {
+				return nil, fmt.Errorf("fig2ov µ=%g: %w", mu, err)
+			}
+			for ai, algo := range algos {
+				cv, err := algo.run(b.Graph, xrand.Derive(cfg.Seed, int64(12000+100*xi+10*ai+trial)))
+				if err != nil {
+					return nil, fmt.Errorf("fig2ov µ=%g %s: %w", mu, algo.name, err)
+				}
+				cv = postprocessAll(b.Graph, cv)
+				ys[ai][xi] += metrics.Theta(b.Communities, cv) / float64(cfg.Trials)
+			}
+			cfg.logf("fig2ov: µ=%.2f trial %d done", mu, trial)
+		}
+	}
+	for ai, algo := range algos {
+		fig.Series = append(fig.Series, Series{Name: algo.name, Y: ys[ai]})
+	}
+	return fig, nil
+}
+
+// RunAblateC sweeps the inner-product parameter c and reports OCA's Θ on
+// a fixed LFR workload, with the spectral choice c = −1/λmin marked as
+// the final point. It justifies the paper's Section II argument that
+// larger admissible c separates communities better.
+func RunAblateC(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	p := fig2Params(cfg)
+	p.Mu = 0.3
+	cs := []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95}
+
+	fig := &Figure{
+		ID: "ablate-c", Title: "OCA quality vs fixed c (last row: computed c = -1/λmin)",
+		XLabel: "c", YLabel: "Theta",
+		Note: fmt.Sprintf("LFR n=%d µ=0.3; ablation beyond the paper", p.N),
+	}
+	thetaY := make([]float64, 0, len(cs)+1)
+	for xi, c := range cs {
+		theta := 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			th, _, err := ocaThetaWithC(cfg, p, c, int64(13000+100*xi+trial))
+			if err != nil {
+				return nil, fmt.Errorf("ablate-c c=%g: %w", c, err)
+			}
+			theta += th / float64(cfg.Trials)
+		}
+		fig.X = append(fig.X, c)
+		thetaY = append(thetaY, theta)
+		cfg.logf("ablate-c: c=%.2f Θ=%.3f", c, theta)
+	}
+	// Computed c.
+	theta, usedC := 0.0, 0.0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		th, c, err := ocaThetaWithC(cfg, p, 0, int64(13900+trial))
+		if err != nil {
+			return nil, fmt.Errorf("ablate-c computed: %w", err)
+		}
+		theta += th / float64(cfg.Trials)
+		usedC = c
+	}
+	fig.X = append(fig.X, usedC)
+	thetaY = append(thetaY, theta)
+	cfg.logf("ablate-c: computed c=%.3f Θ=%.3f", usedC, theta)
+	fig.Series = []Series{{Name: "OCA", Y: thetaY}}
+	return fig, nil
+}
+
+// ocaThetaWithC generates an LFR instance, runs OCA with the given c
+// (0 = computed) and returns post-processed Θ and the c actually used.
+func ocaThetaWithC(cfg Config, p lfr.Params, c float64, stream int64) (float64, float64, error) {
+	p.Seed = xrand.Derive(cfg.Seed, stream)
+	b, err := lfr.Generate(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := core.Run(b.Graph, core.Options{
+		Seed: xrand.Derive(cfg.Seed, stream+1), Workers: cfg.Workers,
+		C: c, DisableMerge: true,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	cv := postprocessAll(b.Graph, res.Cover)
+	return metrics.Theta(b.Communities, cv), res.C, nil
+}
+
+// RunAblateMerge sweeps the ρ-merge threshold and reports OCA's Θ and
+// the community-count inflation (found/planted) on a fixed LFR workload.
+// It quantifies how much of OCA's quality comes from the Section IV
+// post-processing; ∞ (no merging) is the final point.
+func RunAblateMerge(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	p := fig2Params(cfg)
+	p.Mu = 0.3
+	thresholds := []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.95}
+
+	fig := &Figure{
+		ID: "ablate-merge", Title: "OCA quality vs merge threshold τ (last row: merging off)",
+		XLabel: "tau", YLabel: "Theta / inflation",
+		Note: fmt.Sprintf("LFR n=%d µ=0.3; inflation = found / planted communities", p.N),
+	}
+	var thetaY, inflateY []float64
+	run := func(tau float64, off bool, stream int64) error {
+		theta, inflate := 0.0, 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			pp := p
+			pp.Seed = xrand.Derive(cfg.Seed, stream+int64(trial))
+			b, err := lfr.Generate(pp)
+			if err != nil {
+				return err
+			}
+			res, err := core.Run(b.Graph, core.Options{
+				Seed: xrand.Derive(cfg.Seed, stream+100+int64(trial)), Workers: cfg.Workers,
+				DisableMerge: true,
+			})
+			if err != nil {
+				return err
+			}
+			cv := res.Cover
+			if !off {
+				cv = postprocess.Merge(cv, tau)
+			}
+			cv = postprocess.AssignOrphans(b.Graph, cv, postprocess.OrphanOptions{Rounds: 3})
+			theta += metrics.Theta(b.Communities, cv) / float64(cfg.Trials)
+			inflate += float64(cv.Len()) / float64(b.Communities.Len()) / float64(cfg.Trials)
+		}
+		thetaY = append(thetaY, theta)
+		inflateY = append(inflateY, inflate)
+		cfg.logf("ablate-merge: τ=%.2f off=%v Θ=%.3f inflation=%.2f", tau, off, theta, inflate)
+		return nil
+	}
+	for xi, tau := range thresholds {
+		if err := run(tau, false, int64(14000+100*xi)); err != nil {
+			return nil, fmt.Errorf("ablate-merge τ=%g: %w", tau, err)
+		}
+		fig.X = append(fig.X, tau)
+	}
+	if err := run(0, true, 14900); err != nil {
+		return nil, fmt.Errorf("ablate-merge off: %w", err)
+	}
+	fig.X = append(fig.X, math.Inf(1))
+	fig.Series = []Series{
+		{Name: "Theta", Y: thetaY},
+		{Name: "inflation", Y: inflateY},
+	}
+	return fig, nil
+}

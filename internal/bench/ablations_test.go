@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunFig2OverlapTiny(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := RunFig2Overlap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 || len(fig.X) != 1 {
+		t.Fatalf("shape: %d series, %d x", len(fig.Series), len(fig.X))
+	}
+	for _, s := range fig.Series {
+		if s.Y[0] < 0 || s.Y[0] > 1 {
+			t.Fatalf("%s Θ=%v", s.Name, s.Y[0])
+		}
+	}
+}
+
+func TestRunAblateCTiny(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := RunAblateC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seven fixed c values plus the computed one.
+	if len(fig.X) != 8 || len(fig.Series) != 1 || len(fig.Series[0].Y) != 8 {
+		t.Fatalf("shape: %d x, %d series", len(fig.X), len(fig.Series))
+	}
+	// The computed c (last x) must be a valid parameter.
+	last := fig.X[len(fig.X)-1]
+	if last <= 0 || last >= 1 {
+		t.Fatalf("computed c=%v out of (0,1)", last)
+	}
+}
+
+func TestRunAblateMergeTiny(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := RunAblateMerge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series=%d, want Theta + inflation", len(fig.Series))
+	}
+	// Last x encodes "merging off".
+	if !math.IsInf(fig.X[len(fig.X)-1], 1) {
+		t.Fatalf("last x=%v, want +Inf", fig.X[len(fig.X)-1])
+	}
+	// Without merging the inflation cannot be below the merged counts.
+	infl := fig.Series[1].Y
+	if infl[len(infl)-1] < infl[0]-1e-9 {
+		t.Fatalf("merging-off inflation %v below merged %v", infl[len(infl)-1], infl[0])
+	}
+}

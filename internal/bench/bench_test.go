@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Seed:        1,
+		Workers:     2,
+		Fig2Mus:     []float64{0.2},
+		Fig2N:       150,
+		Fig3Sizes:   []int{100},
+		Fig5Sizes:   []int{150},
+		Fig6Ks:      []int{30},
+		Fig6N:       150,
+		WikiScale:   8,
+		ScaleScales: []int{8},
+		TimeLimit:   time.Minute,
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		ID: "figX", Title: "test", XLabel: "x", YLabel: "y",
+		X: []float64{1, 2},
+		Series: []Series{
+			{Name: "A", Y: []float64{0.5, math.NaN()}},
+			{Name: "B", Y: []float64{1, 2}},
+		},
+		Note: "note",
+	}
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FIGX", "note", "A", "B", "0.5", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := f.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "x,A,B" {
+		t.Fatalf("csv wrong:\n%s", buf.String())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &TableResult{
+		ID: "table1", Title: "datasets",
+		Header: []string{"Name", "#nodes"},
+		Rows:   [][]string{{"LFR", "1000"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LFR") {
+		t.Fatalf("table render:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "Name,#nodes") {
+		t.Fatalf("table csv:\n%s", buf.String())
+	}
+}
+
+func TestRunFig2Tiny(t *testing.T) {
+	fig, err := RunFig2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series=%d, want 3", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 1 {
+			t.Fatalf("%s: %d points", s.Name, len(s.Y))
+		}
+		if s.Y[0] < 0 || s.Y[0] > 1 {
+			t.Fatalf("%s: Θ=%v out of [0,1]", s.Name, s.Y[0])
+		}
+	}
+	// At µ=0.2 every algorithm should find meaningful structure.
+	if fig.Series[0].Y[0] < 0.2 {
+		t.Fatalf("OCA Θ=%.3f at µ=0.2, suspiciously low", fig.Series[0].Y[0])
+	}
+}
+
+func TestRunFig3Tiny(t *testing.T) {
+	fig, err := RunFig3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 || len(fig.X) != 1 {
+		t.Fatalf("shape wrong: %d series, %d x", len(fig.Series), len(fig.X))
+	}
+	// OCA should beat random on the overlapping benchmark.
+	if fig.Series[0].Name != "OCA" || fig.Series[0].Y[0] < 0.3 {
+		t.Fatalf("OCA Θ=%v", fig.Series[0].Y[0])
+	}
+}
+
+func TestRunFig4Tiny(t *testing.T) {
+	rep, err := RunFig4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Algorithms) != 3 {
+		t.Fatalf("algorithms=%d", len(rep.Algorithms))
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OCA", "LFK", "CFinder", "petal1", "core"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("fig4 render missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunFig5And6Tiny(t *testing.T) {
+	cfg := tinyConfig()
+	fig5, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig5.Series) != 3 {
+		t.Fatalf("fig5 series=%d", len(fig5.Series))
+	}
+	for _, s := range fig5.Series {
+		if !math.IsNaN(s.Y[0]) && s.Y[0] < 0 {
+			t.Fatalf("%s: negative time", s.Name)
+		}
+	}
+	fig6, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig6.Series) != 2 {
+		t.Fatalf("fig6 series=%d, want 2 (no CFinder)", len(fig6.Series))
+	}
+}
+
+func TestRunWikiTiny(t *testing.T) {
+	res, err := RunWiki(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 256 {
+		t.Fatalf("nodes=%d, want 2^8", res.Nodes)
+	}
+	if res.EdgesPerSec <= 0 {
+		t.Fatalf("throughput=%v", res.EdgesPerSec)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "paper: 16986429") {
+		t.Fatalf("wiki render:\n%s", buf.String())
+	}
+}
+
+func TestRunTable1Tiny(t *testing.T) {
+	// Table 1 has no size override; run it quick but skip in -short.
+	if testing.Short() {
+		t.Skip("table1 generates 10^4-node datasets")
+	}
+	tb, err := RunTable1(Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows=%d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row %v has %d cells", row, len(row))
+		}
+	}
+}
+
+func TestTimeSweepDropsSlowAlgorithm(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TimeLimit = time.Nanosecond // everything exceeds this
+	fig, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a single x point nothing visible drops, so use two points.
+	cfg.Fig6Ks = []int{30, 40}
+	fig, err = RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if !math.IsNaN(s.Y[1]) {
+			t.Fatalf("%s not dropped after exceeding the limit: %v", s.Name, s.Y)
+		}
+	}
+}

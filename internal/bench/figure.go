@@ -1,0 +1,157 @@
+// Package bench is the experiment harness: it defines the workload of
+// every table and figure in the paper's evaluation (Table I, Figures
+// 2–6, and the Wikipedia run), executes the algorithms on them, and
+// renders the same rows/series the paper reports, as aligned text or
+// CSV. The cmd/ocabench binary and the repository's testing.B benches
+// are thin wrappers around this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one curve of a figure: y values over the shared x axis.
+type Series struct {
+	Name string
+	Y    []float64 // NaN marks a skipped point
+}
+
+// Figure is a reproduced figure: one x axis, several named series.
+type Figure struct {
+	ID     string // e.g. "fig2"
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// Note records workload parameters and deviations worth printing.
+	Note string
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", strings.ToUpper(f.ID), f.Title); err != nil {
+		return err
+	}
+	if f.Note != "" {
+		if _, err := fmt.Fprintf(w, "  (%s)\n", f.Note); err != nil {
+			return err
+		}
+	}
+	header := fmt.Sprintf("%12s", f.XLabel)
+	for _, s := range f.Series {
+		header += fmt.Sprintf("%12s", s.Name)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i, x := range f.X {
+		row := fmt.Sprintf("%12s", formatNum(x))
+		for _, s := range f.Series {
+			row += fmt.Sprintf("%12s", formatCell(s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the figure as comma-separated values with a header row.
+func (f *Figure) CSV(w io.Writer) error {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range f.X {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			row = append(row, formatCell(s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func formatCell(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// TableResult is a reproduced table (Table I).
+type TableResult struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Note   string
+}
+
+// Render writes the table as aligned text.
+func (t *TableResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", strings.ToUpper(t.ID), t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "  (%s)\n", t.Note); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			fmt.Fprintf(&b, "  %-*s", widths[i], cell)
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values.
+func (t *TableResult) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+// RunScale measures OCA alone on growing Wikipedia-like graphs — the
+// abstract's scalability claim ("efficiently handles large graphs
+// containing more than 10⁸ nodes and edges") probed as far as this
+// machine allows. Reports seconds and edges/second per size.
+func RunScale(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	scales := []int{13, 14, 15, 16}
+	if cfg.Full {
+		scales = []int{15, 16, 17, 18, 19, 20}
+	}
+	if len(cfg.ScaleScales) > 0 {
+		scales = cfg.ScaleScales
+	}
+	fig := &Figure{
+		ID: "scale", Title: "OCA scalability on Wikipedia-like graphs",
+		XLabel: "nodes", YLabel: "seconds / edges-per-second",
+		Note: fmt.Sprintf("workers=%d; graph = heavy-tailed LFR substitute; extension beyond the paper's Fig. 5", cfg.Workers),
+	}
+	var secs, eps []float64
+	for _, scale := range scales {
+		g, err := synth.WikipediaLike(scale, xrand.Derive(cfg.Seed, int64(15000+scale)))
+		if err != nil {
+			return nil, fmt.Errorf("scale 2^%d: %w", scale, err)
+		}
+		start := time.Now()
+		res, err := core.Run(g, core.Options{
+			Seed:    xrand.Derive(cfg.Seed, int64(15100+scale)),
+			Workers: cfg.Workers,
+			Halting: core.Halting{TargetCoverage: 0.8, Patience: 100},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scale 2^%d: %w", scale, err)
+		}
+		elapsed := time.Since(start)
+		fig.X = append(fig.X, float64(g.N()))
+		secs = append(secs, elapsed.Seconds())
+		eps = append(eps, float64(g.M())/elapsed.Seconds())
+		cfg.logf("scale: 2^%d n=%d m=%d %.2fs %.0f edges/s communities=%d",
+			scale, g.N(), g.M(), elapsed.Seconds(), eps[len(eps)-1], res.Cover.Len())
+	}
+	fig.Series = []Series{
+		{Name: "seconds", Y: secs},
+		{Name: "edges/s", Y: eps},
+	}
+	return fig, nil
+}

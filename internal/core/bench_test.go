@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lfr"
+	"repro/internal/search"
+	"repro/internal/xrand"
+)
+
+func benchGraph(b *testing.B) *lfr.Benchmark {
+	b.Helper()
+	bench, err := lfr.Generate(lfr.Params{
+		N: 2000, AvgDeg: 20, MaxDeg: 60, Mu: 0.2,
+		MinCom: 30, MaxCom: 120, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bench
+}
+
+// BenchmarkLocalSearch measures one seeded community search on an LFR
+// graph — the inner loop of OCA.
+func BenchmarkLocalSearch(b *testing.B) {
+	bench := benchGraph(b)
+	g := bench.Graph
+	st := search.NewState(g, g.MaxDegree())
+	c := 0.15
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		rng := xrand.New(1, int64(i))
+		seed := int32(i % g.N())
+		localSearch(g, st, seed, c, rng, searchOpts{neighborProb: 0.5, maxSteps: 100000})
+	}
+}
+
+// BenchmarkRun measures a full OCA run (c computation, all seeds,
+// merging) on the same LFR graph.
+func BenchmarkRun(b *testing.B) {
+	bench := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(bench.Graph, Options{Seed: int64(i), Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitness measures the closed-form L evaluation.
+func BenchmarkFitness(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += L(100+(i&1023), int64(i&4095), 0.3)
+	}
+	_ = sink
+}
+
+// BenchmarkGreedySelectionBucketQueue vs ...LinearScan is the DESIGN.md
+// §6 ablation: the bucket queue answers argmax d_S in O(1) while a
+// linear frontier scan costs O(|frontier|) per step.
+func BenchmarkGreedySelectionBucketQueue(b *testing.B) {
+	bench := benchGraph(b)
+	g := bench.Graph
+	st := search.NewState(g, g.MaxDegree())
+	for v := int32(0); v < 60; v++ {
+		st.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.BestAddition()
+	}
+}
+
+func BenchmarkGreedySelectionLinearScan(b *testing.B) {
+	bench := benchGraph(b)
+	g := bench.Graph
+	st := search.NewState(g, g.MaxDegree())
+	for v := int32(0); v < 60; v++ {
+		st.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best, bestD := int32(-1), int32(-1)
+		st.ForEachFrontier(func(v int32, d int32) {
+			if d > bestD {
+				best, bestD = v, d
+			}
+		})
+		_ = best
+	}
+}

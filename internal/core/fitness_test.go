@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomGraph(rng *rand.Rand, n, extraEdges int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < extraEdges; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// einOfMask counts edges inside the subset encoded by mask.
+func einOfMask(g *graph.Graph, mask uint) int64 {
+	var m int64
+	g.Edges(func(u, v int32) bool {
+		if mask&(1<<uint(u)) != 0 && mask&(1<<uint(v)) != 0 {
+			m++
+		}
+		return true
+	})
+	return m
+}
+
+// TestLMatchesLatticeDefinition brute-forces the directed Laplacian on
+// the subset lattice Γ↑ and compares it with the closed form. In Γ↑ every
+// subset S receives an edge from each S\{x}, and indeg(T) = |T| (the
+// empty set acts as the predecessor of singletons, with ϕ(∅) = 0 — the
+// convention under which the paper's closed form is exact).
+func TestLMatchesLatticeDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8) // up to 9 nodes -> 511 subsets
+		g := randomGraph(rng, n, 3*n)
+		c := 0.05 + 0.9*rng.Float64()
+		for mask := uint(1); mask < 1<<uint(n); mask++ {
+			s := bits.OnesCount(mask)
+			m := einOfMask(g, mask)
+			closed := L(s, m, c)
+			if s == 1 {
+				if closed != 1 {
+					return false
+				}
+				continue
+			}
+			// Brute-force: ϕ(S) − Σ_x ϕ(S\{x}) / √(|S|·|S\{x}|).
+			sum := 0.0
+			for x := 0; x < n; x++ {
+				if mask&(1<<uint(x)) == 0 {
+					continue
+				}
+				sub := mask &^ (1 << uint(x))
+				sum += Phi(s-1, einOfMask(g, sub), c)
+			}
+			def := Phi(s, m, c) - sum/math.Sqrt(float64(s)*float64(s-1))
+			if math.Abs(def-closed) > 1e-9*math.Max(1, math.Abs(def)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLBoundaryCases(t *testing.T) {
+	if L(0, 0, 0.5) != 0 {
+		t.Fatal("L(∅) != 0")
+	}
+	if L(1, 0, 0.5) != 1 {
+		t.Fatal("L({v}) != 1")
+	}
+	// s=2 with an internal edge: 2 − √2 + 2c.
+	got := L(2, 1, 0.5)
+	want := 2 - math.Sqrt2 + 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("L(2,1,0.5)=%v, want %v", got, want)
+	}
+}
+
+// TestIndependentVsCompletePhi reproduces Example 2 of the paper:
+// ϕ of an independent set of size k is k, and ϕ of K_k is ck² + (1−c)k.
+func TestIndependentVsCompletePhi(t *testing.T) {
+	c := 0.7
+	for k := 1; k <= 20; k++ {
+		if got := Phi(k, 0, c); got != float64(k) {
+			t.Fatalf("independent ϕ(%d)=%v", k, got)
+		}
+		m := int64(k * (k - 1) / 2)
+		want := c*float64(k)*float64(k) + (1-c)*float64(k)
+		if got := Phi(k, m, c); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("complete ϕ(%d)=%v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestGainsMatchDifference verifies the incremental gain helpers equal
+// explicit L differences.
+func TestGainsMatchDifference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := 2 + rng.Intn(100)
+		m := int64(rng.Intn(s * (s - 1) / 2))
+		d := int32(rng.Intn(s))
+		c := rng.Float64() * 0.99
+		ga := gainAdd(s, m, d, c)
+		if math.Abs(ga-(L(s+1, m+int64(d), c)-L(s, m, c))) > 1e-12 {
+			return false
+		}
+		if int64(d) <= m {
+			gr := gainRemove(s, m, d, c)
+			if math.Abs(gr-(L(s-1, m-int64(d), c)-L(s, m, c))) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonotonicityInEin: for fixed s ≥ 2, L increases with m, so the
+// greedy rule "add max-d frontier node / remove min-d member" selects the
+// optimal single move.
+func TestMonotonicityInEin(t *testing.T) {
+	for _, c := range []float64{0.1, 0.5, 0.9} {
+		for s := 2; s <= 50; s++ {
+			maxM := int64(s * (s - 1) / 2)
+			for m := int64(1); m <= maxM; m++ {
+				if L(s, m, c) <= L(s, m-1, c) {
+					t.Fatalf("L not increasing in m at s=%d m=%d c=%g", s, m, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCliqueBeatsIndependent: with c large enough, L of a clique exceeds
+// L of an independent set of equal size (the motivation of Example 2).
+func TestCliqueBeatsIndependent(t *testing.T) {
+	c := 0.5
+	for k := 2; k <= 30; k++ {
+		clique := L(k, int64(k*(k-1)/2), c)
+		indep := L(k, 0, c)
+		if clique <= indep {
+			t.Fatalf("k=%d: clique L=%v <= independent L=%v", k, clique, indep)
+		}
+	}
+}

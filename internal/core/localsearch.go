@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// gainTol is the minimum fitness improvement for a greedy move. Moves
+// must strictly improve L; the tolerance absorbs float round-off and, by
+// bounding each step's progress away from zero, guarantees termination.
+const gainTol = 1e-9
+
+// localSearch grows a community from seed by greedy optimization of L
+// (Section IV): start from the seed plus a random subset of its
+// neighborhood, then repeatedly apply the single best addition or
+// removal until no move improves the fitness.
+//
+// st must be empty (or Reset); it is left holding the final community so
+// the caller can extract members. Returns the number of greedy steps
+// applied and the final fitness.
+func localSearch(g *graph.Graph, st *search.State, seed int32, c float64, rng *rand.Rand, opt searchOpts) (steps int, fitness float64) {
+	st.Add(seed)
+	for _, w := range g.Neighbors(seed) {
+		if rng.Float64() < opt.neighborProb {
+			if opt.maxSize > 0 && st.Size() >= opt.maxSize {
+				break
+			}
+			st.Add(w)
+		}
+	}
+
+	for opt.maxSteps <= 0 || steps < opt.maxSteps {
+		s, m := st.Size(), st.Ein()
+		cur := L(s, m, c)
+
+		bestGain := 0.0
+		bestIsAdd := false
+		var bestNode int32
+		haveMove := false
+
+		if v, d, ok := st.BestAddition(); ok && (opt.maxSize <= 0 || s < opt.maxSize) {
+			if gain := gainAdd(s, m, d, c); gain > gainTol {
+				bestGain, bestNode, bestIsAdd, haveMove = gain, v, true, true
+			}
+		}
+		if s > 1 {
+			if u, d, ok := st.WorstMember(); ok {
+				if gain := gainRemove(s, m, d, c); gain > gainTol && gain > bestGain {
+					bestGain, bestNode, bestIsAdd, haveMove = gain, u, false, true
+				}
+			}
+		}
+		if !haveMove {
+			return steps, cur
+		}
+		if bestIsAdd {
+			st.Add(bestNode)
+		} else {
+			st.Remove(bestNode)
+		}
+		steps++
+	}
+	return steps, L(st.Size(), st.Ein(), c)
+}
+
+// searchOpts are the per-seed knobs of the local search, extracted from
+// Options by the driver.
+type searchOpts struct {
+	neighborProb float64
+	maxSteps     int
+	maxSize      int
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cover"
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/postprocess"
+	"repro/internal/search"
+	"repro/internal/spectral"
+	"repro/internal/xrand"
+)
+
+// Options configure a Run of OCA. The zero value gives the paper's
+// defaults (c computed from the spectrum, neighbor inclusion ½, merging
+// enabled, orphan assignment disabled).
+type Options struct {
+	// C overrides the inner-product parameter. When 0 it is computed as
+	// -1/λmin via the power method (the paper's choice).
+	C float64
+	// Spectral tunes the power iterations used when C is computed.
+	Spectral spectral.Options
+	// Seed drives all randomness (seed choice, initial neighborhoods).
+	// Runs with equal seeds produce identical covers, regardless of the
+	// number of workers.
+	Seed int64
+	// NeighborProb is the probability that each neighbor of the seed
+	// joins the initial set ("a random neighborhood of the seed").
+	// Default 0.5.
+	NeighborProb float64
+	// MaxSteps caps greedy moves per seed (safety valve; the search
+	// terminates on its own because every move strictly increases L).
+	// Default 100000. Negative means unlimited.
+	MaxSteps int
+	// MaxCommunitySize, when positive, stops additions at that size.
+	MaxCommunitySize int
+	// MinCommunitySize drops smaller local optima from the result.
+	// Default 3.
+	MinCommunitySize int
+	// Seeding selects the seed-choice policy. Default SeedUncovered.
+	Seeding SeedStrategy
+	// Halting configures when to stop trying new seeds.
+	Halting Halting
+	// Workers is the number of concurrent seed searches. Default
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// DisableMerge skips the ρ-threshold merge post-processing step.
+	DisableMerge bool
+	// MergeThreshold is the ρ at or above which two communities merge.
+	// Default postprocess.DefaultMergeThreshold.
+	MergeThreshold float64
+	// AssignOrphans enables the orphan-assignment step: every uncovered
+	// node joins the community holding most of its neighbors.
+	AssignOrphans bool
+	// Orphans configures orphan assignment when enabled.
+	Orphans postprocess.OrphanOptions
+}
+
+// SeedStrategy selects where new local searches start. The paper leaves
+// seed selection open ("the selection of the initial set" is outside its
+// scope); these are the natural policies.
+type SeedStrategy int
+
+const (
+	// SeedUncovered draws uniformly from nodes not yet in any community,
+	// falling back to uniform over all nodes (the default: "randomly
+	// distributed initial seeds" with a bias toward unexplored regions).
+	SeedUncovered SeedStrategy = iota
+	// SeedUniform draws uniformly from all nodes regardless of coverage.
+	SeedUniform
+	// SeedHighDegree draws the highest-degree uncovered node (ties by
+	// id), probing dense regions first.
+	SeedHighDegree
+)
+
+// Halting is the stopping policy across seeds. The paper deliberately
+// leaves this open ("outside the scope of this paper"); Run stops as
+// soon as any enabled criterion fires.
+type Halting struct {
+	// MaxSeeds bounds the number of seeds tried. Default 4·n.
+	MaxSeeds int
+	// TargetCoverage ∈ (0, 1] stops once that fraction of nodes belongs
+	// to some community. Default 1.0.
+	TargetCoverage float64
+	// Patience stops after this many consecutive seeds whose community
+	// is not novel. Default 20.
+	Patience int
+	// MinNovelFraction is the fraction of a community's members that
+	// must be newly covered for the community to count as novel (reset
+	// the patience counter). Below it the search is considered to be
+	// rediscovering known structure. Default 0.05.
+	MinNovelFraction float64
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.NeighborProb <= 0 {
+		o.NeighborProb = 0.5
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 100000
+	}
+	if o.MinCommunitySize <= 0 {
+		o.MinCommunitySize = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MergeThreshold <= 0 {
+		o.MergeThreshold = postprocess.DefaultMergeThreshold
+	}
+	if o.Halting.MaxSeeds <= 0 {
+		o.Halting.MaxSeeds = 4 * n
+		if o.Halting.MaxSeeds < 16 {
+			o.Halting.MaxSeeds = 16
+		}
+	}
+	if o.Halting.TargetCoverage <= 0 || o.Halting.TargetCoverage > 1 {
+		o.Halting.TargetCoverage = 1
+	}
+	if o.Halting.Patience <= 0 {
+		o.Halting.Patience = 20
+	}
+	if o.Halting.MinNovelFraction <= 0 {
+		o.Halting.MinNovelFraction = 0.05
+	}
+	return o
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Cover holds the final communities (after post-processing).
+	Cover *cover.Cover
+	// C is the inner-product parameter actually used.
+	C float64
+	// SeedsTried counts local searches performed.
+	SeedsTried int
+	// Steps is the total number of greedy moves across all seeds.
+	Steps int64
+	// RawCommunities counts local optima accepted before merging.
+	RawCommunities int
+}
+
+// Run executes OCA on g and returns the overlapping communities.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	n := g.N()
+	opt = opt.withDefaults(n)
+	res := &Result{Cover: cover.NewCover(nil)}
+	if n == 0 {
+		return res, nil
+	}
+
+	c := opt.C
+	if c == 0 {
+		var err error
+		c, err = spectral.C(g, opt.Spectral)
+		if err != nil {
+			return nil, fmt.Errorf("core: computing c: %w", err)
+		}
+	}
+	if c < 0 || c >= 1 {
+		return nil, fmt.Errorf("core: c=%g out of range [0, 1)", c)
+	}
+	res.C = c
+
+	driver := newSeedDriver(g, opt.Seeding, xrand.New(opt.Seed, -1))
+	maxDeg := g.MaxDegree()
+	states := make([]*search.State, opt.Workers)
+	for i := range states {
+		states[i] = search.NewState(g, maxDeg)
+	}
+	sOpts := searchOpts{
+		neighborProb: opt.NeighborProb,
+		maxSteps:     opt.MaxSteps,
+		maxSize:      opt.MaxCommunitySize,
+	}
+
+	var raw []cover.Community
+	drought := 0
+	seedIndex := int64(0)
+
+	type outcome struct {
+		members []int32
+		steps   int
+	}
+	for {
+		if driver.coverage() >= opt.Halting.TargetCoverage {
+			break
+		}
+		if res.SeedsTried >= opt.Halting.MaxSeeds || drought >= opt.Halting.Patience {
+			break
+		}
+		batch := opt.Workers
+		if rem := opt.Halting.MaxSeeds - res.SeedsTried; batch > rem {
+			batch = rem
+		}
+		seeds := driver.drawSeeds(batch)
+		outcomes := make([]outcome, len(seeds))
+		var wg sync.WaitGroup
+		for i, seed := range seeds {
+			wg.Add(1)
+			go func(i int, seed int32, stream int64) {
+				defer wg.Done()
+				st := states[i]
+				st.Reset()
+				rng := xrand.New(opt.Seed, stream)
+				steps, _ := localSearch(g, st, seed, c, rng, sOpts)
+				outcomes[i] = outcome{members: st.Members(), steps: steps}
+			}(i, seed, seedIndex+int64(i))
+		}
+		wg.Wait()
+		seedIndex += int64(len(seeds))
+
+		for _, oc := range outcomes {
+			res.SeedsTried++
+			res.Steps += int64(oc.steps)
+			if len(oc.members) < opt.MinCommunitySize {
+				drought++
+				continue
+			}
+			needNovel := int(opt.Halting.MinNovelFraction * float64(len(oc.members)))
+			if needNovel < 1 {
+				needNovel = 1
+			}
+			if driver.markCovered(oc.members) >= needNovel {
+				drought = 0
+			} else {
+				drought++
+			}
+			raw = append(raw, cover.Community(oc.members))
+		}
+	}
+	res.RawCommunities = len(raw)
+
+	cv := cover.NewCover(raw)
+	if !opt.DisableMerge {
+		cv = postprocess.Merge(cv, opt.MergeThreshold)
+	}
+	if opt.AssignOrphans {
+		cv = postprocess.AssignOrphans(g, cv, opt.Orphans)
+	}
+	cv.SortBySize()
+	res.Cover = cv
+	return res, nil
+}
+
+// FindCommunity runs a single local search from the given seed node and
+// returns the resulting community and its fitness. It is the building
+// block Run parallelizes; exposed for tests, examples and interactive
+// exploration of individual seeds.
+func FindCommunity(g *graph.Graph, seedNode int32, c float64, rng *rand.Rand, opt Options) (cover.Community, float64) {
+	opt = opt.withDefaults(g.N())
+	st := search.NewState(g, g.MaxDegree())
+	_, fit := localSearch(g, st, seedNode, c, rng, searchOpts{
+		neighborProb: opt.NeighborProb,
+		maxSteps:     opt.MaxSteps,
+		maxSize:      opt.MaxCommunitySize,
+	})
+	return cover.Community(st.Members()), fit
+}
+
+// seedDriver tracks covered nodes and samples seeds according to the
+// configured SeedStrategy.
+type seedDriver struct {
+	strategy  SeedStrategy
+	rng       *rand.Rand
+	covered   *ds.Bitset
+	uncovered []int32 // swap-removal pool (SeedUncovered)
+	pos       []int32 // node -> index in uncovered, -1 once covered
+	byDegree  []int32 // nodes sorted by decreasing degree (SeedHighDegree)
+	tried     *ds.Bitset
+	cursor    int
+	n         int
+}
+
+func newSeedDriver(g *graph.Graph, strategy SeedStrategy, rng *rand.Rand) *seedDriver {
+	n := g.N()
+	d := &seedDriver{
+		strategy:  strategy,
+		rng:       rng,
+		covered:   ds.NewBitset(n),
+		uncovered: make([]int32, n),
+		pos:       make([]int32, n),
+		n:         n,
+	}
+	for i := range d.uncovered {
+		d.uncovered[i] = int32(i)
+		d.pos[i] = int32(i)
+	}
+	if strategy == SeedHighDegree {
+		d.tried = ds.NewBitset(n)
+		d.byDegree = make([]int32, n)
+		for i := range d.byDegree {
+			d.byDegree[i] = int32(i)
+		}
+		sort.SliceStable(d.byDegree, func(i, j int) bool {
+			di, dj := g.Degree(d.byDegree[i]), g.Degree(d.byDegree[j])
+			if di != dj {
+				return di > dj
+			}
+			return d.byDegree[i] < d.byDegree[j]
+		})
+	}
+	return d
+}
+
+func (d *seedDriver) coverage() float64 {
+	if d.n == 0 {
+		return 1
+	}
+	return float64(d.covered.Len()) / float64(d.n)
+}
+
+// drawSeeds samples k seeds according to the strategy.
+func (d *seedDriver) drawSeeds(k int) []int32 {
+	switch d.strategy {
+	case SeedUniform:
+		seeds := make([]int32, k)
+		for i := range seeds {
+			seeds[i] = int32(d.rng.Intn(d.n))
+		}
+		return seeds
+	case SeedHighDegree:
+		seeds := make([]int32, 0, k)
+		for len(seeds) < k && d.cursor < len(d.byDegree) {
+			v := d.byDegree[d.cursor]
+			d.cursor++
+			if d.covered.Contains(v) || d.tried.Contains(v) {
+				continue
+			}
+			d.tried.Add(v)
+			seeds = append(seeds, v)
+		}
+		for len(seeds) < k { // pool exhausted: uniform fallback
+			seeds = append(seeds, int32(d.rng.Intn(d.n)))
+		}
+		return seeds
+	}
+	// SeedUncovered: without replacement from the uncovered pool while
+	// it lasts, then uniformly from all nodes.
+	seeds := make([]int32, 0, k)
+	// Reservoir of drawn uncovered seeds to restore afterwards (drawing
+	// without replacement within the batch, but not marking covered).
+	drawn := make([]int32, 0, k)
+	for len(seeds) < k && len(d.uncovered) > 0 {
+		i := d.rng.Intn(len(d.uncovered))
+		v := d.uncovered[i]
+		d.removeUncovered(v)
+		drawn = append(drawn, v)
+		seeds = append(seeds, v)
+	}
+	for _, v := range drawn {
+		d.pos[v] = int32(len(d.uncovered))
+		d.uncovered = append(d.uncovered, v)
+	}
+	for len(seeds) < k {
+		seeds = append(seeds, int32(d.rng.Intn(d.n)))
+	}
+	return seeds
+}
+
+// markCovered marks the members covered and returns how many of them
+// were previously uncovered.
+func (d *seedDriver) markCovered(members []int32) int {
+	novel := 0
+	for _, v := range members {
+		if d.covered.Add(v) {
+			novel++
+			d.removeUncovered(v)
+		}
+	}
+	return novel
+}
+
+func (d *seedDriver) removeUncovered(v int32) {
+	i := d.pos[v]
+	if i < 0 {
+		return
+	}
+	last := int32(len(d.uncovered) - 1)
+	moved := d.uncovered[last]
+	d.uncovered[i] = moved
+	d.pos[moved] = i
+	d.uncovered = d.uncovered[:last]
+	d.pos[v] = -1
+}

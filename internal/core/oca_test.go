@@ -1,0 +1,339 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+// twoCliquesBridge builds two K_k cliques joined by a single edge.
+// Nodes 0..k-1 form clique A, k..2k-1 form clique B, bridge {k-1, k}.
+func twoCliquesBridge(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for i := int32(0); i < int32(k); i++ {
+		for j := i + 1; j < int32(k); j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(int32(k)+i, int32(k)+j)
+		}
+	}
+	b.AddEdge(int32(k-1), int32(k))
+	return b.Build()
+}
+
+// overlappingCliques builds two K_k cliques sharing `shared` nodes.
+func overlappingCliques(k, shared int) *graph.Graph {
+	n := 2*k - shared
+	b := graph.NewBuilder(n)
+	// Clique A: 0..k-1. Clique B: k-shared..n-1.
+	for i := int32(0); i < int32(k); i++ {
+		for j := i + 1; j < int32(k); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	for i := int32(k - shared); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func TestRunOnTwoCliques(t *testing.T) {
+	g := twoCliquesBridge(6)
+	res, err := Run(g, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.C <= 0 || res.C >= 1 {
+		t.Fatalf("c=%v out of range", res.C)
+	}
+	want := cover.NewCover([]cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2, 3, 4, 5}),
+		cover.NewCommunity([]int32{6, 7, 8, 9, 10, 11}),
+	})
+	th := metrics.Theta(want, res.Cover)
+	if th < 0.95 {
+		t.Fatalf("Θ=%v, want ≥0.95; got cover %v", th, res.Cover.Communities)
+	}
+}
+
+func TestRunFindsOverlap(t *testing.T) {
+	g := overlappingCliques(8, 2)
+	res, err := Run(g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two shared nodes (ids 6 and 7) must belong to two communities.
+	idx := res.Cover.MembershipIndex(g.N())
+	if len(idx[6]) < 2 || len(idx[7]) < 2 {
+		t.Fatalf("shared nodes not overlapping: memberships %v / %v (cover %v)",
+			idx[6], idx[7], res.Cover.Communities)
+	}
+	want := cover.NewCover([]cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2, 3, 4, 5, 6, 7}),
+		cover.NewCommunity([]int32{6, 7, 8, 9, 10, 11, 12, 13}),
+	})
+	if th := metrics.Theta(want, res.Cover); th < 0.9 {
+		t.Fatalf("Θ=%v, want ≥0.9; cover %v", th, res.Cover.Communities)
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	g := twoCliquesBridge(8)
+	var covers []*cover.Cover
+	for _, workers := range []int{1, 4} {
+		res, err := Run(g, Options{Seed: 99, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		covers = append(covers, res.Cover)
+	}
+	if covers[0].Len() != covers[1].Len() {
+		t.Fatalf("worker counts changed community count: %d vs %d",
+			covers[0].Len(), covers[1].Len())
+	}
+	for i := range covers[0].Communities {
+		if !covers[0].Communities[i].Equal(covers[1].Communities[i]) {
+			t.Fatalf("community %d differs between 1 and 4 workers", i)
+		}
+	}
+}
+
+func TestRunEmptyAndEdgelessGraphs(t *testing.T) {
+	res, err := Run(graph.NewBuilder(0).Build(), Options{Seed: 1})
+	if err != nil || res.Cover.Len() != 0 {
+		t.Fatalf("empty graph: err=%v len=%d", err, res.Cover.Len())
+	}
+	// Edgeless: c = 0, all optima are singletons, dropped by MinCommunitySize.
+	res, err = Run(graph.NewBuilder(10).Build(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cover.Len() != 0 {
+		t.Fatalf("edgeless graph produced %d communities", res.Cover.Len())
+	}
+}
+
+func TestRunRejectsBadC(t *testing.T) {
+	g := twoCliquesBridge(4)
+	if _, err := Run(g, Options{Seed: 1, C: 1.5}); err == nil {
+		t.Fatal("expected error for c >= 1")
+	}
+	if _, err := Run(g, Options{Seed: 1, C: -0.2}); err == nil {
+		t.Fatal("expected error for negative c")
+	}
+}
+
+func TestRunHaltingMaxSeeds(t *testing.T) {
+	g := twoCliquesBridge(6)
+	res, err := Run(g, Options{
+		Seed:    3,
+		Halting: Halting{MaxSeeds: 2, TargetCoverage: 1, Patience: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeedsTried > 2 {
+		t.Fatalf("tried %d seeds, budget was 2", res.SeedsTried)
+	}
+}
+
+func TestRunMaxCommunitySize(t *testing.T) {
+	g := overlappingCliques(10, 0) // two disjoint K10s
+	res, err := Run(g, Options{Seed: 5, MaxCommunitySize: 4, DisableMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cover.Communities {
+		if len(c) > 4 {
+			t.Fatalf("community of size %d exceeds cap 4", len(c))
+		}
+	}
+}
+
+func TestFindCommunitySingleSeed(t *testing.T) {
+	g := twoCliquesBridge(6)
+	rng := xrand.New(11, 0)
+	c := 0.7
+	com, fit := FindCommunity(g, 0, c, rng, Options{})
+	if len(com) == 0 {
+		t.Fatal("empty community")
+	}
+	if fit <= 0 {
+		t.Fatalf("fitness=%v", fit)
+	}
+	// Seed 0 lives in clique A (nodes 0..5); the local optimum from it
+	// must contain the seed and stay within/near clique A.
+	if !com.Contains(0) {
+		t.Fatal("community lost its seed")
+	}
+	outside := 0
+	for _, v := range com {
+		if v >= 6 {
+			outside++
+		}
+	}
+	if outside > 1 {
+		t.Fatalf("community leaked into the other clique: %v", com)
+	}
+}
+
+// TestLocalOptimumIsStable: the set localSearch returns admits no
+// improving single move, checked exhaustively.
+func TestLocalOptimumIsStable(t *testing.T) {
+	g := overlappingCliques(7, 2)
+	c := 0.8
+	for seedNode := int32(0); seedNode < int32(g.N()); seedNode++ {
+		rng := xrand.New(21, int64(seedNode))
+		com, _ := FindCommunity(g, seedNode, c, rng, Options{})
+		member := map[int32]bool{}
+		for _, v := range com {
+			member[v] = true
+		}
+		s := len(com)
+		m := g.EdgesWithin([]int32(com), func(v int32) bool { return member[v] })
+		cur := L(s, m, c)
+		// No addition improves.
+		for v := int32(0); v < int32(g.N()); v++ {
+			if member[v] {
+				continue
+			}
+			var d int32
+			for _, w := range g.Neighbors(v) {
+				if member[w] {
+					d++
+				}
+			}
+			if d == 0 {
+				continue // not on the frontier
+			}
+			if L(s+1, m+int64(d), c) > cur+1e-9 {
+				t.Fatalf("seed %d: adding %d improves L", seedNode, v)
+			}
+		}
+		// No removal improves (when s > 1).
+		if s > 1 {
+			for _, v := range com {
+				var d int32
+				for _, w := range g.Neighbors(v) {
+					if member[w] {
+						d++
+					}
+				}
+				if L(s-1, m-int64(d), c) > cur+1e-9 {
+					t.Fatalf("seed %d: removing %d improves L", seedNode, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunWithOrphanAssignment(t *testing.T) {
+	// Two K6s plus a pendant node attached to clique A: the pendant is
+	// never a community member on its own but orphan assignment adopts it.
+	k := 6
+	b := graph.NewBuilder(2*k + 1)
+	for i := int32(0); i < int32(k); i++ {
+		for j := i + 1; j < int32(k); j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(int32(k)+i, int32(k)+j)
+		}
+	}
+	pendant := int32(2 * k)
+	b.AddEdge(0, pendant)
+	g := b.Build()
+	res, err := Run(g, Options{Seed: 8, AssignOrphans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Cover.Communities {
+		if c.Contains(pendant) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pendant node not assigned: %v", res.Cover.Communities)
+	}
+}
+
+func TestSeedStrategies(t *testing.T) {
+	g := twoCliquesBridge(8)
+	want := cover.NewCover([]cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2, 3, 4, 5, 6, 7}),
+		cover.NewCommunity([]int32{8, 9, 10, 11, 12, 13, 14, 15}),
+	})
+	for _, strat := range []SeedStrategy{SeedUncovered, SeedUniform, SeedHighDegree} {
+		res, err := Run(g, Options{Seed: 13, Seeding: strat})
+		if err != nil {
+			t.Fatalf("strategy %d: %v", strat, err)
+		}
+		if th := metrics.Theta(want, res.Cover); th < 0.9 {
+			t.Fatalf("strategy %d: Θ=%v, cover=%v", strat, th, res.Cover.Communities)
+		}
+	}
+}
+
+func TestSeedHighDegreeProbesHubsFirst(t *testing.T) {
+	// A star plus a triangle: the hub has the highest degree, so the
+	// first high-degree seed must be the hub (node 0).
+	b := graph.NewBuilder(10)
+	for i := int32(1); i <= 6; i++ {
+		b.AddEdge(0, i)
+	}
+	b.AddEdge(7, 8)
+	b.AddEdge(8, 9)
+	b.AddEdge(7, 9)
+	g := b.Build()
+	d := newSeedDriver(g, SeedHighDegree, xrand.New(1, 0))
+	seeds := d.drawSeeds(3)
+	if seeds[0] != 0 {
+		t.Fatalf("first high-degree seed %d, want hub 0", seeds[0])
+	}
+	// Seeds are consumed: the first n draws are distinct nodes.
+	total := append(seeds, d.drawSeeds(7)...)
+	distinct := map[int32]bool{}
+	for _, s := range total {
+		distinct[s] = true
+	}
+	if len(distinct) != 10 {
+		t.Fatalf("first 10 high-degree seeds not distinct: %v", total)
+	}
+}
+
+// TestRunDeterministicProperty: identical options always produce
+// identical covers across random graphs.
+func TestRunDeterministicProperty(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		rng := xrand.New(int64(trial), 0)
+		n := 10 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 5*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		opt := Options{Seed: int64(trial * 7), Workers: 3}
+		a, err := Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cover.Len() != c.Cover.Len() {
+			t.Fatalf("trial %d: nondeterministic community count", trial)
+		}
+		for i := range a.Cover.Communities {
+			if !a.Cover.Communities[i].Equal(c.Cover.Communities[i]) {
+				t.Fatalf("trial %d: community %d differs", trial, i)
+			}
+		}
+		if a.C != c.C || a.SeedsTried != c.SeedsTried {
+			t.Fatalf("trial %d: run stats differ", trial)
+		}
+	}
+}

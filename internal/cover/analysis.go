@@ -1,0 +1,78 @@
+package cover
+
+import (
+	"repro/internal/graph"
+)
+
+// Quality describes one community's structural quality in a graph —
+// the quantities a practitioner inspects before trusting a community:
+// internal density, boundary conductance, and average internal degree.
+type Quality struct {
+	Size          int
+	InternalEdges int64
+	// CutEdges counts edges with exactly one endpoint inside.
+	CutEdges int64
+	// Density is 2·InternalEdges / (Size·(Size−1)); 1 for a clique.
+	Density float64
+	// Conductance is CutEdges / min(vol, 2M − vol), the standard
+	// boundary sharpness measure; lower is better. Defined as 0 when
+	// the denominator vanishes.
+	Conductance float64
+	// AvgInternalDegree is 2·InternalEdges / Size.
+	AvgInternalDegree float64
+	// MixingRatio is CutEdges / vol: the community-local analogue of
+	// the LFR µ parameter.
+	MixingRatio float64
+}
+
+// Analyze computes Quality for one community in g.
+func Analyze(g *graph.Graph, c Community) Quality {
+	q := Quality{Size: len(c)}
+	if len(c) == 0 {
+		return q
+	}
+	member := make(map[int32]struct{}, len(c))
+	for _, v := range c {
+		member[v] = struct{}{}
+	}
+	var vol int64
+	for _, v := range c {
+		vol += int64(g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			if _, in := member[w]; in {
+				if w > v {
+					q.InternalEdges++
+				}
+			} else {
+				q.CutEdges++
+			}
+		}
+	}
+	if q.Size > 1 {
+		q.Density = 2 * float64(q.InternalEdges) / (float64(q.Size) * float64(q.Size-1))
+	}
+	q.AvgInternalDegree = 2 * float64(q.InternalEdges) / float64(q.Size)
+	if denom := min64(vol, 2*g.M()-vol); denom > 0 {
+		q.Conductance = float64(q.CutEdges) / float64(denom)
+	}
+	if vol > 0 {
+		q.MixingRatio = float64(q.CutEdges) / float64(vol)
+	}
+	return q
+}
+
+// AnalyzeCover computes Quality for every community of cv, in order.
+func AnalyzeCover(g *graph.Graph, cv *Cover) []Quality {
+	out := make([]Quality, cv.Len())
+	for i, c := range cv.Communities {
+		out[i] = Analyze(g, c)
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

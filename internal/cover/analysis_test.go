@@ -1,0 +1,138 @@
+package cover
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func clique(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func TestAnalyzeClique(t *testing.T) {
+	g := clique(6)
+	q := Analyze(g, NewCommunity([]int32{0, 1, 2, 3, 4, 5}))
+	if q.Size != 6 || q.InternalEdges != 15 || q.CutEdges != 0 {
+		t.Fatalf("%+v", q)
+	}
+	if q.Density != 1 || q.Conductance != 0 || q.MixingRatio != 0 {
+		t.Fatalf("%+v", q)
+	}
+	if q.AvgInternalDegree != 5 {
+		t.Fatalf("avg internal degree %v", q.AvgInternalDegree)
+	}
+}
+
+func TestAnalyzeHalfClique(t *testing.T) {
+	g := clique(6)
+	q := Analyze(g, NewCommunity([]int32{0, 1, 2}))
+	// Inside: triangle (3 edges); cut: each of 3 members has 3 outside
+	// neighbors.
+	if q.InternalEdges != 3 || q.CutEdges != 9 {
+		t.Fatalf("%+v", q)
+	}
+	// vol = 15, 2M - vol = 15 -> conductance = 9/15.
+	if math.Abs(q.Conductance-0.6) > 1e-12 {
+		t.Fatalf("conductance %v, want 0.6", q.Conductance)
+	}
+	if math.Abs(q.MixingRatio-0.6) > 1e-12 {
+		t.Fatalf("mixing %v, want 0.6", q.MixingRatio)
+	}
+	if q.Density != 1 {
+		t.Fatalf("density %v", q.Density)
+	}
+}
+
+func TestAnalyzeEdgeCases(t *testing.T) {
+	g := clique(4)
+	if q := Analyze(g, NewCommunity(nil)); q.Size != 0 || q.Density != 0 {
+		t.Fatalf("%+v", q)
+	}
+	q := Analyze(g, NewCommunity([]int32{0}))
+	if q.Size != 1 || q.Density != 0 || q.CutEdges != 3 {
+		t.Fatalf("singleton: %+v", q)
+	}
+	// Isolated node in a graph with other edges.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g2 := b.Build()
+	q = Analyze(g2, NewCommunity([]int32{2}))
+	if q.CutEdges != 0 || q.Conductance != 0 || q.MixingRatio != 0 {
+		t.Fatalf("isolated: %+v", q)
+	}
+}
+
+func TestAnalyzeCoverOrder(t *testing.T) {
+	g := clique(6)
+	cv := NewCover([]Community{
+		NewCommunity([]int32{0, 1, 2}),
+		NewCommunity([]int32{0, 1, 2, 3, 4, 5}),
+	})
+	qs := AnalyzeCover(g, cv)
+	if len(qs) != 2 || qs[0].Size != 3 || qs[1].Size != 6 {
+		t.Fatalf("%+v", qs)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := clique(4)
+	cv := NewCover([]Community{
+		NewCommunity([]int32{0, 1, 2}),
+		NewCommunity([]int32{2, 3}),
+	})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, cv, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph communities {",
+		"peripheries=2", // node 2 overlaps
+		"0 -- 1",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTUncovered(t *testing.T) {
+	g := clique(3)
+	cv := NewCover([]Community{NewCommunity([]int32{0, 1})})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, cv, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#d3d3d3") {
+		t.Fatal("uncovered node rendered without IncludeUncovered")
+	}
+	buf.Reset()
+	if err := WriteDOT(&buf, g, cv, DOTOptions{IncludeUncovered: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#d3d3d3") {
+		t.Fatal("uncovered node missing with IncludeUncovered")
+	}
+}
+
+func TestWriteDOTSizeLimit(t *testing.T) {
+	b := graph.NewBuilder(10)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, NewCover(nil), DOTOptions{MaxNodes: 5})
+	if err == nil {
+		t.Fatal("size limit not enforced")
+	}
+}

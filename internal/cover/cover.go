@@ -1,0 +1,222 @@
+// Package cover defines the community model shared by all algorithms: a
+// Community is a set of node ids, a Cover is a (possibly overlapping)
+// family of communities over a graph. Covers are the common currency
+// between the search algorithms, the post-processing steps, the quality
+// metrics and the file formats.
+package cover
+
+import (
+	"sort"
+)
+
+// Community is a set of node ids, stored sorted ascending without
+// duplicates. Construct one with NewCommunity (or sort/dedup manually
+// when the invariant is already guaranteed).
+type Community []int32
+
+// NewCommunity copies, sorts and deduplicates the given members.
+func NewCommunity(members []int32) Community {
+	c := make(Community, len(members))
+	copy(c, members)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	out := c[:0]
+	for i, v := range c {
+		if i > 0 && c[i-1] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Contains reports membership of v via binary search.
+func (c Community) Contains(v int32) bool {
+	i := sort.Search(len(c), func(i int) bool { return c[i] >= v })
+	return i < len(c) && c[i] == v
+}
+
+// IntersectionSize returns |c ∩ d| by merging the sorted member lists.
+func (c Community) IntersectionSize(d Community) int {
+	i, j, n := 0, 0, 0
+	for i < len(c) && j < len(d) {
+		switch {
+		case c[i] < d[j]:
+			i++
+		case c[i] > d[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Union returns the sorted union of c and d as a new Community.
+func (c Community) Union(d Community) Community {
+	out := make(Community, 0, len(c)+len(d))
+	i, j := 0, 0
+	for i < len(c) && j < len(d) {
+		switch {
+		case c[i] < d[j]:
+			out = append(out, c[i])
+			i++
+		case c[i] > d[j]:
+			out = append(out, d[j])
+			j++
+		default:
+			out = append(out, c[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, c[i:]...)
+	out = append(out, d[j:]...)
+	return out
+}
+
+// Equal reports whether c and d have identical members.
+func (c Community) Equal(d Community) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cover is a family of communities. Communities may overlap and need not
+// cover every node of the underlying graph.
+type Cover struct {
+	Communities []Community
+}
+
+// NewCover wraps the given communities (taking ownership).
+func NewCover(cs []Community) *Cover { return &Cover{Communities: cs} }
+
+// Len returns the number of communities.
+func (cv *Cover) Len() int { return len(cv.Communities) }
+
+// CoveredNodes returns the sorted set of nodes appearing in at least one
+// community.
+func (cv *Cover) CoveredNodes() []int32 {
+	seen := make(map[int32]struct{})
+	for _, c := range cv.Communities {
+		for _, v := range c {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Coverage returns the fraction of the n graph nodes covered by at least
+// one community.
+func (cv *Cover) Coverage(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(len(cv.CoveredNodes())) / float64(n)
+}
+
+// MembershipIndex returns, for each node id < n, the list of community
+// indices containing it. Useful for overlap analysis and inverted-index
+// style matching.
+func (cv *Cover) MembershipIndex(n int) [][]int32 {
+	idx := make([][]int32, n)
+	for ci, c := range cv.Communities {
+		for _, v := range c {
+			if int(v) < n {
+				idx[v] = append(idx[v], int32(ci))
+			}
+		}
+	}
+	return idx
+}
+
+// OverlapStats summarizes how much the cover overlaps.
+type OverlapStats struct {
+	Communities   int
+	MinSize       int
+	MaxSize       int
+	MeanSize      float64
+	CoveredNodes  int
+	OverlapNodes  int     // nodes in >= 2 communities
+	MeanMember    float64 // average memberships per covered node
+	MaxMembership int
+}
+
+// Stats computes OverlapStats for a graph with n nodes.
+func (cv *Cover) Stats(n int) OverlapStats {
+	st := OverlapStats{Communities: cv.Len()}
+	if cv.Len() == 0 {
+		return st
+	}
+	st.MinSize = len(cv.Communities[0])
+	total := 0
+	for _, c := range cv.Communities {
+		if len(c) < st.MinSize {
+			st.MinSize = len(c)
+		}
+		if len(c) > st.MaxSize {
+			st.MaxSize = len(c)
+		}
+		total += len(c)
+	}
+	st.MeanSize = float64(total) / float64(cv.Len())
+	counts := make(map[int32]int)
+	for _, c := range cv.Communities {
+		for _, v := range c {
+			counts[v]++
+		}
+	}
+	st.CoveredNodes = len(counts)
+	memberships := 0
+	for _, k := range counts {
+		memberships += k
+		if k >= 2 {
+			st.OverlapNodes++
+		}
+		if k > st.MaxMembership {
+			st.MaxMembership = k
+		}
+	}
+	if st.CoveredNodes > 0 {
+		st.MeanMember = float64(memberships) / float64(st.CoveredNodes)
+	}
+	return st
+}
+
+// Clone deep-copies the cover.
+func (cv *Cover) Clone() *Cover {
+	out := make([]Community, len(cv.Communities))
+	for i, c := range cv.Communities {
+		cc := make(Community, len(c))
+		copy(cc, c)
+		out[i] = cc
+	}
+	return &Cover{Communities: out}
+}
+
+// SortBySize orders communities by decreasing size (ties by first member)
+// for stable, readable output.
+func (cv *Cover) SortBySize() {
+	sort.SliceStable(cv.Communities, func(i, j int) bool {
+		a, b := cv.Communities[i], cv.Communities[j]
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		if len(a) == 0 {
+			return false
+		}
+		return a[0] < b[0]
+	})
+}

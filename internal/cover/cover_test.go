@@ -1,0 +1,202 @@
+package cover
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCommunitySortsAndDedups(t *testing.T) {
+	c := NewCommunity([]int32{5, 1, 3, 1, 5, 2})
+	want := Community{1, 2, 3, 5}
+	if !c.Equal(want) {
+		t.Fatalf("got %v, want %v", c, want)
+	}
+	if !c.Contains(3) || c.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestIntersectionAndUnion(t *testing.T) {
+	a := NewCommunity([]int32{1, 2, 3, 4})
+	b := NewCommunity([]int32{3, 4, 5})
+	if got := a.IntersectionSize(b); got != 2 {
+		t.Fatalf("intersection=%d, want 2", got)
+	}
+	u := a.Union(b)
+	if !u.Equal(NewCommunity([]int32{1, 2, 3, 4, 5})) {
+		t.Fatalf("union=%v", u)
+	}
+	empty := NewCommunity(nil)
+	if a.IntersectionSize(empty) != 0 || !a.Union(empty).Equal(a) {
+		t.Fatal("empty set identities broken")
+	}
+}
+
+// TestSetOpsMatchMaps cross-checks intersection/union against map-based
+// implementations on random sets.
+func TestSetOpsMatchMaps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() (Community, map[int32]bool) {
+			n := rng.Intn(40)
+			m := map[int32]bool{}
+			var vals []int32
+			for i := 0; i < n; i++ {
+				v := int32(rng.Intn(60))
+				m[v] = true
+				vals = append(vals, v)
+			}
+			return NewCommunity(vals), m
+		}
+		a, am := mk()
+		b, bm := mk()
+		inter := 0
+		union := map[int32]bool{}
+		for v := range am {
+			if bm[v] {
+				inter++
+			}
+			union[v] = true
+		}
+		for v := range bm {
+			union[v] = true
+		}
+		if a.IntersectionSize(b) != inter {
+			return false
+		}
+		u := a.Union(b)
+		if len(u) != len(union) {
+			return false
+		}
+		if !sort.SliceIsSorted(u, func(i, j int) bool { return u[i] < u[j] }) {
+			return false
+		}
+		for _, v := range u {
+			if !union[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverCoverageAndIndex(t *testing.T) {
+	cv := NewCover([]Community{
+		NewCommunity([]int32{0, 1, 2}),
+		NewCommunity([]int32{2, 3}),
+	})
+	if cv.Len() != 2 {
+		t.Fatalf("len=%d", cv.Len())
+	}
+	nodes := cv.CoveredNodes()
+	if len(nodes) != 4 {
+		t.Fatalf("covered=%v", nodes)
+	}
+	if got := cv.Coverage(8); got != 0.5 {
+		t.Fatalf("coverage=%g, want 0.5", got)
+	}
+	idx := cv.MembershipIndex(8)
+	if len(idx[2]) != 2 || len(idx[0]) != 1 || len(idx[7]) != 0 {
+		t.Fatalf("index=%v", idx)
+	}
+}
+
+func TestCoverStats(t *testing.T) {
+	cv := NewCover([]Community{
+		NewCommunity([]int32{0, 1, 2}),
+		NewCommunity([]int32{2, 3}),
+		NewCommunity([]int32{2, 4, 5, 6}),
+	})
+	st := cv.Stats(10)
+	if st.Communities != 3 || st.MinSize != 2 || st.MaxSize != 4 {
+		t.Fatalf("%+v", st)
+	}
+	if st.CoveredNodes != 7 || st.OverlapNodes != 1 || st.MaxMembership != 3 {
+		t.Fatalf("%+v", st)
+	}
+	if st.MeanSize != 3 {
+		t.Fatalf("mean size %g", st.MeanSize)
+	}
+	empty := NewCover(nil)
+	if s := empty.Stats(10); s.Communities != 0 || s.CoveredNodes != 0 {
+		t.Fatalf("empty stats %+v", s)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	cv := NewCover([]Community{NewCommunity([]int32{1, 2})})
+	cl := cv.Clone()
+	cl.Communities[0][0] = 99
+	if cv.Communities[0][0] == 99 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestSortBySize(t *testing.T) {
+	cv := NewCover([]Community{
+		NewCommunity([]int32{9}),
+		NewCommunity([]int32{0, 1, 2}),
+		NewCommunity([]int32{4, 5}),
+	})
+	cv.SortBySize()
+	if len(cv.Communities[0]) != 3 || len(cv.Communities[2]) != 1 {
+		t.Fatalf("sort order wrong: %v", cv.Communities)
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(10)
+		cs := make([]Community, 0, k)
+		for i := 0; i < k; i++ {
+			sz := 1 + rng.Intn(20)
+			m := make([]int32, sz)
+			for j := range m {
+				m[j] = int32(rng.Intn(100))
+			}
+			cs = append(cs, NewCommunity(m))
+		}
+		cv := NewCover(cs)
+		var buf bytes.Buffer
+		if err := Write(&buf, cv); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != cv.Len() {
+			return false
+		}
+		for i := range cs {
+			if !got.Communities[i].Equal(cs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 x 3\n")); err == nil {
+		t.Fatal("expected error for non-numeric member")
+	}
+	if _, err := Read(strings.NewReader("1 -2\n")); err == nil {
+		t.Fatal("expected error for negative member")
+	}
+	cv, err := Read(strings.NewReader("# empty\n\n"))
+	if err != nil || cv.Len() != 0 {
+		t.Fatalf("empty read: %v, len=%d", err, cv.Len())
+	}
+}

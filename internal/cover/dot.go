@@ -1,0 +1,94 @@
+package cover
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// DOTOptions configure WriteDOT.
+type DOTOptions struct {
+	// MaxNodes refuses to render graphs larger than this (Graphviz
+	// becomes useless far earlier). Default 2000.
+	MaxNodes int
+	// IncludeUncovered, when true, renders nodes outside every
+	// community (in gray); otherwise they are omitted along with their
+	// edges.
+	IncludeUncovered bool
+}
+
+// palette holds visually distinct fill colors; community i uses
+// palette[i % len(palette)].
+var palette = []string{
+	"#e6194b", "#3cb44b", "#ffe119", "#4363d8", "#f58231",
+	"#911eb4", "#46f0f0", "#f032e6", "#bcf60c", "#fabebe",
+	"#008080", "#e6beff", "#9a6324", "#fffac8", "#800000",
+	"#aaffc3", "#808000", "#ffd8b1", "#000075", "#808080",
+}
+
+// WriteDOT renders g with its cover as a Graphviz dot document: nodes
+// are filled with their first community's color, nodes in several
+// communities are drawn with double periphery (the overlap), and edges
+// inside a shared community inherit its color. It is how this
+// repository draws the paper's Figure 4 pictures.
+func WriteDOT(w io.Writer, g *graph.Graph, cv *Cover, opt DOTOptions) error {
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 2000
+	}
+	if g.N() > opt.MaxNodes {
+		return fmt.Errorf("cover: graph has %d nodes, above the DOT limit %d", g.N(), opt.MaxNodes)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph communities {")
+	fmt.Fprintln(bw, "  layout=neato; overlap=false; splines=true;")
+	fmt.Fprintln(bw, "  node [shape=circle, style=filled, fontsize=8, width=0.25, fixedsize=true];")
+
+	membership := cv.MembershipIndex(g.N())
+	for v := int32(0); v < int32(g.N()); v++ {
+		ms := membership[v]
+		if len(ms) == 0 {
+			if !opt.IncludeUncovered {
+				continue
+			}
+			fmt.Fprintf(bw, "  %d [fillcolor=\"#d3d3d3\"];\n", v)
+			continue
+		}
+		color := palette[int(ms[0])%len(palette)]
+		if len(ms) > 1 {
+			fmt.Fprintf(bw, "  %d [fillcolor=\"%s\", peripheries=2];\n", v, color)
+		} else {
+			fmt.Fprintf(bw, "  %d [fillcolor=\"%s\"];\n", v, color)
+		}
+	}
+	var err error
+	g.Edges(func(u, v int32) bool {
+		mu, mv := membership[u], membership[v]
+		if (len(mu) == 0 || len(mv) == 0) && !opt.IncludeUncovered {
+			return true
+		}
+		if shared, ok := firstShared(mu, mv); ok {
+			_, err = fmt.Fprintf(bw, "  %d -- %d [color=\"%s\"];\n", u, v, palette[int(shared)%len(palette)])
+		} else {
+			_, err = fmt.Fprintf(bw, "  %d -- %d [color=\"#cccccc\"];\n", u, v)
+		}
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func firstShared(a, b []int32) (int32, bool) {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return x, true
+			}
+		}
+	}
+	return 0, false
+}

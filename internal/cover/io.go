@@ -1,0 +1,67 @@
+package cover
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write serializes the cover as text: one community per line, members as
+// space-separated node ids. Lines starting with '#' are comments.
+func Write(w io.Writer, cv *Cover) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# communities %d\n", cv.Len()); err != nil {
+		return err
+	}
+	for _, c := range cv.Communities {
+		for i, v := range c {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(v))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format written by Write. Blank lines and '#' comments
+// are skipped; members on each line are sorted and deduplicated.
+func Read(r io.Reader) (*Cover, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var cs []Community
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		members := make([]int32, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("cover: line %d: bad node id %q: %v", lineNo, f, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("cover: line %d: negative node id %d", lineNo, v)
+			}
+			members = append(members, int32(v))
+		}
+		cs = append(cs, NewCommunity(members))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cover: reading: %v", err)
+	}
+	return NewCover(cs), nil
+}

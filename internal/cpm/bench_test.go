@@ -1,0 +1,55 @@
+package cpm
+
+import (
+	"testing"
+
+	"repro/internal/lfr"
+)
+
+func benchLFR(b *testing.B, n int) *lfr.Benchmark {
+	b.Helper()
+	bench, err := lfr.Generate(lfr.Params{
+		N: n, AvgDeg: 16, MaxDeg: 50, Mu: 0.2,
+		MinCom: 20, MaxCom: 60, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bench
+}
+
+// BenchmarkTrianglePercolation measures the fast k=3 path (forward
+// triangle enumeration + edge DSU).
+func BenchmarkTrianglePercolation(b *testing.B) {
+	bench := benchLFR(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(bench.Graph, Options{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCFinderPipeline measures the faithful CFinder path (maximal
+// cliques + quadratic overlap matrix) on a deliberately small graph —
+// its asymptotics are the point of the paper's Fig. 5.
+func BenchmarkCFinderPipeline(b *testing.B) {
+	bench := benchLFR(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCFinder(bench.Graph, Options{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneralK4 measures explicit 4-clique percolation.
+func BenchmarkGeneralK4(b *testing.B) {
+	bench := benchLFR(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(bench.Graph, Options{K: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

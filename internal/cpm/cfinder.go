@@ -1,0 +1,200 @@
+package cpm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// MaximalCliques enumerates all maximal cliques of g with Bron–Kerbosch
+// and pivoting, returned as sorted member slices. It aborts with an
+// error once more than maxCliques cliques are found (the count can be
+// exponential), or with ErrCanceled when cancel fires.
+func MaximalCliques(g *graph.Graph, maxCliques int, cancel func() bool) ([][]int32, error) {
+	if maxCliques <= 0 {
+		maxCliques = 5_000_000
+	}
+	var out [][]int32
+	n := g.N()
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	var r []int32
+	var bk func(r []int32, p, x []int32) error
+	bk = func(r []int32, p, x []int32) error {
+		if len(p) == 0 && len(x) == 0 {
+			if len(out) >= maxCliques {
+				return fmt.Errorf("cpm: maximal clique enumeration exceeded %d cliques", maxCliques)
+			}
+			if cancel != nil && len(out)%1024 == 0 && cancel() {
+				return ErrCanceled
+			}
+			clique := make([]int32, len(r))
+			copy(clique, r)
+			sort.Slice(clique, func(i, j int) bool { return clique[i] < clique[j] })
+			out = append(out, clique)
+			return nil
+		}
+		// Pivot: the vertex of P ∪ X with most neighbors in P.
+		pivot := int32(-1)
+		best := -1
+		for _, cand := range [][]int32{p, x} {
+			for _, u := range cand {
+				cnt := intersectCount(p, g.Neighbors(u))
+				if cnt > best {
+					best, pivot = cnt, u
+				}
+			}
+		}
+		pivotNb := g.Neighbors(pivot)
+		// Iterate over a copy: p mutates during the loop.
+		cands := subtractSorted(p, pivotNb)
+		for _, v := range cands {
+			nb := g.Neighbors(v)
+			if err := bk(append(r, v), intersectSorted(p, nb), intersectSorted(x, nb)); err != nil {
+				return err
+			}
+			p = removeSorted(p, v)
+			x = insertSorted(x, v)
+		}
+		return nil
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if cancel != nil && cancel() {
+		return nil, ErrCanceled
+	}
+	if err := bk(r, p, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunCFinder reproduces the CFinder tool's method (Palla et al. 2005):
+// enumerate all maximal cliques, keep those of size ≥ k, and connect two
+// of them when they share at least k−1 nodes; communities are the node
+// unions of the connected components. This is provably equivalent to
+// k-clique percolation (Run), but its clique–clique overlap phase is
+// quadratic in the number of maximal cliques — the cost that makes
+// CFinder "prohibitively slow" on large graphs in the paper's Fig. 5.
+func RunCFinder(g *graph.Graph, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if opt.K < 3 {
+		return nil, fmt.Errorf("cpm: k=%d, need k >= 3", opt.K)
+	}
+	all, err := MaximalCliques(g, opt.MaxCliques, opt.Cancel)
+	if err != nil {
+		return nil, err
+	}
+	var cliques [][]int32
+	for _, c := range all {
+		if len(c) >= opt.K {
+			cliques = append(cliques, c)
+		}
+	}
+	dsu := ds.NewDSU(len(cliques))
+	// The quadratic clique-clique overlap matrix: this is the faithful
+	// CFinder bottleneck; do not "optimize" it away, Fig. 5 measures it.
+	for i := 0; i < len(cliques); i++ {
+		if opt.Cancel != nil && i%256 == 0 && opt.Cancel() {
+			return nil, ErrCanceled
+		}
+		for j := i + 1; j < len(cliques); j++ {
+			if dsu.Same(i, j) {
+				continue
+			}
+			if intersectCount(cliques[i], cliques[j]) >= opt.K-1 {
+				dsu.Union(i, j)
+			}
+		}
+	}
+	groups := map[int]map[int32]struct{}{}
+	for i, c := range cliques {
+		root := dsu.Find(i)
+		set, ok := groups[root]
+		if !ok {
+			set = make(map[int32]struct{})
+			groups[root] = set
+		}
+		for _, v := range c {
+			set[v] = struct{}{}
+		}
+	}
+	return &Result{Cover: coverFromSets(groups), Cliques: int64(len(cliques))}, nil
+}
+
+// intersectCount returns |a ∩ b| for sorted slices.
+func intersectCount(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// intersectSorted returns a ∩ b as a new sorted slice.
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// subtractSorted returns a \ b as a new sorted slice.
+func subtractSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j >= len(b) || b[j] != a[i] {
+			out = append(out, a[i])
+		}
+		i++
+	}
+	return out
+}
+
+// removeSorted removes v from sorted slice a in place (a must contain v
+// at most once).
+func removeSorted(a []int32, v int32) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	if i < len(a) && a[i] == v {
+		return append(a[:i], a[i+1:]...)
+	}
+	return a
+}
+
+// insertSorted inserts v into sorted slice a keeping order.
+func insertSorted(a []int32, v int32) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = v
+	return a
+}

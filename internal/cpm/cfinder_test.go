@@ -1,0 +1,213 @@
+package cpm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestMaximalCliquesKnown(t *testing.T) {
+	// K4: exactly one maximal clique.
+	cl, err := MaximalCliques(complete(4), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl) != 1 || len(cl[0]) != 4 {
+		t.Fatalf("K4 maximal cliques: %v", cl)
+	}
+	// C5 (5-cycle): five maximal cliques, all edges.
+	b := graph.NewBuilder(5)
+	for i := int32(0); i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)
+	}
+	cl, err = MaximalCliques(b.Build(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl) != 5 {
+		t.Fatalf("C5 maximal cliques: %d, want 5", len(cl))
+	}
+	for _, c := range cl {
+		if len(c) != 2 {
+			t.Fatalf("C5 clique size %d, want 2", len(c))
+		}
+	}
+}
+
+// TestMaximalCliquesMatchBrute compares against brute-force subset
+// enumeration on random graphs.
+func TestMaximalCliquesMatchBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		got, err := MaximalCliques(g, 0, nil)
+		if err != nil {
+			return false
+		}
+		want := bruteMaximalCliques(g)
+		if len(got) != len(want) {
+			return false
+		}
+		key := func(c []int32) string {
+			s := ""
+			for _, v := range c {
+				s += string(rune(v)) + ","
+			}
+			return s
+		}
+		seen := map[string]bool{}
+		for _, c := range got {
+			seen[key(c)] = true
+		}
+		for _, c := range want {
+			if !seen[key(c)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteMaximalCliques(g *graph.Graph) [][]int32 {
+	n := g.N()
+	isClique := func(mask uint) bool {
+		var nodes []int32
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				nodes = append(nodes, int32(v))
+			}
+		}
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if !g.HasEdge(nodes[i], nodes[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var cliqueMasks []uint
+	for mask := uint(1); mask < 1<<uint(n); mask++ {
+		if isClique(mask) {
+			cliqueMasks = append(cliqueMasks, mask)
+		}
+	}
+	var out [][]int32
+	for _, m := range cliqueMasks {
+		maximal := true
+		for _, m2 := range cliqueMasks {
+			if m2 != m && m2&m == m {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			var nodes []int32
+			for v := 0; v < n; v++ {
+				if m&(1<<uint(v)) != 0 {
+					nodes = append(nodes, int32(v))
+				}
+			}
+			out = append(out, nodes)
+		}
+	}
+	return out
+}
+
+// TestCFinderMatchesPercolation: the CFinder maximal-clique method and
+// direct k-clique percolation must produce identical covers (Palla et
+// al.'s equivalence) for k = 3 and 4 on random graphs.
+func TestCFinderMatchesPercolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		for _, k := range []int{3, 4} {
+			viaCPM, err := Run(g, Options{K: k})
+			if err != nil {
+				return false
+			}
+			viaCF, err := RunCFinder(g, Options{K: k})
+			if err != nil {
+				return false
+			}
+			if viaCPM.Cover.Len() != viaCF.Cover.Len() {
+				return false
+			}
+			for i := range viaCPM.Cover.Communities {
+				if !viaCPM.Cover.Communities[i].Equal(viaCF.Cover.Communities[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCFinderGuards(t *testing.T) {
+	if _, err := RunCFinder(complete(4), Options{K: 2}); err == nil {
+		t.Fatal("expected k error")
+	}
+	if _, err := MaximalCliques(complete(20), 0, nil); err != nil {
+		t.Fatalf("K20 has a single maximal clique: %v", err)
+	}
+}
+
+func TestSortedSetHelpers(t *testing.T) {
+	a := []int32{1, 3, 5, 7}
+	b := []int32{3, 4, 5}
+	if got := intersectCount(a, b); got != 2 {
+		t.Fatalf("intersectCount=%d", got)
+	}
+	inter := intersectSorted(a, b)
+	if len(inter) != 2 || inter[0] != 3 || inter[1] != 5 {
+		t.Fatalf("intersectSorted=%v", inter)
+	}
+	sub := subtractSorted(a, b)
+	if len(sub) != 2 || sub[0] != 1 || sub[1] != 7 {
+		t.Fatalf("subtractSorted=%v", sub)
+	}
+	rm := removeSorted(append([]int32{}, a...), 5)
+	if len(rm) != 3 || rm[2] != 7 {
+		t.Fatalf("removeSorted=%v", rm)
+	}
+	ins := insertSorted(append([]int32{}, a...), 4)
+	if !sort.SliceIsSorted(ins, func(i, j int) bool { return ins[i] < ins[j] }) || len(ins) != 5 {
+		t.Fatalf("insertSorted=%v", ins)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	// A cancel that fires immediately aborts both phases.
+	always := func() bool { return true }
+	if _, err := MaximalCliques(complete(10), 0, always); err != ErrCanceled {
+		t.Fatalf("err=%v, want ErrCanceled", err)
+	}
+	if _, err := RunCFinder(complete(10), Options{K: 3, Cancel: always}); err != ErrCanceled {
+		t.Fatalf("err=%v, want ErrCanceled", err)
+	}
+	// A cancel that never fires leaves the result intact.
+	never := func() bool { return false }
+	res, err := RunCFinder(complete(10), Options{K: 3, Cancel: never})
+	if err != nil || res.Cover.Len() != 1 {
+		t.Fatalf("err=%v len=%d", err, res.Cover.Len())
+	}
+}

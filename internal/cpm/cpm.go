@@ -1,0 +1,271 @@
+// Package cpm implements the CFinder baseline (Palla et al. 2005):
+// k-clique percolation. Two k-cliques are adjacent when they share k−1
+// nodes; a community is the union of the nodes of a connected component
+// of that clique adjacency. The paper runs CFinder with k = 3 (the value
+// that "yielded the best results"), for which a fast triangle/edge
+// percolation path exists; general k ≥ 3 is supported through explicit
+// clique enumeration.
+package cpm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// Options configure a Run.
+type Options struct {
+	// K is the clique size. Default 3 (the paper's choice).
+	K int
+	// MaxCliques aborts the general-k enumeration when the graph holds
+	// more cliques than this, as CFinder's clique phase is exponential in
+	// the worst case ("prohibitive for large graphs", as the paper puts
+	// it). Default 5,000,000. The k=3 path streams triangles and ignores
+	// this limit.
+	MaxCliques int
+	// Cancel, when non-nil, is polled periodically by the expensive
+	// phases (clique enumeration and the CFinder overlap matrix); when
+	// it returns true the run aborts with ErrCanceled. The timing
+	// harness uses it to enforce its per-run budget, mirroring the
+	// paper's "prohibitively slow ... so we discard it".
+	Cancel func() bool
+}
+
+// ErrCanceled is returned when Options.Cancel fired mid-run.
+var ErrCanceled = errors.New("cpm: run canceled")
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 3
+	}
+	if o.MaxCliques <= 0 {
+		o.MaxCliques = 5_000_000
+	}
+	return o
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	Cover *cover.Cover
+	// Cliques is the number of k-cliques found.
+	Cliques int64
+}
+
+// Run executes k-clique percolation on g.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if opt.K < 3 {
+		return nil, fmt.Errorf("cpm: k=%d, need k >= 3", opt.K)
+	}
+	if opt.K == 3 {
+		return runTriangles(g), nil
+	}
+	return runGeneral(g, opt)
+}
+
+// runTriangles is the k=3 fast path: 3-cliques are triangles and two
+// triangles are adjacent iff they share an edge, so percolation is a DSU
+// over edge ids with one union pair per triangle.
+func runTriangles(g *graph.Graph) *Result {
+	idx := newEdgeIndex(g)
+	dsu := ds.NewDSU(int(idx.m))
+	inTriangle := make([]bool, idx.m)
+	var cliques int64
+	graph.ForEachTriangle(g, func(a, b, c int32) {
+		cliques++
+		e1 := idx.id(a, b)
+		e2 := idx.id(b, c)
+		e3 := idx.id(a, c)
+		inTriangle[e1] = true
+		inTriangle[e2] = true
+		inTriangle[e3] = true
+		dsu.Union(int(e1), int(e2))
+		dsu.Union(int(e1), int(e3))
+	})
+
+	// Gather community node sets per percolation component.
+	groups := map[int]map[int32]struct{}{}
+	eid := int32(0)
+	g.Edges(func(u, v int32) bool {
+		if inTriangle[eid] {
+			root := dsu.Find(int(eid))
+			set, ok := groups[root]
+			if !ok {
+				set = make(map[int32]struct{})
+				groups[root] = set
+			}
+			set[u] = struct{}{}
+			set[v] = struct{}{}
+		}
+		eid++
+		return true
+	})
+	return &Result{Cover: coverFromSets(groups), Cliques: cliques}
+}
+
+// edgeIndex maps an undirected edge (u<v) to a dense id: edges are
+// numbered in the order Edges visits them. id(u,v) recovers the id with
+// a binary search over u's adjacency.
+type edgeIndex struct {
+	g    *graph.Graph
+	base []int64 // base[u] = number of edges (x,y), x<y, with x<u
+	m    int64
+}
+
+func newEdgeIndex(g *graph.Graph) *edgeIndex {
+	n := g.N()
+	base := make([]int64, n+1)
+	for u := int32(0); u < int32(n); u++ {
+		nb := g.Neighbors(u)
+		// Count neighbors greater than u.
+		i := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
+		base[u+1] = base[u] + int64(len(nb)-i)
+	}
+	return &edgeIndex{g: g, base: base, m: base[n]}
+}
+
+// id returns the dense id of edge {a, b}; the edge must exist.
+func (e *edgeIndex) id(a, b int32) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	nb := e.g.Neighbors(a)
+	lo := sort.Search(len(nb), func(i int) bool { return nb[i] > a })
+	j := sort.Search(len(nb), func(i int) bool { return nb[i] >= b })
+	return e.base[a] + int64(j-lo)
+}
+
+// runGeneral enumerates all k-cliques and percolates components through
+// shared (k−1)-subsets.
+func runGeneral(g *graph.Graph, opt Options) (*Result, error) {
+	cliques, err := enumerateCliques(g, opt.K, opt.MaxCliques)
+	if err != nil {
+		return nil, err
+	}
+	nc := len(cliques) / opt.K
+	dsu := ds.NewDSU(nc)
+	// Bucket cliques by each (k−1)-subset; union within buckets.
+	buckets := make(map[string]int, nc*opt.K)
+	key := make([]byte, 4*(opt.K-1))
+	sub := make([]int32, opt.K-1)
+	for ci := 0; ci < nc; ci++ {
+		cl := cliques[ci*opt.K : (ci+1)*opt.K]
+		for drop := 0; drop < opt.K; drop++ {
+			sub = sub[:0]
+			for i, v := range cl {
+				if i != drop {
+					sub = append(sub, v)
+				}
+			}
+			for i, v := range sub {
+				binary.LittleEndian.PutUint32(key[4*i:], uint32(v))
+			}
+			if first, ok := buckets[string(key)]; ok {
+				dsu.Union(first, ci)
+			} else {
+				buckets[string(key)] = ci
+			}
+		}
+	}
+	groups := map[int]map[int32]struct{}{}
+	for ci := 0; ci < nc; ci++ {
+		root := dsu.Find(ci)
+		set, ok := groups[root]
+		if !ok {
+			set = make(map[int32]struct{})
+			groups[root] = set
+		}
+		for _, v := range cliques[ci*opt.K : (ci+1)*opt.K] {
+			set[v] = struct{}{}
+		}
+	}
+	return &Result{Cover: coverFromSets(groups), Cliques: int64(nc)}, nil
+}
+
+// enumerateCliques lists all k-cliques of g as a flat slice of node ids
+// (k consecutive ids per clique, ascending within each clique). It uses
+// the ordered expansion: extend partial cliques only with higher-id
+// common neighbors.
+func enumerateCliques(g *graph.Graph, k, maxCliques int) ([]int32, error) {
+	var out []int32
+	stack := make([]int32, 0, k)
+	// cand holds, per recursion depth, the sorted candidate extension set.
+	var expand func(cands []int32) error
+	expand = func(cands []int32) error {
+		if len(stack) == k {
+			if len(out)/k >= maxCliques {
+				return fmt.Errorf("cpm: clique enumeration exceeded MaxCliques=%d", maxCliques)
+			}
+			out = append(out, stack...)
+			return nil
+		}
+		need := k - len(stack)
+		for i, v := range cands {
+			if len(cands)-i < need {
+				break // not enough candidates left
+			}
+			// New candidates: cands after v that are neighbors of v.
+			var next []int32
+			for _, w := range cands[i+1:] {
+				if g.HasEdge(v, w) {
+					next = append(next, w)
+				}
+			}
+			stack = append(stack, v)
+			err := expand(next)
+			stack = stack[:len(stack)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n := g.N()
+	for v := int32(0); v < int32(n); v++ {
+		var cands []int32
+		for _, w := range g.Neighbors(v) {
+			if w > v {
+				cands = append(cands, w)
+			}
+		}
+		stack = append(stack, v)
+		err := expand(cands)
+		stack = stack[:0]
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func coverFromSets(groups map[int]map[int32]struct{}) *cover.Cover {
+	cs := make([]cover.Community, 0, len(groups))
+	for _, set := range groups {
+		members := make([]int32, 0, len(set))
+		for v := range set {
+			members = append(members, v)
+		}
+		cs = append(cs, cover.NewCommunity(members))
+	}
+	cv := cover.NewCover(cs)
+	// Canonical order: by decreasing size, then lexicographically, so
+	// results are deterministic despite map iteration.
+	sort.SliceStable(cv.Communities, func(i, j int) bool {
+		a, b := cv.Communities[i], cv.Communities[j]
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return cv
+}

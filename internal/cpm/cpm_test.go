@@ -1,0 +1,233 @@
+package cpm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+func buildGraph(n int, edges [][2]int32) *graph.Graph {
+	return graph.FromEdges(n, edges)
+}
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func TestTwoTrianglesSharingEdge(t *testing.T) {
+	// Triangles {0,1,2} and {1,2,3} share edge {1,2}: one community.
+	g := buildGraph(4, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}})
+	res, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cliques != 2 {
+		t.Fatalf("cliques=%d, want 2", res.Cliques)
+	}
+	if res.Cover.Len() != 1 {
+		t.Fatalf("communities=%d, want 1", res.Cover.Len())
+	}
+	if !res.Cover.Communities[0].Equal(cover.NewCommunity([]int32{0, 1, 2, 3})) {
+		t.Fatalf("community=%v", res.Cover.Communities[0])
+	}
+}
+
+func TestTwoTrianglesSharingNode(t *testing.T) {
+	// Triangles {0,1,2} and {2,3,4} share only node 2: two communities
+	// overlapping at node 2 — the canonical CPM overlap example.
+	g := buildGraph(5, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}})
+	res, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cover.Len() != 2 {
+		t.Fatalf("communities=%d, want 2: %v", res.Cover.Len(), res.Cover.Communities)
+	}
+	idx := res.Cover.MembershipIndex(5)
+	if len(idx[2]) != 2 {
+		t.Fatalf("node 2 memberships=%v, want 2", idx[2])
+	}
+}
+
+func TestEdgeNotInTriangleExcluded(t *testing.T) {
+	// Triangle {0,1,2} plus pendant edge {2,3}: node 3 in no community.
+	g := buildGraph(4, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	res, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cover.Len() != 1 {
+		t.Fatalf("communities=%d, want 1", res.Cover.Len())
+	}
+	if res.Cover.Communities[0].Contains(3) {
+		t.Fatal("pendant node should be in no community")
+	}
+}
+
+func TestTriangleFreeGraph(t *testing.T) {
+	// A 4-cycle has no triangles: no communities.
+	g := buildGraph(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	res, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cover.Len() != 0 || res.Cliques != 0 {
+		t.Fatalf("cliques=%d communities=%d, want 0,0", res.Cliques, res.Cover.Len())
+	}
+}
+
+func TestKMustBeAtLeast3(t *testing.T) {
+	if _, err := Run(complete(4), Options{K: 2}); err == nil {
+		t.Fatal("expected error for k=2")
+	}
+}
+
+func TestGeneralK4OnTwoK5s(t *testing.T) {
+	// Two K5s sharing 2 nodes: k=4 percolation keeps them separate
+	// (no K4 spans the 2-node cut... K4 needs 4 nodes; any K4 within the
+	// union lies inside one K5 because only 2 shared nodes exist), but
+	// k=3 merges them (triangles through the shared pair chain both
+	// sides when the shared nodes are adjacent).
+	k, shared := 5, 2
+	n := 2*k - shared
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(k); i++ {
+		for j := i + 1; j < int32(k); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	for i := int32(k - shared); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+	res3, err := Run(g, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Cover.Len() != 1 {
+		t.Fatalf("k=3 communities=%d, want 1 (merged)", res3.Cover.Len())
+	}
+	res4, err := Run(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Cover.Len() != 2 {
+		t.Fatalf("k=4 communities=%d, want 2: %v", res4.Cover.Len(), res4.Cover.Communities)
+	}
+	idx := res4.Cover.MembershipIndex(n)
+	for v := int32(k - shared); v < int32(k); v++ {
+		if len(idx[v]) != 2 {
+			t.Fatalf("shared node %d memberships=%d, want 2", v, len(idx[v]))
+		}
+	}
+}
+
+func TestCliqueCountsOnCompleteGraphs(t *testing.T) {
+	// K6 has C(6,3)=20 triangles, C(6,4)=15 4-cliques, C(6,5)=6 5-cliques.
+	g := complete(6)
+	for _, tc := range []struct {
+		k    int
+		want int64
+	}{{3, 20}, {4, 15}, {5, 6}} {
+		res, err := Run(g, Options{K: tc.k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cliques != tc.want {
+			t.Fatalf("k=%d cliques=%d, want %d", tc.k, res.Cliques, tc.want)
+		}
+		if res.Cover.Len() != 1 {
+			t.Fatalf("k=%d communities=%d, want 1", tc.k, res.Cover.Len())
+		}
+	}
+}
+
+func TestMaxCliquesGuard(t *testing.T) {
+	if _, err := Run(complete(12), Options{K: 4, MaxCliques: 10}); err == nil {
+		t.Fatal("expected MaxCliques error")
+	}
+}
+
+// TestTrianglePathMatchesGeneralK3 cross-validates the fast edge-DSU path
+// against the general clique enumeration on random graphs.
+func TestTrianglePathMatchesGeneralK3(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(25)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		fast := runTriangles(g)
+		slow, err := runGeneral(g, Options{K: 3, MaxCliques: 1 << 20})
+		if err != nil {
+			return false
+		}
+		if fast.Cliques != slow.Cliques || fast.Cover.Len() != slow.Cover.Len() {
+			return false
+		}
+		for i := range fast.Cover.Communities {
+			if !fast.Cover.Communities[i].Equal(slow.Cover.Communities[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeIndexBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		idx := newEdgeIndex(g)
+		seen := map[int64]bool{}
+		ok := true
+		var count int64
+		g.Edges(func(u, v int32) bool {
+			id := idx.id(u, v)
+			if id < 0 || id >= idx.m || seen[id] {
+				ok = false
+				return false
+			}
+			// Symmetric lookup must agree.
+			if idx.id(v, u) != id {
+				ok = false
+				return false
+			}
+			seen[id] = true
+			count++
+			return true
+		})
+		return ok && count == idx.m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Run(graph.NewBuilder(0).Build(), Options{})
+	if err != nil || res.Cover.Len() != 0 {
+		t.Fatalf("empty: %v, %d", err, res.Cover.Len())
+	}
+}

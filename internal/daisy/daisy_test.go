@@ -1,0 +1,211 @@
+package daisy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMembershipRules(t *testing.T) {
+	d := Params{P: 5, Q: 7, N: 100, Alpha: 1, Beta: 1}
+	for v := 0; v < d.N; v++ {
+		petal, inCore := Membership(d, v)
+		if v%d.P == 0 {
+			if petal != 0 || !inCore {
+				t.Fatalf("v=%d: multiples of p are core-only, got petal=%d core=%v", v, petal, inCore)
+			}
+			continue
+		}
+		if petal != v%d.P {
+			t.Fatalf("v=%d: petal=%d, want %d", v, petal, v%d.P)
+		}
+		if (v%d.Q == 0) != inCore {
+			t.Fatalf("v=%d: core=%v, want %v", v, inCore, v%d.Q == 0)
+		}
+	}
+	// v=35: 35%5=0 -> core only. v=14: 14%7=0, 14%5=4 -> petal 4 AND core.
+	if petal, inCore := Membership(d, 14); petal != 4 || !inCore {
+		t.Fatalf("v=14 should overlap petal 4 and core, got %d/%v", petal, inCore)
+	}
+}
+
+func TestSingleDaisyStructure(t *testing.T) {
+	d := Params{P: 5, Q: 7, N: 100, Alpha: 1, Beta: 1}
+	bench, err := Generate(TreeParams{Daisy: d, K: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Flowers != 1 {
+		t.Fatalf("flowers=%d", bench.Flowers)
+	}
+	// p communities: p-1 petals + core.
+	if bench.Communities.Len() != d.P {
+		t.Fatalf("communities=%d, want %d", bench.Communities.Len(), d.P)
+	}
+	// With α=β=1 each community is a clique.
+	g := bench.Graph
+	for ci, c := range bench.Communities.Communities {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !g.HasEdge(c[i], c[j]) {
+					t.Fatalf("community %d not a clique at α=β=1: missing %d-%d", ci, c[i], c[j])
+				}
+			}
+		}
+	}
+	// Overlap nodes exist: v ≡ 0 mod 7, v ≢ 0 mod 5 (7, 14, 21, 28, ...).
+	idx := bench.Communities.MembershipIndex(g.N())
+	if len(idx[7]) != 2 || len(idx[14]) != 2 {
+		t.Fatalf("nodes 7/14 should be in two communities, got %d/%d", len(idx[7]), len(idx[14]))
+	}
+	if len(idx[35]) != 1 {
+		t.Fatalf("node 35 (0 mod 5 and 0 mod 7) should be core-only, got %d", len(idx[35]))
+	}
+	// No edges between distinct petals (modulo the core cliques):
+	// nodes 1 and 2 are in petals 1 and 2 and not in the core.
+	if g.HasEdge(1, 2) {
+		t.Fatal("nodes of different petals must not be adjacent")
+	}
+}
+
+func TestEdgeProbability(t *testing.T) {
+	// α=0.5 petals: realized density should be near 0.5.
+	d := Params{P: 3, Q: 1000003, N: 3000, Alpha: 0.5, Beta: 0} // prime q > n: no overlap
+	bench, err := Generate(TreeParams{Daisy: d, K: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each petal has ~1000 nodes -> ~C(1000,2)·0.5 edges.
+	com := bench.Communities.Communities[0] // first petal
+	var within int64
+	member := map[int32]bool{}
+	for _, v := range com {
+		member[v] = true
+	}
+	within = bench.Graph.EdgesWithin([]int32(com), func(v int32) bool { return member[v] })
+	possible := float64(len(com)) * float64(len(com)-1) / 2
+	density := float64(within) / possible
+	if math.Abs(density-0.5) > 0.03 {
+		t.Fatalf("petal density %.3f, want ≈0.5", density)
+	}
+}
+
+func TestTreeAttachment(t *testing.T) {
+	// Coprime p, q: every petal shares a node with the core, so a single
+	// flower is connected and γ-attachments connect the whole tree.
+	// (DefaultParams uses gcd(p,q)=2, where odd petals legitimately
+	// float free of the core — the construction never promises
+	// connectivity.)
+	d := Params{P: 5, Q: 7, N: 100, Alpha: 0.7, Beta: 0.5}
+	bench, err := Generate(TreeParams{Daisy: d, K: 4, Gamma: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Flowers != 5 {
+		t.Fatalf("flowers=%d", bench.Flowers)
+	}
+	if bench.Graph.N() != 5*d.N {
+		t.Fatalf("n=%d, want %d", bench.Graph.N(), 5*d.N)
+	}
+	if bench.Communities.Len() != 5*d.P {
+		t.Fatalf("communities=%d, want %d", bench.Communities.Len(), 5*d.P)
+	}
+	// The tree must be connected across flowers: some edge crosses a
+	// flower boundary.
+	cross := false
+	bench.Graph.Edges(func(u, v int32) bool {
+		if int(u)/d.N != int(v)/d.N {
+			cross = true
+			return false
+		}
+		return true
+	})
+	if !cross {
+		t.Fatal("no attachment edges between flowers")
+	}
+	// Whole tree forms one connected component (γ high enough here).
+	if _, count := graph.Components(bench.Graph); count != 1 {
+		t.Fatalf("components=%d, want 1", count)
+	}
+}
+
+func TestGenerateToSize(t *testing.T) {
+	d := DefaultParams()
+	bench, err := GenerateToSize(d, DefaultGamma, 950, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Graph.N() < 950 || bench.Graph.N() >= 950+d.N {
+		t.Fatalf("n=%d, want within one flower above 950", bench.Graph.N())
+	}
+	// Smaller than one flower clamps to one flower.
+	bench, err = GenerateToSize(d, DefaultGamma, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Flowers != 1 {
+		t.Fatalf("flowers=%d, want 1", bench.Flowers)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []TreeParams{
+		{Daisy: Params{P: 2, Q: 7, N: 100, Alpha: 0.5, Beta: 0.5}},
+		{Daisy: Params{P: 5, Q: 1, N: 100, Alpha: 0.5, Beta: 0.5}},
+		{Daisy: Params{P: 5, Q: 7, N: 5, Alpha: 0.5, Beta: 0.5}},
+		{Daisy: Params{P: 5, Q: 7, N: 100, Alpha: 1.5, Beta: 0.5}},
+		{Daisy: DefaultParams(), K: -1},
+		{Daisy: DefaultParams(), Gamma: 2},
+	}
+	for i, tp := range bad {
+		if _, err := Generate(tp); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tp := TreeParams{Daisy: DefaultParams(), K: 3, Gamma: 0.1, Seed: 9}
+	a, err := Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.M() != b.Graph.M() {
+		t.Fatalf("edge counts differ: %d vs %d", a.Graph.M(), b.Graph.M())
+	}
+	same := true
+	a.Graph.Edges(func(u, v int32) bool {
+		if !b.Graph.HasEdge(u, v) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if !same {
+		t.Fatal("same seed, different graphs")
+	}
+}
+
+func TestPaperScaleDensity(t *testing.T) {
+	// Table I reports the 1e5-node daisy with ≈4e5 edges. Our defaults
+	// are denser; this test pins the Table-I configuration used by the
+	// harness (sparser petals on larger flowers) to the paper's density
+	// within a factor ~2.
+	if testing.Short() {
+		t.Skip("large generation in -short mode")
+	}
+	d := TableIParams()
+	bench, err := GenerateToSize(d, DefaultGamma, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(bench.Graph.M()) / float64(bench.Graph.N())
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("edges/nodes=%.2f, want ≈4 (Table I)", ratio)
+	}
+}

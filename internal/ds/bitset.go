@@ -1,0 +1,74 @@
+package ds
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers.
+type Bitset struct {
+	words []uint64
+	n     int // population count, maintained incrementally
+}
+
+// NewBitset returns an empty bitset able to hold values in [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// Cap returns the capacity the bitset was created with, rounded up to a
+// multiple of 64.
+func (b *Bitset) Cap() int { return len(b.words) * 64 }
+
+// Len returns the number of set bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Contains reports whether i is in the set.
+func (b *Bitset) Contains(i int32) bool {
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Add inserts i and reports whether it was newly added.
+func (b *Bitset) Add(i int32) bool {
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.n++
+	return true
+}
+
+// Remove deletes i and reports whether it was present.
+func (b *Bitset) Remove(i int32) bool {
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.n--
+	return true
+}
+
+// Clear removes all elements, keeping capacity.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.n = 0
+}
+
+// ForEach calls fn for every member in increasing order.
+func (b *Bitset) ForEach(fn func(i int32)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(int32(wi*64 + bit))
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the set's members in increasing order.
+func (b *Bitset) Members() []int32 {
+	out := make([]int32, 0, b.n)
+	b.ForEach(func(i int32) { out = append(out, i) })
+	return out
+}

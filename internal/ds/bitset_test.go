@@ -1,0 +1,96 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasic(t *testing.T) {
+	b := NewBitset(130)
+	if b.Cap() < 130 {
+		t.Fatalf("cap=%d, want >=130", b.Cap())
+	}
+	if !b.Add(0) || !b.Add(64) || !b.Add(129) {
+		t.Fatal("fresh adds should return true")
+	}
+	if b.Add(64) {
+		t.Fatal("second add of 64 should return false")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len=%d, want 3", b.Len())
+	}
+	if !b.Contains(129) || b.Contains(1) {
+		t.Fatal("membership wrong")
+	}
+	if !b.Remove(64) || b.Remove(64) {
+		t.Fatal("remove semantics wrong")
+	}
+	got := b.Members()
+	if len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Fatalf("members=%v, want [0 129]", got)
+	}
+	b.Clear()
+	if b.Len() != 0 || b.Contains(0) {
+		t.Fatal("clear failed")
+	}
+}
+
+// TestBitsetMatchesMap cross-checks against map[int32]bool.
+func TestBitsetMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		b := NewBitset(n)
+		model := map[int32]bool{}
+		for op := 0; op < 400; op++ {
+			v := int32(rng.Intn(n))
+			switch rng.Intn(3) {
+			case 0:
+				if b.Add(v) == model[v] {
+					return false
+				}
+				model[v] = true
+			case 1:
+				if b.Remove(v) != model[v] {
+					return false
+				}
+				delete(model, v)
+			default:
+				if b.Contains(v) != model[v] {
+					return false
+				}
+			}
+			if b.Len() != len(model) {
+				return false
+			}
+		}
+		members := b.Members()
+		if len(members) != len(model) {
+			return false
+		}
+		for _, m := range members {
+			if !model[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetForEachOrder(t *testing.T) {
+	b := NewBitset(256)
+	for _, v := range []int32{200, 3, 77, 64, 63} {
+		b.Add(v)
+	}
+	prev := int32(-1)
+	b.ForEach(func(i int32) {
+		if i <= prev {
+			t.Fatalf("ForEach not increasing: %d after %d", i, prev)
+		}
+		prev = i
+	})
+}

@@ -1,0 +1,142 @@
+package ds
+
+// BucketQueue is an integer-keyed priority structure over int32 item ids.
+// Keys must lie in [0, maxKey]. It supports O(1) insert, remove and
+// key update, and amortized O(1) Max/Min queries under the ±1 key drifts
+// produced by the greedy community searches (the high/low watermarks move
+// at most one bucket per update on average).
+//
+// Items are arbitrary non-negative int32 ids; each id may be present at
+// most once. The zero value is unusable; create one with NewBucketQueue.
+type BucketQueue struct {
+	buckets [][]int32       // key -> stack of ids (with holes compacted lazily)
+	pos     map[int32]entry // id -> location
+	n       int
+	hi, lo  int // watermarks: no items above hi / below lo
+}
+
+type entry struct {
+	key int32
+	idx int32 // index within buckets[key]
+}
+
+// NewBucketQueue returns an empty queue accepting keys in [0, maxKey].
+func NewBucketQueue(maxKey int) *BucketQueue {
+	if maxKey < 0 {
+		maxKey = 0
+	}
+	return &BucketQueue{
+		buckets: make([][]int32, maxKey+1),
+		pos:     make(map[int32]entry),
+		hi:      -1,
+		lo:      maxKey + 1,
+	}
+}
+
+// Len returns the number of items in the queue.
+func (q *BucketQueue) Len() int { return q.n }
+
+// Contains reports whether id is in the queue.
+func (q *BucketQueue) Contains(id int32) bool {
+	_, ok := q.pos[id]
+	return ok
+}
+
+// Key returns the key of id and whether id is present.
+func (q *BucketQueue) Key(id int32) (int, bool) {
+	e, ok := q.pos[id]
+	return int(e.key), ok
+}
+
+// Add inserts id with the given key. It panics if id is already present
+// or key is out of range; both indicate a bug in the caller.
+func (q *BucketQueue) Add(id int32, key int) {
+	if _, ok := q.pos[id]; ok {
+		panic("ds: BucketQueue.Add of existing id")
+	}
+	if key < 0 || key >= len(q.buckets) {
+		panic("ds: BucketQueue key out of range")
+	}
+	b := q.buckets[key]
+	q.pos[id] = entry{key: int32(key), idx: int32(len(b))}
+	q.buckets[key] = append(b, id)
+	q.n++
+	if key > q.hi {
+		q.hi = key
+	}
+	if key < q.lo {
+		q.lo = key
+	}
+}
+
+// Remove deletes id from the queue. It panics if id is absent.
+func (q *BucketQueue) Remove(id int32) {
+	e, ok := q.pos[id]
+	if !ok {
+		panic("ds: BucketQueue.Remove of missing id")
+	}
+	q.removeAt(e)
+	delete(q.pos, id)
+	q.n--
+}
+
+func (q *BucketQueue) removeAt(e entry) {
+	b := q.buckets[e.key]
+	last := len(b) - 1
+	if int(e.idx) != last {
+		moved := b[last]
+		b[e.idx] = moved
+		me := q.pos[moved]
+		me.idx = e.idx
+		q.pos[moved] = me
+	}
+	q.buckets[e.key] = b[:last]
+}
+
+// Update changes id's key to newKey. It panics if id is absent.
+func (q *BucketQueue) Update(id int32, newKey int) {
+	e, ok := q.pos[id]
+	if !ok {
+		panic("ds: BucketQueue.Update of missing id")
+	}
+	if int(e.key) == newKey {
+		return
+	}
+	if newKey < 0 || newKey >= len(q.buckets) {
+		panic("ds: BucketQueue key out of range")
+	}
+	q.removeAt(e)
+	b := q.buckets[newKey]
+	q.pos[id] = entry{key: int32(newKey), idx: int32(len(b))}
+	q.buckets[newKey] = append(b, id)
+	if newKey > q.hi {
+		q.hi = newKey
+	}
+	if newKey < q.lo {
+		q.lo = newKey
+	}
+}
+
+// Max returns an item with the largest key. ok is false when empty.
+func (q *BucketQueue) Max() (id int32, key int, ok bool) {
+	if q.n == 0 {
+		return 0, 0, false
+	}
+	for len(q.buckets[q.hi]) == 0 {
+		q.hi--
+	}
+	b := q.buckets[q.hi]
+	return b[len(b)-1], q.hi, true
+}
+
+// Min returns an item with the smallest key. ok is false when empty.
+func (q *BucketQueue) Min() (id int32, key int, ok bool) {
+	if q.n == 0 {
+		return 0, 0, false
+	}
+	for len(q.buckets[q.lo]) == 0 {
+		q.lo++
+	}
+	b := q.buckets[q.lo]
+	return b[len(b)-1], q.lo, true
+}

@@ -1,0 +1,144 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketQueueBasic(t *testing.T) {
+	q := NewBucketQueue(10)
+	if q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	if _, _, ok := q.Max(); ok {
+		t.Fatal("Max on empty queue should report !ok")
+	}
+	q.Add(7, 3)
+	q.Add(8, 5)
+	q.Add(9, 1)
+	if id, key, ok := q.Max(); !ok || id != 8 || key != 5 {
+		t.Fatalf("Max=%d/%d/%v, want 8/5/true", id, key, ok)
+	}
+	if id, key, ok := q.Min(); !ok || id != 9 || key != 1 {
+		t.Fatalf("Min=%d/%d/%v, want 9/1/true", id, key, ok)
+	}
+	q.Update(9, 10)
+	if id, _, _ := q.Max(); id != 9 {
+		t.Fatalf("after update Max id=%d, want 9", id)
+	}
+	q.Remove(9)
+	if q.Contains(9) {
+		t.Fatal("9 should be gone")
+	}
+	if k, ok := q.Key(7); !ok || k != 3 {
+		t.Fatalf("Key(7)=%d/%v, want 3/true", k, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len=%d, want 2", q.Len())
+	}
+}
+
+func TestBucketQueuePanics(t *testing.T) {
+	q := NewBucketQueue(4)
+	q.Add(1, 2)
+	mustPanic(t, "double add", func() { q.Add(1, 3) })
+	mustPanic(t, "key out of range", func() { q.Add(2, 5) })
+	mustPanic(t, "remove missing", func() { q.Remove(42) })
+	mustPanic(t, "update missing", func() { q.Update(42, 1) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestBucketQueueMatchesNaive cross-checks the queue against a brute-force
+// map-based model under random add/remove/update workloads.
+func TestBucketQueueMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		maxKey := 1 + rng.Intn(20)
+		q := NewBucketQueue(maxKey)
+		model := map[int32]int{}
+		ids := make([]int32, 0, 64)
+		for op := 0; op < 500; op++ {
+			switch r := rng.Intn(4); {
+			case r == 0 || len(ids) == 0: // add
+				id := int32(rng.Intn(1000))
+				if _, ok := model[id]; ok {
+					continue
+				}
+				k := rng.Intn(maxKey + 1)
+				q.Add(id, k)
+				model[id] = k
+				ids = append(ids, id)
+			case r == 1: // remove
+				i := rng.Intn(len(ids))
+				id := ids[i]
+				q.Remove(id)
+				delete(model, id)
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+			case r == 2: // update
+				id := ids[rng.Intn(len(ids))]
+				k := rng.Intn(maxKey + 1)
+				q.Update(id, k)
+				model[id] = k
+			default: // query
+				if q.Len() != len(model) {
+					return false
+				}
+				if len(model) == 0 {
+					continue
+				}
+				wantMax, wantMin := -1, maxKey+1
+				for _, k := range model {
+					if k > wantMax {
+						wantMax = k
+					}
+					if k < wantMin {
+						wantMin = k
+					}
+				}
+				id, k, ok := q.Max()
+				if !ok || k != wantMax || model[id] != k {
+					return false
+				}
+				id, k, ok = q.Min()
+				if !ok || k != wantMin || model[id] != k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBucketQueueChurn(b *testing.B) {
+	q := NewBucketQueue(256)
+	for i := int32(0); i < 1024; i++ {
+		q.Add(i, int(i)%257%256)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int32(rng.Intn(1024))
+		k, _ := q.Key(id)
+		nk := k + 1
+		if nk > 255 {
+			nk = 0
+		}
+		q.Update(id, nk)
+		q.Max()
+		q.Min()
+	}
+}

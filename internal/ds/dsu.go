@@ -1,0 +1,76 @@
+// Package ds provides the small data structures shared by the community
+// search algorithms: a disjoint-set union (union-find), an integer-keyed
+// bucket priority queue, and a fixed-size bitset.
+package ds
+
+// DSU is a disjoint-set union (union-find) over the elements 0..n-1 with
+// union by size and path halving. The zero value is unusable; create one
+// with NewDSU.
+type DSU struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// NewDSU returns a DSU over n singleton sets labeled 0..n-1.
+func NewDSU(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Len returns the number of elements the DSU was created with.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the canonical representative of x's set.
+func (d *DSU) Find(x int) int {
+	p := int32(x)
+	for d.parent[p] != p {
+		d.parent[p] = d.parent[d.parent[p]] // path halving
+		p = d.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false if they were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.size[rx] < d.size[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = int32(rx)
+	d.size[rx] += d.size[ry]
+	d.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// SetSize returns the size of the set containing x.
+func (d *DSU) SetSize(x int) int { return int(d.size[d.Find(x)]) }
+
+// Groups returns the disjoint sets as slices of their members, keyed by
+// canonical representative. Members appear in increasing order.
+func (d *DSU) Groups() map[int][]int {
+	groups := make(map[int][]int)
+	for i := range d.parent {
+		r := d.Find(i)
+		groups[r] = append(groups[r], i)
+	}
+	return groups
+}

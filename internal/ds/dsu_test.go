@@ -1,0 +1,134 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDSUBasic(t *testing.T) {
+	d := NewDSU(5)
+	if d.Sets() != 5 || d.Len() != 5 {
+		t.Fatalf("fresh DSU: sets=%d len=%d, want 5,5", d.Sets(), d.Len())
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("Union(0,1) should merge")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("Union(1,0) should not merge again")
+	}
+	if !d.Same(0, 1) {
+		t.Fatal("0 and 1 should be in the same set")
+	}
+	if d.Same(0, 2) {
+		t.Fatal("0 and 2 should be in different sets")
+	}
+	if d.Sets() != 4 {
+		t.Fatalf("sets=%d, want 4", d.Sets())
+	}
+	if d.SetSize(1) != 2 {
+		t.Fatalf("SetSize(1)=%d, want 2", d.SetSize(1))
+	}
+}
+
+func TestDSUGroups(t *testing.T) {
+	d := NewDSU(6)
+	d.Union(0, 1)
+	d.Union(1, 2)
+	d.Union(4, 5)
+	groups := d.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	sizes := map[int]int{}
+	for _, g := range groups {
+		sizes[len(g)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Fatalf("group size histogram %v, want one each of 3,2,1", sizes)
+	}
+}
+
+// naiveDSU tracks set labels explicitly for cross-checking.
+type naiveDSU struct{ label []int }
+
+func newNaiveDSU(n int) *naiveDSU {
+	l := make([]int, n)
+	for i := range l {
+		l[i] = i
+	}
+	return &naiveDSU{label: l}
+}
+
+func (nd *naiveDSU) union(x, y int) bool {
+	lx, ly := nd.label[x], nd.label[y]
+	if lx == ly {
+		return false
+	}
+	for i, l := range nd.label {
+		if l == ly {
+			nd.label[i] = lx
+		}
+	}
+	return true
+}
+
+func (nd *naiveDSU) same(x, y int) bool { return nd.label[x] == nd.label[y] }
+
+func (nd *naiveDSU) sets() int {
+	seen := map[int]bool{}
+	for _, l := range nd.label {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// TestDSUMatchesNaive drives random union/same sequences against a naive
+// labeling implementation.
+func TestDSUMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		d := NewDSU(n)
+		nd := newNaiveDSU(n)
+		for op := 0; op < 200; op++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				if d.Union(x, y) != nd.union(x, y) {
+					return false
+				}
+			} else if d.Same(x, y) != nd.same(x, y) {
+				return false
+			}
+			if d.Sets() != nd.sets() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSUSetSizesSumToN(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		d := NewDSU(n)
+		for op := 0; op < n; op++ {
+			d.Union(rng.Intn(n), rng.Intn(n))
+		}
+		total := 0
+		for _, g := range d.Groups() {
+			if d.SetSize(g[0]) != len(g) {
+				return false
+			}
+			total += len(g)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

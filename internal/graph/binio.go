@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format: magic, version, node count, directed-edge count, then
+// the raw CSR arrays. Little-endian throughout. Reading is a single
+// sequential pass, ~30× faster than the text edge list for the
+// 10⁷-edge graphs of the scalability experiments.
+var binMagic = [4]byte{'O', 'C', 'A', 'G'}
+
+const binVersion = 1
+
+// WriteBinary writes g in the binary CSR format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	header := []int64{binVersion, int64(g.N()), int64(len(g.adj))}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format written by WriteBinary, validating the
+// CSR invariants (monotone offsets, in-range sorted adjacency,
+// symmetry is trusted) before constructing the graph.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary magic: %v", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q, not a binary graph file", magic)
+	}
+	var version, n, halfEdges int64
+	for _, p := range []*int64{&version, &n, &halfEdges} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: reading binary header: %v", err)
+		}
+	}
+	if version != binVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", version)
+	}
+	const maxN = 1 << 31
+	if n < 0 || n > maxN || halfEdges < 0 || halfEdges%2 != 0 {
+		return nil, fmt.Errorf("graph: corrupt binary header (n=%d, half-edges=%d)", n, halfEdges)
+	}
+	// Read both arrays in chunks so a corrupt header claiming an absurd
+	// length fails on the truncated stream instead of pre-allocating it.
+	offsets, err := readInt64Chunked(br, n+1)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %v", err)
+	}
+	adj, err := readInt32Chunked(br, halfEdges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %v", err)
+	}
+	// Validate CSR invariants.
+	if offsets[0] != 0 || offsets[n] != halfEdges {
+		return nil, fmt.Errorf("graph: corrupt offsets (first=%d, last=%d, want 0, %d)", offsets[0], offsets[n], halfEdges)
+	}
+	for v := int64(0); v < n; v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at node %d", v)
+		}
+		list := adj[offsets[v]:offsets[v+1]]
+		for i, w := range list {
+			if w < 0 || int64(w) >= n {
+				return nil, fmt.Errorf("graph: adjacency of node %d out of range: %d", v, w)
+			}
+			if i > 0 && list[i-1] >= w {
+				return nil, fmt.Errorf("graph: adjacency of node %d not strictly sorted", v)
+			}
+		}
+	}
+	return &Graph{offsets: offsets, adj: adj}, nil
+}
+
+const readChunk = 1 << 20 // entries per chunked read
+
+func readInt64Chunked(r io.Reader, total int64) ([]int64, error) {
+	out := make([]int64, 0, min64(total, readChunk))
+	buf := make([]int64, readChunk)
+	for int64(len(out)) < total {
+		want := total - int64(len(out))
+		if want > readChunk {
+			want = readChunk
+		}
+		chunk := buf[:want]
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func readInt32Chunked(r io.Reader, total int64) ([]int32, error) {
+	out := make([]int32, 0, min64(total, readChunk))
+	buf := make([]int32, readChunk)
+	for int64(len(out)) < total {
+		want := total - int64(len(out))
+		if want > readChunk {
+			want = readChunk
+		}
+		chunk := buf[:want]
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReadAuto detects the format (binary magic vs text edge list) and
+// parses accordingly.
+func ReadAuto(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head, err := br.Peek(4)
+	if err == nil && len(head) == 4 && [4]byte(head) == binMagic {
+		return ReadBinary(br)
+	}
+	return ReadEdgeList(br)
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		b := NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		ok := true
+		g.Edges(func(u, v int32) bool {
+			if !g2.HasEdge(u, v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := complete(5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte{}, good...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Truncated adjacency.
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)-4])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	// Out-of-range neighbor: flip a node id in the adjacency section to
+	// a large value.
+	bad = append([]byte{}, good...)
+	bad[len(bad)-1] = 0x7f
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range adjacency accepted")
+	}
+	// Empty input.
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadAuto(t *testing.T) {
+	g := complete(6)
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*bytes.Buffer{"binary": &bin, "text": &txt} {
+		got, err := ReadAuto(r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.N() != 6 || got.M() != 15 {
+			t.Fatalf("%s: n=%d m=%d", name, got.N(), got.M())
+		}
+	}
+	// Auto on junk falls through to the edge-list parser and errors.
+	if _, err := ReadAuto(strings.NewReader("not a graph\n")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil || g2.N() != 0 || g2.M() != 0 {
+		t.Fatalf("empty graph round trip: %v", err)
+	}
+}
+
+func TestBinaryAbsurdHeaderDoesNotPreallocate(t *testing.T) {
+	// A file with valid magic but a header claiming 2^30 nodes and only
+	// a few bytes of payload must fail quickly on truncation.
+	var buf bytes.Buffer
+	buf.Write([]byte("OCAG"))
+	for _, v := range []int64{1 /* version */, 1 << 30 /* n */, 1 << 32 /* half edges */} {
+		b8 := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			b8[i] = byte(v >> (8 * i))
+		}
+		buf.Write(b8)
+	}
+	buf.Write(make([]byte, 64)) // token payload
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("truncated absurd-header file accepted")
+	}
+}

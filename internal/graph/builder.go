@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces an immutable Graph.
+// Self loops and duplicate edges are silently dropped at Build time, so
+// generators may add edges freely. A Builder must be created with
+// NewBuilder and is not safe for concurrent use.
+type Builder struct {
+	n     int
+	edges []edge
+}
+
+type edge struct{ u, v int32 }
+
+// NewBuilder returns a Builder for a graph on n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// NewBuilderHint is NewBuilder with a capacity hint for the expected
+// number of edges, avoiding append growth on large generations.
+func NewBuilderHint(n int, edgeHint int64) *Builder {
+	return &Builder{n: n, edges: make([]edge, 0, edgeHint)}
+}
+
+// N returns the number of nodes the Builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge records the undirected edge {u, v}. Ordering of the endpoints
+// is irrelevant. It panics if an endpoint is out of range — generator
+// bugs should fail loudly, not corrupt a dataset.
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0, %d)", u, v, b.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, edge{u, v})
+}
+
+// PendingEdges returns the number of edges recorded so far, before
+// deduplication.
+func (b *Builder) PendingEdges() int { return len(b.edges) }
+
+// HasEdgePending reports whether {u,v} has already been recorded. It is a
+// linear scan and intended only for small builders in tests.
+func (b *Builder) HasEdgePending(u, v int32) bool {
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range b.edges {
+		if e.u == u && e.v == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Build sorts, deduplicates and symmetrizes the recorded edges and
+// returns the immutable CSR graph. The Builder may be reused afterwards;
+// its recorded edges are preserved.
+func (b *Builder) Build() *Graph {
+	es := make([]edge, len(b.edges))
+	copy(es, b.edges)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].u != es[j].u {
+			return es[i].u < es[j].u
+		}
+		return es[i].v < es[j].v
+	})
+	// Drop self loops and duplicates.
+	kept := es[:0]
+	var prev edge = edge{-1, -1}
+	for _, e := range es {
+		if e.u == e.v || e == prev {
+			continue
+		}
+		kept = append(kept, e)
+		prev = e
+	}
+
+	offsets := make([]int64, b.n+1)
+	for _, e := range kept {
+		offsets[e.u+1]++
+		offsets[e.v+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	adj := make([]int32, offsets[b.n])
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range kept {
+		adj[cursor[e.u]] = e.v
+		cursor[e.u]++
+		adj[cursor[e.v]] = e.u
+		cursor[e.v]++
+	}
+	// Each list was filled in increasing order of the opposite endpoint
+	// for the u side, but the v side interleaves, so sort per node.
+	g := &Graph{offsets: offsets, adj: adj}
+	for v := int32(0); v < int32(b.n); v++ {
+		nb := g.Neighbors(v)
+		if !sort.SliceIsSorted(nb, func(i, j int) bool { return nb[i] < nb[j] }) {
+			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		}
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor building a Graph from an edge
+// slice of (u, v) pairs.
+func FromEdges(n int, pairs [][2]int32) *Graph {
+	b := NewBuilderHint(n, int64(len(pairs)))
+	for _, p := range pairs {
+		b.AddEdge(p[0], p[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,104 @@
+// Package graph provides the compact immutable graph substrate shared by
+// every algorithm in this repository: a CSR (compressed sparse row)
+// representation of a simple undirected graph, a builder that
+// deduplicates edges, text/binary serialization, traversal helpers and
+// summary statistics.
+//
+// Nodes are dense int32 ids 0..N()-1. All graphs are simple (no self
+// loops, no parallel edges) and undirected: every edge {u,v} appears in
+// both adjacency lists.
+package graph
+
+import "sort"
+
+// Graph is an immutable simple undirected graph in CSR form.
+// Adjacency lists are sorted ascending, enabling O(log d) edge queries
+// and linear-time sorted-list intersections.
+type Graph struct {
+	offsets []int64 // len N+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []int32
+}
+
+// NewFromCSR constructs a Graph directly from CSR arrays. The caller
+// must guarantee CSR validity: len(offsets) = n+1, offsets non-decreasing,
+// offsets[n] = len(adj), each list sorted ascending with no duplicates or
+// self references, and symmetry (u lists v iff v lists u). Intended for
+// generators that build CSR natively; use a Builder otherwise.
+func NewFromCSR(offsets []int64, adj []int32) *Graph {
+	return &Graph{offsets: offsets, adj: adj}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int64 { return int64(len(g.adj)) / 2 }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int32) bool {
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// MaxDegree returns the largest degree in the graph (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges calls fn once per undirected edge with u < v. It stops early if
+// fn returns false.
+func (g *Graph) Edges(fn func(u, v int32) bool) {
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			if !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// EdgesWithin counts the edges of g with both endpoints in the set
+// described by member (member must answer for every node id). It is the
+// Ein(S) of the paper.
+func (g *Graph) EdgesWithin(nodes []int32, member func(int32) bool) int64 {
+	var m int64
+	for _, u := range nodes {
+		for _, v := range g.Neighbors(u) {
+			if v > u && member(v) {
+				m++
+			}
+		}
+	}
+	return m
+}
+
+// DegreeSum returns the sum of degrees of the given nodes (the volume of
+// the set).
+func (g *Graph) DegreeSum(nodes []int32) int64 {
+	var s int64
+	for _, v := range nodes {
+		s += int64(g.Degree(v))
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		equal := true
+		g.Edges(func(u, v int32) bool {
+			if !g2.HasEdge(u, v) {
+				equal = false
+				return false
+			}
+			return true
+		})
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListNoHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n\n# a comment\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 4,3", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListHeaderIsolatedNodes(t *testing.T) {
+	// Header declares more nodes than appear in edges.
+	g, err := ReadEdgeList(strings.NewReader("# nodes 10 edges 1\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d, want 10,1", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",              // too few fields
+		"a b\n",            // non-numeric
+		"0 -1\n",           // negative id
+		"# nodes 2\n0 5\n", // header parse fails silently; 0 5 beyond... (valid: n inferred)
+	}
+	for i, in := range cases[:3] {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d (%q): expected error", i, in)
+		}
+	}
+	// Declared node count smaller than max id must error.
+	if _, err := ReadEdgeList(strings.NewReader("# nodes 2 edges 1\n0 5\n")); err == nil {
+		t.Fatal("expected error for id exceeding declared node count")
+	}
+}
+
+func TestWriteEdgeListEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, NewBuilder(3).Build()); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("n=%d m=%d, want 3,0", g.N(), g.M())
+	}
+}
+
+// TestReadEdgeListNeverPanics feeds random junk to the parser; it must
+// return (graph or error), never panic.
+func TestReadEdgeListNeverPanics(t *testing.T) {
+	f := func(junk []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", junk, r)
+			}
+		}()
+		_, _ = ReadEdgeList(bytes.NewReader(junk))
+		_, _ = ReadBinary(bytes.NewReader(junk))
+		_, _ = ReadAuto(bytes.NewReader(junk))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes a graph for dataset tables and sanity checks.
+type Stats struct {
+	Nodes      int
+	Edges      int64
+	MinDegree  int
+	MaxDegree  int
+	AvgDegree  float64
+	Isolated   int // nodes with degree 0
+	Components int
+	Triangles  int64 // counted only when countTriangles is requested
+}
+
+// ComputeStats gathers Stats for g. Triangle counting is optional because
+// it costs O(m^{3/2}) and is unnecessary for large-scale runs.
+func ComputeStats(g *Graph, countTriangles bool) Stats {
+	n := g.N()
+	st := Stats{Nodes: n, Edges: g.M()}
+	if n == 0 {
+		return st
+	}
+	st.MinDegree = g.Degree(0)
+	for v := int32(0); v < int32(n); v++ {
+		d := g.Degree(v)
+		if d < st.MinDegree {
+			st.MinDegree = d
+		}
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+		if d == 0 {
+			st.Isolated++
+		}
+	}
+	st.AvgDegree = 2 * float64(st.Edges) / float64(n)
+	_, st.Components = Components(g)
+	if countTriangles {
+		st.Triangles = CountTriangles(g)
+	}
+	return st
+}
+
+// String renders the stats as a single human-readable line.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d deg[min=%d avg=%.2f max=%d] isolated=%d components=%d",
+		s.Nodes, s.Edges, s.MinDegree, s.AvgDegree, s.MaxDegree, s.Isolated, s.Components)
+}
+
+// CountTriangles counts the triangles of g with the forward algorithm:
+// orient every edge from lower to higher rank (degree order, ties by id)
+// and intersect out-neighborhoods. This is the same core used by the CPM
+// baseline's k=3 fast path.
+func CountTriangles(g *Graph) int64 {
+	var count int64
+	ForEachTriangle(g, func(a, b, c int32) { count++ })
+	return count
+}
+
+// ForEachTriangle calls fn for every triangle {a, b, c} of g exactly once,
+// with a, b, c in increasing rank order.
+func ForEachTriangle(g *Graph, fn func(a, b, c int32)) {
+	n := g.N()
+	rank := triangleRank(g)
+	// Forward adjacency: for each node, neighbors of higher rank, sorted by rank.
+	fwd := make([][]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		for _, w := range g.Neighbors(v) {
+			if rank[v] < rank[w] {
+				fwd[v] = append(fwd[v], w)
+			}
+		}
+		lst := fwd[v]
+		sort.Slice(lst, func(i, j int) bool { return rank[lst[i]] < rank[lst[j]] })
+	}
+	for v := int32(0); v < int32(n); v++ {
+		for _, w := range fwd[v] {
+			intersectByRank(fwd[v], fwd[w], rank, func(x int32) { fn(v, w, x) })
+		}
+	}
+}
+
+// triangleRank orders nodes by (degree, id); low-degree nodes first. The
+// forward algorithm's work bound O(m^{3/2}) relies on this ordering.
+func triangleRank(g *Graph) []int32 {
+	n := g.N()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	rank := make([]int32, n)
+	for r, v := range order {
+		rank[v] = int32(r)
+	}
+	return rank
+}
+
+// intersectByRank walks two rank-sorted lists and calls fn on every common
+// element.
+func intersectByRank(a, b []int32, rank []int32, fn func(x int32)) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ra, rb := rank[a[i]], rank[b[j]]
+		switch {
+		case ra < rb:
+			i++
+		case ra > rb:
+			j++
+		default:
+			fn(a[i])
+			i++
+			j++
+		}
+	}
+}

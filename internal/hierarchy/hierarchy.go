@@ -1,0 +1,158 @@
+// Package hierarchy implements the paper's §VI future work: "now that
+// the communities are identified, we will explore the hierarchies and
+// relations among them". It builds a quotient graph whose super-nodes
+// are communities — two communities are related by the edges running
+// between them and by the members they share — and reapplies OCA to the
+// quotient, producing successively coarser levels of community
+// structure over the original node ids.
+package hierarchy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+// Options configure Build.
+type Options struct {
+	// MinWeight is the relation strength two communities need for an
+	// edge in the quotient graph. The weight between communities A and B
+	// is (#graph edges between A\B and B\A) + SharedNodeWeight·|A ∩ B|.
+	// Default 1.
+	MinWeight int
+	// SharedNodeWeight is how much one shared member contributes to the
+	// relation weight; overlap is the strongest signal of relatedness in
+	// an overlapping cover. Default 3.
+	SharedNodeWeight int
+	// MaxLevels bounds the number of coarsening rounds. Default 5.
+	MaxLevels int
+	// Core configures the OCA runs on the quotient graphs. Communities
+	// of super-nodes as small as two are meaningful, so
+	// MinCommunitySize defaults to 2 here (not core's default 3).
+	Core core.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinWeight <= 0 {
+		o.MinWeight = 1
+	}
+	if o.SharedNodeWeight <= 0 {
+		o.SharedNodeWeight = 3
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 5
+	}
+	if o.Core.MinCommunitySize == 0 {
+		o.Core.MinCommunitySize = 2
+	}
+	return o
+}
+
+// Level is one layer of the hierarchy.
+type Level struct {
+	// Cover holds this level's communities in original node ids.
+	Cover *cover.Cover
+	// Quotient is the community-relation graph this level's cover
+	// induced (the input to the next level); nil for the final level.
+	Quotient *graph.Graph
+	// QuotientWeights holds the relation weight of every quotient edge,
+	// keyed by packed (min<<32 | max) community-index pairs.
+	QuotientWeights map[uint64]int
+}
+
+// Build returns the hierarchy bottom-up: level 0 is the base cover,
+// each further level groups the previous level's communities by running
+// OCA on their quotient graph. Coarsening stops when a level has at
+// most one community, the quotient has no edges, or a round fails to
+// reduce the community count.
+func Build(g *graph.Graph, base *cover.Cover, opt Options) ([]Level, error) {
+	opt = opt.withDefaults()
+	if base.Len() == 0 {
+		return []Level{{Cover: base.Clone()}}, nil
+	}
+	levels := []Level{{Cover: base.Clone()}}
+	for round := 0; round < opt.MaxLevels; round++ {
+		cur := &levels[len(levels)-1]
+		if cur.Cover.Len() <= 1 {
+			break
+		}
+		quotient, weights := Quotient(g, cur.Cover, opt.MinWeight, opt.SharedNodeWeight)
+		cur.Quotient = quotient
+		cur.QuotientWeights = weights
+		if quotient.M() == 0 {
+			break
+		}
+		coreOpt := opt.Core
+		coreOpt.Seed = opt.Core.Seed + int64(round+1)
+		res, err := core.Run(quotient, coreOpt)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: level %d: %w", round+1, err)
+		}
+		if res.Cover.Len() == 0 || res.Cover.Len() >= cur.Cover.Len() {
+			break
+		}
+		next := expand(cur.Cover, res.Cover)
+		levels = append(levels, Level{Cover: next})
+	}
+	return levels, nil
+}
+
+// Quotient builds the community-relation graph of cv over g: one node
+// per community, an edge where the relation weight reaches minWeight.
+// It returns the graph and the weight of every edge.
+func Quotient(g *graph.Graph, cv *cover.Cover, minWeight, sharedWeight int) (*graph.Graph, map[uint64]int) {
+	n := g.N()
+	membership := cv.MembershipIndex(n)
+	weights := make(map[uint64]int)
+	bump := func(a, b int32, w int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		weights[uint64(a)<<32|uint64(uint32(b))] += w
+	}
+	// Cross edges: an edge {u, v} relates every community of u to every
+	// community of v they do not share.
+	g.Edges(func(u, v int32) bool {
+		for _, cu := range membership[u] {
+			for _, cvi := range membership[v] {
+				bump(cu, cvi, 1)
+			}
+		}
+		return true
+	})
+	// Shared members.
+	for v := 0; v < n; v++ {
+		ms := membership[v]
+		for i := 0; i < len(ms); i++ {
+			for j := i + 1; j < len(ms); j++ {
+				bump(ms[i], ms[j], sharedWeight)
+			}
+		}
+	}
+	b := graph.NewBuilderHint(cv.Len(), int64(len(weights)))
+	for key, w := range weights {
+		if w >= minWeight {
+			b.AddEdge(int32(key>>32), int32(uint32(key)))
+		}
+	}
+	return b.Build(), weights
+}
+
+// expand maps a cover over community indices back to original node ids:
+// each super-community becomes the union of its constituent communities.
+func expand(base *cover.Cover, super *cover.Cover) *cover.Cover {
+	out := make([]cover.Community, 0, super.Len())
+	for _, sc := range super.Communities {
+		var union cover.Community
+		for _, ci := range sc {
+			union = union.Union(base.Communities[ci])
+		}
+		out = append(out, union)
+	}
+	return cover.NewCover(out)
+}

@@ -1,0 +1,192 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+// twoGroupsOfCliques builds 4 cliques of size k: cliques 0,1 are densely
+// interlinked, cliques 2,3 are densely interlinked, and the two pairs
+// are joined by a single weak edge. The planted hierarchy is
+// {{0,1},{2,3}} above the four cliques.
+func twoGroupsOfCliques(k int) (*graph.Graph, *cover.Cover) {
+	b := graph.NewBuilder(4 * k)
+	addClique := func(off int32) {
+		for i := int32(0); i < int32(k); i++ {
+			for j := i + 1; j < int32(k); j++ {
+				b.AddEdge(off+i, off+j)
+			}
+		}
+	}
+	for c := int32(0); c < 4; c++ {
+		addClique(c * int32(k))
+	}
+	// Dense links inside each pair: every i-th node to the i-th node of
+	// the sibling clique, plus one extra per node.
+	link := func(a, c int32) {
+		for i := int32(0); i < int32(k); i++ {
+			b.AddEdge(a*int32(k)+i, c*int32(k)+i)
+			b.AddEdge(a*int32(k)+i, c*int32(k)+(i+1)%int32(k))
+		}
+	}
+	link(0, 1)
+	link(2, 3)
+	// One weak edge between the groups.
+	b.AddEdge(0, 3*int32(k))
+	g := b.Build()
+
+	cs := make([]cover.Community, 4)
+	for c := 0; c < 4; c++ {
+		members := make([]int32, k)
+		for i := range members {
+			members[i] = int32(c*k + i)
+		}
+		cs[c] = cover.NewCommunity(members)
+	}
+	return g, cover.NewCover(cs)
+}
+
+func TestQuotientWeights(t *testing.T) {
+	g, base := twoGroupsOfCliques(6)
+	q, weights := Quotient(g, base, 1, 3)
+	if q.N() != 4 {
+		t.Fatalf("quotient nodes=%d, want 4", q.N())
+	}
+	// Pairs (0,1) and (2,3) carry 2k cross edges each; (0,3) carries 1.
+	w01 := weights[uint64(0)<<32|1]
+	w23 := weights[uint64(2)<<32|3]
+	w03 := weights[uint64(0)<<32|3]
+	if w01 != 12 || w23 != 12 {
+		t.Fatalf("pair weights w01=%d w23=%d, want 12", w01, w23)
+	}
+	if w03 != 1 {
+		t.Fatalf("weak weight=%d, want 1", w03)
+	}
+	// MinWeight 2 drops the weak edge.
+	q2, _ := Quotient(g, base, 2, 3)
+	if q2.HasEdge(0, 3) {
+		t.Fatal("weak edge should be filtered at MinWeight=2")
+	}
+	if !q2.HasEdge(0, 1) || !q2.HasEdge(2, 3) {
+		t.Fatal("strong edges missing")
+	}
+}
+
+func TestQuotientSharedMembers(t *testing.T) {
+	// Two communities overlapping in 2 nodes, no cross edges beyond the
+	// overlap: shared members alone must relate them.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	cv := cover.NewCover([]cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2, 3}),
+		cover.NewCommunity([]int32{2, 3, 4, 5}),
+	})
+	_, weights := Quotient(g, cv, 1, 3)
+	// Shared nodes 2,3 contribute 2·3 = 6; the edge {2,3} lies in both
+	// communities (bump skips same-community pairs only when cu == cv),
+	// cross contributions: {1,2}: com0 x {com0,com1} -> (0,1) +1;
+	// {3,4}: similar +1; {2,3}: (0,1) +2 (both orders). Total ≥ 6.
+	w := weights[uint64(0)<<32|1]
+	if w < 6 {
+		t.Fatalf("overlap weight=%d, want ≥ 6", w)
+	}
+}
+
+func TestBuildRecoversTwoLevelStructure(t *testing.T) {
+	g, base := twoGroupsOfCliques(6)
+	levels, err := Build(g, base, Options{MinWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) < 2 {
+		t.Fatalf("levels=%d, want ≥ 2", len(levels))
+	}
+	if levels[0].Cover.Len() != 4 {
+		t.Fatalf("level 0 communities=%d", levels[0].Cover.Len())
+	}
+	l1 := levels[1].Cover
+	if l1.Len() != 2 {
+		t.Fatalf("level 1 communities=%d, want 2: %v", l1.Len(), l1.Communities)
+	}
+	// Each super-community must be exactly one of the planted groups.
+	want0 := base.Communities[0].Union(base.Communities[1])
+	want1 := base.Communities[2].Union(base.Communities[3])
+	got := l1.Communities
+	matches := func(c cover.Community) bool {
+		return c.Equal(want0) || c.Equal(want1)
+	}
+	if !matches(got[0]) || !matches(got[1]) || got[0].Equal(got[1]) {
+		t.Fatalf("super-communities wrong: %v", got)
+	}
+}
+
+func TestBuildTerminatesOnTrivialCovers(t *testing.T) {
+	g, base := twoGroupsOfCliques(4)
+	// Empty base.
+	levels, err := Build(g, cover.NewCover(nil), Options{})
+	if err != nil || len(levels) != 1 {
+		t.Fatalf("empty base: %v, %d levels", err, len(levels))
+	}
+	// Single community: nothing to coarsen.
+	single := cover.NewCover([]cover.Community{base.Communities[0]})
+	levels, err = Build(g, single, Options{})
+	if err != nil || len(levels) != 1 {
+		t.Fatalf("single community: %v, %d levels", err, len(levels))
+	}
+}
+
+func TestBuildDisconnectedQuotient(t *testing.T) {
+	// Two cliques with no relation at all: quotient has no edges, so the
+	// hierarchy stops at the base level.
+	b := graph.NewBuilder(8)
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(4+i, 4+j)
+		}
+	}
+	g := b.Build()
+	base := cover.NewCover([]cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2, 3}),
+		cover.NewCommunity([]int32{4, 5, 6, 7}),
+	})
+	levels, err := Build(g, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 1 {
+		t.Fatalf("levels=%d, want 1 (no relations to coarsen)", len(levels))
+	}
+	if levels[0].Quotient == nil || levels[0].Quotient.M() != 0 {
+		t.Fatal("quotient should exist and be edgeless")
+	}
+}
+
+func TestBuildRespectsMaxLevels(t *testing.T) {
+	g, base := twoGroupsOfCliques(6)
+	levels, err := Build(g, base, Options{MinWeight: 2, MaxLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) > 2 { // base + at most one coarsening
+		t.Fatalf("levels=%d, want ≤ 2 with MaxLevels=1", len(levels))
+	}
+}
+
+func TestQuotientWeightsExposed(t *testing.T) {
+	g, base := twoGroupsOfCliques(6)
+	levels, err := Build(g, base, Options{MinWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0].Quotient == nil || len(levels[0].QuotientWeights) == 0 {
+		t.Fatal("level 0 should expose its quotient graph and weights")
+	}
+}

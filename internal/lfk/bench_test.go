@@ -1,0 +1,45 @@
+package lfk
+
+import (
+	"testing"
+
+	"repro/internal/lfr"
+	"repro/internal/search"
+)
+
+// BenchmarkNaturalCommunity measures one seeded LFK community growth on
+// an LFR graph.
+func BenchmarkNaturalCommunity(b *testing.B) {
+	bench, err := lfr.Generate(lfr.Params{
+		N: 2000, AvgDeg: 20, MaxDeg: 60, Mu: 0.2,
+		MinCom: 30, MaxCom: 120, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bench.Graph
+	st := search.NewState(g, g.MaxDegree())
+	opt := Options{}.withDefaults(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		naturalCommunity(g, st, int32(i%g.N()), opt)
+	}
+}
+
+// BenchmarkRunLFK measures a full LFK run (cover the whole graph).
+func BenchmarkRunLFK(b *testing.B) {
+	bench, err := lfr.Generate(lfr.Params{
+		N: 2000, AvgDeg: 20, MaxDeg: 60, Mu: 0.2,
+		MinCom: 30, MaxCom: 120, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(bench.Graph, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package lfk implements the LFK baseline (Lancichinetti, Fortunato,
+// Kertész 2008), the fitness-maximization overlapping community
+// algorithm the paper compares OCA against: the natural community of a
+// seed is grown by greedily adding the neighbor with the highest fitness
+// gain and removing any member whose fitness contribution turns
+// negative, under the fitness
+//
+//	f(S) = kin / (kin + kout)^α
+//
+// with kin twice the internal edge count and kout the boundary degree.
+// The paper uses α = 1 ("the standard parameter").
+package lfk
+
+import (
+	"math"
+
+	"repro/internal/cover"
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/search"
+	"repro/internal/xrand"
+)
+
+// gainTol mirrors core's tolerance: every applied move must strictly
+// improve f(S), which both guarantees termination and filters float
+// noise.
+const gainTol = 1e-12
+
+// Options configure a Run.
+type Options struct {
+	// Alpha is the fitness exponent. Default 1 (the paper's choice).
+	Alpha float64
+	// Seed drives the random order in which uncovered nodes become
+	// search seeds.
+	Seed int64
+	// MaxSteps caps add/remove operations per seed (safety valve; the
+	// search terminates on its own because f strictly increases).
+	// Default 100000. Negative means unlimited.
+	MaxSteps int
+	// MaxSeeds bounds the number of natural communities grown. Default
+	// n (the algorithm stops earlier once every node is covered).
+	MaxSeeds int
+	// MinCommunitySize drops smaller communities. Default 1: LFK's
+	// schedule covers every node, isolated nodes legitimately end up in
+	// singleton communities.
+	MinCommunitySize int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Alpha <= 0 {
+		o.Alpha = 1
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 100000
+	}
+	if o.MaxSeeds <= 0 {
+		o.MaxSeeds = n
+	}
+	if o.MinCommunitySize <= 0 {
+		o.MinCommunitySize = 1
+	}
+	return o
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	Cover      *cover.Cover
+	SeedsTried int
+	Steps      int64
+}
+
+// Run executes LFK on g: natural communities are grown from randomly
+// ordered seeds until every node belongs to at least one community.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	n := g.N()
+	opt = opt.withDefaults(n)
+	res := &Result{Cover: cover.NewCover(nil)}
+	if n == 0 {
+		return res, nil
+	}
+
+	rng := xrand.New(opt.Seed, -1)
+	order := rng.Perm(n)
+	covered := ds.NewBitset(n)
+	st := search.NewState(g, g.MaxDegree())
+
+	var communities []cover.Community
+	for _, v := range order {
+		if covered.Contains(int32(v)) {
+			continue
+		}
+		if res.SeedsTried >= opt.MaxSeeds {
+			break
+		}
+		res.SeedsTried++
+		st.Reset()
+		steps := naturalCommunity(g, st, int32(v), opt)
+		res.Steps += int64(steps)
+		members := st.Members()
+		for _, m := range members {
+			covered.Add(m)
+		}
+		if len(members) >= opt.MinCommunitySize {
+			communities = append(communities, cover.Community(members))
+		}
+	}
+	cv := cover.NewCover(communities)
+	cv.SortBySize()
+	res.Cover = cv
+	return res, nil
+}
+
+// fitness returns f(S) = kin/(kin+kout)^α given Ein(S) and vol(S).
+// kin = 2·Ein and kin + kout = vol. The empty and volume-zero cases are
+// defined as 0.
+func fitness(ein, vol int64, alpha float64) float64 {
+	if vol <= 0 {
+		return 0
+	}
+	return 2 * float64(ein) / math.Pow(float64(vol), alpha)
+}
+
+// naturalCommunity grows the natural community of seed in place in st and
+// returns the number of add/remove operations applied.
+func naturalCommunity(g *graph.Graph, st *search.State, seed int32, opt Options) int {
+	st.Add(seed)
+	steps := 0
+	for opt.MaxSteps <= 0 || steps < opt.MaxSteps {
+		cur := fitness(st.Ein(), st.Volume(), opt.Alpha)
+
+		// Removal phase: evict the member with the most negative node
+		// fitness, repeat until all contributions are non-negative.
+		if st.Size() > 1 {
+			if u, gain := worstRemoval(g, st, cur, opt.Alpha); gain > gainTol {
+				st.Remove(u)
+				steps++
+				continue
+			}
+		}
+
+		// Growth phase: add the frontier node with the best positive gain.
+		v, gain := bestAddition(g, st, cur, opt.Alpha)
+		if gain <= gainTol {
+			return steps
+		}
+		st.Add(v)
+		steps++
+	}
+	return steps
+}
+
+// bestAddition scans the frontier for the node maximizing
+// f(S∪{v}) − f(S). Ties break toward the smallest node id so runs are
+// deterministic regardless of map iteration order.
+func bestAddition(g *graph.Graph, st *search.State, cur, alpha float64) (int32, float64) {
+	bestV := int32(-1)
+	bestGain := math.Inf(-1)
+	ein, vol := st.Ein(), st.Volume()
+	st.ForEachFrontier(func(v int32, dS int32) {
+		f := fitness(ein+int64(dS), vol+int64(g.Degree(v)), alpha)
+		gain := f - cur
+		if gain > bestGain || (gain == bestGain && v < bestV) {
+			bestV, bestGain = v, gain
+		}
+	})
+	return bestV, bestGain
+}
+
+// worstRemoval scans the members for the node whose removal most
+// increases the fitness, i.e. the node with the most negative node
+// fitness f(S) − f(S\{u}). Ties break toward the smallest node id.
+func worstRemoval(g *graph.Graph, st *search.State, cur, alpha float64) (int32, float64) {
+	bestU := int32(-1)
+	bestGain := math.Inf(-1)
+	ein, vol := st.Ein(), st.Volume()
+	st.ForEachMember(func(u int32, dS int32) {
+		f := fitness(ein-int64(dS), vol-int64(g.Degree(u)), alpha)
+		gain := f - cur
+		if gain > bestGain || (gain == bestGain && u < bestU) {
+			bestU, bestGain = u, gain
+		}
+	})
+	return bestU, bestGain
+}

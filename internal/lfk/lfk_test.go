@@ -1,0 +1,204 @@
+package lfk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/search"
+)
+
+func twoCliquesBridge(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for i := int32(0); i < int32(k); i++ {
+		for j := i + 1; j < int32(k); j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(int32(k)+i, int32(k)+j)
+		}
+	}
+	b.AddEdge(int32(k-1), int32(k))
+	return b.Build()
+}
+
+func TestFitnessFormula(t *testing.T) {
+	// kin=2·Ein, vol=kin+kout. Ein=3, vol=10 -> f = 6/10 with α=1.
+	if got := fitness(3, 10, 1); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("f=%v, want 0.6", got)
+	}
+	// α=2: 6/100.
+	if got := fitness(3, 10, 2); math.Abs(got-0.06) > 1e-12 {
+		t.Fatalf("f=%v, want 0.06", got)
+	}
+	if fitness(0, 0, 1) != 0 {
+		t.Fatal("empty fitness should be 0")
+	}
+}
+
+func TestNaturalCommunityIsClique(t *testing.T) {
+	g := twoCliquesBridge(6)
+	st := search.NewState(g, g.MaxDegree())
+	naturalCommunity(g, st, 0, Options{}.withDefaults(g.N()))
+	got := cover.Community(st.Members())
+	want := cover.NewCommunity([]int32{0, 1, 2, 3, 4, 5})
+	if !got.Equal(want) {
+		t.Fatalf("natural community of 0 = %v, want clique A", got)
+	}
+	// From the other side.
+	st.Reset()
+	naturalCommunity(g, st, 9, Options{}.withDefaults(g.N()))
+	got = cover.Community(st.Members())
+	want = cover.NewCommunity([]int32{6, 7, 8, 9, 10, 11})
+	if !got.Equal(want) {
+		t.Fatalf("natural community of 9 = %v, want clique B", got)
+	}
+}
+
+func TestRunCoversAllNodes(t *testing.T) {
+	g := twoCliquesBridge(5)
+	res, err := Run(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cover.Coverage(g.N()); got != 1 {
+		t.Fatalf("coverage=%v, want 1 (LFK covers every node)", got)
+	}
+	want := cover.NewCover([]cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2, 3, 4}),
+		cover.NewCommunity([]int32{5, 6, 7, 8, 9}),
+	})
+	if th := metrics.Theta(want, res.Cover); th < 0.95 {
+		t.Fatalf("Θ=%v, cover=%v", th, res.Cover.Communities)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := twoCliquesBridge(6)
+	a, err := Run(g, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cover.Len() != b.Cover.Len() {
+		t.Fatal("same seed, different community count")
+	}
+	for i := range a.Cover.Communities {
+		if !a.Cover.Communities[i].Equal(b.Cover.Communities[i]) {
+			t.Fatalf("community %d differs", i)
+		}
+	}
+}
+
+func TestRunEmptyAndEdgeless(t *testing.T) {
+	res, err := Run(graph.NewBuilder(0).Build(), Options{})
+	if err != nil || res.Cover.Len() != 0 {
+		t.Fatalf("empty graph: %v, %d", err, res.Cover.Len())
+	}
+	// Edgeless graph: every node becomes its own singleton community.
+	res, err = Run(graph.NewBuilder(4).Build(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cover.Len() != 4 {
+		t.Fatalf("edgeless: %d communities, want 4 singletons", res.Cover.Len())
+	}
+	if res.Cover.Coverage(4) != 1 {
+		t.Fatal("edgeless graph not fully covered")
+	}
+}
+
+func TestMaxSeedsBudget(t *testing.T) {
+	g := twoCliquesBridge(6)
+	res, err := Run(g, Options{Seed: 2, MaxSeeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeedsTried != 1 {
+		t.Fatalf("seeds=%d, want 1", res.SeedsTried)
+	}
+}
+
+// TestNaturalCommunityFitnessMonotone replays a search and verifies every
+// applied operation strictly increased f(S) — the termination argument.
+func TestNaturalCommunityFitnessMonotone(t *testing.T) {
+	g := twoCliquesBridge(7)
+	st := search.NewState(g, g.MaxDegree())
+	opt := Options{}.withDefaults(g.N())
+	// Reimplement the loop, checking monotonicity at each step.
+	st.Add(0)
+	prev := fitness(st.Ein(), st.Volume(), opt.Alpha)
+	for steps := 0; steps < 1000; steps++ {
+		cur := fitness(st.Ein(), st.Volume(), opt.Alpha)
+		if cur < prev-1e-12 {
+			t.Fatalf("fitness decreased: %v -> %v", prev, cur)
+		}
+		prev = cur
+		if st.Size() > 1 {
+			if u, gain := worstRemoval(g, st, cur, opt.Alpha); gain > gainTol {
+				st.Remove(u)
+				continue
+			}
+		}
+		v, gain := bestAddition(g, st, cur, opt.Alpha)
+		if gain <= gainTol {
+			break
+		}
+		st.Add(v)
+	}
+}
+
+// TestOverlapFromSharedNodes: two K7s sharing two nodes — LFK grown from
+// each side should include the shared nodes in both communities.
+func TestOverlapFromSharedNodes(t *testing.T) {
+	k, shared := 7, 2
+	n := 2*k - shared
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(k); i++ {
+		for j := i + 1; j < int32(k); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	for i := int32(k - shared); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+	st := search.NewState(g, g.MaxDegree())
+	opt := Options{}.withDefaults(n)
+	naturalCommunity(g, st, 0, opt)
+	comA := cover.Community(st.Members())
+	st.Reset()
+	naturalCommunity(g, st, int32(n-1), opt)
+	comB := cover.Community(st.Members())
+	for _, sharedNode := range []int32{int32(k - shared), int32(k - 1)} {
+		if !comA.Contains(sharedNode) || !comB.Contains(sharedNode) {
+			t.Fatalf("shared node %d missing from one side: A=%v B=%v", sharedNode, comA, comB)
+		}
+	}
+}
+
+func TestCoveredSeedsSkipped(t *testing.T) {
+	// On a single clique, the first natural community covers everything,
+	// so exactly one seed is tried.
+	b := graph.NewBuilder(6)
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	res, err := Run(b.Build(), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeedsTried != 1 {
+		t.Fatalf("seeds=%d, want 1", res.SeedsTried)
+	}
+	if res.Cover.Len() != 1 || len(res.Cover.Communities[0]) != 6 {
+		t.Fatalf("cover=%v", res.Cover.Communities)
+	}
+}

@@ -1,0 +1,29 @@
+package lfr
+
+import "testing"
+
+// BenchmarkGenerate measures full benchmark generation at the Fig. 2
+// scale (n=1000, the LFR paper's default configuration).
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Params{
+			N: 1000, AvgDeg: 20, MaxDeg: 50, Mu: 0.3,
+			MinCom: 20, MaxCom: 50, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateOverlap measures the overlapping variant.
+func BenchmarkGenerateOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Params{
+			N: 1000, AvgDeg: 20, MaxDeg: 50, Mu: 0.3,
+			MinCom: 20, MaxCom: 50, OverlapNodes: 100, OverlapMemb: 2,
+			Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

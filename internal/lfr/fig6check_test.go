@@ -1,0 +1,22 @@
+package lfr
+
+import "testing"
+
+// TestFig6WorkloadFeasible pins the paper's hardest Fig. 6 configuration:
+// max.deg=150 with communities of [50, 100] forces hub internal degrees
+// to be clamped and the packing to be tight.
+func TestFig6WorkloadFeasible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node generation")
+	}
+	b, err := Generate(Params{
+		N: 10000, AvgDeg: 50, MaxDeg: 150, Mu: 0.2,
+		MinCom: 50, MaxCom: 100, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MeasureMixing(b.Graph, b.Memberships); got > 0.35 {
+		t.Fatalf("realized mixing %.3f too far above requested 0.2 (clamped hubs allowed, not this much)", got)
+	}
+}

@@ -1,0 +1,346 @@
+package lfr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func testParams(seed int64) Params {
+	return Params{
+		N:      500,
+		AvgDeg: 12,
+		MaxDeg: 40,
+		Mu:     0.2,
+		MinCom: 20,
+		MaxCom: 60,
+		Seed:   seed,
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	bench, err := Generate(testParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bench.Graph
+	if g.N() != 500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Average degree within 15% of target (stub dropping causes a small
+	// deficit).
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 12*0.85 || avg > 12*1.15 {
+		t.Fatalf("avg degree %.2f, want ≈12", avg)
+	}
+	if g.MaxDegree() > 40 {
+		t.Fatalf("max degree %d exceeds cap 40", g.MaxDegree())
+	}
+	// Community sizes within bounds.
+	for i, c := range bench.Communities.Communities {
+		if len(c) < 20 || len(c) > 60 {
+			t.Fatalf("community %d size %d out of [20, 60]", i, len(c))
+		}
+	}
+	// Every node in exactly one community (no overlap requested).
+	for v, ms := range bench.Memberships {
+		if len(ms) != 1 {
+			t.Fatalf("node %d has %d memberships, want 1", v, len(ms))
+		}
+	}
+	// Total community slots = N.
+	total := 0
+	for _, c := range bench.Communities.Communities {
+		total += len(c)
+	}
+	if total != 500 {
+		t.Fatalf("total slots %d, want 500", total)
+	}
+}
+
+func TestGenerateMixingParameter(t *testing.T) {
+	for _, mu := range []float64{0.1, 0.3, 0.5} {
+		p := testParams(7)
+		p.Mu = mu
+		p.N = 1000
+		bench, err := Generate(p)
+		if err != nil {
+			t.Fatalf("mu=%g: %v", mu, err)
+		}
+		got := MeasureMixing(bench.Graph, bench.Memberships)
+		if math.Abs(got-mu) > 0.07 {
+			t.Fatalf("mu=%g realized %.3f, want within ±0.07", mu, got)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testParams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testParams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.M() != b.Graph.M() || a.Communities.Len() != b.Communities.Len() {
+		t.Fatal("same seed produced different instances")
+	}
+	equal := true
+	a.Graph.Edges(func(u, v int32) bool {
+		if !b.Graph.HasEdge(u, v) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	if !equal {
+		t.Fatal("edge sets differ for identical seeds")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(testParams(1))
+	b, _ := Generate(testParams(2))
+	same := true
+	a.Graph.Edges(func(u, v int32) bool {
+		if !b.Graph.HasEdge(u, v) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if same && a.Graph.M() == b.Graph.M() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateOverlap(t *testing.T) {
+	p := testParams(11)
+	p.N = 600
+	p.OverlapNodes = 50
+	p.OverlapMemb = 2
+	bench, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := 0
+	for _, ms := range bench.Memberships {
+		switch len(ms) {
+		case 1:
+		case 2:
+			over++
+		default:
+			t.Fatalf("membership count %d, want 1 or 2", len(ms))
+		}
+	}
+	if over != 50 {
+		t.Fatalf("overlapping nodes %d, want 50", over)
+	}
+	// Total slots = N + on·(om−1).
+	total := 0
+	for _, c := range bench.Communities.Communities {
+		total += len(c)
+	}
+	if total != 650 {
+		t.Fatalf("total slots %d, want 650", total)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Params{
+		{},
+		{N: 100, AvgDeg: 10, MaxDeg: 5, MinCom: 10, MaxCom: 20},   // avg > max
+		{N: 100, AvgDeg: 10, MaxDeg: 200, MinCom: 10, MaxCom: 20}, // maxdeg >= n
+		{N: 100, AvgDeg: 5, MaxDeg: 20, MinCom: 10, MaxCom: 20, Mu: 1.0},
+		{N: 100, AvgDeg: 5, MaxDeg: 20, MinCom: 1, MaxCom: 20},
+		{N: 100, AvgDeg: 5, MaxDeg: 20, MinCom: 10, MaxCom: 200},
+		{N: 100, AvgDeg: 5, MaxDeg: 20, MinCom: 10, MaxCom: 20, OverlapNodes: -1},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestDegreeSequencePowerLaw checks the sampler: mean near target, all
+// samples within bounds, heavy tail present.
+func TestDegreeSequencePowerLaw(t *testing.T) {
+	rng := xrand.New(5, 0)
+	xmin := solveXmin(2, 150, 50)
+	pl := powerLaw{exp: 2, xmin: xmin, xmax: 150}
+	nSamples := 200000
+	sum := 0
+	countAbove100 := 0
+	for i := 0; i < nSamples; i++ {
+		k := pl.sample(rng)
+		if k < 1 || k > 150 {
+			t.Fatalf("sample %d out of [1, 150]", k)
+		}
+		sum += k
+		if k > 100 {
+			countAbove100++
+		}
+	}
+	mean := float64(sum) / float64(nSamples)
+	if math.Abs(mean-50) > 2 {
+		t.Fatalf("sampled mean %.2f, want ≈50", mean)
+	}
+	if countAbove100 == 0 {
+		t.Fatal("no heavy-tail samples above 100")
+	}
+}
+
+func TestSolveXminMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed, 0)
+		exp := 1.5 + rng.Float64()*1.5
+		xmax := 50 + rng.Float64()*200
+		target := 2 + rng.Float64()*(xmax/3)
+		xmin := solveXmin(exp, xmax, target)
+		if xmin < 1 || xmin > xmax {
+			return false
+		}
+		lowest := (powerLaw{exp, 1, xmax}).mean()
+		if target <= lowest {
+			// Unreachable target: solveXmin clamps to the bound.
+			return xmin == 1
+		}
+		got := (powerLaw{exp, xmin, xmax}).mean()
+		return math.Abs(got-target) < 0.05*target+0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawMeanClosedForms(t *testing.T) {
+	// Monte Carlo check of the three mean() branches.
+	for _, exp := range []float64{1, 2, 2.5} {
+		pl := powerLaw{exp: exp, xmin: 5, xmax: 100}
+		rng := xrand.New(3, int64(exp*10))
+		sum := 0.0
+		n := 300000
+		for i := 0; i < n; i++ {
+			sum += float64(pl.sample(rng))
+		}
+		mc := sum / float64(n)
+		want := pl.mean()
+		if math.Abs(mc-want) > 0.02*want+0.5 {
+			t.Fatalf("exp=%g: MC mean %.2f vs closed form %.2f", exp, mc, want)
+		}
+	}
+}
+
+// TestInternalDegreeFeasibility: every node's per-membership internal
+// degree must be strictly below its community's size.
+func TestInternalDegreeFeasibility(t *testing.T) {
+	p := testParams(13)
+	bench, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Realized internal degree per node ≤ community size − 1 is implied
+	// by simple-graph structure; here we check the planted community
+	// actually contains enough of each member's edges (no member is
+	// isolated inside its community for µ=0.2).
+	g := bench.Graph
+	isolatedInside := 0
+	for v := 0; v < g.N(); v++ {
+		ms := bench.Memberships[v]
+		internal := 0
+		for _, w := range g.Neighbors(int32(v)) {
+			if share(ms, bench.Memberships[w]) {
+				internal++
+			}
+		}
+		if internal == 0 && g.Degree(int32(v)) > 0 {
+			isolatedInside++
+		}
+	}
+	if frac := float64(isolatedInside) / float64(g.N()); frac > 0.02 {
+		t.Fatalf("%.1f%% of nodes have no intra-community edge at µ=0.2", 100*frac)
+	}
+}
+
+func TestFig5ScaleParams(t *testing.T) {
+	// The Fig. 5 workload uses large communities (500–700) and high
+	// degree (50/150). Verify generation succeeds at the smallest sweep
+	// size used by the scaled-down default experiment.
+	if testing.Short() {
+		t.Skip("large generation in -short mode")
+	}
+	p := Params{
+		N: 2000, AvgDeg: 50, MaxDeg: 150,
+		Mu: 0.2, MinCom: 500, MaxCom: 700, Seed: 4,
+	}
+	bench, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := 2 * float64(bench.Graph.M()) / float64(bench.Graph.N())
+	if avg < 40 || avg > 60 {
+		t.Fatalf("avg degree %.1f, want ≈50", avg)
+	}
+}
+
+func TestGenerateOverlapOmThree(t *testing.T) {
+	p := testParams(17)
+	p.N = 900
+	p.OverlapNodes = 30
+	p.OverlapMemb = 3
+	bench, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three := 0
+	for _, ms := range bench.Memberships {
+		switch len(ms) {
+		case 1:
+		case 3:
+			three++
+			// Memberships must be distinct communities.
+			seen := map[int32]bool{}
+			for _, c := range ms {
+				if seen[c] {
+					t.Fatalf("duplicate membership %v", ms)
+				}
+				seen[c] = true
+			}
+		default:
+			t.Fatalf("membership count %d, want 1 or 3", len(ms))
+		}
+	}
+	if three != 30 {
+		t.Fatalf("overlap nodes %d, want 30", three)
+	}
+	total := 0
+	for _, c := range bench.Communities.Communities {
+		total += len(c)
+	}
+	if total != 900+30*2 {
+		t.Fatalf("total slots %d, want %d", total, 900+30*2)
+	}
+}
+
+func TestRelaxedPlacementPreservesDegrees(t *testing.T) {
+	// The Fig. 6 stress configuration exercises relaxed placement; the
+	// realized graph must still be close to the requested density.
+	if testing.Short() {
+		t.Skip("heavy generation")
+	}
+	b, err := Generate(Params{
+		N: 3000, AvgDeg: 50, MaxDeg: 150, Mu: 0.2,
+		MinCom: 50, MaxCom: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := 2 * float64(b.Graph.M()) / float64(b.Graph.N())
+	if avg < 40 || avg > 60 {
+		t.Fatalf("avg degree %.1f, want ≈50", avg)
+	}
+}

@@ -1,0 +1,36 @@
+package lfr
+
+import "repro/internal/graph"
+
+// MeasureMixing returns the realized mixing parameter of a generated
+// instance: the fraction, over all edge endpoints, of edges that leave
+// every community of the endpoint. For a perfect realization this equals
+// the requested µ.
+func MeasureMixing(g *graph.Graph, memberships [][]int32) float64 {
+	var external, total int64
+	n := g.N()
+	for v := int32(0); v < int32(n); v++ {
+		ms := memberships[v]
+		for _, w := range g.Neighbors(v) {
+			total++
+			if !share(ms, memberships[w]) {
+				external++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(external) / float64(total)
+}
+
+func share(a, b []int32) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package lfr
+
+import (
+	"math"
+	"math/rand"
+)
+
+// powerLaw samples integers from a truncated continuous power law with
+// density ∝ x^(-exp) on [xmin, xmax], rounded to the nearest integer and
+// clamped to [1, xmax]. Inverse-transform sampling keeps it O(1) per draw.
+type powerLaw struct {
+	exp        float64
+	xmin, xmax float64
+}
+
+// sample draws one value.
+func (p powerLaw) sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	var x float64
+	if math.Abs(p.exp-1) < 1e-9 {
+		// F^{-1}(u) = xmin · (xmax/xmin)^u
+		x = p.xmin * math.Pow(p.xmax/p.xmin, u)
+	} else {
+		e := 1 - p.exp
+		a := math.Pow(p.xmin, e)
+		b := math.Pow(p.xmax, e)
+		x = math.Pow(a+u*(b-a), 1/e)
+	}
+	k := int(math.Round(x))
+	if k < 1 {
+		k = 1
+	}
+	if k > int(p.xmax) {
+		k = int(p.xmax)
+	}
+	return k
+}
+
+// mean returns the expectation of the continuous truncated power law.
+func (p powerLaw) mean() float64 {
+	if p.xmax-p.xmin < 1e-12 {
+		return p.xmax // degenerate point mass
+	}
+	t := p.exp
+	if math.Abs(t-1) < 1e-9 {
+		// density ∝ 1/x: Z = ln(xmax/xmin); E = (xmax-xmin)/Z
+		z := math.Log(p.xmax / p.xmin)
+		return (p.xmax - p.xmin) / z
+	}
+	if math.Abs(t-2) < 1e-9 {
+		// Z = xmin^{-1} - xmax^{-1}; E = ln(xmax/xmin)/Z
+		z := 1/p.xmin - 1/p.xmax
+		return math.Log(p.xmax/p.xmin) / z
+	}
+	// General: E = ((1-t)/(2-t)) · (xmax^{2-t}-xmin^{2-t})/(xmax^{1-t}-xmin^{1-t})
+	num := math.Pow(p.xmax, 2-t) - math.Pow(p.xmin, 2-t)
+	den := math.Pow(p.xmax, 1-t) - math.Pow(p.xmin, 1-t)
+	return (1 - t) / (2 - t) * num / den
+}
+
+// solveXmin finds xmin ∈ [1, xmax] such that the truncated power law with
+// the given exponent and cutoff has the target mean, by bisection (the
+// mean is strictly increasing in xmin). Returns xmax when even xmin=xmax
+// cannot reach the target (the caller then degenerates to a constant).
+func solveXmin(exp, xmax, targetMean float64) float64 {
+	lo, hi := 1.0, xmax
+	if (powerLaw{exp, hi, xmax}).mean() < targetMean {
+		return xmax
+	}
+	if (powerLaw{exp, lo, xmax}).mean() > targetMean {
+		return lo
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if (powerLaw{exp, mid, xmax}).mean() < targetMean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cover"
+)
+
+func randomCover(seed int64, k, maxNode int) *cover.Cover {
+	rng := rand.New(rand.NewSource(seed))
+	cs := make([]cover.Community, k)
+	for i := range cs {
+		members := make([]int32, 10+rng.Intn(40))
+		for j := range members {
+			members[j] = int32(rng.Intn(maxNode))
+		}
+		cs[i] = cover.NewCommunity(members)
+	}
+	return cover.NewCover(cs)
+}
+
+// BenchmarkTheta measures eq. V.2 on covers of 100 communities.
+func BenchmarkTheta(b *testing.B) {
+	ref := randomCover(1, 100, 2000)
+	obs := randomCover(2, 100, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Theta(ref, obs)
+	}
+}
+
+// BenchmarkOmega measures the pairwise agreement index.
+func BenchmarkOmega(b *testing.B) {
+	ref := randomCover(1, 40, 500)
+	obs := randomCover(2, 40, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OmegaIndex(ref, obs, 500)
+	}
+}

@@ -1,0 +1,167 @@
+// Package metrics implements the community-structure quality measures of
+// the paper — the set similarity ρ (eq. V.1) and the structure similarity
+// Θ (eq. V.2) — plus two standard cross-checks (best-match F1 and the
+// Omega index) used by the extension experiments.
+package metrics
+
+import (
+	"repro/internal/cover"
+)
+
+// Rho is the paper's similarity between two communities (eq. V.1):
+//
+//	ρ(C, D) = 1 − (|C\D| + |D\C|) / |C ∪ D|
+//
+// which equals |C ∩ D| / |C ∪ D| (the Jaccard index). It is 1 for equal
+// sets and 0 for disjoint ones. ρ of two empty sets is defined as 1.
+func Rho(c, d cover.Community) float64 {
+	inter := c.IntersectionSize(d)
+	union := len(c) + len(d) - inter
+	if union == 0 {
+		return 1
+	}
+	// |C\D| + |D\C| = union - inter, so ρ = inter/union.
+	return float64(inter) / float64(union)
+}
+
+// Theta is the paper's suitability of an observed structure O with
+// respect to the reference structure F (eq. V.2):
+//
+//	V_i = { O_j : argmax_k ρ(F_k, O_j) = i }
+//	Θ(F, O) = (1/ℓ) Σ_i (1/|V_i|) Σ_{O_j ∈ V_i} ρ(F_i, O_j)
+//
+// Each observed community votes for the reference community it matches
+// best (ties go to the lowest index, making the measure deterministic);
+// reference communities that attract no observed community contribute 0.
+// Θ ∈ [0, 1]: 1 iff every reference community is matched exactly.
+// It is defined for overlapping structures on both sides.
+func Theta(ref, obs *cover.Cover) float64 {
+	l := ref.Len()
+	if l == 0 {
+		return 0
+	}
+	if obs.Len() == 0 {
+		return 0
+	}
+	sums := make([]float64, l)
+	counts := make([]int, l)
+	for _, oj := range obs.Communities {
+		best, bestRho := 0, -1.0
+		for i, fi := range ref.Communities {
+			if r := Rho(fi, oj); r > bestRho {
+				best, bestRho = i, r
+			}
+		}
+		sums[best] += bestRho
+		counts[best]++
+	}
+	total := 0.0
+	for i := range sums {
+		if counts[i] > 0 {
+			total += sums[i] / float64(counts[i])
+		}
+	}
+	return total / float64(l)
+}
+
+// BestMatchF1 returns the symmetric average-F1 between two covers: for
+// each community in one cover take the best F1 against the other cover,
+// average, and average the two directions. A standard complement to Θ
+// that penalizes unmatched communities in both structures.
+func BestMatchF1(a, b *cover.Cover) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	return (avgBestF1(a, b) + avgBestF1(b, a)) / 2
+}
+
+func avgBestF1(from, to *cover.Cover) float64 {
+	total := 0.0
+	for _, c := range from.Communities {
+		best := 0.0
+		for _, d := range to.Communities {
+			if f := f1(c, d); f > best {
+				best = f
+			}
+		}
+		total += best
+	}
+	return total / float64(from.Len())
+}
+
+func f1(c, d cover.Community) float64 {
+	inter := c.IntersectionSize(d)
+	if inter == 0 {
+		return 0
+	}
+	p := float64(inter) / float64(len(d))
+	r := float64(inter) / float64(len(c))
+	return 2 * p * r / (p + r)
+}
+
+// OmegaIndex computes the Omega index of agreement between two covers
+// over n nodes: the fraction of node pairs on whose co-membership count
+// the covers agree, corrected for chance agreement. 1 means identical
+// pairwise structure; 0 means chance-level agreement. Overlap-aware
+// (counts how many communities each pair shares). O(n²) pairs — intended
+// for evaluation-scale graphs, not the 10⁸-edge runs.
+func OmegaIndex(a, b *cover.Cover, n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	pairsA := pairCounts(a, n)
+	pairsB := pairCounts(b, n)
+	totalPairs := float64(n) * float64(n-1) / 2
+
+	// Observed agreement: pairs with identical counts in both covers.
+	// The maps hold only nonzero counts; pairs absent from both agree at 0.
+	agree := 0.0
+	distA := map[int]float64{} // shared-count -> number of pairs (incl. 0)
+	distB := map[int]float64{}
+	inBoth := 0.0
+	for p, ka := range pairsA {
+		distA[ka]++
+		if kb, ok := pairsB[p]; ok {
+			inBoth++
+			if kb == ka {
+				agree++
+			}
+		}
+	}
+	for _, kb := range pairsB {
+		distB[kb]++
+	}
+	nonzeroA := float64(len(pairsA))
+	nonzeroB := float64(len(pairsB))
+	zeroA := totalPairs - nonzeroA
+	zeroB := totalPairs - nonzeroB
+	bothZero := totalPairs - nonzeroA - nonzeroB + inBoth
+	agree += bothZero
+	obs := agree / totalPairs
+
+	// Expected agreement under independence.
+	distA[0] += zeroA
+	distB[0] += zeroB
+	exp := 0.0
+	for k, ca := range distA {
+		if cb, ok := distB[k]; ok {
+			exp += (ca / totalPairs) * (cb / totalPairs)
+		}
+	}
+	if exp >= 1 {
+		return 1
+	}
+	return (obs - exp) / (1 - exp)
+}
+
+func pairCounts(cv *cover.Cover, n int) map[[2]int32]int {
+	counts := make(map[[2]int32]int)
+	for _, c := range cv.Communities {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				counts[[2]int32{c[i], c[j]}]++
+			}
+		}
+	}
+	return counts
+}

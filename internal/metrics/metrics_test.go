@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cover"
+)
+
+func com(vs ...int32) cover.Community { return cover.NewCommunity(vs) }
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestRhoKnownValues(t *testing.T) {
+	approx(t, "identical", Rho(com(1, 2, 3), com(1, 2, 3)), 1)
+	approx(t, "disjoint", Rho(com(1, 2), com(3, 4)), 0)
+	approx(t, "half", Rho(com(1, 2, 3), com(2, 3, 4)), 0.5)
+	approx(t, "subset", Rho(com(1, 2, 3, 4), com(1, 2)), 0.5)
+	approx(t, "both empty", Rho(com(), com()), 1)
+	approx(t, "one empty", Rho(com(1), com()), 0)
+}
+
+// TestRhoMatchesPaperFormula verifies ρ = 1 − (|C\D|+|D\C|)/|C∪D|
+// literally against set arithmetic on random sets.
+func TestRhoMatchesPaperFormula(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() (cover.Community, map[int32]bool) {
+			m := map[int32]bool{}
+			var vals []int32
+			for i := 0; i < rng.Intn(30); i++ {
+				v := int32(rng.Intn(40))
+				m[v] = true
+				vals = append(vals, v)
+			}
+			return cover.NewCommunity(vals), m
+		}
+		c, cm := mk()
+		d, dm := mk()
+		onlyC, onlyD, union := 0, 0, 0
+		for v := range cm {
+			union++
+			if !dm[v] {
+				onlyC++
+			}
+		}
+		for v := range dm {
+			if !cm[v] {
+				onlyD++
+				union++
+			}
+		}
+		var want float64
+		if union == 0 {
+			want = 1
+		} else {
+			want = 1 - float64(onlyC+onlyD)/float64(union)
+		}
+		return math.Abs(Rho(c, d)-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRhoProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() cover.Community {
+			var vals []int32
+			for i := 0; i < rng.Intn(25); i++ {
+				vals = append(vals, int32(rng.Intn(40)))
+			}
+			return cover.NewCommunity(vals)
+		}
+		c, d := mk(), mk()
+		r := Rho(c, d)
+		// Symmetric, bounded, identity.
+		return r >= 0 && r <= 1 &&
+			math.Abs(r-Rho(d, c)) < 1e-15 &&
+			Rho(c, c) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThetaPerfectMatch(t *testing.T) {
+	ref := cover.NewCover([]cover.Community{com(0, 1, 2), com(3, 4, 5)})
+	obs := cover.NewCover([]cover.Community{com(3, 4, 5), com(0, 1, 2)})
+	approx(t, "Θ exact", Theta(ref, obs), 1)
+}
+
+func TestThetaTotallyDifferent(t *testing.T) {
+	ref := cover.NewCover([]cover.Community{com(0, 1), com(2, 3)})
+	obs := cover.NewCover([]cover.Community{com(10, 11)})
+	approx(t, "Θ disjoint", Theta(ref, obs), 0)
+}
+
+func TestThetaPartial(t *testing.T) {
+	// One reference community found exactly, the other missed entirely:
+	// Θ = (1 + 0)/2.
+	ref := cover.NewCover([]cover.Community{com(0, 1, 2), com(5, 6, 7)})
+	obs := cover.NewCover([]cover.Community{com(0, 1, 2)})
+	approx(t, "Θ half", Theta(ref, obs), 0.5)
+}
+
+func TestThetaAveragesWithinVi(t *testing.T) {
+	// Two observed communities both match ref community 0: one exactly
+	// (ρ=1), one with ρ=0.5; V_0 average is 0.75 and ℓ=1.
+	ref := cover.NewCover([]cover.Community{com(0, 1, 2)})
+	obs := cover.NewCover([]cover.Community{com(0, 1, 2), com(1, 2, 9)})
+	approx(t, "Θ V_i average", Theta(ref, obs), 0.75)
+}
+
+func TestThetaEdgeCases(t *testing.T) {
+	empty := cover.NewCover(nil)
+	some := cover.NewCover([]cover.Community{com(1, 2)})
+	approx(t, "empty ref", Theta(empty, some), 0)
+	approx(t, "empty obs", Theta(some, empty), 0)
+}
+
+func TestThetaBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mkCover := func() *cover.Cover {
+			k := 1 + rng.Intn(5)
+			cs := make([]cover.Community, k)
+			for i := range cs {
+				var vals []int32
+				for j := 0; j < 1+rng.Intn(10); j++ {
+					vals = append(vals, int32(rng.Intn(30)))
+				}
+				cs[i] = cover.NewCommunity(vals)
+			}
+			return cover.NewCover(cs)
+		}
+		ref, obs := mkCover(), mkCover()
+		th := Theta(ref, obs)
+		if th < 0 || th > 1 {
+			return false
+		}
+		// Self-comparison of a cover with distinct communities is 1 when
+		// each community is its own best match; at minimum it is positive.
+		return Theta(ref, ref) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestMatchF1(t *testing.T) {
+	a := cover.NewCover([]cover.Community{com(0, 1, 2), com(3, 4)})
+	approx(t, "identical F1", BestMatchF1(a, a.Clone()), 1)
+	b := cover.NewCover([]cover.Community{com(10, 11)})
+	approx(t, "disjoint F1", BestMatchF1(a, b), 0)
+	if BestMatchF1(a, cover.NewCover(nil)) != 0 {
+		t.Fatal("empty cover should score 0")
+	}
+	// Symmetry.
+	c := cover.NewCover([]cover.Community{com(0, 1), com(2, 3, 4)})
+	if math.Abs(BestMatchF1(a, c)-BestMatchF1(c, a)) > 1e-15 {
+		t.Fatal("BestMatchF1 not symmetric")
+	}
+}
+
+func TestOmegaIndex(t *testing.T) {
+	a := cover.NewCover([]cover.Community{com(0, 1, 2), com(3, 4)})
+	got := OmegaIndex(a, a.Clone(), 6)
+	approx(t, "identical omega", got, 1)
+
+	// Completely different pair structure scores below identical.
+	b := cover.NewCover([]cover.Community{com(0, 3), com(1, 4)})
+	if o := OmegaIndex(a, b, 6); o >= 0.99 {
+		t.Fatalf("different covers omega=%g, want < 0.99", o)
+	}
+	if o := OmegaIndex(a, b, 6); math.Abs(o-OmegaIndex(b, a, 6)) > 1e-12 {
+		t.Fatal("omega not symmetric")
+	}
+	if OmegaIndex(a, b, 1) != 1 {
+		t.Fatal("n<2 should return 1")
+	}
+}
+
+func TestOmegaOverlapSensitive(t *testing.T) {
+	// Cover where nodes 1,2 share two communities vs a cover where they
+	// share one: counts differ so the pair disagrees.
+	a := cover.NewCover([]cover.Community{com(1, 2, 3), com(1, 2)})
+	b := cover.NewCover([]cover.Community{com(1, 2, 3)})
+	if o := OmegaIndex(a, b, 4); o >= 1 {
+		t.Fatalf("omega=%g, want < 1 for different multiplicity", o)
+	}
+}
+
+// TestThetaSelfIdentity: a cover with pairwise-distinct communities
+// scores Θ = 1 against itself.
+func TestThetaSelfIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		seen := map[string]bool{}
+		var cs []cover.Community
+		for len(cs) < k {
+			var vals []int32
+			for j := 0; j < 1+rng.Intn(12); j++ {
+				vals = append(vals, int32(rng.Intn(40)))
+			}
+			c := cover.NewCommunity(vals)
+			key := fmt.Sprint(c)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cs = append(cs, c)
+		}
+		cv := cover.NewCover(cs)
+		return math.Abs(Theta(cv, cv)-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

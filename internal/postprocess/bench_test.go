@@ -1,0 +1,36 @@
+package postprocess
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cover"
+)
+
+// BenchmarkMerge measures the ρ-threshold merge on a cover with many
+// near-duplicates (OCA's raw output shape).
+func BenchmarkMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]cover.Community, 50)
+	for i := range base {
+		members := make([]int32, 40)
+		for j := range members {
+			members[j] = int32(rng.Intn(2000))
+		}
+		base[i] = cover.NewCommunity(members)
+	}
+	// Three noisy copies of each.
+	var cs []cover.Community
+	for _, c := range base {
+		for rep := 0; rep < 3; rep++ {
+			noisy := append(cover.Community{}, c...)
+			noisy[rng.Intn(len(noisy))] = int32(rng.Intn(2000))
+			cs = append(cs, cover.NewCommunity(noisy))
+		}
+	}
+	cv := cover.NewCover(cs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(cv, 0.5)
+	}
+}

@@ -1,0 +1,178 @@
+// Package postprocess implements the two result post-processing steps of
+// the paper's Section IV: merging communities that are "too similar"
+// (ρ above a threshold) and assigning orphan nodes to the community
+// holding most of their neighbors. The paper applies these to OCA's
+// output and, for the quality comparisons, to the baselines' output too.
+package postprocess
+
+import (
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// DefaultMergeThreshold is the ρ above which two communities are
+// considered duplicates of each other. The paper does not publish its
+// value; 0.5 ("more common than distinct members") is our default and
+// the ablation bench sweeps it.
+const DefaultMergeThreshold = 0.5
+
+// Merge repeatedly unions pairs of communities whose similarity
+// ρ (eq. V.1) is at least threshold, until no such pair remains, and
+// returns a new Cover. Only pairs sharing at least one node can have
+// ρ > 0, so candidates come from an inverted node→community index.
+// Empty communities are dropped.
+func Merge(cv *cover.Cover, threshold float64) *cover.Cover {
+	cs := make([]cover.Community, 0, cv.Len())
+	for _, c := range cv.Communities {
+		if len(c) > 0 {
+			cc := make(cover.Community, len(c))
+			copy(cc, c)
+			cs = append(cs, cc)
+		}
+	}
+	for {
+		merged := mergePass(cs, threshold)
+		if merged == nil {
+			break
+		}
+		cs = merged
+	}
+	return cover.NewCover(cs)
+}
+
+// mergePass performs one greedy pass. It returns the new community list
+// if at least one merge happened, or nil if none did.
+func mergePass(cs []cover.Community, threshold float64) []cover.Community {
+	index := map[int32][]int{}
+	for ci, c := range cs {
+		for _, v := range c {
+			index[v] = append(index[v], ci)
+		}
+	}
+	dead := make([]bool, len(cs))
+	anyMerge := false
+	for i := range cs {
+		if dead[i] {
+			continue
+		}
+		// Collect distinct candidate partners sharing a node with i.
+		seen := map[int]bool{}
+		var cands []int
+		for _, v := range cs[i] {
+			for _, j := range index[v] {
+				if j > i && !dead[j] && !seen[j] {
+					seen[j] = true
+					cands = append(cands, j)
+				}
+			}
+		}
+		sort.Ints(cands)
+		for _, j := range cands {
+			if dead[j] {
+				continue
+			}
+			if metrics.Rho(cs[i], cs[j]) >= threshold {
+				cs[i] = cs[i].Union(cs[j])
+				dead[j] = true
+				anyMerge = true
+			}
+		}
+	}
+	if !anyMerge {
+		return nil
+	}
+	out := cs[:0]
+	for i, c := range cs {
+		if !dead[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// OrphanOptions configure AssignOrphans.
+type OrphanOptions struct {
+	// Rounds bounds the propagation rounds: nodes assigned in round r
+	// count as covered neighbors in round r+1, letting coverage spread
+	// through regions no community reached. Default 1 (single pass, as a
+	// literal reading of the paper suggests).
+	Rounds int
+	// Singletons, when true, turns nodes still uncovered after all
+	// rounds into singleton communities so the result is a full cover.
+	Singletons bool
+}
+
+// AssignOrphans returns a new Cover in which every node of g that was
+// covered by no community joins the community containing the largest
+// number of its neighbors (ties: the community that appears first).
+// Nodes with no covered neighbors are left unassigned unless propagation
+// rounds or Singletons place them.
+func AssignOrphans(g *graph.Graph, cv *cover.Cover, opt OrphanOptions) *cover.Cover {
+	if opt.Rounds <= 0 {
+		opt.Rounds = 1
+	}
+	n := g.N()
+	out := cv.Clone()
+
+	// membership[v] = communities containing v (first community wins ties).
+	membership := make([][]int32, n)
+	for ci, c := range out.Communities {
+		for _, v := range c {
+			membership[v] = append(membership[v], int32(ci))
+		}
+	}
+	// appended[ci] accumulates new members per community.
+	appended := make(map[int32][]int32)
+
+	for round := 0; round < opt.Rounds; round++ {
+		assignedAny := false
+		// Collect this round's assignments first so a round is a
+		// simultaneous update (deterministic, order-independent).
+		roundAssign := make(map[int32]int32)
+		for v := int32(0); v < int32(n); v++ {
+			if len(membership[v]) > 0 {
+				continue
+			}
+			counts := map[int32]int{}
+			for _, w := range g.Neighbors(v) {
+				for _, ci := range membership[w] {
+					counts[ci]++
+				}
+			}
+			if len(counts) == 0 {
+				continue
+			}
+			best := int32(-1)
+			bestCount := 0
+			for ci, k := range counts {
+				if k > bestCount || (k == bestCount && (best == -1 || ci < best)) {
+					best, bestCount = ci, k
+				}
+			}
+			roundAssign[v] = best
+			assignedAny = true
+		}
+		for v, ci := range roundAssign {
+			membership[v] = append(membership[v], ci)
+			appended[ci] = append(appended[ci], v)
+		}
+		if !assignedAny {
+			break
+		}
+	}
+
+	for ci, extra := range appended {
+		out.Communities[ci] = out.Communities[ci].Union(cover.NewCommunity(extra))
+	}
+	if opt.Singletons {
+		for v := int32(0); v < int32(n); v++ {
+			if len(membership[v]) == 0 {
+				out.Communities = append(out.Communities, cover.Community{v})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package postprocess
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func com(vs ...int32) cover.Community { return cover.NewCommunity(vs) }
+
+func TestMergeCollapsesDuplicates(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{
+		com(0, 1, 2, 3),
+		com(0, 1, 2, 3), // exact duplicate
+		com(0, 1, 2, 4), // ρ = 3/5 = 0.6
+		com(10, 11, 12), // unrelated
+	})
+	got := Merge(cv, 0.5)
+	if got.Len() != 2 {
+		t.Fatalf("got %d communities, want 2: %v", got.Len(), got.Communities)
+	}
+	// The merged community is the union of the three similar ones.
+	var big cover.Community
+	for _, c := range got.Communities {
+		if c.Contains(0) {
+			big = c
+		}
+	}
+	if !big.Equal(com(0, 1, 2, 3, 4)) {
+		t.Fatalf("merged community %v", big)
+	}
+}
+
+func TestMergeRespectsThreshold(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{
+		com(0, 1, 2, 3),
+		com(2, 3, 4, 5), // ρ = 2/6 = 0.333
+	})
+	if got := Merge(cv, 0.5); got.Len() != 2 {
+		t.Fatalf("ρ below threshold merged anyway: %v", got.Communities)
+	}
+	if got := Merge(cv, 0.3); got.Len() != 1 {
+		t.Fatalf("ρ above threshold not merged: %v", got.Communities)
+	}
+}
+
+func TestMergeCascades(t *testing.T) {
+	// a~b and (a∪b)~c but a!~c: merging must cascade across passes.
+	a := com(0, 1, 2, 3, 4, 5)
+	b := com(3, 4, 5, 6, 7, 8)             // ρ(a,b)=3/9=0.33
+	c := com(0, 1, 2, 3, 4, 5, 6, 7, 8, 9) // ρ(a∪b, c) = 9/10
+	cv := cover.NewCover([]cover.Community{a, b, c})
+	got := Merge(cv, 0.3)
+	if got.Len() != 1 {
+		t.Fatalf("cascade failed: %d communities remain", got.Len())
+	}
+}
+
+func TestMergeDropsEmpty(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{com(), com(1, 2)})
+	if got := Merge(cv, 0.5); got.Len() != 1 {
+		t.Fatalf("empty community survived: %v", got.Communities)
+	}
+}
+
+// TestMergeFixpoint: after Merge, no pair has ρ ≥ threshold.
+func TestMergeFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(12)
+		cs := make([]cover.Community, k)
+		for i := range cs {
+			var vals []int32
+			for j := 0; j < 2+rng.Intn(10); j++ {
+				vals = append(vals, int32(rng.Intn(30)))
+			}
+			cs[i] = cover.NewCommunity(vals)
+		}
+		threshold := 0.2 + 0.7*rng.Float64()
+		got := Merge(cover.NewCover(cs), threshold)
+		for i := 0; i < got.Len(); i++ {
+			for j := i + 1; j < got.Len(); j++ {
+				if metrics.Rho(got.Communities[i], got.Communities[j]) >= threshold {
+					return false
+				}
+			}
+		}
+		// Every original node is still covered.
+		origCovered := map[int32]bool{}
+		for _, c := range cs {
+			for _, v := range c {
+				origCovered[v] = true
+			}
+		}
+		newCovered := map[int32]bool{}
+		for _, c := range got.Communities {
+			for _, v := range c {
+				newCovered[v] = true
+			}
+		}
+		if len(origCovered) != len(newCovered) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(n-1); i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestAssignOrphansBasic(t *testing.T) {
+	// Path 0-1-2-3-4; community {0,1}. Node 2 has one neighbor covered.
+	g := pathGraph(5)
+	cv := cover.NewCover([]cover.Community{com(0, 1)})
+	got := AssignOrphans(g, cv, OrphanOptions{})
+	if !got.Communities[0].Contains(2) {
+		t.Fatalf("node 2 not adopted: %v", got.Communities)
+	}
+	// One round: nodes 3,4 still orphans.
+	if got.Communities[0].Contains(3) || got.Communities[0].Contains(4) {
+		t.Fatalf("distant orphans adopted in a single round: %v", got.Communities)
+	}
+}
+
+func TestAssignOrphansPropagation(t *testing.T) {
+	g := pathGraph(5)
+	cv := cover.NewCover([]cover.Community{com(0, 1)})
+	got := AssignOrphans(g, cv, OrphanOptions{Rounds: 10})
+	want := com(0, 1, 2, 3, 4)
+	if !got.Communities[0].Equal(want) {
+		t.Fatalf("propagation incomplete: %v", got.Communities)
+	}
+}
+
+func TestAssignOrphansMajorityWins(t *testing.T) {
+	// Star: center 0 with neighbors 1,2,3. Communities {1,2} and {3}.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	g := b.Build()
+	cv := cover.NewCover([]cover.Community{com(1, 2), com(3)})
+	got := AssignOrphans(g, cv, OrphanOptions{})
+	if !got.Communities[0].Contains(0) {
+		t.Fatal("center should join the majority community")
+	}
+	if got.Communities[1].Contains(0) {
+		t.Fatal("center joined the minority community")
+	}
+}
+
+func TestAssignOrphansSingletons(t *testing.T) {
+	// Isolated node 3 can never be adopted; Singletons gives it its own
+	// community.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	cv := cover.NewCover([]cover.Community{com(0, 1, 2)})
+	got := AssignOrphans(g, cv, OrphanOptions{Singletons: true})
+	if got.Len() != 2 {
+		t.Fatalf("want singleton community, got %v", got.Communities)
+	}
+	if !got.Communities[1].Equal(com(3)) {
+		t.Fatalf("singleton wrong: %v", got.Communities[1])
+	}
+}
+
+func TestAssignOrphansFullCoverInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		// Random partial cover.
+		var members []int32
+		for v := int32(0); v < int32(n); v++ {
+			if rng.Intn(3) == 0 {
+				members = append(members, v)
+			}
+		}
+		if len(members) == 0 {
+			members = append(members, 0)
+		}
+		cv := cover.NewCover([]cover.Community{cover.NewCommunity(members)})
+		got := AssignOrphans(g, cv, OrphanOptions{Rounds: n, Singletons: true})
+		return got.Coverage(n) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignOrphansDoesNotMutateInput(t *testing.T) {
+	g := pathGraph(3)
+	orig := com(0, 1)
+	cv := cover.NewCover([]cover.Community{orig})
+	AssignOrphans(g, cv, OrphanOptions{})
+	if len(cv.Communities[0]) != 2 {
+		t.Fatal("input cover mutated")
+	}
+}

@@ -1,0 +1,191 @@
+// Package search provides the incremental node-set state both greedy
+// community searches (OCA and the LFK baseline) are built on. It
+// maintains, under single-node additions and removals:
+//
+//   - the member set S,
+//   - Ein(S), the number of edges inside S,
+//   - vol(S), the sum of member degrees,
+//   - d_S(v) for every member and frontier node (neighbors of v inside S),
+//   - the frontier (non-members adjacent to S),
+//   - two bucket queues answering "frontier node with max d_S" and
+//     "member with min d_S" in amortized O(1).
+//
+// Every operation costs O(deg(v)) for the touched node v.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// State is the incremental view of a node set S in a fixed graph.
+// Not safe for concurrent use; parallel searches each own a State.
+type State struct {
+	g *graph.Graph
+
+	member map[int32]struct{}
+	d      map[int32]int32 // d_S(v) for v in S or adjacent to S
+
+	ein int64
+	vol int64
+
+	frontierQ *ds.BucketQueue // non-members with d_S > 0, keyed by d_S
+	memberQ   *ds.BucketQueue // members, keyed by d_S
+}
+
+// NewState returns an empty State over g. maxDegree must be at least the
+// maximum degree of g (pass g.MaxDegree(); it is a parameter so callers
+// can compute it once per graph rather than once per seed).
+func NewState(g *graph.Graph, maxDegree int) *State {
+	return &State{
+		g:         g,
+		member:    make(map[int32]struct{}),
+		d:         make(map[int32]int32),
+		frontierQ: ds.NewBucketQueue(maxDegree),
+		memberQ:   ds.NewBucketQueue(maxDegree),
+	}
+}
+
+// Size returns |S|.
+func (s *State) Size() int { return len(s.member) }
+
+// Ein returns the number of edges with both endpoints in S.
+func (s *State) Ein() int64 { return s.ein }
+
+// Volume returns the sum of degrees of the members of S.
+func (s *State) Volume() int64 { return s.vol }
+
+// Contains reports whether v is in S.
+func (s *State) Contains(v int32) bool {
+	_, ok := s.member[v]
+	return ok
+}
+
+// DS returns d_S(v), the number of neighbors of v inside S. Valid for
+// any node (0 for nodes not adjacent to S).
+func (s *State) DS(v int32) int32 { return s.d[v] }
+
+// FrontierLen returns the number of non-members adjacent to S.
+func (s *State) FrontierLen() int { return s.frontierQ.Len() }
+
+// Add inserts v into S. It panics if v is already a member — the greedy
+// drivers must never do that, and silent acceptance would corrupt Ein.
+func (s *State) Add(v int32) {
+	if _, ok := s.member[v]; ok {
+		panic(fmt.Sprintf("search: Add(%d) already a member", v))
+	}
+	dv := s.d[v]
+	s.member[v] = struct{}{}
+	s.ein += int64(dv)
+	s.vol += int64(s.g.Degree(v))
+	if s.frontierQ.Contains(v) {
+		s.frontierQ.Remove(v)
+	}
+	s.memberQ.Add(v, int(dv))
+	for _, w := range s.g.Neighbors(v) {
+		dw := s.d[w] + 1
+		s.d[w] = dw
+		if _, isMember := s.member[w]; isMember {
+			s.memberQ.Update(w, int(dw))
+		} else if dw == 1 {
+			s.frontierQ.Add(w, 1)
+		} else {
+			s.frontierQ.Update(w, int(dw))
+		}
+	}
+}
+
+// Remove deletes v from S. It panics if v is not a member.
+func (s *State) Remove(v int32) {
+	if _, ok := s.member[v]; !ok {
+		panic(fmt.Sprintf("search: Remove(%d) not a member", v))
+	}
+	delete(s.member, v)
+	dv := s.d[v]
+	s.ein -= int64(dv)
+	s.vol -= int64(s.g.Degree(v))
+	s.memberQ.Remove(v)
+	if dv > 0 {
+		s.frontierQ.Add(v, int(dv))
+	} else {
+		delete(s.d, v)
+	}
+	for _, w := range s.g.Neighbors(v) {
+		dw := s.d[w] - 1
+		if _, isMember := s.member[w]; isMember {
+			s.d[w] = dw
+			s.memberQ.Update(w, int(dw))
+			continue
+		}
+		if dw == 0 {
+			delete(s.d, w)
+			s.frontierQ.Remove(w)
+		} else {
+			s.d[w] = dw
+			s.frontierQ.Update(w, int(dw))
+		}
+	}
+}
+
+// BestAddition returns a frontier node with maximal d_S. ok is false when
+// the frontier is empty.
+func (s *State) BestAddition() (v int32, dS int32, ok bool) {
+	id, key, ok := s.frontierQ.Max()
+	return id, int32(key), ok
+}
+
+// WorstMember returns a member with minimal d_S. ok is false when S is
+// empty.
+func (s *State) WorstMember() (v int32, dS int32, ok bool) {
+	id, key, ok := s.memberQ.Min()
+	return id, int32(key), ok
+}
+
+// ForEachFrontier calls fn for every non-member adjacent to S with its
+// current d_S. Iteration order is unspecified; callers needing
+// determinism must impose their own tie-breaking.
+func (s *State) ForEachFrontier(fn func(v int32, dS int32)) {
+	for v, dv := range s.d {
+		if _, isMember := s.member[v]; !isMember {
+			fn(v, dv)
+		}
+	}
+}
+
+// ForEachMember calls fn for every member with its current d_S.
+// Iteration order is unspecified.
+func (s *State) ForEachMember(fn func(v int32, dS int32)) {
+	for v := range s.member {
+		fn(v, s.d[v])
+	}
+}
+
+// Members returns the members of S sorted ascending.
+func (s *State) Members() []int32 {
+	out := make([]int32, 0, len(s.member))
+	for v := range s.member {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset empties the state for reuse by the next seed, keeping the graph
+// and queue capacity.
+func (s *State) Reset() {
+	for v := range s.member {
+		s.memberQ.Remove(v)
+	}
+	for v := range s.d {
+		if s.frontierQ.Contains(v) {
+			s.frontierQ.Remove(v)
+		}
+	}
+	s.member = make(map[int32]struct{})
+	s.d = make(map[int32]int32)
+	s.ein = 0
+	s.vol = 0
+}

@@ -1,0 +1,224 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func TestStateBasics(t *testing.T) {
+	g := complete(4)
+	s := NewState(g, g.MaxDegree())
+	if s.Size() != 0 || s.Ein() != 0 || s.FrontierLen() != 0 {
+		t.Fatal("fresh state not empty")
+	}
+	s.Add(0)
+	if s.Size() != 1 || s.Ein() != 0 || s.Volume() != 3 {
+		t.Fatalf("after Add(0): size=%d ein=%d vol=%d", s.Size(), s.Ein(), s.Volume())
+	}
+	if s.FrontierLen() != 3 {
+		t.Fatalf("frontier=%d, want 3", s.FrontierLen())
+	}
+	s.Add(1)
+	if s.Ein() != 1 || s.Volume() != 6 {
+		t.Fatalf("after Add(1): ein=%d vol=%d", s.Ein(), s.Volume())
+	}
+	if v, d, ok := s.BestAddition(); !ok || d != 2 || (v != 2 && v != 3) {
+		t.Fatalf("BestAddition=%d/%d/%v", v, d, ok)
+	}
+	if v, d, ok := s.WorstMember(); !ok || d != 1 || (v != 0 && v != 1) {
+		t.Fatalf("WorstMember=%d/%d/%v", v, d, ok)
+	}
+	s.Remove(1)
+	if s.Size() != 1 || s.Ein() != 0 || s.Volume() != 3 {
+		t.Fatalf("after Remove(1): size=%d ein=%d vol=%d", s.Size(), s.Ein(), s.Volume())
+	}
+	if !s.Contains(0) || s.Contains(1) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestStatePanics(t *testing.T) {
+	g := complete(3)
+	s := NewState(g, g.MaxDegree())
+	s.Add(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double Add should panic")
+			}
+		}()
+		s.Add(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Remove of non-member should panic")
+			}
+		}()
+		s.Remove(2)
+	}()
+}
+
+// naiveSnapshot recomputes every invariant from scratch.
+type naiveSnapshot struct {
+	size     int
+	ein      int64
+	vol      int64
+	frontier map[int32]int32 // non-member -> d_S
+	memberD  map[int32]int32
+}
+
+func snapshot(g *graph.Graph, member map[int32]bool) naiveSnapshot {
+	ns := naiveSnapshot{frontier: map[int32]int32{}, memberD: map[int32]int32{}}
+	for v := range member {
+		ns.size++
+		ns.vol += int64(g.Degree(v))
+		var d int32
+		for _, w := range g.Neighbors(v) {
+			if member[w] {
+				d++
+			}
+		}
+		ns.memberD[v] = d
+		ns.ein += int64(d)
+	}
+	ns.ein /= 2
+	for v := range member {
+		for _, w := range g.Neighbors(v) {
+			if !member[w] {
+				ns.frontier[w]++
+			}
+		}
+	}
+	return ns
+}
+
+// TestStateMatchesNaive performs random add/remove sequences on random
+// graphs and cross-checks all incremental quantities against a from-
+// scratch recomputation.
+func TestStateMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		s := NewState(g, g.MaxDegree())
+		member := map[int32]bool{}
+		for op := 0; op < 120; op++ {
+			v := int32(rng.Intn(n))
+			if member[v] {
+				s.Remove(v)
+				delete(member, v)
+			} else {
+				s.Add(v)
+				member[v] = true
+			}
+			ns := snapshot(g, member)
+			if s.Size() != ns.size || s.Ein() != ns.ein || s.Volume() != ns.vol {
+				return false
+			}
+			if s.FrontierLen() != len(ns.frontier) {
+				return false
+			}
+			for w, d := range ns.frontier {
+				if s.DS(w) != d {
+					return false
+				}
+			}
+			for w, d := range ns.memberD {
+				if s.DS(w) != d {
+					return false
+				}
+			}
+			// Queue answers must match brute-force arg-extremes.
+			if len(member) > 0 {
+				_, dmin, ok := s.WorstMember()
+				if !ok {
+					return false
+				}
+				bruteMin := int32(1 << 30)
+				for _, d := range ns.memberD {
+					if d < bruteMin {
+						bruteMin = d
+					}
+				}
+				if dmin != bruteMin {
+					return false
+				}
+			}
+			if len(ns.frontier) > 0 {
+				_, dmax, ok := s.BestAddition()
+				if !ok {
+					return false
+				}
+				bruteMax := int32(-1)
+				for _, d := range ns.frontier {
+					if d > bruteMax {
+						bruteMax = d
+					}
+				}
+				if dmax != bruteMax {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachAndMembers(t *testing.T) {
+	g := complete(5)
+	s := NewState(g, g.MaxDegree())
+	s.Add(1)
+	s.Add(3)
+	members := s.Members()
+	if len(members) != 2 || members[0] != 1 || members[1] != 3 {
+		t.Fatalf("Members=%v", members)
+	}
+	seenF := map[int32]int32{}
+	s.ForEachFrontier(func(v, d int32) { seenF[v] = d })
+	if len(seenF) != 3 || seenF[0] != 2 || seenF[2] != 2 || seenF[4] != 2 {
+		t.Fatalf("frontier=%v", seenF)
+	}
+	seenM := map[int32]int32{}
+	s.ForEachMember(func(v, d int32) { seenM[v] = d })
+	if len(seenM) != 2 || seenM[1] != 1 || seenM[3] != 1 {
+		t.Fatalf("members iter=%v", seenM)
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := complete(6)
+	s := NewState(g, g.MaxDegree())
+	s.Add(0)
+	s.Add(1)
+	s.Reset()
+	if s.Size() != 0 || s.Ein() != 0 || s.Volume() != 0 || s.FrontierLen() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// State must be fully usable after reset.
+	s.Add(2)
+	s.Add(3)
+	if s.Ein() != 1 || s.FrontierLen() != 4 {
+		t.Fatalf("post-reset state wrong: ein=%d frontier=%d", s.Ein(), s.FrontierLen())
+	}
+}

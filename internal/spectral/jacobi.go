@@ -1,0 +1,97 @@
+package spectral
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ExactEigenvalues computes all adjacency eigenvalues of g with the cyclic
+// Jacobi rotation method on a dense copy of A, returned in ascending
+// order. It is O(n^3) per sweep and materializes an n×n matrix, so it is
+// intended for validation and for tiny graphs only (it refuses n > 512).
+func ExactEigenvalues(g *graph.Graph, tol float64) []float64 {
+	n := g.N()
+	if n > 512 {
+		panic("spectral: ExactEigenvalues limited to n <= 512")
+	}
+	if n == 0 {
+		return nil
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		for _, w := range g.Neighbors(v) {
+			a[v][w] = 1
+		}
+	}
+	jacobi(a, tol)
+	eig := make([]float64, n)
+	for i := range eig {
+		eig[i] = a[i][i]
+	}
+	sort.Float64s(eig)
+	return eig
+}
+
+// jacobi reduces symmetric matrix a to (numerically) diagonal form in
+// place using cyclic Jacobi rotations.
+func jacobi(a [][]float64, tol float64) {
+	n := len(a)
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if math.Sqrt(2*off) < tol {
+			return
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < tol/float64(n*n) {
+					continue
+				}
+				rotate(a, p, q)
+			}
+		}
+	}
+}
+
+// rotate applies the Jacobi rotation annihilating a[p][q].
+func rotate(a [][]float64, p, q int) {
+	n := len(a)
+	apq := a[p][q]
+	theta := (a[q][q] - a[p][p]) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	app, aqq := a[p][p], a[q][q]
+	a[p][p] = app - t*apq
+	a[q][q] = aqq + t*apq
+	a[p][q] = 0
+	a[q][p] = 0
+	for i := 0; i < n; i++ {
+		if i == p || i == q {
+			continue
+		}
+		aip, aiq := a[i][p], a[i][q]
+		a[i][p] = c*aip - s*aiq
+		a[p][i] = a[i][p]
+		a[i][q] = s*aip + c*aiq
+		a[q][i] = a[i][q]
+	}
+}

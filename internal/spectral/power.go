@@ -1,0 +1,183 @@
+// Package spectral computes the adjacency-spectrum quantities OCA needs:
+// the extreme eigenvalues of a graph's adjacency matrix and the derived
+// inner-product parameter c = -1/λmin of the virtual vector
+// representation (Lovász), all matrix-free over the CSR graph.
+package spectral
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Options control the power iterations.
+type Options struct {
+	// MaxIter bounds the iterations of each power loop. Default 1000.
+	MaxIter int
+	// Tol is the relative convergence tolerance on the Rayleigh quotient.
+	// Default 1e-7.
+	Tol float64
+	// Seed seeds the random starting vector. The result is deterministic
+	// for a fixed seed.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// ErrNoEdges is returned when an eigenvalue of an edgeless graph is
+// requested; its adjacency spectrum is identically zero and c is
+// undefined.
+var ErrNoEdges = errors.New("spectral: graph has no edges")
+
+// LambdaMax estimates the largest adjacency eigenvalue of g by power
+// iteration on A + I. The +I shift makes the dominant eigenvalue of the
+// iterated matrix strictly largest in magnitude even on bipartite graphs
+// (whose spectrum is symmetric, λmin = -λmax).
+func LambdaMax(g *graph.Graph, opt Options) (float64, error) {
+	opt = opt.withDefaults()
+	if g.M() == 0 {
+		return 0, ErrNoEdges
+	}
+	// Iterate x <- (A + I) x. Rayleigh quotient of A recovered as
+	// q(A+I) - 1.
+	q, err := powerIterate(g, opt, 1)
+	if err != nil {
+		return 0, err
+	}
+	return q - 1, nil
+}
+
+// LambdaMin estimates the most negative adjacency eigenvalue of g. It
+// first estimates λmax, then runs power iteration on A - λmax·I whose
+// spectrum lies in [λmin-λmax, 0], so the dominant (largest magnitude)
+// eigenvalue is λmin - λmax.
+func LambdaMin(g *graph.Graph, opt Options) (float64, error) {
+	opt = opt.withDefaults()
+	lmax, err := LambdaMax(g, opt)
+	if err != nil {
+		return 0, err
+	}
+	// Iterate x <- (A - lmax·I) x; Rayleigh quotient converges to
+	// λmin - λmax (strictly dominant unless the graph is edgeless).
+	q, err := powerIterate(g, opt, -lmax)
+	if err != nil {
+		return 0, err
+	}
+	lmin := q + lmax
+	// Numerical guard: adjacency eigenvalues satisfy λmin <= -1 for any
+	// graph with at least one edge (interlacing with a single-edge
+	// subgraph), and λmin >= -λmax.
+	if lmin > -1 {
+		lmin = -1
+	}
+	if lmin < -lmax {
+		lmin = -lmax
+	}
+	return lmin, nil
+}
+
+// CMax is the exclusive upper bound for the inner-product parameter c;
+// Definition 1 of the paper requires c < 1.
+const CMax = 0.999
+
+// C returns the paper's inner-product parameter c = -1/λmin, clamped to
+// (0, CMax]. For an edgeless graph it returns 0 (every fitness optimum is
+// then a singleton, which is the sensible degenerate answer).
+func C(g *graph.Graph, opt Options) (float64, error) {
+	lmin, err := LambdaMin(g, opt)
+	if err == ErrNoEdges {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	c := -1 / lmin
+	if c > CMax {
+		c = CMax
+	}
+	return c, nil
+}
+
+// powerIterate runs power iteration for M = A + shift·I and returns the
+// final Rayleigh quotient x'Mx / x'x. The quotient is insensitive to the
+// sign flips a negative dominant eigenvalue induces on x, so it converges
+// for both shifted problems used above.
+func powerIterate(g *graph.Graph, opt Options, shift float64) (float64, error) {
+	n := g.N()
+	if n == 0 {
+		return 0, ErrNoEdges
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	normalize(x)
+	prev := math.Inf(1)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		matVec(g, x, y, shift)
+		q := dot(x, y) // Rayleigh quotient since ||x|| = 1
+		ny := norm(y)
+		if ny == 0 {
+			// x landed in the null space; restart from a fresh vector.
+			for i := range x {
+				x[i] = rng.Float64() - 0.5
+			}
+			normalize(x)
+			prev = math.Inf(1)
+			continue
+		}
+		inv := 1 / ny
+		for i := range y {
+			x[i] = y[i] * inv
+		}
+		if math.Abs(q-prev) <= opt.Tol*math.Max(1, math.Abs(q)) {
+			return q, nil
+		}
+		prev = q
+	}
+	return prev, nil
+}
+
+// matVec computes y = A·x + shift·x.
+func matVec(g *graph.Graph, x, y []float64, shift float64) {
+	for v := range y {
+		sum := shift * x[v]
+		for _, w := range g.Neighbors(int32(v)) {
+			sum += x[w]
+		}
+		y[v] = sum
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func normalize(a []float64) {
+	n := norm(a)
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] *= inv
+	}
+}

@@ -1,0 +1,237 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(n); i++ {
+		b.AddEdge(i, (i+1)%int32(n))
+	}
+	return b.Build()
+}
+
+func star(leaves int) *graph.Graph {
+	b := graph.NewBuilder(leaves + 1)
+	for i := int32(1); i <= int32(leaves); i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(n-1); i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+// Known spectra:
+//
+//	K_n:     λmax = n-1, λmin = -1
+//	C_n:     λk = 2cos(2πk/n); λmax = 2, λmin = -2 (even n)
+//	K_{1,s}: λmax = √s, λmin = -√s
+//	P_n:     λk = 2cos(kπ/(n+1))
+func TestLambdaMaxKnownGraphs(t *testing.T) {
+	opt := Options{Seed: 1}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want float64
+	}{
+		{"K5", complete(5), 4},
+		{"K10", complete(10), 9},
+		{"C8", cycle(8), 2},
+		{"star9", star(9), 3},
+		{"P5", pathGraph(5), 2 * math.Cos(math.Pi/6)},
+	}
+	for _, tc := range cases {
+		got, err := LambdaMax(tc.g, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		approx(t, tc.name+" λmax", got, tc.want, 1e-4)
+	}
+}
+
+func TestLambdaMinKnownGraphs(t *testing.T) {
+	opt := Options{Seed: 1}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want float64
+	}{
+		{"K5", complete(5), -1},
+		{"C8", cycle(8), -2},
+		{"star9", star(9), -3}, // bipartite: λmin = -λmax
+		{"P5", pathGraph(5), -2 * math.Cos(math.Pi/6)},
+	}
+	for _, tc := range cases {
+		got, err := LambdaMin(tc.g, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		approx(t, tc.name+" λmin", got, tc.want, 1e-3)
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	if _, err := LambdaMax(g, Options{}); err != ErrNoEdges {
+		t.Fatalf("LambdaMax err=%v, want ErrNoEdges", err)
+	}
+	if _, err := LambdaMin(g, Options{}); err != ErrNoEdges {
+		t.Fatalf("LambdaMin err=%v, want ErrNoEdges", err)
+	}
+	c, err := C(g, Options{})
+	if err != nil || c != 0 {
+		t.Fatalf("C=%g err=%v, want 0,<nil>", c, err)
+	}
+}
+
+func TestCClamp(t *testing.T) {
+	// Single edge: λmin = -1 so raw c = 1, must clamp to CMax < 1.
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	c, err := C(b.Build(), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != CMax {
+		t.Fatalf("c=%g, want clamp to %g", c, CMax)
+	}
+	// K10: λmin = -1 exactly -> also clamped.
+	c, err = C(complete(10), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != CMax {
+		t.Fatalf("K10 c=%g, want %g", c, CMax)
+	}
+	// C8: λmin=-2 -> c=0.5.
+	c, err = C(cycle(8), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "C(C8)", c, 0.5, 1e-3)
+}
+
+func TestExactEigenvaluesKnown(t *testing.T) {
+	eig := ExactEigenvalues(complete(4), 0)
+	want := []float64{-1, -1, -1, 3}
+	for i := range want {
+		approx(t, "K4 eig", eig[i], want[i], 1e-8)
+	}
+	eig = ExactEigenvalues(star(4), 0)
+	approx(t, "star4 min", eig[0], -2, 1e-8)
+	approx(t, "star4 max", eig[len(eig)-1], 2, 1e-8)
+}
+
+// TestPowerMatchesJacobi compares the power method estimates with the
+// exact Jacobi spectrum on random graphs.
+func TestPowerMatchesJacobi(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(24)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		if g.M() == 0 {
+			return true
+		}
+		eig := ExactEigenvalues(g, 0)
+		opt := Options{Seed: seed, MaxIter: 5000, Tol: 1e-10}
+		lmax, err := LambdaMax(g, opt)
+		if err != nil {
+			return false
+		}
+		lmin, err := LambdaMin(g, opt)
+		if err != nil {
+			return false
+		}
+		// λmin is clamped to <= -1, mirror that for the exact value.
+		exactMin := math.Min(eig[0], -1)
+		return math.Abs(lmax-eig[len(eig)-1]) < 1e-3 &&
+			math.Abs(lmin-exactMin) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisconnected verifies λmax is the max over components.
+func TestDisconnected(t *testing.T) {
+	// K5 plus disjoint K3: λmax = 4 (from K5), λmin = -1.
+	b := graph.NewBuilder(8)
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7)
+	b.AddEdge(5, 7)
+	g := b.Build()
+	lmax, err := LambdaMax(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "λmax", lmax, 4, 1e-4)
+	lmin, err := LambdaMin(g, Options{Seed: 2, MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both components have λmin = -1... path component K3 has λmin=-1 too.
+	approx(t, "λmin", lmin, -1, 1e-2)
+}
+
+func TestDeterminism(t *testing.T) {
+	g := cycle(50)
+	a, err := LambdaMin(g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LambdaMin(g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %g and %g", a, b)
+	}
+}
+
+func BenchmarkLambdaMinCycle(b *testing.B) {
+	g := cycle(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LambdaMin(g, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

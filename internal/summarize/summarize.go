@@ -1,0 +1,269 @@
+// Package summarize implements the paper's second §VI future-work item:
+// "graph summarization for graphs containing overlapped communities".
+//
+// Given a graph and a (possibly overlapping) community cover, it builds
+// a lossless summary in the correction-list style (Navlakha et al.):
+// every node is assigned to a primary supernode (the community holding
+// most of its edges; overlap information is preserved separately);
+// dense supernode pairs — and dense supernode interiors — are encoded
+// as superedges meaning "all pairs present", with explicit exception
+// lists for the missing pairs, while sparse pairs list their edges
+// individually. Reconstruct inverts the encoding exactly.
+package summarize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+// Summary is a lossless community-based compression of a graph.
+type Summary struct {
+	// N is the node count of the original graph.
+	N int
+	// Primary maps each node to its supernode (primary community index,
+	// or a singleton supernode for uncovered nodes).
+	Primary []int32
+	// Supernodes lists the members of each supernode (a partition of
+	// the node set, unlike the overlapping input cover).
+	Supernodes [][]int32
+	// SelfDense[i] reports whether supernode i is encoded as "all
+	// internal pairs present" (with exceptions) rather than listing
+	// internal edges.
+	SelfDense []bool
+	// Superedges lists the supernode pairs (i < j) encoded as "all
+	// cross pairs present" (with exceptions).
+	Superedges [][2]int32
+	// Additions are concrete edges present in the graph but not implied
+	// by any dense encoding.
+	Additions [][2]int32
+	// Exceptions are pairs implied by a dense encoding that are absent
+	// from the graph.
+	Exceptions [][2]int32
+}
+
+// Cost is the summary's size in list entries: superedges + dense
+// supernodes + additions + exceptions. Comparing it against the
+// original edge count m gives the compression ratio.
+func (s *Summary) Cost() int64 {
+	cost := int64(len(s.Superedges)) + int64(len(s.Additions)) + int64(len(s.Exceptions))
+	for _, d := range s.SelfDense {
+		if d {
+			cost++
+		}
+	}
+	return cost
+}
+
+// Build summarizes g under the given cover. Nodes covered by several
+// communities are assigned to the one containing most of their
+// neighbors (ties to the lower community index); uncovered nodes become
+// singleton supernodes. A supernode interior or supernode pair is
+// encoded densely exactly when that costs fewer list entries than
+// listing its edges (the standard MDL-style rule).
+func Build(g *graph.Graph, cv *cover.Cover) (*Summary, error) {
+	n := g.N()
+	for _, c := range cv.Communities {
+		for _, v := range c {
+			if int(v) >= n {
+				return nil, fmt.Errorf("summarize: community node %d outside graph of %d nodes", v, n)
+			}
+		}
+	}
+	s := &Summary{N: n, Primary: make([]int32, n)}
+	for i := range s.Primary {
+		s.Primary[i] = -1
+	}
+
+	// Primary assignment: community with most of the node's neighbors.
+	membership := cv.MembershipIndex(n)
+	memberSet := make([]map[int32]struct{}, cv.Len())
+	for ci, c := range cv.Communities {
+		set := make(map[int32]struct{}, len(c))
+		for _, v := range c {
+			set[v] = struct{}{}
+		}
+		memberSet[ci] = set
+	}
+	for v := int32(0); v < int32(n); v++ {
+		ms := membership[v]
+		if len(ms) == 0 {
+			continue
+		}
+		best, bestScore := ms[0], -1
+		for _, ci := range ms {
+			score := 0
+			for _, w := range g.Neighbors(v) {
+				if _, ok := memberSet[ci][w]; ok {
+					score++
+				}
+			}
+			if score > bestScore || (score == bestScore && ci < best) {
+				best, bestScore = ci, score
+			}
+		}
+		s.Primary[v] = best
+	}
+	// Dense remap: used communities first, then singletons for the rest.
+	remap := make([]int32, cv.Len())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if p := s.Primary[v]; p >= 0 {
+			if remap[p] == -1 {
+				remap[p] = int32(len(s.Supernodes))
+				s.Supernodes = append(s.Supernodes, nil)
+			}
+			s.Primary[v] = remap[p]
+			s.Supernodes[s.Primary[v]] = append(s.Supernodes[s.Primary[v]], v)
+		}
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if s.Primary[v] == -1 {
+			s.Primary[v] = int32(len(s.Supernodes))
+			s.Supernodes = append(s.Supernodes, []int32{v})
+		}
+	}
+	s.SelfDense = make([]bool, len(s.Supernodes))
+
+	// Count edges per supernode pair and within supernodes.
+	within := make(map[int32]int64)
+	between := make(map[uint64]int64)
+	g.Edges(func(u, v int32) bool {
+		pu, pv := s.Primary[u], s.Primary[v]
+		if pu == pv {
+			within[pu]++
+			return true
+		}
+		a, b := pu, pv
+		if a > b {
+			a, b = b, a
+		}
+		between[uint64(a)<<32|uint64(uint32(b))]++
+		return true
+	})
+
+	// Interior encoding decision per supernode: dense costs
+	// 1 + (pairs - edges) entries, sparse costs edges entries.
+	for i, members := range s.Supernodes {
+		sz := int64(len(members))
+		pairs := sz * (sz - 1) / 2
+		edges := within[int32(i)]
+		if pairs > 0 && 1+(pairs-edges) < edges {
+			s.SelfDense[i] = true
+			// Exceptions: missing internal pairs.
+			for ai := 0; ai < len(members); ai++ {
+				for bi := ai + 1; bi < len(members); bi++ {
+					if !g.HasEdge(members[ai], members[bi]) {
+						s.Exceptions = append(s.Exceptions, orient(members[ai], members[bi]))
+					}
+				}
+			}
+		}
+	}
+	// Pair encoding decision.
+	dense := make(map[uint64]bool)
+	for key, edges := range between {
+		i, j := int32(key>>32), int32(uint32(key))
+		pairs := int64(len(s.Supernodes[i])) * int64(len(s.Supernodes[j]))
+		if 1+(pairs-edges) < edges {
+			dense[key] = true
+			s.Superedges = append(s.Superedges, [2]int32{i, j})
+			for _, u := range s.Supernodes[i] {
+				for _, v := range s.Supernodes[j] {
+					if !g.HasEdge(u, v) {
+						s.Exceptions = append(s.Exceptions, orient(u, v))
+					}
+				}
+			}
+		}
+	}
+	// Additions: edges not implied by any dense encoding.
+	g.Edges(func(u, v int32) bool {
+		pu, pv := s.Primary[u], s.Primary[v]
+		if pu == pv {
+			if !s.SelfDense[pu] {
+				s.Additions = append(s.Additions, orient(u, v))
+			}
+			return true
+		}
+		a, b := pu, pv
+		if a > b {
+			a, b = b, a
+		}
+		if !dense[uint64(a)<<32|uint64(uint32(b))] {
+			s.Additions = append(s.Additions, orient(u, v))
+		}
+		return true
+	})
+	sortPairs(s.Superedges)
+	sortPairs(s.Additions)
+	sortPairs(s.Exceptions)
+	return s, nil
+}
+
+// Reconstruct rebuilds the exact original graph from the summary.
+func Reconstruct(s *Summary) *graph.Graph {
+	b := graph.NewBuilderHint(s.N, int64(len(s.Additions)))
+	except := make(map[uint64]struct{}, len(s.Exceptions))
+	for _, e := range s.Exceptions {
+		except[pairKey(e[0], e[1])] = struct{}{}
+	}
+	emit := func(u, v int32) {
+		if u == v {
+			return
+		}
+		if _, skip := except[pairKey(u, v)]; skip {
+			return
+		}
+		b.AddEdge(u, v)
+	}
+	for i, denseSelf := range s.SelfDense {
+		if !denseSelf {
+			continue
+		}
+		members := s.Supernodes[i]
+		for ai := 0; ai < len(members); ai++ {
+			for bi := ai + 1; bi < len(members); bi++ {
+				emit(members[ai], members[bi])
+			}
+		}
+	}
+	for _, se := range s.Superedges {
+		for _, u := range s.Supernodes[se[0]] {
+			for _, v := range s.Supernodes[se[1]] {
+				emit(u, v)
+			}
+		}
+	}
+	for _, e := range s.Additions {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func orient(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+func pairKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+func sortPairs(ps [][2]int32) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}

@@ -1,0 +1,219 @@
+package summarize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+func clique(b *graph.Builder, members []int32) {
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			b.AddEdge(members[i], members[j])
+		}
+	}
+}
+
+func com(vs ...int32) cover.Community { return cover.NewCommunity(vs) }
+
+func TestCliqueCompressesToOneEntry(t *testing.T) {
+	b := graph.NewBuilder(8)
+	members := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	clique(b, members)
+	g := b.Build()
+	s, err := Build(g, cover.NewCover([]cover.Community{com(members...)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.SelfDense[0] || len(s.Additions) != 0 || len(s.Exceptions) != 0 {
+		t.Fatalf("clique summary: dense=%v add=%d exc=%d", s.SelfDense[0], len(s.Additions), len(s.Exceptions))
+	}
+	if got := s.Cost(); got != 1 {
+		t.Fatalf("cost=%d, want 1 (one dense supernode)", got)
+	}
+	if g.M() != 28 {
+		t.Fatalf("m=%d", g.M())
+	}
+}
+
+func TestTwoCliquesWithBridge(t *testing.T) {
+	b := graph.NewBuilder(12)
+	a := []int32{0, 1, 2, 3, 4, 5}
+	c := []int32{6, 7, 8, 9, 10, 11}
+	clique(b, a)
+	clique(b, c)
+	b.AddEdge(5, 6)
+	g := b.Build()
+	s, err := Build(g, cover.NewCover([]cover.Community{com(a...), com(c...)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two dense supernodes + the bridge as an addition.
+	if !s.SelfDense[0] || !s.SelfDense[1] {
+		t.Fatalf("self dense: %v", s.SelfDense)
+	}
+	if len(s.Superedges) != 0 || len(s.Additions) != 1 {
+		t.Fatalf("superedges=%d additions=%v", len(s.Superedges), s.Additions)
+	}
+	if s.Cost() != 3 {
+		t.Fatalf("cost=%d, want 3 vs %d edges", s.Cost(), g.M())
+	}
+}
+
+func TestDenseBipartitePairBecomesSuperedge(t *testing.T) {
+	// Complete bipartite K_{4,4} between two communities, no internal
+	// edges: the cross pair should be a superedge with no exceptions.
+	b := graph.NewBuilder(8)
+	for i := int32(0); i < 4; i++ {
+		for j := int32(4); j < 8; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+	s, err := Build(g, cover.NewCover([]cover.Community{com(0, 1, 2, 3), com(4, 5, 6, 7)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Superedges) != 1 || len(s.Exceptions) != 0 || len(s.Additions) != 0 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.SelfDense[0] || s.SelfDense[1] {
+		t.Fatal("edgeless interiors must not be dense")
+	}
+}
+
+func TestOverlapPrimaryAssignment(t *testing.T) {
+	// Node 4 is in both communities but has all its edges in community
+	// B; its primary supernode must be B's.
+	b := graph.NewBuilder(9)
+	clique(b, []int32{0, 1, 2, 3})
+	clique(b, []int32{4, 5, 6, 7, 8})
+	g := b.Build()
+	cv := cover.NewCover([]cover.Community{
+		com(0, 1, 2, 3, 4), // A (4 has no edge into A)
+		com(4, 5, 6, 7, 8), // B
+	})
+	s, err := Build(g, cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Primary[4] != s.Primary[5] {
+		t.Fatalf("node 4 assigned to supernode %d, want B's (%d)", s.Primary[4], s.Primary[5])
+	}
+}
+
+func TestUncoveredNodesBecomeSingletons(t *testing.T) {
+	b := graph.NewBuilder(5)
+	clique(b, []int32{0, 1, 2})
+	b.AddEdge(3, 4)
+	g := b.Build()
+	s, err := Build(g, cover.NewCover([]cover.Community{com(0, 1, 2)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Supernodes) != 3 { // community + two singletons
+		t.Fatalf("supernodes=%d, want 3", len(s.Supernodes))
+	}
+	g2 := Reconstruct(s)
+	if !sameGraph(g, g2) {
+		t.Fatal("reconstruction mismatch")
+	}
+}
+
+func TestBuildRejectsOutOfRange(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	if _, err := Build(g, cover.NewCover([]cover.Community{com(5)})); err == nil {
+		t.Fatal("out-of-range community accepted")
+	}
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	same := true
+	a.Edges(func(u, v int32) bool {
+		if !b.HasEdge(u, v) {
+			same = false
+			return false
+		}
+		return true
+	})
+	return same
+}
+
+// TestReconstructionLossless: for random graphs and random (overlapping)
+// covers, Reconstruct(Build(g)) == g exactly.
+func TestReconstructionLossless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		// Random cover: a few random (overlapping, partial) communities.
+		k := rng.Intn(6)
+		cs := make([]cover.Community, 0, k)
+		for i := 0; i < k; i++ {
+			var vals []int32
+			for j := 0; j < 2+rng.Intn(n); j++ {
+				vals = append(vals, int32(rng.Intn(n)))
+			}
+			cs = append(cs, cover.NewCommunity(vals))
+		}
+		s, err := Build(g, cover.NewCover(cs))
+		if err != nil {
+			return false
+		}
+		return sameGraph(g, Reconstruct(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressionOnPlantedStructure: on a graph of dense planted
+// communities the summary must be substantially smaller than the edge
+// list.
+func TestCompressionOnPlantedStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const k, size = 8, 20
+	b := graph.NewBuilder(k * size)
+	var cs []cover.Community
+	for c := 0; c < k; c++ {
+		members := make([]int32, size)
+		for i := range members {
+			members[i] = int32(c*size + i)
+		}
+		// Dense interior (90%).
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < 0.9 {
+					b.AddEdge(members[i], members[j])
+				}
+			}
+		}
+		cs = append(cs, cover.NewCommunity(members))
+	}
+	// Sparse noise between communities.
+	for i := 0; i < 40; i++ {
+		b.AddEdge(int32(rng.Intn(k*size)), int32(rng.Intn(k*size)))
+	}
+	g := b.Build()
+	s, err := Build(g, cover.NewCover(cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, Reconstruct(s)) {
+		t.Fatal("reconstruction mismatch")
+	}
+	ratio := float64(s.Cost()) / float64(g.M())
+	if ratio > 0.4 {
+		t.Fatalf("compression ratio %.2f, want < 0.4 (cost=%d, m=%d)", ratio, s.Cost(), g.M())
+	}
+}

@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	g, err := BarabasiAlbert(500, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Each of the n-m-1 arriving nodes adds m edges; seed clique adds
+	// C(m+1,2). Duplicates impossible within a step (distinct targets).
+	wantM := int64(3*4/2) + int64(500-4)*3
+	if g.M() != wantM {
+		t.Fatalf("m=%d, want %d", g.M(), wantM)
+	}
+	// Minimum degree is m.
+	for v := int32(0); v < int32(g.N()); v++ {
+		if g.Degree(v) < 3 {
+			t.Fatalf("node %d degree %d < m", v, g.Degree(v))
+		}
+	}
+	// Heavy tail: max degree well above average.
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if float64(g.MaxDegree()) < 3*avg {
+		t.Fatalf("max degree %d not heavy-tailed (avg %.1f)", g.MaxDegree(), avg)
+	}
+	// Connected by construction.
+	if _, count := graph.Components(g); count != 1 {
+		t.Fatalf("components=%d", count)
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	if _, err := BarabasiAlbert(5, 5, 1); err == nil {
+		t.Fatal("expected error for n <= m")
+	}
+	if _, err := BarabasiAlbert(5, 0, 1); err == nil {
+		t.Fatal("expected error for m < 1")
+	}
+}
+
+func TestGNMExactEdges(t *testing.T) {
+	g, err := GNM(200, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 || g.M() != 1000 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestGNMValidation(t *testing.T) {
+	if _, err := GNM(1, 0, 1); err == nil {
+		t.Fatal("expected error for n < 2")
+	}
+	if _, err := GNM(10, 40, 1); err == nil {
+		t.Fatal("expected error for m too dense")
+	}
+}
+
+func TestRMATBasics(t *testing.T) {
+	g, err := RMAT(RMATParams{Scale: 12, EdgeFactor: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4096 {
+		t.Fatalf("n=%d, want 4096", g.N())
+	}
+	// Dedup and loop removal lose some edges but most survive.
+	if g.M() < int64(4096*8)*6/10 {
+		t.Fatalf("m=%d, too many dropped", g.M())
+	}
+	// Skewed degrees: R-MAT hubs dominate.
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if float64(g.MaxDegree()) < 5*avg {
+		t.Fatalf("max degree %d not skewed (avg %.1f)", g.MaxDegree(), avg)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	p := RMATParams{Scale: 10, EdgeFactor: 4, Seed: 7}
+	a, err := RMAT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatal("same seed, different edge counts")
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	if _, err := RMAT(RMATParams{Scale: 0, EdgeFactor: 4}); err == nil {
+		t.Fatal("expected scale error")
+	}
+	if _, err := RMAT(RMATParams{Scale: 5, EdgeFactor: 0}); err == nil {
+		t.Fatal("expected edge factor error")
+	}
+	if _, err := RMAT(RMATParams{Scale: 5, EdgeFactor: 2, A: 0.9, B: 0.3, C: 0.2, D: 0.1}); err == nil {
+		t.Fatal("expected probability sum error")
+	}
+}
+
+func TestWikipediaLikeDensity(t *testing.T) {
+	g, err := WikipediaLike(13, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matched to the paper's Wikipedia ratio 176.5M/17.0M = 10.4, modulo
+	// the stub-matching deficit.
+	ratio := float64(g.M()) / float64(g.N())
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("edges/nodes=%.2f, want ≈10.4", ratio)
+	}
+	// Heavy tail must be present.
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if float64(g.MaxDegree()) < 5*avg {
+		t.Fatalf("max degree %d not heavy-tailed (avg %.1f)", g.MaxDegree(), avg)
+	}
+	if _, err := WikipediaLike(3, 1); err == nil {
+		t.Fatal("expected scale range error")
+	}
+}
+
+// TestDegreeDistributionSkew compares the degree tails: BA and RMAT
+// should both have much larger 99th-percentile/median ratios than GNM.
+func TestDegreeDistributionSkew(t *testing.T) {
+	ba, err := BarabasiAlbert(2000, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := GNM(2000, ba.M(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := func(g *graph.Graph) float64 {
+		degs := make([]int, g.N())
+		for v := range degs {
+			degs[v] = g.Degree(int32(v))
+		}
+		sort.Ints(degs)
+		return float64(degs[g.N()*99/100]) / (float64(degs[g.N()/2]) + 1)
+	}
+	if p99(ba) <= p99(er) {
+		t.Fatalf("BA tail ratio %.2f not heavier than ER %.2f", p99(ba), p99(er))
+	}
+}

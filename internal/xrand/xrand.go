@@ -1,0 +1,28 @@
+// Package xrand provides deterministic seed derivation so that parallel
+// workers and multi-stage experiments draw independent, reproducible
+// random streams from one user-supplied seed.
+package xrand
+
+import "math/rand"
+
+// SplitMix64 advances the SplitMix64 generator once from state x and
+// returns the mixed output. It is the standard seed-spreading function
+// (Steele et al.): consecutive inputs yield well-distributed outputs.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Derive deterministically combines a base seed with a stream index into
+// an independent sub-seed.
+func Derive(base int64, stream int64) int64 {
+	return int64(SplitMix64(SplitMix64(uint64(base)) ^ uint64(stream)))
+}
+
+// New returns a *rand.Rand seeded with Derive(base, stream).
+func New(base, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(Derive(base, stream)))
+}

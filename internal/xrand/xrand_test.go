@@ -1,0 +1,51 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Reference values from the SplitMix64 specification (seed 0).
+	got := SplitMix64(0)
+	if got != 0xe220a8397b1dcdaf {
+		t.Fatalf("SplitMix64(0) = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+}
+
+func TestDeriveDeterministicAndSpread(t *testing.T) {
+	if Derive(1, 2) != Derive(1, 2) {
+		t.Fatal("Derive not deterministic")
+	}
+	seen := map[int64]bool{}
+	for stream := int64(0); stream < 1000; stream++ {
+		s := Derive(42, stream)
+		if seen[s] {
+			t.Fatalf("collision at stream %d", stream)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDeriveIndependentOfNearbyBases(t *testing.T) {
+	f := func(base int64) bool {
+		return Derive(base, 0) != Derive(base+1, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewStreamsDiffer(t *testing.T) {
+	a := New(7, 0)
+	b := New(7, 1)
+	same := 0
+	for i := 0; i < 20; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("different streams produced identical sequences")
+	}
+}
