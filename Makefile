@@ -1,0 +1,43 @@
+# Single source of truth for build/test invocations — CI runs these
+# same targets, so a green `make check` locally means a green CI run.
+
+GO ?= go
+RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/...
+
+.PHONY: build test race vet fmt-check bench-smoke examples check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector run over the concurrency-bearing packages (OCA's worker
+# fan-out, the search state pool, the HTTP handlers).
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# One iteration of every benchmark — checks they still compile and run,
+# and emits the raw output for trend tooling. Redirect instead of tee so
+# a failing benchmark fails the target (sh has no pipefail).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > BENCH_smoke.json; \
+		status=$$?; cat BENCH_smoke.json; exit $$status
+
+# Each example is a main package with no test files except quickstart;
+# build them all so they cannot rot invisibly.
+examples:
+	@for d in examples/*/; do \
+		echo "build $$d"; $(GO) build -o /dev/null ./$$d || exit 1; done
+
+check: build vet fmt-check test race examples
+
+clean:
+	rm -f BENCH_smoke.json

@@ -9,6 +9,7 @@ import (
 	"repro/internal/daisy"
 	"repro/internal/graph"
 	"repro/internal/hierarchy"
+	"repro/internal/index"
 	"repro/internal/lfk"
 	"repro/internal/lfr"
 	"repro/internal/metrics"
@@ -73,6 +74,22 @@ func AnalyzeCommunity(g *Graph, c Community) CommunityQuality {
 func AnalyzeCover(g *Graph, cv *Cover) []CommunityQuality {
 	return cover.AnalyzeCover(g, cv)
 }
+
+// NodeCommunityIndex is an immutable inverted node→community index over
+// a Cover: the serving-side answer to the paper's titular query, "which
+// communities does this node belong to?". Built once per cover
+// (CSR-style flat slices), it answers lookups in O(memberships of the
+// node) and is safe for any number of concurrent readers. The ocad
+// query daemon serves its membership endpoint through this index.
+type NodeCommunityIndex = index.Membership
+
+// Index builds the inverted node→community index for cv over a graph
+// with n nodes.
+func Index(cv *Cover, n int) *NodeCommunityIndex { return index.Build(cv, n) }
+
+// Lookup returns the ascending community indices containing v, as a
+// read-only view. Equivalent to ix.Communities(v).
+func Lookup(ix *NodeCommunityIndex, v int32) []int32 { return ix.Communities(v) }
 
 // DOTOptions configure WriteDOT.
 type DOTOptions = cover.DOTOptions

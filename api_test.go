@@ -153,3 +153,38 @@ func TestPublicGenerators(t *testing.T) {
 		t.Fatalf("wiki: %v", err)
 	}
 }
+
+// TestIndexLookup exercises the public inverted-index entry points.
+func TestIndexLookup(t *testing.T) {
+	cv := &repro.Cover{Communities: []repro.Community{
+		repro.NewCommunity([]int32{0, 1, 2}),
+		repro.NewCommunity([]int32{2, 3}),
+	}}
+	ix := repro.Index(cv, 5)
+	tests := []struct {
+		v    int32
+		want []int32
+	}{
+		{0, []int32{0}},
+		{2, []int32{0, 1}},
+		{3, []int32{1}},
+		{4, nil},
+	}
+	for _, tt := range tests {
+		got := repro.Lookup(ix, tt.v)
+		if len(got) != len(tt.want) {
+			t.Fatalf("Lookup(%d) = %v, want %v", tt.v, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("Lookup(%d) = %v, want %v", tt.v, got, tt.want)
+			}
+		}
+	}
+	if !ix.Covered(2) || ix.Covered(4) {
+		t.Error("Covered misreports")
+	}
+	if s := ix.Shared(1, 2); len(s) != 1 || s[0] != 0 {
+		t.Errorf("Shared(1,2) = %v, want [0]", s)
+	}
+}

@@ -1,0 +1,179 @@
+// Command ocad is the community-search query daemon: it loads a graph,
+// obtains an overlapping community cover (by running OCA or loading a
+// precomputed cover file), builds the inverted node→community index,
+// and serves JSON over HTTP until terminated.
+//
+// Usage:
+//
+//	ocad -in graph.txt [-addr :8080] [flags]
+//
+// Endpoints:
+//
+//	GET  /healthz                    liveness and cover readiness
+//	GET  /v1/cover/stats             cover-wide overlap statistics
+//	GET  /v1/node/{id}/communities   which communities contain this node
+//	POST /v1/search                  run one seeded community search
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests for up to -shutdown-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ocad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	// ContinueOnError keeps parse failures on run()'s error-return path
+	// (ExitOnError would os.Exit inside Parse, killing test binaries).
+	fs := flag.NewFlagSet("ocad", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	in := fs.String("in", "", "input graph (edge list or oca binary format; required)")
+	coverPath := fs.String("cover", "", "serve this precomputed cover file instead of running OCA")
+	lazy := fs.Bool("lazy", false, "delay the OCA run until the first request that needs the cover")
+	seed := fs.Int64("seed", 1, "random seed for the OCA run")
+	c := fs.Float64("c", 0, "inner-product parameter override (0 = derive -1/λmin from the spectrum)")
+	workers := fs.Int("workers", 0, "OCA worker goroutines (0 = GOMAXPROCS)")
+	searchWorkers := fs.Int("search-workers", 0, "max concurrent /v1/search searches (0 = GOMAXPROCS)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return errors.New("missing required -in graph file")
+	}
+	// Normalize here so the handler deadline and http.Server's
+	// WriteTimeout are derived from the same value (server.Config also
+	// defaults non-positive timeouts to 30s).
+	if *reqTimeout <= 0 {
+		*reqTimeout = 30 * time.Second
+	}
+
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	log.Printf("loaded graph: %d nodes, %d edges", g.N(), g.M())
+
+	cfg := server.Config{
+		Lazy:           *lazy,
+		SearchWorkers:  *searchWorkers,
+		RequestTimeout: *reqTimeout,
+	}
+	cfg.OCA.Seed = *seed
+	cfg.OCA.C = *c
+	cfg.OCA.Workers = *workers
+
+	var srv *server.Server
+	if *coverPath != "" {
+		cv, err := loadCover(*coverPath)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded cover: %d communities", cv.Len())
+		srv, err = server.NewWithCover(g, cv, cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		if !*lazy {
+			log.Printf("running OCA (seed %d)...", *seed)
+		}
+		start := time.Now()
+		srv, err = server.New(g, cfg)
+		if err != nil {
+			return err
+		}
+		if !*lazy {
+			cv, err := srv.Cover()
+			if err != nil {
+				return err
+			}
+			log.Printf("cover ready: %d communities in %v", cv.Len(), time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// WriteTimeout backs up the handler-level deadline with slack
+		// for response transmission.
+		WriteTimeout: *reqTimeout + 10*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down, draining in-flight requests...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Print("bye")
+	return <-errCh
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := graph.ReadAuto(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading graph %s: %w", path, err)
+	}
+	return g, nil
+}
+
+func loadCover(path string) (*cover.Cover, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cv, err := cover.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading cover %s: %w", path, err)
+	}
+	return cv, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadGraph(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path)
+	if err != nil {
+		t.Fatalf("loadGraph: %v", err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Errorf("got %d nodes %d edges, want 3/3", g.N(), g.M())
+	}
+	if _, err := loadGraph(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("loadGraph(missing) succeeded, want error")
+	}
+}
+
+func TestLoadCover(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.txt")
+	if err := os.WriteFile(path, []byte("0 1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cv, err := loadCover(path)
+	if err != nil {
+		t.Fatalf("loadCover: %v", err)
+	}
+	if cv.Len() != 2 {
+		t.Errorf("got %d communities, want 2", cv.Len())
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("run without -in succeeded, want error")
+	}
+}

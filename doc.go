@@ -28,6 +28,16 @@
 //	if err != nil { ... }
 //	for _, community := range res.Cover.Communities { ... }
 //
+// Beyond batch runs, the package supports the paper's titular *search*
+// workload: Index builds an inverted node→community index over a cover
+// (CSR-style, O(memberships) Lookup, safe for concurrent readers), and
+// cmd/ocad is a long-running daemon serving it over HTTP — GET
+// /v1/node/{id}/communities answers "which communities does this node
+// belong to?", POST /v1/search runs one seeded community search with
+// per-request options against a bounded pool of reusable search states,
+// GET /v1/cover/stats summarizes the served cover, and GET /healthz
+// reports liveness. See README.md for curl examples.
+//
 // The experiment harness reproducing every table and figure of the
 // paper's Section V lives in cmd/ocabench; runnable demonstrations live
 // under examples/. See DESIGN.md for the system inventory and

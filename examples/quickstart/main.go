@@ -51,9 +51,11 @@ func main() {
 		fmt.Printf("  community %d: %v\n", i, community)
 	}
 
-	// Nodes 4 and 5 should appear in both communities.
-	memberships := res.Cover.MembershipIndex(g.N())
+	// Nodes 4 and 5 should appear in both communities. The inverted
+	// index answers per-node membership queries in O(memberships) —
+	// the same lookup the ocad daemon serves over HTTP.
+	ix := repro.Index(res.Cover, g.N())
 	for _, v := range []int32{4, 5} {
-		fmt.Printf("node %d belongs to %d communities (overlap!)\n", v, len(memberships[v]))
+		fmt.Printf("node %d belongs to %d communities (overlap!)\n", v, len(repro.Lookup(ix, v)))
 	}
 }

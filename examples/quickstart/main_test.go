@@ -1,0 +1,18 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestQuickstartSmoke runs the example end-to-end: build the two-clique
+// graph, compute c, run OCA, and query the inverted index. main uses
+// log.Fatal on any error, which fails the test binary, so reaching the
+// end means the whole pipeline worked. Output goes to stdout, which
+// `go test` swallows unless -v is set.
+func TestQuickstartSmoke(t *testing.T) {
+	if os.Getenv("OCA_SKIP_SMOKE") != "" {
+		t.Skip("OCA_SKIP_SMOKE set")
+	}
+	main()
+}

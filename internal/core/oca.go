@@ -253,8 +253,17 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 // block Run parallelizes; exposed for tests, examples and interactive
 // exploration of individual seeds.
 func FindCommunity(g *graph.Graph, seedNode int32, c float64, rng *rand.Rand, opt Options) (cover.Community, float64) {
+	return FindCommunityWith(g, search.NewState(g, g.MaxDegree()), seedNode, c, rng, opt)
+}
+
+// FindCommunityWith is FindCommunity with a caller-provided search
+// state, which it resets before use. Long-running callers (the ocad
+// query service) keep a pool of states and reuse their buffers across
+// requests instead of allocating O(maxDegree) queues per search. The
+// state must have been built over g with capacity ≥ g.MaxDegree().
+func FindCommunityWith(g *graph.Graph, st *search.State, seedNode int32, c float64, rng *rand.Rand, opt Options) (cover.Community, float64) {
 	opt = opt.withDefaults(g.N())
-	st := search.NewState(g, g.MaxDegree())
+	st.Reset()
 	_, fit := localSearch(g, st, seedNode, c, rng, searchOpts{
 		neighborProb: opt.NeighborProb,
 		maxSteps:     opt.MaxSteps,

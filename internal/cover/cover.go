@@ -128,13 +128,15 @@ func (cv *Cover) Coverage(n int) float64 {
 }
 
 // MembershipIndex returns, for each node id < n, the list of community
-// indices containing it. Useful for overlap analysis and inverted-index
-// style matching.
+// indices containing it (ascending). Useful for overlap analysis and
+// inverted-index style matching; hot membership consumers use
+// internal/index, which serves the same mapping from flat CSR slices
+// (it cannot be used here — it imports this package).
 func (cv *Cover) MembershipIndex(n int) [][]int32 {
 	idx := make([][]int32, n)
 	for ci, c := range cv.Communities {
 		for _, v := range c {
-			if int(v) < n {
+			if v >= 0 && int(v) < n {
 				idx[v] = append(idx[v], int32(ci))
 			}
 		}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/index"
 )
 
 // Options configure Build.
@@ -104,7 +105,7 @@ func Build(g *graph.Graph, base *cover.Cover, opt Options) ([]Level, error) {
 // It returns the graph and the weight of every edge.
 func Quotient(g *graph.Graph, cv *cover.Cover, minWeight, sharedWeight int) (*graph.Graph, map[uint64]int) {
 	n := g.N()
-	membership := cv.MembershipIndex(n)
+	membership := index.Build(cv, n)
 	weights := make(map[uint64]int)
 	bump := func(a, b int32, w int) {
 		if a == b {
@@ -118,8 +119,8 @@ func Quotient(g *graph.Graph, cv *cover.Cover, minWeight, sharedWeight int) (*gr
 	// Cross edges: an edge {u, v} relates every community of u to every
 	// community of v they do not share.
 	g.Edges(func(u, v int32) bool {
-		for _, cu := range membership[u] {
-			for _, cvi := range membership[v] {
+		for _, cu := range membership.Communities(u) {
+			for _, cvi := range membership.Communities(v) {
 				bump(cu, cvi, 1)
 			}
 		}
@@ -127,7 +128,7 @@ func Quotient(g *graph.Graph, cv *cover.Cover, minWeight, sharedWeight int) (*gr
 	})
 	// Shared members.
 	for v := 0; v < n; v++ {
-		ms := membership[v]
+		ms := membership.Communities(int32(v))
 		for i := 0; i < len(ms); i++ {
 			for j := i + 1; j < len(ms); j++ {
 				bump(ms[i], ms[j], sharedWeight)

@@ -1,0 +1,64 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+)
+
+// benchCover builds a cover with many mid-sized communities so the
+// index-vs-scan gap is visible: per-query work is O(memberships of the
+// node) for the index against O(total cover size) for a scan.
+func benchCover(nComms, size, n int) *cover.Cover {
+	cs := make([]cover.Community, nComms)
+	for ci := range cs {
+		c := make(cover.Community, size)
+		for i := range c {
+			c[i] = int32((ci*size + i) % n)
+		}
+		cs[ci] = cover.NewCommunity(c)
+	}
+	return cover.NewCover(cs)
+}
+
+// BenchmarkLookup measures one membership query through the index —
+// the hot path of ocad's GET /v1/node/{id}/communities.
+func BenchmarkLookup(b *testing.B) {
+	const n = 100000
+	cv := benchCover(2000, 100, n)
+	ix := Build(cv, n)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(ix.Communities(int32(i % n)))
+	}
+	_ = sink
+}
+
+// BenchmarkLookupLinearScan is the ablation: answering the same query
+// by scanning every community, which the index exists to avoid.
+func BenchmarkLookupLinearScan(b *testing.B) {
+	const n = 100000
+	cv := benchCover(2000, 100, n)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		v := int32(i % n)
+		for _, c := range cv.Communities {
+			if c.Contains(v) {
+				sink++
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkBuild measures one-time index construction.
+func BenchmarkBuild(b *testing.B) {
+	const n = 100000
+	cv := benchCover(2000, 100, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(cv, n)
+	}
+}

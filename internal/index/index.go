@@ -1,0 +1,101 @@
+// Package index provides an inverted node→community membership index
+// over a cover.Cover. The index is the serving-side answer to the
+// paper's titular query — "which communities does this node belong
+// to?" — in O(memberships-of-node) per lookup instead of a linear scan
+// over all communities.
+//
+// The index is stored CSR-style in two flat slices (offsets + community
+// ids), is built in two passes over the cover, and is immutable after
+// Build, making it safe for any number of concurrent readers.
+package index
+
+import (
+	"repro/internal/cover"
+)
+
+// Membership is an immutable inverted index from node id to the sorted
+// list of community indices containing it. Safe for concurrent readers.
+type Membership struct {
+	offsets []int64 // len n+1; memberships of node v live in comms[offsets[v]:offsets[v+1]]
+	comms   []int32 // community indices, ascending per node
+	k       int     // number of communities indexed
+}
+
+// Build constructs the index for a cover over a graph with n nodes.
+// Members outside [0, n) are ignored, matching cover.MembershipIndex.
+// The cover must not be mutated while the index is in use.
+func Build(cv *cover.Cover, n int) *Membership {
+	ix := &Membership{offsets: make([]int64, n+1), k: cv.Len()}
+	for _, c := range cv.Communities {
+		for _, v := range c {
+			if v >= 0 && int(v) < n {
+				ix.offsets[v+1]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		ix.offsets[v+1] += ix.offsets[v]
+	}
+	ix.comms = make([]int32, ix.offsets[n])
+	fill := make([]int64, n)
+	copy(fill, ix.offsets[:n])
+	// Communities are visited in ascending index order, so each node's
+	// membership list comes out sorted.
+	for ci, c := range cv.Communities {
+		for _, v := range c {
+			if v >= 0 && int(v) < n {
+				ix.comms[fill[v]] = int32(ci)
+				fill[v]++
+			}
+		}
+	}
+	return ix
+}
+
+// N returns the number of nodes the index was built for.
+func (ix *Membership) N() int { return len(ix.offsets) - 1 }
+
+// NumCommunities returns the number of communities in the indexed cover.
+func (ix *Membership) NumCommunities() int { return ix.k }
+
+// Memberships returns the total number of (node, community) pairs.
+func (ix *Membership) Memberships() int64 { return ix.offsets[len(ix.offsets)-1] }
+
+// Communities returns the ascending community indices containing v as a
+// view into the index; callers must not modify it. Nodes outside [0, N)
+// and uncovered nodes yield an empty slice.
+func (ix *Membership) Communities(v int32) []int32 {
+	if v < 0 || int(v) >= ix.N() {
+		return nil
+	}
+	return ix.comms[ix.offsets[v]:ix.offsets[v+1]]
+}
+
+// Degree returns the number of communities containing v.
+func (ix *Membership) Degree(v int32) int { return len(ix.Communities(v)) }
+
+// Covered reports whether v belongs to at least one community.
+func (ix *Membership) Covered(v int32) bool { return ix.Degree(v) > 0 }
+
+// Shared returns the ascending community indices containing both u and
+// v — the overlap question behind the paper's social-network use case
+// ("which groups do these two people share?"). The result is freshly
+// allocated and costs O(Degree(u) + Degree(v)).
+func (ix *Membership) Shared(u, v int32) []int32 {
+	a, b := ix.Communities(u), ix.Communities(v)
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package index
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cover"
+)
+
+func TestBuild(t *testing.T) {
+	tests := []struct {
+		name string
+		cv   *cover.Cover
+		n    int
+		want map[int32][]int32 // expected memberships for probed nodes
+	}{
+		{
+			name: "empty cover",
+			cv:   cover.NewCover(nil),
+			n:    4,
+			want: map[int32][]int32{0: {}, 3: {}},
+		},
+		{
+			name: "zero nodes",
+			cv:   cover.NewCover(nil),
+			n:    0,
+			want: map[int32][]int32{},
+		},
+		{
+			name: "disjoint communities",
+			cv: cover.NewCover([]cover.Community{
+				{0, 1, 2},
+				{3, 4},
+			}),
+			n:    6,
+			want: map[int32][]int32{0: {0}, 2: {0}, 3: {1}, 4: {1}, 5: {}},
+		},
+		{
+			name: "overlapping memberships",
+			cv: cover.NewCover([]cover.Community{
+				{0, 1, 2, 3},
+				{2, 3, 4},
+				{3, 5},
+			}),
+			n: 7,
+			want: map[int32][]int32{
+				0: {0},
+				2: {0, 1},
+				3: {0, 1, 2},
+				4: {1},
+				6: {}, // orphan node
+			},
+		},
+		{
+			name: "members outside range ignored",
+			cv: cover.NewCover([]cover.Community{
+				{0, 1, 9},
+			}),
+			n:    3,
+			want: map[int32][]int32{0: {0}, 1: {0}, 2: {}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ix := Build(tt.cv, tt.n)
+			if ix.N() != tt.n {
+				t.Fatalf("N() = %d, want %d", ix.N(), tt.n)
+			}
+			if ix.NumCommunities() != tt.cv.Len() {
+				t.Fatalf("NumCommunities() = %d, want %d", ix.NumCommunities(), tt.cv.Len())
+			}
+			for v, want := range tt.want {
+				got := ix.Communities(v)
+				if len(got) != len(want) {
+					t.Fatalf("Communities(%d) = %v, want %v", v, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("Communities(%d) = %v, want %v", v, got, want)
+					}
+				}
+				if ix.Degree(v) != len(want) {
+					t.Errorf("Degree(%d) = %d, want %d", v, ix.Degree(v), len(want))
+				}
+				if ix.Covered(v) != (len(want) > 0) {
+					t.Errorf("Covered(%d) = %v, want %v", v, ix.Covered(v), len(want) > 0)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildMatchesMembershipIndex(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{
+		{0, 2, 4, 6},
+		{1, 2, 3},
+		{2, 5, 6, 7},
+		{},
+		{7},
+	})
+	n := 9
+	ix := Build(cv, n)
+	ref := cv.MembershipIndex(n)
+	var total int64
+	for v := 0; v < n; v++ {
+		got := ix.Communities(int32(v))
+		if len(got) != len(ref[v]) || (len(got) > 0 && !reflect.DeepEqual([]int32(got), ref[v])) {
+			t.Errorf("node %d: index %v, MembershipIndex %v", v, got, ref[v])
+		}
+		total += int64(len(got))
+	}
+	if ix.Memberships() != total {
+		t.Errorf("Memberships() = %d, want %d", ix.Memberships(), total)
+	}
+}
+
+func TestCommunitiesOutOfRange(t *testing.T) {
+	ix := Build(cover.NewCover([]cover.Community{{0, 1}}), 2)
+	if got := ix.Communities(-1); len(got) != 0 {
+		t.Errorf("Communities(-1) = %v, want empty", got)
+	}
+	if got := ix.Communities(2); len(got) != 0 {
+		t.Errorf("Communities(2) = %v, want empty", got)
+	}
+	if ix.Degree(-5) != 0 || ix.Covered(17) {
+		t.Error("out-of-range nodes must report no memberships")
+	}
+}
+
+func TestShared(t *testing.T) {
+	ix := Build(cover.NewCover([]cover.Community{
+		{0, 1, 2},
+		{1, 2, 3},
+		{2, 3, 4},
+	}), 5)
+	tests := []struct {
+		u, v int32
+		want []int32
+	}{
+		{1, 2, []int32{0, 1}},
+		{2, 3, []int32{1, 2}},
+		{0, 4, nil},
+		{2, 2, []int32{0, 1, 2}},
+		{0, 9, nil}, // out of range
+	}
+	for _, tt := range tests {
+		got := ix.Shared(tt.u, tt.v)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Shared(%d, %d) = %v, want %v", tt.u, tt.v, got, tt.want)
+		}
+	}
+}
+
+// TestConcurrentReaders exercises the concurrent-reader guarantee under
+// the race detector.
+func TestConcurrentReaders(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{
+		{0, 1, 2, 3, 4},
+		{3, 4, 5, 6},
+		{0, 6, 7},
+	})
+	ix := Build(cv, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 1000; rep++ {
+				for v := int32(0); v < 8; v++ {
+					_ = ix.Communities(v)
+					_ = ix.Shared(v, (v+3)%8)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

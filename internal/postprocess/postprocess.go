@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/index"
 	"repro/internal/metrics"
 )
 
@@ -117,12 +118,13 @@ func AssignOrphans(g *graph.Graph, cv *cover.Cover, opt OrphanOptions) *cover.Co
 	n := g.N()
 	out := cv.Clone()
 
-	// membership[v] = communities containing v (first community wins ties).
-	membership := make([][]int32, n)
-	for ci, c := range out.Communities {
-		for _, v := range c {
-			membership[v] = append(membership[v], int32(ci))
-		}
+	// Original memberships come from the inverted index; an orphan
+	// assigned during propagation gains exactly one community, tracked
+	// in assigned (-1 = still uncovered).
+	ix := index.Build(out, n)
+	assigned := make([]int32, n)
+	for i := range assigned {
+		assigned[i] = -1
 	}
 	// appended[ci] accumulates new members per community.
 	appended := make(map[int32][]int32)
@@ -133,12 +135,15 @@ func AssignOrphans(g *graph.Graph, cv *cover.Cover, opt OrphanOptions) *cover.Co
 		// simultaneous update (deterministic, order-independent).
 		roundAssign := make(map[int32]int32)
 		for v := int32(0); v < int32(n); v++ {
-			if len(membership[v]) > 0 {
+			if ix.Covered(v) || assigned[v] >= 0 {
 				continue
 			}
 			counts := map[int32]int{}
 			for _, w := range g.Neighbors(v) {
-				for _, ci := range membership[w] {
+				for _, ci := range ix.Communities(w) {
+					counts[ci]++
+				}
+				if ci := assigned[w]; ci >= 0 {
 					counts[ci]++
 				}
 			}
@@ -156,7 +161,7 @@ func AssignOrphans(g *graph.Graph, cv *cover.Cover, opt OrphanOptions) *cover.Co
 			assignedAny = true
 		}
 		for v, ci := range roundAssign {
-			membership[v] = append(membership[v], ci)
+			assigned[v] = ci
 			appended[ci] = append(appended[ci], v)
 		}
 		if !assignedAny {
@@ -169,7 +174,7 @@ func AssignOrphans(g *graph.Graph, cv *cover.Cover, opt OrphanOptions) *cover.Co
 	}
 	if opt.Singletons {
 		for v := int32(0); v < int32(n); v++ {
-			if len(membership[v]) == 0 {
+			if !ix.Covered(v) && assigned[v] < 0 {
 				out.Communities = append(out.Communities, cover.Community{v})
 			}
 		}

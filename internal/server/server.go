@@ -1,0 +1,529 @@
+// Package server implements the HTTP query service behind the ocad
+// daemon: the paper's community *search* served interactively. It loads
+// a graph once, computes (or is handed) an overlapping community cover,
+// builds the inverted node→community index, and answers
+//
+//	GET  /healthz                    liveness (never blocks on the cover)
+//	GET  /v1/cover/stats             cover-wide overlap statistics
+//	GET  /v1/node/{id}/communities   membership lookup via the index
+//	POST /v1/search                  on-demand seeded community search
+//
+// The cover and index are built exactly once (eagerly or on first
+// demand) and are immutable afterwards, so every endpoint serves any
+// number of concurrent readers without locking. Seeded searches draw
+// reusable search.State buffers from a bounded pool, so concurrent
+// /v1/search requests are capped at SearchWorkers in-flight searches
+// and allocate no per-request queues.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/search"
+	"repro/internal/spectral"
+)
+
+// Config tunes a Server. The zero value serves with the paper's OCA
+// defaults, an eagerly built cover, GOMAXPROCS search workers and a
+// 30-second request deadline.
+type Config struct {
+	// OCA configures the batch run that builds the served cover and
+	// supplies defaults (c, neighbor probability, step caps) for
+	// per-request searches.
+	OCA core.Options
+	// Lazy delays the OCA run until the first request that needs the
+	// cover; /healthz and /v1/search never wait for a lazy cover.
+	Lazy bool
+	// SearchWorkers bounds concurrent /v1/search searches; each worker
+	// owns one reusable search.State. Default runtime.GOMAXPROCS(0).
+	SearchWorkers int
+	// RequestTimeout is the per-request deadline enforced by Handler.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// MaxRequestBody caps the /v1/search body size. Default 1 MiB.
+	MaxRequestBody int64
+}
+
+// Server answers community-search queries over one loaded graph.
+// Construct with New or NewWithCover; all methods are safe for
+// concurrent use.
+type Server struct {
+	g       *graph.Graph
+	cfg     Config
+	maxDeg  int
+	stepCap int // ceiling on per-request search step budgets
+
+	pool    chan *search.State // reusable per-search buffers (nil until first use)
+	streams atomic.Int64       // rng stream counter for unseeded searches
+
+	cOnce  sync.Once
+	cErr   error
+	cReady atomic.Bool
+	c      float64 // inner-product parameter used for searches
+
+	coverOnce  sync.Once
+	coverReady atomic.Bool
+	coverErr   error
+	cv         *cover.Cover
+	ix         *index.Membership
+	stats      cover.OverlapStats // computed once; the cover is immutable
+	result     *core.Result
+	buildTime  time.Duration
+	preloaded  bool
+}
+
+// New returns a Server that obtains its cover by running OCA on g —
+// at construction unless cfg.Lazy is set.
+func New(g *graph.Graph, cfg Config) (*Server, error) {
+	s := newServer(g, cfg)
+	if cfg.OCA.C != 0 {
+		// Validate an explicit c up front even when lazy — it's free,
+		// and a bad value would otherwise surface as a 500 on every
+		// request instead of a launch failure.
+		if err := s.ensureC(); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.Lazy {
+		if err := s.ensureCover(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NewWithCover returns a Server that serves a precomputed cover (for
+// example one loaded from an oca-run output file) instead of running
+// OCA itself. The inner-product parameter for /v1/search is still
+// cfg.OCA.C, or derived from the spectrum — lazily, on the first
+// request that needs it, so serving a precomputed cover never pays for
+// a whole-graph eigenvalue computation at startup.
+func NewWithCover(g *graph.Graph, cv *cover.Cover, cfg Config) (*Server, error) {
+	s := newServer(g, cfg)
+	s.preloaded = true
+	s.cv = cv
+	// Fail fast on a cover/graph mismatch: index.Build would silently
+	// drop out-of-range members, serving member lists whose own lookups
+	// 404 and stats where coverage exceeds 1.
+	for ci, c := range cv.Communities {
+		for _, v := range c {
+			if v < 0 || int(v) >= g.N() {
+				return nil, fmt.Errorf("server: cover community %d contains node %d outside graph range [0, %d)", ci, v, g.N())
+			}
+		}
+	}
+	if cfg.OCA.C != 0 {
+		// An explicit override is validated up front (it's free).
+		if err := s.ensureC(); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.ensureCover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func newServer(g *graph.Graph, cfg Config) *Server {
+	if cfg.SearchWorkers <= 0 {
+		cfg.SearchWorkers = defaultWorkers()
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxRequestBody <= 0 {
+		cfg.MaxRequestBody = 1 << 20
+	}
+	s := &Server{g: g, cfg: cfg, maxDeg: g.MaxDegree()}
+	// Requests may lower the step budget but never raise it past the
+	// server's own cap: searches are not context-cancellable, so a giant
+	// finite budget would hold a pool worker past the deadline just like
+	// a negative ("unlimited") one.
+	s.stepCap = cfg.OCA.MaxSteps
+	if s.stepCap <= 0 {
+		s.stepCap = 100000 // core's MaxSteps default
+	}
+	// Pool slots start nil; states are allocated on first checkout so a
+	// lookup-only deployment never pays for SearchWorkers × O(maxDegree)
+	// queue buffers.
+	s.pool = make(chan *search.State, cfg.SearchWorkers)
+	for i := 0; i < cfg.SearchWorkers; i++ {
+		s.pool <- nil
+	}
+	return s
+}
+
+func defaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// ensureC resolves the inner-product parameter exactly once: the
+// configured override, or -1/λmin from the power method. It is separate
+// from ensureCover so a lazy server can answer /v1/search without first
+// paying for a full OCA run.
+func (s *Server) ensureC() error {
+	s.cOnce.Do(func() {
+		if c := s.cfg.OCA.C; c != 0 {
+			if c < 0 || c >= 1 {
+				s.cErr = fmt.Errorf("server: c=%g out of range (0, 1)", c)
+				return
+			}
+			s.c = c
+			s.cReady.Store(true)
+			return
+		}
+		c, err := spectral.C(s.g, s.cfg.OCA.Spectral)
+		if err != nil {
+			s.cErr = fmt.Errorf("server: computing c: %w", err)
+			return
+		}
+		s.c = c
+		s.cReady.Store(true)
+	})
+	return s.cErr
+}
+
+// ensureCover builds the cover and index exactly once.
+func (s *Server) ensureCover() error {
+	s.coverOnce.Do(func() {
+		start := time.Now()
+		if !s.preloaded {
+			// A preloaded cover does not need c; deriving it stays
+			// deferred to the first /v1/search or stats request.
+			if s.coverErr = s.ensureC(); s.coverErr != nil {
+				return
+			}
+			opt := s.cfg.OCA
+			opt.C = s.c // single source of truth for the parameter
+			var res *core.Result
+			res, s.coverErr = core.Run(s.g, opt)
+			if s.coverErr != nil {
+				return
+			}
+			s.result = res
+			s.cv = res.Cover
+		}
+		s.ix = index.Build(s.cv, s.g.N())
+		s.stats = s.cv.Stats(s.g.N())
+		s.buildTime = time.Since(start)
+		s.coverReady.Store(true)
+	})
+	return s.coverErr
+}
+
+// C returns the inner-product parameter the server searches with.
+func (s *Server) C() (float64, error) {
+	if err := s.ensureC(); err != nil {
+		return 0, err
+	}
+	return s.c, nil
+}
+
+// Cover returns the served cover, forcing a lazy build if necessary.
+// The returned cover must not be mutated.
+func (s *Server) Cover() (*cover.Cover, error) {
+	if err := s.ensureCover(); err != nil {
+		return nil, err
+	}
+	return s.cv, nil
+}
+
+// Handler returns the service's http.Handler: the four routes wrapped
+// with the per-request deadline.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/cover/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/node/{id}/communities", s.handleNodeCommunities)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	th := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	// TimeoutHandler writes its timeout body with no Content-Type;
+	// pre-setting it here keeps error responses uniformly JSON (the
+	// handlers overwrite the header on every non-timeout path).
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(w, r)
+	})
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// healthzResponse is the /healthz body.
+type healthzResponse struct {
+	Status     string `json:"status"`
+	Nodes      int    `json:"nodes"`
+	Edges      int64  `json:"edges"`
+	CoverReady bool   `json:"cover_ready"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:     "ok",
+		Nodes:      s.g.N(),
+		Edges:      s.g.M(),
+		CoverReady: s.coverReady.Load(),
+	})
+}
+
+// statsResponse is the /v1/cover/stats body.
+type statsResponse struct {
+	Nodes          int     `json:"nodes"`
+	Edges          int64   `json:"edges"`
+	C              float64 `json:"c,omitempty"` // absent until first derived (preloaded covers)
+	Communities    int     `json:"communities"`
+	CoveredNodes   int     `json:"covered_nodes"`
+	Coverage       float64 `json:"coverage"`
+	OverlapNodes   int     `json:"overlap_nodes"`
+	MinSize        int     `json:"min_size"`
+	MaxSize        int     `json:"max_size"`
+	MeanSize       float64 `json:"mean_size"`
+	MeanMembership float64 `json:"mean_membership"`
+	MaxMembership  int     `json:"max_membership"`
+	SeedsTried     int     `json:"seeds_tried,omitempty"`
+	Steps          int64   `json:"steps,omitempty"`
+	RawCommunities int     `json:"raw_communities,omitempty"`
+	BuildMillis    int64   `json:"build_millis"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	if err := s.ensureCover(); err != nil {
+		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
+		return
+	}
+	n := s.g.N()
+	st := s.stats
+	resp := statsResponse{
+		Nodes:          n,
+		Edges:          s.g.M(),
+		Communities:    st.Communities,
+		CoveredNodes:   st.CoveredNodes,
+		OverlapNodes:   st.OverlapNodes,
+		MinSize:        st.MinSize,
+		MaxSize:        st.MaxSize,
+		MeanSize:       st.MeanSize,
+		MeanMembership: st.MeanMember,
+		MaxMembership:  st.MaxMembership,
+		BuildMillis:    s.buildTime.Milliseconds(),
+	}
+	// Never force the spectral derivation just to fill this field; on a
+	// preloaded cover c appears once the first search resolves it.
+	if s.cReady.Load() {
+		resp.C = s.c
+	}
+	if n > 0 {
+		resp.Coverage = float64(st.CoveredNodes) / float64(n)
+	}
+	if s.result != nil {
+		resp.SeedsTried = s.result.SeedsTried
+		resp.Steps = s.result.Steps
+		resp.RawCommunities = s.result.RawCommunities
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// communityRef describes one community a node belongs to.
+type communityRef struct {
+	ID      int32   `json:"id"`
+	Size    int     `json:"size"`
+	Members []int32 `json:"members,omitempty"`
+}
+
+// nodeCommunitiesResponse is the /v1/node/{id}/communities body.
+type nodeCommunitiesResponse struct {
+	Node        int32          `json:"node"`
+	Count       int            `json:"count"`
+	Communities []communityRef `json:"communities"`
+}
+
+func (s *Server) handleNodeCommunities(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid node id %q", r.PathValue("id"))
+		return
+	}
+	v := int32(id)
+	if v < 0 || int(v) >= s.g.N() {
+		writeError(w, http.StatusNotFound, "node %d out of range [0, %d)", v, s.g.N())
+		return
+	}
+	if err := s.ensureCover(); err != nil {
+		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
+		return
+	}
+	withMembers := queryBool(r, "members")
+	ids := s.ix.Communities(v)
+	resp := nodeCommunitiesResponse{
+		Node:        v,
+		Count:       len(ids),
+		Communities: make([]communityRef, len(ids)),
+	}
+	for i, ci := range ids {
+		ref := communityRef{ID: ci, Size: len(s.cv.Communities[ci])}
+		if withMembers {
+			ref.Members = s.cv.Communities[ci]
+		}
+		resp.Communities[i] = ref
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func queryBool(r *http.Request, key string) bool {
+	switch r.URL.Query().Get(key) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// SearchRequest is the /v1/search body. Zero-valued fields fall back to
+// the server's OCA options (and, for C, the spectrum-derived value).
+type SearchRequest struct {
+	// Seed is the node the local search grows from.
+	Seed int32 `json:"seed"`
+	// C overrides the inner-product parameter for this request.
+	C float64 `json:"c,omitempty"`
+	// NeighborProb overrides the initial neighbor-inclusion probability.
+	NeighborProb float64 `json:"neighbor_prob,omitempty"`
+	// MaxSteps overrides the greedy step cap; values above the server's
+	// own cap are clamped to it.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// MaxCommunitySize stops additions at that size when positive.
+	MaxCommunitySize int `json:"max_community_size,omitempty"`
+	// RNGSeed fixes the randomness; responses with equal RNGSeed and
+	// parameters are identical. When 0 the server picks a fresh stream.
+	RNGSeed int64 `json:"rng_seed,omitempty"`
+}
+
+// SearchResponse is the /v1/search body.
+type SearchResponse struct {
+	Seed    int32   `json:"seed"`
+	C       float64 `json:"c"`
+	Size    int     `json:"size"`
+	Fitness float64 `json:"fitness"`
+	Members []int32 `json:"members"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid search request: %v", err)
+		return
+	}
+	if req.Seed < 0 || int(req.Seed) >= s.g.N() {
+		writeError(w, http.StatusNotFound, "seed %d out of range [0, %d)", req.Seed, s.g.N())
+		return
+	}
+	// Negative means "unlimited" in core.Options — never allowed from
+	// the network, where an uncapped search would hold a pool worker
+	// far past the request deadline.
+	if req.MaxSteps < 0 || req.NeighborProb < 0 || req.MaxCommunitySize < 0 {
+		writeError(w, http.StatusBadRequest, "max_steps, neighbor_prob and max_community_size must be non-negative")
+		return
+	}
+	if req.NeighborProb > 1 {
+		writeError(w, http.StatusBadRequest, "neighbor_prob=%g out of range [0, 1]", req.NeighborProb)
+		return
+	}
+	c := req.C
+	if c == 0 {
+		var err error
+		if c, err = s.C(); err != nil {
+			writeError(w, http.StatusInternalServerError, "computing c: %v", err)
+			return
+		}
+	}
+	if c < 0 || c >= 1 {
+		// 0 never reaches here — it is the "use the server's c"
+		// sentinel — so the effective range is (0, 1).
+		writeError(w, http.StatusBadRequest, "c=%g out of range (0, 1)", c)
+		return
+	}
+	rngSeed := req.RNGSeed
+	if rngSeed == 0 {
+		rngSeed = s.streams.Add(1)
+	}
+
+	// Bounded search pool: at most SearchWorkers in-flight searches,
+	// each reusing a pre-allocated state. Waiting respects the request
+	// deadline.
+	var st *search.State
+	select {
+	case st = <-s.pool:
+	case <-r.Context().Done():
+		if errors.Is(r.Context().Err(), context.Canceled) {
+			// Client went away while waiting; nobody reads the reply,
+			// and "saturated" in logs would send operators chasing
+			// phantom load.
+			writeError(w, http.StatusServiceUnavailable, "client canceled request")
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "search pool saturated: %v", r.Context().Err())
+		return
+	}
+	if st == nil {
+		st = search.NewState(s.g, s.maxDeg)
+	}
+	defer func() { s.pool <- st }()
+
+	opt := s.cfg.OCA
+	if req.NeighborProb > 0 {
+		opt.NeighborProb = req.NeighborProb
+	}
+	if req.MaxSteps > 0 {
+		opt.MaxSteps = req.MaxSteps
+	}
+	// Unconditional clamp: neither a request override nor a negative
+	// ("unlimited") configured OCA.MaxSteps may exceed the cap here.
+	if opt.MaxSteps <= 0 || opt.MaxSteps > s.stepCap {
+		opt.MaxSteps = s.stepCap
+	}
+	if req.MaxCommunitySize > 0 {
+		opt.MaxCommunitySize = req.MaxCommunitySize
+	}
+	rng := rand.New(rand.NewSource(rngSeed))
+	community, fitness := core.FindCommunityWith(s.g, st, req.Seed, c, rng, opt)
+	writeJSON(w, http.StatusOK, SearchResponse{
+		Seed:    req.Seed,
+		C:       c,
+		Size:    len(community),
+		Fitness: fitness,
+		Members: community,
+	})
+}

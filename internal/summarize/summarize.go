@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/index"
 )
 
 // Summary is a lossless community-based compression of a graph.
@@ -78,7 +79,7 @@ func Build(g *graph.Graph, cv *cover.Cover) (*Summary, error) {
 	}
 
 	// Primary assignment: community with most of the node's neighbors.
-	membership := cv.MembershipIndex(n)
+	membership := index.Build(cv, n)
 	memberSet := make([]map[int32]struct{}, cv.Len())
 	for ci, c := range cv.Communities {
 		set := make(map[int32]struct{}, len(c))
@@ -88,7 +89,7 @@ func Build(g *graph.Graph, cv *cover.Cover) (*Summary, error) {
 		memberSet[ci] = set
 	}
 	for v := int32(0); v < int32(n); v++ {
-		ms := membership[v]
+		ms := membership.Communities(v)
 		if len(ms) == 0 {
 			continue
 		}
