@@ -2,9 +2,13 @@
 # same targets, so a green `make check` locally means a green CI run.
 
 GO ?= go
-RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/...
+RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/... ./internal/refresh/...
+# Packages whose statement coverage must stay at or above COVER_MIN:
+# the concurrent serving layer, where untested paths hide races.
+COVER_PKGS := repro/internal/server repro/internal/refresh
+COVER_MIN := 75
 
-.PHONY: build test race vet fmt-check bench-smoke examples check clean
+.PHONY: build test race vet fmt-check bench-smoke fuzz-smoke cover-check examples check clean
 
 build:
 	$(GO) build ./...
@@ -13,7 +17,8 @@ test:
 	$(GO) test ./...
 
 # Race-detector run over the concurrency-bearing packages (OCA's worker
-# fan-out, the search state pool, the HTTP handlers).
+# fan-out, the search state pool, the refresh worker's atomic snapshot
+# swap, the HTTP handlers).
 race:
 	$(GO) test -race $(RACE_PKGS)
 
@@ -31,13 +36,37 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > BENCH_smoke.json; \
 		status=$$?; cat BENCH_smoke.json; exit $$status
 
+# Short fuzz runs over the untrusted-input parsers. The checked-in seed
+# corpus (internal/graph/testdata/fuzz) always runs under plain `make
+# test`; this target additionally mutates for a few seconds per target.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadAuto$$' -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/graph
+
+# Per-package coverage summary, failing if any COVER_PKGS package drops
+# below COVER_MIN% of statements. Redirect instead of tee so a test
+# failure fails the target (sh has no pipefail).
+cover-check:
+	@$(GO) test -cover ./... > cover.txt 2>&1; status=$$?; cat cover.txt; \
+	if [ $$status -ne 0 ]; then rm -f cover.txt; exit $$status; fi; \
+	fail=0; \
+	for pkg in $(COVER_PKGS); do \
+		pct=$$(awk -v p="$$pkg" '$$1=="ok" && $$2==p { for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { gsub("%","",$$i); print $$i } }' cover.txt); \
+		if [ -z "$$pct" ]; then echo "cover-check: no coverage found for $$pkg"; fail=1; \
+		elif [ $$(printf '%.0f' "$$pct") -lt $(COVER_MIN) ]; then \
+			echo "cover-check: $$pkg coverage $$pct% below $(COVER_MIN)%"; fail=1; \
+		else echo "cover-check: $$pkg coverage $$pct% >= $(COVER_MIN)%"; fi; \
+	done; \
+	rm -f cover.txt; exit $$fail
+
 # Each example is a main package with no test files except quickstart;
 # build them all so they cannot rot invisibly.
 examples:
 	@for d in examples/*/; do \
 		echo "build $$d"; $(GO) build -o /dev/null ./$$d || exit 1; done
 
-check: build vet fmt-check test race examples
+check: build vet fmt-check test race cover-check examples
 
 clean:
-	rm -f BENCH_smoke.json
+	rm -f BENCH_smoke.json cover.txt

@@ -45,6 +45,26 @@ func Stats(g *Graph, countTriangles bool) GraphStats {
 // "# nodes N edges M" header).
 func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
+// GraphReadLimits bound what a parse may materialize (node and edge
+// counts); use them when reading untrusted input, where a few bytes can
+// declare a multi-gigabyte graph.
+type GraphReadLimits = graph.ReadLimits
+
+// ReadGraphLimits is ReadGraph with hard caps on the declared or
+// implied graph size.
+func ReadGraphLimits(r io.Reader, lim GraphReadLimits) (*Graph, error) {
+	return graph.ReadEdgeListLimits(r, lim)
+}
+
+// GraphDelta accumulates edge additions and removals against an
+// existing immutable Graph and applies them in one copy-on-write pass —
+// the O(n + m + Δ log Δ) rebuild path behind live cover refresh. The
+// base graph is never mutated.
+type GraphDelta = graph.Delta
+
+// NewGraphDelta returns an empty delta over g.
+func NewGraphDelta(g *Graph) *GraphDelta { return graph.NewDelta(g) }
+
 // WriteGraph writes g in the format ReadGraph parses.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
 
@@ -171,6 +191,12 @@ func BestMatchF1(a, b *Cover) float64 { return metrics.BestMatchF1(a, b) }
 // OmegaIndex is the chance-corrected pairwise co-membership agreement of
 // two covers over n nodes (overlap-aware; O(n²) pairs).
 func OmegaIndex(a, b *Cover, n int) float64 { return metrics.OmegaIndex(a, b, n) }
+
+// NMI is the overlapping Normalized Mutual Information (Lancichinetti–
+// Fortunato–Kertész 2009) of two covers over n nodes: 1 for identical
+// covers, 0 for independent ones. The standard score for comparing
+// covers whose communities may overlap.
+func NMI(a, b *Cover, n int) float64 { return metrics.NMI(a, b, n) }
 
 // MergeThreshold is the default ρ at which communities merge.
 const MergeThreshold = postprocess.DefaultMergeThreshold

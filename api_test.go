@@ -188,3 +188,36 @@ func TestIndexLookup(t *testing.T) {
 		t.Errorf("Shared(1,2) = %v, want [0]", s)
 	}
 }
+
+// TestGraphDeltaAndNMI covers the live-refresh public surface: the
+// copy-on-write delta, the size-limited reader and the overlapping NMI.
+func TestGraphDeltaAndNMI(t *testing.T) {
+	b := repro.NewGraphBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+
+	d := repro.NewGraphDelta(g)
+	if err := d.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ng := d.Apply()
+	if g.M() != 2 || ng.M() != 2 || !ng.HasEdge(2, 3) || ng.HasEdge(0, 1) {
+		t.Errorf("delta apply wrong: base m=%d, new m=%d", g.M(), ng.M())
+	}
+
+	if _, err := repro.ReadGraphLimits(bytes.NewReader([]byte("0 999999\n")), repro.GraphReadLimits{MaxNodes: 100}); err == nil {
+		t.Error("ReadGraphLimits accepted a node id far over the limit")
+	}
+
+	a, err := repro.ReadCover(bytes.NewReader([]byte("0 1 2\n3 4 5\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := repro.NMI(a, a, 6); got != 1 {
+		t.Errorf("NMI(a, a) = %v, want 1", got)
+	}
+}

@@ -1,7 +1,9 @@
 // Command ocad is the community-search query daemon: it loads a graph,
 // obtains an overlapping community cover (by running OCA or loading a
 // precomputed cover file), builds the inverted node→community index,
-// and serves JSON over HTTP until terminated.
+// and serves JSON over HTTP until terminated. Edge mutations posted at
+// runtime are applied by a background refresh worker that re-runs OCA
+// and atomically swaps in the new generation; readers never block.
 //
 // Usage:
 //
@@ -9,10 +11,13 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                    liveness and cover readiness
+//	GET  /healthz                    liveness, cover readiness, refresh state
 //	GET  /v1/cover/stats             cover-wide overlap statistics
+//	GET  /v1/cover/export            NDJSON streaming bulk export
 //	GET  /v1/node/{id}/communities   which communities contain this node
+//	POST /v1/nodes/communities       batch lookup over many nodes at once
 //	POST /v1/search                  run one seeded community search
+//	POST /v1/edges                   add/remove edges, triggering a refresh
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests for up to -shutdown-timeout.
@@ -56,6 +61,9 @@ func run(args []string) error {
 	searchWorkers := fs.Int("search-workers", 0, "max concurrent /v1/search searches (0 = GOMAXPROCS)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
+	refreshDebounce := fs.Duration("refresh-debounce", 50*time.Millisecond, "how long queued /v1/edges mutations coalesce before an OCA re-run")
+	maxBatchIDs := fs.Int("max-batch-ids", 10000, "ids answered per batch lookup before clamping")
+	coldRefresh := fs.Bool("cold-refresh", false, "re-run OCA from scratch on refresh instead of warm-starting from unaffected communities")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,9 +85,12 @@ func run(args []string) error {
 	log.Printf("loaded graph: %d nodes, %d edges", g.N(), g.M())
 
 	cfg := server.Config{
-		Lazy:           *lazy,
-		SearchWorkers:  *searchWorkers,
-		RequestTimeout: *reqTimeout,
+		Lazy:             *lazy,
+		SearchWorkers:    *searchWorkers,
+		RequestTimeout:   *reqTimeout,
+		RefreshDebounce:  *refreshDebounce,
+		MaxBatchIDs:      *maxBatchIDs,
+		DisableWarmStart: *coldRefresh,
 	}
 	cfg.OCA.Seed = *seed
 	cfg.OCA.C = *c
@@ -143,6 +154,9 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	log.Print("shutting down, draining in-flight requests...")
+	// Stop the refresh worker first: new mutations are refused while
+	// in-flight reads keep answering from the last published snapshot.
+	srv.Close()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {

@@ -44,3 +44,13 @@ func TestRunRequiresInput(t *testing.T) {
 		t.Error("run without -in succeeded, want error")
 	}
 }
+
+func TestFlagParsing(t *testing.T) {
+	// Unknown flags and bad values must surface as errors, not os.Exit.
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("run with unknown flag succeeded, want error")
+	}
+	if err := run([]string{"-in", "g.txt", "-refresh-debounce", "zebra"}); err == nil {
+		t.Error("run with bad -refresh-debounce succeeded, want error")
+	}
+}

@@ -18,7 +18,8 @@
 //     substitute for the Wikipedia link graph, and general R-MAT,
 //     Barabási–Albert and G(n,m) generators.
 //   - The paper's quality metrics ρ (eq. V.1) and Θ (eq. V.2), plus
-//     best-match F1 and the Omega index as cross-checks.
+//     best-match F1, the Omega index and the overlapping NMI
+//     (Lancichinetti–Fortunato–Kertész 2009) as cross-checks.
 //
 // A minimal end-to-end run:
 //
@@ -36,7 +37,13 @@
 // belong to?", POST /v1/search runs one seeded community search with
 // per-request options against a bounded pool of reusable search states,
 // GET /v1/cover/stats summarizes the served cover, and GET /healthz
-// reports liveness. See README.md for curl examples.
+// reports liveness. The served graph is live: POST /v1/edges mutations
+// are applied copy-on-write (GraphDelta) by a background worker that
+// re-runs OCA warm-started from unaffected communities and atomically
+// swaps in the next generation-numbered snapshot, while POST
+// /v1/nodes/communities answers batch lookups from a single snapshot
+// and GET /v1/cover/export streams the cover as NDJSON. See README.md
+// for curl examples.
 //
 // The experiment harness reproducing every table and figure of the
 // paper's Section V lives in cmd/ocabench; runnable demonstrations live

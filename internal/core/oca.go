@@ -59,6 +59,13 @@ type Options struct {
 	AssignOrphans bool
 	// Orphans configures orphan assignment when enabled.
 	Orphans postprocess.OrphanOptions
+	// Warm seeds the run with communities assumed already found (for
+	// example from a previous cover whose region of the graph did not
+	// change). Their members count as covered from the start — steering
+	// SeedUncovered and the coverage/patience halting away from known
+	// structure — and they join the raw community list ahead of merging.
+	// Members must lie in [0, n); the communities are never mutated.
+	Warm []cover.Community
 }
 
 // SeedStrategy selects where new local searches start. The paper leaves
@@ -180,6 +187,15 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 
 	var raw []cover.Community
+	for _, wc := range opt.Warm {
+		for _, v := range wc {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("core: warm community member %d outside graph range [0, %d)", v, n)
+			}
+		}
+		driver.markCovered(wc)
+		raw = append(raw, wc)
+	}
 	drought := 0
 	seedIndex := int64(0)
 

@@ -337,3 +337,43 @@ func TestRunDeterministicProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWarmStart(t *testing.T) {
+	g := twoCliquesBridge(6)
+	warm := cover.NewCommunity([]int32{0, 1, 2, 3, 4, 5}) // clique A, given
+	res, err := Run(g, Options{Seed: 42, C: 0.5, Warm: []cover.Community{warm}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm community survives into the result and clique B is still
+	// discovered by the run itself.
+	want := cover.NewCover([]cover.Community{
+		warm,
+		cover.NewCommunity([]int32{6, 7, 8, 9, 10, 11}),
+	})
+	if th := metrics.Theta(want, res.Cover); th < 0.95 {
+		t.Fatalf("Θ=%v, want ≥0.95; got cover %v", th, res.Cover.Communities)
+	}
+	// The warm members count as covered: a fully warm graph stops
+	// immediately without trying a single seed.
+	full, err := Run(g, Options{Seed: 1, C: 0.5, Warm: []cover.Community{
+		warm, cover.NewCommunity([]int32{6, 7, 8, 9, 10, 11}),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.SeedsTried != 0 {
+		t.Errorf("fully warm run tried %d seeds, want 0", full.SeedsTried)
+	}
+	if full.Cover.Len() != 2 {
+		t.Errorf("fully warm run produced %d communities, want 2", full.Cover.Len())
+	}
+}
+
+func TestRunWarmStartRejectsOutOfRange(t *testing.T) {
+	g := twoCliquesBridge(3)
+	_, err := Run(g, Options{C: 0.5, Warm: []cover.Community{{0, 99}}})
+	if err == nil {
+		t.Fatal("warm community with out-of-range member accepted")
+	}
+}

@@ -40,6 +40,12 @@ func WriteBinary(w io.Writer, g *Graph) error {
 // CSR invariants (monotone offsets, in-range sorted adjacency,
 // symmetry is trusted) before constructing the graph.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	return ReadBinaryLimits(r, ReadLimits{})
+}
+
+// ReadBinaryLimits is ReadBinary with hard caps on the declared graph
+// size, for parsing untrusted input with bounded memory.
+func ReadBinaryLimits(r io.Reader, lim ReadLimits) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -61,6 +67,12 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if n < 0 || n > maxN || halfEdges < 0 || halfEdges%2 != 0 {
 		return nil, fmt.Errorf("graph: corrupt binary header (n=%d, half-edges=%d)", n, halfEdges)
 	}
+	if lim.MaxNodes > 0 && n > int64(lim.MaxNodes) {
+		return nil, fmt.Errorf("graph: declared node count %d exceeds limit %d", n, lim.MaxNodes)
+	}
+	if lim.MaxEdges > 0 && halfEdges/2 > lim.MaxEdges {
+		return nil, fmt.Errorf("graph: declared edge count %d exceeds limit %d", halfEdges/2, lim.MaxEdges)
+	}
 	// Read both arrays in chunks so a corrupt header claiming an absurd
 	// length fails on the truncated stream instead of pre-allocating it.
 	offsets, err := readInt64Chunked(br, n+1)
@@ -75,10 +87,15 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if offsets[0] != 0 || offsets[n] != halfEdges {
 		return nil, fmt.Errorf("graph: corrupt offsets (first=%d, last=%d, want 0, %d)", offsets[0], offsets[n], halfEdges)
 	}
+	// Validate all offsets before slicing with any of them: a corrupt
+	// intermediate offset can be monotone so far yet far beyond len(adj),
+	// and slicing with it would panic before the check reached it.
 	for v := int64(0); v < n; v++ {
-		if offsets[v] > offsets[v+1] {
+		if offsets[v] > offsets[v+1] || offsets[v+1] > halfEdges {
 			return nil, fmt.Errorf("graph: offsets not monotone at node %d", v)
 		}
+	}
+	for v := int64(0); v < n; v++ {
 		list := adj[offsets[v]:offsets[v+1]]
 		for i, w := range list {
 			if w < 0 || int64(w) >= n {
@@ -138,10 +155,15 @@ func min64(a, b int64) int64 {
 // ReadAuto detects the format (binary magic vs text edge list) and
 // parses accordingly.
 func ReadAuto(r io.Reader) (*Graph, error) {
+	return ReadAutoLimits(r, ReadLimits{})
+}
+
+// ReadAutoLimits is ReadAuto with hard caps on the declared graph size.
+func ReadAutoLimits(r io.Reader, lim ReadLimits) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	head, err := br.Peek(4)
 	if err == nil && len(head) == 4 && [4]byte(head) == binMagic {
-		return ReadBinary(br)
+		return ReadBinaryLimits(br, lim)
 	}
-	return ReadEdgeList(br)
+	return ReadEdgeListLimits(br, lim)
 }

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// graphsEqual compares two graphs structurally.
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := int32(0); int(v) < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// validateCSR checks the CSR invariants Apply must preserve.
+func validateCSR(t *testing.T, g *Graph) {
+	t.Helper()
+	for v := int32(0); int(v) < g.N(); v++ {
+		nb := g.Neighbors(v)
+		for i, w := range nb {
+			if w < 0 || int(w) >= g.N() {
+				t.Fatalf("node %d: neighbor %d out of range", v, w)
+			}
+			if w == v {
+				t.Fatalf("node %d: self loop", v)
+			}
+			if i > 0 && nb[i-1] >= w {
+				t.Fatalf("node %d: adjacency not strictly sorted: %v", v, nb)
+			}
+			if !g.HasEdge(w, v) {
+				t.Fatalf("edge {%d,%d} not symmetric", v, w)
+			}
+		}
+	}
+}
+
+func TestDeltaAddRemove(t *testing.T) {
+	base := FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	d := NewDelta(base)
+	if err := d.AddEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := d.Apply()
+	validateCSR(t, g)
+	want := FromEdges(6, [][2]int32{{0, 1}, {2, 3}, {3, 4}, {0, 5}, {0, 4}})
+	if !graphsEqual(g, want) {
+		t.Fatalf("delta result differs from rebuilt graph")
+	}
+	// The base graph is untouched.
+	if base.M() != 4 || base.HasEdge(0, 5) {
+		t.Fatal("Apply mutated the base graph")
+	}
+}
+
+func TestDeltaLastOpWins(t *testing.T) {
+	base := FromEdges(4, [][2]int32{{0, 1}})
+	d := NewDelta(base)
+	// add then remove -> absent; remove then add -> present.
+	_ = d.AddEdge(2, 3)
+	_ = d.RemoveEdge(2, 3)
+	_ = d.RemoveEdge(0, 1)
+	_ = d.AddEdge(0, 1)
+	g := d.Apply()
+	validateCSR(t, g)
+	if g.HasEdge(2, 3) {
+		t.Error("add-then-remove left the edge present")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("remove-then-add dropped the edge")
+	}
+}
+
+func TestDeltaNoops(t *testing.T) {
+	base := FromEdges(3, [][2]int32{{0, 1}})
+	// Empty delta returns the base graph itself.
+	if g := NewDelta(base).Apply(); g != base {
+		t.Error("empty delta did not return the base graph")
+	}
+	// Adding an existing edge and removing a missing one change nothing.
+	d := NewDelta(base)
+	_ = d.AddEdge(0, 1)
+	_ = d.RemoveEdge(1, 2)
+	if g := d.Apply(); g != base {
+		t.Error("no-op delta did not return the base graph")
+	}
+}
+
+func TestDeltaRejectsBadEdges(t *testing.T) {
+	d := NewDelta(FromEdges(3, nil))
+	if err := d.AddEdge(1, 1); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := d.AddEdge(-1, 2); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := d.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := d.RemoveEdge(0, 99); err == nil {
+		t.Error("out-of-range removal accepted")
+	}
+	if d.Len() != 0 {
+		t.Errorf("rejected edges were recorded: Len = %d", d.Len())
+	}
+}
+
+func TestDeltaTouched(t *testing.T) {
+	d := NewDelta(FromEdges(10, [][2]int32{{0, 1}}))
+	_ = d.AddEdge(5, 2)
+	_ = d.RemoveEdge(0, 1)
+	_ = d.AddEdge(2, 7)
+	got := d.Touched()
+	want := []int32{0, 1, 2, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Touched = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Touched = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDeltaMatchesBuilder cross-checks Apply against a from-scratch
+// Builder over randomized edit sequences.
+func TestDeltaMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 30
+	for trial := 0; trial < 25; trial++ {
+		// Random base graph.
+		edges := map[[2]int32]bool{}
+		for k := 0; k < 60; k++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			edges[[2]int32{u, v}] = true
+		}
+		var pairs [][2]int32
+		for e := range edges {
+			pairs = append(pairs, e)
+		}
+		base := FromEdges(n, pairs)
+
+		// Random edit sequence, mirrored into the edge set.
+		d := NewDelta(base)
+		for k := 0; k < 40; k++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if rng.Intn(2) == 0 {
+				if err := d.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				edges[[2]int32{u, v}] = true
+			} else {
+				if err := d.RemoveEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				delete(edges, [2]int32{u, v})
+			}
+		}
+		got := d.Apply()
+		validateCSR(t, got)
+		pairs = pairs[:0]
+		for e := range edges {
+			pairs = append(pairs, e)
+		}
+		want := FromEdges(n, pairs)
+		if !graphsEqual(got, want) {
+			t.Fatalf("trial %d: delta result differs from rebuilt graph", trial)
+		}
+	}
+}

@@ -30,10 +30,29 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// ReadLimits bound what an edge-list parse will materialize. A text
+// file is tiny compared to the graph it can declare ("# nodes 2000000000"
+// or a single edge naming node 2^31-1 both demand a multi-gigabyte
+// offsets array), so parsers fed from untrusted input should cap both
+// dimensions. Zero fields mean unlimited.
+type ReadLimits struct {
+	// MaxNodes rejects inputs whose declared or implied node count
+	// exceeds it.
+	MaxNodes int
+	// MaxEdges rejects inputs with more edge lines than it.
+	MaxEdges int64
+}
+
 // ReadEdgeList parses the format written by WriteEdgeList. Lines starting
 // with '#' other than the header, and blank lines, are ignored. If no
 // header is present the node count is inferred as max id + 1.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimits(r, ReadLimits{})
+}
+
+// ReadEdgeListLimits is ReadEdgeList with hard caps on the declared or
+// implied graph size, for parsing untrusted input with bounded memory.
+func ReadEdgeListLimits(r io.Reader, lim ReadLimits) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	n := -1
@@ -50,6 +69,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			var hn int
 			var hm int64
 			if _, err := fmt.Sscanf(line, "# nodes %d edges %d", &hn, &hm); err == nil {
+				if lim.MaxNodes > 0 && hn > lim.MaxNodes {
+					return nil, fmt.Errorf("graph: line %d: declared node count %d exceeds limit %d", lineNo, hn, lim.MaxNodes)
+				}
 				n = hn
 			}
 			continue
@@ -68,6 +90,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		if lim.MaxNodes > 0 && (u >= int64(lim.MaxNodes) || v >= int64(lim.MaxNodes)) {
+			return nil, fmt.Errorf("graph: line %d: node id exceeds limit %d", lineNo, lim.MaxNodes)
+		}
+		if lim.MaxEdges > 0 && int64(len(pairs)) >= lim.MaxEdges {
+			return nil, fmt.Errorf("graph: line %d: edge count exceeds limit %d", lineNo, lim.MaxEdges)
 		}
 		iu, iv := int32(u), int32(v)
 		if iu > maxID {

@@ -114,3 +114,23 @@ func TestReadEdgeListNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReadEdgeListLimits(t *testing.T) {
+	lim := ReadLimits{MaxNodes: 100, MaxEdges: 2}
+	if _, err := ReadEdgeListLimits(strings.NewReader("# nodes 101 edges 0\n"), lim); err == nil {
+		t.Error("declared node count over limit accepted")
+	}
+	if _, err := ReadEdgeListLimits(strings.NewReader("0 100\n"), lim); err == nil {
+		t.Error("node id over limit accepted")
+	}
+	if _, err := ReadEdgeListLimits(strings.NewReader("0 1\n1 2\n2 3\n"), lim); err == nil {
+		t.Error("edge count over limit accepted")
+	}
+	g, err := ReadEdgeListLimits(strings.NewReader("0 1\n1 2\n"), lim)
+	if err != nil {
+		t.Fatalf("in-limit graph rejected: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("got n=%d m=%d, want 3, 2", g.N(), g.M())
+	}
+}

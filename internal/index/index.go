@@ -77,25 +77,48 @@ func (ix *Membership) Degree(v int32) int { return len(ix.Communities(v)) }
 // Covered reports whether v belongs to at least one community.
 func (ix *Membership) Covered(v int32) bool { return ix.Degree(v) > 0 }
 
+// Common returns the ascending community indices containing every one
+// of the given nodes — the k-way generalization of Shared behind the
+// batch endpoint's "which groups do all these people share?" option.
+// An empty intersection (including no ids, or any out-of-range or
+// uncovered id) is nil. The result is freshly allocated and costs
+// O(Σ Degree(id)).
+func (ix *Membership) Common(ids []int32) []int32 {
+	if len(ids) == 0 {
+		return nil
+	}
+	acc := append([]int32(nil), ix.Communities(ids[0])...)
+	for _, v := range ids[1:] {
+		if len(acc) == 0 {
+			break
+		}
+		next := ix.Communities(v)
+		out := acc[:0]
+		i, j := 0, 0
+		for i < len(acc) && j < len(next) {
+			switch {
+			case acc[i] < next[j]:
+				i++
+			case acc[i] > next[j]:
+				j++
+			default:
+				out = append(out, acc[i])
+				i++
+				j++
+			}
+		}
+		acc = out
+	}
+	if len(acc) == 0 {
+		return nil
+	}
+	return acc
+}
+
 // Shared returns the ascending community indices containing both u and
 // v — the overlap question behind the paper's social-network use case
 // ("which groups do these two people share?"). The result is freshly
 // allocated and costs O(Degree(u) + Degree(v)).
 func (ix *Membership) Shared(u, v int32) []int32 {
-	a, b := ix.Communities(u), ix.Communities(v)
-	var out []int32
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
+	return ix.Common([]int32{u, v})
 }

@@ -176,3 +176,44 @@ func TestConcurrentReaders(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestCommon(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{
+		{0, 1, 2},    // 0
+		{1, 2, 3},    // 1
+		{2, 3, 4},    // 2
+		{0, 1, 2, 3}, // 3
+	})
+	ix := Build(cv, 5)
+	tests := []struct {
+		name string
+		ids  []int32
+		want []int32
+	}{
+		{"no ids", nil, nil},
+		{"single", []int32{2}, []int32{0, 1, 2, 3}},
+		{"pair", []int32{1, 2}, []int32{0, 1, 3}},
+		{"triple", []int32{1, 2, 3}, []int32{1, 3}},
+		{"disjoint", []int32{0, 4}, []int32{}},
+		{"duplicate ids", []int32{1, 1, 1}, []int32{0, 1, 3}},
+		{"out of range", []int32{1, 99}, []int32{}},
+		{"negative", []int32{-1, 1}, []int32{}},
+	}
+	for _, tt := range tests {
+		got := ix.Common(tt.ids)
+		if len(got) != len(tt.want) {
+			t.Errorf("%s: Common(%v) = %v, want %v", tt.name, tt.ids, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("%s: Common(%v) = %v, want %v", tt.name, tt.ids, got, tt.want)
+				break
+			}
+		}
+	}
+	// Pairwise agreement with Shared.
+	if !reflect.DeepEqual(append([]int32{}, ix.Common([]int32{1, 2})...), append([]int32{}, ix.Shared(1, 2)...)) {
+		t.Errorf("Common disagrees with Shared: %v vs %v", ix.Common([]int32{1, 2}), ix.Shared(1, 2))
+	}
+}

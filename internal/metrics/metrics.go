@@ -5,6 +5,8 @@
 package metrics
 
 import (
+	"math"
+
 	"repro/internal/cover"
 )
 
@@ -164,4 +166,79 @@ func pairCounts(cv *cover.Cover, n int) map[[2]int32]int {
 		}
 	}
 	return counts
+}
+
+// NMI is the overlapping Normalized Mutual Information of Lancichinetti,
+// Fortunato and Kertész (New J. Phys. 2009), the standard score for
+// comparing covers that may overlap (plain partition NMI is undefined
+// for them). Each community is a binary random variable over the n
+// nodes; for every community of one cover the best (lowest conditional
+// entropy) admissible match in the other is found, and
+//
+//	NMI(A, B) = 1 − ½·(H(A|B)/H(A) + H(B|A)/H(B))
+//
+// with the conditional entropies averaged in normalized form per
+// community. It is 1 for identical covers, 0 for independent ones, and
+// symmetric. Communities that carry no information (empty, or covering
+// every node) are skipped; two covers with no informative communities
+// compare as equal (1). An empty cover against a non-empty one scores 0.
+func NMI(a, b *cover.Cover, n int) float64 {
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	if a.Len() == 0 || b.Len() == 0 || n == 0 {
+		return 0
+	}
+	ha := condEntropyNorm(a, b, n)
+	hb := condEntropyNorm(b, a, n)
+	return 1 - (ha+hb)/2
+}
+
+// condEntropyNorm returns H(X|Y) normalized: the mean over informative
+// communities X_i of min_j H(X_i|Y_j) / H(X_i), with the un-matched
+// default H(X_i|Y) = H(X_i) (ratio 1).
+func condEntropyNorm(x, y *cover.Cover, n int) float64 {
+	fn := float64(n)
+	sum, count := 0.0, 0
+	for _, xi := range x.Communities {
+		px := float64(len(xi)) / fn
+		hx := h(px) + h(1-px)
+		if hx == 0 {
+			continue // empty or all-node community: no information
+		}
+		best := hx
+		for _, yj := range y.Communities {
+			py := float64(len(yj)) / fn
+			inter := float64(xi.IntersectionSize(yj))
+			p11 := inter / fn
+			p10 := px - p11
+			p01 := py - p11
+			p00 := 1 - px - py + p11
+			// LFK admissibility: without it the complement of a good
+			// match would score as well as the match itself.
+			if h(p11)+h(p00) < h(p01)+h(p10) {
+				continue
+			}
+			hy := h(py) + h(1-py)
+			cond := h(p11) + h(p10) + h(p01) + h(p00) - hy
+			if cond < best {
+				best = cond
+			}
+		}
+		sum += best / hx
+		count++
+	}
+	if count == 0 {
+		return 0 // no informative communities: nothing to explain
+	}
+	return sum / float64(count)
+}
+
+// h is the entropy contribution −p·log2(p), with h(0) = 0. Tiny negative
+// arguments from floating-point cancellation are clamped.
+func h(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return -p * math.Log2(p)
 }

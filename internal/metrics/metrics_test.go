@@ -228,3 +228,56 @@ func TestThetaSelfIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNMIIdenticalCovers(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{{0, 1, 2, 3}, {3, 4, 5, 6}, {7, 8, 9}})
+	if got := NMI(cv, cv, 10); got != 1 {
+		t.Errorf("NMI(cv, cv) = %v, want 1", got)
+	}
+}
+
+func TestNMISymmetricAndBounded(t *testing.T) {
+	a := cover.NewCover([]cover.Community{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}})
+	b := cover.NewCover([]cover.Community{{0, 1, 2, 5, 6}, {3, 4, 7, 8, 9}})
+	ab, ba := NMI(a, b, 10), NMI(b, a, 10)
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Errorf("NMI not symmetric: %v vs %v", ab, ba)
+	}
+	if ab < 0 || ab > 1 {
+		t.Errorf("NMI = %v out of [0, 1]", ab)
+	}
+	// The crossed split shares half of each community: clearly below a
+	// perfect match.
+	if ab > 0.5 {
+		t.Errorf("NMI of crossed split = %v, want well below 1", ab)
+	}
+}
+
+func TestNMIOrdersByAgreement(t *testing.T) {
+	truth := cover.NewCover([]cover.Community{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}})
+	near := cover.NewCover([]cover.Community{{0, 1, 2, 3}, {5, 6, 7, 8, 9}})
+	far := cover.NewCover([]cover.Community{{0, 5, 1, 6}, {2, 7, 3, 8}})
+	n, f := NMI(truth, near, 10), NMI(truth, far, 10)
+	if n <= f {
+		t.Errorf("NMI(near)=%v not above NMI(far)=%v", n, f)
+	}
+	if n < 0.7 {
+		t.Errorf("NMI of near-identical covers = %v, unexpectedly low", n)
+	}
+}
+
+func TestNMIEdgeCases(t *testing.T) {
+	empty := cover.NewCover(nil)
+	some := cover.NewCover([]cover.Community{{0, 1}})
+	if got := NMI(empty, empty, 5); got != 1 {
+		t.Errorf("NMI(empty, empty) = %v, want 1", got)
+	}
+	if got := NMI(empty, some, 5); got != 0 {
+		t.Errorf("NMI(empty, some) = %v, want 0", got)
+	}
+	// All-node communities carry no information; two such covers match.
+	all := cover.NewCover([]cover.Community{{0, 1, 2, 3, 4}})
+	if got := NMI(all, all, 5); got != 1 {
+		t.Errorf("NMI(all, all) = %v, want 1", got)
+	}
+}

@@ -1,0 +1,121 @@
+package refresh
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lfr"
+	"repro/internal/metrics"
+	"repro/internal/spectral"
+)
+
+// TestIncrementalEquivalence guards the warm-start path against drift:
+// a cover reached through N incremental refreshes must match a cold
+// full OCA run on the final graph (NMI ≥ 0.99 on an LFR benchmark).
+//
+// Construction: generate the final LFR graph, strip a random batch of
+// edges to get the starting graph, cold-run OCA there, then feed the
+// stripped edges back through the worker in several batches. The
+// incremental end state is compared to a cold run on the final graph
+// with identical options (c pinned so both paths search with the same
+// inner-product parameter).
+func TestIncrementalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-OCA-run equivalence test")
+	}
+	// Well-separated communities (µ = 0.02, average degree 14): in this
+	// regime OCA recovers the planted structure exactly, so any gap
+	// between the incremental and cold covers is warm-start drift, not
+	// algorithmic noise.
+	bench, err := lfr.Generate(lfr.Params{
+		N: 250, AvgDeg: 14, MaxDeg: 30, Mu: 0.02,
+		MinCom: 25, MaxCom: 45, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("lfr.Generate: %v", err)
+	}
+	final := bench.Graph
+	n := final.N()
+
+	// Pin c from the final graph for both paths.
+	c, err := spectral.C(final, spectral.Options{})
+	if err != nil {
+		t.Fatalf("spectral.C: %v", err)
+	}
+	opt := core.Options{Seed: 11, C: c}
+
+	// Strip a random 40-edge sample to form the starting graph.
+	var all [][2]int32
+	final.Edges(func(u, v int32) bool {
+		all = append(all, [2]int32{u, v})
+		return true
+	})
+	rng := rand.New(rand.NewSource(13))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	removed := all[:40]
+	d := graph.NewDelta(final)
+	for _, e := range removed {
+		if err := d.RemoveEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := d.Apply()
+
+	w := New(testSnapshot(t, start, opt), Config{OCA: opt, Debounce: time.Millisecond})
+	w.Start()
+	defer w.Close()
+
+	// Re-add the stripped edges in 4 incremental batches.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const batches = 4
+	per := (len(removed) + batches - 1) / batches
+	var snap *Snapshot
+	for i := 0; i < len(removed); i += per {
+		end := i + per
+		if end > len(removed) {
+			end = len(removed)
+		}
+		if _, _, err := w.Enqueue(removed[i:end], nil); err != nil {
+			t.Fatalf("Enqueue batch at %d: %v", i, err)
+		}
+		if snap, err = w.Flush(ctx); err != nil {
+			t.Fatalf("Flush batch at %d: %v", i, err)
+		}
+	}
+
+	// The incremental graph must equal the final graph exactly.
+	if snap.Graph.N() != n || snap.Graph.M() != final.M() {
+		t.Fatalf("incremental graph n=%d m=%d, want n=%d m=%d", snap.Graph.N(), snap.Graph.M(), n, final.M())
+	}
+	mismatch := false
+	final.Edges(func(u, v int32) bool {
+		if !snap.Graph.HasEdge(u, v) {
+			mismatch = true
+			return false
+		}
+		return true
+	})
+	if mismatch {
+		t.Fatal("incremental graph is missing an edge of the final graph")
+	}
+
+	cold, err := core.Run(final, opt)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	nmi := metrics.NMI(snap.Cover, cold.Cover, n)
+	if nmi < 0.99 {
+		t.Errorf("NMI(incremental, cold) = %.4f, want ≥ 0.99 (incremental %d communities, cold %d)",
+			nmi, snap.Cover.Len(), cold.Cover.Len())
+	}
+	// Both paths must also actually recover the planted structure, so a
+	// trivially degenerate pair (e.g. both empty) cannot pass.
+	if truthNMI := metrics.NMI(cold.Cover, bench.Communities, n); truthNMI < 0.6 {
+		t.Errorf("cold run vs planted truth NMI = %.4f, suspiciously low", truthNMI)
+	}
+}

@@ -1,0 +1,461 @@
+// Package refresh keeps a served community cover live under graph
+// mutation. A Worker owns the current (graph, cover, index) triple as a
+// generation-numbered immutable Snapshot behind an atomic pointer:
+// readers load the pointer once per request and never block, while a
+// single background goroutine applies queued edge mutations to the CSR
+// graph (via graph.Delta, copy-on-write), re-runs OCA — warm-started
+// from the previous cover's communities whose neighborhoods the
+// mutations did not touch — and publishes the result as the next
+// generation.
+//
+// The node set is fixed for the lifetime of a Worker; mutations add and
+// remove edges between existing nodes. Mutation batches are validated
+// and accepted atomically, rebuilds are debounced so bursts coalesce
+// into one OCA run, and a rebuild failure publishes the new graph with
+// the previous cover carried over (the node set is unchanged, so the
+// old cover remains valid) rather than failing reads.
+package refresh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// ErrBacklogFull is returned by Enqueue when the pending-mutation queue
+// has reached Config.MaxPending; callers should shed load (HTTP 503)
+// rather than buffer unboundedly.
+var ErrBacklogFull = errors.New("refresh: mutation backlog full")
+
+// ErrClosed is returned by Enqueue and Flush after Close.
+var ErrClosed = errors.New("refresh: worker closed")
+
+// Snapshot is one immutable generation of the served state. All fields
+// are read-only after publication; readers obtain a consistent view by
+// loading the snapshot once and using only it for the whole request.
+type Snapshot struct {
+	// Gen numbers generations from 1; every rebuild increments it.
+	Gen uint64
+	// Graph is the CSR graph this generation was computed over.
+	Graph *graph.Graph
+	// Cover holds the communities served in this generation.
+	Cover *cover.Cover
+	// Index is the inverted node→community index over Cover.
+	Index *index.Membership
+	// Stats are the cover-wide overlap statistics, computed once.
+	Stats cover.OverlapStats
+	// Result is the OCA run that produced Cover, nil when the cover was
+	// preloaded or carried over after a failed rebuild.
+	Result *core.Result
+	// C is the inner-product parameter associated with this generation
+	// (0 when not yet known, e.g. a preloaded cover before any search).
+	C float64
+	// MaxDegree is Graph.MaxDegree(), computed once for search pools.
+	MaxDegree int
+	// BuildTime is how long this generation took to compute.
+	BuildTime time.Duration
+	// BuiltAt is when this generation was published.
+	BuiltAt time.Time
+}
+
+// NewSnapshot assembles a Snapshot (index, stats, max degree) for the
+// given graph and cover. Gen is left for the caller to assign.
+func NewSnapshot(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration) *Snapshot {
+	return &Snapshot{
+		Graph:     g,
+		Cover:     cv,
+		Index:     index.Build(cv, g.N()),
+		Stats:     cv.Stats(g.N()),
+		Result:    res,
+		C:         c,
+		MaxDegree: g.MaxDegree(),
+		BuildTime: buildTime,
+		BuiltAt:   time.Now(),
+	}
+}
+
+// Config tunes a Worker. The zero value re-runs OCA with the paper's
+// defaults, warm-starts from the previous cover, coalesces mutations
+// for 50ms and bounds the backlog at 1<<20 operations.
+type Config struct {
+	// OCA configures the re-run performed on every rebuild. When OCA.C
+	// is 0 each rebuild derives c from the then-current graph's
+	// spectrum; pinning a value makes rebuilds cheaper and generations
+	// directly comparable.
+	OCA core.Options
+	// DisableWarmStart forces every rebuild to run OCA cold instead of
+	// carrying over communities untouched by the mutations.
+	DisableWarmStart bool
+	// Debounce is how long a rebuild waits after the first queued
+	// mutation so bursts coalesce into one OCA run. Flush skips it.
+	// Default 50ms; negative means no wait.
+	Debounce time.Duration
+	// MaxPending caps the queued-mutation backlog. Default 1<<20.
+	MaxPending int
+	// OnSwap, when set, is called from the worker goroutine after each
+	// new generation is published (for logging/metrics).
+	OnSwap func(*Snapshot)
+}
+
+// Status is a point-in-time view of the worker for observability
+// endpoints.
+type Status struct {
+	// Gen is the current snapshot's generation.
+	Gen uint64
+	// Pending counts queued mutations not yet part of any snapshot.
+	Pending int
+	// Rebuilding reports whether a rebuild is in flight.
+	Rebuilding bool
+	// Rebuilds counts completed rebuilds (successful or carried-over).
+	Rebuilds uint64
+	// LastBuild is the duration of the current snapshot's build.
+	LastBuild time.Duration
+	// BuiltAt is when the current snapshot was published.
+	BuiltAt time.Time
+	// LastErr is the error of the most recent rebuild's OCA run, empty
+	// when it succeeded.
+	LastErr string
+}
+
+type op struct {
+	u, v int32
+	del  bool
+}
+
+// Worker owns the snapshot and the background rebuild loop. Create with
+// New, call Start once, and Close when done. All methods are safe for
+// concurrent use.
+type Worker struct {
+	cfg Config
+	cur atomic.Pointer[Snapshot]
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	pending    []op
+	seq        uint64 // ops ever enqueued
+	appliedSeq uint64 // ops included in (or superseded by) the current snapshot
+	rebuilding bool
+	rebuilds   uint64
+	lastErr    error
+	closed     bool
+
+	kick    chan struct{} // wakes the loop; cap 1
+	flushCh chan struct{} // skips the debounce wait; cap 1
+	stop    chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+}
+
+// New returns a Worker serving the given initial snapshot. If the
+// snapshot has no generation yet it becomes generation 1. Start must be
+// called for mutations to be applied.
+func New(initial *Snapshot, cfg Config) *Worker {
+	if cfg.Debounce == 0 {
+		cfg.Debounce = 50 * time.Millisecond
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 1 << 20
+	}
+	if initial.Gen == 0 {
+		initial.Gen = 1
+	}
+	w := &Worker{
+		cfg:     cfg,
+		kick:    make(chan struct{}, 1),
+		flushCh: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.cur.Store(initial)
+	return w
+}
+
+// Snapshot returns the current generation. It never blocks and the
+// result is immutable; use one snapshot for an entire request.
+func (w *Worker) Snapshot() *Snapshot { return w.cur.Load() }
+
+// Status returns a point-in-time view of the worker.
+func (w *Worker) Status() Status {
+	snap := w.cur.Load()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := Status{
+		Gen:        snap.Gen,
+		Pending:    len(w.pending),
+		Rebuilding: w.rebuilding,
+		Rebuilds:   w.rebuilds,
+		LastBuild:  snap.BuildTime,
+		BuiltAt:    snap.BuiltAt,
+	}
+	if w.lastErr != nil {
+		st.LastErr = w.lastErr.Error()
+	}
+	return st
+}
+
+// Enqueue validates and queues a batch of edge mutations. The batch is
+// atomic: any invalid edge rejects the whole batch with no effect.
+// It returns the generation current at enqueue time — once a later
+// generation is visible, the batch is reflected in it — and the number
+// of operations queued.
+func (w *Worker) Enqueue(add, remove [][2]int32) (gen uint64, queued int, err error) {
+	snap := w.cur.Load()
+	n := snap.Graph.N()
+	validate := func(e [2]int32) error {
+		if e[0] == e[1] {
+			return fmt.Errorf("refresh: edge (%d, %d) is a self loop", e[0], e[1])
+		}
+		if e[0] < 0 || e[1] < 0 || int(e[0]) >= n || int(e[1]) >= n {
+			return fmt.Errorf("refresh: edge (%d, %d) out of range [0, %d)", e[0], e[1], n)
+		}
+		return nil
+	}
+	for _, e := range add {
+		if err := validate(e); err != nil {
+			return snap.Gen, 0, err
+		}
+	}
+	for _, e := range remove {
+		if err := validate(e); err != nil {
+			return snap.Gen, 0, err
+		}
+	}
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return snap.Gen, 0, ErrClosed
+	}
+	total := len(add) + len(remove)
+	if len(w.pending)+total > w.cfg.MaxPending {
+		w.mu.Unlock()
+		return snap.Gen, 0, ErrBacklogFull
+	}
+	for _, e := range add {
+		w.pending = append(w.pending, op{u: e[0], v: e[1]})
+	}
+	for _, e := range remove {
+		w.pending = append(w.pending, op{u: e[0], v: e[1], del: true})
+	}
+	w.seq += uint64(total)
+	gen = w.cur.Load().Gen
+	w.mu.Unlock()
+
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	return gen, total, nil
+}
+
+// Flush blocks until every mutation enqueued before the call is
+// reflected in the current snapshot (skipping the debounce wait), then
+// returns that snapshot. It respects ctx cancellation.
+func (w *Worker) Flush(ctx context.Context) (*Snapshot, error) {
+	w.mu.Lock()
+	target := w.seq
+	w.mu.Unlock()
+
+	// Wake the loop and tell it to skip the debounce.
+	select {
+	case w.flushCh <- struct{}{}:
+	default:
+	}
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+
+	// A helper goroutine turns ctx cancellation into a cond broadcast.
+	waitDone := make(chan struct{})
+	defer close(waitDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.cond.Broadcast()
+		case <-waitDone:
+		}
+	}()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.appliedSeq < target {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if w.closed {
+			return nil, ErrClosed
+		}
+		w.cond.Wait()
+	}
+	return w.cur.Load(), nil
+}
+
+// Start launches the background rebuild loop. It is a no-op when called
+// more than once.
+func (w *Worker) Start() {
+	if !w.started.CompareAndSwap(false, true) {
+		return
+	}
+	go w.loop()
+}
+
+// Close stops the rebuild loop and wakes any Flush waiters with
+// ErrClosed. Queued but unapplied mutations are dropped. Safe to call
+// multiple times; the snapshot remains readable after Close.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stop)
+	w.cond.Broadcast()
+	if w.started.Load() {
+		<-w.done
+	} else {
+		close(w.done)
+	}
+}
+
+func (w *Worker) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.kick:
+		}
+		if d := w.cfg.Debounce; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-w.stop:
+				t.Stop()
+				return
+			case <-w.flushCh:
+				t.Stop()
+			case <-t.C:
+			}
+		}
+		// Drain a stale flush token so it cannot skip a future debounce.
+		select {
+		case <-w.flushCh:
+		default:
+		}
+		w.rebuild()
+	}
+}
+
+// rebuild takes the queued mutations, applies them copy-on-write, runs
+// OCA (warm-started) and publishes the next generation.
+func (w *Worker) rebuild() {
+	w.mu.Lock()
+	ops := w.pending
+	w.pending = nil
+	taken := w.seq
+	if len(ops) == 0 {
+		w.mu.Unlock()
+		return
+	}
+	w.rebuilding = true
+	w.mu.Unlock()
+
+	old := w.cur.Load()
+	start := time.Now()
+	d := graph.NewDelta(old.Graph)
+	for _, o := range ops {
+		// Validated at Enqueue against the same (fixed) node range, so
+		// errors here are impossible; Delta re-checks defensively.
+		if o.del {
+			_ = d.RemoveEdge(o.u, o.v)
+		} else {
+			_ = d.AddEdge(o.u, o.v)
+		}
+	}
+	ng := d.Apply()
+
+	if ng == old.Graph {
+		// Every operation was a no-op: nothing to recompute, the batch
+		// is trivially reflected in the current snapshot.
+		w.finish(taken, nil)
+		return
+	}
+
+	opt := w.cfg.OCA
+	if opt.C == 0 && old.C > 0 {
+		// An unpinned c resolves from the spectrum once (the first
+		// rebuild, or the initial snapshot) and is reused afterwards:
+		// re-deriving it per mutation batch would dominate refresh cost.
+		opt.C = old.C
+	}
+	if !w.cfg.DisableWarmStart && old.Cover != nil {
+		opt.Warm = carryUnaffected(old.Cover, d.Touched())
+	}
+	res, err := core.Run(ng, opt)
+	var snap *Snapshot
+	if err != nil {
+		// Publish the new graph with the previous cover carried over:
+		// the node set is unchanged, so the old communities are still a
+		// valid (if stale) cover, and readers keep getting answers.
+		snap = NewSnapshot(ng, old.Cover, nil, old.C, time.Since(start))
+	} else {
+		snap = NewSnapshot(ng, res.Cover, res, res.C, time.Since(start))
+	}
+	snap.Gen = old.Gen + 1
+	w.cur.Store(snap)
+	w.finish(taken, err)
+	if w.cfg.OnSwap != nil {
+		w.cfg.OnSwap(snap)
+	}
+}
+
+func (w *Worker) finish(taken uint64, err error) {
+	w.mu.Lock()
+	w.rebuilding = false
+	if taken > w.appliedSeq {
+		w.appliedSeq = taken
+	}
+	w.rebuilds++
+	w.lastErr = err
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// carryUnaffected returns the communities of cv containing none of the
+// touched nodes — the ones whose member neighborhoods the mutation batch
+// provably did not change, safe to hand to OCA as warm starts. The
+// returned communities alias cv's (immutable) member slices.
+func carryUnaffected(cv *cover.Cover, touched []int32) []cover.Community {
+	if len(touched) == 0 {
+		return nil
+	}
+	hit := make(map[int32]struct{}, len(touched))
+	for _, v := range touched {
+		hit[v] = struct{}{}
+	}
+	var warm []cover.Community
+	for _, c := range cv.Communities {
+		affected := false
+		for _, v := range c {
+			if _, ok := hit[v]; ok {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			warm = append(warm, c)
+		}
+	}
+	return warm
+}

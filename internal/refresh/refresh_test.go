@@ -1,0 +1,297 @@
+package refresh
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// twoCliques builds two K_6 cliques sharing nodes 4 and 5.
+func twoCliques() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	for i := int32(4); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func testSnapshot(t testing.TB, g *graph.Graph, opt core.Options) *Snapshot {
+	t.Helper()
+	res, err := core.Run(g, opt)
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	return NewSnapshot(g, res.Cover, res, res.C, 0)
+}
+
+func newTestWorker(t testing.TB, cfg Config) *Worker {
+	t.Helper()
+	if cfg.OCA.C == 0 {
+		cfg.OCA = core.Options{Seed: 1, C: 0.5}
+	}
+	if cfg.Debounce == 0 {
+		cfg.Debounce = time.Millisecond
+	}
+	w := New(testSnapshot(t, twoCliques(), cfg.OCA), cfg)
+	w.Start()
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestWorkerRebuildBumpsGeneration(t *testing.T) {
+	w := newTestWorker(t, Config{})
+	first := w.Snapshot()
+	if first.Gen != 1 {
+		t.Fatalf("initial generation = %d, want 1", first.Gen)
+	}
+
+	gen, queued, err := w.Enqueue([][2]int32{{0, 9}}, nil)
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if gen != 1 || queued != 1 {
+		t.Fatalf("Enqueue = (gen %d, queued %d), want (1, 1)", gen, queued)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	snap, err := w.Flush(ctx)
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if snap.Gen != 2 {
+		t.Errorf("generation after rebuild = %d, want 2", snap.Gen)
+	}
+	if !snap.Graph.HasEdge(0, 9) {
+		t.Error("rebuilt graph is missing the added edge")
+	}
+	if first.Graph.HasEdge(0, 9) {
+		t.Error("rebuild mutated the previous snapshot's graph")
+	}
+	if snap.Index.N() != snap.Graph.N() || snap.Index.NumCommunities() != snap.Cover.Len() {
+		t.Error("snapshot index inconsistent with its cover/graph")
+	}
+	st := w.Status()
+	if st.Gen != 2 || st.Pending != 0 || st.LastErr != "" {
+		t.Errorf("status = %+v", st)
+	}
+
+	// Removing the edge again produces a third generation without it.
+	if _, _, err := w.Enqueue(nil, [][2]int32{{9, 0}}); err != nil {
+		t.Fatalf("Enqueue remove: %v", err)
+	}
+	snap, err = w.Flush(ctx)
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if snap.Gen != 3 || snap.Graph.HasEdge(0, 9) {
+		t.Errorf("gen %d, HasEdge(0,9)=%v after removal", snap.Gen, snap.Graph.HasEdge(0, 9))
+	}
+}
+
+func TestWorkerNoopBatchKeepsGeneration(t *testing.T) {
+	w := newTestWorker(t, Config{})
+	// Edge {0,1} already exists; edge {0,9} doesn't, so removing it is a
+	// no-op too. No new generation should be published.
+	if _, _, err := w.Enqueue([][2]int32{{0, 1}}, [][2]int32{{0, 9}}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	snap, err := w.Flush(ctx)
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if snap.Gen != 1 {
+		t.Errorf("no-op batch bumped generation to %d", snap.Gen)
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	w := newTestWorker(t, Config{})
+	cases := []struct {
+		name string
+		add  [][2]int32
+		rm   [][2]int32
+	}{
+		{"self loop", [][2]int32{{3, 3}}, nil},
+		{"negative", [][2]int32{{-1, 2}}, nil},
+		{"out of range add", [][2]int32{{0, 10}}, nil},
+		{"out of range remove", nil, [][2]int32{{0, 99}}},
+		{"valid then invalid", [][2]int32{{0, 9}, {4, 4}}, nil},
+	}
+	for _, tc := range cases {
+		if _, queued, err := w.Enqueue(tc.add, tc.rm); err == nil || queued != 0 {
+			t.Errorf("%s: err=%v queued=%d, want rejection of the whole batch", tc.name, err, queued)
+		}
+	}
+	if st := w.Status(); st.Pending != 0 {
+		t.Errorf("rejected batches left %d pending ops", st.Pending)
+	}
+}
+
+func TestEnqueueBacklogFull(t *testing.T) {
+	w := newTestWorker(t, Config{MaxPending: 2, Debounce: time.Hour})
+	if _, _, err := w.Enqueue([][2]int32{{0, 9}, {1, 9}}, nil); err != nil {
+		t.Fatalf("fill backlog: %v", err)
+	}
+	if _, _, err := w.Enqueue([][2]int32{{2, 9}}, nil); err != ErrBacklogFull {
+		t.Errorf("over-full enqueue: err = %v, want ErrBacklogFull", err)
+	}
+}
+
+func TestWarmStartCarriesUntouchedCommunities(t *testing.T) {
+	var mu sync.Mutex
+	var swapped []*Snapshot
+	w := newTestWorker(t, Config{
+		OCA: core.Options{Seed: 1, C: 0.5},
+		OnSwap: func(s *Snapshot) {
+			mu.Lock()
+			swapped = append(swapped, s)
+			mu.Unlock()
+		},
+	})
+	// Touch only clique B's exclusive side: the clique-A community
+	// (containing nodes 0..3 but not 8, 9) must be carried over.
+	if _, _, err := w.Enqueue(nil, [][2]int32{{8, 9}}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	snap, err := w.Flush(ctx)
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	foundA := false
+	for _, c := range snap.Cover.Communities {
+		if c.Contains(0) && c.Contains(3) {
+			foundA = true
+		}
+	}
+	if !foundA {
+		t.Errorf("clique-A community lost across a clique-B mutation: %v", snap.Cover.Communities)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(swapped) != 1 || swapped[0].Gen != 2 {
+		t.Errorf("OnSwap calls = %v, want one snapshot at generation 2", len(swapped))
+	}
+}
+
+func TestCloseUnblocksFlushAndRejectsEnqueue(t *testing.T) {
+	// Never started: no rebuild can satisfy the Flush, so only Close can
+	// release it.
+	w := New(testSnapshot(t, twoCliques(), core.Options{Seed: 1, C: 0.5}), Config{})
+	if _, _, err := w.Enqueue([][2]int32{{0, 9}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	flushErr := make(chan error, 1)
+	go func() {
+		_, err := w.Flush(context.Background())
+		flushErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-flushErr:
+		if err != ErrClosed {
+			t.Errorf("Flush after Close: err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush did not return after Close")
+	}
+	if _, _, err := w.Enqueue([][2]int32{{1, 9}}, nil); err != ErrClosed {
+		t.Errorf("Enqueue after Close: err = %v, want ErrClosed", err)
+	}
+	if w.Snapshot() == nil {
+		t.Error("snapshot unreadable after Close")
+	}
+}
+
+// TestConcurrentMutatorsAndReaders is the worker-level race test: many
+// goroutines enqueue mutations while many more read snapshots, asserting
+// every observed snapshot is internally consistent and generations are
+// monotone per reader. Run under -race this exercises the atomic swap.
+func TestConcurrentMutatorsAndReaders(t *testing.T) {
+	w := newTestWorker(t, Config{OCA: core.Options{Seed: 3, C: 0.5}, Debounce: 100 * time.Microsecond})
+	const mutators, readers, reps = 4, 8, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, mutators+readers)
+
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				// Toggle bridge edges between the cliques' exclusive sides.
+				e := [2]int32{int32(m % 4), int32(6 + (i+m)%4)}
+				var err error
+				if i%2 == 0 {
+					_, _, err = w.Enqueue([][2]int32{e}, nil)
+				} else {
+					_, _, err = w.Enqueue(nil, [][2]int32{e})
+				}
+				if err != nil {
+					errs <- fmt.Errorf("mutator %d: %v", m, err)
+					return
+				}
+			}
+		}(m)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; i < reps; i++ {
+				s := w.Snapshot()
+				if s.Gen < lastGen {
+					errs <- fmt.Errorf("reader %d: generation went backwards: %d after %d", r, s.Gen, lastGen)
+					return
+				}
+				lastGen = s.Gen
+				if s.Index.N() != s.Graph.N() {
+					errs <- fmt.Errorf("reader %d: index over %d nodes, graph has %d", r, s.Index.N(), s.Graph.N())
+					return
+				}
+				if s.Index.NumCommunities() != s.Cover.Len() || s.Stats.Communities != s.Cover.Len() {
+					errs <- fmt.Errorf("reader %d: index/stats communities disagree with cover", r)
+					return
+				}
+				// Spot-check one lookup against the cover it came with.
+				for _, ci := range s.Index.Communities(5) {
+					if !s.Cover.Communities[ci].Contains(5) {
+						errs <- fmt.Errorf("reader %d: index names community %d for node 5, cover disagrees", r, ci)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Everything drains to a final consistent state.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	snap, err := w.Flush(ctx)
+	if err != nil {
+		t.Fatalf("final Flush: %v", err)
+	}
+	if st := w.Status(); st.Pending != 0 || st.Gen != snap.Gen {
+		t.Errorf("post-drain status %+v vs snapshot gen %d", st, snap.Gen)
+	}
+}

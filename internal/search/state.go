@@ -49,6 +49,10 @@ func NewState(g *graph.Graph, maxDegree int) *State {
 	}
 }
 
+// Graph returns the graph the state was built over. Pools that survive
+// a live graph swap use it to detect states bound to a stale snapshot.
+func (s *State) Graph() *graph.Graph { return s.g }
+
 // Size returns |S|.
 func (s *State) Size() int { return len(s.member) }
 

@@ -1,0 +1,252 @@
+package server
+
+// The live-serving endpoints: graph mutation intake, batch membership
+// lookup and streaming bulk export. All three answer from exactly one
+// refresh.Snapshot per request, so their responses are internally
+// consistent with a single generation even while a rebuild swaps the
+// served state underneath them.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/refresh"
+)
+
+// EdgesRequest is the /v1/edges body: edge endpoints are [u, v] pairs
+// of existing node ids. The batch is atomic — one invalid edge rejects
+// the whole request and queues nothing.
+type EdgesRequest struct {
+	Add    [][2]int32 `json:"add,omitempty"`
+	Remove [][2]int32 `json:"remove,omitempty"`
+	// Wait blocks the request until the mutations are reflected in a
+	// published generation (subject to the request deadline) instead of
+	// returning 202 immediately.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// EdgesResponse is the /v1/edges body.
+type EdgesResponse struct {
+	// Queued is the number of operations accepted.
+	Queued int `json:"queued"`
+	// Generation: with wait, the generation that includes the batch;
+	// without, the generation current at enqueue time (any strictly
+	// larger generation includes the batch).
+	Generation uint64 `json:"generation"`
+	// Applied reports whether the batch is already reflected (wait).
+	Applied bool `json:"applied"`
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var req EdgesRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid edges request: %v", err)
+		return
+	}
+	if len(req.Add)+len(req.Remove) == 0 {
+		writeError(w, http.StatusBadRequest, "edges request must add or remove at least one edge")
+		return
+	}
+	// Mutating a lazy server materializes the first cover: there must be
+	// a generation 1 for the rebuild to start from.
+	if err := s.ensureCover(); err != nil {
+		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
+		return
+	}
+	gen, queued, err := s.worker.Enqueue(req.Add, req.Remove)
+	switch {
+	case errors.Is(err, refresh.ErrBacklogFull):
+		writeError(w, http.StatusServiceUnavailable, "refresh backlog full, retry later")
+		return
+	case errors.Is(err, refresh.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, EdgesResponse{Queued: queued, Generation: gen})
+		return
+	}
+	snap, err := s.worker.Flush(r.Context())
+	if err != nil {
+		if errors.Is(err, refresh.ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		// Deadline or client cancellation while waiting: the batch stays
+		// queued and will still be applied.
+		writeError(w, http.StatusServiceUnavailable, "queued but not yet applied: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EdgesResponse{Queued: queued, Generation: snap.Gen, Applied: true})
+}
+
+// BatchCommunitiesRequest is the POST /v1/nodes/communities body.
+type BatchCommunitiesRequest struct {
+	// IDs are the nodes to look up; duplicates are answered per
+	// occurrence. Requests longer than the server's batch cap are
+	// clamped, not rejected.
+	IDs []int32 `json:"ids"`
+	// Members includes each community's member list in the response.
+	Members bool `json:"members,omitempty"`
+	// Shared additionally intersects: the communities containing every
+	// requested node.
+	Shared bool `json:"shared,omitempty"`
+}
+
+// batchResult is one per-id answer. Out-of-range ids yield Error
+// instead of failing the whole batch.
+type batchResult struct {
+	Node        int32          `json:"node"`
+	Count       int            `json:"count"`
+	Communities []communityRef `json:"communities,omitempty"`
+	Error       string         `json:"error,omitempty"`
+}
+
+// batchCommunitiesResponse is the POST /v1/nodes/communities body. All
+// results come from one snapshot: answers for duplicate ids are
+// identical and cross-id comparisons are generation-consistent.
+type batchCommunitiesResponse struct {
+	Generation uint64        `json:"generation"`
+	Count      int           `json:"count"`
+	Clamped    bool          `json:"clamped,omitempty"`
+	Results    []batchResult `json:"results"`
+	// Shared (present only when requested) lists the communities
+	// containing every requested node.
+	Shared *[]int32 `json:"shared,omitempty"`
+}
+
+func (s *Server) handleBatchCommunities(w http.ResponseWriter, r *http.Request) {
+	var req BatchCommunitiesRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid batch request: %v", err)
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, "ids must name at least one node")
+		return
+	}
+	snap, err := s.snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
+		return
+	}
+	ids := req.IDs
+	clamped := false
+	if len(ids) > s.cfg.MaxBatchIDs {
+		ids = ids[:s.cfg.MaxBatchIDs]
+		clamped = true
+	}
+	resp := batchCommunitiesResponse{
+		Generation: snap.Gen,
+		Count:      len(ids),
+		Clamped:    clamped,
+		Results:    make([]batchResult, len(ids)),
+	}
+	n := snap.Graph.N()
+	for i, v := range ids {
+		if v < 0 || int(v) >= n {
+			resp.Results[i] = batchResult{Node: v, Error: "node out of range"}
+			continue
+		}
+		cis := snap.Index.Communities(v)
+		res := batchResult{Node: v, Count: len(cis), Communities: make([]communityRef, len(cis))}
+		for j, ci := range cis {
+			res.Communities[j] = communityRefFor(snap, ci, req.Members)
+		}
+		resp.Results[i] = res
+	}
+	if req.Shared {
+		shared := snap.Index.Common(ids)
+		if shared == nil {
+			shared = []int32{}
+		}
+		resp.Shared = &shared
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// exportMeta is the first NDJSON line of /v1/cover/export.
+type exportMeta struct {
+	Generation  uint64 `json:"generation"`
+	Nodes       int    `json:"nodes"`
+	Edges       int64  `json:"edges"`
+	Communities int    `json:"communities"`
+}
+
+// exportCommunity is one community line of /v1/cover/export.
+type exportCommunity struct {
+	ID      int32   `json:"id"`
+	Size    int     `json:"size"`
+	Members []int32 `json:"members"`
+}
+
+// exportFlushEvery bounds how many communities are encoded between
+// context checks and flushes, so a disconnected client stops the
+// stream early instead of the handler encoding the whole cover into a
+// dead connection.
+const exportFlushEvery = 256
+
+// handleExport streams the whole served cover as NDJSON: one meta line
+// (generation, dimensions), then one line per community. The snapshot
+// is loaded once, so the export is a consistent view of exactly one
+// generation even while rebuilds publish newer ones mid-stream. Mounted
+// outside the TimeoutHandler, which would buffer the entire body.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
+		return
+	}
+	// Clear the connection's write deadline: the export is mounted
+	// outside the TimeoutHandler to stream arbitrarily large covers, and
+	// the http.Server's WriteTimeout would otherwise sever the stream
+	// mid-body. Slow-client backpressure is bounded by the flush loop's
+	// context checks instead.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriterSize(w, 64<<10)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(exportMeta{
+		Generation:  snap.Gen,
+		Nodes:       snap.Graph.N(),
+		Edges:       snap.Graph.M(),
+		Communities: snap.Cover.Len(),
+	}); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	for i, c := range snap.Cover.Communities {
+		if i%exportFlushEvery == 0 && i > 0 {
+			if bw.Flush() != nil || r.Context().Err() != nil {
+				return // client gone; stop encoding
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err := enc.Encode(exportCommunity{ID: int32(i), Size: len(c), Members: c}); err != nil {
+			return
+		}
+	}
+	_ = bw.Flush()
+}

@@ -1,0 +1,571 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+// liveConfig is the Config used by the refresh-centric tests: fixed c
+// (no spectral run), deterministic OCA, short debounce.
+func liveConfig() Config {
+	return Config{
+		OCA:             core.Options{Seed: 1, C: 0.5},
+		RefreshDebounce: time.Millisecond,
+	}
+}
+
+// doJSON issues a request with a JSON body and decodes 2xx responses
+// into out.
+func doJSON(t testing.TB, method, url string, in, out any) int {
+	t.Helper()
+	var body io.Reader
+	if in != nil {
+		payload, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestBatchCommunities(t *testing.T) {
+	_, ts := newTestServer(t, liveConfig())
+	url := ts.URL + "/v1/nodes/communities"
+
+	t.Run("table", func(t *testing.T) {
+		tests := []struct {
+			name     string
+			req      any
+			wantCode int
+			check    func(t *testing.T, got batchCommunitiesResponse)
+		}{
+			{
+				name:     "empty body",
+				req:      nil,
+				wantCode: http.StatusBadRequest,
+			},
+			{
+				name:     "empty ids",
+				req:      BatchCommunitiesRequest{IDs: []int32{}},
+				wantCode: http.StatusBadRequest,
+			},
+			{
+				name:     "single id",
+				req:      BatchCommunitiesRequest{IDs: []int32{4}},
+				wantCode: http.StatusOK,
+				check: func(t *testing.T, got batchCommunitiesResponse) {
+					if got.Count != 1 || len(got.Results) != 1 {
+						t.Fatalf("got %+v, want one result", got)
+					}
+					if got.Results[0].Count != 2 {
+						t.Errorf("overlap node 4: %d communities, want 2", got.Results[0].Count)
+					}
+					if got.Generation == 0 {
+						t.Error("generation missing from batch response")
+					}
+				},
+			},
+			{
+				name:     "duplicate ids answered identically",
+				req:      BatchCommunitiesRequest{IDs: []int32{5, 5, 5}},
+				wantCode: http.StatusOK,
+				check: func(t *testing.T, got batchCommunitiesResponse) {
+					if len(got.Results) != 3 {
+						t.Fatalf("got %d results, want 3", len(got.Results))
+					}
+					first := fmt.Sprint(got.Results[0])
+					for _, r := range got.Results[1:] {
+						if fmt.Sprint(r) != first {
+							t.Errorf("duplicate id answered differently: %v vs %v", got.Results[0], r)
+						}
+					}
+				},
+			},
+			{
+				name:     "out of range ids yield per-id errors",
+				req:      BatchCommunitiesRequest{IDs: []int32{0, -3, 99}},
+				wantCode: http.StatusOK,
+				check: func(t *testing.T, got batchCommunitiesResponse) {
+					if got.Results[0].Error != "" || got.Results[0].Count != 1 {
+						t.Errorf("valid id errored: %+v", got.Results[0])
+					}
+					for _, i := range []int{1, 2} {
+						if got.Results[i].Error == "" || got.Results[i].Count != 0 {
+							t.Errorf("bad id %d passed: %+v", got.Results[i].Node, got.Results[i])
+						}
+					}
+				},
+			},
+			{
+				name:     "members included on request",
+				req:      BatchCommunitiesRequest{IDs: []int32{0}, Members: true},
+				wantCode: http.StatusOK,
+				check: func(t *testing.T, got batchCommunitiesResponse) {
+					if len(got.Results[0].Communities) != 1 || len(got.Results[0].Communities[0].Members) != 6 {
+						t.Errorf("members not included: %+v", got.Results[0])
+					}
+				},
+			},
+			{
+				name:     "shared intersection",
+				req:      BatchCommunitiesRequest{IDs: []int32{4, 5}, Shared: true},
+				wantCode: http.StatusOK,
+				check: func(t *testing.T, got batchCommunitiesResponse) {
+					if got.Shared == nil || len(*got.Shared) != 2 {
+						t.Fatalf("shared = %v, want both communities", got.Shared)
+					}
+				},
+			},
+			{
+				name:     "shared empty but present",
+				req:      BatchCommunitiesRequest{IDs: []int32{0, 9}, Shared: true},
+				wantCode: http.StatusOK,
+				check: func(t *testing.T, got batchCommunitiesResponse) {
+					if got.Shared == nil || len(*got.Shared) != 0 {
+						t.Fatalf("shared = %v, want present and empty", got.Shared)
+					}
+				},
+			},
+		}
+		for _, tt := range tests {
+			t.Run(tt.name, func(t *testing.T) {
+				var got batchCommunitiesResponse
+				code := doJSON(t, http.MethodPost, url, tt.req, &got)
+				if code != tt.wantCode {
+					t.Fatalf("status = %d, want %d", code, tt.wantCode)
+				}
+				if tt.check != nil && code == http.StatusOK {
+					tt.check(t, got)
+				}
+			})
+		}
+	})
+
+	t.Run("oversized batch clamps", func(t *testing.T) {
+		s, err := NewWithCover(twoCliqueGraph(t), fixedCover(), Config{
+			OCA:         core.Options{Seed: 1, C: 0.5},
+			MaxBatchIDs: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		var got batchCommunitiesResponse
+		req := BatchCommunitiesRequest{IDs: []int32{0, 1, 2, 3, 4, 5}}
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/nodes/communities", req, &got); code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		if !got.Clamped || got.Count != 3 || len(got.Results) != 3 {
+			t.Errorf("clamping: %+v, want 3 clamped results", got)
+		}
+	})
+
+	t.Run("malformed body", func(t *testing.T) {
+		resp, err := http.Post(url, "application/json", strings.NewReader(`{"ids": [1,`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("malformed body: status = %d, want 400", resp.StatusCode)
+		}
+	})
+}
+
+// manyCommunityServer serves a synthetic cover with enough communities
+// to span several export flush windows.
+func manyCommunityServer(t testing.TB, communities int) (*Server, *httptest.Server) {
+	t.Helper()
+	n := 3 * communities
+	b := graph.NewBuilder(n)
+	cs := make([]cover.Community, communities)
+	for i := 0; i < communities; i++ {
+		u, v, w := int32(3*i), int32(3*i+1), int32(3*i+2)
+		b.AddEdge(u, v)
+		b.AddEdge(v, w)
+		b.AddEdge(u, w)
+		cs[i] = cover.Community{u, v, w}
+	}
+	s, err := NewWithCover(b.Build(), cover.NewCover(cs), Config{OCA: core.Options{Seed: 1, C: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// readExport parses an NDJSON export stream.
+func readExport(t testing.TB, body io.Reader) (exportMeta, []exportCommunity) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("export stream empty: %v", sc.Err())
+	}
+	var meta exportMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		t.Fatalf("export meta line %q: %v", sc.Text(), err)
+	}
+	var comms []exportCommunity
+	for sc.Scan() {
+		var c exportCommunity
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatalf("export line %q: %v", sc.Text(), err)
+		}
+		comms = append(comms, c)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("export scan: %v", err)
+	}
+	return meta, comms
+}
+
+func TestCoverExport(t *testing.T) {
+	const k = 600 // > 2 flush windows
+	_, ts := manyCommunityServer(t, k)
+	resp, err := http.Get(ts.URL + "/v1/cover/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	meta, comms := readExport(t, resp.Body)
+	if meta.Communities != k || meta.Nodes != 3*k || meta.Generation != 1 {
+		t.Errorf("meta = %+v", meta)
+	}
+	if len(comms) != k {
+		t.Fatalf("exported %d communities, meta declared %d", len(comms), k)
+	}
+	for i, c := range comms {
+		if int(c.ID) != i || c.Size != 3 || len(c.Members) != 3 {
+			t.Fatalf("community line %d inconsistent: %+v", i, c)
+		}
+	}
+}
+
+// TestCoverExportClientDisconnect closes the connection after the first
+// line; the handler must abandon the stream and the server must keep
+// serving.
+func TestCoverExportClientDisconnect(t *testing.T) {
+	_, ts := manyCommunityServer(t, 2000)
+	resp, err := http.Get(ts.URL + "/v1/cover/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a little, then hang up mid-stream.
+	buf := make([]byte, 256)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatalf("reading first bytes: %v", err)
+	}
+	resp.Body.Close()
+
+	// The server is still healthy afterwards; a fresh export completes.
+	resp, err = http.Get(ts.URL + "/v1/cover/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	meta, comms := readExport(t, resp.Body)
+	if len(comms) != meta.Communities {
+		t.Errorf("post-disconnect export: %d lines, meta declared %d", len(comms), meta.Communities)
+	}
+}
+
+func TestEdgesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, liveConfig())
+	url := ts.URL + "/v1/edges"
+	tests := []struct {
+		name     string
+		body     string
+		wantCode int
+	}{
+		{"empty body", ``, http.StatusBadRequest},
+		{"no edges", `{"add":[],"remove":[]}`, http.StatusBadRequest},
+		{"self loop", `{"add":[[2,2]]}`, http.StatusBadRequest},
+		{"out of range", `{"add":[[0,42]]}`, http.StatusBadRequest},
+		{"negative", `{"remove":[[-1,2]]}`, http.StatusBadRequest},
+		{"unknown field", `{"edges":[[0,1]]}`, http.StatusBadRequest},
+		{"valid queue", `{"add":[[0,9]]}`, http.StatusAccepted},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Post(url, "application/json", strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tt.wantCode {
+				body, _ := io.ReadAll(resp.Body)
+				t.Errorf("status = %d, want %d (body %s)", resp.StatusCode, tt.wantCode, body)
+			}
+		})
+	}
+}
+
+// TestAcceptanceLiveRefresh is the issue's acceptance scenario: a
+// running server takes mutations, keeps serving during the rebuild, and
+// subsequent lookups reflect the new cover under a bumped generation.
+func TestAcceptanceLiveRefresh(t *testing.T) {
+	// Two disjoint K5 cliques: OCA finds two separate communities.
+	b := graph.NewBuilder(10)
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(5+i, 5+j)
+		}
+	}
+	s, err := New(b.Build(), liveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var before batchCommunitiesResponse
+	req := BatchCommunitiesRequest{IDs: []int32{0, 9}, Shared: true}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/nodes/communities", req, &before); code != http.StatusOK {
+		t.Fatalf("pre-refresh batch status = %d", code)
+	}
+	if before.Shared == nil || len(*before.Shared) != 0 {
+		t.Fatalf("nodes 0 and 9 share communities before the merge: %v", before.Shared)
+	}
+
+	// Fuse the cliques into one K10 and wait for the refresh.
+	var add [][2]int32
+	for i := int32(0); i < 5; i++ {
+		for j := int32(5); j < 10; j++ {
+			add = append(add, [2]int32{i, j})
+		}
+	}
+	var edgeResp EdgesResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/edges", EdgesRequest{Add: add, Wait: true}, &edgeResp); code != http.StatusOK {
+		t.Fatalf("edges wait status = %d", code)
+	}
+	if !edgeResp.Applied || edgeResp.Generation <= before.Generation {
+		t.Fatalf("edges response %+v, want applied with bumped generation (was %d)", edgeResp, before.Generation)
+	}
+
+	var after batchCommunitiesResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/nodes/communities", req, &after); code != http.StatusOK {
+		t.Fatalf("post-refresh batch status = %d", code)
+	}
+	if after.Generation < edgeResp.Generation {
+		t.Errorf("lookup generation %d below applied generation %d", after.Generation, edgeResp.Generation)
+	}
+	if after.Shared == nil || len(*after.Shared) == 0 {
+		t.Errorf("nodes 0 and 9 still share no community after fusing the cliques: %+v", after)
+	}
+
+	var h healthzResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if h.Generation != edgeResp.Generation || h.Edges != 45 {
+		t.Errorf("healthz = %+v, want generation %d over 45 edges", h, edgeResp.Generation)
+	}
+}
+
+// TestRefreshUnderConcurrentTraffic is the race-hardened suite: several
+// mutators toggle edges while batch readers and exporters hammer the
+// server. Every response must succeed (no 5xx: readers never block on
+// rebuilds) and be internally consistent with exactly one generation —
+// duplicate ids in one batch answered identically, export line counts
+// matching their own meta line. Run under -race via `make race`.
+func TestRefreshUnderConcurrentTraffic(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		OCA:             core.Options{Seed: 3, C: 0.5},
+		RefreshDebounce: 100 * time.Microsecond,
+		SearchWorkers:   2,
+	})
+	client := ts.Client()
+	const mutators, readers, exporters, reps = 3, 5, 2, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, (mutators+readers+exporters)*reps)
+
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				e := [2]int32{int32(m), int32(6 + (i+m)%4)}
+				req := EdgesRequest{Add: [][2]int32{e}}
+				if i%2 == 1 {
+					req = EdgesRequest{Remove: [][2]int32{e}}
+				}
+				payload, _ := json.Marshal(req)
+				resp, err := client.Post(ts.URL+"/v1/edges", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					errs <- fmt.Errorf("mutator %d: status %d", m, resp.StatusCode)
+				}
+			}
+		}(m)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; i < reps; i++ {
+				node := int32((rd + i) % 10)
+				payload, _ := json.Marshal(BatchCommunitiesRequest{IDs: []int32{node, 4, node, 4}, Members: true})
+				resp, err := client.Post(ts.URL+"/v1/nodes/communities", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var got batchCommunitiesResponse
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: status %d (%s)", rd, resp.StatusCode, body)
+					continue
+				}
+				if err := json.Unmarshal(body, &got); err != nil {
+					errs <- fmt.Errorf("reader %d: %v", rd, err)
+					continue
+				}
+				if got.Generation < lastGen {
+					errs <- fmt.Errorf("reader %d: generation went backwards: %d after %d", rd, got.Generation, lastGen)
+				}
+				lastGen = got.Generation
+				if len(got.Results) != 4 {
+					errs <- fmt.Errorf("reader %d: %d results, want 4", rd, len(got.Results))
+					continue
+				}
+				// Duplicate ids in one batch: answered from one snapshot,
+				// so they must be byte-identical.
+				if fmt.Sprint(got.Results[0]) != fmt.Sprint(got.Results[2]) ||
+					fmt.Sprint(got.Results[1]) != fmt.Sprint(got.Results[3]) {
+					errs <- fmt.Errorf("reader %d: duplicate ids answered differently across one batch: %+v", rd, got.Results)
+				}
+			}
+		}(rd)
+	}
+	for ex := 0; ex < exporters; ex++ {
+		wg.Add(1)
+		go func(ex int) {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				resp, err := client.Get(ts.URL + "/v1/cover/export")
+				if err != nil {
+					errs <- err
+					return
+				}
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 1<<20), 1<<20)
+				var meta exportMeta
+				lines := 0
+				for sc.Scan() {
+					if lines == 0 {
+						if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+							errs <- fmt.Errorf("exporter %d: meta: %v", ex, err)
+						}
+					}
+					lines++
+				}
+				resp.Body.Close()
+				if err := sc.Err(); err != nil {
+					errs <- fmt.Errorf("exporter %d: %v", ex, err)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("exporter %d: status %d", ex, resp.StatusCode)
+					continue
+				}
+				if lines-1 != meta.Communities {
+					errs <- fmt.Errorf("exporter %d: %d community lines, own meta declared %d", ex, lines-1, meta.Communities)
+				}
+			}
+		}(ex)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Drain: a final waited mutation settles everything, and the served
+	// generation must have advanced past the initial cover.
+	var final EdgesResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/edges", EdgesRequest{Add: [][2]int32{{0, 7}}, Wait: true}, &final); code != http.StatusOK {
+		t.Fatalf("drain mutation status = %d", code)
+	}
+	if final.Generation < 2 {
+		t.Errorf("final generation = %d, want ≥ 2 after concurrent mutations", final.Generation)
+	}
+	var h healthzResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &h); code != http.StatusOK || h.PendingMutations != 0 {
+		t.Errorf("post-drain healthz (code %d): %+v", code, h)
+	}
+}
+
+// TestLazyServerMutation verifies POST /v1/edges on a lazy server
+// forces the first cover build, then applies the mutation on top.
+func TestLazyServerMutation(t *testing.T) {
+	cfg := liveConfig()
+	cfg.Lazy = true
+	s, err := New(twoCliqueGraph(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	var got EdgesResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/edges", EdgesRequest{Add: [][2]int32{{0, 9}}, Wait: true}, &got); code != http.StatusOK {
+		t.Fatalf("lazy mutation status = %d", code)
+	}
+	if !got.Applied || got.Generation < 2 {
+		t.Errorf("lazy mutation response = %+v", got)
+	}
+	var h healthzResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &h); code != http.StatusOK || !h.CoverReady || h.Edges != 30 {
+		t.Errorf("healthz after lazy mutation (code %d): %+v", code, h)
+	}
+}

@@ -1,19 +1,28 @@
 // Package server implements the HTTP query service behind the ocad
-// daemon: the paper's community *search* served interactively. It loads
-// a graph once, computes (or is handed) an overlapping community cover,
-// builds the inverted node→community index, and answers
+// daemon: the paper's community *search* served interactively over a
+// graph that may keep changing. It loads a graph, computes (or is
+// handed) an overlapping community cover, builds the inverted
+// node→community index, and answers
 //
-//	GET  /healthz                    liveness (never blocks on the cover)
+//	GET  /healthz                    liveness + refresh state (never blocks)
 //	GET  /v1/cover/stats             cover-wide overlap statistics
+//	GET  /v1/cover/export            NDJSON streaming bulk export
 //	GET  /v1/node/{id}/communities   membership lookup via the index
+//	POST /v1/nodes/communities       batch lookup, one snapshot for all ids
 //	POST /v1/search                  on-demand seeded community search
+//	POST /v1/edges                   queue graph mutations for refresh
 //
-// The cover and index are built exactly once (eagerly or on first
-// demand) and are immutable afterwards, so every endpoint serves any
-// number of concurrent readers without locking. Seeded searches draw
-// reusable search.State buffers from a bounded pool, so concurrent
-// /v1/search requests are capped at SearchWorkers in-flight searches
-// and allocate no per-request queues.
+// The served state lives in a generation-numbered immutable
+// refresh.Snapshot behind an atomic pointer: every handler loads the
+// snapshot once and answers the whole request from it, so any number of
+// concurrent readers proceed lock-free and each response is internally
+// consistent with exactly one generation. Mutations posted to /v1/edges
+// are queued to a background refresh.Worker that rebuilds the graph
+// copy-on-write, re-runs OCA (warm-started from unaffected communities)
+// and publishes the next generation — readers never block on a rebuild.
+// Seeded searches draw reusable search.State buffers from a bounded
+// pool (capped at SearchWorkers in-flight searches); states bound to a
+// superseded graph generation are replaced lazily at checkout.
 package server
 
 import (
@@ -32,7 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/graph"
-	"repro/internal/index"
+	"repro/internal/refresh"
 	"repro/internal/search"
 	"repro/internal/spectral"
 )
@@ -43,7 +52,7 @@ import (
 type Config struct {
 	// OCA configures the batch run that builds the served cover and
 	// supplies defaults (c, neighbor probability, step caps) for
-	// per-request searches.
+	// per-request searches and background refresh re-runs.
 	OCA core.Options
 	// Lazy delays the OCA run until the first request that needs the
 	// cover; /healthz and /v1/search never wait for a lazy cover.
@@ -54,15 +63,28 @@ type Config struct {
 	// RequestTimeout is the per-request deadline enforced by Handler.
 	// Default 30s.
 	RequestTimeout time.Duration
-	// MaxRequestBody caps the /v1/search body size. Default 1 MiB.
+	// MaxRequestBody caps the /v1/search, /v1/edges and batch-lookup
+	// body sizes. Default 1 MiB.
 	MaxRequestBody int64
+	// MaxBatchIDs caps ids answered per batch lookup; longer requests
+	// are clamped (and flagged), not rejected. Default 10000.
+	MaxBatchIDs int
+	// RefreshDebounce is how long queued mutations coalesce before a
+	// rebuild. Default 50ms (refresh.Config's default).
+	RefreshDebounce time.Duration
+	// MaxPendingMutations caps the refresh backlog; /v1/edges sheds
+	// load with 503 beyond it. Default 1<<20 operations.
+	MaxPendingMutations int
+	// DisableWarmStart forces cold OCA re-runs on refresh instead of
+	// carrying communities untouched by the mutations.
+	DisableWarmStart bool
 }
 
-// Server answers community-search queries over one loaded graph.
+// Server answers community-search queries over one evolving graph.
 // Construct with New or NewWithCover; all methods are safe for
-// concurrent use.
+// concurrent use. Call Close to stop the background refresh worker.
 type Server struct {
-	g       *graph.Graph
+	g       *graph.Graph // construction-time graph (generation 1's base)
 	cfg     Config
 	maxDeg  int
 	stepCap int // ceiling on per-request search step budgets
@@ -78,12 +100,12 @@ type Server struct {
 	coverOnce  sync.Once
 	coverReady atomic.Bool
 	coverErr   error
-	cv         *cover.Cover
-	ix         *index.Membership
-	stats      cover.OverlapStats // computed once; the cover is immutable
-	result     *core.Result
-	buildTime  time.Duration
+	worker     *refresh.Worker
 	preloaded  bool
+	preCv      *cover.Cover
+
+	closeMu sync.Mutex
+	closed  bool
 }
 
 // New returns a Server that obtains its cover by running OCA on g —
@@ -111,11 +133,13 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 // OCA itself. The inner-product parameter for /v1/search is still
 // cfg.OCA.C, or derived from the spectrum — lazily, on the first
 // request that needs it, so serving a precomputed cover never pays for
-// a whole-graph eigenvalue computation at startup.
+// a whole-graph eigenvalue computation at startup. Mutations posted to
+// /v1/edges re-run OCA, replacing the preloaded cover from the second
+// generation on.
 func NewWithCover(g *graph.Graph, cv *cover.Cover, cfg Config) (*Server, error) {
 	s := newServer(g, cfg)
 	s.preloaded = true
-	s.cv = cv
+	s.preCv = cv
 	// Fail fast on a cover/graph mismatch: index.Build would silently
 	// drop out-of-range members, serving member lists whose own lookups
 	// 404 and stats where coverage exceeds 1.
@@ -148,6 +172,9 @@ func newServer(g *graph.Graph, cfg Config) *Server {
 	if cfg.MaxRequestBody <= 0 {
 		cfg.MaxRequestBody = 1 << 20
 	}
+	if cfg.MaxBatchIDs <= 0 {
+		cfg.MaxBatchIDs = 10000
+	}
 	s := &Server{g: g, cfg: cfg, maxDeg: g.MaxDegree()}
 	// Requests may lower the step budget but never raise it past the
 	// server's own cap: searches are not context-cancellable, so a giant
@@ -175,9 +202,9 @@ func defaultWorkers() int {
 }
 
 // ensureC resolves the inner-product parameter exactly once: the
-// configured override, or -1/λmin from the power method. It is separate
-// from ensureCover so a lazy server can answer /v1/search without first
-// paying for a full OCA run.
+// configured override, or -1/λmin from the power method over the
+// construction-time graph. It is separate from ensureCover so a lazy
+// server can answer /v1/search without first paying for a full OCA run.
 func (s *Server) ensureC() error {
 	s.cOnce.Do(func() {
 		if c := s.cfg.OCA.C; c != 0 {
@@ -200,32 +227,87 @@ func (s *Server) ensureC() error {
 	return s.cErr
 }
 
-// ensureCover builds the cover and index exactly once.
+// ensureCover builds the first snapshot and starts the refresh worker,
+// exactly once.
 func (s *Server) ensureCover() error {
 	s.coverOnce.Do(func() {
 		start := time.Now()
-		if !s.preloaded {
+		var (
+			cv    *cover.Cover
+			res   *core.Result
+			snapC float64
+		)
+		if s.preloaded {
+			cv = s.preCv
 			// A preloaded cover does not need c; deriving it stays
 			// deferred to the first /v1/search or stats request.
+			if s.cReady.Load() {
+				snapC = s.c
+			}
+		} else {
 			if s.coverErr = s.ensureC(); s.coverErr != nil {
 				return
 			}
 			opt := s.cfg.OCA
 			opt.C = s.c // single source of truth for the parameter
-			var res *core.Result
 			res, s.coverErr = core.Run(s.g, opt)
 			if s.coverErr != nil {
 				return
 			}
-			s.result = res
-			s.cv = res.Cover
+			cv = res.Cover
+			snapC = s.c
 		}
-		s.ix = index.Build(s.cv, s.g.N())
-		s.stats = s.cv.Stats(s.g.N())
-		s.buildTime = time.Since(start)
+		snap := refresh.NewSnapshot(s.g, cv, res, snapC, time.Since(start))
+		opt := s.cfg.OCA
+		if s.cReady.Load() {
+			// Pin the resolved c for rebuilds: re-deriving the spectrum
+			// per mutation batch would dominate refresh cost, and edge
+			// churn moves λmin only marginally. A preloaded cover with
+			// no resolved c leaves OCA.C = 0, so the first rebuild
+			// derives it from the then-current graph.
+			opt.C = s.c
+		}
+		w := refresh.New(snap, refresh.Config{
+			OCA:              opt,
+			DisableWarmStart: s.cfg.DisableWarmStart,
+			Debounce:         s.cfg.RefreshDebounce,
+			MaxPending:       s.cfg.MaxPendingMutations,
+		})
+		s.closeMu.Lock()
+		s.worker = w
+		closed := s.closed
+		s.closeMu.Unlock()
+		if closed {
+			w.Close()
+		} else {
+			w.Start()
+		}
 		s.coverReady.Store(true)
 	})
 	return s.coverErr
+}
+
+// snapshot returns the current generation, building the first one on
+// demand. The caller must answer its whole request from the returned
+// snapshot.
+func (s *Server) snapshot() (*refresh.Snapshot, error) {
+	if err := s.ensureCover(); err != nil {
+		return nil, err
+	}
+	return s.worker.Snapshot(), nil
+}
+
+// Close stops the background refresh worker and drops queued
+// mutations. Read endpoints keep serving the last published snapshot;
+// /v1/edges fails afterwards. Safe to call multiple times.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	w := s.worker
+	s.closeMu.Unlock()
+	if w != nil {
+		w.Close()
+	}
 }
 
 // C returns the inner-product parameter the server searches with.
@@ -236,31 +318,49 @@ func (s *Server) C() (float64, error) {
 	return s.c, nil
 }
 
-// Cover returns the served cover, forcing a lazy build if necessary.
-// The returned cover must not be mutated.
+// Cover returns the currently served cover, forcing a lazy build if
+// necessary. The returned cover must not be mutated.
 func (s *Server) Cover() (*cover.Cover, error) {
-	if err := s.ensureCover(); err != nil {
+	snap, err := s.snapshot()
+	if err != nil {
 		return nil, err
 	}
-	return s.cv, nil
+	return snap.Cover, nil
 }
 
-// Handler returns the service's http.Handler: the four routes wrapped
-// with the per-request deadline.
+// Generation returns the currently served snapshot generation (0 until
+// the first cover is built).
+func (s *Server) Generation() uint64 {
+	if !s.coverReady.Load() {
+		return 0
+	}
+	return s.worker.Snapshot().Gen
+}
+
+// Handler returns the service's http.Handler: all routes wrapped with
+// the per-request deadline, except the NDJSON export, which streams
+// (http.TimeoutHandler buffers whole responses, so it would turn the
+// export into a giant in-memory blob and defeat mid-stream
+// backpressure).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/cover/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/node/{id}/communities", s.handleNodeCommunities)
+	mux.HandleFunc("POST /v1/nodes/communities", s.handleBatchCommunities)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/edges", s.handleEdges)
 	th := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
-	// TimeoutHandler writes its timeout body with no Content-Type;
-	// pre-setting it here keeps error responses uniformly JSON (the
-	// handlers overwrite the header on every non-timeout path).
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	root := http.NewServeMux()
+	root.HandleFunc("GET /v1/cover/export", s.handleExport)
+	root.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// TimeoutHandler writes its timeout body with no Content-Type;
+		// pre-setting it here keeps error responses uniformly JSON (the
+		// handlers overwrite the header on every non-timeout path).
 		w.Header().Set("Content-Type", "application/json")
 		th.ServeHTTP(w, r)
-	})
+	}))
+	return root
 }
 
 type errorResponse struct {
@@ -284,69 +384,107 @@ type healthzResponse struct {
 	Nodes      int    `json:"nodes"`
 	Edges      int64  `json:"edges"`
 	CoverReady bool   `json:"cover_ready"`
+	// Generation is the served snapshot's generation (0 until built).
+	Generation uint64 `json:"generation"`
+	// PendingMutations counts queued edge mutations not yet reflected
+	// in any snapshot; with Rebuilding it is the staleness signal.
+	PendingMutations int  `json:"pending_mutations"`
+	Rebuilding       bool `json:"rebuilding"`
+	// SnapshotAgeMillis is how long ago the served generation was
+	// published.
+	SnapshotAgeMillis int64 `json:"snapshot_age_millis"`
+	// LastRebuildMillis is the build duration of the served generation.
+	LastRebuildMillis int64  `json:"last_rebuild_millis"`
+	LastRefreshError  string `json:"last_refresh_error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:     "ok",
 		Nodes:      s.g.N(),
 		Edges:      s.g.M(),
 		CoverReady: s.coverReady.Load(),
-	})
+	}
+	if resp.CoverReady {
+		// Report the *served* graph — mutations change the edge count
+		// across generations — with every snapshot-derived field read
+		// from ONE snapshot load, so a swap between loads cannot pair
+		// generation N with generation N+1's dimensions. Status supplies
+		// only the queue-side fields, which belong to no generation.
+		snap := s.worker.Snapshot()
+		st := s.worker.Status()
+		resp.Nodes = snap.Graph.N()
+		resp.Edges = snap.Graph.M()
+		resp.Generation = snap.Gen
+		resp.PendingMutations = st.Pending
+		resp.Rebuilding = st.Rebuilding
+		resp.SnapshotAgeMillis = time.Since(snap.BuiltAt).Milliseconds()
+		resp.LastRebuildMillis = snap.BuildTime.Milliseconds()
+		resp.LastRefreshError = st.LastErr
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statsResponse is the /v1/cover/stats body.
 type statsResponse struct {
-	Nodes          int     `json:"nodes"`
-	Edges          int64   `json:"edges"`
-	C              float64 `json:"c,omitempty"` // absent until first derived (preloaded covers)
-	Communities    int     `json:"communities"`
-	CoveredNodes   int     `json:"covered_nodes"`
-	Coverage       float64 `json:"coverage"`
-	OverlapNodes   int     `json:"overlap_nodes"`
-	MinSize        int     `json:"min_size"`
-	MaxSize        int     `json:"max_size"`
-	MeanSize       float64 `json:"mean_size"`
-	MeanMembership float64 `json:"mean_membership"`
-	MaxMembership  int     `json:"max_membership"`
-	SeedsTried     int     `json:"seeds_tried,omitempty"`
-	Steps          int64   `json:"steps,omitempty"`
-	RawCommunities int     `json:"raw_communities,omitempty"`
-	BuildMillis    int64   `json:"build_millis"`
+	Nodes            int     `json:"nodes"`
+	Edges            int64   `json:"edges"`
+	Generation       uint64  `json:"generation"`
+	C                float64 `json:"c,omitempty"` // absent until first derived (preloaded covers)
+	Communities      int     `json:"communities"`
+	CoveredNodes     int     `json:"covered_nodes"`
+	Coverage         float64 `json:"coverage"`
+	OverlapNodes     int     `json:"overlap_nodes"`
+	MinSize          int     `json:"min_size"`
+	MaxSize          int     `json:"max_size"`
+	MeanSize         float64 `json:"mean_size"`
+	MeanMembership   float64 `json:"mean_membership"`
+	MaxMembership    int     `json:"max_membership"`
+	SeedsTried       int     `json:"seeds_tried,omitempty"`
+	Steps            int64   `json:"steps,omitempty"`
+	RawCommunities   int     `json:"raw_communities,omitempty"`
+	BuildMillis      int64   `json:"build_millis"`
+	PendingMutations int     `json:"pending_mutations"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	if err := s.ensureCover(); err != nil {
+	snap, err := s.snapshot()
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
 		return
 	}
-	n := s.g.N()
-	st := s.stats
+	n := snap.Graph.N()
+	st := snap.Stats
 	resp := statsResponse{
-		Nodes:          n,
-		Edges:          s.g.M(),
-		Communities:    st.Communities,
-		CoveredNodes:   st.CoveredNodes,
-		OverlapNodes:   st.OverlapNodes,
-		MinSize:        st.MinSize,
-		MaxSize:        st.MaxSize,
-		MeanSize:       st.MeanSize,
-		MeanMembership: st.MeanMember,
-		MaxMembership:  st.MaxMembership,
-		BuildMillis:    s.buildTime.Milliseconds(),
+		Nodes:            n,
+		Edges:            snap.Graph.M(),
+		Generation:       snap.Gen,
+		Communities:      st.Communities,
+		CoveredNodes:     st.CoveredNodes,
+		OverlapNodes:     st.OverlapNodes,
+		MinSize:          st.MinSize,
+		MaxSize:          st.MaxSize,
+		MeanSize:         st.MeanSize,
+		MeanMembership:   st.MeanMember,
+		MaxMembership:    st.MaxMembership,
+		BuildMillis:      snap.BuildTime.Milliseconds(),
+		PendingMutations: s.worker.Status().Pending,
 	}
 	// Never force the spectral derivation just to fill this field; on a
 	// preloaded cover c appears once the first search resolves it.
-	if s.cReady.Load() {
+	switch {
+	case snap.C > 0:
+		resp.C = snap.C
+	case s.cReady.Load():
 		resp.C = s.c
 	}
 	if n > 0 {
 		resp.Coverage = float64(st.CoveredNodes) / float64(n)
 	}
-	if s.result != nil {
-		resp.SeedsTried = s.result.SeedsTried
-		resp.Steps = s.result.Steps
-		resp.RawCommunities = s.result.RawCommunities
+	if snap.Result != nil {
+		resp.SeedsTried = snap.Result.SeedsTried
+		resp.Steps = snap.Result.Steps
+		resp.RawCommunities = snap.Result.RawCommunities
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -361,6 +499,7 @@ type communityRef struct {
 // nodeCommunitiesResponse is the /v1/node/{id}/communities body.
 type nodeCommunitiesResponse struct {
 	Node        int32          `json:"node"`
+	Generation  uint64         `json:"generation"`
 	Count       int            `json:"count"`
 	Communities []communityRef `json:"communities"`
 }
@@ -376,25 +515,31 @@ func (s *Server) handleNodeCommunities(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "node %d out of range [0, %d)", v, s.g.N())
 		return
 	}
-	if err := s.ensureCover(); err != nil {
+	snap, err := s.snapshot()
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
 		return
 	}
 	withMembers := queryBool(r, "members")
-	ids := s.ix.Communities(v)
+	ids := snap.Index.Communities(v)
 	resp := nodeCommunitiesResponse{
 		Node:        v,
+		Generation:  snap.Gen,
 		Count:       len(ids),
 		Communities: make([]communityRef, len(ids)),
 	}
 	for i, ci := range ids {
-		ref := communityRef{ID: ci, Size: len(s.cv.Communities[ci])}
-		if withMembers {
-			ref.Members = s.cv.Communities[ci]
-		}
-		resp.Communities[i] = ref
+		resp.Communities[i] = communityRefFor(snap, ci, withMembers)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func communityRefFor(snap *refresh.Snapshot, ci int32, withMembers bool) communityRef {
+	ref := communityRef{ID: ci, Size: len(snap.Cover.Communities[ci])}
+	if withMembers {
+		ref.Members = snap.Cover.Communities[ci]
+	}
+	return ref
 }
 
 func queryBool(r *http.Request, key string) bool {
@@ -420,7 +565,8 @@ type SearchRequest struct {
 	// MaxCommunitySize stops additions at that size when positive.
 	MaxCommunitySize int `json:"max_community_size,omitempty"`
 	// RNGSeed fixes the randomness; responses with equal RNGSeed and
-	// parameters are identical. When 0 the server picks a fresh stream.
+	// parameters are identical (over the same graph generation). When 0
+	// the server picks a fresh stream.
 	RNGSeed int64 `json:"rng_seed,omitempty"`
 }
 
@@ -446,8 +592,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid search request: %v", err)
 		return
 	}
-	if req.Seed < 0 || int(req.Seed) >= s.g.N() {
-		writeError(w, http.StatusNotFound, "seed %d out of range [0, %d)", req.Seed, s.g.N())
+	// Search over the served generation when there is one; a lazy
+	// server answers over the construction-time graph without forcing
+	// the OCA run (searches need only c, not the cover).
+	g, maxDeg := s.g, s.maxDeg
+	var snap *refresh.Snapshot
+	if s.coverReady.Load() {
+		snap = s.worker.Snapshot()
+		g, maxDeg = snap.Graph, snap.MaxDegree
+	}
+	if req.Seed < 0 || int(req.Seed) >= g.N() {
+		writeError(w, http.StatusNotFound, "seed %d out of range [0, %d)", req.Seed, g.N())
 		return
 	}
 	// Negative means "unlimited" in core.Options — never allowed from
@@ -463,10 +618,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	c := req.C
 	if c == 0 {
-		var err error
-		if c, err = s.C(); err != nil {
-			writeError(w, http.StatusInternalServerError, "computing c: %v", err)
-			return
+		if snap != nil && snap.C > 0 {
+			c = snap.C
+		} else {
+			var err error
+			if c, err = s.C(); err != nil {
+				writeError(w, http.StatusInternalServerError, "computing c: %v", err)
+				return
+			}
 		}
 	}
 	if c < 0 || c >= 1 {
@@ -497,8 +656,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "search pool saturated: %v", r.Context().Err())
 		return
 	}
-	if st == nil {
-		st = search.NewState(s.g, s.maxDeg)
+	if st == nil || st.Graph() != g {
+		// First use of the slot, or its state is bound to a superseded
+		// snapshot's graph: (re)build it over the one this request saw.
+		st = search.NewState(g, maxDeg)
 	}
 	defer func() { s.pool <- st }()
 
@@ -518,7 +679,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		opt.MaxCommunitySize = req.MaxCommunitySize
 	}
 	rng := rand.New(rand.NewSource(rngSeed))
-	community, fitness := core.FindCommunityWith(s.g, st, req.Seed, c, rng, opt)
+	community, fitness := core.FindCommunityWith(g, st, req.Seed, c, rng, opt)
 	writeJSON(w, http.StatusOK, SearchResponse{
 		Seed:    req.Seed,
 		C:       c,

@@ -50,6 +50,7 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatalf("NewWithCover: %v", err)
 	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
