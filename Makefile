@@ -2,13 +2,13 @@
 # same targets, so a green `make check` locally means a green CI run.
 
 GO ?= go
-RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/... ./internal/refresh/...
+RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/... ./internal/refresh/... ./internal/shard/...
 # Packages whose statement coverage must stay at or above COVER_MIN:
 # the concurrent serving layer, where untested paths hide races.
-COVER_PKGS := repro/internal/server repro/internal/refresh
+COVER_PKGS := repro/internal/server repro/internal/refresh repro/internal/shard
 COVER_MIN := 75
 
-.PHONY: build test race vet fmt-check bench-smoke fuzz-smoke cover-check examples check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-shard fuzz-smoke cover-check examples check clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,11 @@ fmt-check:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > BENCH_smoke.json; \
 		status=$$?; cat BENCH_smoke.json; exit $$status
+
+# Sharded vs unsharded batch-lookup throughput on an LFR graph: the
+# router's fan-out overhead must stay small against the K=1 baseline.
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkRouterBatchLookup' -benchtime 2s ./internal/shard
 
 # Short fuzz runs over the untrusted-input parsers. The checked-in seed
 # corpus (internal/graph/testdata/fuzz) always runs under plain `make

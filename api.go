@@ -14,6 +14,7 @@ import (
 	"repro/internal/lfr"
 	"repro/internal/metrics"
 	"repro/internal/postprocess"
+	"repro/internal/shard"
 	"repro/internal/spectral"
 	"repro/internal/summarize"
 	"repro/internal/synth"
@@ -59,11 +60,27 @@ func ReadGraphLimits(r io.Reader, lim GraphReadLimits) (*Graph, error) {
 // GraphDelta accumulates edge additions and removals against an
 // existing immutable Graph and applies them in one copy-on-write pass —
 // the O(n + m + Δ log Δ) rebuild path behind live cover refresh. The
-// base graph is never mutated.
+// base graph is never mutated. GrowTo lets the delta extend the node
+// set, the path behind serving graphs that keep gaining nodes.
 type GraphDelta = graph.Delta
 
 // NewGraphDelta returns an empty delta over g.
 func NewGraphDelta(g *Graph) *GraphDelta { return graph.NewDelta(g) }
+
+// ShardPiece is one node-disjoint piece of a partitioned graph: the
+// nodes assigned to that shard (global id ≡ shard mod K) plus a ghost
+// halo of their cross-shard neighbors, renumbered to a dense local id
+// space with a local→global translation table. Because the halo is the
+// full induced subgraph on owned ∪ ghost nodes, a community search
+// seeded at an owned node sees its complete boundary neighborhood —
+// the partitioning behind the ocad daemon's -shards mode.
+type ShardPiece = shard.Piece
+
+// PartitionGraph deterministically splits g into k node-disjoint
+// pieces under the modulo-k partition, each with its ghost halo.
+func PartitionGraph(g *Graph, k int) ([]ShardPiece, error) {
+	return shard.Split(g, k)
+}
 
 // WriteGraph writes g in the format ReadGraph parses.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }

@@ -5,19 +5,27 @@
 // runtime are applied by a background refresh worker that re-runs OCA
 // and atomically swaps in the new generation; readers never block.
 //
+// With -shards K the graph and its cover are partitioned across K
+// node-disjoint shards (modulo-K node assignment, ghost halos for
+// boundary neighborhoods), each kept live by its own refresh worker; a
+// router fans lookups out to the owning shards and every response
+// quotes a (shard, generation) vector so clients can detect a lagging
+// shard.
+//
 // Usage:
 //
-//	ocad -in graph.txt [-addr :8080] [flags]
+//	ocad -in graph.txt [-addr :8080] [-shards K] [flags]
 //
 // Endpoints:
 //
-//	GET  /healthz                    liveness, cover readiness, refresh state
-//	GET  /v1/cover/stats             cover-wide overlap statistics
+//	GET  /healthz                    liveness, refresh state, per-shard vector, request summary
+//	GET  /v1/cover/stats             cover-wide overlap statistics (+ per-shard c)
 //	GET  /v1/cover/export            NDJSON streaming bulk export
 //	GET  /v1/node/{id}/communities   which communities contain this node
-//	POST /v1/nodes/communities       batch lookup over many nodes at once
+//	POST /v1/nodes/communities       batch lookup fanned out to the owning shards
 //	POST /v1/search                  run one seeded community search
-//	POST /v1/edges                   add/remove edges, triggering a refresh
+//	POST /v1/edges                   add/remove edges (may grow the node set), triggering refreshes
+//	GET  /debug/metrics              per-endpoint request counts + latency histograms
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests for up to -shutdown-timeout.
@@ -64,12 +72,24 @@ func run(args []string) error {
 	refreshDebounce := fs.Duration("refresh-debounce", 50*time.Millisecond, "how long queued /v1/edges mutations coalesce before an OCA re-run")
 	maxBatchIDs := fs.Int("max-batch-ids", 10000, "ids answered per batch lookup before clamping")
 	coldRefresh := fs.Bool("cold-refresh", false, "re-run OCA from scratch on refresh instead of warm-starting from unaffected communities")
+	shards := fs.Int("shards", 1, "partition the graph and cover across K node-disjoint shards behind a fan-out router")
+	maxNodes := fs.Int("max-nodes", -1, "max node-set size /v1/edges growth may reach (-1 = 8x the initial graph, 0 = fixed node set)")
+	rederiveC := fs.Float64("rederive-c", 0.25, "re-derive c=-1/λmin during a rebuild once applied mutations exceed this fraction of the graph's edges (0 = pin the startup value; ignored when -c is set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		fs.Usage()
 		return errors.New("missing required -in graph file")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d must be at least 1", *shards)
+	}
+	if *shards > 1 && *coverPath != "" {
+		return errors.New("-cover is not supported with -shards > 1 (precomputed covers cannot be partitioned)")
+	}
+	if *shards > 1 && *lazy {
+		return errors.New("-lazy is not supported with -shards > 1 (every shard's cover is built at startup)")
 	}
 	// Normalize here so the handler deadline and http.Server's
 	// WriteTimeout are derived from the same value (server.Config also
@@ -91,6 +111,9 @@ func run(args []string) error {
 		RefreshDebounce:  *refreshDebounce,
 		MaxBatchIDs:      *maxBatchIDs,
 		DisableWarmStart: *coldRefresh,
+		Shards:           *shards,
+		MaxNodes:         resolveMaxNodes(*maxNodes, g.N()),
+		RederiveCAfter:   *rederiveC,
 	}
 	cfg.OCA.Seed = *seed
 	cfg.OCA.C = *c
@@ -107,6 +130,14 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+	} else if *shards > 1 {
+		log.Printf("running OCA across %d shards (seed %d)...", *shards, *seed)
+		start := time.Now()
+		srv, err = server.New(g, cfg)
+		if err != nil {
+			return err
+		}
+		log.Printf("%d shard covers ready in %v", *shards, time.Since(start).Round(time.Millisecond))
 	} else {
 		if !*lazy {
 			log.Printf("running OCA (seed %d)...", *seed)
@@ -164,6 +195,17 @@ func run(args []string) error {
 	}
 	log.Print("bye")
 	return <-errCh
+}
+
+// resolveMaxNodes turns the -max-nodes flag into a concrete cap:
+// negative means "auto" (8x the initial graph, so growth works out of
+// the box without being unbounded), 0 keeps the node set fixed, and a
+// positive value is used as-is.
+func resolveMaxNodes(flagVal, n int) int {
+	if flagVal >= 0 {
+		return flagVal
+	}
+	return 8 * n
 }
 
 func loadGraph(path string) (*graph.Graph, error) {

@@ -54,3 +54,29 @@ func TestFlagParsing(t *testing.T) {
 		t.Error("run with bad -refresh-debounce succeeded, want error")
 	}
 }
+
+func TestShardFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-in", "g.txt", "-shards", "0"},
+		{"-in", "g.txt", "-shards", "2", "-cover", "c.txt"},
+		{"-in", "g.txt", "-shards", "2", "-lazy"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want validation error", args)
+		}
+	}
+}
+
+func TestResolveMaxNodes(t *testing.T) {
+	cases := []struct{ flag, n, want int }{
+		{-1, 100, 800}, // auto: 8x
+		{0, 100, 0},    // fixed node set
+		{500, 100, 500},
+	}
+	for _, tc := range cases {
+		if got := resolveMaxNodes(tc.flag, tc.n); got != tc.want {
+			t.Errorf("resolveMaxNodes(%d, %d) = %d, want %d", tc.flag, tc.n, got, tc.want)
+		}
+	}
+}

@@ -15,11 +15,13 @@ import (
 // Operations are recorded in arrival order; when the same edge is both
 // added and removed, the last operation wins. Adding an edge that
 // already exists and removing one that does not are no-ops at Apply
-// time. The node set is fixed: endpoints outside [0, N) are rejected,
-// as are self loops. A Delta is not safe for concurrent use.
+// time. The node set is fixed unless GrowTo raises it: endpoints
+// outside the current bound are rejected, as are self loops. A Delta is
+// not safe for concurrent use.
 type Delta struct {
-	g   *Graph
-	ops []deltaOp
+	g    *Graph
+	ops  []deltaOp
+	grow int // node count of Apply's result when > g.N()
 }
 
 type deltaOp struct {
@@ -36,12 +38,33 @@ func NewDelta(g *Graph) *Delta {
 // elimination at Apply time).
 func (d *Delta) Len() int { return len(d.ops) }
 
+// N returns the node count Apply's result will have: the base graph's,
+// or the GrowTo target when larger.
+func (d *Delta) N() int {
+	if d.grow > d.g.N() {
+		return d.grow
+	}
+	return d.g.N()
+}
+
+// GrowTo raises the delta's node bound to n, so subsequent operations
+// may name nodes in [0, n) and Apply's result has n nodes (new nodes
+// are isolated until edges name them). Shrinking is not supported:
+// targets at or below the current bound are no-ops. This is the
+// mutation path behind serving graphs whose node set keeps growing —
+// the base CSR graph stays untouched.
+func (d *Delta) GrowTo(n int) {
+	if n > d.N() {
+		d.grow = n
+	}
+}
+
 func (d *Delta) record(u, v int32, del bool) error {
 	if u == v {
 		return fmt.Errorf("graph: delta edge (%d, %d) is a self loop", u, v)
 	}
-	if u < 0 || v < 0 || int(u) >= d.g.N() || int(v) >= d.g.N() {
-		return fmt.Errorf("graph: delta edge (%d, %d) out of range [0, %d)", u, v, d.g.N())
+	if u < 0 || v < 0 || int(u) >= d.N() || int(v) >= d.N() {
+		return fmt.Errorf("graph: delta edge (%d, %d) out of range [0, %d)", u, v, d.N())
 	}
 	if u > v {
 		u, v = v, u
@@ -83,10 +106,21 @@ func (d *Delta) Touched() []int32 {
 // Delta may keep accumulating operations afterwards, but they remain
 // relative to the base graph, not to Apply's result.
 func (d *Delta) Apply() *Graph {
+	n := d.N()
+	base := d.g.N()
 	if len(d.ops) == 0 {
-		return d.g
+		if n == base {
+			return d.g
+		}
+		// Pure growth: the new nodes are isolated, so the adjacency is
+		// unchanged and only the offsets table extends.
+		offsets := make([]int64, n+1)
+		copy(offsets, d.g.offsets)
+		for v := base + 1; v <= n; v++ {
+			offsets[v] = offsets[base]
+		}
+		return &Graph{offsets: offsets, adj: d.g.adj}
 	}
-	n := d.g.N()
 
 	// Resolve to one effective operation per edge: stable sort by edge
 	// keeps arrival order within a pair, then the last entry wins.
@@ -109,7 +143,9 @@ func (d *Delta) Apply() *Graph {
 		if i+1 < len(ops) && ops[i+1].u == o.u && ops[i+1].v == o.v {
 			continue // superseded by a later op on the same edge
 		}
-		exists := d.g.HasEdge(o.u, o.v)
+		// Edges naming grown nodes cannot pre-exist in the base graph
+		// (and HasEdge would index past its offsets table).
+		exists := int(o.v) < base && d.g.HasEdge(o.u, o.v)
 		switch {
 		case o.del && exists:
 			dels[o.u] = append(dels[o.u], o.v)
@@ -121,20 +157,26 @@ func (d *Delta) Apply() *Graph {
 			changed = true
 		}
 	}
-	if !changed {
+	if !changed && n == base {
 		return d.g
 	}
 
 	offsets := make([]int64, n+1)
 	for v := 0; v < n; v++ {
-		deg := int64(d.g.Degree(int32(v)))
+		var deg int64
+		if v < base {
+			deg = int64(d.g.Degree(int32(v)))
+		}
 		deg += int64(len(adds[int32(v)]) - len(dels[int32(v)]))
 		offsets[v+1] = offsets[v] + deg
 	}
 	adj := make([]int32, offsets[n])
 	for v := int32(0); int(v) < n; v++ {
 		out := adj[offsets[v]:offsets[v]:offsets[v+1]]
-		old := d.g.Neighbors(v)
+		var old []int32
+		if int(v) < base {
+			old = d.g.Neighbors(v)
+		}
 		add, del := adds[v], dels[v]
 		i, j := 0, 0 // cursors into old and add
 		for i < len(old) || j < len(add) {

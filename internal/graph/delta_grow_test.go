@@ -1,0 +1,119 @@
+package graph
+
+import "testing"
+
+// path builds the path graph 0-1-2-...-(n-1).
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := int32(0); i < int32(n-1); i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestDeltaGrowToPureGrowth(t *testing.T) {
+	g := pathGraph(4)
+	d := NewDelta(g)
+	d.GrowTo(7)
+	if d.N() != 7 {
+		t.Fatalf("N() = %d, want 7", d.N())
+	}
+	ng := d.Apply()
+	if ng == g {
+		t.Fatal("pure growth returned the base graph")
+	}
+	if ng.N() != 7 || ng.M() != g.M() {
+		t.Fatalf("grown graph n=%d m=%d, want n=7 m=%d", ng.N(), ng.M(), g.M())
+	}
+	for v := int32(4); v < 7; v++ {
+		if ng.Degree(v) != 0 {
+			t.Errorf("grown node %d has degree %d, want isolated", v, ng.Degree(v))
+		}
+	}
+	// The base graph's adjacency is untouched.
+	if g.N() != 4 {
+		t.Error("base graph mutated by growth")
+	}
+}
+
+func TestDeltaGrowToWithEdges(t *testing.T) {
+	g := pathGraph(4)
+	d := NewDelta(g)
+	// Out of range until GrowTo raises the bound.
+	if err := d.AddEdge(0, 6); err == nil {
+		t.Fatal("AddEdge past the bound accepted before GrowTo")
+	}
+	d.GrowTo(8)
+	if err := d.AddEdge(0, 6); err != nil {
+		t.Fatalf("AddEdge after GrowTo: %v", err)
+	}
+	if err := d.AddEdge(6, 7); err != nil {
+		t.Fatalf("AddEdge between two grown nodes: %v", err)
+	}
+	if err := d.RemoveEdge(1, 2); err != nil {
+		t.Fatalf("RemoveEdge on base nodes: %v", err)
+	}
+	// Removing a never-existing edge at a grown node is a no-op.
+	if err := d.RemoveEdge(5, 0); err != nil {
+		t.Fatalf("RemoveEdge naming a grown node: %v", err)
+	}
+	ng := d.Apply()
+	if ng.N() != 8 {
+		t.Fatalf("n = %d, want 8", ng.N())
+	}
+	wantEdges := []struct {
+		u, v int32
+		want bool
+	}{
+		{0, 1, true}, {1, 2, false}, {2, 3, true},
+		{0, 6, true}, {6, 7, true}, {0, 5, false},
+	}
+	for _, e := range wantEdges {
+		if got := ng.HasEdge(e.u, e.v); got != e.want {
+			t.Errorf("HasEdge(%d, %d) = %v, want %v", e.u, e.v, got, e.want)
+		}
+	}
+	if ng.M() != 4 {
+		t.Errorf("m = %d, want 4", ng.M())
+	}
+	// Adjacency lists stay sorted (CSR invariant).
+	for v := int32(0); int(v) < ng.N(); v++ {
+		adj := ng.Neighbors(v)
+		for i := 1; i < len(adj); i++ {
+			if adj[i-1] >= adj[i] {
+				t.Fatalf("node %d adjacency unsorted: %v", v, adj)
+			}
+		}
+	}
+}
+
+func TestDeltaGrowToShrinkIsNoop(t *testing.T) {
+	g := pathGraph(5)
+	d := NewDelta(g)
+	d.GrowTo(3) // shrinking is not supported
+	if d.N() != 5 {
+		t.Fatalf("N() = %d after shrink attempt, want 5", d.N())
+	}
+	if got := d.Apply(); got != g {
+		t.Error("no-op delta with ignored shrink did not return the base graph")
+	}
+}
+
+// TestDeltaGrowCancelledOpsStillGrow covers growth requested by ops that
+// cancel each other: the node set still extends (ids were named), even
+// though no edge changes.
+func TestDeltaGrowCancelledOpsStillGrow(t *testing.T) {
+	g := pathGraph(3)
+	d := NewDelta(g)
+	d.GrowTo(6)
+	if err := d.AddEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	ng := d.Apply()
+	if ng.N() != 6 || ng.M() != g.M() || ng.HasEdge(0, 5) {
+		t.Errorf("n=%d m=%d HasEdge(0,5)=%v, want 6 nodes, unchanged edges", ng.N(), ng.M(), ng.HasEdge(0, 5))
+	}
+}

@@ -1,0 +1,35 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+)
+
+func TestCoverageCounts(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{
+		{0, 1, 2},
+		{2, 3},
+		{2, 5},
+	})
+	ix := Build(cv, 7)
+
+	covered, overlapped, memberships := ix.CoverageCounts(nil)
+	if covered != 5 || overlapped != 1 || memberships != 7 {
+		t.Errorf("all nodes: (%d, %d, %d), want (5, 1, 7)", covered, overlapped, memberships)
+	}
+
+	// Even nodes only: 0, 2, 4, 6 → covered {0, 2}, overlapped {2},
+	// memberships 1 + 3.
+	even := func(v int32) bool { return v%2 == 0 }
+	covered, overlapped, memberships = ix.CoverageCounts(even)
+	if covered != 2 || overlapped != 1 || memberships != 4 {
+		t.Errorf("even nodes: (%d, %d, %d), want (2, 1, 4)", covered, overlapped, memberships)
+	}
+
+	// A predicate selecting nothing counts nothing.
+	covered, overlapped, memberships = ix.CoverageCounts(func(int32) bool { return false })
+	if covered != 0 || overlapped != 0 || memberships != 0 {
+		t.Errorf("empty selection: (%d, %d, %d), want zeros", covered, overlapped, memberships)
+	}
+}

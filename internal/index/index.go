@@ -77,6 +77,29 @@ func (ix *Membership) Degree(v int32) int { return len(ix.Communities(v)) }
 // Covered reports whether v belongs to at least one community.
 func (ix *Membership) Covered(v int32) bool { return ix.Degree(v) > 0 }
 
+// CoverageCounts tallies membership over the nodes for which keep
+// returns true (every node when keep is nil): how many belong to at
+// least one community, how many to more than one, and the total number
+// of memberships. The shard router aggregates global coverage from
+// per-shard indexes with it, keeping only each shard's owned (non-ghost)
+// nodes so boundary nodes are counted exactly once.
+func (ix *Membership) CoverageCounts(keep func(int32) bool) (covered, overlapped int, memberships int64) {
+	for v := int32(0); int(v) < ix.N(); v++ {
+		if keep != nil && !keep(v) {
+			continue
+		}
+		d := ix.offsets[v+1] - ix.offsets[v]
+		memberships += d
+		if d > 0 {
+			covered++
+		}
+		if d > 1 {
+			overlapped++
+		}
+	}
+	return covered, overlapped, memberships
+}
+
 // Common returns the ascending community indices containing every one
 // of the given nodes — the k-way generalization of Shared behind the
 // batch endpoint's "which groups do all these people share?" option.

@@ -1,0 +1,153 @@
+package refresh
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+// TestWorkerGrowsNodeSet verifies the growth path: with MaxNodes above
+// the initial size, added edges naming new ids extend the graph at the
+// next rebuild (intermediate ids materialize as isolated nodes), while
+// ids at or past the cap stay rejected.
+func TestWorkerGrowsNodeSet(t *testing.T) {
+	w := newTestWorker(t, Config{MaxNodes: 20})
+	if _, queued, err := w.Enqueue([][2]int32{{0, 12}}, nil); err != nil || queued != 1 {
+		t.Fatalf("growth enqueue: queued=%d err=%v", queued, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	snap, err := w.Flush(ctx)
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if snap.Graph.N() != 13 {
+		t.Fatalf("grown graph has %d nodes, want 13", snap.Graph.N())
+	}
+	if !snap.Graph.HasEdge(0, 12) {
+		t.Error("grown graph is missing the new edge {0, 12}")
+	}
+	if snap.Graph.Degree(11) != 0 {
+		t.Error("intermediate grown node 11 should be isolated")
+	}
+	if snap.Index.N() != 13 {
+		t.Errorf("index covers %d nodes, want 13", snap.Index.N())
+	}
+
+	// Removals may name pending-growth nodes within the same batch.
+	if _, _, err := w.Enqueue([][2]int32{{1, 15}}, [][2]int32{{15, 1}}); err != nil {
+		t.Fatalf("grow-then-remove batch: %v", err)
+	}
+	if snap, err = w.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Graph.N() != 16 || snap.Graph.HasEdge(1, 15) {
+		t.Errorf("grow-then-remove: n=%d HasEdge(1,15)=%v, want 16 nodes without the edge", snap.Graph.N(), snap.Graph.HasEdge(1, 15))
+	}
+
+	// The cap is a hard ceiling; removals never reach unknown ids.
+	if _, _, err := w.Enqueue([][2]int32{{0, 20}}, nil); err == nil {
+		t.Error("add past MaxNodes accepted")
+	}
+	if _, _, err := w.Enqueue(nil, [][2]int32{{0, 18}}); err == nil {
+		t.Error("remove naming an unmaterialized id accepted")
+	}
+}
+
+// TestRederiveCOnDrift pins a deliberately wrong c and sets a tiny
+// drift threshold: the first mutation-triggered rebuild must re-derive
+// c from the current spectrum, and later rebuilds must keep following
+// the re-derived value instead of snapping back to the configured one.
+func TestRederiveCOnDrift(t *testing.T) {
+	const pinned = 0.5
+	w := newTestWorker(t, Config{
+		OCA:            core.Options{Seed: 1, C: pinned},
+		RederiveCAfter: 0.01, // any mutation exceeds 1% of ~30 edges
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, _, err := w.Enqueue([][2]int32{{0, 9}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := w.Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := spectral.C(snap.Graph, spectral.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(snap.C-want) > 1e-6 || snap.C == pinned {
+		t.Fatalf("post-drift c = %g, want re-derived %g (pinned was %g)", snap.C, want, pinned)
+	}
+
+	// A follow-up rebuild under the threshold keeps the re-derived c.
+	if _, _, err := w.Enqueue(nil, [][2]int32{{0, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := w.Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.C == pinned {
+		t.Errorf("second rebuild snapped back to the configured c=%g", pinned)
+	}
+}
+
+// TestRederiveDisabledKeepsPinnedC is the control: with the threshold
+// unset the pinned value survives arbitrarily many rebuilds.
+func TestRederiveDisabledKeepsPinnedC(t *testing.T) {
+	w := newTestWorker(t, Config{OCA: core.Options{Seed: 1, C: 0.5}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, _, err := w.Enqueue([][2]int32{{0, 9}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := w.Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.C != 0.5 {
+		t.Errorf("c drifted to %g with re-derivation disabled", snap.C)
+	}
+}
+
+// TestBuildSnapshotHook checks the assembly hook: rebuilds publish
+// whatever the hook returns (here: a filtered cover with attached Aux),
+// which is how the shard layer drops ghost-only communities and ships
+// its translation tables.
+func TestBuildSnapshotHook(t *testing.T) {
+	type meta struct{ communities int }
+	cfg := Config{
+		OCA:      core.Options{Seed: 1, C: 0.5},
+		Debounce: time.Millisecond,
+		BuildSnapshot: func(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, d time.Duration) *Snapshot {
+			s := NewSnapshot(g, cv, res, c, d)
+			s.Aux = &meta{communities: cv.Len()}
+			return s
+		},
+	}
+	w := New(testSnapshot(t, twoCliques(), cfg.OCA), cfg)
+	w.Start()
+	t.Cleanup(w.Close)
+	if _, _, err := w.Enqueue([][2]int32{{0, 9}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	snap, err := w.Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := snap.Aux.(*meta)
+	if !ok || m.communities != snap.Cover.Len() {
+		t.Errorf("Aux = %#v, want hook-attached meta matching the cover", snap.Aux)
+	}
+}

@@ -8,12 +8,15 @@
 // mutations did not touch — and publishes the result as the next
 // generation.
 //
-// The node set is fixed for the lifetime of a Worker; mutations add and
-// remove edges between existing nodes. Mutation batches are validated
-// and accepted atomically, rebuilds are debounced so bursts coalesce
-// into one OCA run, and a rebuild failure publishes the new graph with
-// the previous cover carried over (the node set is unchanged, so the
-// old cover remains valid) rather than failing reads.
+// By default the node set is fixed for the lifetime of a Worker;
+// Config.MaxNodes lets added edges name new node ids, growing the graph
+// across rebuilds (the sharded router relies on this to materialize
+// ghost copies of boundary nodes on demand). Mutation batches are
+// validated and accepted atomically, rebuilds are debounced so bursts
+// coalesce into one OCA run, and a rebuild failure publishes the new
+// graph with the previous cover carried over (mutations never shrink
+// the node set, so the old cover remains valid) rather than failing
+// reads.
 package refresh
 
 import (
@@ -64,6 +67,10 @@ type Snapshot struct {
 	BuildTime time.Duration
 	// BuiltAt is when this generation was published.
 	BuiltAt time.Time
+	// Aux carries layer-specific immutable metadata attached by a
+	// Config.BuildSnapshot hook (the shard layer stores its local→global
+	// ownership tables here). Nil on the plain single-graph path.
+	Aux any
 }
 
 // NewSnapshot assembles a Snapshot (index, stats, max degree) for the
@@ -100,6 +107,25 @@ type Config struct {
 	Debounce time.Duration
 	// MaxPending caps the queued-mutation backlog. Default 1<<20.
 	MaxPending int
+	// MaxNodes caps how far mutations may grow the node set. When 0 (the
+	// default) the node set is fixed at the initial snapshot's size and
+	// edges naming ids beyond it are rejected; a larger value lets added
+	// edges name new node ids up to it, extending the graph (new nodes
+	// are isolated until an edge names them).
+	MaxNodes int
+	// RederiveCAfter, when positive, re-derives c = -1/λmin from the
+	// then-current graph's spectrum during a rebuild once the cumulative
+	// number of applied mutations since the last derivation exceeds this
+	// fraction of the graph's edge count — so a drifting graph does not
+	// serve a stale startup parameter forever. 0 pins the inherited c
+	// across all rebuilds (the cheap default).
+	RederiveCAfter float64
+	// BuildSnapshot, when set, assembles each rebuild's published
+	// Snapshot in place of NewSnapshot — the shard layer filters
+	// ghost-only communities and attaches ownership metadata (Aux) here.
+	// It must leave Gen zero (the worker assigns it) and may not mutate
+	// its inputs.
+	BuildSnapshot func(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration) *Snapshot
 	// OnSwap, when set, is called from the worker goroutine after each
 	// new generation is published (for logging/metrics).
 	OnSwap func(*Snapshot)
@@ -142,10 +168,16 @@ type Worker struct {
 	pending    []op
 	seq        uint64 // ops ever enqueued
 	appliedSeq uint64 // ops included in (or superseded by) the current snapshot
+	nextN      int    // node count including queued (not yet applied) growth
+	maxNodes   int    // hard ceiling on nextN (initial N when growth is off)
 	rebuilding bool
 	rebuilds   uint64
 	lastErr    error
 	closed     bool
+
+	// opsSinceC counts mutations applied since c was last derived from
+	// the spectrum; touched only by the rebuild goroutine.
+	opsSinceC uint64
 
 	kick    chan struct{} // wakes the loop; cap 1
 	flushCh chan struct{} // skips the debounce wait; cap 1
@@ -173,6 +205,11 @@ func New(initial *Snapshot, cfg Config) *Worker {
 		flushCh: make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	w.nextN = initial.Graph.N()
+	w.maxNodes = cfg.MaxNodes
+	if w.maxNodes < w.nextN {
+		w.maxNodes = w.nextN // growth disabled: the node set stays fixed
 	}
 	w.cond = sync.NewCond(&w.mu)
 	w.cur.Store(initial)
@@ -202,38 +239,64 @@ func (w *Worker) Status() Status {
 	return st
 }
 
+// ValidateBatch validates a mutation batch against a node set of n
+// nodes with growth capped at maxNodes: self loops and negative ids are
+// rejected, added edges may name new ids in [n, maxNodes), and removals
+// may only name ids already present (including ids the batch's own adds
+// grow to). It returns the node count after the batch's growth. The
+// worker and the shard router share it, so both layers accept exactly
+// the same batches — the router's cross-shard atomicity depends on
+// that.
+func ValidateBatch(add, remove [][2]int32, n, maxNodes int) (int, error) {
+	batchN := n
+	for _, e := range add {
+		if e[0] == e[1] {
+			return 0, fmt.Errorf("refresh: edge (%d, %d) is a self loop", e[0], e[1])
+		}
+		if e[0] < 0 || e[1] < 0 || int(e[0]) >= maxNodes || int(e[1]) >= maxNodes {
+			return 0, fmt.Errorf("refresh: edge (%d, %d) out of range [0, %d)", e[0], e[1], maxNodes)
+		}
+		for _, v := range e {
+			if int(v) >= batchN {
+				batchN = int(v) + 1
+			}
+		}
+	}
+	for _, e := range remove {
+		if e[0] == e[1] {
+			return 0, fmt.Errorf("refresh: edge (%d, %d) is a self loop", e[0], e[1])
+		}
+		// Removals never grow: both endpoints must already exist, at
+		// least as pending growth from this or an earlier batch.
+		if e[0] < 0 || e[1] < 0 || int(e[0]) >= batchN || int(e[1]) >= batchN {
+			return 0, fmt.Errorf("refresh: edge (%d, %d) out of range [0, %d)", e[0], e[1], batchN)
+		}
+	}
+	return batchN, nil
+}
+
 // Enqueue validates and queues a batch of edge mutations. The batch is
 // atomic: any invalid edge rejects the whole batch with no effect.
+// Added edges may name node ids beyond the current node set when
+// Config.MaxNodes allows it, growing the graph at the next rebuild;
+// removals may only name nodes that exist (or are pending growth).
 // It returns the generation current at enqueue time — once a later
 // generation is visible, the batch is reflected in it — and the number
 // of operations queued.
 func (w *Worker) Enqueue(add, remove [][2]int32) (gen uint64, queued int, err error) {
 	snap := w.cur.Load()
-	n := snap.Graph.N()
-	validate := func(e [2]int32) error {
-		if e[0] == e[1] {
-			return fmt.Errorf("refresh: edge (%d, %d) is a self loop", e[0], e[1])
-		}
-		if e[0] < 0 || e[1] < 0 || int(e[0]) >= n || int(e[1]) >= n {
-			return fmt.Errorf("refresh: edge (%d, %d) out of range [0, %d)", e[0], e[1], n)
-		}
-		return nil
-	}
-	for _, e := range add {
-		if err := validate(e); err != nil {
-			return snap.Gen, 0, err
-		}
-	}
-	for _, e := range remove {
-		if err := validate(e); err != nil {
-			return snap.Gen, 0, err
-		}
-	}
 
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
 		return snap.Gen, 0, ErrClosed
+	}
+	// Validation runs under the lock so the growth bound (nextN) cannot
+	// move between checking a batch and accepting it.
+	batchN, err := ValidateBatch(add, remove, w.nextN, w.maxNodes)
+	if err != nil {
+		w.mu.Unlock()
+		return snap.Gen, 0, err
 	}
 	total := len(add) + len(remove)
 	if len(w.pending)+total > w.cfg.MaxPending {
@@ -246,6 +309,7 @@ func (w *Worker) Enqueue(add, remove [][2]int32) (gen uint64, queued int, err er
 	for _, e := range remove {
 		w.pending = append(w.pending, op{u: e[0], v: e[1], del: true})
 	}
+	w.nextN = batchN
 	w.seq += uint64(total)
 	gen = w.cur.Load().Gen
 	w.mu.Unlock()
@@ -364,6 +428,7 @@ func (w *Worker) rebuild() {
 	ops := w.pending
 	w.pending = nil
 	taken := w.seq
+	growTo := w.nextN
 	if len(ops) == 0 {
 		w.mu.Unlock()
 		return
@@ -374,9 +439,10 @@ func (w *Worker) rebuild() {
 	old := w.cur.Load()
 	start := time.Now()
 	d := graph.NewDelta(old.Graph)
+	d.GrowTo(growTo)
 	for _, o := range ops {
-		// Validated at Enqueue against the same (fixed) node range, so
-		// errors here are impossible; Delta re-checks defensively.
+		// Validated at Enqueue against the same node range, so errors
+		// here are impossible; Delta re-checks defensively.
 		if o.del {
 			_ = d.RemoveEdge(o.u, o.v)
 		} else {
@@ -392,8 +458,26 @@ func (w *Worker) rebuild() {
 		return
 	}
 
+	buildSnap := w.cfg.BuildSnapshot
+	if buildSnap == nil {
+		buildSnap = NewSnapshot
+	}
 	opt := w.cfg.OCA
-	if opt.C == 0 && old.C > 0 {
+	w.opsSinceC += uint64(len(ops))
+	rederive := w.cfg.RederiveCAfter > 0 && ng.M() > 0 &&
+		float64(w.opsSinceC) >= w.cfg.RederiveCAfter*float64(ng.M())
+	switch {
+	case rederive:
+		// Enough of the graph has churned that the startup-era spectrum
+		// may no longer describe it: let this run re-derive c = -1/λmin
+		// from the current graph instead of reusing the active value.
+		opt.C = 0
+	case w.cfg.RederiveCAfter > 0 && old.C > 0:
+		// Drift tracking enabled: between re-derivations, follow the
+		// previous generation's active c (the latest derivation), not
+		// the startup-era configured value it may have replaced.
+		opt.C = old.C
+	case opt.C == 0 && old.C > 0:
 		// An unpinned c resolves from the spectrum once (the first
 		// rebuild, or the initial snapshot) and is reused afterwards:
 		// re-deriving it per mutation batch would dominate refresh cost.
@@ -406,11 +490,15 @@ func (w *Worker) rebuild() {
 	var snap *Snapshot
 	if err != nil {
 		// Publish the new graph with the previous cover carried over:
-		// the node set is unchanged, so the old communities are still a
-		// valid (if stale) cover, and readers keep getting answers.
-		snap = NewSnapshot(ng, old.Cover, nil, old.C, time.Since(start))
+		// mutations never shrink the node set, so the old communities
+		// are still a valid (if stale) cover, and readers keep getting
+		// answers.
+		snap = buildSnap(ng, old.Cover, nil, old.C, time.Since(start))
 	} else {
-		snap = NewSnapshot(ng, res.Cover, res, res.C, time.Since(start))
+		if rederive {
+			w.opsSinceC = 0
+		}
+		snap = buildSnap(ng, res.Cover, res, res.C, time.Since(start))
 	}
 	snap.Gen = old.Gen + 1
 	w.cur.Store(snap)

@@ -1,10 +1,12 @@
 package server
 
 // The live-serving endpoints: graph mutation intake, batch membership
-// lookup and streaming bulk export. All three answer from exactly one
-// refresh.Snapshot per request, so their responses are internally
-// consistent with a single generation even while a rebuild swaps the
-// served state underneath them.
+// lookup and streaming bulk export. All three resolve through the
+// SnapshotProvider seam and answer from exactly one view per shard per
+// request, so their responses are internally consistent with a single
+// generation per shard even while rebuilds swap the served state
+// underneath them. On sharded servers every response carries the
+// (shard, generation) vector so clients can detect a lagging shard.
 
 import (
 	"bufio"
@@ -14,11 +16,14 @@ import (
 	"time"
 
 	"repro/internal/refresh"
+	"repro/internal/shard"
 )
 
 // EdgesRequest is the /v1/edges body: edge endpoints are [u, v] pairs
-// of existing node ids. The batch is atomic — one invalid edge rejects
-// the whole request and queues nothing.
+// of node ids. The batch is validated atomically — one invalid edge
+// rejects the whole request and queues nothing. When the server allows
+// node growth (MaxNodes), added edges may name ids beyond the current
+// node set, extending the graph.
 type EdgesRequest struct {
 	Add    [][2]int32 `json:"add,omitempty"`
 	Remove [][2]int32 `json:"remove,omitempty"`
@@ -34,10 +39,14 @@ type EdgesResponse struct {
 	Queued int `json:"queued"`
 	// Generation: with wait, the generation that includes the batch;
 	// without, the generation current at enqueue time (any strictly
-	// larger generation includes the batch).
+	// larger generation includes the batch). On sharded servers this is
+	// the highest shard generation; Shards has the full vector.
 	Generation uint64 `json:"generation"`
 	// Applied reports whether the batch is already reflected (wait).
 	Applied bool `json:"applied"`
+	// Shards (sharded servers only) is the per-shard generation vector
+	// at enqueue (or, with wait, apply) time.
+	Shards shard.GenVector `json:"shards,omitempty"`
 }
 
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
@@ -57,13 +66,8 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "edges request must add or remove at least one edge")
 		return
 	}
-	// Mutating a lazy server materializes the first cover: there must be
-	// a generation 1 for the rebuild to start from.
-	if err := s.ensureCover(); err != nil {
-		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
-		return
-	}
-	gen, queued, err := s.worker.Enqueue(req.Add, req.Remove)
+	vec, queued, touched, err := s.sp.Enqueue(req.Add, req.Remove)
+	var buildErr coverBuildError
 	switch {
 	case errors.Is(err, refresh.ErrBacklogFull):
 		writeError(w, http.StatusServiceUnavailable, "refresh backlog full, retry later")
@@ -71,15 +75,18 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, refresh.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
+	case errors.As(err, &buildErr):
+		writeError(w, http.StatusInternalServerError, "building cover: %v", buildErr.err)
+		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if !req.Wait {
-		writeJSON(w, http.StatusAccepted, EdgesResponse{Queued: queued, Generation: gen})
+		writeJSON(w, http.StatusAccepted, s.edgesResponse(queued, vec, false))
 		return
 	}
-	snap, err := s.worker.Flush(r.Context())
+	vec, err = s.sp.Flush(r.Context(), touched)
 	if err != nil {
 		if errors.Is(err, refresh.ErrClosed) {
 			writeError(w, http.StatusServiceUnavailable, "server shutting down")
@@ -90,7 +97,15 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "queued but not yet applied: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EdgesResponse{Queued: queued, Generation: snap.Gen, Applied: true})
+	writeJSON(w, http.StatusOK, s.edgesResponse(queued, vec, true))
+}
+
+func (s *Server) edgesResponse(queued int, vec shard.GenVector, applied bool) EdgesResponse {
+	resp := EdgesResponse{Queued: queued, Generation: vec.Max(), Applied: applied}
+	if s.sharded() {
+		resp.Shards = vec
+	}
+	return resp
 }
 
 // BatchCommunitiesRequest is the POST /v1/nodes/communities body.
@@ -116,16 +131,27 @@ type batchResult struct {
 }
 
 // batchCommunitiesResponse is the POST /v1/nodes/communities body. All
-// results come from one snapshot: answers for duplicate ids are
-// identical and cross-id comparisons are generation-consistent.
+// results come from one view per shard: answers for duplicate ids are
+// identical and cross-id comparisons are generation-consistent per
+// shard; the Shards vector exposes each shard's generation so clients
+// can detect a lagging shard.
 type batchCommunitiesResponse struct {
 	Generation uint64        `json:"generation"`
 	Count      int           `json:"count"`
 	Clamped    bool          `json:"clamped,omitempty"`
 	Results    []batchResult `json:"results"`
-	// Shared (present only when requested) lists the communities
-	// containing every requested node.
+	// Shared (present only when requested, unsharded servers) lists the
+	// communities containing every requested node.
 	Shared *[]int32 `json:"shared,omitempty"`
+	// SharedRefs (present whenever requested on sharded servers, even
+	// when empty) lists shard-scoped communities containing every
+	// requested node — a boundary community can hold all the ids even
+	// when they live on different shards, because halos include ghost
+	// members.
+	SharedRefs *[]communityRef `json:"shared_refs,omitempty"`
+	// Shards (sharded servers only) is the per-shard generation vector
+	// this batch was answered from.
+	Shards shard.GenVector `json:"shards,omitempty"`
 }
 
 func (s *Server) handleBatchCommunities(w http.ResponseWriter, r *http.Request) {
@@ -145,7 +171,9 @@ func (s *Server) handleBatchCommunities(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "ids must name at least one node")
 		return
 	}
-	snap, err := s.snapshot()
+	// One view per shard for the whole batch: the fan-out happens here,
+	// and every id is answered from its owning shard's view.
+	views, err := s.sp.Views()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
 		return
@@ -157,32 +185,72 @@ func (s *Server) handleBatchCommunities(w http.ResponseWriter, r *http.Request) 
 		clamped = true
 	}
 	resp := batchCommunitiesResponse{
-		Generation: snap.Gen,
-		Count:      len(ids),
-		Clamped:    clamped,
-		Results:    make([]batchResult, len(ids)),
+		Count:   len(ids),
+		Clamped: clamped,
+		Results: make([]batchResult, len(ids)),
 	}
-	n := snap.Graph.N()
+	if s.sharded() {
+		resp.Shards = make(shard.GenVector, len(views))
+		for i, v := range views {
+			resp.Shards[i] = shard.ShardGen{Shard: v.Shard, Gen: v.Snap.Gen}
+		}
+		resp.Generation = resp.Shards.Max()
+	} else {
+		resp.Generation = views[0].Snap.Gen
+	}
 	for i, v := range ids {
-		if v < 0 || int(v) >= n {
+		if v < 0 {
 			resp.Results[i] = batchResult{Node: v, Error: "node out of range"}
 			continue
 		}
-		cis := snap.Index.Communities(v)
+		view := views[s.sp.ShardOf(v)]
+		local, ok := view.Local(v)
+		if !ok {
+			resp.Results[i] = batchResult{Node: v, Error: "node out of range"}
+			continue
+		}
+		cis := view.Snap.Index.Communities(local)
 		res := batchResult{Node: v, Count: len(cis), Communities: make([]communityRef, len(cis))}
 		for j, ci := range cis {
-			res.Communities[j] = communityRefFor(snap, ci, req.Members)
+			res.Communities[j] = communityRefFor(view, ci, req.Members)
 		}
 		resp.Results[i] = res
 	}
 	if req.Shared {
-		shared := snap.Index.Common(ids)
+		s.fillShared(&resp, views, ids)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fillShared answers the "which groups do all these people share?"
+// option. Unsharded, it is one index intersection. Sharded, each shard
+// intersects over its own (owned + ghost) membership — ids unknown to a
+// shard empty that shard's intersection — and the union of surviving
+// shard-scoped communities is reported.
+func (s *Server) fillShared(resp *batchCommunitiesResponse, views []shard.View, ids []int32) {
+	if !s.sharded() {
+		shared := views[0].Snap.Index.Common(ids)
 		if shared == nil {
 			shared = []int32{}
 		}
 		resp.Shared = &shared
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	refs := []communityRef{}
+	locals := make([]int32, len(ids))
+	for _, view := range views {
+		for i, v := range ids {
+			if l, ok := view.Local(v); ok {
+				locals[i] = l
+			} else {
+				locals[i] = -1 // unknown here: intersection is empty
+			}
+		}
+		for _, ci := range view.Snap.Index.Common(locals) {
+			refs = append(refs, communityRefFor(view, ci, false))
+		}
+	}
+	resp.SharedRefs = &refs
 }
 
 // exportMeta is the first NDJSON line of /v1/cover/export.
@@ -191,11 +259,16 @@ type exportMeta struct {
 	Nodes       int    `json:"nodes"`
 	Edges       int64  `json:"edges"`
 	Communities int    `json:"communities"`
+	// Shards (sharded servers only) is the per-shard generation vector
+	// the export streams from.
+	Shards shard.GenVector `json:"shards,omitempty"`
 }
 
-// exportCommunity is one community line of /v1/cover/export.
+// exportCommunity is one community line of /v1/cover/export. Members
+// are always global node ids; Shard scopes the id on sharded servers.
 type exportCommunity struct {
 	ID      int32   `json:"id"`
+	Shard   *int    `json:"shard,omitempty"`
 	Size    int     `json:"size"`
 	Members []int32 `json:"members"`
 }
@@ -207,15 +280,36 @@ type exportCommunity struct {
 const exportFlushEvery = 256
 
 // handleExport streams the whole served cover as NDJSON: one meta line
-// (generation, dimensions), then one line per community. The snapshot
-// is loaded once, so the export is a consistent view of exactly one
-// generation even while rebuilds publish newer ones mid-stream. Mounted
-// outside the TimeoutHandler, which would buffer the entire body.
+// (generation, dimensions), then one line per community, shard by shard
+// on sharded servers. Views are loaded once, so the export is a
+// consistent view of exactly one generation per shard even while
+// rebuilds publish newer ones mid-stream. Mounted outside the
+// TimeoutHandler, which would buffer the entire body.
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.snapshot()
+	views, err := s.sp.Views()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
 		return
+	}
+	meta := exportMeta{}
+	if s.sharded() {
+		meta.Shards = make(shard.GenVector, len(views))
+		for i, v := range views {
+			meta.Shards[i] = shard.ShardGen{Shard: v.Shard, Gen: v.Snap.Gen}
+			m := v.Meta()
+			meta.Nodes += m.OwnedNodes
+			meta.Edges += m.OwnedEdges
+			meta.Communities += v.Snap.Cover.Len()
+		}
+		meta.Generation = meta.Shards.Max()
+	} else {
+		snap := views[0].Snap
+		meta = exportMeta{
+			Generation:  snap.Gen,
+			Nodes:       snap.Graph.N(),
+			Edges:       snap.Graph.M(),
+			Communities: snap.Cover.Len(),
+		}
 	}
 	// Clear the connection's write deadline: the export is mounted
 	// outside the TimeoutHandler to stream arbitrarily large covers, and
@@ -226,26 +320,30 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriterSize(w, 64<<10)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(exportMeta{
-		Generation:  snap.Gen,
-		Nodes:       snap.Graph.N(),
-		Edges:       snap.Graph.M(),
-		Communities: snap.Cover.Len(),
-	}); err != nil {
+	if err := enc.Encode(meta); err != nil {
 		return
 	}
 	flusher, _ := w.(http.Flusher)
-	for i, c := range snap.Cover.Communities {
-		if i%exportFlushEvery == 0 && i > 0 {
-			if bw.Flush() != nil || r.Context().Err() != nil {
-				return // client gone; stop encoding
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
+	written := 0
+	for _, view := range views {
+		var shardPtr *int
+		if view.Sharded() {
+			sh := view.Shard
+			shardPtr = &sh
 		}
-		if err := enc.Encode(exportCommunity{ID: int32(i), Size: len(c), Members: c}); err != nil {
-			return
+		for i, c := range view.Snap.Cover.Communities {
+			if written%exportFlushEvery == 0 && written > 0 {
+				if bw.Flush() != nil || r.Context().Err() != nil {
+					return // client gone; stop encoding
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			if err := enc.Encode(exportCommunity{ID: int32(i), Shard: shardPtr, Size: len(c), Members: view.Members(c)}); err != nil {
+				return
+			}
+			written++
 		}
 	}
 	_ = bw.Flush()

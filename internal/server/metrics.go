@@ -1,0 +1,186 @@
+package server
+
+// Per-endpoint request metrics: a lock-free count + latency histogram
+// per route, recorded by a middleware around every handler, served in
+// full at GET /debug/metrics and summarized in /healthz. Everything is
+// plain atomics — no external metrics dependency — so the hot path
+// costs two atomic adds per request.
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsMillis are the histogram bucket upper bounds; one
+// implicit +Inf bucket follows. Log-ish spacing from sub-millisecond
+// index lookups to multi-second OCA-blocked waits.
+var latencyBoundsMillis = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// routeStats accumulates one route's counters. All fields are atomics;
+// reads may tear across fields (a count observed without its latency),
+// which is fine for monitoring.
+type routeStats struct {
+	count     atomic.Uint64
+	errors    atomic.Uint64 // 5xx responses
+	sumMicros atomic.Uint64
+	buckets   []atomic.Uint64 // len(latencyBoundsMillis)+1; last is +Inf
+}
+
+func newRouteStats() *routeStats {
+	return &routeStats{buckets: make([]atomic.Uint64, len(latencyBoundsMillis)+1)}
+}
+
+func (rs *routeStats) observe(d time.Duration, status int) {
+	rs.count.Add(1)
+	if status >= 500 {
+		rs.errors.Add(1)
+	}
+	rs.sumMicros.Add(uint64(d.Microseconds()))
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBoundsMillis) && ms > latencyBoundsMillis[i] {
+		i++
+	}
+	rs.buckets[i].Add(1)
+}
+
+// httpMetrics is the fixed per-route registry. Routes are registered at
+// Handler construction, so serving needs no lock at all.
+type httpMetrics struct {
+	names []string
+	stats map[string]*routeStats
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{stats: make(map[string]*routeStats)}
+}
+
+// instrument registers a route and wraps its handler with latency and
+// status recording. Registration is idempotent: a route name seen
+// before reuses its counters, so building Handler() more than once
+// (two listeners over one Server) keeps one set of stats per route.
+// Like Handler itself, it is for setup time, not concurrent use.
+func (m *httpMetrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	rs, ok := m.stats[name]
+	if !ok {
+		rs = newRouteStats()
+		m.names = append(m.names, name)
+		m.stats[name] = rs
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		h(sr, r)
+		status := sr.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		rs.observe(time.Since(start), status)
+	}
+}
+
+// statusRecorder captures the response status while passing Flush and
+// ResponseController unwrapping through to the underlying writer (the
+// streaming export depends on both).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// routeMetrics is one route's entry in the /debug/metrics body.
+type routeMetrics struct {
+	Count      uint64  `json:"count"`
+	Errors     uint64  `json:"errors"`
+	MeanMillis float64 `json:"mean_millis"`
+	// Buckets holds per-bucket (non-cumulative) counts aligned with the
+	// top-level bounds_millis array; the final entry is the +Inf bucket.
+	Buckets []uint64 `json:"buckets"`
+}
+
+// metricsResponse is the GET /debug/metrics body.
+type metricsResponse struct {
+	BoundsMillis []float64               `json:"bounds_millis"`
+	Routes       map[string]routeMetrics `json:"routes"`
+}
+
+func (m *httpMetrics) handleDebug(w http.ResponseWriter, _ *http.Request) {
+	resp := metricsResponse{
+		BoundsMillis: latencyBoundsMillis,
+		Routes:       make(map[string]routeMetrics, len(m.names)),
+	}
+	for _, name := range m.names {
+		rs := m.stats[name]
+		rm := routeMetrics{
+			Count:   rs.count.Load(),
+			Errors:  rs.errors.Load(),
+			Buckets: make([]uint64, len(rs.buckets)),
+		}
+		if rm.Count > 0 {
+			rm.MeanMillis = float64(rs.sumMicros.Load()) / float64(rm.Count) / 1000
+		}
+		for i := range rs.buckets {
+			rm.Buckets[i] = rs.buckets[i].Load()
+		}
+		resp.Routes[name] = rm
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// routeSummary is one route's compact entry in the /healthz summary.
+type routeSummary struct {
+	Count      uint64  `json:"count"`
+	Errors     uint64  `json:"errors,omitempty"`
+	MeanMillis float64 `json:"mean_millis"`
+}
+
+// requestsSummary is the /healthz "requests" object: total traffic plus
+// per-route counts and mean latency for every route that has seen at
+// least one request (the full histograms live at /debug/metrics).
+type requestsSummary struct {
+	Total  uint64                  `json:"total"`
+	Routes map[string]routeSummary `json:"routes,omitempty"`
+}
+
+func (m *httpMetrics) summary() *requestsSummary {
+	out := &requestsSummary{}
+	for _, name := range m.names {
+		rs := m.stats[name]
+		c := rs.count.Load()
+		if c == 0 {
+			continue
+		}
+		out.Total += c
+		if out.Routes == nil {
+			out.Routes = make(map[string]routeSummary)
+		}
+		out.Routes[name] = routeSummary{
+			Count:      c,
+			Errors:     rs.errors.Load(),
+			MeanMillis: float64(rs.sumMicros.Load()) / float64(c) / 1000,
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRouteStatsObserve(t *testing.T) {
+	rs := newRouteStats()
+	rs.observe(500*time.Microsecond, 200) // bucket 0 (≤ 1ms)
+	rs.observe(3*time.Millisecond, 200)   // bucket 2 (≤ 5ms)
+	rs.observe(time.Minute, 503)          // +Inf bucket, error
+	if got := rs.count.Load(); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	if got := rs.errors.Load(); got != 1 {
+		t.Errorf("errors = %d, want 1", got)
+	}
+	for i, want := range map[int]uint64{0: 1, 2: 1, len(rs.buckets) - 1: 1} {
+		if got := rs.buckets[i].Load(); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestInstrumentRecordsStatusAndSummary(t *testing.T) {
+	m := newHTTPMetrics()
+	h := m.instrument("GET /x", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	ok := m.instrument("GET /y", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("implicit 200"))
+	})
+	for i := 0; i < 3; i++ {
+		h(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/x", nil))
+	}
+	ok(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/y", nil))
+
+	sum := m.summary()
+	if sum.Total != 4 {
+		t.Errorf("summary total = %d, want 4", sum.Total)
+	}
+	if rx := sum.Routes["GET /x"]; rx.Count != 3 || rx.Errors != 3 {
+		t.Errorf("route x summary = %+v, want 3 requests, 3 errors", rx)
+	}
+	if ry := sum.Routes["GET /y"]; ry.Count != 1 || ry.Errors != 0 {
+		t.Errorf("route y summary = %+v, want 1 request, 0 errors", ry)
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+// SnapshotProvider is the seam between the HTTP handlers and where the
+// served state lives. Every handler resolves its snapshot(s) through
+// this interface, so the same handler code serves both topologies:
+//
+//   - the single-graph path (singleProvider): one refresh.Worker, one
+//     snapshot per request, identity id translation — exactly PR 2's
+//     behavior, byte-for-byte, including lazy cover builds;
+//   - the sharded path (shard.Router): K partitioned workers, one view
+//     per shard per request, global↔local id translation, and a
+//     (shard, generation) vector quoted in responses.
+//
+// A later multi-process deployment slots in as a third implementation
+// whose Views/Enqueue go over the wire; the handlers don't change.
+
+import (
+	"context"
+
+	"repro/internal/shard"
+)
+
+// SnapshotProvider abstracts the source of served snapshots. All
+// methods are safe for concurrent use.
+type SnapshotProvider interface {
+	// NumShards returns the partition width (1 on the single path).
+	NumShards() int
+	// Ready reports whether a first generation exists without forcing a
+	// lazy build (observability endpoints must never block on OCA).
+	Ready() bool
+	// Views returns one immutable view per shard, building the first
+	// generation if necessary. Handlers must answer a whole request
+	// from one call's result.
+	Views() ([]shard.View, error)
+	// ViewFor resolves a global node id to its owning shard's view and
+	// local id. ok is false for ids not materialized in the published
+	// generation; err reports a failed (lazy) cover build.
+	ViewFor(global int32) (view shard.View, local int32, ok bool, err error)
+	// ShardOf returns the shard owning a non-negative global node id —
+	// the index into Views() a batch handler fans that id out to. The
+	// topology (modulo-K today, rebalanced ranges tomorrow) stays the
+	// provider's business.
+	ShardOf(global int32) int
+	// NodeBound is the exclusive upper bound on currently valid global
+	// node ids, for error messages. It never forces a lazy build.
+	NodeBound() int
+	// Enqueue validates and queues a batch of global edge mutations,
+	// returning each shard's generation at enqueue time, the number of
+	// accepted operations, and the shards that received work (what a
+	// waiting client passes to Flush).
+	Enqueue(add, remove [][2]int32) (vec shard.GenVector, queued int, touched []int, err error)
+	// Flush blocks until the listed shards (all when nil) have
+	// reflected their previously enqueued mutations, returning the full
+	// generation vector — waiting on only the touched shards keeps one
+	// client's wait=true independent of another shard's deep backlog.
+	Flush(ctx context.Context, shards []int) (shard.GenVector, error)
+	// Statuses returns every shard's worker status without blocking.
+	// Nil until Ready.
+	Statuses() []shard.WorkerStatus
+	// Close stops background rebuild workers; reads keep serving.
+	Close()
+}
+
+// singleProvider adapts the Server's original single-worker machinery
+// (lazy cover build, preloaded covers, spectral c derivation) to the
+// SnapshotProvider seam with zero behavior change.
+type singleProvider struct {
+	s *Server
+}
+
+func (p singleProvider) NumShards() int { return 1 }
+
+func (p singleProvider) Ready() bool { return p.s.coverReady.Load() }
+
+func (p singleProvider) Views() ([]shard.View, error) {
+	snap, err := p.s.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return []shard.View{shard.SingleView(snap)}, nil
+}
+
+func (p singleProvider) ViewFor(global int32) (shard.View, int32, bool, error) {
+	if global < 0 {
+		return shard.View{}, 0, false, nil
+	}
+	if int(global) >= p.s.g.N() {
+		// Beyond the construction-time node set. Growth can only have
+		// happened through Enqueue (which builds the first cover), so an
+		// unready cover — or an id past the growth cap — means a cheap
+		// 404 without forcing a lazy OCA run.
+		if int(global) >= p.s.cfg.MaxNodes || !p.s.coverReady.Load() {
+			return shard.View{}, 0, false, nil
+		}
+	}
+	snap, err := p.s.snapshot()
+	if err != nil {
+		return shard.View{}, 0, false, err
+	}
+	view := shard.SingleView(snap)
+	local, ok := view.Local(global)
+	return view, local, ok, nil
+}
+
+func (p singleProvider) ShardOf(int32) int { return 0 }
+
+func (p singleProvider) NodeBound() int {
+	if p.s.coverReady.Load() {
+		return p.s.worker.Snapshot().Graph.N()
+	}
+	return p.s.g.N()
+}
+
+// coverBuildError marks a failed (lazy) cover build inside Enqueue so
+// handleEdges can answer 500 instead of treating it as a 400 validation
+// failure.
+type coverBuildError struct{ err error }
+
+func (e coverBuildError) Error() string { return e.err.Error() }
+func (e coverBuildError) Unwrap() error { return e.err }
+
+func (p singleProvider) Enqueue(add, remove [][2]int32) (shard.GenVector, int, []int, error) {
+	// Mutating a lazy server materializes the first cover: there must
+	// be a generation 1 for the rebuild to start from.
+	if err := p.s.ensureCover(); err != nil {
+		return nil, 0, nil, coverBuildError{err}
+	}
+	gen, queued, err := p.s.worker.Enqueue(add, remove)
+	return shard.GenVector{{Shard: 0, Gen: gen}}, queued, []int{0}, err
+}
+
+func (p singleProvider) Flush(ctx context.Context, _ []int) (shard.GenVector, error) {
+	snap, err := p.s.worker.Flush(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return shard.GenVector{{Shard: 0, Gen: snap.Gen}}, nil
+}
+
+func (p singleProvider) Statuses() []shard.WorkerStatus {
+	if !p.s.coverReady.Load() {
+		return nil
+	}
+	return []shard.WorkerStatus{{
+		Shard:  0,
+		C:      p.s.worker.Snapshot().C,
+		Status: p.s.worker.Status(),
+	}}
+}
+
+func (p singleProvider) Close() {} // Server.Close owns worker shutdown

@@ -43,6 +43,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/refresh"
 	"repro/internal/search"
+	"repro/internal/shard"
 	"repro/internal/spectral"
 )
 
@@ -78,6 +79,21 @@ type Config struct {
 	// DisableWarmStart forces cold OCA re-runs on refresh instead of
 	// carrying communities untouched by the mutations.
 	DisableWarmStart bool
+	// Shards partitions the graph and cover across K node-disjoint
+	// shards behind a fan-out router (modulo-K node assignment, ghost
+	// halos for boundary neighborhoods, one refresh worker per shard).
+	// Values below 2 serve the original single-snapshot path. Sharding
+	// is incompatible with Lazy and with precomputed covers.
+	Shards int
+	// MaxNodes, when larger than the graph, lets POST /v1/edges grow
+	// the node set: an added edge naming an id in [N, MaxNodes) extends
+	// the graph at the next rebuild. 0 keeps the node set fixed.
+	MaxNodes int
+	// RederiveCAfter re-derives c = -1/λmin during a rebuild once the
+	// cumulative applied mutations exceed this fraction of the graph's
+	// edges (per shard when sharded). 0 pins the startup value. Ignored
+	// when OCA.C pins c explicitly.
+	RederiveCAfter float64
 }
 
 // Server answers community-search queries over one evolving graph.
@@ -89,8 +105,13 @@ type Server struct {
 	maxDeg  int
 	stepCap int // ceiling on per-request search step budgets
 
-	pool    chan *search.State // reusable per-search buffers (nil until first use)
-	streams atomic.Int64       // rng stream counter for unseeded searches
+	// pool bounds in-flight searches at SearchWorkers; each slot keeps
+	// one reusable state per shard, so interleaved searches across
+	// shards don't thrash the O(n)-to-build buffers (slots start nil
+	// and are allocated on first use).
+	pool      chan []*search.State
+	poolWidth int          // states per slot: one per shard
+	streams   atomic.Int64 // rng stream counter for unseeded searches
 
 	cOnce  sync.Once
 	cErr   error
@@ -104,13 +125,23 @@ type Server struct {
 	preloaded  bool
 	preCv      *cover.Cover
 
+	// sp is the seam every handler resolves snapshots through; router
+	// is non-nil only on the sharded path.
+	sp      SnapshotProvider
+	router  *shard.Router
+	metrics *httpMetrics
+
 	closeMu sync.Mutex
 	closed  bool
 }
 
 // New returns a Server that obtains its cover by running OCA on g —
-// at construction unless cfg.Lazy is set.
+// at construction unless cfg.Lazy is set. With cfg.Shards > 1 the
+// graph is partitioned and every shard's cover is built eagerly.
 func New(g *graph.Graph, cfg Config) (*Server, error) {
+	if cfg.Shards > 1 {
+		return newSharded(g, cfg)
+	}
 	s := newServer(g, cfg)
 	if cfg.OCA.C != 0 {
 		// Validate an explicit c up front even when lazy — it's free,
@@ -128,6 +159,39 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// newSharded builds the fan-out topology: a shard.Router owning one
+// refresh worker per shard, with the Server reduced to the HTTP layer
+// in front of it.
+func newSharded(g *graph.Graph, cfg Config) (*Server, error) {
+	if cfg.Lazy {
+		return nil, fmt.Errorf("server: lazy cover builds are not supported with %d shards", cfg.Shards)
+	}
+	s := newServer(g, cfg)
+	rcfg := shard.Config{
+		OCA:              cfg.OCA,
+		DisableWarmStart: cfg.DisableWarmStart,
+		Debounce:         cfg.RefreshDebounce,
+		MaxPending:       cfg.MaxPendingMutations,
+		MaxNodes:         cfg.MaxNodes,
+		RederiveCAfter:   cfg.RederiveCAfter,
+	}
+	if cfg.OCA.C != 0 {
+		// An explicitly pinned c is never re-derived behind the
+		// operator's back.
+		rcfg.RederiveCAfter = 0
+	}
+	rt, err := shard.NewRouter(g, cfg.Shards, rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: building shard router: %w", err)
+	}
+	s.router = rt
+	s.sp = rt
+	return s, nil
+}
+
+// sharded reports whether this server fronts a shard router.
+func (s *Server) sharded() bool { return s.router != nil }
+
 // NewWithCover returns a Server that serves a precomputed cover (for
 // example one loaded from an oca-run output file) instead of running
 // OCA itself. The inner-product parameter for /v1/search is still
@@ -137,6 +201,9 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 // /v1/edges re-run OCA, replacing the preloaded cover from the second
 // generation on.
 func NewWithCover(g *graph.Graph, cv *cover.Cover, cfg Config) (*Server, error) {
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("server: precomputed covers are not supported with %d shards (partitioning a cover loses boundary context)", cfg.Shards)
+	}
 	s := newServer(g, cfg)
 	s.preloaded = true
 	s.preCv = cv
@@ -187,10 +254,16 @@ func newServer(g *graph.Graph, cfg Config) *Server {
 	// Pool slots start nil; states are allocated on first checkout so a
 	// lookup-only deployment never pays for SearchWorkers × O(maxDegree)
 	// queue buffers.
-	s.pool = make(chan *search.State, cfg.SearchWorkers)
+	s.poolWidth = cfg.Shards
+	if s.poolWidth < 1 {
+		s.poolWidth = 1
+	}
+	s.pool = make(chan []*search.State, cfg.SearchWorkers)
 	for i := 0; i < cfg.SearchWorkers; i++ {
 		s.pool <- nil
 	}
+	s.sp = singleProvider{s}
+	s.metrics = newHTTPMetrics()
 	return s
 }
 
@@ -267,11 +340,19 @@ func (s *Server) ensureCover() error {
 			// derives it from the then-current graph.
 			opt.C = s.c
 		}
+		rederive := s.cfg.RederiveCAfter
+		if s.cfg.OCA.C != 0 {
+			// An explicitly pinned c is never re-derived behind the
+			// operator's back.
+			rederive = 0
+		}
 		w := refresh.New(snap, refresh.Config{
 			OCA:              opt,
 			DisableWarmStart: s.cfg.DisableWarmStart,
 			Debounce:         s.cfg.RefreshDebounce,
 			MaxPending:       s.cfg.MaxPendingMutations,
+			MaxNodes:         s.cfg.MaxNodes,
+			RederiveCAfter:   rederive,
 		})
 		s.closeMu.Lock()
 		s.worker = w
@@ -297,7 +378,7 @@ func (s *Server) snapshot() (*refresh.Snapshot, error) {
 	return s.worker.Snapshot(), nil
 }
 
-// Close stops the background refresh worker and drops queued
+// Close stops the background refresh worker(s) and drops queued
 // mutations. Read endpoints keep serving the last published snapshot;
 // /v1/edges fails afterwards. Safe to call multiple times.
 func (s *Server) Close() {
@@ -307,6 +388,9 @@ func (s *Server) Close() {
 	s.closeMu.Unlock()
 	if w != nil {
 		w.Close()
+	}
+	if s.router != nil {
+		s.router.Close()
 	}
 }
 
@@ -319,8 +403,13 @@ func (s *Server) C() (float64, error) {
 }
 
 // Cover returns the currently served cover, forcing a lazy build if
-// necessary. The returned cover must not be mutated.
+// necessary. The returned cover must not be mutated. On a sharded
+// server there is no single global cover — use Views via the HTTP API
+// instead — so Cover returns an error.
 func (s *Server) Cover() (*cover.Cover, error) {
+	if s.sharded() {
+		return nil, fmt.Errorf("server: no single cover with %d shards; covers are per shard", s.router.NumShards())
+	}
 	snap, err := s.snapshot()
 	if err != nil {
 		return nil, err
@@ -329,8 +418,18 @@ func (s *Server) Cover() (*cover.Cover, error) {
 }
 
 // Generation returns the currently served snapshot generation (0 until
-// the first cover is built).
+// the first cover is built; the highest shard generation when sharded).
 func (s *Server) Generation() uint64 {
+	if s.sharded() {
+		views, _ := s.router.Views()
+		var max uint64
+		for _, v := range views {
+			if v.Snap.Gen > max {
+				max = v.Snap.Gen
+			}
+		}
+		return max
+	}
 	if !s.coverReady.Load() {
 		return 0
 	}
@@ -338,21 +437,22 @@ func (s *Server) Generation() uint64 {
 }
 
 // Handler returns the service's http.Handler: all routes wrapped with
-// the per-request deadline, except the NDJSON export, which streams
-// (http.TimeoutHandler buffers whole responses, so it would turn the
-// export into a giant in-memory blob and defeat mid-stream
-// backpressure).
+// per-endpoint request metrics and the per-request deadline, except
+// the NDJSON export, which streams (http.TimeoutHandler buffers whole
+// responses, so it would turn the export into a giant in-memory blob
+// and defeat mid-stream backpressure).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/cover/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/node/{id}/communities", s.handleNodeCommunities)
-	mux.HandleFunc("POST /v1/nodes/communities", s.handleBatchCommunities)
-	mux.HandleFunc("POST /v1/search", s.handleSearch)
-	mux.HandleFunc("POST /v1/edges", s.handleEdges)
+	mux.HandleFunc("GET /healthz", s.metrics.instrument("GET /healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/cover/stats", s.metrics.instrument("GET /v1/cover/stats", s.handleStats))
+	mux.HandleFunc("GET /v1/node/{id}/communities", s.metrics.instrument("GET /v1/node/{id}/communities", s.handleNodeCommunities))
+	mux.HandleFunc("POST /v1/nodes/communities", s.metrics.instrument("POST /v1/nodes/communities", s.handleBatchCommunities))
+	mux.HandleFunc("POST /v1/search", s.metrics.instrument("POST /v1/search", s.handleSearch))
+	mux.HandleFunc("POST /v1/edges", s.metrics.instrument("POST /v1/edges", s.handleEdges))
+	mux.HandleFunc("GET /debug/metrics", s.metrics.handleDebug)
 	th := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	root := http.NewServeMux()
-	root.HandleFunc("GET /v1/cover/export", s.handleExport)
+	root.HandleFunc("GET /v1/cover/export", s.metrics.instrument("GET /v1/cover/export", s.handleExport))
 	root.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// TimeoutHandler writes its timeout body with no Content-Type;
 		// pre-setting it here keeps error responses uniformly JSON (the
@@ -396,14 +496,40 @@ type healthzResponse struct {
 	// LastRebuildMillis is the build duration of the served generation.
 	LastRebuildMillis int64  `json:"last_rebuild_millis"`
 	LastRefreshError  string `json:"last_refresh_error,omitempty"`
+	// Shards (sharded servers only) is the per-shard state vector.
+	Shards []healthShard `json:"shards,omitempty"`
+	// Requests summarizes per-endpoint traffic (full histograms at
+	// GET /debug/metrics).
+	Requests *requestsSummary `json:"requests,omitempty"`
+}
+
+// healthShard is one shard's entry in the /healthz vector. Nodes and
+// Edges count what the shard owns (ghost halos excluded), so they sum
+// to the global dimensions.
+type healthShard struct {
+	Shard             int     `json:"shard"`
+	Generation        uint64  `json:"generation"`
+	Nodes             int     `json:"nodes"`
+	Edges             int64   `json:"edges"`
+	C                 float64 `json:"c,omitempty"`
+	PendingMutations  int     `json:"pending_mutations"`
+	Rebuilding        bool    `json:"rebuilding"`
+	SnapshotAgeMillis int64   `json:"snapshot_age_millis"`
+	LastRebuildMillis int64   `json:"last_rebuild_millis"`
+	LastRefreshError  string  `json:"last_refresh_error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.sharded() {
+		s.handleHealthzSharded(w)
+		return
+	}
 	resp := healthzResponse{
 		Status:     "ok",
 		Nodes:      s.g.N(),
 		Edges:      s.g.M(),
 		CoverReady: s.coverReady.Load(),
+		Requests:   s.metrics.summary(),
 	}
 	if resp.CoverReady {
 		// Report the *served* graph — mutations change the edge count
@@ -421,6 +547,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		resp.SnapshotAgeMillis = time.Since(snap.BuiltAt).Milliseconds()
 		resp.LastRebuildMillis = snap.BuildTime.Milliseconds()
 		resp.LastRefreshError = st.LastErr
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthzSharded aggregates every shard's snapshot and worker
+// status into one liveness view plus the per-shard vector. Each shard
+// contributes one atomic snapshot load; nothing blocks on rebuilds.
+func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
+	views, _ := s.router.Views()
+	statuses := s.router.Statuses()
+	resp := healthzResponse{
+		Status:     "ok",
+		CoverReady: true,
+		Requests:   s.metrics.summary(),
+		Shards:     make([]healthShard, len(views)),
+	}
+	for i, v := range views {
+		snap, meta, st := v.Snap, v.Meta(), statuses[i].Status
+		hs := healthShard{
+			Shard:             v.Shard,
+			Generation:        snap.Gen,
+			Nodes:             meta.OwnedNodes,
+			Edges:             meta.OwnedEdges,
+			C:                 snap.C,
+			PendingMutations:  st.Pending,
+			Rebuilding:        st.Rebuilding,
+			SnapshotAgeMillis: time.Since(snap.BuiltAt).Milliseconds(),
+			LastRebuildMillis: snap.BuildTime.Milliseconds(),
+			LastRefreshError:  st.LastErr,
+		}
+		resp.Shards[i] = hs
+		resp.Nodes += hs.Nodes
+		resp.Edges += hs.Edges
+		if hs.Generation > resp.Generation {
+			resp.Generation = hs.Generation
+		}
+		resp.PendingMutations += hs.PendingMutations
+		resp.Rebuilding = resp.Rebuilding || hs.Rebuilding
+		if hs.SnapshotAgeMillis > resp.SnapshotAgeMillis {
+			resp.SnapshotAgeMillis = hs.SnapshotAgeMillis
+		}
+		if hs.LastRebuildMillis > resp.LastRebuildMillis {
+			resp.LastRebuildMillis = hs.LastRebuildMillis
+		}
+		if hs.LastRefreshError != "" && resp.LastRefreshError == "" {
+			resp.LastRefreshError = fmt.Sprintf("shard %d: %s", v.Shard, hs.LastRefreshError)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -445,9 +618,29 @@ type statsResponse struct {
 	RawCommunities   int     `json:"raw_communities,omitempty"`
 	BuildMillis      int64   `json:"build_millis"`
 	PendingMutations int     `json:"pending_mutations"`
+	// Shards (sharded servers only) carries each shard's generation and
+	// active c — shards derive and re-derive c independently, so the
+	// parameter is per shard, not global.
+	Shards []statsShard `json:"shards,omitempty"`
+}
+
+// statsShard is one shard's entry in the /v1/cover/stats vector.
+type statsShard struct {
+	Shard            int     `json:"shard"`
+	Generation       uint64  `json:"generation"`
+	C                float64 `json:"c,omitempty"`
+	Communities      int     `json:"communities"`
+	CoveredNodes     int     `json:"covered_nodes"`
+	OverlapNodes     int     `json:"overlap_nodes"`
+	PendingMutations int     `json:"pending_mutations"`
+	BuildMillis      int64   `json:"build_millis"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	if s.sharded() {
+		s.handleStatsSharded(w)
+		return
+	}
 	snap, err := s.snapshot()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
@@ -489,9 +682,90 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// communityRef describes one community a node belongs to.
+// handleStatsSharded aggregates per-shard cover statistics. Coverage
+// counts only owned nodes (each global node exactly once); size
+// distributions describe the served communities, whose member lists
+// may include ghost copies of boundary nodes.
+func (s *Server) handleStatsSharded(w http.ResponseWriter) {
+	views, _ := s.router.Views()
+	statuses := s.router.Statuses()
+	resp := statsResponse{
+		Shards:  make([]statsShard, len(views)),
+		MinSize: -1,
+	}
+	var (
+		totalMembers float64
+		ownedMembers int64
+	)
+	for i, v := range views {
+		snap, meta, st := v.Snap, v.Meta(), statuses[i].Status
+		entry := statsShard{
+			Shard:            v.Shard,
+			Generation:       snap.Gen,
+			C:                snap.C,
+			Communities:      snap.Cover.Len(),
+			CoveredNodes:     meta.CoveredOwned,
+			OverlapNodes:     meta.OverlapOwned,
+			PendingMutations: st.Pending,
+			BuildMillis:      snap.BuildTime.Milliseconds(),
+		}
+		resp.Shards[i] = entry
+		resp.Nodes += meta.OwnedNodes
+		resp.Edges += meta.OwnedEdges
+		if entry.Generation > resp.Generation {
+			resp.Generation = entry.Generation
+		}
+		resp.Communities += entry.Communities
+		resp.CoveredNodes += entry.CoveredNodes
+		resp.OverlapNodes += entry.OverlapNodes
+		resp.PendingMutations += entry.PendingMutations
+		if entry.BuildMillis > resp.BuildMillis {
+			resp.BuildMillis = entry.BuildMillis
+		}
+		cs := snap.Stats
+		if cs.Communities > 0 {
+			if resp.MinSize == -1 || cs.MinSize < resp.MinSize {
+				resp.MinSize = cs.MinSize
+			}
+			if cs.MaxSize > resp.MaxSize {
+				resp.MaxSize = cs.MaxSize
+			}
+			totalMembers += cs.MeanSize * float64(cs.Communities)
+		}
+		// Owned-only max: a ghost copy can carry more memberships in a
+		// foreign halo than its owning shard serves, and lookups always
+		// route to the owner — quote only numbers a lookup can return.
+		if meta.MaxMembershipOwned > resp.MaxMembership {
+			resp.MaxMembership = meta.MaxMembershipOwned
+		}
+		ownedMembers += meta.OwnedMemberships
+		if snap.Result != nil {
+			resp.SeedsTried += snap.Result.SeedsTried
+			resp.Steps += snap.Result.Steps
+			resp.RawCommunities += snap.Result.RawCommunities
+		}
+	}
+	if resp.MinSize == -1 {
+		resp.MinSize = 0
+	}
+	if resp.Communities > 0 {
+		resp.MeanSize = totalMembers / float64(resp.Communities)
+	}
+	if resp.CoveredNodes > 0 {
+		resp.MeanMembership = float64(ownedMembers) / float64(resp.CoveredNodes)
+	}
+	if resp.Nodes > 0 {
+		resp.Coverage = float64(resp.CoveredNodes) / float64(resp.Nodes)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// communityRef describes one community a node belongs to. On sharded
+// servers the id is scoped to its shard (the Shard field); member lists
+// are always global node ids.
 type communityRef struct {
 	ID      int32   `json:"id"`
+	Shard   *int    `json:"shard,omitempty"`
 	Size    int     `json:"size"`
 	Members []int32 `json:"members,omitempty"`
 }
@@ -502,6 +776,9 @@ type nodeCommunitiesResponse struct {
 	Generation  uint64         `json:"generation"`
 	Count       int            `json:"count"`
 	Communities []communityRef `json:"communities"`
+	// Shards (sharded servers only) is the (shard, generation) the
+	// answer came from: the node's owning shard.
+	Shards shard.GenVector `json:"shards,omitempty"`
 }
 
 func (s *Server) handleNodeCommunities(w http.ResponseWriter, r *http.Request) {
@@ -511,33 +788,43 @@ func (s *Server) handleNodeCommunities(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := int32(id)
-	if v < 0 || int(v) >= s.g.N() {
-		writeError(w, http.StatusNotFound, "node %d out of range [0, %d)", v, s.g.N())
-		return
-	}
-	snap, err := s.snapshot()
+	view, local, ok, err := s.sp.ViewFor(v)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
 		return
 	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "node %d out of range [0, %d)", v, s.sp.NodeBound())
+		return
+	}
 	withMembers := queryBool(r, "members")
-	ids := snap.Index.Communities(v)
+	ids := view.Snap.Index.Communities(local)
 	resp := nodeCommunitiesResponse{
 		Node:        v,
-		Generation:  snap.Gen,
+		Generation:  view.Snap.Gen,
 		Count:       len(ids),
 		Communities: make([]communityRef, len(ids)),
 	}
+	if view.Sharded() {
+		resp.Shards = shard.GenVector{{Shard: view.Shard, Gen: view.Snap.Gen}}
+	}
 	for i, ci := range ids {
-		resp.Communities[i] = communityRefFor(snap, ci, withMembers)
+		resp.Communities[i] = communityRefFor(view, ci, withMembers)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func communityRefFor(snap *refresh.Snapshot, ci int32, withMembers bool) communityRef {
-	ref := communityRef{ID: ci, Size: len(snap.Cover.Communities[ci])}
+// communityRefFor renders one community of a view, translating member
+// lists to global ids on the sharded path.
+func communityRefFor(view shard.View, ci int32, withMembers bool) communityRef {
+	c := view.Snap.Cover.Communities[ci]
+	ref := communityRef{ID: ci, Size: len(c)}
+	if view.Sharded() {
+		sh := view.Shard
+		ref.Shard = &sh
+	}
 	if withMembers {
-		ref.Members = snap.Cover.Communities[ci]
+		ref.Members = view.Members(c)
 	}
 	return ref
 }
@@ -570,13 +857,17 @@ type SearchRequest struct {
 	RNGSeed int64 `json:"rng_seed,omitempty"`
 }
 
-// SearchResponse is the /v1/search body.
+// SearchResponse is the /v1/search body. Shard and Generation are set
+// only by sharded servers: the search ran over the seed's owning
+// shard's halo graph at that generation.
 type SearchResponse struct {
-	Seed    int32   `json:"seed"`
-	C       float64 `json:"c"`
-	Size    int     `json:"size"`
-	Fitness float64 `json:"fitness"`
-	Members []int32 `json:"members"`
+	Seed       int32   `json:"seed"`
+	C          float64 `json:"c"`
+	Size       int     `json:"size"`
+	Fitness    float64 `json:"fitness"`
+	Members    []int32 `json:"members"`
+	Shard      *int    `json:"shard,omitempty"`
+	Generation uint64  `json:"generation,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -592,6 +883,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid search request: %v", err)
 		return
 	}
+	if s.sharded() {
+		s.handleSearchSharded(w, r, req)
+		return
+	}
 	// Search over the served generation when there is one; a lazy
 	// server answers over the construction-time graph without forcing
 	// the OCA run (searches need only c, not the cover).
@@ -605,15 +900,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "seed %d out of range [0, %d)", req.Seed, g.N())
 		return
 	}
-	// Negative means "unlimited" in core.Options — never allowed from
-	// the network, where an uncapped search would hold a pool worker
-	// far past the request deadline.
-	if req.MaxSteps < 0 || req.NeighborProb < 0 || req.MaxCommunitySize < 0 {
-		writeError(w, http.StatusBadRequest, "max_steps, neighbor_prob and max_community_size must be non-negative")
-		return
-	}
-	if req.NeighborProb > 1 {
-		writeError(w, http.StatusBadRequest, "neighbor_prob=%g out of range [0, 1]", req.NeighborProb)
+	if !searchParamsValid(w, req) {
 		return
 	}
 	c := req.C
@@ -634,17 +921,71 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "c=%g out of range (0, 1)", c)
 		return
 	}
+	s.runSearch(w, r, req, g, maxDeg, req.Seed, c, nil)
+}
+
+// handleSearchSharded runs a seeded search over the owning shard's halo
+// graph: the seed's full neighborhood (including cross-shard ghosts) is
+// present there, so the local search behaves as it would unsharded, and
+// members translate back to global ids. Validation order mirrors
+// handleSearch; the execution tail is the shared runSearch.
+func (s *Server) handleSearchSharded(w http.ResponseWriter, r *http.Request, req SearchRequest) {
+	view, local, ok, _ := s.router.ViewFor(req.Seed)
+	if !ok {
+		writeError(w, http.StatusNotFound, "seed %d out of range [0, %d)", req.Seed, s.sp.NodeBound())
+		return
+	}
+	if !searchParamsValid(w, req) {
+		return
+	}
+	c := req.C
+	if c == 0 {
+		if c = view.Snap.C; c == 0 {
+			writeError(w, http.StatusInternalServerError, "shard %d has no inner-product parameter yet (no edges)", view.Shard)
+			return
+		}
+	}
+	if c < 0 || c >= 1 {
+		writeError(w, http.StatusBadRequest, "c=%g out of range (0, 1)", c)
+		return
+	}
+	s.runSearch(w, r, req, view.Snap.Graph, view.Snap.MaxDegree, local, c, &view)
+}
+
+// searchParamsValid rejects out-of-range overrides with a 400 and
+// reports whether the request may proceed. Negative means "unlimited"
+// in core.Options — never allowed from the network, where an uncapped
+// search would hold a pool worker far past the request deadline.
+func searchParamsValid(w http.ResponseWriter, req SearchRequest) bool {
+	if req.MaxSteps < 0 || req.NeighborProb < 0 || req.MaxCommunitySize < 0 {
+		writeError(w, http.StatusBadRequest, "max_steps, neighbor_prob and max_community_size must be non-negative")
+		return false
+	}
+	if req.NeighborProb > 1 {
+		writeError(w, http.StatusBadRequest, "neighbor_prob=%g out of range [0, 1]", req.NeighborProb)
+		return false
+	}
+	return true
+}
+
+// runSearch is the execution tail shared by the single and sharded
+// search paths: check a state out of the bounded pool, clamp the step
+// budget, run the greedy local search over g from seed (a local id on
+// the sharded path) and write the response. origin is non-nil on the
+// sharded path; members then translate back to global ids and the
+// response quotes the owning (shard, generation).
+func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchRequest, g *graph.Graph, maxDeg int, seed int32, c float64, origin *shard.View) {
 	rngSeed := req.RNGSeed
 	if rngSeed == 0 {
 		rngSeed = s.streams.Add(1)
 	}
 
 	// Bounded search pool: at most SearchWorkers in-flight searches,
-	// each reusing a pre-allocated state. Waiting respects the request
-	// deadline.
-	var st *search.State
+	// each slot holding one reusable state per shard. Waiting respects
+	// the request deadline.
+	var states []*search.State
 	select {
-	case st = <-s.pool:
+	case states = <-s.pool:
 	case <-r.Context().Done():
 		if errors.Is(r.Context().Err(), context.Canceled) {
 			// Client went away while waiting; nobody reads the reply,
@@ -656,12 +997,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "search pool saturated: %v", r.Context().Err())
 		return
 	}
-	if st == nil || st.Graph() != g {
-		// First use of the slot, or its state is bound to a superseded
-		// snapshot's graph: (re)build it over the one this request saw.
-		st = search.NewState(g, maxDeg)
+	if states == nil {
+		states = make([]*search.State, s.poolWidth)
 	}
-	defer func() { s.pool <- st }()
+	slot := 0
+	if origin != nil {
+		slot = origin.Shard
+	}
+	st := states[slot]
+	if st == nil || st.Graph() != g {
+		// First use of the slot's shard entry, or its state is bound to
+		// a superseded snapshot's graph: (re)build it over the one this
+		// request saw.
+		st = search.NewState(g, maxDeg)
+		states[slot] = st
+	}
+	defer func() { s.pool <- states }()
 
 	opt := s.cfg.OCA
 	if req.NeighborProb > 0 {
@@ -679,12 +1030,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		opt.MaxCommunitySize = req.MaxCommunitySize
 	}
 	rng := rand.New(rand.NewSource(rngSeed))
-	community, fitness := core.FindCommunityWith(g, st, req.Seed, c, rng, opt)
-	writeJSON(w, http.StatusOK, SearchResponse{
+	community, fitness := core.FindCommunityWith(g, st, seed, c, rng, opt)
+	resp := SearchResponse{
 		Seed:    req.Seed,
 		C:       c,
 		Size:    len(community),
 		Fitness: fitness,
 		Members: community,
-	})
+	}
+	if origin != nil {
+		sh := origin.Shard
+		resp.Shard = &sh
+		resp.Generation = origin.Snap.Gen
+		resp.Members = origin.Members(community)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

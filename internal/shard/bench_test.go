@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lfr"
+)
+
+// benchRouter builds a router over a fixed LFR benchmark graph.
+func benchRouter(b *testing.B, k int) *Router {
+	b.Helper()
+	bench, err := lfr.Generate(lfr.Params{
+		N: 1000, AvgDeg: 16, MaxDeg: 40, Mu: 0.05,
+		MinCom: 25, MaxCom: 60, Seed: 3,
+	})
+	if err != nil {
+		b.Fatalf("lfr.Generate: %v", err)
+	}
+	r, err := NewRouter(bench.Graph, k, Config{OCA: core.Options{Seed: 1, C: 0.5}})
+	if err != nil {
+		b.Fatalf("NewRouter: %v", err)
+	}
+	b.Cleanup(r.Close)
+	return r
+}
+
+// benchmarkBatchLookup measures a 256-id fan-out batch: load views
+// once, resolve each id through its owning shard, count memberships —
+// the hot loop behind POST /v1/nodes/communities. `make bench-shard`
+// compares K=1 (no partitioning, identity-ish tables) against K=4.
+func benchmarkBatchLookup(b *testing.B, k int) {
+	r := benchRouter(b, k)
+	const batch = 256
+	ids := make([]int32, batch)
+	for i := range ids {
+		ids[i] = int32((i * 37) % 1000)
+	}
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		views, _ := r.Views()
+		for _, v := range ids {
+			view := views[int(v)%k]
+			local, ok := view.Local(v)
+			if !ok {
+				b.Fatalf("id %d unresolvable", v)
+			}
+			total += len(view.Snap.Index.Communities(local))
+		}
+	}
+	if total == 0 {
+		b.Fatal("no memberships resolved; benchmark is vacuous")
+	}
+}
+
+func BenchmarkRouterBatchLookupK1(b *testing.B) { benchmarkBatchLookup(b, 1) }
+func BenchmarkRouterBatchLookupK4(b *testing.B) { benchmarkBatchLookup(b, 4) }

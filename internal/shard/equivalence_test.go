@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/lfr"
+	"repro/internal/metrics"
+	"repro/internal/spectral"
+)
+
+func mergedGlobalCover(t testing.TB, r *Router) *cover.Cover {
+	t.Helper()
+	views, err := r.Views()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MergeCovers(views)
+}
+
+// TestShardedEquivalence is the acceptance gate for the sharded serving
+// path: on a well-separated LFR benchmark (where OCA recovers the
+// planted structure exactly, so any gap is partitioning loss, not
+// algorithmic noise) the union of the K=4 per-shard covers must match
+// an unsharded cold OCA run with overlapping NMI ≥ 0.99, per-node
+// batch lookups must agree with the merged cover, and seeded searches
+// over shard halos must find the same communities as over the full
+// graph.
+func TestShardedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-OCA-run equivalence test")
+	}
+	bench, err := lfr.Generate(lfr.Params{
+		N: 250, AvgDeg: 14, MaxDeg: 30, Mu: 0.02,
+		MinCom: 25, MaxCom: 45, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("lfr.Generate: %v", err)
+	}
+	g := bench.Graph
+	n := g.N()
+
+	// Pin c from the full graph for both paths, so sharded and cold
+	// searches use the same inner-product parameter.
+	c, err := spectral.C(g, spectral.Options{})
+	if err != nil {
+		t.Fatalf("spectral.C: %v", err)
+	}
+	opt := core.Options{Seed: 11, C: c}
+
+	cold, err := core.Run(g, opt)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	const k = 4
+	r, err := NewRouter(g, k, Config{OCA: opt})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+
+	sharded := mergedGlobalCover(t, r)
+	nmi := metrics.NMI(sharded, cold.Cover, n)
+	if nmi < 0.99 {
+		t.Errorf("NMI(sharded, cold) = %.4f, want ≥ 0.99 (sharded %d communities, cold %d)",
+			nmi, sharded.Len(), cold.Cover.Len())
+	}
+	// Guard against a trivially degenerate pair: both paths must also
+	// recover the planted structure.
+	if truthNMI := metrics.NMI(cold.Cover, bench.Communities, n); truthNMI < 0.6 {
+		t.Errorf("cold run vs planted truth NMI = %.4f, suspiciously low", truthNMI)
+	}
+	if truthNMI := metrics.NMI(sharded, bench.Communities, n); truthNMI < 0.6 {
+		t.Errorf("sharded cover vs planted truth NMI = %.4f, suspiciously low", truthNMI)
+	}
+
+	// Batch-lookup equivalence: every node's owning-shard membership
+	// answer must be exactly its memberships in that shard's served
+	// cover (internal consistency of the fan-out path), and every node
+	// covered by the cold run must be covered through the router too.
+	uncovered := 0
+	for v := int32(0); int(v) < n; v++ {
+		view, local, ok, err := r.ViewFor(v)
+		if err != nil || !ok {
+			t.Fatalf("ViewFor(%d): ok=%v err=%v", v, ok, err)
+		}
+		cis := view.Snap.Index.Communities(local)
+		for _, ci := range cis {
+			if !view.Snap.Cover.Communities[ci].Contains(local) {
+				t.Fatalf("node %d: shard %d community %d does not contain it", v, view.Shard, ci)
+			}
+		}
+		if len(cis) == 0 {
+			uncovered++
+		}
+	}
+	coldUncovered := n - cold.Cover.Stats(n).CoveredNodes
+	if uncovered > coldUncovered+n/50 {
+		t.Errorf("sharded lookups leave %d nodes uncovered, cold leaves %d", uncovered, coldUncovered)
+	}
+
+	// Search equivalence: a seeded search over the owning shard's halo
+	// graph must find (essentially) the same community as over the full
+	// graph. On this benchmark both recover the seed's planted
+	// community, so demand high Jaccard.
+	sOpt := core.Options{Seed: 11, C: c}
+	for _, seed := range []int32{3, 77, 140, 201} {
+		full, _ := core.FindCommunity(g, seed, c, rand.New(rand.NewSource(5)), sOpt)
+		view, local, ok, _ := r.ViewFor(seed)
+		if !ok {
+			t.Fatalf("ViewFor(%d) not ok", seed)
+		}
+		shardRes, _ := core.FindCommunity(view.Snap.Graph, local, c, rand.New(rand.NewSource(5)), sOpt)
+		global := cover.NewCommunity(view.Members(shardRes))
+		if rho := metrics.Rho(cover.NewCommunity(full), global); rho < 0.8 {
+			t.Errorf("seed %d: sharded search ρ=%.3f vs full-graph search (sizes %d vs %d)",
+				seed, rho, len(shardRes), len(full))
+		}
+	}
+}

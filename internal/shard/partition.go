@@ -1,0 +1,144 @@
+// Package shard partitions a graph — and the overlapping community
+// cover served over it — across K node-disjoint shards, and routes
+// queries to them. It is the serving-scale layer the ROADMAP's north
+// star calls for: each shard owns a slice of the node set, keeps its
+// own generation-numbered refresh.Snapshot live under mutation through
+// its own refresh.Worker, and a Router fans lookups out to the owning
+// shards, merges the answers and quotes a (shard, generation) vector so
+// clients can detect a lagging shard.
+//
+// Partitioning is deterministic modulo-K hashing: node v belongs to
+// shard v mod K. Each shard's graph contains its owned nodes plus
+// "ghost" copies of every boundary neighbor, with the full induced
+// halo (owned–ghost and ghost–ghost edges), so the per-shard OCA run
+// still sees complete boundary neighborhoods — the paper's fitness
+// L(s, m, c) depends only on a set's size and internal edges, so a
+// community whose induced subgraph is present in the halo scores
+// identically to the unsharded run. Communities containing no owned
+// node are dropped before publication; the surviving per-shard covers,
+// translated back to global ids, form the served sharded cover.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Partition is the deterministic node→shard assignment: node v belongs
+// to shard v mod K. The zero value is invalid; use NewPartition.
+type Partition struct {
+	k int
+}
+
+// NewPartition returns the modulo-K partition. K must be at least 1.
+func NewPartition(k int) (Partition, error) {
+	if k < 1 {
+		return Partition{}, fmt.Errorf("shard: K=%d must be at least 1", k)
+	}
+	return Partition{k: k}, nil
+}
+
+// K returns the number of shards.
+func (p Partition) K() int { return p.k }
+
+// Shard returns the shard owning node v. Negative ids are the caller's
+// responsibility to reject.
+func (p Partition) Shard(v int32) int { return int(v % int32(p.k)) }
+
+// Piece is one shard's slice of a Split graph: the owned nodes plus a
+// ghost halo of their cross-shard neighbors, renumbered to a dense
+// local id space.
+type Piece struct {
+	// Shard is this piece's index in [0, K).
+	Shard int
+	// Graph is the local CSR graph: owned nodes first (ascending global
+	// id), then ghosts (ascending global id), with every edge of the
+	// original graph whose endpoints both lie in that node set.
+	Graph *graph.Graph
+	// Locals maps each local node id to its global id.
+	Locals []int32
+	// Owned counts the owned nodes; locals at or beyond it are ghosts.
+	Owned int
+}
+
+// Owns reports whether the given local node id is owned by this piece
+// (as opposed to being a ghost copy of another shard's node).
+func (pc *Piece) Owns(local int32) bool { return int(local) < pc.Owned }
+
+// Split partitions g into k node-disjoint pieces under the modulo-K
+// partition, each with its ghost halo. Every global edge appears in the
+// piece(s) that own at least one endpoint, and additionally in any
+// piece ghosting both endpoints — so each piece's graph is the induced
+// subgraph on (owned ∪ ghosts). Split is deterministic: equal inputs
+// yield identical pieces.
+func Split(g *graph.Graph, k int) ([]Piece, error) {
+	p, err := NewPartition(k)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	pieces := make([]Piece, k)
+	for s := 0; s < k; s++ {
+		pieces[s] = splitOne(g, p, s, n)
+	}
+	return pieces, nil
+}
+
+func splitOne(g *graph.Graph, p Partition, s, n int) Piece {
+	// Owned nodes ascending, then their cross-shard neighbors ascending.
+	var locals []int32
+	for v := int32(s); int(v) < n; v += int32(p.k) {
+		locals = append(locals, v)
+	}
+	owned := len(locals)
+	ghostSet := make(map[int32]struct{})
+	for _, u := range locals[:owned] {
+		for _, w := range g.Neighbors(u) {
+			if p.Shard(w) != s {
+				ghostSet[w] = struct{}{}
+			}
+		}
+	}
+	ghosts := make([]int32, 0, len(ghostSet))
+	for w := range ghostSet {
+		ghosts = append(ghosts, w)
+	}
+	sort.Slice(ghosts, func(i, j int) bool { return ghosts[i] < ghosts[j] })
+	locals = append(locals, ghosts...)
+
+	index := make(map[int32]int32, len(locals))
+	for l, gv := range locals {
+		index[gv] = int32(l)
+	}
+
+	b := graph.NewBuilder(len(locals))
+	// Owned-owned and owned-ghost edges: only the owned side iterates,
+	// so each appears exactly once (owned-owned when u < w).
+	for l := 0; l < owned; l++ {
+		u := locals[l]
+		for _, w := range g.Neighbors(u) {
+			if p.Shard(w) == s {
+				if w > u {
+					b.AddEdge(int32(l), index[w])
+				}
+			} else {
+				b.AddEdge(int32(l), index[w])
+			}
+		}
+	}
+	// Ghost-ghost edges complete the induced halo: a boundary
+	// community's internal edge set is then fully present, so the
+	// per-shard OCA scores it exactly as the unsharded run would.
+	for _, z := range ghosts {
+		for _, w := range g.Neighbors(z) {
+			if w > z && p.Shard(w) != s {
+				if lw, ok := index[w]; ok {
+					b.AddEdge(index[z], lw)
+				}
+			}
+		}
+	}
+	return Piece{Shard: s, Graph: b.Build(), Locals: locals, Owned: owned}
+}

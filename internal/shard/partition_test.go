@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/synth"
+)
+
+func emptyIndex(n int) *index.Membership {
+	return index.Build(cover.NewCover(nil), n)
+}
+
+func TestNewPartition(t *testing.T) {
+	if _, err := NewPartition(0); err == nil {
+		t.Error("NewPartition(0) succeeded, want error")
+	}
+	p, err := NewPartition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 4 {
+		t.Errorf("K() = %d, want 4", p.K())
+	}
+	for v := int32(0); v < 100; v++ {
+		if got := p.Shard(v); got != int(v)%4 {
+			t.Fatalf("Shard(%d) = %d, want %d", v, got, v%4)
+		}
+	}
+}
+
+// twoCliques builds two K_6 cliques sharing nodes 4 and 5.
+func twoCliques() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	for i := int32(4); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func TestSplitSingleShardIsIdentity(t *testing.T) {
+	g := twoCliques()
+	pieces, err := Split(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pieces) != 1 {
+		t.Fatalf("got %d pieces", len(pieces))
+	}
+	pc := pieces[0]
+	if pc.Owned != g.N() || pc.Graph.N() != g.N() || pc.Graph.M() != g.M() {
+		t.Fatalf("K=1 piece dims (%d owned, %d nodes, %d edges), want full graph", pc.Owned, pc.Graph.N(), pc.Graph.M())
+	}
+	for l, gv := range pc.Locals {
+		if int32(l) != gv {
+			t.Fatalf("K=1 locals[%d] = %d, want identity", l, gv)
+		}
+	}
+}
+
+// TestSplitHaloInvariant checks, on a random graph, that each piece is
+// exactly the induced subgraph of the original on (owned ∪ ghosts),
+// that ownership partitions the node set, and that per-piece owned
+// edges sum to the global edge count.
+func TestSplitHaloInvariant(t *testing.T) {
+	g, err := synth.GNM(60, 240, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	pieces, err := Split(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownedTotal := 0
+	for _, pc := range pieces {
+		ownedTotal += pc.Owned
+		// Every owned global must be ≡ shard (mod k); ghosts must not.
+		for l, gv := range pc.Locals {
+			owns := int(gv)%k == pc.Shard
+			if owns != pc.Owns(int32(l)) {
+				t.Fatalf("shard %d: local %d (global %d) ownership mismatch", pc.Shard, l, gv)
+			}
+		}
+		// Local edges = induced subgraph: both directions.
+		inPiece := make(map[int32]int32, len(pc.Locals))
+		for l, gv := range pc.Locals {
+			inPiece[gv] = int32(l)
+		}
+		pc.Graph.Edges(func(lu, lv int32) bool {
+			if !g.HasEdge(pc.Locals[lu], pc.Locals[lv]) {
+				t.Errorf("shard %d: local edge (%d,%d) has no global counterpart (%d,%d)",
+					pc.Shard, lu, lv, pc.Locals[lu], pc.Locals[lv])
+			}
+			return true
+		})
+		g.Edges(func(u, v int32) bool {
+			lu, ok1 := inPiece[u]
+			lv, ok2 := inPiece[v]
+			if ok1 && ok2 && !pc.Graph.HasEdge(lu, lv) {
+				t.Errorf("shard %d: global edge (%d,%d) missing from induced halo", pc.Shard, u, v)
+			}
+			return true
+		})
+	}
+	if ownedTotal != g.N() {
+		t.Errorf("owned nodes sum to %d, want %d", ownedTotal, g.N())
+	}
+
+	// Determinism: a second split is structurally identical.
+	again, err := Split(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range pieces {
+		if pieces[s].Graph.N() != again[s].Graph.N() || pieces[s].Graph.M() != again[s].Graph.M() {
+			t.Fatalf("shard %d differs between identical splits", s)
+		}
+		for l := range pieces[s].Locals {
+			if pieces[s].Locals[l] != again[s].Locals[l] {
+				t.Fatalf("shard %d locals differ between identical splits", s)
+			}
+		}
+	}
+}
+
+// TestSplitMetaEdgeAccounting checks that buildMeta's owned-edge rule
+// sums exactly to the global edge count across shards.
+func TestSplitMetaEdgeAccounting(t *testing.T) {
+	g, err := synth.BarabasiAlbert(80, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	pieces, err := Split(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, pc := range pieces {
+		// An index over an empty cover suffices for edge accounting.
+		m := buildMeta(pc.Shard, k, pc.Graph, emptyIndex(pc.Graph.N()), pc.Locals)
+		total += m.OwnedEdges
+		if m.OwnedNodes != pc.Owned {
+			t.Errorf("shard %d: meta owned %d, piece owned %d", pc.Shard, m.OwnedNodes, pc.Owned)
+		}
+	}
+	if total != g.M() {
+		t.Errorf("owned edges sum to %d, want %d", total, g.M())
+	}
+}

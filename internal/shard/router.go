@@ -1,0 +1,430 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/refresh"
+	"repro/internal/spectral"
+)
+
+// Config tunes a Router. The zero value runs each shard's OCA with the
+// paper's defaults (per-shard c derived from each shard graph's
+// spectrum) and refresh.Config's debounce/backlog defaults.
+type Config struct {
+	// OCA configures every shard's cover runs. When OCA.C is 0 each
+	// shard derives its own c = -1/λmin from its halo graph's spectrum —
+	// the "active c" quoted per shard in /v1/cover/stats.
+	OCA core.Options
+	// DisableWarmStart forces cold per-shard OCA re-runs on refresh.
+	DisableWarmStart bool
+	// Debounce is each shard worker's mutation-coalescing window.
+	Debounce time.Duration
+	// MaxPending caps each shard worker's mutation backlog.
+	MaxPending int
+	// MaxNodes caps global node-set growth via mutations; 0 fixes the
+	// node set at the initial graph's size. Shard workers always accept
+	// local growth up to this bound, because even a fixed global node
+	// set grows shards locally when new ghosts materialize.
+	MaxNodes int
+	// RederiveCAfter is each shard worker's c-drift threshold (see
+	// refresh.Config.RederiveCAfter); shards re-derive independently, so
+	// a churn-heavy shard refreshes its c while quiet shards keep
+	// theirs.
+	RederiveCAfter float64
+	// OnSwap, when set, is called from a shard's worker goroutine after
+	// that shard publishes a new generation.
+	OnSwap func(shard int, snap *refresh.Snapshot)
+
+	// workerOCA, when set, overrides the OCA options handed to one
+	// shard's refresh worker (not its initial build). Test-only
+	// failure-injection hook; unexported on purpose.
+	workerOCA func(shard int, opt core.Options) core.Options
+}
+
+// Router owns K partitioned shards, each serving its slice of the
+// graph through its own live refresh.Worker, and fans queries and
+// mutations out to the owning shards. All methods are safe for
+// concurrent use; reads are lock-free per shard (one atomic snapshot
+// load), mutations serialize on the router so the global→local
+// translation tables grow consistently.
+type Router struct {
+	part   Partition
+	cfg    Config
+	maxN   int // global node-set ceiling
+	shards []*shardState
+
+	mu     sync.Mutex // serializes Enqueue; guards curN and closed
+	curN   int        // global node ids in [0, curN) are valid (incl. pending growth)
+	closed bool
+}
+
+// shardState is one shard's mutable identity state: the append-only
+// global↔local mapping plus its refresh worker. locals/index grow only
+// under mu (while the router's Enqueue lock is held); readers take the
+// read lock briefly to resolve ids, and published snapshots carry a
+// stable prefix of locals in their Meta.
+type shardState struct {
+	id int
+	k  int
+
+	mu     sync.RWMutex
+	locals []int32
+	index  map[int32]int32
+
+	worker *refresh.Worker
+}
+
+func (st *shardState) lookup(global int32) (int32, bool) {
+	st.mu.RLock()
+	l, ok := st.index[global]
+	st.mu.RUnlock()
+	return l, ok
+}
+
+// ensureLocal returns the local id for a global node, appending a new
+// mapping entry when unseen. Caller must hold the router's Enqueue
+// lock (mapping growth is serialized); the shard lock still guards
+// against concurrent readers.
+func (st *shardState) ensureLocal(global int32) int32 {
+	if l, ok := st.lookup(global); ok {
+		return l
+	}
+	st.mu.Lock()
+	l := int32(len(st.locals))
+	st.locals = append(st.locals, global)
+	st.index[global] = l
+	st.mu.Unlock()
+	return l
+}
+
+// localsPrefix returns the stable local→global table for a graph of n
+// nodes. The mapping is append-only, so the prefix never changes after
+// capture.
+func (st *shardState) localsPrefix(n int) []int32 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.locals[:n:n]
+}
+
+// buildSnapshot is the refresh.Config.BuildSnapshot hook: it drops
+// ghost-only communities and attaches the shard Meta for this
+// generation's node set.
+func (st *shardState) buildSnapshot(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration) *refresh.Snapshot {
+	locals := st.localsPrefix(g.N())
+	snap := refresh.NewSnapshot(g, filterOwned(cv, locals, st.k, st.id), res, c, buildTime)
+	snap.Aux = buildMeta(st.id, st.k, g, snap.Index, locals)
+	return snap
+}
+
+// NewRouter splits g into k shards, runs the initial per-shard OCA
+// covers (in parallel), and starts one refresh worker per shard. A
+// shard with no edges gets an empty cover and no c until mutations give
+// it edges.
+func NewRouter(g *graph.Graph, k int, cfg Config) (*Router, error) {
+	pieces, err := Split(g, k)
+	if err != nil {
+		return nil, err
+	}
+	part, _ := NewPartition(k)
+	r := &Router{
+		part:   part,
+		cfg:    cfg,
+		curN:   g.N(),
+		maxN:   cfg.MaxNodes,
+		shards: make([]*shardState, k),
+	}
+	if r.maxN < g.N() {
+		r.maxN = g.N() // growth disabled
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for s := range pieces {
+		st := &shardState{id: s, k: k, locals: pieces[s].Locals}
+		st.index = make(map[int32]int32, len(st.locals))
+		for l, gv := range st.locals {
+			st.index[gv] = int32(l)
+		}
+		r.shards[s] = st
+		wg.Add(1)
+		go func(s int, pg *graph.Graph) {
+			defer wg.Done()
+			errs[s] = r.initShard(s, pg)
+		}(s, pieces[s].Graph)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return r, nil
+}
+
+// initShard computes shard s's first generation and starts its worker.
+func (r *Router) initShard(s int, pg *graph.Graph) error {
+	st := r.shards[s]
+	start := time.Now()
+	var (
+		cv  *cover.Cover
+		res *core.Result
+		c   = r.cfg.OCA.C
+	)
+	if pg.M() == 0 {
+		// No edges: nothing to search, and the spectrum (hence c) is
+		// undefined. Serve an empty cover; mutations can populate it.
+		cv = cover.NewCover(nil)
+		c = 0
+	} else {
+		if c == 0 {
+			var err error
+			if c, err = spectral.C(pg, r.cfg.OCA.Spectral); err != nil {
+				return fmt.Errorf("deriving c: %w", err)
+			}
+		}
+		opt := r.cfg.OCA
+		opt.C = c
+		var err error
+		if res, err = core.Run(pg, opt); err != nil {
+			return fmt.Errorf("initial OCA: %w", err)
+		}
+		cv = res.Cover
+	}
+	snap := st.buildSnapshot(pg, cv, res, c, time.Since(start))
+
+	wopt := r.cfg.OCA
+	wopt.C = c // pin the shard's derived c; RederiveCAfter handles drift
+	if r.cfg.workerOCA != nil {
+		wopt = r.cfg.workerOCA(s, wopt)
+	}
+	wcfg := refresh.Config{
+		OCA:              wopt,
+		DisableWarmStart: r.cfg.DisableWarmStart,
+		Debounce:         r.cfg.Debounce,
+		MaxPending:       r.cfg.MaxPending,
+		// Local growth must always be possible even under a fixed global
+		// node set: a cross-shard edge can materialize a new ghost here.
+		// A shard's locals never exceed the global node count.
+		MaxNodes:       r.maxN,
+		RederiveCAfter: r.cfg.RederiveCAfter,
+		BuildSnapshot:  st.buildSnapshot,
+	}
+	if r.cfg.OnSwap != nil {
+		wcfg.OnSwap = func(snap *refresh.Snapshot) { r.cfg.OnSwap(s, snap) }
+	}
+	st.worker = refresh.New(snap, wcfg)
+	st.worker.Start()
+	return nil
+}
+
+// NumShards returns K.
+func (r *Router) NumShards() int { return r.part.K() }
+
+// Ready always reports true: the router builds every shard's first
+// generation at construction.
+func (r *Router) Ready() bool { return true }
+
+// Views returns one View per shard, each loaded atomically from its
+// worker. Use one call's result for a whole request: per shard the view
+// is one immutable generation, and the vector of generations is the
+// response's consistency token.
+func (r *Router) Views() ([]View, error) {
+	views := make([]View, len(r.shards))
+	for s, st := range r.shards {
+		views[s] = View{Shard: s, Snap: st.worker.Snapshot(), lookup: st.lookup}
+	}
+	return views, nil
+}
+
+// ViewFor returns the owning shard's view for a global node id, with
+// the node's local id in that view. ok is false when the id is negative
+// or not materialized in the shard's published generation (never seen,
+// or growth still pending) — the view is still returned for shard and
+// generation context when the id maps to a valid shard.
+func (r *Router) ViewFor(global int32) (View, int32, bool, error) {
+	if global < 0 {
+		return View{}, 0, false, nil
+	}
+	s := r.part.Shard(global)
+	st := r.shards[s]
+	view := View{Shard: s, Snap: st.worker.Snapshot(), lookup: st.lookup}
+	local, ok := view.Local(global)
+	return view, local, ok, nil
+}
+
+// NodeBound is the exclusive upper bound on valid global node ids,
+// including accepted-but-pending growth.
+func (r *Router) NodeBound() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.curN
+}
+
+// genVector snapshots every shard's current generation.
+func (r *Router) genVector() GenVector {
+	gv := make(GenVector, len(r.shards))
+	for s, st := range r.shards {
+		gv[s] = ShardGen{Shard: s, Gen: st.worker.Snapshot().Gen}
+	}
+	return gv
+}
+
+// Enqueue validates a batch of global edge mutations, translates each
+// edge to the owning shards' local id spaces (materializing new ghost
+// mappings as needed) and queues the per-shard operations. The batch
+// is atomic across shards: one invalid edge — or one full shard
+// backlog — rejects the whole batch with nothing queued and no mapping
+// state touched anywhere. The returned vector holds each shard's
+// generation at enqueue time, queued counts the accepted global
+// operations, and touched lists the shards that received work (the
+// ones a waiting client needs to flush).
+func (r *Router) Enqueue(add, remove [][2]int32) (vec GenVector, queued int, touched []int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return r.genVector(), 0, nil, refresh.ErrClosed
+	}
+	// Shared with refresh.Worker.Enqueue so router and workers accept
+	// exactly the same batches — a batch that passes here cannot fail
+	// per-shard validation later.
+	batchN, err := refresh.ValidateBatch(add, remove, r.curN, r.maxN)
+	if err != nil {
+		return r.genVector(), 0, nil, err
+	}
+
+	// Resolve removals first — pure lookups, no mapping growth — and
+	// count per-shard add operations, so the backlog admission check
+	// below runs before any state is touched.
+	type shardOps struct{ add, remove [][2]int32 }
+	ops := make([]shardOps, len(r.shards))
+	counts := make([]int, len(r.shards))
+	for _, e := range remove {
+		for _, s := range [2]int{r.part.Shard(e[0]), r.part.Shard(e[1])} {
+			lu, ok1 := r.shards[s].lookup(e[0])
+			lv, ok2 := r.shards[s].lookup(e[1])
+			if ok1 && ok2 {
+				ops[s].remove = append(ops[s].remove, [2]int32{lu, lv})
+				counts[s]++
+			} // else: endpoint never materialized here, removal is a no-op
+			if r.part.Shard(e[1]) == s {
+				break // same-shard edge: don't queue it twice
+			}
+		}
+	}
+	for _, e := range add {
+		su, sv := r.part.Shard(e[0]), r.part.Shard(e[1])
+		counts[su]++
+		if sv != su {
+			counts[sv]++
+		}
+	}
+
+	// Admission check before queuing or materializing anything:
+	// mutation intake serializes on r.mu and rebuilds only shrink
+	// backlogs, so a batch that passes here cannot fail admission — the
+	// whole batch lands on every owning shard or on none (and no ghost
+	// mapping outlives a rejected batch), so a 503 really does mean
+	// "nothing happened, retry the batch".
+	maxPending := r.cfg.MaxPending
+	if maxPending <= 0 {
+		maxPending = 1 << 20 // refresh.Config's default
+	}
+	for s, n := range counts {
+		if n > 0 && r.shards[s].worker.Status().Pending+n > maxPending {
+			return r.genVector(), 0, nil, fmt.Errorf("shard %d: %w", s, refresh.ErrBacklogFull)
+		}
+	}
+
+	for _, e := range add {
+		su, sv := r.part.Shard(e[0]), r.part.Shard(e[1])
+		// Both endpoint shards record the edge; the non-owned endpoint
+		// materializes as a ghost. Shards merely ghosting both endpoints
+		// are not updated — their halos are refreshed only by their own
+		// rebuilds, which is an accepted approximation (ghost
+		// neighborhoods steer OCA quality, never ownership).
+		lu, lv := r.shards[su].ensureLocal(e[0]), r.shards[su].ensureLocal(e[1])
+		ops[su].add = append(ops[su].add, [2]int32{lu, lv})
+		if sv != su {
+			lu, lv = r.shards[sv].ensureLocal(e[0]), r.shards[sv].ensureLocal(e[1])
+			ops[sv].add = append(ops[sv].add, [2]int32{lu, lv})
+		}
+	}
+	for s := range ops {
+		if len(ops[s].add)+len(ops[s].remove) == 0 {
+			continue
+		}
+		if _, _, err := r.shards[s].worker.Enqueue(ops[s].add, ops[s].remove); err != nil {
+			return r.genVector(), 0, nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		touched = append(touched, s)
+	}
+	r.curN = batchN
+	return r.genVector(), len(add) + len(remove), touched, nil
+}
+
+// ShardOf returns the shard owning a (non-negative) global node id.
+func (r *Router) ShardOf(global int32) int { return r.part.Shard(global) }
+
+// Flush blocks until the listed shards (every shard when nil) have
+// reflected their previously enqueued mutations, then returns the full
+// generation vector. Waiting clients pass the touched set from their
+// Enqueue so an unrelated shard's deep backlog doesn't stall them.
+func (r *Router) Flush(ctx context.Context, shards []int) (GenVector, error) {
+	if shards == nil {
+		shards = make([]int, len(r.shards))
+		for s := range shards {
+			shards[s] = s
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(shards))
+	for i, s := range shards {
+		wg.Add(1)
+		go func(i int, w *refresh.Worker) {
+			defer wg.Done()
+			_, errs[i] = w.Flush(ctx)
+		}(i, r.shards[s].worker)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return r.genVector(), fmt.Errorf("shard %d: %w", shards[i], err)
+		}
+	}
+	return r.genVector(), nil
+}
+
+// Statuses returns every shard's point-in-time worker status with its
+// active c. It never blocks on rebuilds.
+func (r *Router) Statuses() []WorkerStatus {
+	out := make([]WorkerStatus, len(r.shards))
+	for s, st := range r.shards {
+		out[s] = WorkerStatus{
+			Shard:  s,
+			C:      st.worker.Snapshot().C,
+			Status: st.worker.Status(),
+		}
+	}
+	return out
+}
+
+// Close stops every shard's refresh worker. Reads keep serving the last
+// published generations; mutations fail afterwards. Safe to call
+// multiple times, including on a partially constructed router.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	for _, st := range r.shards {
+		if st != nil && st.worker != nil {
+			st.worker.Close()
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package shard
+
+import (
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/postprocess"
+	"repro/internal/refresh"
+)
+
+// Meta is the shard-layer metadata attached to every per-shard
+// refresh.Snapshot (as Snapshot.Aux): the local→global translation
+// table for exactly that generation's node set, plus the shard's
+// contribution to global aggregates, precomputed once per rebuild so
+// observability endpoints stay O(K) per request.
+type Meta struct {
+	// Shard and K identify the shard within its partition.
+	Shard int
+	K     int
+	// Locals maps the snapshot graph's local node ids to global ids;
+	// its length equals the snapshot graph's node count. The table is a
+	// stable prefix of the shard's append-only mapping, so it is safe
+	// for any number of concurrent readers.
+	Locals []int32
+	// OwnedNodes counts nodes this shard owns (non-ghosts).
+	OwnedNodes int
+	// OwnedEdges counts the global edges this shard is accountable for:
+	// internal edges between two owned nodes, plus cross-shard edges
+	// whose smaller-global-id endpoint is owned here. Summed over all
+	// shards this is exactly the global edge count.
+	OwnedEdges int64
+	// CoveredOwned, OverlapOwned, OwnedMemberships and
+	// MaxMembershipOwned tally cover membership over owned nodes only,
+	// so aggregating across shards counts every global node exactly
+	// once — and quotes numbers a lookup routed to the owning shard can
+	// actually return (ghost copies may carry more memberships here
+	// than their owner serves).
+	CoveredOwned       int
+	OverlapOwned       int
+	OwnedMemberships   int64
+	MaxMembershipOwned int
+}
+
+// buildMeta computes a snapshot's Meta from its graph, index and
+// translation table.
+func buildMeta(shardID, k int, g *graph.Graph, ix *index.Membership, locals []int32) *Meta {
+	m := &Meta{Shard: shardID, K: k, Locals: locals}
+	owns := func(local int32) bool {
+		return int(locals[local])%k == shardID
+	}
+	for l := int32(0); int(l) < g.N(); l++ {
+		if owns(l) {
+			m.OwnedNodes++
+			if d := ix.Degree(l); d > m.MaxMembershipOwned {
+				m.MaxMembershipOwned = d
+			}
+		}
+	}
+	g.Edges(func(lu, lv int32) bool {
+		gu, gv := locals[lu], locals[lv]
+		ou, ov := int(gu)%k == shardID, int(gv)%k == shardID
+		switch {
+		case ou && ov:
+			m.OwnedEdges++
+		case ou && gu < gv, ov && gv < gu:
+			m.OwnedEdges++
+		}
+		return true
+	})
+	m.CoveredOwned, m.OverlapOwned, m.OwnedMemberships = ix.CoverageCounts(owns)
+	return m
+}
+
+// filterOwned drops communities containing no owned node — artifacts of
+// ghost-seeded searches that some other shard serves authoritatively.
+// When nothing is dropped the input cover is returned as-is.
+func filterOwned(cv *cover.Cover, locals []int32, k, shardID int) *cover.Cover {
+	if cv == nil {
+		return cover.NewCover(nil)
+	}
+	kept := cv.Communities[:0:0]
+	dropped := false
+	for _, c := range cv.Communities {
+		owned := false
+		for _, l := range c {
+			if int(locals[l])%k == shardID {
+				owned = true
+				break
+			}
+		}
+		if owned {
+			kept = append(kept, c)
+		} else {
+			dropped = true
+		}
+	}
+	if !dropped {
+		return cv
+	}
+	return cover.NewCover(kept)
+}
+
+// View is one shard's published generation plus the id translation a
+// reader needs: handlers load one View per shard per request and answer
+// entirely from it. The zero value is invalid; obtain Views from a
+// provider (the Router, or SingleView for the unsharded path).
+type View struct {
+	// Shard is the shard index this view belongs to.
+	Shard int
+	// Snap is the generation the view reads from.
+	Snap *refresh.Snapshot
+	// lookup resolves a global node id to this shard's local id; nil
+	// means the identity mapping (the unsharded path).
+	lookup func(int32) (int32, bool)
+}
+
+// SingleView wraps an unsharded snapshot as shard 0's view with the
+// identity translation, letting the single-graph and sharded serving
+// paths share one code path.
+func SingleView(snap *refresh.Snapshot) View { return View{Snap: snap} }
+
+// Sharded reports whether this view translates ids (false on the
+// unsharded path).
+func (v View) Sharded() bool { return v.lookup != nil }
+
+// Meta returns the shard metadata of the viewed snapshot, nil on the
+// unsharded path.
+func (v View) Meta() *Meta {
+	m, _ := v.Snap.Aux.(*Meta)
+	return m
+}
+
+// Local resolves a global node id to the viewed snapshot's local id. It
+// reports false for ids unknown to this generation — never seen, or
+// pending growth not yet published.
+func (v View) Local(global int32) (int32, bool) {
+	if global < 0 {
+		return 0, false
+	}
+	if v.lookup == nil {
+		if int(global) >= v.Snap.Graph.N() {
+			return 0, false
+		}
+		return global, true
+	}
+	l, ok := v.lookup(global)
+	if !ok || int(l) >= v.Snap.Graph.N() {
+		return 0, false
+	}
+	return l, true
+}
+
+// Global translates a local node id of the viewed snapshot back to its
+// global id.
+func (v View) Global(local int32) int32 {
+	if m := v.Meta(); m != nil {
+		return m.Locals[local]
+	}
+	return local
+}
+
+// Members translates a community's local member list to global ids. On
+// the unsharded path the input slice is returned unchanged (no copy),
+// preserving the zero-allocation lookup path.
+func (v View) Members(ms []int32) []int32 {
+	m := v.Meta()
+	if m == nil {
+		return ms
+	}
+	out := make([]int32, len(ms))
+	for i, l := range ms {
+		out[i] = m.Locals[l]
+	}
+	return out
+}
+
+// MergeCovers assembles the global cover the sharded deployment serves:
+// every shard's communities translated to global ids, with the paper's
+// ρ-threshold merge collapsing the per-shard variants of boundary
+// communities (a community spanning several shards is recovered — with
+// slightly different halo visibility — by each of them; their union is
+// the community). This is the offline/analysis view; the serving path
+// keeps covers per shard so each rebuilds independently.
+func MergeCovers(views []View) *cover.Cover {
+	var comms []cover.Community
+	for _, view := range views {
+		for _, c := range view.Snap.Cover.Communities {
+			comms = append(comms, cover.NewCommunity(view.Members(c)))
+		}
+	}
+	return postprocess.Merge(cover.NewCover(comms), postprocess.DefaultMergeThreshold)
+}
+
+// ShardGen is one entry of a response's (shard, generation) vector.
+type ShardGen struct {
+	Shard int    `json:"shard"`
+	Gen   uint64 `json:"generation"`
+}
+
+// GenVector is the per-shard generation vector quoted in responses so
+// clients can detect a lagging shard: entry i is shard i's generation
+// at the time the response was assembled.
+type GenVector []ShardGen
+
+// Max returns the highest generation in the vector (0 for an empty
+// vector) — the scalar summary used where a single number is wanted.
+func (gv GenVector) Max() uint64 {
+	var max uint64
+	for _, e := range gv {
+		if e.Gen > max {
+			max = e.Gen
+		}
+	}
+	return max
+}
+
+// WorkerStatus pairs one shard's refresh.Status with its identity and
+// active inner-product parameter, for observability endpoints.
+type WorkerStatus struct {
+	// Shard is the shard index.
+	Shard int
+	// C is the inner-product parameter active in the shard's current
+	// snapshot (0 when not yet derived, e.g. an edgeless shard).
+	C float64
+	// Status is the shard worker's point-in-time view.
+	Status refresh.Status
+}
