@@ -2,13 +2,15 @@
 # same targets, so a green `make check` locally means a green CI run.
 
 GO ?= go
-RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/... ./internal/refresh/... ./internal/shard/...
+RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/... ./internal/refresh/... ./internal/shard/... ./internal/postprocess/...
 # Packages whose statement coverage must stay at or above COVER_MIN:
-# the concurrent serving layer, where untested paths hide races.
-COVER_PKGS := repro/internal/server repro/internal/refresh repro/internal/shard
+# the concurrent serving layer, where untested paths hide races, plus
+# the correctness-critical incremental-rebuild primitives (index
+# patching, incremental merge).
+COVER_PKGS := repro/internal/server repro/internal/refresh repro/internal/shard repro/internal/index repro/internal/postprocess
 COVER_MIN := 75
 
-.PHONY: build test race vet fmt-check bench-smoke bench-shard fuzz-smoke cover-check examples check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-shard bench-refresh bench-refresh-smoke fuzz-smoke cover-check examples check clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +42,19 @@ bench-smoke:
 # router's fan-out overhead must stay small against the K=1 baseline.
 bench-shard:
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterBatchLookup' -benchtime 2s ./internal/shard
+
+# Incremental-rebuild gate on a ~50k-node LFR graph: rebuild latency vs
+# mutation batch size, incremental vs full vs cold, with an NMI
+# equivalence ladder. Fails unless the 100-mutation incremental rebuild
+# is ≥5x faster than the cold rebuild path at NMI ≥ 0.98; writes the
+# evidence to BENCH_refresh.json.
+bench-refresh:
+	$(GO) run ./cmd/refreshbench -out BENCH_refresh.json
+
+# CI smoke version: small graph, paths exercised (mode + NMI floor
+# enforced), latencies reported but not judged.
+bench-refresh-smoke:
+	$(GO) run ./cmd/refreshbench -short -out BENCH_refresh_smoke.json
 
 # Short fuzz runs over the untrusted-input parsers. The checked-in seed
 # corpus (internal/graph/testdata/fuzz) always runs under plain `make
@@ -74,4 +89,4 @@ examples:
 check: build vet fmt-check test race cover-check examples
 
 clean:
-	rm -f BENCH_smoke.json cover.txt
+	rm -f BENCH_smoke.json BENCH_refresh_smoke.json cover.txt

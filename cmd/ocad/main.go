@@ -75,6 +75,7 @@ func run(args []string) error {
 	shards := fs.Int("shards", 1, "partition the graph and cover across K node-disjoint shards behind a fan-out router")
 	maxNodes := fs.Int("max-nodes", -1, "max node-set size /v1/edges growth may reach (-1 = 8x the initial graph, 0 = fixed node set)")
 	rederiveC := fs.Float64("rederive-c", 0.25, "re-derive c=-1/λmin during a rebuild once applied mutations exceed this fraction of the graph's edges (0 = pin the startup value; ignored when -c is set)")
+	incrementalThreshold := fs.Float64("incremental-threshold", 0.25, "rebuild incrementally (dirty-region scoped OCA, patched index) when a mutation batch touches at most this fraction of the served communities; batches touching none skip OCA entirely (0 = always rebuild fully)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,15 +106,16 @@ func run(args []string) error {
 	log.Printf("loaded graph: %d nodes, %d edges", g.N(), g.M())
 
 	cfg := server.Config{
-		Lazy:             *lazy,
-		SearchWorkers:    *searchWorkers,
-		RequestTimeout:   *reqTimeout,
-		RefreshDebounce:  *refreshDebounce,
-		MaxBatchIDs:      *maxBatchIDs,
-		DisableWarmStart: *coldRefresh,
-		Shards:           *shards,
-		MaxNodes:         resolveMaxNodes(*maxNodes, g.N()),
-		RederiveCAfter:   *rederiveC,
+		Lazy:                 *lazy,
+		SearchWorkers:        *searchWorkers,
+		RequestTimeout:       *reqTimeout,
+		RefreshDebounce:      *refreshDebounce,
+		MaxBatchIDs:          *maxBatchIDs,
+		DisableWarmStart:     *coldRefresh,
+		Shards:               *shards,
+		MaxNodes:             resolveMaxNodes(*maxNodes, g.N()),
+		RederiveCAfter:       *rederiveC,
+		IncrementalThreshold: *incrementalThreshold,
 	}
 	cfg.OCA.Seed = *seed
 	cfg.OCA.C = *c

@@ -31,24 +31,31 @@ func localSearch(g *graph.Graph, st *search.State, seed int32, c float64, rng *r
 		}
 	}
 
+	// cur is L of the current set, threaded across iterations: each step
+	// evaluates L only for the two candidate moves (the chosen move's
+	// value becomes the next iteration's cur), instead of re-deriving the
+	// baseline and both one-sided differences from scratch.
+	cur := L(st.Size(), st.Ein(), c)
 	for opt.maxSteps <= 0 || steps < opt.maxSteps {
 		s, m := st.Size(), st.Ein()
-		cur := L(s, m, c)
 
 		bestGain := 0.0
+		bestL := 0.0
 		bestIsAdd := false
 		var bestNode int32
 		haveMove := false
 
 		if v, d, ok := st.BestAddition(); ok && (opt.maxSize <= 0 || s < opt.maxSize) {
-			if gain := gainAdd(s, m, d, c); gain > gainTol {
-				bestGain, bestNode, bestIsAdd, haveMove = gain, v, true, true
+			la := L(s+1, m+int64(d), c)
+			if gain := la - cur; gain > gainTol {
+				bestGain, bestL, bestNode, bestIsAdd, haveMove = gain, la, v, true, true
 			}
 		}
 		if s > 1 {
 			if u, d, ok := st.WorstMember(); ok {
-				if gain := gainRemove(s, m, d, c); gain > gainTol && gain > bestGain {
-					bestGain, bestNode, bestIsAdd, haveMove = gain, u, false, true
+				lr := L(s-1, m-int64(d), c)
+				if gain := lr - cur; gain > gainTol && gain > bestGain {
+					bestGain, bestL, bestNode, bestIsAdd, haveMove = gain, lr, u, false, true
 				}
 			}
 		}
@@ -60,9 +67,10 @@ func localSearch(g *graph.Graph, st *search.State, seed int32, c float64, rng *r
 		} else {
 			st.Remove(bestNode)
 		}
+		cur = bestL
 		steps++
 	}
-	return steps, L(st.Size(), st.Ein(), c)
+	return steps, cur
 }
 
 // searchOpts are the per-seed knobs of the local search, extracted from

@@ -66,6 +66,18 @@ type Options struct {
 	// structure — and they join the raw community list ahead of merging.
 	// Members must lie in [0, n); the communities are never mutated.
 	Warm []cover.Community
+	// Restrict, when non-nil, scopes the run to a dirty region: seeds
+	// are drawn only from these nodes, the coverage halting criterion
+	// measures coverage of this set instead of the whole graph, and the
+	// default MaxSeeds budget scales with the region, not with n. The
+	// local searches themselves still roam the full graph — restriction
+	// is about where exploration starts, not where communities may grow.
+	// Nodes must lie in [0, n); duplicates are ignored. An empty non-nil
+	// set finds nothing beyond Warm. This is the engine behind
+	// incremental refresh: a mutation batch dirties only the mutated
+	// endpoints and the members of the communities they touched, so the
+	// re-run costs O(|dirty region|) seeds instead of O(n).
+	Restrict []int32
 }
 
 // SeedStrategy selects where new local searches start. The paper leaves
@@ -121,7 +133,15 @@ func (o Options) withDefaults(n int) Options {
 		o.MergeThreshold = postprocess.DefaultMergeThreshold
 	}
 	if o.Halting.MaxSeeds <= 0 {
-		o.Halting.MaxSeeds = 4 * n
+		// The seed budget scales with the region being explored: the
+		// whole graph normally, the dirty region on a Restrict run —
+		// that proportionality is what makes incremental refresh cost
+		// O(|dirty|) instead of O(n).
+		domain := n
+		if o.Restrict != nil {
+			domain = len(o.Restrict)
+		}
+		o.Halting.MaxSeeds = 4 * domain
 		if o.Halting.MaxSeeds < 16 {
 			o.Halting.MaxSeeds = 16
 		}
@@ -150,6 +170,11 @@ type Result struct {
 	Steps int64
 	// RawCommunities counts local optima accepted before merging.
 	RawCommunities int
+	// Fresh holds the communities this run itself discovered — Warm
+	// excluded, merging not applied. The incremental refresh path reads
+	// it to combine fresh discoveries with the warm cover through
+	// postprocess.MergeInto instead of re-merging the whole cover.
+	Fresh []cover.Community
 }
 
 // Run executes OCA on g and returns the overlapping communities.
@@ -174,7 +199,12 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	res.C = c
 
-	driver := newSeedDriver(g, opt.Seeding, xrand.New(opt.Seed, -1))
+	for _, v := range opt.Restrict {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("core: restrict node %d outside graph range [0, %d)", v, n)
+		}
+	}
+	driver := newSeedDriver(g, opt.Seeding, xrand.New(opt.Seed, -1), opt.Restrict)
 	maxDeg := g.MaxDegree()
 	states := make([]*search.State, opt.Workers)
 	for i := range states {
@@ -251,6 +281,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		}
 	}
 	res.RawCommunities = len(raw)
+	// Copy the slice headers: NewCover takes ownership of raw and
+	// SortBySize below reorders its backing array.
+	res.Fresh = append([]cover.Community(nil), raw[len(opt.Warm):]...)
 
 	cv := cover.NewCover(raw)
 	if !opt.DisableMerge {
@@ -289,38 +322,68 @@ func FindCommunityWith(g *graph.Graph, st *search.State, seedNode int32, c float
 }
 
 // seedDriver tracks covered nodes and samples seeds according to the
-// configured SeedStrategy.
+// configured SeedStrategy. A non-nil domain scopes it to a dirty
+// region: seeds come only from the domain and coverage() measures the
+// domain, while the covered set still spans the whole graph (warm
+// communities and community spill-over cover nodes anywhere).
 type seedDriver struct {
 	strategy  SeedStrategy
 	rng       *rand.Rand
 	covered   *ds.Bitset
-	uncovered []int32 // swap-removal pool (SeedUncovered)
-	pos       []int32 // node -> index in uncovered, -1 once covered
-	byDegree  []int32 // nodes sorted by decreasing degree (SeedHighDegree)
+	uncovered []int32 // swap-removal pool (SeedUncovered), domain members only
+	pos       []int32 // node -> index in uncovered, -1 once covered (or outside the domain)
+	byDegree  []int32 // domain sorted by decreasing degree (SeedHighDegree)
 	tried     *ds.Bitset
 	cursor    int
 	n         int
+
+	domain        []int32    // deduplicated domain, nil = all nodes
+	inDomain      *ds.Bitset // nil = all nodes
+	domainSize    int
+	coveredDomain int // covered nodes inside the domain
 }
 
-func newSeedDriver(g *graph.Graph, strategy SeedStrategy, rng *rand.Rand) *seedDriver {
+func newSeedDriver(g *graph.Graph, strategy SeedStrategy, rng *rand.Rand, restrict []int32) *seedDriver {
 	n := g.N()
 	d := &seedDriver{
-		strategy:  strategy,
-		rng:       rng,
-		covered:   ds.NewBitset(n),
-		uncovered: make([]int32, n),
-		pos:       make([]int32, n),
-		n:         n,
+		strategy: strategy,
+		rng:      rng,
+		covered:  ds.NewBitset(n),
+		pos:      make([]int32, n),
+		n:        n,
 	}
-	for i := range d.uncovered {
-		d.uncovered[i] = int32(i)
-		d.pos[i] = int32(i)
+	if restrict == nil {
+		d.domainSize = n
+		d.uncovered = make([]int32, n)
+		for i := range d.uncovered {
+			d.uncovered[i] = int32(i)
+			d.pos[i] = int32(i)
+		}
+	} else {
+		for i := range d.pos {
+			d.pos[i] = -1
+		}
+		d.inDomain = ds.NewBitset(n)
+		d.domain = make([]int32, 0, len(restrict))
+		for _, v := range restrict {
+			if !d.inDomain.Add(v) {
+				continue // duplicate
+			}
+			d.pos[v] = int32(len(d.uncovered))
+			d.uncovered = append(d.uncovered, v)
+			d.domain = append(d.domain, v)
+		}
+		d.domainSize = len(d.domain)
 	}
 	if strategy == SeedHighDegree {
 		d.tried = ds.NewBitset(n)
-		d.byDegree = make([]int32, n)
-		for i := range d.byDegree {
-			d.byDegree[i] = int32(i)
+		if d.domain != nil {
+			d.byDegree = append([]int32(nil), d.domain...)
+		} else {
+			d.byDegree = make([]int32, n)
+			for i := range d.byDegree {
+				d.byDegree[i] = int32(i)
+			}
 		}
 		sort.SliceStable(d.byDegree, func(i, j int) bool {
 			di, dj := g.Degree(d.byDegree[i]), g.Degree(d.byDegree[j])
@@ -334,10 +397,21 @@ func newSeedDriver(g *graph.Graph, strategy SeedStrategy, rng *rand.Rand) *seedD
 }
 
 func (d *seedDriver) coverage() float64 {
-	if d.n == 0 {
+	if d.domainSize == 0 {
 		return 1
 	}
-	return float64(d.covered.Len()) / float64(d.n)
+	if d.domain == nil {
+		return float64(d.covered.Len()) / float64(d.domainSize)
+	}
+	return float64(d.coveredDomain) / float64(d.domainSize)
+}
+
+// uniformSeed draws one seed uniformly from the domain.
+func (d *seedDriver) uniformSeed() int32 {
+	if d.domain != nil {
+		return d.domain[d.rng.Intn(len(d.domain))]
+	}
+	return int32(d.rng.Intn(d.n))
 }
 
 // drawSeeds samples k seeds according to the strategy.
@@ -346,7 +420,7 @@ func (d *seedDriver) drawSeeds(k int) []int32 {
 	case SeedUniform:
 		seeds := make([]int32, k)
 		for i := range seeds {
-			seeds[i] = int32(d.rng.Intn(d.n))
+			seeds[i] = d.uniformSeed()
 		}
 		return seeds
 	case SeedHighDegree:
@@ -361,12 +435,12 @@ func (d *seedDriver) drawSeeds(k int) []int32 {
 			seeds = append(seeds, v)
 		}
 		for len(seeds) < k { // pool exhausted: uniform fallback
-			seeds = append(seeds, int32(d.rng.Intn(d.n)))
+			seeds = append(seeds, d.uniformSeed())
 		}
 		return seeds
 	}
 	// SeedUncovered: without replacement from the uncovered pool while
-	// it lasts, then uniformly from all nodes.
+	// it lasts, then uniformly from the domain.
 	seeds := make([]int32, 0, k)
 	// Reservoir of drawn uncovered seeds to restore afterwards (drawing
 	// without replacement within the batch, but not marking covered).
@@ -383,7 +457,7 @@ func (d *seedDriver) drawSeeds(k int) []int32 {
 		d.uncovered = append(d.uncovered, v)
 	}
 	for len(seeds) < k {
-		seeds = append(seeds, int32(d.rng.Intn(d.n)))
+		seeds = append(seeds, d.uniformSeed())
 	}
 	return seeds
 }
@@ -395,6 +469,9 @@ func (d *seedDriver) markCovered(members []int32) int {
 	for _, v := range members {
 		if d.covered.Add(v) {
 			novel++
+			if d.inDomain != nil && d.inDomain.Contains(v) {
+				d.coveredDomain++
+			}
 			d.removeUncovered(v)
 		}
 	}

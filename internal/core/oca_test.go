@@ -288,7 +288,7 @@ func TestSeedHighDegreeProbesHubsFirst(t *testing.T) {
 	b.AddEdge(8, 9)
 	b.AddEdge(7, 9)
 	g := b.Build()
-	d := newSeedDriver(g, SeedHighDegree, xrand.New(1, 0))
+	d := newSeedDriver(g, SeedHighDegree, xrand.New(1, 0), nil)
 	seeds := d.drawSeeds(3)
 	if seeds[0] != 0 {
 		t.Fatalf("first high-degree seed %d, want hub 0", seeds[0])

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+)
+
+// TestRestrictScopesSeeding: a run restricted to one clique of a
+// two-clique graph must explore only that region — the other clique is
+// never seeded, so no community forms there.
+func TestRestrictScopesSeeding(t *testing.T) {
+	g := twoCliquesBridge(8) // cliques 0..7 and 8..15
+	res, err := Run(g, Options{Seed: 9, Restrict: []int32{8, 9, 10, 11, 12, 13, 14, 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cover.Len() == 0 {
+		t.Fatal("restricted run found nothing in its own region")
+	}
+	for _, c := range res.Cover.Communities {
+		inB := 0
+		for _, v := range c {
+			if v >= 8 {
+				inB++
+			}
+		}
+		// Every community must be essentially clique B; at most the
+		// bridge endpoint leaks in.
+		if inB < len(c)-1 {
+			t.Fatalf("restricted run produced a community outside its region: %v", c)
+		}
+	}
+	// The seed budget scales with the region, not the graph: the default
+	// is 4·|restrict| (min 16), far below 4·n.
+	if res.SeedsTried > 4*8+8 {
+		t.Fatalf("tried %d seeds for an 8-node region", res.SeedsTried)
+	}
+}
+
+// TestRestrictWithWarmHaltsOnCoveredRegion: when warm communities
+// already cover the whole restricted region, the run should stop almost
+// immediately (coverage halting measures the region, not the graph) and
+// return the warm cover.
+func TestRestrictWithWarmHaltsOnCoveredRegion(t *testing.T) {
+	g := twoCliquesBridge(8)
+	warm := []cover.Community{cover.NewCommunity([]int32{0, 1, 2, 3, 4, 5, 6, 7})}
+	res, err := Run(g, Options{
+		Seed:     4,
+		Warm:     warm,
+		Restrict: []int32{0, 1, 2, 3},
+		// Disable merging so the output is exactly warm + fresh.
+		DisableMerge: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeedsTried != 0 {
+		t.Fatalf("tried %d seeds over a fully warm-covered region, want 0", res.SeedsTried)
+	}
+	if len(res.Fresh) != 0 {
+		t.Fatalf("fresh = %v, want none", res.Fresh)
+	}
+	if res.Cover.Len() != 1 || !res.Cover.Communities[0].Equal(warm[0]) {
+		t.Fatalf("cover = %v, want the warm community only", res.Cover.Communities)
+	}
+}
+
+// TestRestrictValidation: region members outside the graph are
+// rejected, and duplicates are tolerated.
+func TestRestrictValidation(t *testing.T) {
+	g := twoCliquesBridge(4)
+	if _, err := Run(g, Options{Seed: 1, Restrict: []int32{0, int32(g.N())}}); err == nil {
+		t.Fatal("expected error for out-of-range restrict node")
+	}
+	if _, err := Run(g, Options{Seed: 1, Restrict: []int32{0, 0, 1, 1, 2}}); err != nil {
+		t.Fatalf("duplicate restrict nodes: %v", err)
+	}
+}
+
+// TestFreshExcludesWarm: Result.Fresh must hold exactly the communities
+// the run itself discovered, unaffected by the result cover's sorting.
+func TestFreshExcludesWarm(t *testing.T) {
+	g := twoCliquesBridge(8)
+	warm := []cover.Community{cover.NewCommunity([]int32{0, 1, 2, 3, 4, 5, 6, 7})}
+	res, err := Run(g, Options{Seed: 6, Warm: warm, DisableMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fresh) == 0 {
+		t.Fatal("run discovered nothing fresh")
+	}
+	for _, c := range res.Fresh {
+		if c.Equal(warm[0]) {
+			continue // a re-discovery of the warm region is legitimate
+		}
+		hasB := false
+		for _, v := range c {
+			if v >= 8 {
+				hasB = true
+				break
+			}
+		}
+		if !hasB {
+			t.Fatalf("fresh community %v matches neither clique", c)
+		}
+	}
+}

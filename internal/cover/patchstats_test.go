@@ -1,0 +1,109 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// degreeOf returns a membership-degree function over a cover.
+func degreeOf(cv *Cover, n int) func(int32) int {
+	deg := make([]int, n)
+	for _, c := range cv.Communities {
+		for _, v := range c {
+			if v >= 0 && int(v) < n {
+				deg[v]++
+			}
+		}
+	}
+	return func(v int32) int {
+		if v < 0 || int(v) >= n {
+			return 0
+		}
+		return deg[v]
+	}
+}
+
+// TestPatchStatsMatchesStatsRandomized: patching the previous stats for
+// a removed/added community change must agree exactly with a full Stats
+// recomputation, including the MaxMembership-shrink re-scan.
+func TestPatchStatsMatchesStatsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 40 + rng.Intn(80)
+		var cs []Community
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			members := make([]int32, 3+rng.Intn(15))
+			for j := range members {
+				members[j] = int32(rng.Intn(n))
+			}
+			cs = append(cs, NewCommunity(members))
+		}
+		prevCv := NewCover(cs)
+		prevStats := prevCv.Stats(n)
+
+		removed := make([]bool, len(cs))
+		for i := range removed {
+			removed[i] = rng.Intn(3) == 0
+		}
+		var kept, added []Community
+		for ci, c := range cs {
+			if !removed[ci] {
+				kept = append(kept, c)
+			}
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			members := make([]int32, 3+rng.Intn(15))
+			for j := range members {
+				members[j] = int32(rng.Intn(n))
+			}
+			added = append(added, NewCommunity(members))
+		}
+		newN := n + rng.Intn(15)
+		newCv := NewCover(append(append([]Community{}, kept...), added...))
+
+		// Affected nodes: members of removed and added communities.
+		seen := map[int32]bool{}
+		var affected []int32
+		for ci, c := range cs {
+			if removed[ci] {
+				for _, v := range c {
+					if !seen[v] {
+						seen[v] = true
+						affected = append(affected, v)
+					}
+				}
+			}
+		}
+		for _, c := range added {
+			for _, v := range c {
+				if !seen[v] {
+					seen[v] = true
+					affected = append(affected, v)
+				}
+			}
+		}
+
+		got := PatchStats(prevStats, newCv, newN, affected, degreeOf(prevCv, n), degreeOf(newCv, newN))
+		want := newCv.Stats(newN)
+		if got != want {
+			t.Fatalf("trial %d: PatchStats=%+v, Stats=%+v", trial, got, want)
+		}
+	}
+}
+
+func TestPatchStatsEmptyTransitions(t *testing.T) {
+	n := 10
+	empty := NewCover(nil)
+	full := NewCover([]Community{NewCommunity([]int32{0, 1, 2})})
+
+	// empty -> one community
+	got := PatchStats(empty.Stats(n), full, n, []int32{0, 1, 2}, degreeOf(empty, n), degreeOf(full, n))
+	if want := full.Stats(n); got != want {
+		t.Fatalf("empty->full: got %+v, want %+v", got, want)
+	}
+	// one community -> empty
+	got = PatchStats(full.Stats(n), empty, n, []int32{0, 1, 2}, degreeOf(full, n), degreeOf(empty, n))
+	if want := empty.Stats(n); got != want {
+		t.Fatalf("full->empty: got %+v, want %+v", got, want)
+	}
+}

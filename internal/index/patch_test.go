@@ -1,0 +1,150 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cover"
+)
+
+// patchedCover applies the Patch contract to a cover: survivors in
+// previous order, added communities appended.
+func patchedCover(prev *cover.Cover, removed []bool, added []cover.Community) *cover.Cover {
+	var out []cover.Community
+	for ci, c := range prev.Communities {
+		if !removed[ci] {
+			out = append(out, c)
+		}
+	}
+	out = append(out, added...)
+	return cover.NewCover(out)
+}
+
+func assertSameIndex(t *testing.T, got, want *Membership, n int) {
+	t.Helper()
+	if got.N() != want.N() || got.NumCommunities() != want.NumCommunities() || got.Memberships() != want.Memberships() {
+		t.Fatalf("dimensions: got (n=%d, k=%d, m=%d), want (n=%d, k=%d, m=%d)",
+			got.N(), got.NumCommunities(), got.Memberships(), want.N(), want.NumCommunities(), want.Memberships())
+	}
+	for v := int32(0); int(v) < n; v++ {
+		g, w := got.Communities(v), want.Communities(v)
+		if len(g) != len(w) {
+			t.Fatalf("node %d: got %v, want %v", v, g, w)
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("node %d: got %v, want %v", v, g, w)
+			}
+		}
+	}
+}
+
+func TestPatchMatchesBuildRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 30 + rng.Intn(100)
+		var cs []cover.Community
+		for i := 0; i < 2+rng.Intn(10); i++ {
+			members := make([]int32, 3+rng.Intn(12))
+			for j := range members {
+				members[j] = int32(rng.Intn(n))
+			}
+			cs = append(cs, cover.NewCommunity(members))
+		}
+		prevCv := cover.NewCover(cs)
+		prev := Build(prevCv, n)
+
+		removed := make([]bool, len(cs))
+		for i := range removed {
+			removed[i] = rng.Intn(3) == 0
+		}
+		var added []cover.Community
+		for i := 0; i < rng.Intn(4); i++ {
+			members := make([]int32, 3+rng.Intn(12))
+			for j := range members {
+				members[j] = int32(rng.Intn(n))
+			}
+			added = append(added, cover.NewCommunity(members))
+		}
+		newN := n + rng.Intn(20)
+
+		got := Patch(prev, removed, added, newN)
+		want := Build(patchedCover(prevCv, removed, added), newN)
+		assertSameIndex(t, got, want, newN)
+	}
+}
+
+func TestPatchPureGrowthSharesMemberships(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2}),
+		cover.NewCommunity([]int32{2, 3}),
+	})
+	prev := Build(cv, 5)
+	if got := Patch(prev, nil, nil, 5); got != prev {
+		t.Fatal("no-op patch should return prev itself")
+	}
+	grown := Patch(prev, nil, nil, 9)
+	if grown.N() != 9 {
+		t.Fatalf("grown index has %d nodes, want 9", grown.N())
+	}
+	if &grown.comms[0] != &prev.comms[0] {
+		t.Fatal("pure growth should share the membership array")
+	}
+	for v := int32(5); v < 9; v++ {
+		if grown.Covered(v) {
+			t.Fatalf("grown node %d reported covered", v)
+		}
+	}
+	// All-false removed flags are still a pure growth.
+	grown2 := Patch(prev, make([]bool, prev.NumCommunities()), nil, 9)
+	if &grown2.comms[0] != &prev.comms[0] {
+		t.Fatal("all-false removal flags should still share the membership array")
+	}
+}
+
+func TestPatchPanicsOnBadArguments(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{cover.NewCommunity([]int32{0, 1, 2})})
+	prev := Build(cv, 4)
+	assertPanics(t, "short removed", func() { Patch(prev, []bool{true, false}, nil, 4) })
+	assertPanics(t, "shrinking n", func() { Patch(prev, nil, nil, 3) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func BenchmarkPatchVsBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 50000
+	var cs []cover.Community
+	for i := 0; i < 800; i++ {
+		members := make([]int32, 40+rng.Intn(40))
+		for j := range members {
+			members[j] = int32(rng.Intn(n))
+		}
+		cs = append(cs, cover.NewCommunity(members))
+	}
+	prevCv := cover.NewCover(cs)
+	prev := Build(prevCv, n)
+	removed := make([]bool, len(cs))
+	removed[3], removed[77] = true, true
+	added := []cover.Community{cs[3], cs[77]}
+
+	b.Run("Patch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Patch(prev, removed, added, n)
+		}
+	})
+	b.Run("Build", func(b *testing.B) {
+		target := patchedCover(prevCv, removed, added)
+		for i := 0; i < b.N; i++ {
+			Build(target, n)
+		}
+	})
+}

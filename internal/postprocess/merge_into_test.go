@@ -1,0 +1,161 @@
+package postprocess
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/index"
+)
+
+// warmFixture builds a previous-generation cover, its index, and the
+// warm slice/ids left after dropping the touched communities.
+func warmFixture(prev []cover.Community, touched []int, n int) (warm []cover.Community, warmOldID []int32, prevIx *index.Membership) {
+	cv := cover.NewCover(prev)
+	prevIx = index.Build(cv, n)
+	dropped := make(map[int]bool, len(touched))
+	for _, t := range touched {
+		dropped[t] = true
+	}
+	for ci, c := range prev {
+		if !dropped[ci] {
+			warm = append(warm, c)
+			warmOldID = append(warmOldID, int32(ci))
+		}
+	}
+	return warm, warmOldID, prevIx
+}
+
+func TestMergeIntoKeepsDisjointFresh(t *testing.T) {
+	prev := []cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2, 3}),
+		cover.NewCommunity([]int32{4, 5, 6, 7}),
+	}
+	warm, ids, ix := warmFixture(prev, nil, 10)
+	fresh := []cover.Community{cover.NewCommunity([]int32{8, 9})}
+	cv, kept, keptOld := MergeInto(warm, ids, ix, fresh, 0.5)
+	if kept != 2 || len(keptOld) != 2 || cv.Len() != 3 {
+		t.Fatalf("kept=%d keptOld=%v len=%d, want 2 kept and 3 total", kept, keptOld, cv.Len())
+	}
+	// Unchanged warm communities must alias the inputs, in order.
+	for i := 0; i < kept; i++ {
+		if &cv.Communities[i][0] != &warm[i][0] {
+			t.Fatalf("kept community %d does not alias its warm input", i)
+		}
+	}
+	if !cv.Communities[2].Equal(fresh[0]) {
+		t.Fatalf("appended fresh community = %v", cv.Communities[2])
+	}
+}
+
+func TestMergeIntoAbsorbsNearDuplicate(t *testing.T) {
+	prev := []cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2, 3}),
+		cover.NewCommunity([]int32{10, 11, 12, 13}),
+	}
+	warm, ids, ix := warmFixture(prev, nil, 20)
+	// Shares 3 of 4 members with warm 0: ρ well above 0.5.
+	fresh := []cover.Community{cover.NewCommunity([]int32{0, 1, 2, 4})}
+	cv, kept, keptOld := MergeInto(warm, ids, ix, fresh, 0.5)
+	if kept != 1 || len(keptOld) != 1 || keptOld[0] != 1 {
+		t.Fatalf("kept=%d keptOld=%v, want only previous community 1 unchanged", kept, keptOld)
+	}
+	if cv.Len() != 2 {
+		t.Fatalf("cover has %d communities, want 2", cv.Len())
+	}
+	want := cover.NewCommunity([]int32{0, 1, 2, 3, 4})
+	if !cv.Communities[1].Equal(want) {
+		t.Fatalf("merged community = %v, want %v", cv.Communities[1], want)
+	}
+	// The warm input must not have been mutated.
+	if len(warm[0]) != 4 {
+		t.Fatalf("warm input mutated: %v", warm[0])
+	}
+}
+
+// TestMergeIntoBridgesWarmPair: a fresh community overlapping two warm
+// communities can pull both in — the grown set is re-tested, so
+// warm–warm merges bridged by fresh structure still happen even though
+// warm pairs are never tested directly.
+func TestMergeIntoBridgesWarmPair(t *testing.T) {
+	prev := []cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2, 3}),
+		cover.NewCommunity([]int32{2, 3, 4, 5}),
+	}
+	warm, ids, ix := warmFixture(prev, nil, 10)
+	fresh := []cover.Community{cover.NewCommunity([]int32{0, 1, 2, 3, 4, 5})}
+	cv, kept, _ := MergeInto(warm, ids, ix, fresh, 0.5)
+	if kept != 0 || cv.Len() != 1 {
+		t.Fatalf("kept=%d len=%d, want one fully merged community", kept, cv.Len())
+	}
+	want := cover.NewCommunity([]int32{0, 1, 2, 3, 4, 5})
+	if !cv.Communities[0].Equal(want) {
+		t.Fatalf("merged community = %v, want %v", cv.Communities[0], want)
+	}
+}
+
+// TestMergeIntoMatchesMergeOnFixpoint: when warm is a Merge fixpoint,
+// running MergeInto with fresh discoveries must land on the same
+// communities as a full Merge over warm ∪ fresh (set-of-sets equality;
+// ordering differs by design).
+func TestMergeIntoMatchesMergeOnFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 200
+	for trial := 0; trial < 25; trial++ {
+		// A warm fixpoint: random communities, pre-merged.
+		var raw []cover.Community
+		for i := 0; i < 12; i++ {
+			members := make([]int32, 8+rng.Intn(10))
+			for j := range members {
+				members[j] = int32(rng.Intn(n))
+			}
+			raw = append(raw, cover.NewCommunity(members))
+		}
+		warmCv := Merge(cover.NewCover(raw), 0.5)
+		prev := warmCv.Communities
+		warm, ids, ix := warmFixture(prev, nil, n)
+
+		var fresh []cover.Community
+		for i := 0; i < 4; i++ {
+			// Noisy copy of a warm community, or a random new one.
+			if len(prev) > 0 && rng.Intn(2) == 0 {
+				base := prev[rng.Intn(len(prev))]
+				noisy := append(cover.Community{}, base...)
+				noisy[rng.Intn(len(noisy))] = int32(rng.Intn(n))
+				fresh = append(fresh, cover.NewCommunity(noisy))
+			} else {
+				members := make([]int32, 6+rng.Intn(6))
+				for j := range members {
+					members[j] = int32(rng.Intn(n))
+				}
+				fresh = append(fresh, cover.NewCommunity(members))
+			}
+		}
+
+		got, _, _ := MergeInto(warm, ids, ix, fresh, 0.5)
+		all := append(append([]cover.Community{}, warm...), fresh...)
+		want := Merge(cover.NewCover(all), 0.5)
+		if !sameCommunitySets(got, want) {
+			t.Fatalf("trial %d: MergeInto=%v, Merge=%v", trial, got.Communities, want.Communities)
+		}
+	}
+}
+
+// sameCommunitySets compares two covers as multisets of member sets.
+func sameCommunitySets(a, b *cover.Cover) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	used := make([]bool, b.Len())
+outer:
+	for _, ca := range a.Communities {
+		for j, cb := range b.Communities {
+			if !used[j] && ca.Equal(cb) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}

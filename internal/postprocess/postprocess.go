@@ -34,8 +34,9 @@ func Merge(cv *cover.Cover, threshold float64) *cover.Cover {
 			cs = append(cs, cc)
 		}
 	}
+	var sc mergeScratch
 	for {
-		merged := mergePass(cs, threshold)
+		merged := mergePass(cs, threshold, &sc)
 		if merged == nil {
 			break
 		}
@@ -44,34 +45,107 @@ func Merge(cv *cover.Cover, threshold float64) *cover.Cover {
 	return cover.NewCover(cs)
 }
 
-// mergePass performs one greedy pass. It returns the new community list
-// if at least one merge happened, or nil if none did.
-func mergePass(cs []cover.Community, threshold float64) []cover.Community {
-	index := map[int32][]int{}
-	for ci, c := range cs {
-		for _, v := range c {
-			index[v] = append(index[v], ci)
+// mergeScratch holds the buffers mergePass reuses across passes: the
+// CSR-style inverted node→community index (offsets + flat lists) and a
+// stamped candidate-dedup array. One Merge call allocates the buffers
+// once, on the first pass — later passes, whose covers only shrink, run
+// allocation-free.
+type mergeScratch struct {
+	offsets []int64 // len maxID+2
+	cursor  []int64 // fill cursors, len maxID+1
+	lists   []int32 // flat community-id lists
+	seen    []int32 // candidate dedup stamps, len = community count
+	stamp   int32
+	cands   []int32
+}
+
+// ensure sizes the buffers for node ids up to maxID over k communities.
+func (sc *mergeScratch) ensure(maxID int32, k, memberships int) {
+	if need := int(maxID) + 2; cap(sc.offsets) < need {
+		sc.offsets = make([]int64, need)
+		sc.cursor = make([]int64, need-1)
+	} else {
+		sc.offsets = sc.offsets[:need]
+		sc.cursor = sc.cursor[:need-1]
+		for i := range sc.offsets {
+			sc.offsets[i] = 0
 		}
 	}
+	if cap(sc.lists) < memberships {
+		sc.lists = make([]int32, memberships)
+	} else {
+		sc.lists = sc.lists[:memberships]
+	}
+	if cap(sc.seen) < k {
+		sc.seen = make([]int32, k)
+		sc.stamp = 0
+	} else {
+		sc.seen = sc.seen[:k]
+	}
+}
+
+// mergePass performs one greedy pass. It returns the new community list
+// if at least one merge happened, or nil if none did.
+func mergePass(cs []cover.Community, threshold float64, sc *mergeScratch) []cover.Community {
+	maxID := int32(-1)
+	memberships := 0
+	for _, c := range cs {
+		memberships += len(c)
+		for _, v := range c {
+			if v > maxID {
+				maxID = v
+			}
+		}
+	}
+	sc.ensure(maxID, len(cs), memberships)
+	// Build the inverted index CSR-style: count, prefix-sum, fill.
+	// Communities are visited in ascending index order, so each node's
+	// list comes out sorted. Negative ids are skipped (they cannot be
+	// shared, so they never produce candidates).
+	for _, c := range cs {
+		for _, v := range c {
+			if v >= 0 {
+				sc.offsets[v+1]++
+			}
+		}
+	}
+	for v := int32(0); v <= maxID; v++ {
+		sc.offsets[v+1] += sc.offsets[v]
+	}
+	copy(sc.cursor, sc.offsets[:maxID+1])
+	for ci, c := range cs {
+		for _, v := range c {
+			if v >= 0 {
+				sc.lists[sc.cursor[v]] = int32(ci)
+				sc.cursor[v]++
+			}
+		}
+	}
+
 	dead := make([]bool, len(cs))
 	anyMerge := false
 	for i := range cs {
 		if dead[i] {
 			continue
 		}
-		// Collect distinct candidate partners sharing a node with i.
-		seen := map[int]bool{}
-		var cands []int
+		// Collect distinct candidate partners sharing a node with i,
+		// deduplicated by stamp (first-seen order, sorted below so merge
+		// order stays deterministic).
+		sc.stamp++
+		sc.cands = sc.cands[:0]
 		for _, v := range cs[i] {
-			for _, j := range index[v] {
-				if j > i && !dead[j] && !seen[j] {
-					seen[j] = true
-					cands = append(cands, j)
+			if v < 0 {
+				continue
+			}
+			for _, j := range sc.lists[sc.offsets[v]:sc.offsets[v+1]] {
+				if int(j) > i && !dead[j] && sc.seen[j] != sc.stamp {
+					sc.seen[j] = sc.stamp
+					sc.cands = append(sc.cands, j)
 				}
 			}
 		}
-		sort.Ints(cands)
-		for _, j := range cands {
+		sort.Slice(sc.cands, func(a, b int) bool { return sc.cands[a] < sc.cands[b] })
+		for _, j := range sc.cands {
 			if dead[j] {
 				continue
 			}

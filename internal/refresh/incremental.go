@@ -1,0 +1,263 @@
+package refresh
+
+// The dirty-region rebuild engine: make a rebuild cost proportional to
+// the mutation batch, not the graph. The paper's fitness L(S) depends
+// only on |S| and Ein(S), so a mutation can change the optimality of a
+// community only if it touches the community's neighborhood — every
+// community containing no mutated endpoint is exactly as locally
+// optimal as before. A small batch therefore dirties only the mutated
+// endpoints plus the members of the communities they touch; OCA is
+// re-seeded over that region alone (core.Options.Restrict), fresh
+// discoveries are folded into the carried cover incrementally
+// (postprocess.MergeInto) and the inverted index and overlap stats are
+// patched (index.Patch, cover.PatchStats) instead of rebuilt.
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/postprocess"
+)
+
+// planRebuild decides how the taken batch is applied: ModeFastpath
+// (publish without OCA), ModeIncremental (dirty-region scoped run) or
+// ModeFull (today's whole-graph path). touchedComms are the previous
+// generation's communities containing a mutated endpoint, nil unless
+// the incremental engine is eligible.
+func (w *Worker) planRebuild(old *Snapshot, touched []int32, ops []op, rederive bool) (mode string, touchedComms []int32) {
+	if w.cfg.IncrementalThreshold <= 0 || w.cfg.DisableWarmStart ||
+		w.cfg.OCA.AssignOrphans || rederive || old.Cover == nil || old.Index == nil {
+		return ModeFull, nil
+	}
+	// MergeInto's premise is that the carried cover is a Merge fixpoint
+	// (warm pairs need no re-testing). A generation with no Result —
+	// a preloaded cover file, or a carry-over after a failed rebuild —
+	// never went through the merge, so near-duplicates could persist
+	// forever on the incremental path; one full rebuild restores the
+	// invariant and re-enables the engine.
+	if old.Result == nil {
+		return ModeFull, nil
+	}
+	touchedComms = touchedCommunities(old.Index, touched)
+	if len(touchedComms) == 0 {
+		// No community contains a mutated endpoint. Removals between
+		// uncovered nodes cannot create or destroy structure: publish
+		// the new graph with the cover untouched. Additions can seed new
+		// structure in an uncovered region, so they take the scoped run
+		// (with an empty touched set the dirty region is just the
+		// endpoints — the cheapest possible OCA, and the path that
+		// bootstraps covers on initially empty graphs).
+		if !hasEffectiveAdd(old.Graph, ops) {
+			return ModeFastpath, nil
+		}
+		return ModeIncremental, nil
+	}
+	if float64(len(touchedComms)) > w.cfg.IncrementalThreshold*float64(old.Cover.Len()) {
+		return ModeFull, nil
+	}
+	return ModeIncremental, touchedComms
+}
+
+// hasEffectiveAdd reports whether any operation adds an edge absent
+// from g (adds of existing edges and removals never create structure).
+func hasEffectiveAdd(g *graph.Graph, ops []op) bool {
+	n := g.N()
+	for _, o := range ops {
+		if o.del {
+			continue
+		}
+		if int(o.u) >= n || int(o.v) >= n || !g.HasEdge(o.u, o.v) {
+			return true
+		}
+	}
+	return false
+}
+
+// touchedCommunities returns the sorted distinct communities of ix
+// containing any of the touched nodes.
+func touchedCommunities(ix *index.Membership, touched []int32) []int32 {
+	seen := make([]bool, ix.NumCommunities())
+	var out []int32
+	for _, v := range touched {
+		for _, ci := range ix.Communities(v) {
+			if !seen[ci] {
+				seen[ci] = true
+				out = append(out, ci)
+			}
+		}
+	}
+	// Recover ascending order with one pass over the flags instead of a
+	// sort (out is small but unordered: touched nodes interleave ids).
+	out = out[:0]
+	for ci, s := range seen {
+		if s {
+			out = append(out, int32(ci))
+		}
+	}
+	return out
+}
+
+// dirtyRegion is the node set an incremental rebuild re-seeds over: the
+// mutated endpoints plus every member of a touched community, deduped.
+func dirtyRegion(cv *cover.Cover, touched, touchedComms []int32, n int) []int32 {
+	seen := ds.NewBitset(n)
+	dirty := make([]int32, 0, len(touched))
+	for _, v := range touched {
+		if int(v) < n && seen.Add(v) {
+			dirty = append(dirty, v)
+		}
+	}
+	for _, ci := range touchedComms {
+		for _, v := range cv.Communities[ci] {
+			if int(v) < n && seen.Add(v) {
+				dirty = append(dirty, v)
+			}
+		}
+	}
+	return dirty
+}
+
+// fastpathSnapshot publishes ng with the previous cover carried over
+// unchanged: no OCA, the index extended (shared outright when the node
+// set did not grow) and the stats reused.
+func (w *Worker) fastpathSnapshot(old *Snapshot, ng *graph.Graph, buildSnap func(*graph.Graph, *cover.Cover, *core.Result, float64, time.Duration) *Snapshot, start time.Time) *Snapshot {
+	var snap *Snapshot
+	if w.cfg.BuildSnapshot != nil {
+		// A custom snapshot assembler (the shard layer) owns index and
+		// metadata construction; only the OCA run is skipped.
+		snap = buildSnap(ng, old.Cover, old.Result, old.C, time.Since(start))
+	} else {
+		snap = &Snapshot{
+			Graph:     ng,
+			Cover:     old.Cover,
+			Index:     index.Patch(old.Index, nil, nil, ng.N()),
+			Stats:     old.Stats,
+			Result:    old.Result,
+			C:         old.C,
+			MaxDegree: ng.MaxDegree(),
+			BuildTime: time.Since(start),
+			BuiltAt:   time.Now(),
+		}
+	}
+	snap.RebuildMode = ModeFastpath
+	return snap
+}
+
+// incrementalSnapshot runs the dirty-region rebuild: a scoped OCA run
+// seeded only over the dirty region, MergeInto against the carried
+// cover, and index/stats patching. Errors fall back to the caller's
+// carry-over path.
+func (w *Worker) incrementalSnapshot(old *Snapshot, ng *graph.Graph, opt core.Options, touched, touchedComms []int32, start time.Time) (*Snapshot, error) {
+	dirty := dirtyRegion(old.Cover, touched, touchedComms, ng.N())
+
+	removed := make([]bool, old.Cover.Len())
+	for _, ci := range touchedComms {
+		removed[ci] = true
+	}
+	warm := make([]cover.Community, 0, old.Cover.Len()-len(touchedComms))
+	warmOldID := make([]int32, 0, old.Cover.Len()-len(touchedComms))
+	for ci, c := range old.Cover.Communities {
+		if !removed[ci] {
+			warm = append(warm, c)
+			warmOldID = append(warmOldID, int32(ci))
+		}
+	}
+
+	// The scoped run: warm communities steer seeding and halting away
+	// from known structure but are not re-merged globally — merging is
+	// done incrementally below, against candidates from the previous
+	// generation's index.
+	opt.Warm = warm
+	opt.Restrict = dirty
+	opt.DisableMerge = true
+	res, err := core.Run(ng, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		cv      *cover.Cover
+		kept    int
+		keptOld []int32
+	)
+	if w.cfg.OCA.DisableMerge {
+		comms := make([]cover.Community, 0, len(warm)+len(res.Fresh))
+		comms = append(comms, warm...)
+		comms = append(comms, res.Fresh...)
+		cv, kept, keptOld = cover.NewCover(comms), len(warm), warmOldID
+	} else {
+		mt := w.cfg.OCA.MergeThreshold
+		if mt <= 0 {
+			mt = postprocess.DefaultMergeThreshold
+		}
+		cv, kept, keptOld = postprocess.MergeInto(warm, warmOldID, old.Index, res.Fresh, mt)
+	}
+	res.Cover = cv
+
+	var snap *Snapshot
+	if w.cfg.BuildSnapshot != nil {
+		// The custom assembler rebuilds index/stats itself (the shard
+		// layer re-filters ghost-only communities, which invalidates the
+		// patch contract); the scoped OCA run and incremental merge are
+		// still the bulk of the savings.
+		snap = w.cfg.BuildSnapshot(ng, cv, res, res.C, time.Since(start))
+	} else {
+		// removedAll covers both the touched communities and the warm
+		// ones that absorbed a fresh discovery.
+		removedAll := make([]bool, old.Cover.Len())
+		for i := range removedAll {
+			removedAll[i] = true
+		}
+		for _, id := range keptOld {
+			removedAll[id] = false
+		}
+		added := cv.Communities[kept:]
+		ix := index.Patch(old.Index, removedAll, added, ng.N())
+		affected := affectedNodes(old.Cover, removedAll, added, ng.N())
+		stats := cover.PatchStats(old.Stats, cv, ng.N(), affected, old.Index.Degree, ix.Degree)
+		snap = &Snapshot{
+			Graph:     ng,
+			Cover:     cv,
+			Index:     ix,
+			Stats:     stats,
+			Result:    res,
+			C:         res.C,
+			MaxDegree: ng.MaxDegree(),
+			BuildTime: time.Since(start),
+			BuiltAt:   time.Now(),
+		}
+	}
+	snap.RebuildMode = ModeIncremental
+	snap.DirtyNodes = len(dirty)
+	return snap, nil
+}
+
+// affectedNodes lists (once each) the nodes whose membership degree may
+// differ between the previous cover and the patched one: members of
+// removed previous communities and of added ones.
+func affectedNodes(oldCv *cover.Cover, removed []bool, added []cover.Community, n int) []int32 {
+	seen := ds.NewBitset(n)
+	var out []int32
+	for ci, c := range oldCv.Communities {
+		if !removed[ci] {
+			continue
+		}
+		for _, v := range c {
+			if v >= 0 && int(v) < n && seen.Add(v) {
+				out = append(out, v)
+			}
+		}
+	}
+	for _, c := range added {
+		for _, v := range c {
+			if v >= 0 && int(v) < n && seen.Add(v) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

@@ -41,6 +41,23 @@ var ErrBacklogFull = errors.New("refresh: mutation backlog full")
 // ErrClosed is returned by Enqueue and Flush after Close.
 var ErrClosed = errors.New("refresh: worker closed")
 
+// Rebuild modes recorded in Snapshot.RebuildMode.
+const (
+	// ModeFull is a whole-graph rebuild: OCA seeded over all nodes,
+	// global merge, index and stats rebuilt. Initial builds and
+	// carried-over failures report it too.
+	ModeFull = "full"
+	// ModeIncremental is a dirty-region rebuild: OCA scoped to the
+	// mutated endpoints and the members of the communities they
+	// touched, fresh discoveries merged into the carried cover and the
+	// index/stats patched instead of rebuilt.
+	ModeIncremental = "incremental"
+	// ModeFastpath published a new graph without running OCA at all:
+	// the batch touched no community (and added no structure), so the
+	// cover was carried unchanged.
+	ModeFastpath = "fastpath"
+)
+
 // Snapshot is one immutable generation of the served state. All fields
 // are read-only after publication; readers obtain a consistent view by
 // loading the snapshot once and using only it for the whole request.
@@ -71,21 +88,29 @@ type Snapshot struct {
 	// Config.BuildSnapshot hook (the shard layer stores its local→global
 	// ownership tables here). Nil on the plain single-graph path.
 	Aux any
+	// RebuildMode records how this generation was computed: ModeFull,
+	// ModeIncremental or ModeFastpath.
+	RebuildMode string
+	// DirtyNodes is the dirty-region size of an incremental rebuild
+	// (mutated endpoints plus members of touched communities); 0 on the
+	// other modes.
+	DirtyNodes int
 }
 
 // NewSnapshot assembles a Snapshot (index, stats, max degree) for the
 // given graph and cover. Gen is left for the caller to assign.
 func NewSnapshot(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration) *Snapshot {
 	return &Snapshot{
-		Graph:     g,
-		Cover:     cv,
-		Index:     index.Build(cv, g.N()),
-		Stats:     cv.Stats(g.N()),
-		Result:    res,
-		C:         c,
-		MaxDegree: g.MaxDegree(),
-		BuildTime: buildTime,
-		BuiltAt:   time.Now(),
+		Graph:       g,
+		Cover:       cv,
+		Index:       index.Build(cv, g.N()),
+		Stats:       cv.Stats(g.N()),
+		Result:      res,
+		C:           c,
+		MaxDegree:   g.MaxDegree(),
+		BuildTime:   buildTime,
+		BuiltAt:     time.Now(),
+		RebuildMode: ModeFull,
 	}
 }
 
@@ -113,6 +138,21 @@ type Config struct {
 	// edges name new node ids up to it, extending the graph (new nodes
 	// are isolated until an edge names them).
 	MaxNodes int
+	// IncrementalThreshold enables the dirty-region rebuild engine.
+	// When a mutation batch touches at most this fraction of the
+	// previous generation's communities, the rebuild runs OCA scoped to
+	// the dirty region (mutated endpoints plus members of touched
+	// communities), merges fresh discoveries into the carried cover
+	// through postprocess.MergeInto and patches the index and stats —
+	// O(|dirty region|) work instead of O(n). Batches touching no
+	// community and adding no edges skip OCA entirely (ModeFastpath).
+	// Above the fraction — or at the default 0 — every rebuild takes
+	// the full path. Ignored when DisableWarmStart or AssignOrphans is
+	// set (both are whole-graph semantics), and a rebuild that
+	// re-derives c always runs full so the cover is scored under one
+	// parameter. Incremental generations serve their communities in
+	// patch order, not size order.
+	IncrementalThreshold float64
 	// RederiveCAfter, when positive, re-derives c = -1/λmin from the
 	// then-current graph's spectrum during a rebuild once the cumulative
 	// number of applied mutations since the last derivation exceeds this
@@ -149,6 +189,10 @@ type Status struct {
 	// LastErr is the error of the most recent rebuild's OCA run, empty
 	// when it succeeded.
 	LastErr string
+	// OldestPending is when the oldest queued mutation was enqueued
+	// (zero when the queue is empty) — the age signal behind the
+	// queue-depth gauges at /debug/metrics.
+	OldestPending time.Time
 }
 
 type op struct {
@@ -166,10 +210,12 @@ type Worker struct {
 	mu         sync.Mutex
 	cond       *sync.Cond
 	pending    []op
-	seq        uint64 // ops ever enqueued
-	appliedSeq uint64 // ops included in (or superseded by) the current snapshot
-	nextN      int    // node count including queued (not yet applied) growth
-	maxNodes   int    // hard ceiling on nextN (initial N when growth is off)
+	pendingAt  time.Time // enqueue time of the oldest op still in pending
+	takingAt   time.Time // enqueue time of the oldest op in the batch being rebuilt
+	seq        uint64    // ops ever enqueued
+	appliedSeq uint64    // ops included in (or superseded by) the current snapshot
+	nextN      int       // node count including queued (not yet applied) growth
+	maxNodes   int       // hard ceiling on nextN (initial N when growth is off)
 	rebuilding bool
 	rebuilds   uint64
 	lastErr    error
@@ -235,6 +281,14 @@ func (w *Worker) Status() Status {
 	}
 	if w.lastErr != nil {
 		st.LastErr = w.lastErr.Error()
+	}
+	// The oldest mutation not yet reflected in any snapshot: a batch
+	// taken by an in-flight rebuild keeps aging (takingAt) until its
+	// generation publishes — an operator's staleness alert must not
+	// reset just because the rebuild started.
+	st.OldestPending = w.takingAt
+	if st.OldestPending.IsZero() {
+		st.OldestPending = w.pendingAt
 	}
 	return st
 }
@@ -302,6 +356,9 @@ func (w *Worker) Enqueue(add, remove [][2]int32) (gen uint64, queued int, err er
 	if len(w.pending)+total > w.cfg.MaxPending {
 		w.mu.Unlock()
 		return snap.Gen, 0, ErrBacklogFull
+	}
+	if len(w.pending) == 0 && total > 0 {
+		w.pendingAt = time.Now()
 	}
 	for _, e := range add {
 		w.pending = append(w.pending, op{u: e[0], v: e[1]})
@@ -422,7 +479,8 @@ func (w *Worker) loop() {
 }
 
 // rebuild takes the queued mutations, applies them copy-on-write, runs
-// OCA (warm-started) and publishes the next generation.
+// OCA (full, scoped to the dirty region, or not at all — see
+// planRebuild) and publishes the next generation.
 func (w *Worker) rebuild() {
 	w.mu.Lock()
 	ops := w.pending
@@ -433,6 +491,10 @@ func (w *Worker) rebuild() {
 		w.mu.Unlock()
 		return
 	}
+	// The taken batch keeps its age until its generation publishes (see
+	// Status); ops enqueued mid-rebuild restart pendingAt.
+	w.takingAt = w.pendingAt
+	w.pendingAt = time.Time{}
 	w.rebuilding = true
 	w.mu.Unlock()
 
@@ -483,22 +545,42 @@ func (w *Worker) rebuild() {
 		// re-deriving it per mutation batch would dominate refresh cost.
 		opt.C = old.C
 	}
-	if !w.cfg.DisableWarmStart && old.Cover != nil {
-		opt.Warm = carryUnaffected(old.Cover, d.Touched())
+	touched := d.Touched()
+	mode, touchedComms := w.planRebuild(old, touched, ops, rederive)
+
+	var (
+		snap *Snapshot
+		err  error
+	)
+	switch mode {
+	case ModeFastpath:
+		snap = w.fastpathSnapshot(old, ng, buildSnap, start)
+	case ModeIncremental:
+		snap, err = w.incrementalSnapshot(old, ng, opt, touched, touchedComms, start)
 	}
-	res, err := core.Run(ng, opt)
-	var snap *Snapshot
-	if err != nil {
-		// Publish the new graph with the previous cover carried over:
-		// mutations never shrink the node set, so the old communities
-		// are still a valid (if stale) cover, and readers keep getting
-		// answers.
-		snap = buildSnap(ng, old.Cover, nil, old.C, time.Since(start))
-	} else {
-		if rederive {
-			w.opsSinceC = 0
+	if snap == nil {
+		// ModeFull, or an incremental run that errored and falls back to
+		// the carry-over below.
+		if !w.cfg.DisableWarmStart && old.Cover != nil {
+			opt.Warm = carryUnaffected(old.Cover, touched)
 		}
-		snap = buildSnap(ng, res.Cover, res, res.C, time.Since(start))
+		var res *core.Result
+		if err == nil {
+			res, err = core.Run(ng, opt)
+		}
+		if err != nil {
+			// Publish the new graph with the previous cover carried over:
+			// mutations never shrink the node set, so the old communities
+			// are still a valid (if stale) cover, and readers keep getting
+			// answers.
+			snap = buildSnap(ng, old.Cover, nil, old.C, time.Since(start))
+		} else {
+			if rederive {
+				w.opsSinceC = 0
+			}
+			snap = buildSnap(ng, res.Cover, res, res.C, time.Since(start))
+		}
+		snap.RebuildMode = ModeFull
 	}
 	snap.Gen = old.Gen + 1
 	w.cur.Store(snap)
@@ -511,6 +593,7 @@ func (w *Worker) rebuild() {
 func (w *Worker) finish(taken uint64, err error) {
 	w.mu.Lock()
 	w.rebuilding = false
+	w.takingAt = time.Time{}
 	if taken > w.appliedSeq {
 		w.appliedSeq = taken
 	}

@@ -7,7 +7,9 @@ package server
 // costs two atomic adds per request.
 
 import (
+	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -120,16 +122,77 @@ type routeMetrics struct {
 	Buckets []uint64 `json:"buckets"`
 }
 
+// refreshMetrics is one shard's refresh-side entry in /debug/metrics:
+// the queue-depth/staleness gauges plus how the served generation was
+// last rebuilt. The unsharded path reports a single shard 0.
+type refreshMetrics struct {
+	Shard                   int     `json:"shard"`
+	Generation              uint64  `json:"generation"`
+	QueueDepth              int     `json:"queue_depth"`
+	OldestPendingAgeSeconds float64 `json:"oldest_pending_age_seconds"`
+	Rebuilding              bool    `json:"rebuilding"`
+	RebuildMode             string  `json:"rebuild_mode,omitempty"`
+	DirtyNodes              int     `json:"dirty_nodes,omitempty"`
+}
+
 // metricsResponse is the GET /debug/metrics body.
 type metricsResponse struct {
 	BoundsMillis []float64               `json:"bounds_millis"`
 	Routes       map[string]routeMetrics `json:"routes"`
+	// Refresh is the per-shard refresh gauge vector (absent until the
+	// first cover exists; never forces a lazy build).
+	Refresh []refreshMetrics `json:"refresh,omitempty"`
 }
 
-func (m *httpMetrics) handleDebug(w http.ResponseWriter, _ *http.Request) {
+// handleDebugMetrics serves the metrics registry — JSON by default, the
+// Prometheus text exposition format with ?format=prometheus (for
+// scrapers; the per-shard queue-depth and oldest-pending-age gauges are
+// the staleness signals worth alerting on).
+func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
+	refresh := s.refreshMetrics()
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.metrics.writePrometheus(w, refresh)
+		return
+	}
+	s.metrics.handleDebug(w, refresh)
+}
+
+// refreshMetrics assembles the per-shard gauge vector from one status
+// and one view per shard. Nil until the first cover exists, so
+// observability never blocks on (or triggers) an OCA run.
+func (s *Server) refreshMetrics() []refreshMetrics {
+	if !s.sp.Ready() {
+		return nil
+	}
+	statuses := s.sp.Statuses()
+	views, err := s.sp.Views()
+	if err != nil || len(views) != len(statuses) {
+		return nil
+	}
+	out := make([]refreshMetrics, len(statuses))
+	for i, ws := range statuses {
+		snap := views[i].Snap
+		e := refreshMetrics{
+			Shard:       ws.Shard,
+			Generation:  snap.Gen,
+			QueueDepth:  ws.Status.Pending,
+			Rebuilding:  ws.Status.Rebuilding,
+			RebuildMode: snap.RebuildMode,
+			DirtyNodes:  snap.DirtyNodes,
+		}
+		if !ws.Status.OldestPending.IsZero() {
+			e.OldestPendingAgeSeconds = time.Since(ws.Status.OldestPending).Seconds()
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics) {
 	resp := metricsResponse{
 		BoundsMillis: latencyBoundsMillis,
 		Routes:       make(map[string]routeMetrics, len(m.names)),
+		Refresh:      refresh,
 	}
 	for _, name := range m.names {
 		rs := m.stats[name]
@@ -147,6 +210,64 @@ func (m *httpMetrics) handleDebug(w http.ResponseWriter, _ *http.Request) {
 		resp.Routes[name] = rm
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// promReplacer escapes Prometheus label values.
+var promReplacer = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func promEscape(v string) string { return promReplacer.Replace(v) }
+
+// writePrometheus renders the registry in the Prometheus text
+// exposition format: per-shard refresh gauges plus per-route request
+// counters. Everything is assembled from the same atomics as the JSON
+// body — no extra bookkeeping on the hot path.
+func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics) {
+	var b strings.Builder
+	b.WriteString("# HELP ocad_shard_queue_depth Mutations queued on the shard, not yet reflected in any snapshot.\n")
+	b.WriteString("# TYPE ocad_shard_queue_depth gauge\n")
+	for _, e := range refresh {
+		fmt.Fprintf(&b, "ocad_shard_queue_depth{shard=\"%d\"} %d\n", e.Shard, e.QueueDepth)
+	}
+	b.WriteString("# HELP ocad_shard_oldest_pending_age_seconds Age of the shard's oldest queued mutation (0 when the queue is empty).\n")
+	b.WriteString("# TYPE ocad_shard_oldest_pending_age_seconds gauge\n")
+	for _, e := range refresh {
+		fmt.Fprintf(&b, "ocad_shard_oldest_pending_age_seconds{shard=\"%d\"} %g\n", e.Shard, e.OldestPendingAgeSeconds)
+	}
+	b.WriteString("# HELP ocad_shard_generation The shard's served snapshot generation.\n")
+	b.WriteString("# TYPE ocad_shard_generation gauge\n")
+	for _, e := range refresh {
+		fmt.Fprintf(&b, "ocad_shard_generation{shard=\"%d\"} %d\n", e.Shard, e.Generation)
+	}
+	b.WriteString("# HELP ocad_shard_rebuilding Whether a rebuild is in flight on the shard.\n")
+	b.WriteString("# TYPE ocad_shard_rebuilding gauge\n")
+	for _, e := range refresh {
+		v := 0
+		if e.Rebuilding {
+			v = 1
+		}
+		fmt.Fprintf(&b, "ocad_shard_rebuilding{shard=\"%d\"} %d\n", e.Shard, v)
+	}
+	b.WriteString("# HELP ocad_shard_rebuild_dirty_nodes Dirty-region size of the shard's last rebuild, by mode.\n")
+	b.WriteString("# TYPE ocad_shard_rebuild_dirty_nodes gauge\n")
+	for _, e := range refresh {
+		if e.RebuildMode == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "ocad_shard_rebuild_dirty_nodes{shard=\"%d\",mode=\"%s\"} %d\n", e.Shard, promEscape(e.RebuildMode), e.DirtyNodes)
+	}
+	b.WriteString("# HELP ocad_http_requests_total Requests served, by route.\n")
+	b.WriteString("# TYPE ocad_http_requests_total counter\n")
+	for _, name := range m.names {
+		fmt.Fprintf(&b, "ocad_http_requests_total{route=\"%s\"} %d\n", promEscape(name), m.stats[name].count.Load())
+	}
+	b.WriteString("# HELP ocad_http_request_errors_total 5xx responses, by route.\n")
+	b.WriteString("# TYPE ocad_http_request_errors_total counter\n")
+	for _, name := range m.names {
+		fmt.Fprintf(&b, "ocad_http_request_errors_total{route=\"%s\"} %d\n", promEscape(name), m.stats[name].errors.Load())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
 }
 
 // routeSummary is one route's compact entry in the /healthz summary.

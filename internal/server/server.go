@@ -94,6 +94,13 @@ type Config struct {
 	// edges (per shard when sharded). 0 pins the startup value. Ignored
 	// when OCA.C pins c explicitly.
 	RederiveCAfter float64
+	// IncrementalThreshold enables the dirty-region rebuild engine
+	// (refresh.Config.IncrementalThreshold): mutation batches touching
+	// at most this fraction of the served communities rebuild
+	// incrementally (or skip OCA entirely when they touch none). 0 —
+	// the default — keeps every rebuild on the full path. Per shard
+	// when sharded.
+	IncrementalThreshold float64
 }
 
 // Server answers community-search queries over one evolving graph.
@@ -168,12 +175,13 @@ func newSharded(g *graph.Graph, cfg Config) (*Server, error) {
 	}
 	s := newServer(g, cfg)
 	rcfg := shard.Config{
-		OCA:              cfg.OCA,
-		DisableWarmStart: cfg.DisableWarmStart,
-		Debounce:         cfg.RefreshDebounce,
-		MaxPending:       cfg.MaxPendingMutations,
-		MaxNodes:         cfg.MaxNodes,
-		RederiveCAfter:   cfg.RederiveCAfter,
+		OCA:                  cfg.OCA,
+		DisableWarmStart:     cfg.DisableWarmStart,
+		Debounce:             cfg.RefreshDebounce,
+		MaxPending:           cfg.MaxPendingMutations,
+		MaxNodes:             cfg.MaxNodes,
+		RederiveCAfter:       cfg.RederiveCAfter,
+		IncrementalThreshold: cfg.IncrementalThreshold,
 	}
 	if cfg.OCA.C != 0 {
 		// An explicitly pinned c is never re-derived behind the
@@ -347,12 +355,13 @@ func (s *Server) ensureCover() error {
 			rederive = 0
 		}
 		w := refresh.New(snap, refresh.Config{
-			OCA:              opt,
-			DisableWarmStart: s.cfg.DisableWarmStart,
-			Debounce:         s.cfg.RefreshDebounce,
-			MaxPending:       s.cfg.MaxPendingMutations,
-			MaxNodes:         s.cfg.MaxNodes,
-			RederiveCAfter:   rederive,
+			OCA:                  opt,
+			DisableWarmStart:     s.cfg.DisableWarmStart,
+			Debounce:             s.cfg.RefreshDebounce,
+			MaxPending:           s.cfg.MaxPendingMutations,
+			MaxNodes:             s.cfg.MaxNodes,
+			RederiveCAfter:       rederive,
+			IncrementalThreshold: s.cfg.IncrementalThreshold,
 		})
 		s.closeMu.Lock()
 		s.worker = w
@@ -449,7 +458,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/nodes/communities", s.metrics.instrument("POST /v1/nodes/communities", s.handleBatchCommunities))
 	mux.HandleFunc("POST /v1/search", s.metrics.instrument("POST /v1/search", s.handleSearch))
 	mux.HandleFunc("POST /v1/edges", s.metrics.instrument("POST /v1/edges", s.handleEdges))
-	mux.HandleFunc("GET /debug/metrics", s.metrics.handleDebug)
+	mux.HandleFunc("GET /debug/metrics", s.handleDebugMetrics)
 	th := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	root := http.NewServeMux()
 	root.HandleFunc("GET /v1/cover/export", s.metrics.instrument("GET /v1/cover/export", s.handleExport))
@@ -618,6 +627,12 @@ type statsResponse struct {
 	RawCommunities   int     `json:"raw_communities,omitempty"`
 	BuildMillis      int64   `json:"build_millis"`
 	PendingMutations int     `json:"pending_mutations"`
+	// RebuildMode is how the served generation was computed (full /
+	// incremental / fastpath); DirtyNodes is the dirty-region size of an
+	// incremental rebuild. Sharded servers quote the most recently
+	// rebuilt shard's mode here and the per-shard values below.
+	RebuildMode string `json:"rebuild_mode,omitempty"`
+	DirtyNodes  int    `json:"dirty_nodes,omitempty"`
 	// Shards (sharded servers only) carries each shard's generation and
 	// active c — shards derive and re-derive c independently, so the
 	// parameter is per shard, not global.
@@ -634,6 +649,8 @@ type statsShard struct {
 	OverlapNodes     int     `json:"overlap_nodes"`
 	PendingMutations int     `json:"pending_mutations"`
 	BuildMillis      int64   `json:"build_millis"`
+	RebuildMode      string  `json:"rebuild_mode,omitempty"`
+	DirtyNodes       int     `json:"dirty_nodes,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -662,6 +679,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		MaxMembership:    st.MaxMembership,
 		BuildMillis:      snap.BuildTime.Milliseconds(),
 		PendingMutations: s.worker.Status().Pending,
+		RebuildMode:      snap.RebuildMode,
+		DirtyNodes:       snap.DirtyNodes,
 	}
 	// Never force the spectral derivation just to fill this field; on a
 	// preloaded cover c appears once the first search resolves it.
@@ -696,6 +715,7 @@ func (s *Server) handleStatsSharded(w http.ResponseWriter) {
 	var (
 		totalMembers float64
 		ownedMembers int64
+		latestBuilt  time.Time
 	)
 	for i, v := range views {
 		snap, meta, st := v.Snap, v.Meta(), statuses[i].Status
@@ -708,6 +728,13 @@ func (s *Server) handleStatsSharded(w http.ResponseWriter) {
 			OverlapNodes:     meta.OverlapOwned,
 			PendingMutations: st.Pending,
 			BuildMillis:      snap.BuildTime.Milliseconds(),
+			RebuildMode:      snap.RebuildMode,
+			DirtyNodes:       snap.DirtyNodes,
+		}
+		if snap.BuiltAt.After(latestBuilt) {
+			latestBuilt = snap.BuiltAt
+			resp.RebuildMode = snap.RebuildMode
+			resp.DirtyNodes = snap.DirtyNodes
 		}
 		resp.Shards[i] = entry
 		resp.Nodes += meta.OwnedNodes

@@ -37,6 +37,12 @@ type Config struct {
 	// a churn-heavy shard refreshes its c while quiet shards keep
 	// theirs.
 	RederiveCAfter float64
+	// IncrementalThreshold enables each shard worker's dirty-region
+	// rebuild engine (see refresh.Config.IncrementalThreshold). The
+	// fraction is judged against each shard's own cover, so a batch
+	// concentrated on one shard rebuilds that shard incrementally while
+	// untouched shards don't rebuild at all.
+	IncrementalThreshold float64
 	// OnSwap, when set, is called from a shard's worker goroutine after
 	// that shard publishes a new generation.
 	OnSwap func(shard int, snap *refresh.Snapshot)
@@ -212,9 +218,10 @@ func (r *Router) initShard(s int, pg *graph.Graph) error {
 		// Local growth must always be possible even under a fixed global
 		// node set: a cross-shard edge can materialize a new ghost here.
 		// A shard's locals never exceed the global node count.
-		MaxNodes:       r.maxN,
-		RederiveCAfter: r.cfg.RederiveCAfter,
-		BuildSnapshot:  st.buildSnapshot,
+		MaxNodes:             r.maxN,
+		RederiveCAfter:       r.cfg.RederiveCAfter,
+		IncrementalThreshold: r.cfg.IncrementalThreshold,
+		BuildSnapshot:        st.buildSnapshot,
 	}
 	if r.cfg.OnSwap != nil {
 		wcfg.OnSwap = func(snap *refresh.Snapshot) { r.cfg.OnSwap(s, snap) }
