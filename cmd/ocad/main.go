@@ -12,11 +12,19 @@
 // quotes a (shard, generation) vector so clients can detect a lagging
 // shard.
 //
+// The sharded deployment also runs multi-process: each shard in its own
+// process with `-serve-shard i`, hosting that shard's worker behind the
+// wire protocol documented in docs/PROTOCOL.md, and a router process
+// with `-shard-addrs` fanning out to them over HTTP. See "Running
+// multi-process" in README.md.
+//
 // Usage:
 //
-//	ocad -in graph.txt [-addr :8080] [-shards K] [flags]
+//	ocad -in graph.txt [-addr :8080] [-shards K] [flags]            # single process (K in-process shards)
+//	ocad -in graph.txt -shards K -serve-shard i [-addr :9301]       # shard-server role (one per shard)
+//	ocad -shard-addrs host:9301,host:9302,... [-addr :8080]         # router role over shard processes
 //
-// Endpoints:
+// Endpoints (router / single-process):
 //
 //	GET  /healthz                    liveness, refresh state, per-shard vector, request summary
 //	GET  /v1/cover/stats             cover-wide overlap statistics (+ per-shard c)
@@ -28,7 +36,8 @@
 //	GET  /debug/metrics              per-endpoint request counts + latency histograms
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests for up to -shutdown-timeout.
+// in-flight requests for up to -shutdown-timeout (a shard server stops
+// accepting mutations first, so nothing accepted is lost silently).
 package main
 
 import (
@@ -37,15 +46,19 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cover"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -60,7 +73,8 @@ func run(args []string) error {
 	// (ExitOnError would os.Exit inside Parse, killing test binaries).
 	fs := flag.NewFlagSet("ocad", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	in := fs.String("in", "", "input graph (edge list or oca binary format; required)")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (for scripts and tests using :0)")
+	in := fs.String("in", "", "input graph (edge list or oca binary format; required except with -shard-addrs)")
 	coverPath := fs.String("cover", "", "serve this precomputed cover file instead of running OCA")
 	lazy := fs.Bool("lazy", false, "delay the OCA run until the first request that needs the cover")
 	seed := fs.Int64("seed", 1, "random seed for the OCA run")
@@ -76,21 +90,15 @@ func run(args []string) error {
 	maxNodes := fs.Int("max-nodes", -1, "max node-set size /v1/edges growth may reach (-1 = 8x the initial graph, 0 = fixed node set)")
 	rederiveC := fs.Float64("rederive-c", 0.25, "re-derive c=-1/λmin during a rebuild once applied mutations exceed this fraction of the graph's edges (0 = pin the startup value; ignored when -c is set)")
 	incrementalThreshold := fs.Float64("incremental-threshold", 0.25, "rebuild incrementally (dirty-region scoped OCA, patched index) when a mutation batch touches at most this fraction of the served communities; batches touching none skip OCA entirely (0 = always rebuild fully)")
+	serveShard := fs.Int("serve-shard", -1, "shard-server role: host shard i of the -shards K split behind the wire protocol (docs/PROTOCOL.md)")
+	shardAddrs := fs.String("shard-addrs", "", "router role: comma-separated shard-server addresses (addr i hosts shard i); serves the public API over them")
+	connectTimeout := fs.Duration("shard-connect-timeout", 60*time.Second, "router role: how long to wait for all shard servers to answer at startup")
+	pollInterval := fs.Duration("shard-poll-interval", 100*time.Millisecond, "router role: shard generation poll cadence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		fs.Usage()
-		return errors.New("missing required -in graph file")
-	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards %d must be at least 1", *shards)
-	}
-	if *shards > 1 && *coverPath != "" {
-		return errors.New("-cover is not supported with -shards > 1 (precomputed covers cannot be partitioned)")
-	}
-	if *shards > 1 && *lazy {
-		return errors.New("-lazy is not supported with -shards > 1 (every shard's cover is built at startup)")
 	}
 	// Normalize here so the handler deadline and http.Server's
 	// WriteTimeout are derived from the same value (server.Config also
@@ -98,12 +106,6 @@ func run(args []string) error {
 	if *reqTimeout <= 0 {
 		*reqTimeout = 30 * time.Second
 	}
-
-	g, err := loadGraph(*in)
-	if err != nil {
-		return err
-	}
-	log.Printf("loaded graph: %d nodes, %d edges", g.N(), g.M())
 
 	cfg := server.Config{
 		Lazy:                 *lazy,
@@ -113,13 +115,50 @@ func run(args []string) error {
 		MaxBatchIDs:          *maxBatchIDs,
 		DisableWarmStart:     *coldRefresh,
 		Shards:               *shards,
-		MaxNodes:             resolveMaxNodes(*maxNodes, g.N()),
 		RederiveCAfter:       *rederiveC,
 		IncrementalThreshold: *incrementalThreshold,
 	}
 	cfg.OCA.Seed = *seed
 	cfg.OCA.C = *c
 	cfg.OCA.Workers = *workers
+
+	if *serveShard >= 0 && *shardAddrs != "" {
+		return errors.New("-serve-shard and -shard-addrs are different roles; pick one")
+	}
+	if *shardAddrs != "" {
+		if *coverPath != "" || *lazy {
+			return errors.New("-cover and -lazy are not supported in the router role (shard servers own the covers)")
+		}
+		return runRouter(cfg, strings.Split(*shardAddrs, ","), *shards, *in,
+			*addr, *addrFile, *connectTimeout, *pollInterval, *shutdownTimeout)
+	}
+	if *in == "" {
+		fs.Usage()
+		return errors.New("missing required -in graph file")
+	}
+	if *serveShard >= 0 {
+		if *serveShard >= *shards {
+			return fmt.Errorf("-serve-shard %d out of range for -shards %d", *serveShard, *shards)
+		}
+		if *coverPath != "" || *lazy {
+			return errors.New("-cover and -lazy are not supported in the shard-server role")
+		}
+		return runShardServer(cfg, *in, *serveShard, *shards, *maxNodes,
+			*addr, *addrFile, *shutdownTimeout)
+	}
+	if *shards > 1 && *coverPath != "" {
+		return errors.New("-cover is not supported with -shards > 1 (precomputed covers cannot be partitioned)")
+	}
+	if *shards > 1 && *lazy {
+		return errors.New("-lazy is not supported with -shards > 1 (every shard's cover is built at startup)")
+	}
+
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	log.Printf("loaded graph: %d nodes, %d edges", g.N(), g.M())
+	cfg.MaxNodes = resolveMaxNodes(*maxNodes, g.N())
 
 	var srv *server.Server
 	if *coverPath != "" {
@@ -159,7 +198,6 @@ func run(args []string) error {
 	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		// WriteTimeout backs up the handler-level deadline with slack
@@ -167,14 +205,121 @@ func run(args []string) error {
 		WriteTimeout: *reqTimeout + 10*time.Second,
 		IdleTimeout:  2 * time.Minute,
 	}
+	return serveUntilSignal(httpSrv, *addr, *addrFile, *shutdownTimeout, srv.Close, nil)
+}
+
+// runRouter is the multi-process router role: dial the shard servers,
+// assemble a remote-backed provider, and serve the public API over it.
+// The graph lives in the shard processes; -in is accepted but unused
+// beyond a consistency log line.
+func runRouter(cfg server.Config, addrs []string, shardsFlag int, in, addr, addrFile string, connectTimeout, pollInterval time.Duration, shutdownTimeout time.Duration) error {
+	if shardsFlag > 1 && shardsFlag != len(addrs) {
+		return fmt.Errorf("-shards %d disagrees with %d -shard-addrs", shardsFlag, len(addrs))
+	}
+	if in != "" {
+		log.Printf("router role: -in %s ignored (shard servers own the graph)", in)
+	}
+	log.Printf("dialing %d shard servers...", len(addrs))
+	start := time.Now()
+	rt, err := transport.Dial(context.Background(), addrs, transport.Options{
+		Client:         transport.ClientConfig{PollInterval: pollInterval},
+		ConnectTimeout: connectTimeout,
+		MaxPending:     cfg.MaxPendingMutations,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("%d shard mirrors ready in %v", len(addrs), time.Since(start).Round(time.Millisecond))
+	srv, err := server.NewWithProvider(rt, cfg)
+	if err != nil {
+		rt.Close()
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      cfg.RequestTimeout + 10*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return serveUntilSignal(httpSrv, addr, addrFile, shutdownTimeout, srv.Close, nil)
+}
+
+// runShardServer is the shard-server role: split the graph
+// deterministically, host this process's shard behind the wire
+// protocol, and drain mutations before shutting down.
+func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int, addr, addrFile string, shutdownTimeout time.Duration) error {
+	g, err := loadGraph(in)
+	if err != nil {
+		return err
+	}
+	maxN := resolveMaxNodes(maxNodesFlag, g.N())
+	if maxN < g.N() {
+		maxN = g.N()
+	}
+	log.Printf("loaded graph: %d nodes, %d edges; serving shard %d of %d", g.N(), g.M(), shardIdx, k)
+	piece, err := shard.SplitOne(g, k, shardIdx)
+	if err != nil {
+		return err
+	}
+	scfg := shard.Config{
+		OCA:                  cfg.OCA,
+		DisableWarmStart:     cfg.DisableWarmStart,
+		Debounce:             cfg.RefreshDebounce,
+		MaxPending:           cfg.MaxPendingMutations,
+		RederiveCAfter:       cfg.RederiveCAfter,
+		IncrementalThreshold: cfg.IncrementalThreshold,
+	}
+	if cfg.OCA.C != 0 {
+		// An explicitly pinned c is never re-derived behind the
+		// operator's back (matches the in-process sharded path).
+		scfg.RederiveCAfter = 0
+	}
+	log.Printf("running OCA for shard %d (%d local nodes, seed %d)...", shardIdx, piece.Graph.N(), cfg.OCA.Seed)
+	start := time.Now()
+	w, err := shard.NewWorker(piece, k, scfg, maxN)
+	if err != nil {
+		return err
+	}
+	log.Printf("shard %d cover ready in %v", shardIdx, time.Since(start).Round(time.Millisecond))
+	ss := transport.NewShardServer(w, transport.ServerConfig{GlobalNodes: g.N(), MaxNodes: maxN})
+	httpSrv := &http.Server{
+		Handler:           ss.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// No WriteTimeout: flush responses block until the rebuild
+		// publishes, bounded by the router's request deadline instead.
+		IdleTimeout: 2 * time.Minute,
+	}
+	// Drain order: refuse new mutations first (503 "closed", the router
+	// sheds load), let in-flight applies/flushes finish with the worker
+	// still running, then stop the worker.
+	return serveUntilSignal(httpSrv, addr, addrFile, shutdownTimeout, w.Close,
+		func() { ss.SetDraining(true) })
+}
+
+// serveUntilSignal runs the HTTP server on an explicit listener
+// (reporting the bound address, optionally to -addr-file, so scripts
+// can use :0), then drains gracefully on SIGINT/SIGTERM: preShutdown
+// (when set) gates new work, in-flight requests drain within the
+// budget, and closeFn stops the background workers.
+func serveUntilSignal(httpSrv *http.Server, addr, addrFile string, shutdownTimeout time.Duration, closeFn func(), preShutdown func()) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", *addr)
-		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serving on %s", ln.Addr())
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
 		}
@@ -187,12 +332,22 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	log.Print("shutting down, draining in-flight requests...")
-	// Stop the refresh worker first: new mutations are refused while
-	// in-flight reads keep answering from the last published snapshot.
-	srv.Close()
-	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	if preShutdown != nil {
+		preShutdown()
+	} else {
+		// Public-API roles stop their refresh workers first: new
+		// mutations are refused while in-flight reads keep answering
+		// from the last published snapshot.
+		closeFn()
+		closeFn = nil
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(drainCtx); err != nil {
+	err = httpSrv.Shutdown(drainCtx)
+	if closeFn != nil {
+		closeFn()
+	}
+	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	log.Print("bye")

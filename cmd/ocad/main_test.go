@@ -60,6 +60,15 @@ func TestShardFlagValidation(t *testing.T) {
 		{"-in", "g.txt", "-shards", "0"},
 		{"-in", "g.txt", "-shards", "2", "-cover", "c.txt"},
 		{"-in", "g.txt", "-shards", "2", "-lazy"},
+		// Role conflicts and role-specific rejections.
+		{"-in", "g.txt", "-serve-shard", "0", "-shard-addrs", "a,b"},
+		{"-in", "g.txt", "-shards", "2", "-serve-shard", "2"},
+		{"-in", "g.txt", "-shards", "2", "-serve-shard", "0", "-cover", "c.txt"},
+		{"-in", "g.txt", "-shards", "2", "-serve-shard", "0", "-lazy"},
+		{"-shard-addrs", "a,b", "-cover", "c.txt"},
+		{"-shard-addrs", "a,b", "-lazy"},
+		{"-shard-addrs", "a,b,c", "-shards", "2"},
+		{"-serve-shard", "0", "-shards", "2"}, // shard-server role still needs -in
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

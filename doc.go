@@ -45,6 +45,16 @@
 // and GET /v1/cover/export streams the cover as NDJSON. See README.md
 // for curl examples.
 //
+// The daemon scales out: with -shards K the graph and its cover are
+// partitioned across K node-disjoint shards with ghost halos (boundary
+// communities score exactly as unsharded), each kept live by its own
+// refresh worker behind a fan-out router, and the same deployment runs
+// multi-process — one `ocad -serve-shard i` process per shard behind a
+// versioned wire protocol, with an `ocad -shard-addrs ...` router
+// serving the unchanged public API over mirrored per-shard snapshots.
+// docs/ARCHITECTURE.md maps the layers and seams; docs/PROTOCOL.md is
+// the normative wire protocol.
+//
 // The experiment harness reproducing every table and figure of the
 // paper's Section V lives in cmd/ocabench; runnable demonstrations live
 // under examples/. See DESIGN.md for the system inventory and

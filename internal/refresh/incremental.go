@@ -121,12 +121,61 @@ func dirtyRegion(cv *cover.Cover, touched, touchedComms []int32, n int) []int32 
 	return dirty
 }
 
+// PatchContext describes what a fastpath or incremental rebuild
+// changed relative to the previous generation, handed to the
+// Config.PatchSnapshot hook so a custom snapshot layer can patch its
+// derived state instead of rebuilding it.
+type PatchContext struct {
+	// Old is the previous generation the new cover was derived from.
+	Old *Snapshot
+	// Removed flags the previous generation's communities absent from
+	// the new cover: the ones touched by the batch plus carried
+	// communities that absorbed a fresh discovery during the
+	// incremental merge. Nil on the fastpath (nothing removed). Indexed
+	// by previous community id; suitable for index.Patch.
+	Removed []bool
+	// Kept counts the carried communities: the new cover's
+	// Communities[:Kept] are survivors of the previous generation in
+	// their previous relative order, Communities[Kept:] are fresh. On
+	// the fastpath Kept is the whole (pointer-identical) cover.
+	Kept int
+	// Add and Remove are the batch's edge operations in the graph's own
+	// id space (already applied to the new graph; adds of existing
+	// edges and removals of absent ones are included and changed
+	// nothing).
+	Add, Remove [][2]int32
+}
+
+// splitOps separates a taken batch back into add and remove pairs for
+// the PatchContext.
+func splitOps(ops []op) (add, remove [][2]int32) {
+	for _, o := range ops {
+		if o.del {
+			remove = append(remove, [2]int32{o.u, o.v})
+		} else {
+			add = append(add, [2]int32{o.u, o.v})
+		}
+	}
+	return add, remove
+}
+
 // fastpathSnapshot publishes ng with the previous cover carried over
 // unchanged: no OCA, the index extended (shared outright when the node
 // set did not grow) and the stats reused.
-func (w *Worker) fastpathSnapshot(old *Snapshot, ng *graph.Graph, buildSnap func(*graph.Graph, *cover.Cover, *core.Result, float64, time.Duration) *Snapshot, start time.Time) *Snapshot {
+func (w *Worker) fastpathSnapshot(old *Snapshot, ng *graph.Graph, ops []op, buildSnap func(*graph.Graph, *cover.Cover, *core.Result, float64, time.Duration) *Snapshot, start time.Time) *Snapshot {
 	var snap *Snapshot
-	if w.cfg.BuildSnapshot != nil {
+	if w.cfg.PatchSnapshot != nil {
+		// The custom patch assembler (the shard layer) extends its index
+		// and metadata in place; the graph still changed, so it is told
+		// which edges did.
+		add, remove := splitOps(ops)
+		snap = w.cfg.PatchSnapshot(ng, old.Cover, old.Result, old.C, time.Since(start), &PatchContext{
+			Old:    old,
+			Kept:   old.Cover.Len(),
+			Add:    add,
+			Remove: remove,
+		})
+	} else if w.cfg.BuildSnapshot != nil {
 		// A custom snapshot assembler (the shard layer) owns index and
 		// metadata construction; only the OCA run is skipped.
 		snap = buildSnap(ng, old.Cover, old.Result, old.C, time.Since(start))
@@ -151,7 +200,7 @@ func (w *Worker) fastpathSnapshot(old *Snapshot, ng *graph.Graph, buildSnap func
 // seeded only over the dirty region, MergeInto against the carried
 // cover, and index/stats patching. Errors fall back to the caller's
 // carry-over path.
-func (w *Worker) incrementalSnapshot(old *Snapshot, ng *graph.Graph, opt core.Options, touched, touchedComms []int32, start time.Time) (*Snapshot, error) {
+func (w *Worker) incrementalSnapshot(old *Snapshot, ng *graph.Graph, opt core.Options, ops []op, touched, touchedComms []int32, start time.Time) (*Snapshot, error) {
 	dirty := dirtyRegion(old.Cover, touched, touchedComms, ng.N())
 
 	removed := make([]bool, old.Cover.Len())
@@ -198,26 +247,40 @@ func (w *Worker) incrementalSnapshot(old *Snapshot, ng *graph.Graph, opt core.Op
 	}
 	res.Cover = cv
 
+	// removedAll covers both the touched communities and the warm ones
+	// that absorbed a fresh discovery.
+	removedAll := make([]bool, old.Cover.Len())
+	for i := range removedAll {
+		removedAll[i] = true
+	}
+	for _, id := range keptOld {
+		removedAll[id] = false
+	}
+	added := cv.Communities[kept:]
+
 	var snap *Snapshot
-	if w.cfg.BuildSnapshot != nil {
-		// The custom assembler rebuilds index/stats itself (the shard
-		// layer re-filters ghost-only communities, which invalidates the
-		// patch contract); the scoped OCA run and incremental merge are
-		// still the bulk of the savings.
+	switch {
+	case w.cfg.PatchSnapshot != nil:
+		// The custom patch assembler (the shard layer) applies its own
+		// derived-state patches (ghost-filtered index, ownership
+		// metadata) from the same removal/addition description the
+		// built-in path below patches from.
+		add, remove := splitOps(ops)
+		snap = w.cfg.PatchSnapshot(ng, cv, res, res.C, time.Since(start), &PatchContext{
+			Old:     old,
+			Removed: removedAll,
+			Kept:    kept,
+			Add:     add,
+			Remove:  remove,
+		})
+	case w.cfg.BuildSnapshot != nil:
+		// A custom assembler without a patch hook rebuilds index/stats
+		// itself; the scoped OCA run and incremental merge are still the
+		// bulk of the savings.
 		snap = w.cfg.BuildSnapshot(ng, cv, res, res.C, time.Since(start))
-	} else {
-		// removedAll covers both the touched communities and the warm
-		// ones that absorbed a fresh discovery.
-		removedAll := make([]bool, old.Cover.Len())
-		for i := range removedAll {
-			removedAll[i] = true
-		}
-		for _, id := range keptOld {
-			removedAll[id] = false
-		}
-		added := cv.Communities[kept:]
+	default:
 		ix := index.Patch(old.Index, removedAll, added, ng.N())
-		affected := affectedNodes(old.Cover, removedAll, added, ng.N())
+		affected := AffectedNodes(old.Cover, removedAll, added, ng.N())
 		stats := cover.PatchStats(old.Stats, cv, ng.N(), affected, old.Index.Degree, ix.Degree)
 		snap = &Snapshot{
 			Graph:     ng,
@@ -236,10 +299,12 @@ func (w *Worker) incrementalSnapshot(old *Snapshot, ng *graph.Graph, opt core.Op
 	return snap, nil
 }
 
-// affectedNodes lists (once each) the nodes whose membership degree may
-// differ between the previous cover and the patched one: members of
-// removed previous communities and of added ones.
-func affectedNodes(oldCv *cover.Cover, removed []bool, added []cover.Community, n int) []int32 {
+// AffectedNodes lists (once each) the nodes whose membership degree may
+// differ between the previous cover and a patched one: members of
+// removed previous communities and of added ones. It is the node set a
+// stats patch must re-tally (see cover.PatchStats); the shard layer's
+// PatchSnapshot hook uses it with the same contract.
+func AffectedNodes(oldCv *cover.Cover, removed []bool, added []cover.Community, n int) []int32 {
 	seen := ds.NewBitset(n)
 	var out []int32
 	for ci, c := range oldCv.Communities {

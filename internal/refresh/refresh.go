@@ -1,22 +1,6 @@
-// Package refresh keeps a served community cover live under graph
-// mutation. A Worker owns the current (graph, cover, index) triple as a
-// generation-numbered immutable Snapshot behind an atomic pointer:
-// readers load the pointer once per request and never block, while a
-// single background goroutine applies queued edge mutations to the CSR
-// graph (via graph.Delta, copy-on-write), re-runs OCA — warm-started
-// from the previous cover's communities whose neighborhoods the
-// mutations did not touch — and publishes the result as the next
-// generation.
-//
-// By default the node set is fixed for the lifetime of a Worker;
-// Config.MaxNodes lets added edges name new node ids, growing the graph
-// across rebuilds (the sharded router relies on this to materialize
-// ghost copies of boundary nodes on demand). Mutation batches are
-// validated and accepted atomically, rebuilds are debounced so bursts
-// coalesce into one OCA run, and a rebuild failure publishes the new
-// graph with the previous cover carried over (mutations never shrink
-// the node set, so the old cover remains valid) rather than failing
-// reads.
+// The Worker: mutation intake, the debounced rebuild loop, and
+// generation publication (see doc.go for the package overview).
+
 package refresh
 
 import (
@@ -166,33 +150,45 @@ type Config struct {
 	// It must leave Gen zero (the worker assigns it) and may not mutate
 	// its inputs.
 	BuildSnapshot func(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration) *Snapshot
+	// PatchSnapshot, when set, assembles the published Snapshot for
+	// fastpath and incremental rebuilds from a description of exactly
+	// what the batch changed (see PatchContext), so a custom snapshot
+	// layer can patch its index, stats and metadata in O(|dirty
+	// region|) instead of rebuilding them from scratch — the reason the
+	// shard layer's ghost filtering no longer forces per-shard index
+	// rebuilds on the incremental path. Full rebuilds still go through
+	// BuildSnapshot. Like BuildSnapshot it must leave Gen zero and may
+	// not mutate its inputs; when nil, fastpath and incremental
+	// rebuilds fall back to BuildSnapshot (or the built-in patch path).
+	PatchSnapshot func(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration, pc *PatchContext) *Snapshot
 	// OnSwap, when set, is called from the worker goroutine after each
 	// new generation is published (for logging/metrics).
 	OnSwap func(*Snapshot)
 }
 
 // Status is a point-in-time view of the worker for observability
-// endpoints.
+// endpoints. It is JSON-serializable: the shard wire protocol ships it
+// verbatim in health probes.
 type Status struct {
 	// Gen is the current snapshot's generation.
-	Gen uint64
+	Gen uint64 `json:"generation"`
 	// Pending counts queued mutations not yet part of any snapshot.
-	Pending int
+	Pending int `json:"pending"`
 	// Rebuilding reports whether a rebuild is in flight.
-	Rebuilding bool
+	Rebuilding bool `json:"rebuilding"`
 	// Rebuilds counts completed rebuilds (successful or carried-over).
-	Rebuilds uint64
+	Rebuilds uint64 `json:"rebuilds"`
 	// LastBuild is the duration of the current snapshot's build.
-	LastBuild time.Duration
+	LastBuild time.Duration `json:"last_build_nanos"`
 	// BuiltAt is when the current snapshot was published.
-	BuiltAt time.Time
+	BuiltAt time.Time `json:"built_at"`
 	// LastErr is the error of the most recent rebuild's OCA run, empty
 	// when it succeeded.
-	LastErr string
+	LastErr string `json:"last_error,omitempty"`
 	// OldestPending is when the oldest queued mutation was enqueued
 	// (zero when the queue is empty) — the age signal behind the
 	// queue-depth gauges at /debug/metrics.
-	OldestPending time.Time
+	OldestPending time.Time `json:"oldest_pending"`
 }
 
 type op struct {
@@ -554,9 +550,9 @@ func (w *Worker) rebuild() {
 	)
 	switch mode {
 	case ModeFastpath:
-		snap = w.fastpathSnapshot(old, ng, buildSnap, start)
+		snap = w.fastpathSnapshot(old, ng, ops, buildSnap, start)
 	case ModeIncremental:
-		snap, err = w.incrementalSnapshot(old, ng, opt, touched, touchedComms, start)
+		snap, err = w.incrementalSnapshot(old, ng, opt, ops, touched, touchedComms, start)
 	}
 	if snap == nil {
 		// ModeFull, or an incremental run that errored and falls back to

@@ -1,0 +1,57 @@
+package refresh
+
+import "time"
+
+// SnapshotInfo is the wire-serializable summary of a Snapshot: the
+// scalar facts about a published generation, without the graph, cover
+// or index payloads. The shard transport quotes it in health probes and
+// snapshot headers so a remote reader can decide whether (and what) to
+// sync before paying for the full state transfer.
+type SnapshotInfo struct {
+	// Gen is the snapshot's generation number.
+	Gen uint64 `json:"generation"`
+	// Nodes and Edges are the snapshot graph's dimensions.
+	Nodes int   `json:"nodes"`
+	Edges int64 `json:"edges"`
+	// Communities counts the served cover's communities.
+	Communities int `json:"communities"`
+	// C is the generation's inner-product parameter (0 when not yet
+	// derived).
+	C float64 `json:"c,omitempty"`
+	// RebuildMode and DirtyNodes record how the generation was computed
+	// (see Snapshot).
+	RebuildMode string `json:"rebuild_mode,omitempty"`
+	DirtyNodes  int    `json:"dirty_nodes,omitempty"`
+	// BuildMillis is the generation's build duration; BuiltAtUnixMs is
+	// its publication time (Unix milliseconds, the sender's clock).
+	BuildMillis   int64 `json:"build_millis"`
+	BuiltAtUnixMs int64 `json:"built_at_unix_ms"`
+}
+
+// Info summarizes the snapshot for the wire.
+func (s *Snapshot) Info() SnapshotInfo {
+	return SnapshotInfo{
+		Gen:           s.Gen,
+		Nodes:         s.Graph.N(),
+		Edges:         s.Graph.M(),
+		Communities:   s.Cover.Len(),
+		C:             s.C,
+		RebuildMode:   s.RebuildMode,
+		DirtyNodes:    s.DirtyNodes,
+		BuildMillis:   s.BuildTime.Milliseconds(),
+		BuiltAtUnixMs: s.BuiltAt.UnixMilli(),
+	}
+}
+
+// Restore applies the scalar facts of an Info back onto a locally
+// reassembled Snapshot — the receiving half of the wire transfer, after
+// the graph and cover have been decoded and NewSnapshot has rebuilt the
+// derived index and stats deterministically from them.
+func (s *Snapshot) Restore(info SnapshotInfo) {
+	s.Gen = info.Gen
+	s.C = info.C
+	s.RebuildMode = info.RebuildMode
+	s.DirtyNodes = info.DirtyNodes
+	s.BuildTime = time.Duration(info.BuildMillis) * time.Millisecond
+	s.BuiltAt = time.UnixMilli(info.BuiltAtUnixMs)
+}

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -74,6 +75,12 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, refresh.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case errors.Is(err, shard.ErrUnavailable):
+		// A target shard process is down or unreachable: shed load, the
+		// client retries once the shard is back (edge operations are
+		// idempotent, so a retry after a partial fan-out is safe too).
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case errors.As(err, &buildErr):
 		writeError(w, http.StatusInternalServerError, "building cover: %v", buildErr.err)
@@ -190,10 +197,7 @@ func (s *Server) handleBatchCommunities(w http.ResponseWriter, r *http.Request) 
 		Results: make([]batchResult, len(ids)),
 	}
 	if s.sharded() {
-		resp.Shards = make(shard.GenVector, len(views))
-		for i, v := range views {
-			resp.Shards[i] = shard.ShardGen{Shard: v.Shard, Gen: v.Snap.Gen}
-		}
+		resp.Shards = shard.VectorOf(views)
 		resp.Generation = resp.Shards.Max()
 	} else {
 		resp.Generation = views[0].Snap.Gen
@@ -204,6 +208,13 @@ func (s *Server) handleBatchCommunities(w http.ResponseWriter, r *http.Request) 
 			continue
 		}
 		view := views[s.sp.ShardOf(v)]
+		if view.Err != nil {
+			// Partial results with an explicit per-id (and per-shard, via
+			// the vector) error: ids on healthy shards still answer, ids
+			// on the unreachable shard are never served stale silently.
+			resp.Results[i] = batchResult{Node: v, Error: fmt.Sprintf("shard %d unavailable: %v", view.Shard, view.Err)}
+			continue
+		}
 		local, ok := view.Local(v)
 		if !ok {
 			resp.Results[i] = batchResult{Node: v, Error: "node out of range"}
@@ -239,6 +250,11 @@ func (s *Server) fillShared(resp *batchCommunitiesResponse, views []shard.View, 
 	refs := []communityRef{}
 	locals := make([]int32, len(ids))
 	for _, view := range views {
+		if view.Err != nil {
+			// A degraded shard contributes nothing: the intersection is
+			// best-effort partial, flagged by the response's shard vector.
+			continue
+		}
 		for i, v := range ids {
 			if l, ok := view.Local(v); ok {
 				locals[i] = l
@@ -293,9 +309,14 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 	meta := exportMeta{}
 	if s.sharded() {
-		meta.Shards = make(shard.GenVector, len(views))
-		for i, v := range views {
-			meta.Shards[i] = shard.ShardGen{Shard: v.Shard, Gen: v.Snap.Gen}
+		meta.Shards = shard.VectorOf(views)
+		for _, v := range views {
+			if v.Err != nil || v.Snap == nil {
+				// A degraded shard's communities are omitted from the
+				// stream; its vector entry carries the error so the
+				// consumer knows the export is partial.
+				continue
+			}
 			m := v.Meta()
 			meta.Nodes += m.OwnedNodes
 			meta.Edges += m.OwnedEdges
@@ -326,6 +347,9 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	written := 0
 	for _, view := range views {
+		if view.Err != nil || view.Snap == nil {
+			continue
+		}
 		var shardPtr *int
 		if view.Sharded() {
 			sh := view.Shard

@@ -132,10 +132,11 @@ type Server struct {
 	preloaded  bool
 	preCv      *cover.Cover
 
-	// sp is the seam every handler resolves snapshots through; router
-	// is non-nil only on the sharded path.
+	// sp is the seam every handler resolves snapshots through; multi is
+	// set when it fans out across shards (in-process router or remote
+	// transport provider) and selects the sharded response shapes.
 	sp      SnapshotProvider
-	router  *shard.Router
+	multi   bool
 	metrics *httpMetrics
 
 	closeMu sync.Mutex
@@ -192,13 +193,30 @@ func newSharded(g *graph.Graph, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: building shard router: %w", err)
 	}
-	s.router = rt
 	s.sp = rt
+	s.multi = true
 	return s, nil
 }
 
-// sharded reports whether this server fronts a shard router.
-func (s *Server) sharded() bool { return s.router != nil }
+// NewWithProvider returns a Server that fronts an externally
+// constructed SnapshotProvider — the multi-process router role, where
+// transport.Dial assembled a shard.Router over remote shard backends.
+// The server owns no graph or worker of its own: every request
+// resolves through the provider, and Close closes it (stopping mirror
+// pollers; the shard processes keep running).
+func NewWithProvider(sp SnapshotProvider, cfg Config) (*Server, error) {
+	if sp == nil {
+		return nil, errors.New("server: nil provider")
+	}
+	cfg.Shards = sp.NumShards()
+	s := newServer(nil, cfg)
+	s.sp = sp
+	s.multi = true
+	return s, nil
+}
+
+// sharded reports whether this server fans out across shards.
+func (s *Server) sharded() bool { return s.multi }
 
 // NewWithCover returns a Server that serves a precomputed cover (for
 // example one loaded from an oca-run output file) instead of running
@@ -250,7 +268,13 @@ func newServer(g *graph.Graph, cfg Config) *Server {
 	if cfg.MaxBatchIDs <= 0 {
 		cfg.MaxBatchIDs = 10000
 	}
-	s := &Server{g: g, cfg: cfg, maxDeg: g.MaxDegree()}
+	s := &Server{g: g, cfg: cfg}
+	if g != nil {
+		// g is nil only on the provider-backed router role, where every
+		// handler resolves through the sharded provider paths and the
+		// single-graph fields stay unused.
+		s.maxDeg = g.MaxDegree()
+	}
 	// Requests may lower the step budget but never raise it past the
 	// server's own cap: searches are not context-cancellable, so a giant
 	// finite budget would hold a pool worker past the deadline just like
@@ -398,8 +422,8 @@ func (s *Server) Close() {
 	if w != nil {
 		w.Close()
 	}
-	if s.router != nil {
-		s.router.Close()
+	if s.sp != nil {
+		s.sp.Close()
 	}
 }
 
@@ -417,7 +441,7 @@ func (s *Server) C() (float64, error) {
 // instead — so Cover returns an error.
 func (s *Server) Cover() (*cover.Cover, error) {
 	if s.sharded() {
-		return nil, fmt.Errorf("server: no single cover with %d shards; covers are per shard", s.router.NumShards())
+		return nil, fmt.Errorf("server: no single cover with %d shards; covers are per shard", s.sp.NumShards())
 	}
 	snap, err := s.snapshot()
 	if err != nil {
@@ -430,10 +454,10 @@ func (s *Server) Cover() (*cover.Cover, error) {
 // the first cover is built; the highest shard generation when sharded).
 func (s *Server) Generation() uint64 {
 	if s.sharded() {
-		views, _ := s.router.Views()
+		views, _ := s.sp.Views()
 		var max uint64
 		for _, v := range views {
-			if v.Snap.Gen > max {
+			if v.Snap != nil && v.Snap.Gen > max {
 				max = v.Snap.Gen
 			}
 		}
@@ -445,6 +469,42 @@ func (s *Server) Generation() uint64 {
 	return s.worker.Snapshot().Gen
 }
 
+// route is one entry of the serving mux: the registration pattern plus
+// how it is mounted (instrumented behind the request deadline, or
+// streaming outside it).
+type route struct {
+	pattern    string
+	handler    func(*Server) http.HandlerFunc
+	streaming  bool // mounted outside the TimeoutHandler (NDJSON export)
+	bareMetric bool // not instrumented (the metrics endpoint itself)
+}
+
+// routeTable is the manifest of every route Handler registers. Routes
+// derives the public list docs/PROTOCOL.md must stay in sync with;
+// Handler registers exactly these patterns, so manifest and mux cannot
+// drift apart.
+var routeTable = []route{
+	{pattern: "GET /healthz", handler: func(s *Server) http.HandlerFunc { return s.handleHealthz }},
+	{pattern: "GET /v1/cover/stats", handler: func(s *Server) http.HandlerFunc { return s.handleStats }},
+	{pattern: "GET /v1/cover/export", handler: func(s *Server) http.HandlerFunc { return s.handleExport }, streaming: true},
+	{pattern: "GET /v1/node/{id}/communities", handler: func(s *Server) http.HandlerFunc { return s.handleNodeCommunities }},
+	{pattern: "POST /v1/nodes/communities", handler: func(s *Server) http.HandlerFunc { return s.handleBatchCommunities }},
+	{pattern: "POST /v1/search", handler: func(s *Server) http.HandlerFunc { return s.handleSearch }},
+	{pattern: "POST /v1/edges", handler: func(s *Server) http.HandlerFunc { return s.handleEdges }},
+	{pattern: "GET /debug/metrics", handler: func(s *Server) http.HandlerFunc { return s.handleDebugMetrics }, bareMetric: true},
+}
+
+// Routes returns every (method, pattern) the service registers — the
+// public API manifest the documentation sync test compares against
+// docs/PROTOCOL.md.
+func Routes() []string {
+	out := make([]string, len(routeTable))
+	for i, rt := range routeTable {
+		out[i] = rt.pattern
+	}
+	return out
+}
+
 // Handler returns the service's http.Handler: all routes wrapped with
 // per-endpoint request metrics and the per-request deadline, except
 // the NDJSON export, which streams (http.TimeoutHandler buffers whole
@@ -452,16 +512,19 @@ func (s *Server) Generation() uint64 {
 // and defeat mid-stream backpressure).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.metrics.instrument("GET /healthz", s.handleHealthz))
-	mux.HandleFunc("GET /v1/cover/stats", s.metrics.instrument("GET /v1/cover/stats", s.handleStats))
-	mux.HandleFunc("GET /v1/node/{id}/communities", s.metrics.instrument("GET /v1/node/{id}/communities", s.handleNodeCommunities))
-	mux.HandleFunc("POST /v1/nodes/communities", s.metrics.instrument("POST /v1/nodes/communities", s.handleBatchCommunities))
-	mux.HandleFunc("POST /v1/search", s.metrics.instrument("POST /v1/search", s.handleSearch))
-	mux.HandleFunc("POST /v1/edges", s.metrics.instrument("POST /v1/edges", s.handleEdges))
-	mux.HandleFunc("GET /debug/metrics", s.handleDebugMetrics)
-	th := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	root := http.NewServeMux()
-	root.HandleFunc("GET /v1/cover/export", s.metrics.instrument("GET /v1/cover/export", s.handleExport))
+	for _, rt := range routeTable {
+		h := rt.handler(s)
+		switch {
+		case rt.streaming:
+			root.HandleFunc(rt.pattern, s.metrics.instrument(rt.pattern, h))
+		case rt.bareMetric:
+			mux.HandleFunc(rt.pattern, h)
+		default:
+			mux.HandleFunc(rt.pattern, s.metrics.instrument(rt.pattern, h))
+		}
+	}
+	th := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	root.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// TimeoutHandler writes its timeout body with no Content-Type;
 		// pre-setting it here keeps error responses uniformly JSON (the
@@ -485,6 +548,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // healthzResponse is the /healthz body.
@@ -514,7 +584,9 @@ type healthzResponse struct {
 
 // healthShard is one shard's entry in the /healthz vector. Nodes and
 // Edges count what the shard owns (ghost halos excluded), so they sum
-// to the global dimensions.
+// to the global dimensions. Error marks the shard degraded: its
+// backend is unreachable and the other fields describe its last
+// mirrored state.
 type healthShard struct {
 	Shard             int     `json:"shard"`
 	Generation        uint64  `json:"generation"`
@@ -526,6 +598,7 @@ type healthShard struct {
 	SnapshotAgeMillis int64   `json:"snapshot_age_millis"`
 	LastRebuildMillis int64   `json:"last_rebuild_millis"`
 	LastRefreshError  string  `json:"last_refresh_error,omitempty"`
+	Error             string  `json:"error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -562,10 +635,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleHealthzSharded aggregates every shard's snapshot and worker
 // status into one liveness view plus the per-shard vector. Each shard
-// contributes one atomic snapshot load; nothing blocks on rebuilds.
+// contributes one atomic snapshot (or mirror) load; nothing blocks on
+// rebuilds. Any degraded shard flips the top-level status to
+// "degraded" with the transport error on that shard's entry.
 func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
-	views, _ := s.router.Views()
-	statuses := s.router.Statuses()
+	views, _ := s.sp.Views()
+	statuses := s.sp.Statuses()
 	resp := healthzResponse{
 		Status:     "ok",
 		CoverReady: true,
@@ -573,7 +648,18 @@ func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 		Shards:     make([]healthShard, len(views)),
 	}
 	for i, v := range views {
-		snap, meta, st := v.Snap, v.Meta(), statuses[i].Status
+		if v.Err != nil {
+			resp.Status = "degraded"
+		}
+		snap, meta := v.Snap, v.Meta()
+		if snap == nil || meta == nil {
+			resp.Shards[i] = healthShard{Shard: v.Shard, Error: errString(v.Err)}
+			if resp.LastRefreshError == "" && v.Err != nil {
+				resp.LastRefreshError = fmt.Sprintf("shard %d: %v", v.Shard, v.Err)
+			}
+			continue
+		}
+		st := statuses[i].Status
 		hs := healthShard{
 			Shard:             v.Shard,
 			Generation:        snap.Gen,
@@ -585,6 +671,7 @@ func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 			SnapshotAgeMillis: time.Since(snap.BuiltAt).Milliseconds(),
 			LastRebuildMillis: snap.BuildTime.Milliseconds(),
 			LastRefreshError:  st.LastErr,
+			Error:             errString(v.Err),
 		}
 		resp.Shards[i] = hs
 		resp.Nodes += hs.Nodes
@@ -640,6 +727,8 @@ type statsResponse struct {
 }
 
 // statsShard is one shard's entry in the /v1/cover/stats vector.
+// Error marks the shard degraded; its other fields then describe the
+// last mirrored generation.
 type statsShard struct {
 	Shard            int     `json:"shard"`
 	Generation       uint64  `json:"generation"`
@@ -651,6 +740,7 @@ type statsShard struct {
 	BuildMillis      int64   `json:"build_millis"`
 	RebuildMode      string  `json:"rebuild_mode,omitempty"`
 	DirtyNodes       int     `json:"dirty_nodes,omitempty"`
+	Error            string  `json:"error,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -706,8 +796,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // distributions describe the served communities, whose member lists
 // may include ghost copies of boundary nodes.
 func (s *Server) handleStatsSharded(w http.ResponseWriter) {
-	views, _ := s.router.Views()
-	statuses := s.router.Statuses()
+	views, _ := s.sp.Views()
+	statuses := s.sp.Statuses()
 	resp := statsResponse{
 		Shards:  make([]statsShard, len(views)),
 		MinSize: -1,
@@ -718,9 +808,14 @@ func (s *Server) handleStatsSharded(w http.ResponseWriter) {
 		latestBuilt  time.Time
 	)
 	for i, v := range views {
+		if v.Snap == nil || v.Meta() == nil {
+			resp.Shards[i] = statsShard{Shard: v.Shard, Error: errString(v.Err)}
+			continue
+		}
 		snap, meta, st := v.Snap, v.Meta(), statuses[i].Status
 		entry := statsShard{
 			Shard:            v.Shard,
+			Error:            errString(v.Err),
 			Generation:       snap.Gen,
 			C:                snap.C,
 			Communities:      snap.Cover.Len(),
@@ -818,6 +913,12 @@ func (s *Server) handleNodeCommunities(w http.ResponseWriter, r *http.Request) {
 	view, local, ok, err := s.sp.ViewFor(v)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
+		return
+	}
+	if view.Err != nil {
+		// The owning shard is unreachable: an explicit 503, never a
+		// silently stale answer (the mirror may be generations behind).
+		writeError(w, http.StatusServiceUnavailable, "shard %d unavailable: %v", view.Shard, view.Err)
 		return
 	}
 	if !ok {
@@ -957,7 +1058,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // members translate back to global ids. Validation order mirrors
 // handleSearch; the execution tail is the shared runSearch.
 func (s *Server) handleSearchSharded(w http.ResponseWriter, r *http.Request, req SearchRequest) {
-	view, local, ok, _ := s.router.ViewFor(req.Seed)
+	view, local, ok, _ := s.sp.ViewFor(req.Seed)
+	if view.Err != nil {
+		writeError(w, http.StatusServiceUnavailable, "shard %d unavailable: %v", view.Shard, view.Err)
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, "seed %d out of range [0, %d)", req.Seed, s.sp.NodeBound())
 		return

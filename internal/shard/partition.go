@@ -1,22 +1,6 @@
-// Package shard partitions a graph — and the overlapping community
-// cover served over it — across K node-disjoint shards, and routes
-// queries to them. It is the serving-scale layer the ROADMAP's north
-// star calls for: each shard owns a slice of the node set, keeps its
-// own generation-numbered refresh.Snapshot live under mutation through
-// its own refresh.Worker, and a Router fans lookups out to the owning
-// shards, merges the answers and quotes a (shard, generation) vector so
-// clients can detect a lagging shard.
-//
-// Partitioning is deterministic modulo-K hashing: node v belongs to
-// shard v mod K. Each shard's graph contains its owned nodes plus
-// "ghost" copies of every boundary neighbor, with the full induced
-// halo (owned–ghost and ghost–ghost edges), so the per-shard OCA run
-// still sees complete boundary neighborhoods — the paper's fitness
-// L(s, m, c) depends only on a set's size and internal edges, so a
-// community whose induced subgraph is present in the halo scores
-// identically to the unsharded run. Communities containing no owned
-// node are dropped before publication; the surviving per-shard covers,
-// translated back to global ids, form the served sharded cover.
+// The deterministic modulo-K partition and the ghost-halo split (see
+// doc.go for the package overview).
+
 package shard
 
 import (
@@ -84,6 +68,21 @@ func Split(g *graph.Graph, k int) ([]Piece, error) {
 		pieces[s] = splitOne(g, p, s, n)
 	}
 	return pieces, nil
+}
+
+// SplitOne materializes a single shard's piece of the modulo-K split —
+// what a shard-server process needs — at O(piece) cost instead of
+// building all K pieces the way Split does. SplitOne(g, k, s) equals
+// Split(g, k)[s] exactly.
+func SplitOne(g *graph.Graph, k, s int) (Piece, error) {
+	p, err := NewPartition(k)
+	if err != nil {
+		return Piece{}, err
+	}
+	if s < 0 || s >= k {
+		return Piece{}, fmt.Errorf("shard: index %d out of range [0, %d)", s, k)
+	}
+	return splitOne(g, p, s, g.N()), nil
 }
 
 func splitOne(g *graph.Graph, p Partition, s, n int) Piece {

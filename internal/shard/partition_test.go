@@ -158,3 +158,47 @@ func TestSplitMetaEdgeAccounting(t *testing.T) {
 		t.Errorf("owned edges sum to %d, want %d", total, g.M())
 	}
 }
+
+// TestSplitOneMatchesSplit: the single-piece split a shard-server
+// process uses must equal the corresponding piece of the full split.
+func TestSplitOneMatchesSplit(t *testing.T) {
+	g, err := synth.GNM(60, 240, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	pieces, err := Split(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < k; s++ {
+		one, err := SplitOne(g, k, s)
+		if err != nil {
+			t.Fatalf("SplitOne(%d): %v", s, err)
+		}
+		want := pieces[s]
+		if one.Shard != want.Shard || one.Owned != want.Owned ||
+			one.Graph.N() != want.Graph.N() || one.Graph.M() != want.Graph.M() {
+			t.Fatalf("shard %d: SplitOne piece differs: %+v vs %+v", s, one, want)
+		}
+		for l, gv := range one.Locals {
+			if want.Locals[l] != gv {
+				t.Fatalf("shard %d local %d: global %d, want %d", s, l, gv, want.Locals[l])
+			}
+		}
+		for v := int32(0); int(v) < one.Graph.N(); v++ {
+			a, b := one.Graph.Neighbors(v), want.Graph.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("shard %d node %d: degree %d, want %d", s, v, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("shard %d node %d: adjacency differs", s, v)
+				}
+			}
+		}
+	}
+	if _, err := SplitOne(g, k, k); err == nil {
+		t.Error("SplitOne with out-of-range index succeeded")
+	}
+}

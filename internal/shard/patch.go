@@ -1,0 +1,194 @@
+package shard
+
+// The shard layer's incremental snapshot assembly: the
+// refresh.Config.PatchSnapshot hook. Before this hook existed, every
+// per-shard fastpath/incremental rebuild went through buildSnapshot —
+// a full index.Build, Stats re-tally and O(n+m) Meta scan — because
+// ghost filtering invalidated the built-in patch contract. The hook
+// restores cost ∝ |dirty region| on the shard path: fresh communities
+// are ghost-filtered on their own (carried communities survived the
+// previous generation's filter, so they need no re-check), the index
+// and overlap stats are patched with the same primitives as the
+// unsharded path (index.Patch, cover.PatchStats), and the ownership
+// Meta is adjusted from the batch's effective edge delta and the
+// affected nodes' membership changes instead of rescanned.
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/refresh"
+)
+
+// patchSnapshot is the refresh.Config.PatchSnapshot hook: assemble the
+// published per-shard snapshot for a fastpath or incremental rebuild by
+// patching the previous generation's derived state. It falls back to
+// buildSnapshot when the previous generation lacks the shard metadata
+// the patch starts from (never the case for worker-published
+// generations; defensive only).
+func (w *Worker) patchSnapshot(ng *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration, pc *refresh.PatchContext) *refresh.Snapshot {
+	old := pc.Old
+	oldMeta, ok := old.Aux.(*Meta)
+	if !ok || old.Index == nil {
+		return w.buildSnapshot(ng, cv, res, c, buildTime)
+	}
+	locals := w.localsPrefix(ng.N())
+	owns := func(l int32) bool { return int(locals[l])%w.k == w.id }
+
+	// Ghost filtering applies to the fresh communities only: the carried
+	// prefix survived the previous generation's filter, and the
+	// incremental merge only unions members into them.
+	added := cv.Communities[pc.Kept:]
+	fresh := make([]cover.Community, 0, len(added))
+	for _, cm := range added {
+		for _, l := range cm {
+			if owns(l) {
+				fresh = append(fresh, cm)
+				break
+			}
+		}
+	}
+	newCv := cv
+	if len(fresh) != len(added) {
+		kept := cv.Communities[:pc.Kept:pc.Kept]
+		newCv = cover.NewCover(append(kept, fresh...))
+	}
+
+	ix := index.Patch(old.Index, pc.Removed, fresh, ng.N())
+	stats := old.Stats
+	var affected []int32
+	if len(pc.Removed) > 0 || len(fresh) > 0 {
+		affected = refresh.AffectedNodes(old.Cover, pc.Removed, fresh, ng.N())
+		// Ids the batch grew past the previous index's range report
+		// Degree 0 there, matching "did not exist, had no memberships".
+		stats = cover.PatchStats(old.Stats, newCv, ng.N(), affected, old.Index.Degree, ix.Degree)
+	}
+
+	return &refresh.Snapshot{
+		Graph:     ng,
+		Cover:     newCv,
+		Index:     ix,
+		Stats:     stats,
+		Result:    res,
+		C:         c,
+		MaxDegree: ng.MaxDegree(),
+		BuildTime: buildTime,
+		BuiltAt:   time.Now(),
+		Aux:       w.patchMeta(oldMeta, old, ng, locals, affected, old.Index.Degree, ix, pc),
+	}
+}
+
+// patchMeta adjusts the previous generation's ownership metadata for
+// the batch: O(|batch| + |affected|) instead of buildMeta's O(n + m)
+// rescan, except the rare full membership re-scan when the owned
+// membership maximum may have shrunk (mirroring cover.PatchStats).
+func (w *Worker) patchMeta(oldMeta *Meta, old *refresh.Snapshot, ng *graph.Graph, locals []int32, affected []int32, oldDeg func(int32) int, ix *index.Membership, pc *refresh.PatchContext) *Meta {
+	m := &Meta{
+		Shard:              w.id,
+		K:                  w.k,
+		Locals:             locals,
+		OwnedNodes:         oldMeta.OwnedNodes,
+		OwnedEdges:         oldMeta.OwnedEdges,
+		CoveredOwned:       oldMeta.CoveredOwned,
+		OverlapOwned:       oldMeta.OverlapOwned,
+		OwnedMemberships:   oldMeta.OwnedMemberships,
+		MaxMembershipOwned: oldMeta.MaxMembershipOwned,
+	}
+	owns := func(l int32) bool { return int(locals[l])%w.k == w.id }
+
+	// Node growth: every local id past the previous graph is new here
+	// (owned only when a mutation named a new globally-owned id).
+	oldN := old.Graph.N()
+	for l := oldN; l < ng.N(); l++ {
+		if owns(int32(l)) {
+			m.OwnedNodes++
+		}
+	}
+
+	// Accountable-edge delta: compare each distinct mutated pair's
+	// presence in the previous and new graphs — adds of existing edges
+	// and removals of absent ones cancel out here exactly as they did in
+	// the graph delta.
+	seen := make(map[[2]int32]struct{}, len(pc.Add)+len(pc.Remove))
+	visit := func(u, v int32) {
+		if u > v {
+			u, v = v, u
+		}
+		p := [2]int32{u, v}
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
+		was := int(u) < oldN && int(v) < oldN && old.Graph.HasEdge(u, v)
+		is := ng.HasEdge(u, v)
+		if was == is {
+			return
+		}
+		gu, gv := locals[u], locals[v]
+		ou, ov := owns(u), owns(v)
+		// Same accountability rule as buildMeta: internal edges, plus
+		// cross-shard edges whose smaller-global-id endpoint is owned.
+		accountable := (ou && ov) || (ou && gu < gv) || (ov && gv < gu)
+		if !accountable {
+			return
+		}
+		if is {
+			m.OwnedEdges++
+		} else {
+			m.OwnedEdges--
+		}
+	}
+	for _, e := range pc.Add {
+		visit(e[0], e[1])
+	}
+	for _, e := range pc.Remove {
+		visit(e[0], e[1])
+	}
+
+	// Membership tallies over the affected owned nodes, mirroring
+	// cover.PatchStats for the owned-only aggregates.
+	maxMayDrop := false
+	for _, v := range affected {
+		if !owns(v) {
+			continue
+		}
+		od, nd := oldDeg(v), ix.Degree(v)
+		if od == nd {
+			continue
+		}
+		m.OwnedMemberships += int64(nd - od)
+		switch {
+		case od == 0 && nd > 0:
+			m.CoveredOwned++
+		case od > 0 && nd == 0:
+			m.CoveredOwned--
+		}
+		switch {
+		case od <= 1 && nd >= 2:
+			m.OverlapOwned++
+		case od >= 2 && nd <= 1:
+			m.OverlapOwned--
+		}
+		if nd > m.MaxMembershipOwned {
+			m.MaxMembershipOwned = nd
+		}
+		if nd < od && od >= oldMeta.MaxMembershipOwned {
+			maxMayDrop = true
+		}
+	}
+	if maxMayDrop {
+		max := 0
+		for l := int32(0); int(l) < ng.N(); l++ {
+			if owns(l) {
+				if d := ix.Degree(l); d > max {
+					max = d
+				}
+			}
+		}
+		m.MaxMembershipOwned = max
+	}
+	return m
+}

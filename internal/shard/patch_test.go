@@ -1,0 +1,206 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/lfr"
+	"repro/internal/refresh"
+	"repro/internal/spectral"
+)
+
+// verifyDerivedState checks that a shard's published snapshot's derived
+// state — inverted index, overlap stats, ownership metadata — is
+// exactly what a from-scratch rebuild over the same (graph, cover)
+// produces. Patched and rebuilt generations must be indistinguishable.
+func verifyDerivedState(t *testing.T, w *Worker) {
+	t.Helper()
+	snap := w.Snapshot()
+	g, cv := snap.Graph, snap.Cover
+	wantIx := index.Build(cv, g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		got, want := snap.Index.Communities(v), wantIx.Communities(v)
+		if len(got) != len(want) {
+			t.Fatalf("shard %d gen %d node %d: %d memberships, want %d", w.id, snap.Gen, v, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d gen %d node %d: memberships %v, want %v", w.id, snap.Gen, v, got, want)
+			}
+		}
+	}
+	if want := cv.Stats(g.N()); snap.Stats != want {
+		t.Fatalf("shard %d gen %d (%s): stats %+v, want %+v", w.id, snap.Gen, snap.RebuildMode, snap.Stats, want)
+	}
+	meta, ok := snap.Aux.(*Meta)
+	if !ok {
+		t.Fatalf("shard %d gen %d: snapshot has no Meta", w.id, snap.Gen)
+	}
+	if len(meta.Locals) != g.N() {
+		t.Fatalf("shard %d gen %d: Locals has %d entries for %d nodes", w.id, snap.Gen, len(meta.Locals), g.N())
+	}
+	want := buildMeta(w.id, w.k, g, wantIx, meta.Locals)
+	if meta.OwnedNodes != want.OwnedNodes || meta.OwnedEdges != want.OwnedEdges ||
+		meta.CoveredOwned != want.CoveredOwned || meta.OverlapOwned != want.OverlapOwned ||
+		meta.OwnedMemberships != want.OwnedMemberships || meta.MaxMembershipOwned != want.MaxMembershipOwned {
+		t.Fatalf("shard %d gen %d (%s): meta %+v, want %+v", w.id, snap.Gen, snap.RebuildMode, *meta, *want)
+	}
+}
+
+// TestShardPatchEquivalence drives a K=3 router with the incremental
+// engine enabled through a churn sequence (edge adds, removals, node
+// growth) and proves after every generation that the patched per-shard
+// index/stats/Meta equal a from-scratch rebuild — the ghost-filtering
+// path no longer forces full per-shard index rebuilds, and the patch
+// must be invisible to readers.
+func TestShardPatchEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-OCA-run equivalence test")
+	}
+	bench, err := lfr.Generate(lfr.Params{
+		N: 120, AvgDeg: 10, MaxDeg: 20, Mu: 0.05,
+		MinCom: 15, MaxCom: 30, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("lfr.Generate: %v", err)
+	}
+	g := bench.Graph
+	c, err := spectral.C(g, spectral.Options{})
+	if err != nil {
+		t.Fatalf("spectral.C: %v", err)
+	}
+
+	var (
+		modeMu sync.Mutex
+		modes  = map[string]int{}
+	)
+	const k = 3
+	r, err := NewRouter(g, k, Config{
+		OCA:                  core.Options{Seed: 5, C: c},
+		Debounce:             time.Millisecond,
+		MaxNodes:             g.N() + 16,
+		IncrementalThreshold: 0.4,
+		OnSwap: func(_ int, snap *refresh.Snapshot) {
+			modeMu.Lock()
+			modes[snap.RebuildMode]++
+			modeMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+
+	rng := rand.New(rand.NewSource(17))
+	randomEdge := func(n int) [2]int32 {
+		for {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				return [2]int32{u, v}
+			}
+		}
+	}
+	apply := func(add, remove [][2]int32) {
+		t.Helper()
+		_, _, touched, err := r.Enqueue(add, remove)
+		if err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if _, err := r.Flush(ctx, touched); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	}
+	verifyAll := func() {
+		t.Helper()
+		for _, b := range r.backends {
+			verifyDerivedState(t, b.(*Worker))
+		}
+	}
+
+	n := g.N()
+	var added [][2]int32
+	for round := 0; round < 4; round++ {
+		batch := [][2]int32{randomEdge(n), randomEdge(n)}
+		added = append(added, batch...)
+		apply(batch, nil)
+		verifyAll()
+	}
+	// Remove what was added (some removals are no-ops when a pair was
+	// added twice — the patch accounting must absorb that too).
+	apply(nil, added)
+	verifyAll()
+	// Node growth: a cross-shard edge between two brand-new global ids
+	// materializes owned nodes on two shards and ghosts besides.
+	apply([][2]int32{{int32(n), int32(n + 1)}, {int32(n + 1), int32(n + 2)}}, nil)
+	verifyAll()
+
+	modeMu.Lock()
+	defer modeMu.Unlock()
+	if modes[refresh.ModeIncremental] == 0 {
+		t.Fatalf("no shard rebuild took the incremental path (modes: %v) — the patch seam went unexercised", modes)
+	}
+}
+
+// TestShardPatchFastpath: removing the uncovered fringe edge takes the
+// fastpath on both owning shards — the carried community slices stay
+// pointer-identical (no OCA, no filtering pass) while the ownership
+// metadata still reflects the edge delta.
+func TestShardPatchFastpath(t *testing.T) {
+	b := graph.NewBuilder(14)
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(6+i, 6+j)
+		}
+	}
+	b.AddEdge(12, 13)
+	g := b.Build()
+
+	r, err := NewRouter(g, 2, Config{
+		OCA:                  core.Options{Seed: 3, C: 0.5},
+		Debounce:             time.Millisecond,
+		IncrementalThreshold: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+
+	before := make([]*refresh.Snapshot, 2)
+	for s, b := range r.backends {
+		before[s] = b.(*Worker).Snapshot()
+	}
+
+	_, _, touched, err := r.Enqueue(nil, [][2]int32{{12, 13}})
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := r.Flush(ctx, touched); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	for s, b := range r.backends {
+		w := b.(*Worker)
+		snap := w.Snapshot()
+		if snap.Gen != before[s].Gen+1 {
+			t.Fatalf("shard %d generation = %d, want %d", s, snap.Gen, before[s].Gen+1)
+		}
+		if snap.RebuildMode != refresh.ModeFastpath {
+			t.Fatalf("shard %d rebuild mode = %q, want %q", s, snap.RebuildMode, refresh.ModeFastpath)
+		}
+		if snap.Cover != before[s].Cover {
+			t.Fatalf("shard %d: fastpath rebuilt the cover, want the carried pointer", s)
+		}
+		verifyDerivedState(t, w)
+	}
+}

@@ -7,10 +7,8 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/cover"
 	"repro/internal/graph"
 	"repro/internal/refresh"
-	"repro/internal/spectral"
 )
 
 // Config tunes a Router. The zero value runs each shard's OCA with the
@@ -53,83 +51,26 @@ type Config struct {
 	workerOCA func(shard int, opt core.Options) core.Options
 }
 
-// Router owns K partitioned shards, each serving its slice of the
-// graph through its own live refresh.Worker, and fans queries and
-// mutations out to the owning shards. All methods are safe for
-// concurrent use; reads are lock-free per shard (one atomic snapshot
-// load), mutations serialize on the router so the global→local
-// translation tables grow consistently.
+// Router owns K partitioned shards — each a Backend serving its slice
+// of the graph, in this process (*Worker) or in another one (the
+// transport package's remote client) — and fans queries and mutations
+// out to the owning shards. All methods are safe for concurrent use;
+// reads are lock-free per shard (one atomic snapshot load locally, one
+// mirror load remotely), mutations serialize on the router so the
+// global→local translation tables grow consistently.
 type Router struct {
-	part   Partition
-	cfg    Config
-	maxN   int // global node-set ceiling
-	shards []*shardState
+	part       Partition
+	maxPending int
+	maxN       int // global node-set ceiling
+	backends   []Backend
 
 	mu     sync.Mutex // serializes Enqueue; guards curN and closed
 	curN   int        // global node ids in [0, curN) are valid (incl. pending growth)
 	closed bool
 }
 
-// shardState is one shard's mutable identity state: the append-only
-// global↔local mapping plus its refresh worker. locals/index grow only
-// under mu (while the router's Enqueue lock is held); readers take the
-// read lock briefly to resolve ids, and published snapshots carry a
-// stable prefix of locals in their Meta.
-type shardState struct {
-	id int
-	k  int
-
-	mu     sync.RWMutex
-	locals []int32
-	index  map[int32]int32
-
-	worker *refresh.Worker
-}
-
-func (st *shardState) lookup(global int32) (int32, bool) {
-	st.mu.RLock()
-	l, ok := st.index[global]
-	st.mu.RUnlock()
-	return l, ok
-}
-
-// ensureLocal returns the local id for a global node, appending a new
-// mapping entry when unseen. Caller must hold the router's Enqueue
-// lock (mapping growth is serialized); the shard lock still guards
-// against concurrent readers.
-func (st *shardState) ensureLocal(global int32) int32 {
-	if l, ok := st.lookup(global); ok {
-		return l
-	}
-	st.mu.Lock()
-	l := int32(len(st.locals))
-	st.locals = append(st.locals, global)
-	st.index[global] = l
-	st.mu.Unlock()
-	return l
-}
-
-// localsPrefix returns the stable local→global table for a graph of n
-// nodes. The mapping is append-only, so the prefix never changes after
-// capture.
-func (st *shardState) localsPrefix(n int) []int32 {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.locals[:n:n]
-}
-
-// buildSnapshot is the refresh.Config.BuildSnapshot hook: it drops
-// ghost-only communities and attaches the shard Meta for this
-// generation's node set.
-func (st *shardState) buildSnapshot(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration) *refresh.Snapshot {
-	locals := st.localsPrefix(g.N())
-	snap := refresh.NewSnapshot(g, filterOwned(cv, locals, st.k, st.id), res, c, buildTime)
-	snap.Aux = buildMeta(st.id, st.k, g, snap.Index, locals)
-	return snap
-}
-
 // NewRouter splits g into k shards, runs the initial per-shard OCA
-// covers (in parallel), and starts one refresh worker per shard. A
+// covers (in parallel), and starts one in-process Worker per shard. A
 // shard with no edges gets an empty cover and no c until mutations give
 // it edges.
 func NewRouter(g *graph.Graph, k int, cfg Config) (*Router, error) {
@@ -137,115 +78,85 @@ func NewRouter(g *graph.Graph, k int, cfg Config) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	part, _ := NewPartition(k)
-	r := &Router{
-		part:   part,
-		cfg:    cfg,
-		curN:   g.N(),
-		maxN:   cfg.MaxNodes,
-		shards: make([]*shardState, k),
+	maxN := cfg.MaxNodes
+	if maxN < g.N() {
+		maxN = g.N() // growth disabled
 	}
-	if r.maxN < g.N() {
-		r.maxN = g.N() // growth disabled
-	}
-
+	backends := make([]Backend, k)
 	var wg sync.WaitGroup
 	errs := make([]error, k)
 	for s := range pieces {
-		st := &shardState{id: s, k: k, locals: pieces[s].Locals}
-		st.index = make(map[int32]int32, len(st.locals))
-		for l, gv := range st.locals {
-			st.index[gv] = int32(l)
-		}
-		r.shards[s] = st
 		wg.Add(1)
-		go func(s int, pg *graph.Graph) {
+		go func(s int) {
 			defer wg.Done()
-			errs[s] = r.initShard(s, pg)
-		}(s, pieces[s].Graph)
+			w, err := NewWorker(pieces[s], k, cfg, maxN)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			backends[s] = w
+		}(s)
 	}
 	wg.Wait()
 	for s, err := range errs {
 		if err != nil {
-			r.Close()
+			for _, b := range backends {
+				if b != nil {
+					b.Close()
+				}
+			}
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
+	}
+	r, err := NewRouterBackends(backends, g.N(), maxN, cfg.MaxPending)
+	if err != nil {
+		for _, b := range backends {
+			b.Close()
+		}
+		return nil, err
 	}
 	return r, nil
 }
 
-// initShard computes shard s's first generation and starts its worker.
-func (r *Router) initShard(s int, pg *graph.Graph) error {
-	st := r.shards[s]
-	start := time.Now()
-	var (
-		cv  *cover.Cover
-		res *core.Result
-		c   = r.cfg.OCA.C
-	)
-	if pg.M() == 0 {
-		// No edges: nothing to search, and the spectrum (hence c) is
-		// undefined. Serve an empty cover; mutations can populate it.
-		cv = cover.NewCover(nil)
-		c = 0
-	} else {
-		if c == 0 {
-			var err error
-			if c, err = spectral.C(pg, r.cfg.OCA.Spectral); err != nil {
-				return fmt.Errorf("deriving c: %w", err)
-			}
-		}
-		opt := r.cfg.OCA
-		opt.C = c
-		var err error
-		if res, err = core.Run(pg, opt); err != nil {
-			return fmt.Errorf("initial OCA: %w", err)
-		}
-		cv = res.Cover
+// NewRouterBackends assembles a Router over pre-built shard backends —
+// the constructor the multi-process deployment uses, with one remote
+// transport client per shard. curN is the current global node count
+// (ids in [0, curN) are valid) and maxNodes the growth ceiling;
+// maxPending bounds each shard's mutation backlog for the router's
+// all-or-nothing admission check (0 uses refresh.Config's default).
+func NewRouterBackends(backends []Backend, curN, maxNodes, maxPending int) (*Router, error) {
+	part, err := NewPartition(len(backends))
+	if err != nil {
+		return nil, err
 	}
-	snap := st.buildSnapshot(pg, cv, res, c, time.Since(start))
-
-	wopt := r.cfg.OCA
-	wopt.C = c // pin the shard's derived c; RederiveCAfter handles drift
-	if r.cfg.workerOCA != nil {
-		wopt = r.cfg.workerOCA(s, wopt)
+	if maxNodes < curN {
+		maxNodes = curN
 	}
-	wcfg := refresh.Config{
-		OCA:              wopt,
-		DisableWarmStart: r.cfg.DisableWarmStart,
-		Debounce:         r.cfg.Debounce,
-		MaxPending:       r.cfg.MaxPending,
-		// Local growth must always be possible even under a fixed global
-		// node set: a cross-shard edge can materialize a new ghost here.
-		// A shard's locals never exceed the global node count.
-		MaxNodes:             r.maxN,
-		RederiveCAfter:       r.cfg.RederiveCAfter,
-		IncrementalThreshold: r.cfg.IncrementalThreshold,
-		BuildSnapshot:        st.buildSnapshot,
-	}
-	if r.cfg.OnSwap != nil {
-		wcfg.OnSwap = func(snap *refresh.Snapshot) { r.cfg.OnSwap(s, snap) }
-	}
-	st.worker = refresh.New(snap, wcfg)
-	st.worker.Start()
-	return nil
+	return &Router{
+		part:       part,
+		maxPending: maxPending,
+		curN:       curN,
+		maxN:       maxNodes,
+		backends:   backends,
+	}, nil
 }
 
 // NumShards returns K.
 func (r *Router) NumShards() int { return r.part.K() }
 
-// Ready always reports true: the router builds every shard's first
+// Ready always reports true: the router requires every shard's first
 // generation at construction.
 func (r *Router) Ready() bool { return true }
 
 // Views returns one View per shard, each loaded atomically from its
-// worker. Use one call's result for a whole request: per shard the view
-// is one immutable generation, and the vector of generations is the
-// response's consistency token.
+// backend. Use one call's result for a whole request: per shard the
+// view is one immutable generation, and the vector of generations is
+// the response's consistency token. A degraded remote shard's view
+// carries its last mirrored snapshot with View.Err set.
 func (r *Router) Views() ([]View, error) {
-	views := make([]View, len(r.shards))
-	for s, st := range r.shards {
-		views[s] = View{Shard: s, Snap: st.worker.Snapshot(), lookup: st.lookup}
+	views := make([]View, len(r.backends))
+	for s, b := range r.backends {
+		views[s] = b.View()
 	}
 	return views, nil
 }
@@ -259,9 +170,7 @@ func (r *Router) ViewFor(global int32) (View, int32, bool, error) {
 	if global < 0 {
 		return View{}, 0, false, nil
 	}
-	s := r.part.Shard(global)
-	st := r.shards[s]
-	view := View{Shard: s, Snap: st.worker.Snapshot(), lookup: st.lookup}
+	view := r.backends[r.part.Shard(global)].View()
 	local, ok := view.Local(global)
 	return view, local, ok, nil
 }
@@ -274,24 +183,25 @@ func (r *Router) NodeBound() int {
 	return r.curN
 }
 
-// genVector snapshots every shard's current generation.
+// genVector snapshots every shard's current generation; degraded
+// shards carry their transport error.
 func (r *Router) genVector() GenVector {
-	gv := make(GenVector, len(r.shards))
-	for s, st := range r.shards {
-		gv[s] = ShardGen{Shard: s, Gen: st.worker.Snapshot().Gen}
-	}
-	return gv
+	views, _ := r.Views()
+	return VectorOf(views)
 }
 
 // Enqueue validates a batch of global edge mutations, translates each
 // edge to the owning shards' local id spaces (materializing new ghost
 // mappings as needed) and queues the per-shard operations. The batch
-// is atomic across shards: one invalid edge — or one full shard
-// backlog — rejects the whole batch with nothing queued and no mapping
-// state touched anywhere. The returned vector holds each shard's
-// generation at enqueue time, queued counts the accepted global
-// operations, and touched lists the shards that received work (the
-// ones a waiting client needs to flush).
+// is atomic across shards: one invalid edge — or one full or
+// unreachable shard — rejects the whole batch with nothing queued and
+// no mapping state touched anywhere (best-effort over the wire: a
+// remote shard failing mid-fan-out reports an error, and because edge
+// operations are idempotent the client may retry the whole batch). The
+// returned vector holds each shard's generation at enqueue time,
+// queued counts the accepted global operations, and touched lists the
+// shards that received work (the ones a waiting client needs to
+// flush).
 func (r *Router) Enqueue(add, remove [][2]int32) (vec GenVector, queued int, touched []int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -310,12 +220,12 @@ func (r *Router) Enqueue(add, remove [][2]int32) (vec GenVector, queued int, tou
 	// count per-shard add operations, so the backlog admission check
 	// below runs before any state is touched.
 	type shardOps struct{ add, remove [][2]int32 }
-	ops := make([]shardOps, len(r.shards))
-	counts := make([]int, len(r.shards))
+	ops := make([]shardOps, len(r.backends))
+	counts := make([]int, len(r.backends))
 	for _, e := range remove {
 		for _, s := range [2]int{r.part.Shard(e[0]), r.part.Shard(e[1])} {
-			lu, ok1 := r.shards[s].lookup(e[0])
-			lv, ok2 := r.shards[s].lookup(e[1])
+			lu, ok1 := r.backends[s].Lookup(e[0])
+			lv, ok2 := r.backends[s].Lookup(e[1])
 			if ok1 && ok2 {
 				ops[s].remove = append(ops[s].remove, [2]int32{lu, lv})
 				counts[s]++
@@ -338,13 +248,22 @@ func (r *Router) Enqueue(add, remove [][2]int32) (vec GenVector, queued int, tou
 	// backlogs, so a batch that passes here cannot fail admission — the
 	// whole batch lands on every owning shard or on none (and no ghost
 	// mapping outlives a rejected batch), so a 503 really does mean
-	// "nothing happened, retry the batch".
-	maxPending := r.cfg.MaxPending
+	// "nothing happened, retry the batch". A shard whose backend is
+	// already known unreachable fails the batch up front for the same
+	// reason.
+	maxPending := r.maxPending
 	if maxPending <= 0 {
 		maxPending = 1 << 20 // refresh.Config's default
 	}
 	for s, n := range counts {
-		if n > 0 && r.shards[s].worker.Status().Pending+n > maxPending {
+		if n == 0 {
+			continue
+		}
+		st := r.backends[s].Status()
+		if st.Err != "" {
+			return r.genVector(), 0, nil, fmt.Errorf("shard %d: %w: %s", s, ErrUnavailable, st.Err)
+		}
+		if st.Status.Pending+n > maxPending {
 			return r.genVector(), 0, nil, fmt.Errorf("shard %d: %w", s, refresh.ErrBacklogFull)
 		}
 	}
@@ -356,10 +275,10 @@ func (r *Router) Enqueue(add, remove [][2]int32) (vec GenVector, queued int, tou
 		// are not updated — their halos are refreshed only by their own
 		// rebuilds, which is an accepted approximation (ghost
 		// neighborhoods steer OCA quality, never ownership).
-		lu, lv := r.shards[su].ensureLocal(e[0]), r.shards[su].ensureLocal(e[1])
+		lu, lv := r.backends[su].EnsureLocal(e[0]), r.backends[su].EnsureLocal(e[1])
 		ops[su].add = append(ops[su].add, [2]int32{lu, lv})
 		if sv != su {
-			lu, lv = r.shards[sv].ensureLocal(e[0]), r.shards[sv].ensureLocal(e[1])
+			lu, lv = r.backends[sv].EnsureLocal(e[0]), r.backends[sv].EnsureLocal(e[1])
 			ops[sv].add = append(ops[sv].add, [2]int32{lu, lv})
 		}
 	}
@@ -367,7 +286,7 @@ func (r *Router) Enqueue(add, remove [][2]int32) (vec GenVector, queued int, tou
 		if len(ops[s].add)+len(ops[s].remove) == 0 {
 			continue
 		}
-		if _, _, err := r.shards[s].worker.Enqueue(ops[s].add, ops[s].remove); err != nil {
+		if err := r.backends[s].Apply(ops[s].add, ops[s].remove); err != nil {
 			return r.genVector(), 0, nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 		touched = append(touched, s)
@@ -385,7 +304,7 @@ func (r *Router) ShardOf(global int32) int { return r.part.Shard(global) }
 // Enqueue so an unrelated shard's deep backlog doesn't stall them.
 func (r *Router) Flush(ctx context.Context, shards []int) (GenVector, error) {
 	if shards == nil {
-		shards = make([]int, len(r.shards))
+		shards = make([]int, len(r.backends))
 		for s := range shards {
 			shards[s] = s
 		}
@@ -394,10 +313,10 @@ func (r *Router) Flush(ctx context.Context, shards []int) (GenVector, error) {
 	errs := make([]error, len(shards))
 	for i, s := range shards {
 		wg.Add(1)
-		go func(i int, w *refresh.Worker) {
+		go func(i int, b Backend) {
 			defer wg.Done()
-			_, errs[i] = w.Flush(ctx)
-		}(i, r.shards[s].worker)
+			_, errs[i] = b.Flush(ctx)
+		}(i, r.backends[s])
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -411,27 +330,25 @@ func (r *Router) Flush(ctx context.Context, shards []int) (GenVector, error) {
 // Statuses returns every shard's point-in-time worker status with its
 // active c. It never blocks on rebuilds.
 func (r *Router) Statuses() []WorkerStatus {
-	out := make([]WorkerStatus, len(r.shards))
-	for s, st := range r.shards {
-		out[s] = WorkerStatus{
-			Shard:  s,
-			C:      st.worker.Snapshot().C,
-			Status: st.worker.Status(),
-		}
+	out := make([]WorkerStatus, len(r.backends))
+	for s, b := range r.backends {
+		out[s] = b.Status()
 	}
 	return out
 }
 
-// Close stops every shard's refresh worker. Reads keep serving the last
-// published generations; mutations fail afterwards. Safe to call
-// multiple times, including on a partially constructed router.
+// Close stops every shard's backend: in-process refresh workers stop
+// rebuilding (reads keep serving the last published generations),
+// remote clients stop their mirror pollers (the remote processes keep
+// running). Mutations fail afterwards. Safe to call multiple times,
+// including on a partially constructed router.
 func (r *Router) Close() {
 	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
-	for _, st := range r.shards {
-		if st != nil && st.worker != nil {
-			st.worker.Close()
+	for _, b := range r.backends {
+		if b != nil {
+			b.Close()
 		}
 	}
 }

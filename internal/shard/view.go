@@ -109,9 +109,22 @@ type View struct {
 	Shard int
 	// Snap is the generation the view reads from.
 	Snap *refresh.Snapshot
+	// Err is non-nil when the shard's backend is degraded — a remote
+	// shard process down or unreachable. Snap is then the last mirrored
+	// generation (possibly stale); handlers must answer the shard's
+	// nodes with an explicit error instead of silently serving it.
+	// Always nil for in-process shards.
+	Err error
 	// lookup resolves a global node id to this shard's local id; nil
 	// means the identity mapping (the unsharded path).
 	lookup func(int32) (int32, bool)
+}
+
+// RemoteView assembles a View for a mirrored remote shard snapshot —
+// the transport package's client constructs its views through it. err
+// marks the view degraded (see View.Err).
+func RemoteView(shardID int, snap *refresh.Snapshot, lookup func(int32) (int32, bool), err error) View {
+	return View{Shard: shardID, Snap: snap, Err: err, lookup: lookup}
 }
 
 // SingleView wraps an unsharded snapshot as shard 0's view with the
@@ -124,8 +137,11 @@ func SingleView(snap *refresh.Snapshot) View { return View{Snap: snap} }
 func (v View) Sharded() bool { return v.lookup != nil }
 
 // Meta returns the shard metadata of the viewed snapshot, nil on the
-// unsharded path.
+// unsharded path (and on a degraded view with no snapshot).
 func (v View) Meta() *Meta {
+	if v.Snap == nil {
+		return nil
+	}
 	m, _ := v.Snap.Aux.(*Meta)
 	return m
 }
@@ -134,7 +150,7 @@ func (v View) Meta() *Meta {
 // reports false for ids unknown to this generation — never seen, or
 // pending growth not yet published.
 func (v View) Local(global int32) (int32, bool) {
-	if global < 0 {
+	if global < 0 || v.Snap == nil {
 		return 0, false
 	}
 	if v.lookup == nil {
@@ -192,15 +208,37 @@ func MergeCovers(views []View) *cover.Cover {
 }
 
 // ShardGen is one entry of a response's (shard, generation) vector.
+// Err, when non-empty, marks the shard degraded: its backend could not
+// be reached and Gen is the last generation the router mirrored (0 if
+// none) — the explicit per-shard error a client checks before trusting
+// a partial answer.
 type ShardGen struct {
 	Shard int    `json:"shard"`
 	Gen   uint64 `json:"generation"`
+	Err   string `json:"error,omitempty"`
 }
 
 // GenVector is the per-shard generation vector quoted in responses so
 // clients can detect a lagging shard: entry i is shard i's generation
 // at the time the response was assembled.
 type GenVector []ShardGen
+
+// VectorOf assembles the generation vector of a set of views, carrying
+// each degraded view's error.
+func VectorOf(views []View) GenVector {
+	gv := make(GenVector, len(views))
+	for i, v := range views {
+		e := ShardGen{Shard: v.Shard}
+		if v.Snap != nil {
+			e.Gen = v.Snap.Gen
+		}
+		if v.Err != nil {
+			e.Err = v.Err.Error()
+		}
+		gv[i] = e
+	}
+	return gv
+}
 
 // Max returns the highest generation in the vector (0 for an empty
 // vector) — the scalar summary used where a single number is wanted.
@@ -218,10 +256,15 @@ func (gv GenVector) Max() uint64 {
 // active inner-product parameter, for observability endpoints.
 type WorkerStatus struct {
 	// Shard is the shard index.
-	Shard int
+	Shard int `json:"shard"`
 	// C is the inner-product parameter active in the shard's current
 	// snapshot (0 when not yet derived, e.g. an edgeless shard).
-	C float64
-	// Status is the shard worker's point-in-time view.
-	Status refresh.Status
+	C float64 `json:"c,omitempty"`
+	// Status is the shard worker's point-in-time view. For a remote
+	// shard it is the last successful health probe.
+	Status refresh.Status `json:"status"`
+	// Err, when non-empty, marks the status stale: the shard's backend
+	// is unreachable and Status is the last probe that succeeded.
+	// Always empty for in-process shards.
+	Err string `json:"error,omitempty"`
 }

@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// degradedHarness boots a K=3 remote deployment and returns the public
+// API test server plus the knobs to break shard 2: stop its process or
+// make it slower than every client timeout.
+func degradedHarness(t *testing.T) (ts *httptest.Server, breakShard func(mode string)) {
+	t.Helper()
+	g := twoCliques(t)
+	cl, slows := startCluster(t, g, 3, 64, testOCA())
+	rt := dialCluster(t, cl)
+	srv, err := server.NewWithProvider(rt, server.Config{})
+	if err != nil {
+		t.Fatalf("NewWithProvider: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	ts = httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, func(mode string) {
+		switch mode {
+		case "down":
+			cl.servers[2].Close()
+		case "slow":
+			slows[2].setDelay(3 * time.Second) // past every client timeout
+		default:
+			t.Fatalf("unknown break mode %q", mode)
+		}
+		// Wait until the poller observes the failure (a slow shard needs
+		// one health probe to time out first) so the asserted requests
+		// exercise the degraded path, not the detection race.
+		waitForStatus(t, ts.URL, "degraded")
+	}
+}
+
+// waitForStatus polls /healthz until it reports the wanted status.
+func waitForStatus(t *testing.T, base, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var hr struct {
+			Status string `json:"status"`
+		}
+		if getJSON(t, base+"/healthz", &hr) == http.StatusOK && hr.Status == want {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("healthz never reported %q", want)
+}
+
+// TestDegradedShard is the degraded-transport contract, table-driven
+// over failure modes: with shard 2 down or slow, batch lookups answer
+// the healthy shards' ids and report shard 2's ids — and the
+// generation-vector entry — with an explicit error; single lookups on
+// shard 2 shed load with 503; health reports "degraded"; and every
+// response returns within a bound instead of hanging.
+func TestDegradedShard(t *testing.T) {
+	for _, mode := range []string{"down", "slow"} {
+		t.Run(mode, func(t *testing.T) {
+			ts, breakShard := degradedHarness(t)
+
+			// Healthy baseline: every id answers, vector clean.
+			var br struct {
+				Results []struct {
+					Node  int32  `json:"node"`
+					Error string `json:"error"`
+				} `json:"results"`
+				Shards shard.GenVector `json:"shards"`
+			}
+			if code := postJSON(t, ts.URL+"/v1/nodes/communities", map[string]any{"ids": []int32{0, 1, 2}}, &br); code != http.StatusOK {
+				t.Fatalf("healthy batch status = %d", code)
+			}
+			for _, res := range br.Results {
+				if res.Error != "" {
+					t.Fatalf("healthy batch: node %d errored: %s", res.Node, res.Error)
+				}
+			}
+
+			breakShard(mode)
+			deadline := 5 * time.Second
+			start := time.Now()
+
+			// Partial batch: ids 0 and 1 (shards 0, 1) answer, id 2
+			// (shard 2) carries an explicit error, as does the vector.
+			br.Results = nil
+			br.Shards = nil
+			if code := postJSON(t, ts.URL+"/v1/nodes/communities", map[string]any{"ids": []int32{0, 1, 2}}, &br); code != http.StatusOK {
+				t.Fatalf("degraded batch status = %d, want 200 with partial results", code)
+			}
+			if len(br.Results) != 3 {
+				t.Fatalf("degraded batch: %d results, want 3", len(br.Results))
+			}
+			if br.Results[0].Error != "" || br.Results[1].Error != "" {
+				t.Errorf("healthy shards' ids errored: %+v", br.Results)
+			}
+			if br.Results[2].Error == "" {
+				t.Error("id on the degraded shard answered without an error")
+			}
+			degradedVec := false
+			for _, e := range br.Shards {
+				if e.Shard == 2 && e.Err != "" {
+					degradedVec = true
+				}
+				if e.Shard != 2 && e.Err != "" {
+					t.Errorf("healthy shard %d marked degraded: %s", e.Shard, e.Err)
+				}
+			}
+			if !degradedVec {
+				t.Errorf("generation vector does not flag shard 2: %+v", br.Shards)
+			}
+
+			// Single lookup on the degraded shard: explicit 503.
+			if code := getJSON(t, ts.URL+"/v1/node/2/communities", nil); code != http.StatusServiceUnavailable {
+				t.Errorf("lookup on degraded shard = %d, want 503", code)
+			}
+			// Healthy shards unaffected.
+			if code := getJSON(t, ts.URL+"/v1/node/0/communities", nil); code != http.StatusOK {
+				t.Errorf("lookup on healthy shard = %d, want 200", code)
+			}
+
+			// Health flips to degraded with the per-shard error.
+			var hr struct {
+				Status string `json:"status"`
+				Shards []struct {
+					Shard int    `json:"shard"`
+					Error string `json:"error"`
+				} `json:"shards"`
+			}
+			if code := getJSON(t, ts.URL+"/healthz", &hr); code != http.StatusOK {
+				t.Fatalf("healthz status = %d", code)
+			}
+			if hr.Status != "degraded" {
+				t.Errorf("healthz status = %q, want degraded", hr.Status)
+			}
+			if len(hr.Shards) != 3 || hr.Shards[2].Error == "" {
+				t.Errorf("healthz shard vector: %+v", hr.Shards)
+			}
+
+			// Mutations owned by the degraded shard shed load.
+			if code := postJSON(t, ts.URL+"/v1/edges", map[string]any{"add": [][2]int32{{2, 5}}}, nil); code != http.StatusServiceUnavailable {
+				t.Errorf("edges touching degraded shard = %d, want 503", code)
+			}
+
+			// Search seeded on the degraded shard: 503; healthy seed works.
+			if code := postJSON(t, ts.URL+"/v1/search", map[string]any{"seed": 2}, nil); code != http.StatusServiceUnavailable {
+				t.Errorf("search on degraded shard = %d, want 503", code)
+			}
+			if code := postJSON(t, ts.URL+"/v1/search", map[string]any{"seed": 0}, nil); code != http.StatusOK {
+				t.Errorf("search on healthy shard = %d, want 200", code)
+			}
+
+			// Stats stay available, flagging the degraded entry.
+			var sr struct {
+				Shards []struct {
+					Shard int    `json:"shard"`
+					Error string `json:"error"`
+				} `json:"shards"`
+			}
+			if code := getJSON(t, ts.URL+"/v1/cover/stats", &sr); code != http.StatusOK {
+				t.Fatalf("stats status = %d", code)
+			}
+			if len(sr.Shards) != 3 || sr.Shards[2].Error == "" {
+				t.Errorf("stats shard vector: %+v", sr.Shards)
+			}
+
+			// "Never a hang": the whole degraded battery stayed bounded.
+			if elapsed := time.Since(start); elapsed > deadline {
+				t.Errorf("degraded requests took %v, want < %v", elapsed, deadline)
+			}
+		})
+	}
+}
+
+// TestDegradedRecovery: a shard that comes back is picked up by the
+// poller and serving returns to normal without restarting the router.
+func TestDegradedRecovery(t *testing.T) {
+	g := twoCliques(t)
+	cl, slows := startCluster(t, g, 3, 64, testOCA())
+	rt := dialCluster(t, cl)
+	srv, err := server.NewWithProvider(rt, server.Config{})
+	if err != nil {
+		t.Fatalf("NewWithProvider: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	slows[2].setDelay(3 * time.Second)
+	waitForStatus(t, ts.URL, "degraded")
+	if code := getJSON(t, ts.URL+"/v1/node/2/communities", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("lookup while degraded = %d, want 503", code)
+	}
+
+	slows[2].setDelay(0)
+	ok := false
+	for i := 0; i < 100 && !ok; i++ {
+		time.Sleep(20 * time.Millisecond)
+		ok = getJSON(t, fmt.Sprintf("%s/v1/node/2/communities", ts.URL), nil) == http.StatusOK
+	}
+	if !ok {
+		t.Fatal("shard never recovered after the slowdown cleared")
+	}
+	var hr struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, ts.URL+"/healthz", &hr)
+	if hr.Status != "ok" {
+		t.Errorf("healthz after recovery = %q, want ok", hr.Status)
+	}
+}

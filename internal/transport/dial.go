@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// Options tunes Dial.
+type Options struct {
+	// Client tunes every shard client (timeouts, poll cadence).
+	Client ClientConfig
+	// ConnectTimeout bounds the whole handshake — health probes are
+	// retried until every shard answers, so the router may start before
+	// slow shard covers finish building. Default 60s.
+	ConnectTimeout time.Duration
+	// MaxPending is the per-shard backlog bound the router's admission
+	// check assumes; it should match the shard servers' worker
+	// configuration (0 uses refresh.Config's default).
+	MaxPending int
+}
+
+// Dial connects to K shard servers (addrs[i] must host shard i of a
+// K-way split), validates that they form one consistent deployment,
+// mirrors every shard's published snapshot, and assembles a
+// shard.Router over remote backends — a drop-in
+// server.SnapshotProvider, so the HTTP serving layer works unchanged
+// over processes. The returned router's Close stops the mirror pollers;
+// the shard processes keep running.
+func Dial(ctx context.Context, addrs []string, opt Options) (*shard.Router, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: no shard addresses")
+	}
+	if opt.ConnectTimeout <= 0 {
+		opt.ConnectTimeout = 60 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, opt.ConnectTimeout)
+	defer cancel()
+
+	k := len(addrs)
+	clients := make([]*Client, k)
+	healths := make([]Health, k)
+	errs := make([]error, k)
+	done := make(chan int, k)
+	for i, addr := range addrs {
+		clients[i] = newClient(normalizeAddr(addr), i, k, opt.Client)
+		go func(i int) {
+			healths[i], errs[i] = clients[i].handshake(ctx)
+			done <- i
+		}(i)
+	}
+	for range clients {
+		<-done
+	}
+	closeAll := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("transport: shard %d at %s: %w", i, addrs[i], err)
+		}
+	}
+	// The K servers must describe one deployment: same partition width,
+	// same global dimensions, each hosting the shard index its position
+	// in addrs claims.
+	for i, h := range healths {
+		if h.Protocol != Version {
+			closeAll()
+			return nil, fmt.Errorf("transport: shard %d speaks protocol %d, this router speaks %d", i, h.Protocol, Version)
+		}
+		if h.Shard != i || h.Shards != k {
+			closeAll()
+			return nil, fmt.Errorf("transport: %s hosts shard %d of %d, want shard %d of %d",
+				addrs[i], h.Shard, h.Shards, i, k)
+		}
+		if h.GlobalNodes != healths[0].GlobalNodes || h.MaxNodes != healths[0].MaxNodes {
+			closeAll()
+			return nil, fmt.Errorf("transport: shard %d disagrees on deployment dimensions (%d/%d nodes vs %d/%d)",
+				i, h.GlobalNodes, h.MaxNodes, healths[0].GlobalNodes, healths[0].MaxNodes)
+		}
+	}
+	// The valid global id range must cover growth already applied by a
+	// previous router: every replicated table entry is a live global id.
+	curN := healths[0].GlobalNodes
+	backends := make([]shard.Backend, k)
+	for i, c := range clients {
+		backends[i] = c
+		c.tabMu.RLock()
+		for _, gv := range c.locals {
+			if int(gv) >= curN {
+				curN = int(gv) + 1
+			}
+		}
+		c.tabMu.RUnlock()
+	}
+	r, err := shard.NewRouterBackends(backends, curN, healths[0].MaxNodes, opt.MaxPending)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	for _, c := range clients {
+		c.startPolling()
+	}
+	return r, nil
+}
+
+// handshake probes the shard until it answers (covers may still be
+// building when the router starts) and mirrors its first snapshot.
+func (c *Client) handshake(ctx context.Context) (Health, error) {
+	var lastErr error
+	for {
+		hctx, cancel := context.WithTimeout(ctx, c.reqTO)
+		h, err := c.health(hctx)
+		cancel()
+		if err == nil {
+			if err = c.syncSnapshotCtx(ctx); err == nil {
+				return h, nil
+			}
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			if lastErr == nil {
+				lastErr = ctx.Err()
+			}
+			return Health{}, fmt.Errorf("handshake: %w", lastErr)
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// normalizeAddr accepts host:port or a full URL.
+func normalizeAddr(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + addr
+}

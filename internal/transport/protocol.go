@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"repro/internal/refresh"
+	"repro/internal/shard"
+)
+
+// Protocol constants. The wire protocol is versioned as a whole: a
+// server answers only its own major version (the Ocad-Shard-Protocol
+// header), and any schema change that is not purely additive bumps
+// Version and the path prefix together. docs/PROTOCOL.md is the
+// normative description; TestProtocolDocSync keeps the two in lockstep.
+const (
+	// Version is the protocol major version spoken by this build.
+	Version = 1
+
+	// HeaderProtocol is the header both sides stamp with Version.
+	HeaderProtocol = "Ocad-Shard-Protocol"
+
+	// ContentTypeSnapshot is the snapshot transfer's media type: one
+	// JSON header line, then the binary CSR graph (graph.WriteBinary).
+	ContentTypeSnapshot = "application/x-ocad-snapshot"
+
+	PathHealth   = "/shard/v1/health"
+	PathSnapshot = "/shard/v1/snapshot"
+	PathApply    = "/shard/v1/apply"
+	PathFlush    = "/shard/v1/flush"
+	PathLookup   = "/shard/v1/lookup"
+)
+
+// Routes is the manifest of every (method, pattern) a shard server
+// registers — the list docs/PROTOCOL.md must stay in sync with.
+var Routes = []string{
+	"GET " + PathHealth,
+	"GET " + PathSnapshot,
+	"POST " + PathApply,
+	"POST " + PathFlush,
+	"POST " + PathLookup,
+}
+
+// Machine-readable error codes carried in errorResponse.Code so clients
+// branch on semantics, not message strings.
+const (
+	// CodeBacklogFull: the shard's mutation backlog is at capacity;
+	// nothing was queued, retry the whole batch later.
+	CodeBacklogFull = "backlog_full"
+	// CodeClosed: the shard is shutting down (draining) and refuses new
+	// mutations; reads keep serving.
+	CodeClosed = "closed"
+	// CodeTableConflict: the shipped translation-table update
+	// contradicts the shard's table — a second writer grew it, which
+	// the protocol forbids. Not retryable.
+	CodeTableConflict = "table_conflict"
+	// CodeProtocolMismatch: the request's Ocad-Shard-Protocol header
+	// names a version this server does not speak.
+	CodeProtocolMismatch = "protocol_mismatch"
+	// CodeBadRequest: malformed request body or parameters.
+	CodeBadRequest = "bad_request"
+	// CodeInterrupted: a flush wait was cancelled (the client's request
+	// deadline elapsed or it disconnected). The applied mutations stay
+	// queued and will still publish; re-flushing is safe.
+	CodeInterrupted = "interrupted"
+)
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Health is the GET /shard/v1/health body: the generation/liveness
+// probe plus the identity facts a router handshake validates.
+type Health struct {
+	Protocol int `json:"protocol"`
+	// Shard and Shards identify this server's slice of the K-way
+	// partition.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// GlobalNodes is the global node count of the graph the shard was
+	// split from; MaxNodes the global growth ceiling. All K servers of
+	// one deployment must agree on both.
+	GlobalNodes int `json:"global_nodes"`
+	MaxNodes    int `json:"max_nodes"`
+	// TableLen is the current translation-table length, including
+	// entries pending publication.
+	TableLen int `json:"table_len"`
+	// Draining reports a shutdown in progress: mutations are refused,
+	// reads still answer.
+	Draining bool `json:"draining"`
+	// Snapshot summarizes the published generation; Status is the
+	// refresh worker's point-in-time state.
+	Snapshot refresh.SnapshotInfo `json:"snapshot"`
+	Status   shard.WorkerStatus   `json:"status"`
+}
+
+// SnapshotHeader is the JSON first line of a snapshot transfer; the
+// binary CSR graph follows it on the same stream.
+type SnapshotHeader struct {
+	Protocol int `json:"protocol"`
+	Shard    int `json:"shard"`
+	Shards   int `json:"shards"`
+	// Info carries the generation's scalar facts (gen, c, rebuild mode,
+	// dimensions); the receiver rebuilds index and stats from the cover
+	// deterministically and restores these on top.
+	Info refresh.SnapshotInfo `json:"info"`
+	// Table is the full local→global translation table — at least
+	// Info.Nodes entries; entries beyond are growth pending publication,
+	// shipped so a reconnecting router resumes replication mid-growth.
+	Table []int32 `json:"table"`
+	// Cover is the served communities as local-id member lists, in
+	// served order.
+	Cover [][]int32 `json:"cover"`
+	// Meta is the shard's ownership aggregates for this generation.
+	Meta MetaWire `json:"meta"`
+}
+
+// MetaWire is shard.Meta without its Locals table (derived from
+// SnapshotHeader.Table on the receiving side).
+type MetaWire struct {
+	OwnedNodes         int   `json:"owned_nodes"`
+	OwnedEdges         int64 `json:"owned_edges"`
+	CoveredOwned       int   `json:"covered_owned"`
+	OverlapOwned       int   `json:"overlap_owned"`
+	OwnedMemberships   int64 `json:"owned_memberships"`
+	MaxMembershipOwned int   `json:"max_membership_owned"`
+}
+
+// ApplyRequest is the POST /shard/v1/apply body: one shard's slice of a
+// mutation fan-out, local-id operations plus the translation-table
+// entries appended since the router's last successful ship (see
+// shard.Batch for the reconciliation rules; re-shipping is idempotent,
+// so retrying a failed apply is safe).
+type ApplyRequest struct {
+	Protocol int `json:"protocol"`
+	shard.Batch
+}
+
+// ApplyResponse reports the accepted batch: Generation is the
+// generation current at enqueue time (any strictly larger published
+// generation includes the batch), Queued the operations accepted.
+type ApplyResponse struct {
+	Generation uint64 `json:"generation"`
+	Queued     int    `json:"queued"`
+}
+
+// FlushRequest is the POST /shard/v1/flush body. The server blocks
+// until every previously applied mutation is reflected in a published
+// generation — bounded by the client's request deadline, never by the
+// server.
+type FlushRequest struct {
+	Protocol int `json:"protocol"`
+}
+
+// FlushResponse quotes the generation that includes everything applied
+// before the flush.
+type FlushResponse struct {
+	Generation uint64 `json:"generation"`
+}
+
+// LookupRequest is the POST /shard/v1/lookup body: a batch membership
+// lookup answered directly from the shard's current snapshot — the
+// query path for clients that do not mirror snapshots (and the
+// replication read path the ROADMAP plans to ride on this seam).
+type LookupRequest struct {
+	Protocol int `json:"protocol"`
+	// IDs are global node ids; ids this shard does not own still answer
+	// (ghost memberships are the shard's own view, see PROTOCOL.md).
+	IDs []int32 `json:"ids"`
+	// Members includes each community's member list (global ids).
+	Members bool `json:"members,omitempty"`
+}
+
+// LookupResult is one id's answer.
+type LookupResult struct {
+	Node  int32 `json:"node"`
+	Count int   `json:"count"`
+	// Communities lists the shard-scoped communities containing the
+	// node; member lists are global ids.
+	Communities []LookupCommunity `json:"communities,omitempty"`
+	// Error is set per id (unknown here / out of range) instead of
+	// failing the batch.
+	Error string `json:"error,omitempty"`
+}
+
+// LookupCommunity is one community reference in a lookup answer.
+type LookupCommunity struct {
+	ID      int32   `json:"id"`
+	Size    int     `json:"size"`
+	Members []int32 `json:"members,omitempty"`
+}
+
+// LookupResponse is the POST /shard/v1/lookup body: all results from
+// one snapshot load, Generation its consistency token.
+type LookupResponse struct {
+	Generation uint64         `json:"generation"`
+	Results    []LookupResult `json:"results"`
+}

@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/refresh"
+	"repro/internal/shard"
+)
+
+// ServerConfig identifies the deployment a shard server belongs to.
+type ServerConfig struct {
+	// GlobalNodes is the node count of the global graph the shard was
+	// split from; MaxNodes is the global growth ceiling. The router
+	// handshake cross-checks both across all K servers.
+	GlobalNodes int
+	MaxNodes    int
+	// MaxRequestBody caps apply/lookup body sizes. Default 32 MiB (a
+	// mutation fan-out slice can legitimately be large).
+	MaxRequestBody int64
+}
+
+// ShardServer hosts one shard.Worker behind the wire protocol: the
+// `ocad -serve-shard` role. It serves snapshot resolution, batch
+// lookup, mutation apply (with ghost-table updates shipped in the
+// fan-out), flush, and the generation/health probe. Reads answer from
+// the worker's atomic snapshot and never block on rebuilds; apply and
+// flush refuse work while draining so a shutdown never loses accepted
+// mutations silently.
+type ShardServer struct {
+	w        *shard.Worker
+	cfg      ServerConfig
+	draining atomic.Bool
+}
+
+// NewShardServer wraps a shard worker for serving.
+func NewShardServer(w *shard.Worker, cfg ServerConfig) *ShardServer {
+	if cfg.MaxRequestBody <= 0 {
+		cfg.MaxRequestBody = 32 << 20
+	}
+	return &ShardServer{w: w, cfg: cfg}
+}
+
+// SetDraining flips the shutdown gate: while draining, apply and flush
+// answer 503 (code "closed") and reads keep serving the last published
+// generation. Called before the HTTP listener starts its drain so no
+// accepted mutation can race the worker's Close.
+func (s *ShardServer) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the shard protocol's http.Handler — exactly the
+// Routes manifest.
+func (s *ShardServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathHealth, s.handleHealth)
+	mux.HandleFunc("GET "+PathSnapshot, s.handleSnapshot)
+	mux.HandleFunc("POST "+PathApply, s.handleApply)
+	mux.HandleFunc("POST "+PathFlush, s.handleFlush)
+	mux.HandleFunc("POST "+PathLookup, s.handleLookup)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderProtocol, strconv.Itoa(Version))
+		if v := r.Header.Get(HeaderProtocol); v != "" && v != strconv.Itoa(Version) {
+			writeCode(w, http.StatusBadRequest, CodeProtocolMismatch,
+				"protocol version %s not supported, this server speaks %d", v, Version)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+func (s *ShardServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Protocol:    Version,
+		Shard:       s.w.Shard(),
+		Shards:      s.w.K(),
+		GlobalNodes: s.cfg.GlobalNodes,
+		MaxNodes:    s.cfg.MaxNodes,
+		TableLen:    len(s.w.Table()),
+		Draining:    s.draining.Load(),
+		Snapshot:    s.w.Snapshot().Info(),
+		Status:      s.w.Status(),
+	})
+}
+
+// handleSnapshot streams the published generation, or 304 when the
+// client's ?since generation is already current. The table is captured
+// after the snapshot load: the mapping is append-only, so the capture
+// is always a superset of the generation's prefix and the next apply's
+// base reconciliation stays consistent.
+func (s *ShardServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.w.Snapshot()
+	if sinceStr := r.URL.Query().Get("since"); sinceStr != "" {
+		since, err := strconv.ParseUint(sinceStr, 10, 64)
+		if err != nil {
+			writeCode(w, http.StatusBadRequest, CodeBadRequest, "invalid since=%q", sinceStr)
+			return
+		}
+		if snap.Gen <= since {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", ContentTypeSnapshot)
+	_ = encodeSnapshot(w, s.w.Shard(), s.w.K(), snap, s.w.Table())
+}
+
+func (s *ShardServer) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeCode(w, http.StatusBadRequest, CodeBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *ShardServer) handleApply(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeCode(w, http.StatusServiceUnavailable, CodeClosed, "shard draining")
+		return
+	}
+	var req ApplyRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	gen, queued, err := s.w.ApplyBatch(req.Batch)
+	switch {
+	case errors.Is(err, refresh.ErrBacklogFull):
+		writeCode(w, http.StatusServiceUnavailable, CodeBacklogFull, "%v", err)
+	case errors.Is(err, refresh.ErrClosed):
+		writeCode(w, http.StatusServiceUnavailable, CodeClosed, "%v", err)
+	case errors.Is(err, shard.ErrTableConflict):
+		writeCode(w, http.StatusConflict, CodeTableConflict, "%v", err)
+	case err != nil:
+		writeCode(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, ApplyResponse{Generation: gen, Queued: queued})
+	}
+}
+
+// handleFlush blocks until previously applied mutations are published.
+// The wait is bounded by the client's request deadline (a disconnect
+// cancels r.Context()), never by this server — "never hang" is the
+// caller's own timeout to enforce.
+func (s *ShardServer) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeCode(w, http.StatusServiceUnavailable, CodeClosed, "shard draining")
+		return
+	}
+	var req FlushRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	gen, err := s.w.Flush(r.Context())
+	switch {
+	case errors.Is(err, refresh.ErrClosed):
+		writeCode(w, http.StatusServiceUnavailable, CodeClosed, "%v", err)
+	case err != nil:
+		// Context cancellation: the batch stays queued and will still be
+		// applied; the client decides whether to re-flush.
+		writeCode(w, http.StatusServiceUnavailable, CodeInterrupted, "flush interrupted: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, FlushResponse{Generation: gen})
+	}
+}
+
+// handleLookup answers a batch membership lookup from one snapshot
+// load. Ids not materialized on this shard answer a per-id error; the
+// caller decides whether another shard owns them.
+func (s *ShardServer) handleLookup(w http.ResponseWriter, r *http.Request) {
+	var req LookupRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeCode(w, http.StatusBadRequest, CodeBadRequest, "ids must name at least one node")
+		return
+	}
+	view := s.w.View()
+	resp := LookupResponse{
+		Generation: view.Snap.Gen,
+		Results:    make([]LookupResult, len(req.IDs)),
+	}
+	for i, id := range req.IDs {
+		local, ok := view.Local(id)
+		if !ok {
+			resp.Results[i] = LookupResult{Node: id, Error: "node not materialized on this shard"}
+			continue
+		}
+		cis := view.Snap.Index.Communities(local)
+		res := LookupResult{Node: id, Count: len(cis)}
+		if len(cis) > 0 {
+			res.Communities = make([]LookupCommunity, len(cis))
+			for j, ci := range cis {
+				members := view.Snap.Cover.Communities[ci]
+				lc := LookupCommunity{ID: ci, Size: len(members)}
+				if req.Members {
+					lc.Members = view.Members(members)
+				}
+				res.Communities[j] = lc
+			}
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

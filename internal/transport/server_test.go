@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/refresh"
+)
+
+// TestShardServerEndpoints exercises the wire surface a router doesn't
+// hit on the happy path: direct batch lookup, snapshot conditional
+// fetch, malformed requests, and the draining gate.
+func TestShardServerEndpoints(t *testing.T) {
+	g := twoCliques(t)
+	cl, _ := startCluster(t, g, 2, 64, testOCA())
+	base := cl.addrs[0]
+	c := newClient(base, 0, 2, ClientConfig{RequestTimeout: 2 * time.Second})
+	defer c.Close()
+
+	// Direct lookup: node 0 is owned by shard 0; node 20 was never
+	// materialized; members translate to global ids.
+	resp, err := c.LookupRemote(context.Background(), []int32{0, 20}, true)
+	if err != nil {
+		t.Fatalf("LookupRemote: %v", err)
+	}
+	if resp.Generation == 0 || len(resp.Results) != 2 {
+		t.Fatalf("lookup response: %+v", resp)
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Count == 0 {
+		t.Errorf("owned node result: %+v", resp.Results[0])
+	}
+	for _, lc := range resp.Results[0].Communities {
+		for _, m := range lc.Members {
+			if m < 0 || int(m) >= g.N() {
+				t.Errorf("member %d not a global id", m)
+			}
+		}
+	}
+	if resp.Results[1].Error == "" {
+		t.Errorf("unknown node answered without error: %+v", resp.Results[1])
+	}
+	// Empty id list is a bad request.
+	if _, err := c.LookupRemote(context.Background(), nil, false); err == nil {
+		t.Error("empty lookup accepted")
+	}
+
+	// Conditional snapshot fetch: current generation answers 304.
+	gen := cl.workers[0].Snapshot().Gen
+	get := func(url string) *http.Response {
+		t.Helper()
+		r, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Body.Close() })
+		return r
+	}
+	if r := get(base + PathSnapshot + "?since=" + strconv.FormatUint(gen, 10)); r.StatusCode != http.StatusNotModified {
+		t.Errorf("snapshot since=current = %d, want 304", r.StatusCode)
+	}
+	if r := get(base + PathSnapshot + "?since=0"); r.StatusCode != http.StatusOK {
+		t.Errorf("snapshot since=0 = %d, want 200", r.StatusCode)
+	} else if ct := r.Header.Get("Content-Type"); ct != ContentTypeSnapshot {
+		t.Errorf("snapshot content type = %q", ct)
+	}
+	if r := get(base + PathSnapshot + "?since=bogus"); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("snapshot since=bogus = %d, want 400", r.StatusCode)
+	}
+
+	// Malformed apply body.
+	r, err := http.Post(base+PathApply, "application/json", strings.NewReader(`{"nope": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed apply = %d, want 400", r.StatusCode)
+	}
+
+	// Draining: mutations refused with the closed code, reads and the
+	// health probe keep answering (with draining flagged).
+	cl.shards[0].SetDraining(true)
+	if err := c.Apply([][2]int32{{0, 1}}, nil); err == nil {
+		t.Error("apply accepted while draining")
+	} else if !strings.Contains(err.Error(), refresh.ErrClosed.Error()) {
+		t.Errorf("draining apply error = %v, want ErrClosed mapping", err)
+	}
+	if _, err := c.Flush(context.Background()); err == nil {
+		t.Error("flush accepted while draining")
+	}
+	h, err := c.health(context.Background())
+	if err != nil {
+		t.Fatalf("health while draining: %v", err)
+	}
+	if !h.Draining {
+		t.Error("health does not report draining")
+	}
+	if _, err := c.LookupRemote(context.Background(), []int32{0}, false); err != nil {
+		t.Errorf("reads refused while draining: %v", err)
+	}
+	cl.shards[0].SetDraining(false)
+	if err := c.Apply(nil, [][2]int32{{0, 1}}); err != nil {
+		t.Errorf("apply after drain cleared: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/refresh"
+	"repro/internal/shard"
+)
+
+// encodeSnapshot writes one generation as the snapshot media type: the
+// JSON header (one value, newline-terminated by the encoder), then the
+// binary CSR graph. table must be the full translation table captured
+// at or after the snapshot load (append-only, so any later capture is a
+// superset of the generation's prefix).
+func encodeSnapshot(w io.Writer, shardID, k int, snap *refresh.Snapshot, table []int32) error {
+	meta, _ := snap.Aux.(*shard.Meta)
+	if meta == nil {
+		return fmt.Errorf("transport: snapshot generation %d has no shard metadata", snap.Gen)
+	}
+	hdr := SnapshotHeader{
+		Protocol: Version,
+		Shard:    shardID,
+		Shards:   k,
+		Info:     snap.Info(),
+		Table:    table,
+		Cover:    make([][]int32, snap.Cover.Len()),
+		Meta: MetaWire{
+			OwnedNodes:         meta.OwnedNodes,
+			OwnedEdges:         meta.OwnedEdges,
+			CoveredOwned:       meta.CoveredOwned,
+			OverlapOwned:       meta.OverlapOwned,
+			OwnedMemberships:   meta.OwnedMemberships,
+			MaxMembershipOwned: meta.MaxMembershipOwned,
+		},
+	}
+	for i, c := range snap.Cover.Communities {
+		hdr.Cover[i] = c
+	}
+	if err := json.NewEncoder(w).Encode(hdr); err != nil {
+		return err
+	}
+	return graph.WriteBinary(w, snap.Graph)
+}
+
+// decodeSnapshot parses a snapshot transfer and reassembles the
+// generation: the graph is decoded from the binary tail, the inverted
+// index and overlap stats are rebuilt deterministically from the cover
+// (identical to the sender's, which derived them from the same cover),
+// and the scalar facts and ownership metadata are restored from the
+// header. It validates the header against the expected shard identity
+// and that every cover member is a valid local node.
+func decodeSnapshot(r io.Reader, wantShard, wantK int) (*refresh.Snapshot, []int32, error) {
+	dec := json.NewDecoder(r)
+	var hdr SnapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, nil, fmt.Errorf("transport: decoding snapshot header: %w", err)
+	}
+	if hdr.Protocol != Version {
+		return nil, nil, fmt.Errorf("transport: snapshot protocol %d, want %d", hdr.Protocol, Version)
+	}
+	if hdr.Shard != wantShard || hdr.Shards != wantK {
+		return nil, nil, fmt.Errorf("transport: snapshot identifies as shard %d/%d, want %d/%d",
+			hdr.Shard, hdr.Shards, wantShard, wantK)
+	}
+	// The JSON decoder buffers past the value it parsed; the binary
+	// graph starts in that buffer (after the encoder's newline) and
+	// continues on the stream.
+	rest := bufio.NewReader(io.MultiReader(dec.Buffered(), r))
+	if b, err := rest.ReadByte(); err == nil && b != '\n' {
+		_ = rest.UnreadByte()
+	}
+	g, err := graph.ReadBinary(rest)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: decoding snapshot graph: %w", err)
+	}
+	if g.N() != hdr.Info.Nodes || g.M() != hdr.Info.Edges {
+		return nil, nil, fmt.Errorf("transport: snapshot graph is %d nodes/%d edges, header says %d/%d",
+			g.N(), g.M(), hdr.Info.Nodes, hdr.Info.Edges)
+	}
+	if len(hdr.Table) < g.N() {
+		return nil, nil, fmt.Errorf("transport: snapshot table has %d entries for %d nodes", len(hdr.Table), g.N())
+	}
+	comms := make([]cover.Community, len(hdr.Cover))
+	for i, ms := range hdr.Cover {
+		for _, v := range ms {
+			if v < 0 || int(v) >= g.N() {
+				return nil, nil, fmt.Errorf("transport: snapshot community %d member %d outside graph range [0, %d)", i, v, g.N())
+			}
+		}
+		comms[i] = cover.Community(ms)
+	}
+	snap := refresh.NewSnapshot(g, cover.NewCover(comms), nil,
+		hdr.Info.C, 0)
+	snap.Restore(hdr.Info)
+	snap.Aux = &shard.Meta{
+		Shard:              hdr.Shard,
+		K:                  hdr.Shards,
+		Locals:             hdr.Table[:g.N():g.N()],
+		OwnedNodes:         hdr.Meta.OwnedNodes,
+		OwnedEdges:         hdr.Meta.OwnedEdges,
+		CoveredOwned:       hdr.Meta.CoveredOwned,
+		OverlapOwned:       hdr.Meta.OverlapOwned,
+		OwnedMemberships:   hdr.Meta.OwnedMemberships,
+		MaxMembershipOwned: hdr.Meta.MaxMembershipOwned,
+	}
+	return snap, hdr.Table, nil
+}

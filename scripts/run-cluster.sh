@@ -1,0 +1,54 @@
+#!/bin/sh
+# Spawn a local multi-process ocad deployment: SHARDS shard-server
+# processes plus one router fronting them (see "Running multi-process"
+# in README.md and docs/PROTOCOL.md). Intended for development — the
+# production deployment runs the same commands under your process
+# supervisor of choice.
+#
+#   SHARDS     number of shard processes (default 3)
+#   GRAPH      input graph file (default: generate a demo LFR graph)
+#   ADDR       router listen address (default :8080)
+#   BASE_PORT  first shard-server port (default 9301)
+set -eu
+
+SHARDS="${SHARDS:-3}"
+GRAPH="${GRAPH:-}"
+ADDR="${ADDR:-:8080}"
+BASE_PORT="${BASE_PORT:-9301}"
+
+workdir="$(mktemp -d)"
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $pids; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+if [ -z "$GRAPH" ]; then
+    GRAPH="$workdir/graph.txt"
+    echo "run-cluster: no GRAPH set, generating a demo LFR graph at $GRAPH"
+    go run ./cmd/oca gen -type lfr -n 2000 -out "$GRAPH"
+fi
+
+echo "run-cluster: building ocad..."
+go build -o "$workdir/ocad" ./cmd/ocad
+
+addrs=""
+i=0
+while [ "$i" -lt "$SHARDS" ]; do
+    port=$((BASE_PORT + i))
+    "$workdir/ocad" -in "$GRAPH" -shards "$SHARDS" -serve-shard "$i" \
+        -addr "127.0.0.1:$port" &
+    pids="$pids $!"
+    addrs="${addrs:+$addrs,}127.0.0.1:$port"
+    i=$((i + 1))
+done
+
+echo "run-cluster: shard servers at $addrs; router on $ADDR (Ctrl-C stops everything)"
+# Foreground: the router waits for every shard's cover before serving.
+"$workdir/ocad" -shard-addrs "$addrs" -shards "$SHARDS" -addr "$ADDR"
