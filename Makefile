@@ -2,15 +2,16 @@
 # same targets, so a green `make check` locally means a green CI run.
 
 GO ?= go
-RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/... ./internal/refresh/... ./internal/shard/... ./internal/postprocess/... ./internal/transport/...
+RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/... ./internal/refresh/... ./internal/shard/... ./internal/postprocess/... ./internal/transport/... ./internal/wal/... ./internal/persist/...
 # Packages whose statement coverage must stay at or above COVER_MIN:
 # the concurrent serving layer, where untested paths hide races, plus
 # the correctness-critical incremental-rebuild primitives (index
-# patching, incremental merge) and the multi-process shard transport.
-COVER_PKGS := repro/internal/server repro/internal/refresh repro/internal/shard repro/internal/index repro/internal/postprocess repro/internal/transport
+# patching, incremental merge), the multi-process shard transport, and
+# the durability layer (WAL framing, segment files, crash recovery).
+COVER_PKGS := repro/internal/server repro/internal/refresh repro/internal/shard repro/internal/index repro/internal/postprocess repro/internal/transport repro/internal/wal repro/internal/persist
 COVER_MIN := 75
 
-.PHONY: build test race vet fmt-check bench-smoke bench-shard bench-refresh bench-refresh-smoke fuzz-smoke cover-check examples test-cluster run-cluster check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-shard bench-refresh bench-refresh-smoke bench-recovery bench-recovery-smoke fuzz-smoke cover-check examples test-cluster run-cluster check clean
 
 build:
 	$(GO) build ./...
@@ -56,6 +57,19 @@ bench-refresh:
 bench-refresh-smoke:
 	$(GO) run ./cmd/refreshbench -short -out BENCH_refresh_smoke.json
 
+# Restart-recovery gate on a ~50k-node LFR graph: crash recovery
+# (newest segment mmap + WAL-tail replay) must be ≥5x faster than the
+# cold ready-to-serve path (spectral c + full OCA) AND bit-identical to
+# the pre-crash cover at the pre-crash generation; writes the evidence
+# to BENCH_recovery.json.
+bench-recovery:
+	$(GO) run ./cmd/recoverybench -out BENCH_recovery.json
+
+# CI smoke version: small graph, recovery exactness enforced, speedup
+# reported but not judged.
+bench-recovery-smoke:
+	$(GO) run ./cmd/recoverybench -short -out BENCH_recovery_smoke.json
+
 # Short fuzz runs over the untrusted-input parsers. The checked-in seed
 # corpus (internal/graph/testdata/fuzz) always runs under plain `make
 # test`; this target additionally mutates for a few seconds per target.
@@ -63,6 +77,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadAuto$$' -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime $(FUZZTIME) ./internal/wal
 
 # Per-package coverage summary, failing if any COVER_PKGS package drops
 # below COVER_MIN% of statements. Redirect instead of tee so a test
@@ -84,7 +99,8 @@ cover-check:
 # processes plus a router process over the wire protocol
 # (docs/PROTOCOL.md) and proves LFR NMI >= 0.99 vs an unsharded cold
 # run, no 5xx during rebuilds, explicit degradation when a shard is
-# killed, and clean SIGTERM drains.
+# SIGKILLed, disk recovery of the killed shard at its exact pre-kill
+# generation (docs/PERSISTENCE.md), and clean SIGTERM drains.
 test-cluster:
 	$(GO) test -run 'TestMultiProcessCluster' -count=1 -v ./internal/transport
 
@@ -104,4 +120,4 @@ examples:
 check: build vet fmt-check test race cover-check examples
 
 clean:
-	rm -f BENCH_smoke.json BENCH_refresh_smoke.json cover.txt
+	rm -f BENCH_smoke.json BENCH_refresh_smoke.json BENCH_recovery.json BENCH_recovery_smoke.json cover.txt

@@ -50,15 +50,19 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/persist"
+	"repro/internal/refresh"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -90,6 +94,10 @@ func run(args []string) error {
 	maxNodes := fs.Int("max-nodes", -1, "max node-set size /v1/edges growth may reach (-1 = 8x the initial graph, 0 = fixed node set)")
 	rederiveC := fs.Float64("rederive-c", 0.25, "re-derive c=-1/λmin during a rebuild once applied mutations exceed this fraction of the graph's edges (0 = pin the startup value; ignored when -c is set)")
 	incrementalThreshold := fs.Float64("incremental-threshold", 0.25, "rebuild incrementally (dirty-region scoped OCA, patched index) when a mutation batch touches at most this fraction of the served communities; batches touching none skip OCA entirely (0 = always rebuild fully)")
+	dataDir := fs.String("data-dir", "", "durable data directory (snapshot segments + mutation WAL, docs/PERSISTENCE.md): boot recovers the newest valid segment and replays the WAL tail; single-graph and -serve-shard roles only")
+	walFsync := fs.Bool("wal-fsync", true, "fsync each WAL record before acknowledging the batch (off: the tail's durability is bounded by the OS flush interval)")
+	segmentEvery := fs.Uint64("segment-every", 8, "seal a snapshot segment every N published generations (a clean shutdown always seals a final one)")
+	retainSegments := fs.Int("retain-segments", 3, "snapshot segments kept on disk; retained generations answer /v1/cover/export?generation=")
 	serveShard := fs.Int("serve-shard", -1, "shard-server role: host shard i of the -shards K split behind the wire protocol (docs/PROTOCOL.md)")
 	shardAddrs := fs.String("shard-addrs", "", "router role: comma-separated shard-server addresses (addr i hosts shard i); serves the public API over them")
 	connectTimeout := fs.Duration("shard-connect-timeout", 60*time.Second, "router role: how long to wait for all shard servers to answer at startup")
@@ -125,6 +133,17 @@ func run(args []string) error {
 	if *serveShard >= 0 && *shardAddrs != "" {
 		return errors.New("-serve-shard and -shard-addrs are different roles; pick one")
 	}
+	if *dataDir != "" {
+		if *shardAddrs != "" {
+			return errors.New("-data-dir is not supported in the router role (durability lives in the shard servers)")
+		}
+		if *shards > 1 && *serveShard < 0 {
+			return errors.New("-data-dir with -shards > 1 requires the multi-process deployment (-serve-shard per process): in-process sharding routes growth the WAL cannot replay")
+		}
+		if *coverPath != "" {
+			return errors.New("-cover is not supported with -data-dir (the data directory owns the served state)")
+		}
+	}
 	if *shardAddrs != "" {
 		if *coverPath != "" || *lazy {
 			return errors.New("-cover and -lazy are not supported in the router role (shard servers own the covers)")
@@ -136,6 +155,7 @@ func run(args []string) error {
 		fs.Usage()
 		return errors.New("missing required -in graph file")
 	}
+	pf := persistFlags{dir: *dataDir, fsync: *walFsync, segmentEvery: *segmentEvery, retain: *retainSegments}
 	if *serveShard >= 0 {
 		if *serveShard >= *shards {
 			return fmt.Errorf("-serve-shard %d out of range for -shards %d", *serveShard, *shards)
@@ -143,7 +163,7 @@ func run(args []string) error {
 		if *coverPath != "" || *lazy {
 			return errors.New("-cover and -lazy are not supported in the shard-server role")
 		}
-		return runShardServer(cfg, *in, *serveShard, *shards, *maxNodes,
+		return runShardServer(cfg, *in, *serveShard, *shards, *maxNodes, pf,
 			*addr, *addrFile, *shutdownTimeout)
 	}
 	if *shards > 1 && *coverPath != "" {
@@ -160,8 +180,54 @@ func run(args []string) error {
 	log.Printf("loaded graph: %d nodes, %d edges", g.N(), g.M())
 	cfg.MaxNodes = resolveMaxNodes(*maxNodes, g.N())
 
+	// With a data directory, disk is the source of truth: a recovered
+	// snapshot supersedes the -in graph (which only bootstraps an empty
+	// directory), and every accepted mutation is WAL-logged from here on.
+	var recovered *refresh.Snapshot
+	var store *persist.Store
+	if pf.dir != "" && *shards == 1 {
+		store, err = persist.Open(persist.Options{
+			Dir: pf.dir, FsyncEveryBatch: pf.fsync,
+			SegmentEvery: pf.segmentEvery, Retain: pf.retain,
+			MaxNodes: cfg.MaxNodes,
+		})
+		if err != nil {
+			return err
+		}
+		st, err := store.Load()
+		if err != nil {
+			return err
+		}
+		recovered, err = persist.ReplaySingle(st, persist.ReplayConfig{Refresh: refresh.Config{
+			OCA:                  cfg.OCA,
+			DisableWarmStart:     cfg.DisableWarmStart,
+			MaxNodes:             cfg.MaxNodes,
+			IncrementalThreshold: cfg.IncrementalThreshold,
+		}})
+		if err != nil {
+			return err
+		}
+		cfg.Persist = store
+		if recovered != nil {
+			if cfg.MaxNodes < st.Segment.MaxNodes {
+				cfg.MaxNodes = st.Segment.MaxNodes
+			}
+			rs := store.Stats().Recovered
+			log.Printf("recovered generation %d from %s (%s, %d batches replayed)",
+				recovered.Gen, pf.dir, rs.Source, rs.ReplayedBatches)
+			// The segment stays open: the recovered snapshot's graph may be
+			// served zero-copy straight from the mapping, for the life of
+			// the process.
+		}
+	}
+
 	var srv *server.Server
-	if *coverPath != "" {
+	if recovered != nil {
+		srv, err = server.NewWithSnapshot(recovered, cfg)
+		if err != nil {
+			return err
+		}
+	} else if *coverPath != "" {
 		cv, err := loadCover(*coverPath)
 		if err != nil {
 			return err
@@ -205,7 +271,22 @@ func run(args []string) error {
 		WriteTimeout: *reqTimeout + 10*time.Second,
 		IdleTimeout:  2 * time.Minute,
 	}
-	return serveUntilSignal(httpSrv, *addr, *addrFile, *shutdownTimeout, srv.Close, nil)
+	closeFn := srv.Close
+	if store != nil {
+		closeFn = func() {
+			srv.Close() // seals the final segment
+			store.Close()
+		}
+	}
+	return serveUntilSignal(httpSrv, *addr, *addrFile, *shutdownTimeout, closeFn, nil)
+}
+
+// persistFlags carries the -data-dir flag group to the role runners.
+type persistFlags struct {
+	dir          string
+	fsync        bool
+	segmentEvery uint64
+	retain       int
 }
 
 // runRouter is the multi-process router role: dial the shard servers,
@@ -245,9 +326,10 @@ func runRouter(cfg server.Config, addrs []string, shardsFlag int, in, addr, addr
 }
 
 // runShardServer is the shard-server role: split the graph
-// deterministically, host this process's shard behind the wire
-// protocol, and drain mutations before shutting down.
-func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int, addr, addrFile string, shutdownTimeout time.Duration) error {
+// deterministically (or recover this shard's slice from its data
+// directory), host this process's shard behind the wire protocol, and
+// drain mutations before shutting down.
+func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int, pf persistFlags, addr, addrFile string, shutdownTimeout time.Duration) error {
 	g, err := loadGraph(in)
 	if err != nil {
 		return err
@@ -257,10 +339,6 @@ func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int,
 		maxN = g.N()
 	}
 	log.Printf("loaded graph: %d nodes, %d edges; serving shard %d of %d", g.N(), g.M(), shardIdx, k)
-	piece, err := shard.SplitOne(g, k, shardIdx)
-	if err != nil {
-		return err
-	}
 	scfg := shard.Config{
 		OCA:                  cfg.OCA,
 		DisableWarmStart:     cfg.DisableWarmStart,
@@ -274,13 +352,90 @@ func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int,
 		// operator's back (matches the in-process sharded path).
 		scfg.RederiveCAfter = 0
 	}
-	log.Printf("running OCA for shard %d (%d local nodes, seed %d)...", shardIdx, piece.Graph.N(), cfg.OCA.Seed)
-	start := time.Now()
-	w, err := shard.NewWorker(piece, k, scfg, maxN)
-	if err != nil {
-		return err
+
+	// With a data directory, each shard process owns a per-shard
+	// subdirectory (so K processes can share one -data-dir value), every
+	// applied fan-out batch is WAL-logged with its translation-table
+	// growth, and boot replays the tail through ApplyBatch.
+	var (
+		store *persist.Store
+		w     *shard.Worker
+	)
+	if pf.dir != "" {
+		dir := filepath.Join(pf.dir, fmt.Sprintf("shard-%d", shardIdx))
+		store, err = persist.Open(persist.Options{
+			Dir: dir, FsyncEveryBatch: pf.fsync,
+			SegmentEvery: pf.segmentEvery, Retain: pf.retain,
+			Shard: shardIdx, Shards: k, MaxNodes: maxN,
+		})
+		if err != nil {
+			return err
+		}
+		st, err := store.Load()
+		if err != nil {
+			return err
+		}
+		scfg.LogBatch = func(b shard.Batch, seq uint64) error {
+			return store.LogEdgeBatch(wal.EdgeBatch{Seq: seq, Base: b.Base, NewLocals: b.NewLocals, Add: b.Add, Remove: b.Remove})
+		}
+		scfg.OnSwap = func(_ int, sn *refresh.Snapshot) {
+			// w is assigned before the transport server exists, so no
+			// mutation (and hence no publish) can precede it.
+			if err := store.OnPublish(sn, w.Table()[:sn.Graph.N()]); err != nil {
+				log.Printf("persist: publishing generation %d: %v", sn.Gen, err)
+			}
+		}
+		if st.Segment != nil {
+			if maxN < st.Segment.MaxNodes {
+				maxN = st.Segment.MaxNodes
+			}
+			snap, table, err := persist.ReplayShard(st, shardIdx, k, scfg, maxN)
+			if err != nil {
+				return err
+			}
+			w = shard.NewWorkerFromSnapshot(snap, table, shardIdx, k, scfg, maxN)
+			rs := store.Stats().Recovered
+			log.Printf("shard %d recovered generation %d from %s (%s, %d batches replayed)",
+				shardIdx, snap.Gen, dir, rs.Source, rs.ReplayedBatches)
+			// The segment stays open: the recovered graph may be served
+			// zero-copy straight from the mapping.
+		}
 	}
-	log.Printf("shard %d cover ready in %v", shardIdx, time.Since(start).Round(time.Millisecond))
+	if w == nil {
+		piece, err := shard.SplitOne(g, k, shardIdx)
+		if err != nil {
+			return err
+		}
+		log.Printf("running OCA for shard %d (%d local nodes, seed %d)...", shardIdx, piece.Graph.N(), cfg.OCA.Seed)
+		start := time.Now()
+		w, err = shard.NewWorker(piece, k, scfg, maxN)
+		if err != nil {
+			return err
+		}
+		log.Printf("shard %d cover ready in %v", shardIdx, time.Since(start).Round(time.Millisecond))
+	}
+	closeFn := w.Close
+	if store != nil {
+		// Seal the boot snapshot so the WAL always replays onto a segment,
+		// then start logging. Only after this may mutations be accepted.
+		snap := w.Snapshot()
+		if err := store.Seal(snap, w.Table()[:snap.Graph.N()]); err != nil {
+			return err
+		}
+		if err := store.Begin(snap.Gen); err != nil {
+			return err
+		}
+		closeFn = func() {
+			w.Close()
+			// Clean shutdown: seal the final state so the next boot is a
+			// pure segment load. A failure only costs that boot a replay.
+			snap := w.Snapshot()
+			if err := store.Seal(snap, w.Table()[:snap.Graph.N()]); err != nil {
+				log.Printf("persist: sealing final segment: %v", err)
+			}
+			store.Close()
+		}
+	}
 	ss := transport.NewShardServer(w, transport.ServerConfig{GlobalNodes: g.N(), MaxNodes: maxN})
 	httpSrv := &http.Server{
 		Handler:           ss.Handler(),
@@ -292,7 +447,7 @@ func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int,
 	// Drain order: refuse new mutations first (503 "closed", the router
 	// sheds load), let in-flight applies/flushes finish with the worker
 	// still running, then stop the worker.
-	return serveUntilSignal(httpSrv, addr, addrFile, shutdownTimeout, w.Close,
+	return serveUntilSignal(httpSrv, addr, addrFile, shutdownTimeout, closeFn,
 		func() { ss.SetDraining(true) })
 }
 

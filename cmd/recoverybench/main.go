@@ -1,0 +1,262 @@
+// Command recoverybench gates the persistence layer's restart path: on
+// an LFR graph it compares cold ready-to-serve time (spectral c + full
+// OCA run) against crash recovery (mapping the newest snapshot segment
+// and replaying the WAL tail through the incremental engine), and
+// verifies the recovered state is exactly the pre-crash state — same
+// generation, identical cover (NMI 1.0).
+//
+// The procedure: strip a set of edges from the generated graph, build
+// and seal a cover on the stripped graph, then re-add the edges in
+// batches through a WAL-logging refresh worker. The store is closed
+// without a final seal — a simulated kill — so recovery must do real
+// work: segment load plus WAL replay.
+//
+//	recoverybench [-n 50000] [-batches 8] [-batch-size 16] [-out BENCH_recovery.json]
+//
+// With -short it runs a scaled-down smoke version (CI): the recovery
+// path is exercised and exactness enforced, but the speedup is reported
+// without being judged.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lfr"
+	"repro/internal/metrics"
+	"repro/internal/persist"
+	"repro/internal/refresh"
+	"repro/internal/spectral"
+)
+
+type benchReport struct {
+	Nodes           int     `json:"nodes"`
+	Edges           int64   `json:"edges"`
+	C               float64 `json:"c"`
+	Seed            int64   `json:"seed"`
+	Short           bool    `json:"short"`
+	ColdMS          float64 `json:"cold_ms"` // spectral c + full OCA run
+	RecoveryMS      float64 `json:"recovery_ms"`
+	Speedup         float64 `json:"speedup"`
+	SegmentBytes    int64   `json:"segment_bytes"`
+	WALBytes        int64   `json:"wal_bytes"`
+	ReplayedBatches int     `json:"replayed_batches"`
+	RecoverySource  string  `json:"recovery_source"`
+	Generation      uint64  `json:"generation"`
+	NMIVsPreCrash   float64 `json:"nmi_vs_pre_crash"`
+	GeneratedUnix   int64   `json:"generated_unix"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "recoverybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("recoverybench", flag.ContinueOnError)
+	n := fs.Int("n", 50000, "LFR graph size")
+	batches := fs.Int("batches", 8, "mutation batches logged to the WAL tail before the simulated kill")
+	batchSize := fs.Int("batch-size", 16, "edges per mutation batch")
+	out := fs.String("out", "BENCH_recovery.json", "output report path")
+	seed := fs.Int64("seed", 42, "randomness seed (graph, stripping, OCA)")
+	mu := fs.Float64("mu", 0.02, "LFR mixing parameter")
+	short := fs.Bool("short", false, "CI smoke mode: small graph, exactness enforced, speedup reported but not judged")
+	minSpeedup := fs.Float64("min-speedup", 5, "fail unless recovery is this many times faster than the cold ready-to-serve path (ignored with -short)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *short && *n == 50000 {
+		*n = 1500
+	}
+
+	log.Printf("generating LFR graph: n=%d", *n)
+	avgDeg, maxDeg := 16.0, 50
+	minCom, maxCom := 20, 40
+	if *n < 5000 {
+		avgDeg, maxDeg, minCom, maxCom = 12, 30, 20, 60
+	}
+	bench, err := lfr.Generate(lfr.Params{
+		N: *n, AvgDeg: avgDeg, MaxDeg: maxDeg, Mu: *mu,
+		MinCom: minCom, MaxCom: maxCom, Seed: *seed,
+	})
+	if err != nil {
+		return fmt.Errorf("lfr.Generate: %w", err)
+	}
+	final := bench.Graph
+	log.Printf("graph ready: %d nodes, %d edges", final.N(), final.M())
+
+	// The cold baseline is everything a cold boot pays before it can
+	// serve: deriving c from the spectrum plus the full OCA run.
+	coldStart := time.Now()
+	c, err := spectral.C(final, spectral.Options{})
+	if err != nil {
+		return fmt.Errorf("spectral.C: %w", err)
+	}
+	opt := core.Options{Seed: *seed, C: c, Halting: core.Halting{Patience: 100}}
+	if _, err := core.Run(final, opt); err != nil {
+		return fmt.Errorf("cold run: %w", err)
+	}
+	coldMS := millis(time.Since(coldStart))
+	log.Printf("cold ready-to-serve: %.0fms (c = %.4f)", coldMS, c)
+
+	// Build the pre-crash state: cover the stripped graph, seal it, then
+	// re-add the stripped edges through a WAL-logging worker.
+	total := *batches * *batchSize
+	var all [][2]int32
+	final.Edges(func(u, v int32) bool {
+		all = append(all, [2]int32{u, v})
+		return true
+	})
+	if total > len(all) {
+		return fmt.Errorf("%d batches x %d edges exceed the graph's %d edges", *batches, *batchSize, len(all))
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	tail := all[:total]
+
+	d := graph.NewDelta(final)
+	for _, e := range tail {
+		if err := d.RemoveEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	start := d.Apply()
+	init, err := core.Run(start, opt)
+	if err != nil {
+		return fmt.Errorf("initial cover: %w", err)
+	}
+
+	dir, err := os.MkdirTemp("", "recoverybench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// SegmentEvery is pushed out of reach so the mutation batches stay in
+	// the WAL: the bench must measure segment load PLUS tail replay, not
+	// a conveniently auto-sealed segment.
+	store, err := persist.Open(persist.Options{Dir: dir, MaxNodes: final.N(), SegmentEvery: 1 << 32})
+	if err != nil {
+		return err
+	}
+	snap := refresh.NewSnapshot(start, init.Cover, init, c, 0)
+	snap.Gen = 1
+	if err := store.Seal(snap, nil); err != nil {
+		return err
+	}
+	rcfg := refresh.Config{
+		OCA: opt, Debounce: -1, IncrementalThreshold: 1,
+		LogBatch: store.LogBatch,
+		OnSwap: func(sn *refresh.Snapshot) {
+			if err := store.OnPublish(sn, nil); err != nil {
+				log.Printf("persist: publish: %v", err)
+			}
+		},
+	}
+	w := refresh.New(snap, rcfg)
+	w.Start()
+	for i := 0; i < *batches; i++ {
+		if _, _, err := w.Enqueue(tail[i**batchSize:(i+1)**batchSize], nil); err != nil {
+			w.Close()
+			return fmt.Errorf("batch %d: %w", i, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+		if _, err := w.Flush(ctx); err != nil {
+			cancel()
+			w.Close()
+			return fmt.Errorf("flushing batch %d: %w", i, err)
+		}
+		cancel()
+	}
+	pre := w.Snapshot()
+	w.Close()
+	walBytes := store.Stats().WALBytes
+	store.Close() // simulated kill: no final seal
+	log.Printf("pre-crash state: generation %d, %d WAL batches (%d bytes)", pre.Gen, *batches, walBytes)
+
+	// Recovery: open, scan, map the segment, replay the tail.
+	recStart := time.Now()
+	store2, err := persist.Open(persist.Options{Dir: dir, MaxNodes: final.N()})
+	if err != nil {
+		return err
+	}
+	defer store2.Close()
+	st, err := store2.Load()
+	if err != nil {
+		return fmt.Errorf("recovery load: %w", err)
+	}
+	got, err := persist.ReplaySingle(st, persist.ReplayConfig{Refresh: refresh.Config{OCA: opt, IncrementalThreshold: 1}})
+	if err != nil {
+		return fmt.Errorf("recovery replay: %w", err)
+	}
+	recMS := millis(time.Since(recStart))
+
+	report := benchReport{
+		Nodes:           final.N(),
+		Edges:           final.M(),
+		C:               c,
+		Seed:            *seed,
+		Short:           *short,
+		ColdMS:          coldMS,
+		RecoveryMS:      recMS,
+		WALBytes:        walBytes,
+		ReplayedBatches: st.Stats.ReplayedBatches,
+		RecoverySource:  st.Stats.Source,
+		Generation:      got.Gen,
+		NMIVsPreCrash:   metrics.NMI(got.Cover, pre.Cover, final.N()),
+		GeneratedUnix:   time.Now().Unix(),
+	}
+	if fi, err := os.Stat(filepath.Join(dir, persist.SegmentName(1))); err == nil {
+		report.SegmentBytes = fi.Size()
+	}
+	if recMS > 0 {
+		report.Speedup = coldMS / recMS
+	}
+	log.Printf("recovery: %.0fms (%s, %d batches replayed) — %.1fx vs cold, generation %d, NMI %.4f",
+		recMS, report.RecoverySource, report.ReplayedBatches, report.Speedup, got.Gen, report.NMIVsPreCrash)
+
+	failed := false
+	if got.Gen != pre.Gen {
+		log.Printf("FAIL — recovered generation %d, want %d", got.Gen, pre.Gen)
+		failed = true
+	}
+	if !reflect.DeepEqual(got.Cover.Communities, pre.Cover.Communities) || report.NMIVsPreCrash < 1 {
+		log.Printf("FAIL — recovered cover differs from the pre-crash cover (NMI %.6f)", report.NMIVsPreCrash)
+		failed = true
+	}
+	if !got.Graph.HasEdge(tail[0][0], tail[0][1]) {
+		log.Print("FAIL — recovered graph lost a replayed edge")
+		failed = true
+	}
+	if !*short && report.Speedup < *minSpeedup {
+		log.Printf("FAIL — recovery speedup %.1fx below %.1fx", report.Speedup, *minSpeedup)
+		failed = true
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("report written to %s", *out)
+	if failed {
+		return fmt.Errorf("gates failed (see log)")
+	}
+	return nil
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

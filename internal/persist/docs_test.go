@@ -1,0 +1,82 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// linesFromDoc extracts the non-empty lines of the fenced block
+// following the given marker comment in docs/PERSISTENCE.md.
+func linesFromDoc(t *testing.T, doc, marker string) []string {
+	t.Helper()
+	_, after, found := strings.Cut(doc, marker)
+	if !found {
+		t.Fatalf("docs/PERSISTENCE.md: marker %q missing", marker)
+	}
+	_, after, found = strings.Cut(after, "```")
+	if !found {
+		t.Fatalf("docs/PERSISTENCE.md: no fenced block after %q", marker)
+	}
+	block, _, found := strings.Cut(after, "```")
+	if !found {
+		t.Fatalf("docs/PERSISTENCE.md: unterminated fenced block after %q", marker)
+	}
+	var lines []string
+	for _, line := range strings.Split(block, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines
+}
+
+// TestPersistenceDocSync is the documentation lint: the normative
+// constants in docs/PERSISTENCE.md (magics, format versions, record
+// types, section tags, file-name patterns) must equal the ones the
+// code ships. Changing the on-disk format without updating the spec —
+// or vice versa — fails here.
+func TestPersistenceDocSync(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/PERSISTENCE.md")
+	if err != nil {
+		t.Fatalf("reading docs/PERSISTENCE.md: %v", err)
+	}
+	doc := string(raw)
+
+	for _, tc := range []struct {
+		marker string
+		want   []string
+	}{
+		{"<!-- persist:magics -->", []string{
+			fmt.Sprintf("%s %d", wal.MagicLog[:], wal.VersionLog),
+			fmt.Sprintf("%s %d", MagicSegment[:], VersionSegment),
+		}},
+		{"<!-- persist:records -->", []string{
+			fmt.Sprintf("%d edge-batch", wal.RecEdgeBatch),
+			fmt.Sprintf("%d publish", wal.RecPublish),
+		}},
+		{"<!-- persist:sections -->", []string{
+			string(SecMeta[:]), string(SecGraph[:]), string(SecCover[:]),
+			string(SecTable[:]), string(SecEnd[:]),
+		}},
+		{"<!-- persist:filenames -->", []string{
+			SegmentPattern,
+			WALPattern,
+		}},
+	} {
+		if got := linesFromDoc(t, doc, tc.marker); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: doc lists %q, code ships %q", tc.marker, got, tc.want)
+		}
+	}
+
+	// The prose states the parser limits; keep the numbers honest too.
+	for _, want := range []string{"16 MiB", "1<<24", "2^36"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/PERSISTENCE.md: parser limit %q no longer mentioned", want)
+		}
+	}
+}

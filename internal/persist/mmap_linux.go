@@ -1,0 +1,19 @@
+//go:build linux
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. A nil, nil return (empty
+// file) makes the caller fall back to the heap-read path.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(m []byte) error { return syscall.Munmap(m) }

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package persist
+
+import "os"
+
+// mapFile on platforms without the mmap fast path reports no mapping;
+// callers fall back to reading the file into memory.
+func mapFile(f *os.File, size int64) ([]byte, error) { return nil, nil }
+
+func unmapFile(m []byte) error { return nil }

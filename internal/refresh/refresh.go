@@ -48,6 +48,12 @@ const (
 type Snapshot struct {
 	// Gen numbers generations from 1; every rebuild increments it.
 	Gen uint64
+	// Seq is the cumulative count of mutation operations reflected in
+	// this generation. The persistence layer uses it to decide which WAL
+	// records a recovered segment already includes; a restored initial
+	// snapshot's Seq also seeds the worker's op counter so sequence
+	// numbers stay monotone across restarts.
+	Seq uint64
 	// Graph is the CSR graph this generation was computed over.
 	Graph *graph.Graph
 	// Cover holds the communities served in this generation.
@@ -161,6 +167,15 @@ type Config struct {
 	// not mutate its inputs; when nil, fastpath and incremental
 	// rebuilds fall back to BuildSnapshot (or the built-in patch path).
 	PatchSnapshot func(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration, pc *PatchContext) *Snapshot
+	// LogBatch, when set, is called by Enqueue after a batch passes
+	// validation and the backlog check but before it is queued, with the
+	// worker's cumulative op count including the batch. An error rejects
+	// the batch with no effect — accepted and logged are the same event,
+	// which is what makes the write-ahead log authoritative. It runs
+	// under the worker's mutex, so a durable (fsyncing) implementation
+	// serializes mutation intake; see docs/PERSISTENCE.md for the
+	// tradeoff.
+	LogBatch func(add, remove [][2]int32, seq uint64) error
 	// OnSwap, when set, is called from the worker goroutine after each
 	// new generation is published (for logging/metrics).
 	OnSwap func(*Snapshot)
@@ -249,6 +264,8 @@ func New(initial *Snapshot, cfg Config) *Worker {
 		done:    make(chan struct{}),
 	}
 	w.nextN = initial.Graph.N()
+	w.seq = initial.Seq
+	w.appliedSeq = initial.Seq
 	w.maxNodes = cfg.MaxNodes
 	if w.maxNodes < w.nextN {
 		w.maxNodes = w.nextN // growth disabled: the node set stays fixed
@@ -352,6 +369,12 @@ func (w *Worker) Enqueue(add, remove [][2]int32) (gen uint64, queued int, err er
 	if len(w.pending)+total > w.cfg.MaxPending {
 		w.mu.Unlock()
 		return snap.Gen, 0, ErrBacklogFull
+	}
+	if w.cfg.LogBatch != nil && total > 0 {
+		if err := w.cfg.LogBatch(add, remove, w.seq+uint64(total)); err != nil {
+			w.mu.Unlock()
+			return snap.Gen, 0, fmt.Errorf("refresh: logging batch: %w", err)
+		}
 	}
 	if len(w.pending) == 0 && total > 0 {
 		w.pendingAt = time.Now()
@@ -579,6 +602,7 @@ func (w *Worker) rebuild() {
 		snap.RebuildMode = ModeFull
 	}
 	snap.Gen = old.Gen + 1
+	snap.Seq = taken
 	w.cur.Store(snap)
 	w.finish(taken, err)
 	if w.cfg.OnSwap != nil {

@@ -295,3 +295,88 @@ func TestConcurrentMutatorsAndReaders(t *testing.T) {
 		t.Errorf("post-drain status %+v vs snapshot gen %d", st, snap.Gen)
 	}
 }
+
+func TestLogBatchGatesAcceptance(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		logged []uint64
+		fail   bool
+	)
+	w := newTestWorker(t, Config{
+		LogBatch: func(add, remove [][2]int32, seq uint64) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if fail {
+				return fmt.Errorf("disk full")
+			}
+			logged = append(logged, seq)
+			return nil
+		},
+	})
+
+	if _, _, err := w.Enqueue([][2]int32{{0, 9}}, nil); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	snap, err := w.Flush(context.Background())
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if snap.Seq != 1 {
+		t.Errorf("snapshot Seq = %d, want 1 (one op applied)", snap.Seq)
+	}
+	mu.Lock()
+	if len(logged) != 1 || logged[0] != 1 {
+		t.Errorf("logged seqs = %v, want [1]", logged)
+	}
+	fail = true
+	mu.Unlock()
+
+	// A failing log rejects the batch: accepted and logged must be the
+	// same event.
+	if _, queued, err := w.Enqueue([][2]int32{{1, 9}}, nil); err == nil || queued != 0 {
+		t.Fatalf("Enqueue with failing log: queued %d err %v, want rejection", queued, err)
+	}
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+
+	// An invalid batch must never reach the log.
+	if _, _, err := w.Enqueue([][2]int32{{3, 3}}, nil); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	mu.Lock()
+	if len(logged) != 1 {
+		t.Errorf("invalid batch reached the log: %v", logged)
+	}
+	mu.Unlock()
+}
+
+func TestSeqResumesFromInitialSnapshot(t *testing.T) {
+	snap := testSnapshot(t, twoCliques(), core.Options{Seed: 1, C: 0.5})
+	snap.Seq = 42
+	var logged []uint64
+	w := New(snap, Config{
+		OCA:      core.Options{Seed: 1, C: 0.5},
+		Debounce: time.Millisecond,
+		LogBatch: func(add, remove [][2]int32, seq uint64) error {
+			logged = append(logged, seq) // Enqueue is serial in this test
+			return nil
+		},
+	})
+	w.Start()
+	defer w.Close()
+
+	if _, _, err := w.Enqueue([][2]int32{{0, 9}, {1, 9}}, nil); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	got, err := w.Flush(context.Background())
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got.Seq != 44 {
+		t.Errorf("snapshot Seq = %d, want 44 (42 restored + 2 ops)", got.Seq)
+	}
+	if len(logged) != 1 || logged[0] != 44 {
+		t.Errorf("logged seqs = %v, want [44]", logged)
+	}
+}

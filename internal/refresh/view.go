@@ -10,6 +10,10 @@ import "time"
 type SnapshotInfo struct {
 	// Gen is the snapshot's generation number.
 	Gen uint64 `json:"generation"`
+	// Seq is the cumulative op count reflected in the generation (see
+	// Snapshot.Seq); the persistence layer stores it in segment metadata
+	// to position WAL replay.
+	Seq uint64 `json:"seq,omitempty"`
 	// Nodes and Edges are the snapshot graph's dimensions.
 	Nodes int   `json:"nodes"`
 	Edges int64 `json:"edges"`
@@ -32,6 +36,7 @@ type SnapshotInfo struct {
 func (s *Snapshot) Info() SnapshotInfo {
 	return SnapshotInfo{
 		Gen:           s.Gen,
+		Seq:           s.Seq,
 		Nodes:         s.Graph.N(),
 		Edges:         s.Graph.M(),
 		Communities:   s.Cover.Len(),
@@ -49,6 +54,7 @@ func (s *Snapshot) Info() SnapshotInfo {
 // derived index and stats deterministically from them.
 func (s *Snapshot) Restore(info SnapshotInfo) {
 	s.Gen = info.Gen
+	s.Seq = info.Seq
 	s.C = info.C
 	s.RebuildMode = info.RebuildMode
 	s.DirtyNodes = info.DirtyNodes

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/refresh"
@@ -299,9 +300,15 @@ const exportFlushEvery = 256
 // (generation, dimensions), then one line per community, shard by shard
 // on sharded servers. Views are loaded once, so the export is a
 // consistent view of exactly one generation per shard even while
-// rebuilds publish newer ones mid-stream. Mounted outside the
+// rebuilds publish newer ones mid-stream. With ?generation=N on a
+// server with a data directory, a retained snapshot segment serves that
+// past generation instead of the live state. Mounted outside the
 // TimeoutHandler, which would buffer the entire body.
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	if genStr := r.URL.Query().Get("generation"); genStr != "" {
+		s.handleExportGeneration(w, r, genStr)
+		return
+	}
 	views, err := s.sp.Views()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building cover: %v", err)
@@ -368,6 +375,74 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			written++
+		}
+	}
+	_ = bw.Flush()
+}
+
+// handleExportGeneration answers a point-in-time export: the requested
+// generation is served from a retained snapshot segment (or from the
+// live snapshot when it is the current, not-yet-sealed one). Single-node
+// only — sharded servers have no single global generation to pin.
+func (s *Server) handleExportGeneration(w http.ResponseWriter, r *http.Request, genStr string) {
+	if s.sharded() {
+		writeError(w, http.StatusBadRequest, "point-in-time export is not supported on sharded servers")
+		return
+	}
+	p := s.cfg.Persist
+	if p == nil {
+		writeError(w, http.StatusBadRequest, "point-in-time export requires a data directory (-data-dir)")
+		return
+	}
+	gen, err := strconv.ParseUint(genStr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid generation %q", genStr)
+		return
+	}
+	seg, err := p.OpenGeneration(gen)
+	if err != nil {
+		// The live generation may postdate the newest sealed segment.
+		if snap, serr := s.snapshot(); serr == nil && snap.Gen == gen {
+			s.exportSnapshot(w, r, snap)
+			return
+		}
+		writeError(w, http.StatusNotFound, "generation %d is not retained (retained: %v)", gen, p.Generations())
+		return
+	}
+	defer seg.Close()
+	s.exportSnapshot(w, r, seg.Snapshot())
+}
+
+// exportSnapshot streams one unsharded snapshot in the export's NDJSON
+// shape. Shared by the live single-node path's point-in-time variant;
+// the snapshot may be backed by a mapped segment, which the caller
+// keeps open for the duration.
+func (s *Server) exportSnapshot(w http.ResponseWriter, r *http.Request, snap *refresh.Snapshot) {
+	meta := exportMeta{
+		Generation:  snap.Gen,
+		Nodes:       snap.Graph.N(),
+		Edges:       snap.Graph.M(),
+		Communities: snap.Cover.Len(),
+	}
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriterSize(w, 64<<10)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(meta); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	for i, c := range snap.Cover.Communities {
+		if i%exportFlushEvery == 0 && i > 0 {
+			if bw.Flush() != nil || r.Context().Err() != nil {
+				return // client gone; stop encoding
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err := enc.Encode(exportCommunity{ID: int32(i), Size: len(c), Members: c}); err != nil {
+			return
 		}
 	}
 	_ = bw.Flush()

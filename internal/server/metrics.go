@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/persist"
 )
 
 // latencyBoundsMillis are the histogram bucket upper bounds; one
@@ -142,6 +144,9 @@ type metricsResponse struct {
 	// Refresh is the per-shard refresh gauge vector (absent until the
 	// first cover exists; never forces a lazy build).
 	Refresh []refreshMetrics `json:"refresh,omitempty"`
+	// Persist is the durability state (servers with a data directory
+	// only): segments on disk, live WAL size, batches logged.
+	Persist *persist.Stats `json:"persist,omitempty"`
 }
 
 // handleDebugMetrics serves the metrics registry — JSON by default, the
@@ -150,11 +155,16 @@ type metricsResponse struct {
 // the staleness signals worth alerting on).
 func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 	refresh := s.refreshMetrics()
+	var pst *persist.Stats
+	if p := s.cfg.Persist; p != nil {
+		st := p.Stats()
+		pst = &st
+	}
 	if r.URL.Query().Get("format") == "prometheus" {
-		s.metrics.writePrometheus(w, refresh)
+		s.metrics.writePrometheus(w, refresh, pst)
 		return
 	}
-	s.metrics.handleDebug(w, refresh)
+	s.metrics.handleDebug(w, refresh, pst)
 }
 
 // refreshMetrics assembles the per-shard gauge vector from one status
@@ -188,11 +198,12 @@ func (s *Server) refreshMetrics() []refreshMetrics {
 	return out
 }
 
-func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics) {
+func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats) {
 	resp := metricsResponse{
 		BoundsMillis: latencyBoundsMillis,
 		Routes:       make(map[string]routeMetrics, len(m.names)),
 		Refresh:      refresh,
+		Persist:      pst,
 	}
 	for _, name := range m.names {
 		rs := m.stats[name]
@@ -221,7 +232,7 @@ func promEscape(v string) string { return promReplacer.Replace(v) }
 // exposition format: per-shard refresh gauges plus per-route request
 // counters. Everything is assembled from the same atomics as the JSON
 // body — no extra bookkeeping on the hot path.
-func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics) {
+func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats) {
 	var b strings.Builder
 	b.WriteString("# HELP ocad_shard_queue_depth Mutations queued on the shard, not yet reflected in any snapshot.\n")
 	b.WriteString("# TYPE ocad_shard_queue_depth gauge\n")
@@ -254,6 +265,23 @@ func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMe
 			continue
 		}
 		fmt.Fprintf(&b, "ocad_shard_rebuild_dirty_nodes{shard=\"%d\",mode=\"%s\"} %d\n", e.Shard, promEscape(e.RebuildMode), e.DirtyNodes)
+	}
+	if pst != nil {
+		b.WriteString("# HELP ocad_persist_segments Snapshot segments retained in the data directory.\n")
+		b.WriteString("# TYPE ocad_persist_segments gauge\n")
+		fmt.Fprintf(&b, "ocad_persist_segments %d\n", pst.Segments)
+		b.WriteString("# HELP ocad_persist_newest_segment_generation Generation of the newest sealed segment.\n")
+		b.WriteString("# TYPE ocad_persist_newest_segment_generation gauge\n")
+		fmt.Fprintf(&b, "ocad_persist_newest_segment_generation %d\n", pst.NewestSegment)
+		b.WriteString("# HELP ocad_persist_wal_bytes Size of the live write-ahead log.\n")
+		b.WriteString("# TYPE ocad_persist_wal_bytes gauge\n")
+		fmt.Fprintf(&b, "ocad_persist_wal_bytes %d\n", pst.WALBytes)
+		b.WriteString("# HELP ocad_persist_logged_batches_total Mutation batches logged to the WAL since start.\n")
+		b.WriteString("# TYPE ocad_persist_logged_batches_total counter\n")
+		fmt.Fprintf(&b, "ocad_persist_logged_batches_total %d\n", pst.LoggedBatches)
+		b.WriteString("# HELP ocad_persist_segment_failures_total Segment writes that failed since start.\n")
+		b.WriteString("# TYPE ocad_persist_segment_failures_total counter\n")
+		fmt.Fprintf(&b, "ocad_persist_segment_failures_total %d\n", pst.SegmentFailures)
 	}
 	b.WriteString("# HELP ocad_http_requests_total Requests served, by route.\n")
 	b.WriteString("# TYPE ocad_http_requests_total counter\n")

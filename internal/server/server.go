@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/persist"
 	"repro/internal/refresh"
 	"repro/internal/search"
 	"repro/internal/shard"
@@ -101,6 +102,18 @@ type Config struct {
 	// the default — keeps every rebuild on the full path. Per shard
 	// when sharded.
 	IncrementalThreshold float64
+	// Persist, when set, makes the served state durable: every accepted
+	// /v1/edges batch is logged to the store's WAL before it is
+	// acknowledged, published generations append publish markers (and
+	// periodically seal snapshot segments), the startup snapshot is
+	// sealed so the WAL always replays onto something, and Close seals a
+	// final segment so a clean restart recovers without replay. The
+	// caller owns the store's lifecycle: Open (and Load/ReplaySingle for
+	// recovery) before constructing the server, Close after Server.Close.
+	// Unsupported with in-process sharding (Shards > 1) and the
+	// provider-backed router role — per-shard durability lives in the
+	// shard server processes.
+	Persist *persist.Store
 }
 
 // Server answers community-search queries over one evolving graph.
@@ -131,6 +144,14 @@ type Server struct {
 	worker     *refresh.Worker
 	preloaded  bool
 	preCv      *cover.Cover
+	restored   *refresh.Snapshot // recovered pre-shutdown state (NewWithSnapshot)
+
+	// persistErr holds the last asynchronous persistence failure (a
+	// publish marker or segment write from the worker goroutine, where
+	// there is no request to fail); /healthz surfaces it and flips the
+	// status to degraded. WAL append failures are synchronous and reject
+	// the batch instead.
+	persistErr atomic.Value // string
 
 	// sp is the seam every handler resolves snapshots through; multi is
 	// set when it fans out across shards (in-process router or remote
@@ -174,6 +195,12 @@ func newSharded(g *graph.Graph, cfg Config) (*Server, error) {
 	if cfg.Lazy {
 		return nil, fmt.Errorf("server: lazy cover builds are not supported with %d shards", cfg.Shards)
 	}
+	if cfg.Persist != nil {
+		// In-process sharding routes mutations through Router.Apply, which
+		// grows each shard's translation table out of band — growth the WAL
+		// cannot replay. Durability is a shard-server deployment feature.
+		return nil, fmt.Errorf("server: persistence is not supported with %d in-process shards; run shard servers with their own data directories", cfg.Shards)
+	}
 	s := newServer(g, cfg)
 	rcfg := shard.Config{
 		OCA:                  cfg.OCA,
@@ -207,6 +234,9 @@ func newSharded(g *graph.Graph, cfg Config) (*Server, error) {
 func NewWithProvider(sp SnapshotProvider, cfg Config) (*Server, error) {
 	if sp == nil {
 		return nil, errors.New("server: nil provider")
+	}
+	if cfg.Persist != nil {
+		return nil, errors.New("server: persistence belongs on the shard servers, not the router role")
 	}
 	cfg.Shards = sp.NumShards()
 	s := newServer(nil, cfg)
@@ -248,6 +278,41 @@ func NewWithCover(g *graph.Graph, cv *cover.Cover, cfg Config) (*Server, error) 
 		if err := s.ensureC(); err != nil {
 			return nil, err
 		}
+	}
+	if err := s.ensureCover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewWithSnapshot returns a Server that serves an already-built
+// snapshot — the recovery path: persist.ReplaySingle hands back the
+// pre-shutdown state and the server starts from it without an OCA run.
+// Generation and sequence numbering continue from the snapshot's own,
+// so the restart is invisible to generation-tracking clients. The
+// snapshot's inner-product parameter is reused for searches unless
+// cfg.OCA.C overrides it explicitly.
+func NewWithSnapshot(snap *refresh.Snapshot, cfg Config) (*Server, error) {
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("server: recovered snapshots are not supported with %d in-process shards", cfg.Shards)
+	}
+	if snap == nil || snap.Graph == nil || snap.Cover == nil {
+		return nil, errors.New("server: nil or incomplete snapshot")
+	}
+	s := newServer(snap.Graph, cfg)
+	s.restored = snap
+	if cfg.OCA.C != 0 {
+		if err := s.ensureC(); err != nil {
+			return nil, err
+		}
+	} else if snap.C != 0 {
+		// The snapshot carries the c it was built with; restarting must
+		// not re-derive the spectrum (and must answer searches with the
+		// same parameter the served cover was computed under).
+		s.cOnce.Do(func() {
+			s.c = snap.C
+			s.cReady.Store(true)
+		})
 	}
 	if err := s.ensureCover(); err != nil {
 		return nil, err
@@ -337,32 +402,33 @@ func (s *Server) ensureC() error {
 func (s *Server) ensureCover() error {
 	s.coverOnce.Do(func() {
 		start := time.Now()
-		var (
-			cv    *cover.Cover
-			res   *core.Result
-			snapC float64
-		)
-		if s.preloaded {
-			cv = s.preCv
+		var snap *refresh.Snapshot
+		switch {
+		case s.restored != nil:
+			// Recovery: the snapshot arrives fully built (segment load +
+			// WAL replay); there is nothing to compute.
+			snap = s.restored
+		case s.preloaded:
 			// A preloaded cover does not need c; deriving it stays
 			// deferred to the first /v1/search or stats request.
+			var snapC float64
 			if s.cReady.Load() {
 				snapC = s.c
 			}
-		} else {
+			snap = refresh.NewSnapshot(s.g, s.preCv, nil, snapC, time.Since(start))
+		default:
 			if s.coverErr = s.ensureC(); s.coverErr != nil {
 				return
 			}
 			opt := s.cfg.OCA
 			opt.C = s.c // single source of truth for the parameter
+			var res *core.Result
 			res, s.coverErr = core.Run(s.g, opt)
 			if s.coverErr != nil {
 				return
 			}
-			cv = res.Cover
-			snapC = s.c
+			snap = refresh.NewSnapshot(s.g, res.Cover, res, s.c, time.Since(start))
 		}
-		snap := refresh.NewSnapshot(s.g, cv, res, snapC, time.Since(start))
 		opt := s.cfg.OCA
 		if s.cReady.Load() {
 			// Pin the resolved c for rebuilds: re-deriving the spectrum
@@ -378,7 +444,7 @@ func (s *Server) ensureCover() error {
 			// operator's back.
 			rederive = 0
 		}
-		w := refresh.New(snap, refresh.Config{
+		rcfg := refresh.Config{
 			OCA:                  opt,
 			DisableWarmStart:     s.cfg.DisableWarmStart,
 			Debounce:             s.cfg.RefreshDebounce,
@@ -386,7 +452,33 @@ func (s *Server) ensureCover() error {
 			MaxNodes:             s.cfg.MaxNodes,
 			RederiveCAfter:       rederive,
 			IncrementalThreshold: s.cfg.IncrementalThreshold,
-		})
+		}
+		if p := s.cfg.Persist; p != nil {
+			if snap.Gen == 0 {
+				snap.Gen = 1 // the normalization refresh.New would apply
+			}
+			// Seal the startup snapshot first so the WAL always has a
+			// segment to replay onto (a no-op when a clean shutdown already
+			// sealed this generation), then start the live WAL at its
+			// generation. Only then may mutations be accepted.
+			if s.coverErr = p.Seal(snap, nil); s.coverErr != nil {
+				s.coverErr = fmt.Errorf("server: sealing startup segment: %w", s.coverErr)
+				return
+			}
+			if s.coverErr = p.Begin(snap.Gen); s.coverErr != nil {
+				return
+			}
+			rcfg.LogBatch = p.LogBatch
+			rcfg.OnSwap = func(sn *refresh.Snapshot) {
+				if err := p.OnPublish(sn, nil); err != nil {
+					// Publishing proceeds — readers keep getting fresh
+					// state — but the durability gap is surfaced loudly on
+					// /healthz rather than swallowed.
+					s.persistErr.Store(err.Error())
+				}
+			}
+		}
+		w := refresh.New(snap, rcfg)
 		s.closeMu.Lock()
 		s.worker = w
 		closed := s.closed
@@ -425,6 +517,24 @@ func (s *Server) Close() {
 	if s.sp != nil {
 		s.sp.Close()
 	}
+	if p := s.cfg.Persist; p != nil && w != nil && s.coverReady.Load() {
+		// Clean shutdown: seal the final snapshot so the next start
+		// recovers with a pure segment load, no WAL replay. The worker is
+		// already stopped, so this snapshot is final. Failures only cost
+		// the next start a replay; surface them like async persist errors.
+		if err := p.Seal(w.Snapshot(), nil); err != nil {
+			s.persistErr.Store(err.Error())
+		}
+	}
+}
+
+// lastPersistError returns the last asynchronous persistence failure
+// ("" when persistence is healthy or disabled).
+func (s *Server) lastPersistError() string {
+	if v, ok := s.persistErr.Load().(string); ok {
+		return v
+	}
+	return ""
 }
 
 // C returns the inner-product parameter the server searches with.
@@ -580,6 +690,12 @@ type healthzResponse struct {
 	// Requests summarizes per-endpoint traffic (full histograms at
 	// GET /debug/metrics).
 	Requests *requestsSummary `json:"requests,omitempty"`
+	// Persistence (servers with a data directory only) is the durability
+	// state: retained segments, the live WAL, and what startup recovery
+	// found. A non-empty LastPersistError (an async publish-marker or
+	// segment-write failure) flips Status to "degraded".
+	Persistence      *persist.Stats `json:"persistence,omitempty"`
+	LastPersistError string         `json:"last_persist_error,omitempty"`
 }
 
 // healthShard is one shard's entry in the /healthz vector. Nodes and
@@ -612,6 +728,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Edges:      s.g.M(),
 		CoverReady: s.coverReady.Load(),
 		Requests:   s.metrics.summary(),
+	}
+	if p := s.cfg.Persist; p != nil {
+		st := p.Stats()
+		resp.Persistence = &st
+		if resp.LastPersistError = s.lastPersistError(); resp.LastPersistError != "" {
+			resp.Status = "degraded"
+		}
 	}
 	if resp.CoverReady {
 		// Report the *served* graph — mutations change the edge count

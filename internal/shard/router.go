@@ -44,6 +44,16 @@ type Config struct {
 	// OnSwap, when set, is called from a shard's worker goroutine after
 	// that shard publishes a new generation.
 	OnSwap func(shard int, snap *refresh.Snapshot)
+	// LogBatch, when set, is called when ApplyBatch accepts a mutation
+	// batch — after validation, before it is queued — with the batch's
+	// translation-table growth attached and the worker's cumulative op
+	// count including it. An error rejects the batch with no effect
+	// (accepted means logged: the write-ahead-log contract). Only the
+	// ApplyBatch path invokes it; the in-process Apply path grows the
+	// table out of band through EnsureLocal, which a log replay could
+	// not reconstruct, so persistence is limited to shard-server
+	// deployments (cmd/ocad enforces this).
+	LogBatch func(b Batch, seq uint64) error
 
 	// workerOCA, when set, overrides the OCA options handed to one
 	// shard's refresh worker (not its initial build). Test-only

@@ -78,6 +78,12 @@ type Worker struct {
 
 	applyMu sync.Mutex // serializes ApplyBatch table reconciliation
 
+	// shipping stashes the table growth of the batch ApplyBatch is
+	// currently queueing, for the refresh-level LogBatch hook to attach
+	// to the WAL record. Guarded by applyMu: the hook fires inside
+	// Enqueue, synchronously under ApplyBatch's critical section.
+	shipping Batch
+
 	worker *refresh.Worker
 }
 
@@ -127,6 +133,44 @@ func NewWorker(pc Piece, k int, cfg Config, maxNodes int) (*Worker, error) {
 	if cfg.workerOCA != nil {
 		wopt = cfg.workerOCA(pc.Shard, wopt)
 	}
+	w.worker = refresh.New(snap, w.refreshConfig(cfg, wopt))
+	w.worker.Start()
+	return w, nil
+}
+
+// NewWorkerFromSnapshot rebuilds a shard worker from persisted state —
+// a recovered snapshot's graph and cover plus its local→global
+// translation table — without running OCA: the index, stats and
+// ownership metadata are reassembled deterministically and the
+// snapshot's generation, sequence and parameter facts carry over. The
+// table must be exactly the snapshot graph's node count (the persisted
+// prefix); growth beyond it replays through ApplyBatch.
+func NewWorkerFromSnapshot(snap *refresh.Snapshot, table []int32, shardID, k int, cfg Config, maxNodes int) *Worker {
+	w := &Worker{id: shardID, k: k, maxNodes: maxNodes}
+	w.locals = append([]int32(nil), table...)
+	w.index = make(map[int32]int32, len(w.locals))
+	for l, gv := range w.locals {
+		w.index[gv] = int32(l)
+	}
+	restored := w.buildSnapshot(snap.Graph, snap.Cover, snap.Result, snap.C, snap.BuildTime)
+	restored.Gen, restored.Seq = snap.Gen, snap.Seq
+	restored.BuiltAt = snap.BuiltAt
+	restored.RebuildMode = snap.RebuildMode
+
+	wopt := cfg.OCA
+	wopt.C = snap.C
+	if cfg.workerOCA != nil {
+		wopt = cfg.workerOCA(shardID, wopt)
+	}
+	w.worker = refresh.New(restored, w.refreshConfig(cfg, wopt))
+	w.worker.Start()
+	return w
+}
+
+// refreshConfig assembles the shard worker's refresh.Config, wiring
+// the snapshot-assembly hooks and translating the shard-level publish
+// and WAL hooks onto the refresh-level ones.
+func (w *Worker) refreshConfig(cfg Config, wopt core.Options) refresh.Config {
 	wcfg := refresh.Config{
 		OCA:              wopt,
 		DisableWarmStart: cfg.DisableWarmStart,
@@ -135,18 +179,23 @@ func NewWorker(pc Piece, k int, cfg Config, maxNodes int) (*Worker, error) {
 		// Local growth must always be possible even under a fixed global
 		// node set: a cross-shard edge can materialize a new ghost here.
 		// A shard's locals never exceed the global node count.
-		MaxNodes:             maxNodes,
+		MaxNodes:             w.maxNodes,
 		RederiveCAfter:       cfg.RederiveCAfter,
 		IncrementalThreshold: cfg.IncrementalThreshold,
 		BuildSnapshot:        w.buildSnapshot,
 		PatchSnapshot:        w.patchSnapshot,
 	}
 	if cfg.OnSwap != nil {
-		wcfg.OnSwap = func(snap *refresh.Snapshot) { cfg.OnSwap(pc.Shard, snap) }
+		wcfg.OnSwap = func(snap *refresh.Snapshot) { cfg.OnSwap(w.id, snap) }
 	}
-	w.worker = refresh.New(snap, wcfg)
-	w.worker.Start()
-	return w, nil
+	if cfg.LogBatch != nil {
+		wcfg.LogBatch = func(add, remove [][2]int32, seq uint64) error {
+			b := w.shipping
+			b.Add, b.Remove = add, remove
+			return cfg.LogBatch(b, seq)
+		}
+	}
+	return wcfg
 }
 
 // Shard returns the worker's shard index within its K-way partition.
@@ -278,7 +327,12 @@ func (w *Worker) ApplyBatch(b Batch) (gen uint64, queued int, err error) {
 	for _, gv := range b.NewLocals[overlap:] {
 		w.EnsureLocal(gv)
 	}
+	// Stash the shipped growth for the WAL hook firing inside Enqueue:
+	// the log records Base/NewLocals verbatim so a replay reconciles the
+	// table exactly like this call did (re-ships included).
+	w.shipping = Batch{Base: b.Base, NewLocals: b.NewLocals}
 	gen, queued, err = w.worker.Enqueue(b.Add, b.Remove)
+	w.shipping = Batch{}
 	return gen, queued, err
 }
 

@@ -121,8 +121,10 @@ func waitAddrFile(t *testing.T, p *ocadProc, path string, timeout time.Duration)
 // (1) pass the LFR equivalence gate — the served cover's NMI vs an
 // unsharded cold run ≥ 0.99; (2) serve mutations and lookups with no
 // 5xx while rebuilds run; (3) degrade explicitly (partial batch
-// results, flagged vector) when a shard process is killed; and
-// (4) drain gracefully on SIGTERM.
+// results, flagged vector) when a shard process is SIGKILLed;
+// (4) recover that shard from its data directory on restart, rejoining
+// at the exact pre-kill generation with no 5xx from the survivors; and
+// (5) drain gracefully on SIGTERM.
 func TestMultiProcessCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns processes and runs multiple OCA builds")
@@ -153,15 +155,22 @@ func TestMultiProcessCluster(t *testing.T) {
 	gf.Close()
 
 	// Boot the three shard servers, then the router (it waits for them).
+	// Every shard persists to a subdirectory of one shared -data-dir so
+	// the kill -9 + restart leg below can recover from disk.
 	const k = 3
+	dataDir := filepath.Join(dir, "data")
 	common := []string{"-in", graphPath, "-seed", "11", "-c", fmt.Sprintf("%g", c),
 		"-refresh-debounce", "5ms", "-addr", "127.0.0.1:0"}
+	shardArgs := func(s int, af string) []string {
+		return append(append([]string{}, common...),
+			"-shards", fmt.Sprint(k), "-serve-shard", fmt.Sprint(s),
+			"-data-dir", dataDir, "-addr-file", af)
+	}
 	shardProcs := make([]*ocadProc, k)
 	shardAddrs := make([]string, k)
 	for s := 0; s < k; s++ {
 		af := filepath.Join(dir, fmt.Sprintf("shard%d.addr", s))
-		shardProcs[s] = startOcad(t, append(common,
-			"-shards", fmt.Sprint(k), "-serve-shard", fmt.Sprint(s), "-addr-file", af)...)
+		shardProcs[s] = startOcad(t, shardArgs(s, af)...)
 		shardAddrs[s] = waitAddrFile(t, shardProcs[s], af, 60*time.Second)
 	}
 	routerAddrFile := filepath.Join(dir, "router.addr")
@@ -284,8 +293,21 @@ func TestMultiProcessCluster(t *testing.T) {
 		t.Errorf("generation after mutations = %d, want rebuilds to have published", lastGen)
 	}
 
-	// (3) Kill shard 2's process: partial batch results with explicit
-	// per-shard errors, single lookups shed load, health degrades.
+	// (3) Kill shard 2's process (SIGKILL — no drain, no final seal):
+	// partial batch results with explicit per-shard errors, single
+	// lookups shed load, health degrades.
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK {
+		t.Fatalf("pre-kill healthz = %d", code)
+	}
+	preKillGen := uint64(0)
+	for _, sh := range hr.Shards {
+		if sh.Shard == 2 {
+			preKillGen = sh.Generation
+		}
+	}
+	if preKillGen == 0 {
+		t.Fatalf("pre-kill healthz has no generation for shard 2: %+v", hr.Shards)
+	}
 	if err := shardProcs[2].cmd.Process.Kill(); err != nil {
 		t.Fatalf("killing shard 2: %v", err)
 	}
@@ -319,13 +341,38 @@ func TestMultiProcessCluster(t *testing.T) {
 		t.Errorf("lookup on live shard = %d, want 200", code)
 	}
 
-	// (4) Graceful drain: SIGTERM exits cleanly for router and shards.
-	for _, p := range []*ocadProc{router, shardProcs[0], shardProcs[1]} {
+	// (4) Restart the killed shard on its old address: it must recover
+	// from its data directory and rejoin at the exact pre-kill
+	// generation — the router's health returns to ok and lookups routed
+	// to it serve again. The later -addr overrides common's :0.
+	af2 := filepath.Join(dir, "shard2-restart.addr")
+	shardProcs[2] = startOcad(t, append(shardArgs(2, af2), "-addr", shardAddrs[2])...)
+	if got := waitAddrFile(t, shardProcs[2], af2, 60*time.Second); got != shardAddrs[2] {
+		t.Fatalf("restarted shard bound %s, want %s", got, shardAddrs[2])
+	}
+	waitForStatus(t, base, "ok")
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK {
+		t.Fatalf("post-restart healthz = %d", code)
+	}
+	for _, sh := range hr.Shards {
+		if sh.Shard == 2 && sh.Generation != preKillGen {
+			t.Errorf("restarted shard rejoined at generation %d, want pre-kill %d", sh.Generation, preKillGen)
+		}
+	}
+	if code := getJSON(t, base+"/v1/node/2/communities", nil); code != http.StatusOK {
+		t.Errorf("lookup on restarted shard = %d, want 200", code)
+	}
+	if logs := shardProcs[2].logs(); !strings.Contains(logs, "recovered generation") {
+		t.Errorf("restarted shard did not log recovery:\n%s", logs)
+	}
+
+	// (5) Graceful drain: SIGTERM exits cleanly for router and shards.
+	for _, p := range []*ocadProc{router, shardProcs[0], shardProcs[1], shardProcs[2]} {
 		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 			t.Fatalf("SIGTERM: %v", err)
 		}
 	}
-	for i, p := range []*ocadProc{router, shardProcs[0], shardProcs[1]} {
+	for i, p := range []*ocadProc{router, shardProcs[0], shardProcs[1], shardProcs[2]} {
 		done := make(chan error, 1)
 		go func() { done <- p.cmd.Wait() }()
 		select {

@@ -1,0 +1,15 @@
+// Package wal implements the mutation write-ahead log behind durable
+// ocad restarts: an append-only file of length-prefixed, CRC-protected
+// records, one per accepted /v1/edges batch, written (and optionally
+// fsynced) before the batch is acknowledged. Between snapshot segments
+// the WAL is the only durable copy of accepted mutations; on startup
+// the tail with sequence numbers beyond the latest segment is replayed
+// through the incremental rebuild engine, so recovery costs O(batch)
+// per record instead of a cold OCA run.
+//
+// The package owns only the on-disk format — record framing, the edge
+// batch and publish-marker payloads, and the torn-tail read semantics.
+// File placement, rotation and retention live in internal/persist;
+// the normative format specification is docs/PERSISTENCE.md, which a
+// doc-sync test locks to this package's constants.
+package wal

@@ -1,0 +1,235 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The on-disk constants below are normative: docs/PERSISTENCE.md
+// describes them and TestPersistenceDocSync (internal/persist) fails if
+// the two diverge.
+
+// MagicLog opens every WAL file.
+var MagicLog = [4]byte{'O', 'C', 'A', 'W'}
+
+// VersionLog is the WAL format version this package reads and writes.
+const VersionLog = 1
+
+// Record types. A reader must stop (treating the file as ending) at the
+// first record whose type it does not know only if it cannot skip it;
+// since every record is length-prefixed, unknown types are skippable —
+// forward-compatible additive records are allowed without a version
+// bump.
+const (
+	// RecEdgeBatch is one accepted mutation batch: the durable unit of
+	// /v1/edges. Payload: seq u64, base u32, nNew u32, nAdd u32,
+	// nRemove u32, then nNew locals (i32), nAdd pairs (i32,i32), nRemove
+	// pairs (i32,i32).
+	RecEdgeBatch = byte(1)
+	// RecPublish marks a published generation: gen u64, seq u64 (the
+	// ops included in that generation). Recovery uses the last publish
+	// marker to restore generation numbering after replay.
+	RecPublish = byte(2)
+)
+
+// MaxRecordBytes caps a record's declared payload size when parsing, so
+// a corrupt length prefix cannot demand an absurd allocation.
+const MaxRecordBytes = 1 << 24
+
+// headerSize is the WAL file header: magic, version u32, baseGen u64.
+const headerSize = 4 + 4 + 8
+
+// frameHead is the per-record frame: payload length u32, CRC u32 (over
+// the type byte and payload), type byte.
+const frameHead = 4 + 4 + 1
+
+// castagnoli is the CRC-32C polynomial table shared by WAL records and
+// segment sections.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum is the CRC-32C over b — the checksum every WAL record and
+// segment section carries.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// ErrTorn marks a WAL tail that ends mid-record — a crash between
+// writing and syncing. Everything before the torn record is valid;
+// recovery truncates at the reported offset and replays the prefix.
+var ErrTorn = errors.New("wal: torn record at tail")
+
+// Header identifies a WAL file: the generation of the snapshot segment
+// it logs batches after.
+type Header struct {
+	Version int
+	BaseGen uint64
+}
+
+// Record is one framed WAL entry.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// EdgeBatch is the payload of a RecEdgeBatch record: one accepted
+// mutation batch with its cumulative operation sequence number (the
+// worker's op count after this batch) and, on sharded deployments, the
+// translation-table growth shipped alongside it (Base/NewLocals mirror
+// shard.Batch; both are zero on the single-graph role).
+type EdgeBatch struct {
+	Seq       uint64
+	Base      int
+	NewLocals []int32
+	Add       [][2]int32
+	Remove    [][2]int32
+}
+
+// Publish is the payload of a RecPublish record.
+type Publish struct {
+	Gen uint64
+	Seq uint64
+}
+
+// AppendEdgeBatch encodes b as a RecEdgeBatch payload.
+func (b EdgeBatch) encode() []byte {
+	n := 8 + 4 + 4 + 4 + 4 + 4*len(b.NewLocals) + 8*len(b.Add) + 8*len(b.Remove)
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint64(out, b.Seq)
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.Base))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.NewLocals)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Add)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Remove)))
+	for _, v := range b.NewLocals {
+		out = binary.LittleEndian.AppendUint32(out, uint32(v))
+	}
+	for _, e := range b.Add {
+		out = binary.LittleEndian.AppendUint32(out, uint32(e[0]))
+		out = binary.LittleEndian.AppendUint32(out, uint32(e[1]))
+	}
+	for _, e := range b.Remove {
+		out = binary.LittleEndian.AppendUint32(out, uint32(e[0]))
+		out = binary.LittleEndian.AppendUint32(out, uint32(e[1]))
+	}
+	return out
+}
+
+// DecodeEdgeBatch parses a RecEdgeBatch payload.
+func DecodeEdgeBatch(p []byte) (EdgeBatch, error) {
+	var b EdgeBatch
+	if len(p) < 24 {
+		return b, fmt.Errorf("wal: edge-batch payload %d bytes, want >= 24", len(p))
+	}
+	b.Seq = binary.LittleEndian.Uint64(p[0:])
+	base := binary.LittleEndian.Uint32(p[8:])
+	nNew := binary.LittleEndian.Uint32(p[12:])
+	nAdd := binary.LittleEndian.Uint32(p[16:])
+	nRemove := binary.LittleEndian.Uint32(p[20:])
+	const maxInt32 = 1 << 31
+	if base >= maxInt32 {
+		return b, fmt.Errorf("wal: edge-batch base %d out of range", base)
+	}
+	b.Base = int(base)
+	want := 24 + 4*int64(nNew) + 8*int64(nAdd) + 8*int64(nRemove)
+	if int64(len(p)) != want {
+		return b, fmt.Errorf("wal: edge-batch payload %d bytes, counts demand %d", len(p), want)
+	}
+	p = p[24:]
+	if nNew > 0 {
+		b.NewLocals = make([]int32, nNew)
+		for i := range b.NewLocals {
+			b.NewLocals[i] = int32(binary.LittleEndian.Uint32(p[4*i:]))
+		}
+		p = p[4*nNew:]
+	}
+	readPairs := func(n uint32) [][2]int32 {
+		if n == 0 {
+			return nil
+		}
+		out := make([][2]int32, n)
+		for i := range out {
+			out[i][0] = int32(binary.LittleEndian.Uint32(p[8*i:]))
+			out[i][1] = int32(binary.LittleEndian.Uint32(p[8*i+4:]))
+		}
+		p = p[8*n:]
+		return out
+	}
+	b.Add = readPairs(nAdd)
+	b.Remove = readPairs(nRemove)
+	return b, nil
+}
+
+func (pub Publish) encode() []byte {
+	out := make([]byte, 16)
+	binary.LittleEndian.PutUint64(out[0:], pub.Gen)
+	binary.LittleEndian.PutUint64(out[8:], pub.Seq)
+	return out
+}
+
+// DecodePublish parses a RecPublish payload.
+func DecodePublish(p []byte) (Publish, error) {
+	if len(p) != 16 {
+		return Publish{}, fmt.Errorf("wal: publish payload %d bytes, want 16", len(p))
+	}
+	return Publish{
+		Gen: binary.LittleEndian.Uint64(p[0:]),
+		Seq: binary.LittleEndian.Uint64(p[8:]),
+	}, nil
+}
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	crc := crc32.Update(crc32.Checksum([]byte{typ}, castagnoli), castagnoli, payload)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	dst = append(dst, typ)
+	return append(dst, payload...)
+}
+
+// ReadLog parses an entire WAL stream. It returns the header, every
+// intact record in order, and the number of bytes those cover. A tail
+// that ends mid-record or fails its checksum stops the scan and is
+// reported as an error wrapping ErrTorn — the records before it are
+// still returned, and valid says where a recovery pass should truncate.
+// Any other error means the file is not a WAL (bad magic/version).
+func ReadLog(r io.Reader) (hdr Header, recs []Record, valid int64, err error) {
+	var head [headerSize]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return hdr, nil, 0, fmt.Errorf("wal: reading header: %w", err)
+	}
+	if [4]byte(head[:4]) != MagicLog {
+		return hdr, nil, 0, fmt.Errorf("wal: bad magic %q, not a WAL file", head[:4])
+	}
+	hdr.Version = int(binary.LittleEndian.Uint32(head[4:8]))
+	if hdr.Version != VersionLog {
+		return hdr, nil, 0, fmt.Errorf("wal: unsupported version %d", hdr.Version)
+	}
+	hdr.BaseGen = binary.LittleEndian.Uint64(head[8:16])
+	valid = headerSize
+
+	var fh [frameHead]byte
+	for {
+		n, err := io.ReadFull(r, fh[:])
+		if err == io.EOF {
+			return hdr, recs, valid, nil // clean end at a record boundary
+		}
+		if err != nil {
+			return hdr, recs, valid, fmt.Errorf("%w: frame head %d of %d bytes at offset %d", ErrTorn, n, frameHead, valid)
+		}
+		plen := binary.LittleEndian.Uint32(fh[0:4])
+		crc := binary.LittleEndian.Uint32(fh[4:8])
+		typ := fh[8]
+		if plen > MaxRecordBytes {
+			return hdr, recs, valid, fmt.Errorf("%w: declared payload %d exceeds %d at offset %d", ErrTorn, plen, MaxRecordBytes, valid)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return hdr, recs, valid, fmt.Errorf("%w: payload truncated at offset %d", ErrTorn, valid)
+		}
+		if got := crc32.Update(crc32.Checksum([]byte{typ}, castagnoli), castagnoli, payload); got != crc {
+			return hdr, recs, valid, fmt.Errorf("%w: checksum %08x != %08x at offset %d", ErrTorn, got, crc, valid)
+		}
+		recs = append(recs, Record{Type: typ, Payload: payload})
+		valid += int64(frameHead) + int64(plen)
+	}
+}
