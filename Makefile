@@ -11,7 +11,7 @@ RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./in
 COVER_PKGS := repro/internal/server repro/internal/refresh repro/internal/shard repro/internal/index repro/internal/postprocess repro/internal/transport repro/internal/wal repro/internal/persist
 COVER_MIN := 75
 
-.PHONY: build test race vet fmt-check bench-smoke bench-shard bench-refresh bench-refresh-smoke bench-recovery bench-recovery-smoke fuzz-smoke cover-check examples test-cluster run-cluster check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-shard bench-refresh bench-refresh-smoke bench-recovery bench-recovery-smoke bench-search bench-search-smoke fuzz-smoke cover-check examples test-cluster run-cluster check clean
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,21 @@ bench-recovery:
 bench-recovery-smoke:
 	$(GO) run ./cmd/recoverybench -short -out BENCH_recovery_smoke.json
 
+# Seeded-search hot-path gate: two identical serving stacks (result
+# cache on vs off) under a skewed read/write load on a dense LFR
+# graph. Fails unless the cached hot-seed p99 beats uncached by ≥5x at
+# NMI-equivalent results, a 64-way identical-request stampede runs
+# exactly one search, and a cache entry survives an untouched
+# incremental publish; writes the evidence to BENCH_search.json.
+bench-search:
+	$(GO) run ./cmd/loadgen -out BENCH_search.json
+
+# CI smoke version: small graph, functional gates (single search per
+# stampede, carry-forward, NMI floor) enforced, latencies reported but
+# not judged.
+bench-search-smoke:
+	$(GO) run ./cmd/loadgen -short -out BENCH_search_smoke.json
+
 # Short fuzz runs over the untrusted-input parsers. The checked-in seed
 # corpus (internal/graph/testdata/fuzz) always runs under plain `make
 # test`; this target additionally mutates for a few seconds per target.
@@ -120,4 +135,4 @@ examples:
 check: build vet fmt-check test race cover-check examples
 
 clean:
-	rm -f BENCH_smoke.json BENCH_refresh_smoke.json BENCH_recovery.json BENCH_recovery_smoke.json cover.txt
+	rm -f BENCH_smoke.json BENCH_refresh_smoke.json BENCH_recovery.json BENCH_recovery_smoke.json BENCH_search_smoke.json cover.txt

@@ -195,7 +195,9 @@ func CPM(g *Graph, opt CPMOptions) (*CPMResult, error) { return cpm.Run(g, opt) 
 func CFinder(g *Graph, opt CPMOptions) (*CPMResult, error) { return cpm.RunCFinder(g, opt) }
 
 // Rho is the paper's community similarity (eq. V.1), equal to the
-// Jaccard index of the member sets.
+// Jaccard index of the member sets. Total over all inputs: nil and
+// empty communities are interchangeable, two empty sets score 1, an
+// empty set against a non-empty one scores 0 — never NaN.
 func Rho(c, d Community) float64 { return metrics.Rho(c, d) }
 
 // Theta is the paper's community-structure suitability (eq. V.2) of the

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"repro"
@@ -219,5 +220,29 @@ func TestGraphDeltaAndNMI(t *testing.T) {
 	}
 	if got := repro.NMI(a, a, 6); got != 1 {
 		t.Errorf("NMI(a, a) = %v, want 1", got)
+	}
+}
+
+// TestRhoEdgeCases locks the exported Rho's totality contract: nil and
+// empty communities are interchangeable and never produce NaN — the
+// server's cache carry-forward calls it on communities that may have
+// shrunk to empty across a rebuild.
+func TestRhoEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		c, d repro.Community
+		want float64
+	}{
+		{"nil nil", nil, nil, 1},
+		{"nil empty", nil, repro.Community{}, 1},
+		{"empty populated", repro.Community{}, repro.Community{1, 2}, 0},
+		{"populated nil", repro.Community{1, 2}, nil, 0},
+		{"overlap", repro.Community{1, 2, 3}, repro.Community{2, 3, 4}, 0.5},
+	}
+	for _, tc := range cases {
+		got := repro.Rho(tc.c, tc.d)
+		if math.IsNaN(got) || got != tc.want {
+			t.Errorf("%s: Rho = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }

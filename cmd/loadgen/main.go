@@ -1,0 +1,709 @@
+// Command loadgen gates the seeded-search hot path: it stands up two
+// identical ocad serving stacks over one LFR graph — one with the
+// generation-keyed result cache, one with caching disabled — drives a
+// mixed read/write load against each (skewed seed popularity so the
+// cache is actually exercised, interleaved mutations so invalidation
+// and carry-forward are too), and compares hot-seed tail latency.
+//
+// The SLO gate: cached hot-seed p99 must beat uncached by at least
+// -min-speedup (default 5×), while the cached results stay
+// NMI-equivalent to fresh recomputation (carry-forward must not trade
+// correctness for latency). Two targeted sub-phases assert the
+// machinery deterministically: a stampede of identical concurrent
+// requests must coalesce onto one search, and an incremental publish
+// whose dirty region avoids a cached community must carry the entry
+// forward.
+//
+//	loadgen [-n 20000] [-readers 48] [-duration 8s] [-out BENCH_search.json]
+//
+// With -short it runs a scaled-down smoke version (CI): every phase is
+// exercised and the functional gates (coalescing, carry-forward, NMI)
+// are enforced, but latencies are reported without being judged.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/lfr"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/spectral"
+)
+
+// phaseStats is one server's measured slice of the mixed-load phase.
+type phaseStats struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Shed       int     `json:"shed_503"`
+	Throughput float64 `json:"throughput_rps"`
+	HotP50MS   float64 `json:"hot_p50_ms"`
+	HotP99MS   float64 `json:"hot_p99_ms"`
+	ColdP99MS  float64 `json:"cold_p99_ms"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// cacheCounters mirrors the server's /debug/metrics search_cache
+// object (the JSON shape is part of the protocol).
+type cacheCounters struct {
+	Entries        int     `json:"entries"`
+	Capacity       int     `json:"capacity"`
+	Hits           uint64  `json:"hits"`
+	Misses         uint64  `json:"misses"`
+	Coalesced      uint64  `json:"coalesced"`
+	CarriedForward uint64  `json:"carried_forward"`
+	CarryDropped   uint64  `json:"carry_dropped"`
+	Evicted        uint64  `json:"evicted"`
+	StalePruned    uint64  `json:"stale_pruned"`
+	HitRate        float64 `json:"hit_rate"`
+}
+
+type benchReport struct {
+	Nodes         int        `json:"nodes"`
+	Edges         int64      `json:"edges"`
+	C             float64    `json:"c"`
+	Seed          int64      `json:"seed"`
+	Short         bool       `json:"short"`
+	Readers       int        `json:"readers"`
+	SearchWorkers int        `json:"search_workers"`
+	HotSeeds      int        `json:"hot_seeds"`
+	HotFraction   float64    `json:"hot_fraction"`
+	Cached        phaseStats `json:"cached"`
+	Uncached      phaseStats `json:"uncached"`
+	// Speedup is uncached hot p99 / cached hot p99 — the SLO gate.
+	Speedup float64 `json:"hot_p99_speedup"`
+	// NMI compares the cover assembled from cached-server answers
+	// (including carried entries) with fresh uncached recomputation
+	// over the same mutation history.
+	NMI float64 `json:"nmi_cached_vs_fresh"`
+	// StampedeCoalesced and CarriedForward are the targeted sub-phase
+	// counters; both must move for the run to pass.
+	StampedeCoalesced uint64        `json:"stampede_coalesced"`
+	CarriedForward    uint64        `json:"carried_forward"`
+	FinalCounters     cacheCounters `json:"final_cache_counters"`
+	GeneratedUnix     int64         `json:"generated_unix"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	n := fs.Int("n", 20000, "LFR graph size")
+	out := fs.String("out", "BENCH_search.json", "output report path")
+	seed := fs.Int64("seed", 42, "randomness seed (graph, load mix, mutations)")
+	readers := fs.Int("readers", 64, "concurrent load clients per phase")
+	searchWorkers := fs.Int("search-workers", 4, "server-side search pool size (readers >> workers makes queueing visible)")
+	duration := fs.Duration("duration", 8*time.Second, "mixed-load phase length per server")
+	hotSeeds := fs.Int("hot-seeds", 16, "distinct hot seeds the skewed load concentrates on")
+	hotFraction := fs.Float64("hot-fraction", 0.97, "fraction of requests aimed at a hot seed")
+	mutateEvery := fs.Duration("mutate-every", 1200*time.Millisecond, "mutation batch cadence during the load phase")
+	cacheSize := fs.Int("cache-size", 1024, "server search-cache capacity (entries) on the cached stack")
+	evalSeeds := fs.Int("eval-seeds", 200, "seeds in the NMI equivalence sweep")
+	short := fs.Bool("short", false, "CI smoke mode: small graph, functional gates only, latencies reported but not judged")
+	minSpeedup := fs.Float64("min-speedup", 5, "fail unless cached hot-seed p99 beats uncached by this factor (ignored with -short)")
+	minNMI := fs.Float64("min-nmi", 0.99, "fail when NMI(cached answers, fresh answers) drops below this")
+	maxErrors := fs.Float64("max-errors", 0.01, "fail when the cached server's non-200 rate exceeds this budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *short {
+		if *n == 20000 {
+			*n = 1500
+		}
+		if *duration == 8*time.Second {
+			*duration = 1500 * time.Millisecond
+		}
+		if *readers == 64 {
+			*readers = 16
+		}
+		if *mutateEvery == 1200*time.Millisecond {
+			*mutateEvery = 400 * time.Millisecond
+		}
+		if *evalSeeds == 200 {
+			*evalSeeds = 60
+		}
+		if *minNMI == 0.99 {
+			// The smoke graph's communities are small enough that one
+			// divergent carried entry moves the score; the full-scale
+			// floor is the one that gates.
+			*minNMI = 0.9
+		}
+	}
+
+	log.Printf("generating LFR graph: n=%d", *n)
+	// Community sizes well above the average degree make each uncached
+	// search genuinely expensive (the greedy growth must add every
+	// member, evaluating the boundary each step), which is the regime
+	// the cache exists for: a hit costs HTTP handling alone, a miss
+	// costs HTTP plus the full search.
+	// A dense graph makes each uncached search genuinely expensive —
+	// greedy growth evaluates the boundary every step, and the boundary
+	// scales with degree — which is the regime the cache exists for: a
+	// hit costs HTTP handling alone, a miss costs HTTP plus the search.
+	// Heterogeneous community sizes keep the roles distinct: hot seeds
+	// go to the largest communities, mutations to the smallest (cheap
+	// incremental rebuilds, usually far from the hot set).
+	avgDeg, maxDeg := 48.0, 120
+	minCom, maxCom := 150, 400
+	if *n < 5000 {
+		avgDeg, maxDeg, minCom, maxCom = 12, 30, 20, 60
+	}
+	bench, err := lfr.Generate(lfr.Params{
+		N: *n, AvgDeg: avgDeg, MaxDeg: maxDeg, Mu: 0.05,
+		MinCom: minCom, MaxCom: maxCom, Seed: *seed,
+	})
+	if err != nil {
+		return fmt.Errorf("lfr.Generate: %w", err)
+	}
+	g := bench.Graph
+	log.Printf("graph ready: %d nodes, %d edges, %d planted communities", g.N(), g.M(), bench.Communities.Len())
+
+	c, err := spectral.C(g, spectral.Options{})
+	if err != nil {
+		return fmt.Errorf("spectral.C: %w", err)
+	}
+	log.Printf("c = %.4f", c)
+
+	mkConfig := func(cacheSize int) server.Config {
+		return server.Config{
+			OCA:                  core.Options{Seed: *seed, C: c},
+			SearchWorkers:        *searchWorkers,
+			RefreshDebounce:      10 * time.Millisecond,
+			IncrementalThreshold: 0.5,
+			MaxNodes:             g.N(),
+			SearchCacheSize:      cacheSize,
+		}
+	}
+	// Both stacks serve the planted cover (the preloaded-cover path), so
+	// startup needs no OCA run and the two servers start byte-identical.
+	cached, err := server.NewWithCover(g, bench.Communities, mkConfig(*cacheSize))
+	if err != nil {
+		return fmt.Errorf("cached server: %w", err)
+	}
+	defer cached.Close()
+	control, err := server.NewWithCover(g, bench.Communities, mkConfig(-1))
+	if err != nil {
+		return fmt.Errorf("control server: %w", err)
+	}
+	defer control.Close()
+	tsCached := httptest.NewServer(cached.Handler())
+	defer tsCached.Close()
+	tsControl := httptest.NewServer(control.Handler())
+	defer tsControl.Close()
+
+	// Prime both stacks past the mandatory full rebuild a preloaded
+	// cover forces on its first mutation batch, so the load phase's
+	// publishes take the incremental engine (identical batch on both —
+	// the mutation histories must match for the NMI sweep to compare
+	// like with like).
+	prime := bench.Communities.Communities[0]
+	primeEdge := [2]int32{prime[0], prime[1]}
+	for _, u := range []string{tsCached.URL, tsControl.URL} {
+		log.Printf("priming %s (full rebuild)...", u)
+		if err := postEdges(u, [][2]int32{primeEdge}, nil, true); err != nil {
+			return fmt.Errorf("priming rebuild: %w", err)
+		}
+	}
+
+	hot := pickHotSeeds(bench.Communities, *hotSeeds)
+	report := benchReport{
+		Nodes: g.N(), Edges: g.M(), C: c, Seed: *seed, Short: *short,
+		Readers: *readers, SearchWorkers: *searchWorkers,
+		HotSeeds: *hotSeeds, HotFraction: *hotFraction,
+	}
+
+	// Pre-mutation eval sweep on the cached server: populate cache
+	// entries the mutation phase will carry (or drop), so the NMI sweep
+	// afterwards actually measures carried answers, not fresh ones.
+	evals := pickEvalSeeds(bench.Communities, *evalSeeds)
+	log.Printf("pre-caching %d eval seeds...", len(evals))
+	preStart := time.Now()
+	var totalMembers int
+	for i, s := range evals {
+		r, err := search(tsCached.URL, s, 1000+int64(i))
+		if err != nil {
+			return fmt.Errorf("eval pre-cache: %w", err)
+		}
+		totalMembers += len(r.Members)
+	}
+	log.Printf("  %.2fms/search sequential, mean community %d members",
+		float64(time.Since(preStart))/float64(time.Millisecond)/float64(len(evals)), totalMembers/len(evals))
+
+	// Mixed-load phases, one server at a time so the two measurements
+	// see the same CPU budget. Identical seeded load and mutation
+	// scripts per server.
+	log.Printf("load phase: cached server (%v, %d readers)...", *duration, *readers)
+	report.Cached, err = loadPhase(tsCached.URL, g.N(), hot, *readers, *hotFraction, *duration, *mutateEvery, *seed, bench.Communities)
+	if err != nil {
+		return err
+	}
+	report.Cached.HitRate = mustCounters(tsCached.URL).HitRate
+	log.Printf("load phase: control server...")
+	report.Uncached, err = loadPhase(tsControl.URL, g.N(), hot, *readers, *hotFraction, *duration, *mutateEvery, *seed, bench.Communities)
+	if err != nil {
+		return err
+	}
+	if report.Cached.HotP99MS > 0 {
+		report.Speedup = report.Uncached.HotP99MS / report.Cached.HotP99MS
+	}
+	log.Printf("hot p99: cached %.3fms, uncached %.3fms (%.1fx); cached hit rate %.2f",
+		report.Cached.HotP99MS, report.Uncached.HotP99MS, report.Speedup, report.Cached.HitRate)
+	log.Printf("  cached:   p50 %.3fms cold-p99 %.3fms %d req %d shed %.0f rps",
+		report.Cached.HotP50MS, report.Cached.ColdP99MS, report.Cached.Requests, report.Cached.Shed, report.Cached.Throughput)
+	log.Printf("  uncached: p50 %.3fms cold-p99 %.3fms %d req %d shed %.0f rps",
+		report.Uncached.HotP50MS, report.Uncached.ColdP99MS, report.Uncached.Requests, report.Uncached.Shed, report.Uncached.Throughput)
+
+	// NMI equivalence: replay the eval keys on both servers. The cached
+	// server answers from whatever survived the mutation churn (carried
+	// entries included); the control recomputes everything fresh over
+	// the identical history.
+	log.Printf("NMI equivalence sweep (%d seeds)...", len(evals))
+	var cachedCover, freshCover cover.Cover
+	for i, s := range evals {
+		rc, err := search(tsCached.URL, s, 1000+int64(i))
+		if err != nil {
+			return fmt.Errorf("eval cached: %w", err)
+		}
+		rf, err := search(tsControl.URL, s, 1000+int64(i))
+		if err != nil {
+			return fmt.Errorf("eval fresh: %w", err)
+		}
+		cachedCover.Communities = append(cachedCover.Communities, rc.Members)
+		freshCover.Communities = append(freshCover.Communities, rf.Members)
+	}
+	report.NMI = metrics.NMI(&cachedCover, &freshCover, g.N())
+	log.Printf("NMI(cached, fresh) = %.4f", report.NMI)
+
+	// Targeted sub-phase: stampede. A burst of identical requests for a
+	// never-seen key must run exactly one search between them — every
+	// other caller is served from the in-flight search or the entry it
+	// inserts, never a recompute. The pool is saturated with
+	// distinct-key work first so the leader queues for a slot, giving
+	// followers a window to coalesce; how many actually land in that
+	// window (vs arriving as cache hits just after) is scheduling- and
+	// core-count-dependent, so coalesced is reported, not gated.
+	busySeeds := pickEvalSeeds(bench.Communities, 4**searchWorkers)
+	before := mustCounters(tsCached.URL)
+	// The warm key (evals[0], 1000) is cached at the current generation
+	// by the sweep above, so warming is pure hits and leaves the miss
+	// accounting to the burst key and the pool fillers alone.
+	stampede(tsCached.URL, evals[0], 999, 1000, busySeeds)
+	after := mustCounters(tsCached.URL)
+	report.StampedeCoalesced = after.Coalesced - before.Coalesced
+	if got, want := after.Misses-before.Misses, uint64(1+len(busySeeds)*stampedeFillRounds); got != want {
+		return fmt.Errorf("stampede ran %d searches, want exactly %d (1 + %d pool-filler keys)", got, want, len(busySeeds)*stampedeFillRounds)
+	}
+	served := (after.Hits - before.Hits - stampedeBurst) + report.StampedeCoalesced
+	if served != stampedeBurst-1 {
+		return fmt.Errorf("stampede: %d of %d identical requests served without recompute, want %d",
+			served, stampedeBurst, stampedeBurst-1)
+	}
+	log.Printf("stampede: 1 search for %d identical requests (%d coalesced in-flight, %d as hits)",
+		stampedeBurst, report.StampedeCoalesced, served-report.StampedeCoalesced)
+
+	// Targeted sub-phase: carry-forward. Cache a seed, mutate a far
+	// community, and the entry must survive to the new generation with
+	// identical bytes. Communities are tried until one pair is disjoint
+	// from the publish's dirty region (with low mixing nearly always
+	// the first).
+	carried, err := carryForwardProbe(tsCached.URL, bench.Communities)
+	if err != nil {
+		return err
+	}
+	report.CarriedForward = carried
+	report.FinalCounters = mustCounters(tsCached.URL)
+	report.GeneratedUnix = time.Now().Unix()
+
+	// Gates.
+	if errRate := float64(report.Cached.Errors) / float64(max(report.Cached.Requests, 1)); errRate > *maxErrors {
+		return fmt.Errorf("cached server error rate %.4f exceeds budget %.4f", errRate, *maxErrors)
+	}
+	if report.NMI < *minNMI {
+		return fmt.Errorf("NMI(cached, fresh) = %.4f below floor %.4f", report.NMI, *minNMI)
+	}
+	if report.CarriedForward == 0 {
+		return fmt.Errorf("no cache entry survived an untouched incremental publish")
+	}
+	if !*short {
+		if report.Cached.HitRate < 0.5 {
+			return fmt.Errorf("cached hit rate %.2f below 0.5 — the skewed load is not exercising the cache", report.Cached.HitRate)
+		}
+		if report.Speedup < *minSpeedup {
+			return fmt.Errorf("hot-seed p99 speedup %.2fx below the %.1fx gate", report.Speedup, *minSpeedup)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("PASS: report written to %s", *out)
+	return nil
+}
+
+// pickHotSeeds takes one seed from each of the k largest communities:
+// distinct communities so hot traffic exercises different cache keys,
+// and the largest because that is the regime the cache pays for —
+// popular seeds sit in big communities, which are exactly the most
+// expensive to recompute and the cheapest to answer from cache.
+func pickHotSeeds(cv *cover.Cover, k int) []int32 {
+	order := make([]int, cv.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(cv.Communities[order[a]]) > len(cv.Communities[order[b]])
+	})
+	seeds := make([]int32, 0, k)
+	for _, i := range order {
+		if len(seeds) == k {
+			break
+		}
+		seeds = append(seeds, cv.Communities[i][0])
+	}
+	return seeds
+}
+
+// pickEvalSeeds takes one mid-list member from every community, up to
+// k, for the NMI sweep.
+func pickEvalSeeds(cv *cover.Cover, k int) []int32 {
+	seeds := make([]int32, 0, k)
+	for i := 0; i < cv.Len() && len(seeds) < k; i++ {
+		c := cv.Communities[i]
+		seeds = append(seeds, c[len(c)/2])
+	}
+	return seeds
+}
+
+// loadPhase drives the skewed mixed read/write load against one server
+// and reports its latency distribution. The mutator thread applies a
+// deterministic seeded batch sequence (intra-community edge additions)
+// at the configured cadence with Wait=false, so publishes interleave
+// with reads exactly as they would in production.
+func loadPhase(url string, n int, hot []int32, readers int, hotFraction float64, d, mutateEvery time.Duration, seed int64, cv *cover.Cover) (phaseStats, error) {
+	var (
+		mu       sync.Mutex
+		hotLat   []float64
+		coldLat  []float64
+		errs     atomic.Int64
+		shed     atomic.Int64
+		requests atomic.Int64
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Mutator: deterministic intra-community additions, one community
+	// per batch, chosen by the seeded rng from the smaller half of the
+	// cover — churn concentrates in small groups, keeping each
+	// incremental rebuild cheap and usually clear of the hot set.
+	// Wait=false — readers must never be blocked behind a rebuild.
+	order := make([]int, cv.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(cv.Communities[order[a]]) < len(cv.Communities[order[b]])
+	})
+	small := order[:max(1, len(order)/2)]
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed + 7))
+		tick := time.NewTicker(mutateEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				c := cv.Communities[small[rng.Intn(len(small))]]
+				u, v := c[rng.Intn(len(c))], c[rng.Intn(len(c))]
+				if u == v {
+					continue
+				}
+				_ = postEdges(url, [][2]int32{{u, v}}, nil, false)
+			}
+		}
+	}()
+
+	// The default transport keeps only 2 idle conns per host; dozens of
+	// readers would re-dial constantly and the dial cost would swamp
+	// the cheap (cache-hit) responses being measured.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        readers * 2,
+		MaxIdleConnsPerHost: readers * 2,
+	}}
+	defer client.CloseIdleConnections()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(r)*101))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				isHot := rng.Float64() < hotFraction
+				var s int32
+				if isHot {
+					s = hot[rng.Intn(len(hot))]
+				} else {
+					s = int32(rng.Intn(n))
+				}
+				start := time.Now()
+				code, err := searchStatus(client, url, s, 0)
+				lat := float64(time.Since(start)) / float64(time.Millisecond)
+				requests.Add(1)
+				switch {
+				case err != nil || (code != http.StatusOK && code != http.StatusServiceUnavailable):
+					errs.Add(1)
+				case code == http.StatusServiceUnavailable:
+					shed.Add(1)
+				default:
+					mu.Lock()
+					if isHot {
+						hotLat = append(hotLat, lat)
+					} else {
+						coldLat = append(coldLat, lat)
+					}
+					mu.Unlock()
+				}
+			}
+		}(r)
+	}
+
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+
+	st := phaseStats{
+		Requests:   int(requests.Load()),
+		Errors:     int(errs.Load()),
+		Shed:       int(shed.Load()),
+		Throughput: float64(requests.Load()) / d.Seconds(),
+		HotP50MS:   percentile(hotLat, 0.50),
+		HotP99MS:   percentile(hotLat, 0.99),
+		ColdP99MS:  percentile(coldLat, 0.99),
+	}
+	if len(hotLat) == 0 {
+		return st, fmt.Errorf("load phase recorded no successful hot-seed requests")
+	}
+	return st, nil
+}
+
+// stampede fires one burst of identical concurrent requests for a
+// fresh (seed, rngSeed) key. Two tricks keep the burst genuinely
+// concurrent with the leader's compute rather than trailing it:
+// every burst client first issues a request for warmKey (already
+// cached — pure hits) so its keep-alive connection is established
+// before the barrier drops, and busySeeds are queued with distinct
+// never-cached keys to occupy the search pool so the leader has to
+// wait for a slot. Each filler runs stampedeFillRounds distinct keys
+// so the pool stays busy well past the burst's arrival.
+const (
+	stampedeBurst      = 64
+	stampedeFillRounds = 8
+)
+
+func stampede(url string, seed int32, rngSeed, warmRNG int64, busySeeds []int32) {
+	const burst = stampedeBurst
+	const fillRounds = stampedeFillRounds
+	clients := make([]*http.Client, burst)
+	var warm sync.WaitGroup
+	for i := range clients {
+		clients[i] = &http.Client{}
+		warm.Add(1)
+		go func(c *http.Client) {
+			defer warm.Done()
+			_, _ = clientSearch(c, url, seed, warmRNG)
+		}(clients[i])
+	}
+	warm.Wait()
+
+	var busy sync.WaitGroup
+	for i, s := range busySeeds {
+		busy.Add(1)
+		go func(s int32, i int) {
+			defer busy.Done()
+			for r := 0; r < fillRounds; r++ {
+				_, _ = search(url, s, 7000+int64(i*fillRounds+r))
+			}
+		}(s, i)
+	}
+	time.Sleep(5 * time.Millisecond) // let the filler work queue on the pool
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(c *http.Client) {
+			defer wg.Done()
+			<-start
+			_, _ = clientSearch(c, url, seed, rngSeed)
+		}(clients[i])
+	}
+	close(start)
+	wg.Wait()
+	busy.Wait()
+}
+
+// carryForwardProbe caches one community's search, mutates a far
+// community (incremental publish whose dirty region is disjoint), and
+// verifies the entry is served carried — same members, new generation.
+// Returns the carried_forward counter delta.
+func carryForwardProbe(url string, cv *cover.Cover) (uint64, error) {
+	before := mustCounters(url)
+	for attempt := 0; attempt < 8; attempt++ {
+		seedCom := cv.Communities[attempt%cv.Len()]
+		farCom := cv.Communities[(attempt+cv.Len()/2)%cv.Len()]
+		s := seedCom[0]
+		pre, err := search(url, s, 5000+int64(attempt))
+		if err != nil {
+			return 0, fmt.Errorf("carry probe pre-search: %w", err)
+		}
+		if err := postEdges(url, [][2]int32{{farCom[0], farCom[len(farCom)-1]}}, nil, true); err != nil {
+			return 0, fmt.Errorf("carry probe mutation: %w", err)
+		}
+		post, err := search(url, s, 5000+int64(attempt))
+		if err != nil {
+			return 0, fmt.Errorf("carry probe post-search: %w", err)
+		}
+		if !post.Cached || post.Generation <= pre.Generation {
+			continue // dirty region reached the cached community; try another pair
+		}
+		if !equalMembers(pre.Members, post.Members) {
+			return 0, fmt.Errorf("carried entry mutated: %v -> %v", pre.Members, post.Members)
+		}
+		after := mustCounters(url)
+		log.Printf("carry-forward probe: entry survived publish (gen %d -> %d, %d carried)",
+			pre.Generation, post.Generation, after.CarriedForward-before.CarriedForward)
+		return after.CarriedForward - before.CarriedForward, nil
+	}
+	return 0, fmt.Errorf("no carry-forward observed in 8 attempts")
+}
+
+type searchResponse struct {
+	Seed       int32   `json:"seed"`
+	Size       int     `json:"size"`
+	Fitness    float64 `json:"fitness"`
+	Members    []int32 `json:"members"`
+	Generation uint64  `json:"generation"`
+	Cached     bool    `json:"cached"`
+}
+
+func searchBody(seed int32, rngSeed int64) []byte {
+	body, _ := json.Marshal(map[string]any{"seed": seed, "rng_seed": rngSeed})
+	return body
+}
+
+func search(url string, seed int32, rngSeed int64) (*searchResponse, error) {
+	return clientSearch(http.DefaultClient, url, seed, rngSeed)
+}
+
+func clientSearch(client *http.Client, url string, seed int32, rngSeed int64) (*searchResponse, error) {
+	resp, err := client.Post(url+"/v1/search", "application/json", bytes.NewReader(searchBody(seed, rngSeed)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("search seed %d: status %d: %s", seed, resp.StatusCode, data)
+	}
+	var out searchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// searchStatus is the hot-path variant: status only, body drained.
+func searchStatus(client *http.Client, url string, seed int32, rngSeed int64) (int, error) {
+	resp, err := client.Post(url+"/v1/search", "application/json", bytes.NewReader(searchBody(seed, rngSeed)))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func postEdges(url string, add, remove [][2]int32, wait bool) error {
+	body, _ := json.Marshal(map[string]any{"add": add, "remove": remove, "wait": wait})
+	resp, err := http.Post(url+"/v1/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("edges: status %d: %s", resp.StatusCode, data)
+	}
+	return nil
+}
+
+// mustCounters reads the search_cache object from /debug/metrics.
+func mustCounters(url string) cacheCounters {
+	resp, err := http.Get(url + "/debug/metrics")
+	if err != nil {
+		log.Fatalf("debug/metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		SearchCache *cacheCounters `json:"search_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		log.Fatalf("debug/metrics decode: %v", err)
+	}
+	if body.SearchCache == nil {
+		return cacheCounters{}
+	}
+	return *body.SearchCache
+}
+
+func percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func equalMembers(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -85,6 +85,8 @@ func run(args []string) error {
 	c := fs.Float64("c", 0, "inner-product parameter override (0 = derive -1/λmin from the spectrum)")
 	workers := fs.Int("workers", 0, "OCA worker goroutines (0 = GOMAXPROCS)")
 	searchWorkers := fs.Int("search-workers", 0, "max concurrent /v1/search searches (0 = GOMAXPROCS)")
+	searchCacheSize := fs.Int("search-cache-size", 0, "generation-keyed /v1/search result cache capacity in entries (0 = default 4096, negative = disable caching and coalescing)")
+	searchCacheRho := fs.Float64("search-cache-rho", 0, "ρ-similarity floor for cache carry-forward spot checks across incremental rebuilds (0 = default 0.95)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 	refreshDebounce := fs.Duration("refresh-debounce", 50*time.Millisecond, "how long queued /v1/edges mutations coalesce before an OCA re-run")
@@ -125,6 +127,8 @@ func run(args []string) error {
 		Shards:               *shards,
 		RederiveCAfter:       *rederiveC,
 		IncrementalThreshold: *incrementalThreshold,
+		SearchCacheSize:      *searchCacheSize,
+		SearchCacheRho:       *searchCacheRho,
 	}
 	cfg.OCA.Seed = *seed
 	cfg.OCA.C = *c

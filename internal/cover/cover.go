@@ -287,17 +287,70 @@ func (cv *Cover) Clone() *Cover {
 	return &Cover{Communities: out}
 }
 
-// SortBySize orders communities by decreasing size (ties by first member)
-// for stable, readable output.
+// Less reports whether community a precedes b in the canonical cover
+// order: decreasing size, ties broken by lexicographic member
+// comparison. The order is a pure function of the community sets, so
+// two covers holding the same communities sort identically regardless
+// of construction history — full and incremental rebuilds of the same
+// cover publish byte-identical orderings.
+func Less(a, b Community) bool {
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// SortBySize orders communities canonically (see Less) for stable,
+// reproducible output.
 func (cv *Cover) SortBySize() {
 	sort.SliceStable(cv.Communities, func(i, j int) bool {
-		a, b := cv.Communities[i], cv.Communities[j]
-		if len(a) != len(b) {
-			return len(a) > len(b)
-		}
-		if len(a) == 0 {
-			return false
-		}
-		return a[0] < b[0]
+		return Less(cv.Communities[i], cv.Communities[j])
 	})
+}
+
+// SortPerm returns the permutation canonical sorting would apply —
+// perm[old] is the sorted position of cv.Communities[old] — plus
+// whether the cover is already canonically ordered (then perm is nil).
+// It does not modify the cover: callers that maintain a derived
+// structure keyed by community id (an inverted index) compute the
+// permutation first and apply it to both sides.
+func (cv *Cover) SortPerm() (perm []int32, sorted bool) {
+	k := len(cv.Communities)
+	order := make([]int32, k)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return Less(cv.Communities[order[i]], cv.Communities[order[j]])
+	})
+	sorted = true
+	for i, o := range order {
+		if int32(i) != o {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return nil, true
+	}
+	perm = make([]int32, k)
+	for pos, o := range order {
+		perm[o] = int32(pos)
+	}
+	return perm, false
+}
+
+// ApplyPerm reorders the communities by a permutation from SortPerm:
+// the community at previous position i moves to perm[i].
+func (cv *Cover) ApplyPerm(perm []int32) {
+	out := make([]Community, len(cv.Communities))
+	for i, c := range cv.Communities {
+		out[perm[i]] = c
+	}
+	cv.Communities = out
 }

@@ -151,6 +151,69 @@ func TestSortBySize(t *testing.T) {
 	}
 }
 
+// TestSortBySizeDeterministic: the canonical order is a pure function
+// of the community set — equal-size communities tie-break by full
+// lexicographic member comparison, not just the first member, so two
+// covers holding the same communities in different construction orders
+// sort identically.
+func TestSortBySizeDeterministic(t *testing.T) {
+	cs := []Community{
+		NewCommunity([]int32{0, 3, 5}),
+		NewCommunity([]int32{0, 3, 4}),
+		NewCommunity([]int32{0, 1, 2}),
+		NewCommunity([]int32{7, 8}),
+		NewCommunity([]int32{0, 2, 9}),
+	}
+	a := NewCover([]Community{cs[0], cs[1], cs[2], cs[3], cs[4]})
+	b := NewCover([]Community{cs[4], cs[2], cs[0], cs[3], cs[1]})
+	a.SortBySize()
+	b.SortBySize()
+	for i := range a.Communities {
+		if !a.Communities[i].Equal(b.Communities[i]) {
+			t.Fatalf("order depends on construction history at position %d: %v vs %v",
+				i, a.Communities[i], b.Communities[i])
+		}
+	}
+	want := []Community{cs[2], cs[4], cs[1], cs[0], cs[3]}
+	for i := range want {
+		if !a.Communities[i].Equal(want[i]) {
+			t.Fatalf("canonical order position %d = %v, want %v", i, a.Communities[i], want[i])
+		}
+	}
+}
+
+// TestSortPermApplyPerm: SortPerm's permutation applied via ApplyPerm
+// must equal SortBySize, and an already-sorted cover reports sorted
+// with a nil permutation.
+func TestSortPermApplyPerm(t *testing.T) {
+	cv := NewCover([]Community{
+		NewCommunity([]int32{9}),
+		NewCommunity([]int32{0, 1, 2}),
+		NewCommunity([]int32{0, 1, 3}),
+		NewCommunity([]int32{4, 5}),
+	})
+	want := cv.Clone()
+	want.SortBySize()
+
+	perm, sorted := cv.SortPerm()
+	if sorted {
+		t.Fatal("unsorted cover reported as sorted")
+	}
+	cv.ApplyPerm(perm)
+	for i := range want.Communities {
+		if !cv.Communities[i].Equal(want.Communities[i]) {
+			t.Fatalf("ApplyPerm(SortPerm) != SortBySize at position %d", i)
+		}
+	}
+	if perm2, sorted2 := cv.SortPerm(); !sorted2 || perm2 != nil {
+		t.Fatalf("sorted cover: SortPerm = (%v, %v), want (nil, true)", perm2, sorted2)
+	}
+	empty := NewCover(nil)
+	if _, sorted := empty.SortPerm(); !sorted {
+		t.Fatal("empty cover should be sorted")
+	}
+}
+
 func TestIORoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

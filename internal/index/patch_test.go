@@ -74,6 +74,55 @@ func TestPatchMatchesBuildRandomized(t *testing.T) {
 	}
 }
 
+// TestPermuteMatchesBuildRandomized: permuting an index must equal
+// building from the permuted cover, across random covers and random
+// permutations (including the identity, which returns prev itself).
+func TestPermuteMatchesBuildRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 30 + rng.Intn(100)
+		var cs []cover.Community
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			members := make([]int32, 3+rng.Intn(12))
+			for j := range members {
+				members[j] = int32(rng.Intn(n))
+			}
+			cs = append(cs, cover.NewCommunity(members))
+		}
+		cv := cover.NewCover(cs)
+		prev := Build(cv, n)
+
+		perm := rng.Perm(len(cs))
+		perm32 := make([]int32, len(perm))
+		identity := true
+		for i, p := range perm {
+			perm32[i] = int32(p)
+			if i != p {
+				identity = false
+			}
+		}
+		got := Permute(prev, perm32)
+		if identity && got != prev {
+			t.Fatal("identity permutation should return prev itself")
+		}
+		permuted := make([]cover.Community, len(cs))
+		for i, c := range cv.Communities {
+			permuted[perm32[i]] = c
+		}
+		want := Build(cover.NewCover(permuted), n)
+		assertSameIndex(t, got, want, n)
+	}
+}
+
+func TestPermutePanicsOnBadLength(t *testing.T) {
+	cv := cover.NewCover([]cover.Community{
+		cover.NewCommunity([]int32{0, 1, 2}),
+		cover.NewCommunity([]int32{1, 3}),
+	})
+	prev := Build(cv, 4)
+	assertPanics(t, "short perm", func() { Permute(prev, []int32{0}) })
+}
+
 func TestPatchPureGrowthSharesMemberships(t *testing.T) {
 	cv := cover.NewCover([]cover.Community{
 		cover.NewCommunity([]int32{0, 1, 2}),

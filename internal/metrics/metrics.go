@@ -15,14 +15,21 @@ import (
 //	ρ(C, D) = 1 − (|C\D| + |D\C|) / |C ∪ D|
 //
 // which equals |C ∩ D| / |C ∪ D| (the Jaccard index). It is 1 for equal
-// sets and 0 for disjoint ones. ρ of two empty sets is defined as 1.
+// sets and 0 for disjoint ones, and never divides by zero or returns
+// NaN: nil and empty communities are interchangeable, ρ of two empty
+// sets is defined as 1 (they are equal), and ρ of an empty set against
+// a non-empty one is 0 (nothing shared). Callers comparing communities
+// that may have shrunk to nothing mid-rebuild — the server's cache
+// carry-forward spot check — rely on this totality.
 func Rho(c, d cover.Community) float64 {
-	inter := c.IntersectionSize(d)
-	union := len(c) + len(d) - inter
-	if union == 0 {
+	if len(c) == 0 && len(d) == 0 {
+		// Explicit guard rather than falling through to inter/union: the
+		// union is 0 exactly when both sets are empty.
 		return 1
 	}
-	// |C\D| + |D\C| = union - inter, so ρ = inter/union.
+	inter := c.IntersectionSize(d)
+	union := len(c) + len(d) - inter
+	// |C\D| + |D\C| = union - inter, so ρ = inter/union; union > 0 here.
 	return float64(inter) / float64(union)
 }
 

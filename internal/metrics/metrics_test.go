@@ -28,6 +28,36 @@ func TestRhoKnownValues(t *testing.T) {
 	approx(t, "one empty", Rho(com(1), com()), 0)
 }
 
+// TestRhoEmptyAndNil: ρ must be total — no division by zero, no NaN —
+// for every combination of nil, empty and populated communities. The
+// cache carry-forward spot check compares communities that may have
+// shrunk to nothing mid-rebuild, so these edges are load-bearing.
+func TestRhoEmptyAndNil(t *testing.T) {
+	cases := []struct {
+		name string
+		c, d cover.Community
+		want float64
+	}{
+		{"nil nil", nil, nil, 1},
+		{"nil empty", nil, com(), 1},
+		{"empty nil", com(), nil, 1},
+		{"empty empty", com(), com(), 1},
+		{"nil vs populated", nil, com(1, 2, 3), 0},
+		{"populated vs nil", com(1, 2, 3), nil, 0},
+		{"empty vs populated", com(), com(7), 0},
+		{"populated vs empty", com(7), com(), 0},
+		{"singleton equal", com(7), com(7), 1},
+		{"singleton disjoint", com(7), com(8), 0},
+	}
+	for _, tc := range cases {
+		got := Rho(tc.c, tc.d)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s: Rho = %v, want a finite value", tc.name, got)
+		}
+		approx(t, tc.name, got, tc.want)
+	}
+}
+
 // TestRhoMatchesPaperFormula verifies ρ = 1 − (|C\D|+|D\C|)/|C∪D|
 // literally against set arithmetic on random sets.
 func TestRhoMatchesPaperFormula(t *testing.T) {

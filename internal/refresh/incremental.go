@@ -294,9 +294,34 @@ func (w *Worker) incrementalSnapshot(old *Snapshot, ng *graph.Graph, opt core.Op
 			BuiltAt:   time.Now(),
 		}
 	}
+	canonicalizeOrder(snap)
 	snap.RebuildMode = ModeIncremental
 	snap.DirtyNodes = len(dirty)
+	snap.Dirty = dirty
 	return snap, nil
+}
+
+// canonicalizeOrder re-publishes snap's cover in the canonical
+// size-sorted order (cover.Less) with the inverted index permuted to
+// match, so incremental generations expose the same deterministic
+// ordering as full rebuilds (core.Run sorts before returning). It must
+// run after all patch-order consumers: index.Patch's kept-prefix
+// contract and the PatchSnapshot hook both describe the cover in patch
+// order, so sorting is the last assembly step — O(k log k +
+// memberships) against the O(|dirty region|) patch, and only when the
+// order actually changed. The fastpath is exempt: it aliases the
+// previous (already canonical) generation's cover, which must stay
+// immutable.
+func canonicalizeOrder(snap *Snapshot) {
+	if snap.Cover == nil || snap.Index == nil {
+		return
+	}
+	perm, sorted := snap.Cover.SortPerm()
+	if sorted {
+		return
+	}
+	snap.Cover.ApplyPerm(perm)
+	snap.Index = index.Permute(snap.Index, perm)
 }
 
 // AffectedNodes lists (once each) the nodes whose membership degree may

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cover"
 	"repro/internal/graph"
 	"repro/internal/lfr"
 	"repro/internal/metrics"
@@ -245,6 +246,77 @@ func TestIncrementalSnapshotConsistency(t *testing.T) {
 			if got[i] != want[i] {
 				t.Fatalf("node %d memberships = %v, want %v", v, got, want)
 			}
+		}
+	}
+}
+
+// TestIncrementalCoverOrderCanonical is the regression test for the
+// carried ordering bug: incremental rebuilds used to publish covers in
+// patch order (kept survivors first, fresh discoveries appended), so a
+// fresh community larger than the carried ones came out last instead of
+// first. Published order must be the canonical size-sorted order
+// (cover.Less) regardless of rebuild mode, with the patched index
+// permuted to match.
+func TestIncrementalCoverOrderCanonical(t *testing.T) {
+	opt := core.Options{Seed: 3, C: 0.5}
+	w := New(testSnapshot(t, cliquesAndFringe(), opt), Config{
+		OCA: opt, Debounce: time.Millisecond, IncrementalThreshold: 0.5,
+	})
+	w.Start()
+	defer w.Close()
+
+	// Grow clique B (nodes 6–11) to 7 members by wiring in node 12. In
+	// patch order the untouched clique A (size 6) stays at position 0
+	// and the regrown B (size 7) is appended after it — the buggy order.
+	add := make([][2]int32, 0, 6)
+	for i := int32(6); i < 12; i++ {
+		add = append(add, [2]int32{i, 12})
+	}
+	snap := flushOne(t, w, add, nil)
+	if snap.RebuildMode != ModeIncremental {
+		t.Fatalf("rebuild_mode = %q, want %q", snap.RebuildMode, ModeIncremental)
+	}
+	if snap.Cover.Len() < 2 {
+		t.Fatalf("cover has %d communities, want at least 2", snap.Cover.Len())
+	}
+	for i := 1; i < snap.Cover.Len(); i++ {
+		if cover.Less(snap.Cover.Communities[i], snap.Cover.Communities[i-1]) {
+			t.Fatalf("published cover not canonically sorted: community %d (size %d) after %d (size %d)",
+				i, len(snap.Cover.Communities[i]), i-1, len(snap.Cover.Communities[i-1]))
+		}
+	}
+	if len(snap.Cover.Communities[0]) != 7 {
+		t.Fatalf("largest community size = %d at position 0, want the regrown 7-clique first",
+			len(snap.Cover.Communities[0]))
+	}
+	// The permuted index must describe the sorted cover exactly.
+	for v := int32(0); int(v) < snap.Graph.N(); v++ {
+		got := snap.Index.Communities(v)
+		var want []int32
+		for ci, c := range snap.Cover.Communities {
+			if c.Contains(v) {
+				want = append(want, int32(ci))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("node %d memberships = %v, want %v", v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d memberships = %v, want %v", v, got, want)
+			}
+		}
+	}
+	// Canonical order is a pure function of the community set: sorting
+	// any shuffle of the published communities reproduces it.
+	shuffled := snap.Cover.Clone()
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled.Communities), func(i, j int) {
+		shuffled.Communities[i], shuffled.Communities[j] = shuffled.Communities[j], shuffled.Communities[i]
+	})
+	shuffled.SortBySize()
+	for i, c := range shuffled.Communities {
+		if !c.Equal(snap.Cover.Communities[i]) {
+			t.Fatalf("canonical order not a pure function of the set: position %d differs", i)
 		}
 	}
 }

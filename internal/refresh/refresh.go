@@ -85,6 +85,13 @@ type Snapshot struct {
 	// (mutated endpoints plus members of touched communities); 0 on the
 	// other modes.
 	DirtyNodes int
+	// Dirty lists the nodes this generation may answer differently from
+	// its predecessor: the incremental dirty region, or just the mutated
+	// endpoints on the fastpath. Nil after a full rebuild (everything may
+	// differ). A seeded search whose seed and previous result avoid Dirty
+	// still returned a locally optimal community on this generation's
+	// graph — the reuse test behind the server's cache carry-forward.
+	Dirty []int32
 }
 
 // NewSnapshot assembles a Snapshot (index, stats, max degree) for the
@@ -140,8 +147,10 @@ type Config struct {
 	// the full path. Ignored when DisableWarmStart or AssignOrphans is
 	// set (both are whole-graph semantics), and a rebuild that
 	// re-derives c always runs full so the cover is scored under one
-	// parameter. Incremental generations serve their communities in
-	// patch order, not size order.
+	// parameter. Incremental generations publish their covers in the
+	// same canonical size-sorted order as full rebuilds (patched in
+	// patch order, then permuted — see cover.Less), so cover ordering
+	// is deterministic across rebuild modes.
 	IncrementalThreshold float64
 	// RederiveCAfter, when positive, re-derives c = -1/λmin from the
 	// then-current graph's spectrum during a rebuild once the cumulative
@@ -574,6 +583,9 @@ func (w *Worker) rebuild() {
 	switch mode {
 	case ModeFastpath:
 		snap = w.fastpathSnapshot(old, ng, ops, buildSnap, start)
+		// The cover is untouched, but the graph changed at the mutated
+		// endpoints: results computed there are not reusable downstream.
+		snap.Dirty = touched
 	case ModeIncremental:
 		snap, err = w.incrementalSnapshot(old, ng, opt, ops, touched, touchedComms, start)
 	}

@@ -147,6 +147,10 @@ type metricsResponse struct {
 	// Persist is the durability state (servers with a data directory
 	// only): segments on disk, live WAL size, batches logged.
 	Persist *persist.Stats `json:"persist,omitempty"`
+	// SearchCache is the seeded-search result cache state (absent when
+	// caching is disabled): occupancy plus the hit / miss / coalesce /
+	// carry-forward counters.
+	SearchCache *searchCacheStats `json:"search_cache,omitempty"`
 }
 
 // handleDebugMetrics serves the metrics registry — JSON by default, the
@@ -160,11 +164,16 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 		st := p.Stats()
 		pst = &st
 	}
+	var cst *searchCacheStats
+	if s.cache != nil {
+		st := s.cache.stats()
+		cst = &st
+	}
 	if r.URL.Query().Get("format") == "prometheus" {
-		s.metrics.writePrometheus(w, refresh, pst)
+		s.metrics.writePrometheus(w, refresh, pst, cst)
 		return
 	}
-	s.metrics.handleDebug(w, refresh, pst)
+	s.metrics.handleDebug(w, refresh, pst, cst)
 }
 
 // refreshMetrics assembles the per-shard gauge vector from one status
@@ -198,12 +207,13 @@ func (s *Server) refreshMetrics() []refreshMetrics {
 	return out
 }
 
-func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats) {
+func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats) {
 	resp := metricsResponse{
 		BoundsMillis: latencyBoundsMillis,
 		Routes:       make(map[string]routeMetrics, len(m.names)),
 		Refresh:      refresh,
 		Persist:      pst,
+		SearchCache:  cst,
 	}
 	for _, name := range m.names {
 		rs := m.stats[name]
@@ -232,7 +242,7 @@ func promEscape(v string) string { return promReplacer.Replace(v) }
 // exposition format: per-shard refresh gauges plus per-route request
 // counters. Everything is assembled from the same atomics as the JSON
 // body — no extra bookkeeping on the hot path.
-func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats) {
+func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats) {
 	var b strings.Builder
 	b.WriteString("# HELP ocad_shard_queue_depth Mutations queued on the shard, not yet reflected in any snapshot.\n")
 	b.WriteString("# TYPE ocad_shard_queue_depth gauge\n")
@@ -282,6 +292,35 @@ func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMe
 		b.WriteString("# HELP ocad_persist_segment_failures_total Segment writes that failed since start.\n")
 		b.WriteString("# TYPE ocad_persist_segment_failures_total counter\n")
 		fmt.Fprintf(&b, "ocad_persist_segment_failures_total %d\n", pst.SegmentFailures)
+	}
+	if cst != nil {
+		b.WriteString("# HELP ocad_search_cache_entries Entries resident in the seeded-search result cache.\n")
+		b.WriteString("# TYPE ocad_search_cache_entries gauge\n")
+		fmt.Fprintf(&b, "ocad_search_cache_entries %d\n", cst.Entries)
+		b.WriteString("# HELP ocad_search_cache_capacity Configured entry capacity of the search cache.\n")
+		b.WriteString("# TYPE ocad_search_cache_capacity gauge\n")
+		fmt.Fprintf(&b, "ocad_search_cache_capacity %d\n", cst.Capacity)
+		b.WriteString("# HELP ocad_search_cache_hits_total Searches answered from the cache.\n")
+		b.WriteString("# TYPE ocad_search_cache_hits_total counter\n")
+		fmt.Fprintf(&b, "ocad_search_cache_hits_total %d\n", cst.Hits)
+		b.WriteString("# HELP ocad_search_cache_misses_total Searches that ran because no entry or flight existed.\n")
+		b.WriteString("# TYPE ocad_search_cache_misses_total counter\n")
+		fmt.Fprintf(&b, "ocad_search_cache_misses_total %d\n", cst.Misses)
+		b.WriteString("# HELP ocad_search_cache_coalesced_total Requests that waited on a concurrent identical search instead of running their own.\n")
+		b.WriteString("# TYPE ocad_search_cache_coalesced_total counter\n")
+		fmt.Fprintf(&b, "ocad_search_cache_coalesced_total %d\n", cst.Coalesced)
+		b.WriteString("# HELP ocad_search_cache_carried_forward_total Entries re-keyed to a new generation across incremental publishes.\n")
+		b.WriteString("# TYPE ocad_search_cache_carried_forward_total counter\n")
+		fmt.Fprintf(&b, "ocad_search_cache_carried_forward_total %d\n", cst.CarriedForward)
+		b.WriteString("# HELP ocad_search_cache_carry_dropped_total Carry-forward candidates dropped by a failed similarity spot check.\n")
+		b.WriteString("# TYPE ocad_search_cache_carry_dropped_total counter\n")
+		fmt.Fprintf(&b, "ocad_search_cache_carry_dropped_total %d\n", cst.CarryDropped)
+		b.WriteString("# HELP ocad_search_cache_evicted_total Entries evicted by the LRU capacity bound.\n")
+		b.WriteString("# TYPE ocad_search_cache_evicted_total counter\n")
+		fmt.Fprintf(&b, "ocad_search_cache_evicted_total %d\n", cst.Evicted)
+		b.WriteString("# HELP ocad_search_cache_stale_pruned_total Superseded-generation entries pruned at publish.\n")
+		b.WriteString("# TYPE ocad_search_cache_stale_pruned_total counter\n")
+		fmt.Fprintf(&b, "ocad_search_cache_stale_pruned_total %d\n", cst.StalePruned)
 	}
 	b.WriteString("# HELP ocad_http_requests_total Requests served, by route.\n")
 	b.WriteString("# TYPE ocad_http_requests_total counter\n")

@@ -22,7 +22,10 @@
 // and publishes the next generation — readers never block on a rebuild.
 // Seeded searches draw reusable search.State buffers from a bounded
 // pool (capped at SearchWorkers in-flight searches); states bound to a
-// superseded graph generation are replaced lazily at checkout.
+// superseded graph generation are replaced lazily at checkout. Search
+// results are additionally memoized in a generation-keyed LRU cache
+// with singleflight coalescing and publish-time carry-forward (see
+// cache.go), so hot seeds answer without consuming pool workers.
 package server
 
 import (
@@ -114,6 +117,17 @@ type Config struct {
 	// provider-backed router role — per-shard durability lives in the
 	// shard server processes.
 	Persist *persist.Store
+	// SearchCacheSize bounds the generation-keyed /v1/search result
+	// cache, in entries. 0 means the default (4096); negative disables
+	// caching entirely — every request then runs its own search and no
+	// singleflight coalescing happens.
+	SearchCacheSize int
+	// SearchCacheRho is the ρ-similarity floor for the cache's
+	// carry-forward spot checks: on an incremental or fastpath publish,
+	// carried entries are validated by recomputing a sample fresh and
+	// comparing with metrics.Rho; below the floor the carry is dropped.
+	// 0 means the default (0.95); values above 1 clamp to 1.
+	SearchCacheRho float64
 }
 
 // Server answers community-search queries over one evolving graph.
@@ -125,13 +139,20 @@ type Server struct {
 	maxDeg  int
 	stepCap int // ceiling on per-request search step budgets
 
-	// pool bounds in-flight searches at SearchWorkers; each slot keeps
-	// one reusable state per shard, so interleaved searches across
+	// pool bounds in-flight searches at SearchWorkers; each checkout
+	// keeps one reusable state per shard, so interleaved searches across
 	// shards don't thrash the O(n)-to-build buffers (slots start nil
-	// and are allocated on first use).
-	pool      chan []*search.State
-	poolWidth int          // states per slot: one per shard
+	// and are allocated on first use). Slots are generation-stamped:
+	// graph-pointer identity alone cannot tell a state built for a
+	// superseded generation apart when a publish reuses the graph (the
+	// lazy gen-0 → gen-1 case), so checkout compares both.
+	pool      chan []poolSlot
+	poolWidth int          // states per checkout: one per shard
 	streams   atomic.Int64 // rng stream counter for unseeded searches
+
+	// cache is the generation-keyed seeded-search result cache with
+	// singleflight coalescing (nil when disabled by config).
+	cache *searchCache
 
 	cOnce  sync.Once
 	cErr   error
@@ -215,6 +236,14 @@ func newSharded(g *graph.Graph, cfg Config) (*Server, error) {
 		// An explicitly pinned c is never re-derived behind the
 		// operator's back.
 		rcfg.RederiveCAfter = 0
+	}
+	if s.cache != nil {
+		// Each shard worker announces its publishes so the cache can
+		// prune that shard's superseded entries and carry survivors
+		// forward across incremental rebuilds.
+		rcfg.OnSwap = func(shardID int, sn *refresh.Snapshot) {
+			s.cache.carryForward(shardID, sn, s.cacheSpotCheck(shardID, sn))
+		}
 	}
 	rt, err := shard.NewRouter(g, cfg.Shards, rcfg)
 	if err != nil {
@@ -355,9 +384,23 @@ func newServer(g *graph.Graph, cfg Config) *Server {
 	if s.poolWidth < 1 {
 		s.poolWidth = 1
 	}
-	s.pool = make(chan []*search.State, cfg.SearchWorkers)
+	s.pool = make(chan []poolSlot, cfg.SearchWorkers)
 	for i := 0; i < cfg.SearchWorkers; i++ {
 		s.pool <- nil
+	}
+	if cfg.SearchCacheSize >= 0 {
+		size := cfg.SearchCacheSize
+		if size == 0 {
+			size = defaultSearchCacheSize
+		}
+		rho := cfg.SearchCacheRho
+		if rho == 0 {
+			rho = defaultSearchCacheRho
+		}
+		if rho > 1 {
+			rho = 1
+		}
+		s.cache = newSearchCache(size, rho)
 	}
 	s.sp = singleProvider{s}
 	s.metrics = newHTTPMetrics()
@@ -476,6 +519,18 @@ func (s *Server) ensureCover() error {
 					// /healthz rather than swallowed.
 					s.persistErr.Store(err.Error())
 				}
+			}
+		}
+		if s.cache != nil {
+			// Chain after the persistence hook: durability markers first,
+			// then cache maintenance (prune superseded generations, carry
+			// survivors across incremental publishes).
+			prev := rcfg.OnSwap
+			rcfg.OnSwap = func(sn *refresh.Snapshot) {
+				if prev != nil {
+					prev(sn)
+				}
+				s.cache.carryForward(0, sn, s.cacheSpotCheck(0, sn))
 			}
 		}
 		w := refresh.New(snap, rcfg)
@@ -696,6 +751,10 @@ type healthzResponse struct {
 	// segment-write failure) flips Status to "degraded".
 	Persistence      *persist.Stats `json:"persistence,omitempty"`
 	LastPersistError string         `json:"last_persist_error,omitempty"`
+	// SearchCache summarizes the seeded-search result cache: occupancy
+	// and the hit/coalesce/carry-forward counters (absent when caching
+	// is disabled). The same counters are exported by /debug/metrics.
+	SearchCache *searchCacheStats `json:"search_cache,omitempty"`
 }
 
 // healthShard is one shard's entry in the /healthz vector. Nodes and
@@ -728,6 +787,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Edges:      s.g.M(),
 		CoverReady: s.coverReady.Load(),
 		Requests:   s.metrics.summary(),
+	}
+	if s.cache != nil {
+		cs := s.cache.stats()
+		resp.SearchCache = &cs
 	}
 	if p := s.cfg.Persist; p != nil {
 		st := p.Stats()
@@ -769,6 +832,10 @@ func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 		CoverReady: true,
 		Requests:   s.metrics.summary(),
 		Shards:     make([]healthShard, len(views)),
+	}
+	if s.cache != nil {
+		cs := s.cache.stats()
+		resp.SearchCache = &cs
 	}
 	for i, v := range views {
 		if v.Err != nil {
@@ -1108,9 +1175,13 @@ type SearchRequest struct {
 	RNGSeed int64 `json:"rng_seed,omitempty"`
 }
 
-// SearchResponse is the /v1/search body. Shard and Generation are set
-// only by sharded servers: the search ran over the seed's owning
-// shard's halo graph at that generation.
+// SearchResponse is the /v1/search body. Generation is the snapshot
+// generation the search ran over (absent only on a lazy server before
+// its first cover build). Shard is set only by sharded servers: the
+// search ran over the seed's owning shard's halo graph. Cached marks a
+// response served from the generation-keyed result cache — including
+// one computed by a concurrent coalesced request — rather than by a
+// search this request ran itself.
 type SearchResponse struct {
 	Seed       int32   `json:"seed"`
 	C          float64 `json:"c"`
@@ -1119,6 +1190,7 @@ type SearchResponse struct {
 	Members    []int32 `json:"members"`
 	Shard      *int    `json:"shard,omitempty"`
 	Generation uint64  `json:"generation,omitempty"`
+	Cached     bool    `json:"cached,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -1140,12 +1212,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Search over the served generation when there is one; a lazy
 	// server answers over the construction-time graph without forcing
-	// the OCA run (searches need only c, not the cover).
+	// the OCA run (searches need only c, not the cover). gen stays 0
+	// there, which also disables caching — pre-cover results have no
+	// generation to key on or carry forward from.
 	g, maxDeg := s.g, s.maxDeg
+	var gen uint64
 	var snap *refresh.Snapshot
 	if s.coverReady.Load() {
 		snap = s.worker.Snapshot()
 		g, maxDeg = snap.Graph, snap.MaxDegree
+		gen = snap.Gen
 	}
 	if req.Seed < 0 || int(req.Seed) >= g.N() {
 		writeError(w, http.StatusNotFound, "seed %d out of range [0, %d)", req.Seed, g.N())
@@ -1172,7 +1248,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "c=%g out of range (0, 1)", c)
 		return
 	}
-	s.runSearch(w, r, req, g, maxDeg, req.Seed, c, nil)
+	s.runSearch(w, r, req, g, maxDeg, gen, req.Seed, c, nil)
 }
 
 // handleSearchSharded runs a seeded search over the owning shard's halo
@@ -1204,7 +1280,7 @@ func (s *Server) handleSearchSharded(w http.ResponseWriter, r *http.Request, req
 		writeError(w, http.StatusBadRequest, "c=%g out of range (0, 1)", c)
 		return
 	}
-	s.runSearch(w, r, req, view.Snap.Graph, view.Snap.MaxDegree, local, c, &view)
+	s.runSearch(w, r, req, view.Snap.Graph, view.Snap.MaxDegree, view.Snap.Gen, local, c, &view)
 }
 
 // searchParamsValid rejects out-of-range overrides with a 400 and
@@ -1223,52 +1299,25 @@ func searchParamsValid(w http.ResponseWriter, req SearchRequest) bool {
 	return true
 }
 
-// runSearch is the execution tail shared by the single and sharded
-// search paths: check a state out of the bounded pool, clamp the step
-// budget, run the greedy local search over g from seed (a local id on
-// the sharded path) and write the response. origin is non-nil on the
-// sharded path; members then translate back to global ids and the
-// response quotes the owning (shard, generation).
-func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchRequest, g *graph.Graph, maxDeg int, seed int32, c float64, origin *shard.View) {
-	rngSeed := req.RNGSeed
-	if rngSeed == 0 {
-		rngSeed = s.streams.Add(1)
-	}
+// poolSlot is one shard's reusable search state within a pool
+// checkout, stamped with the generation it was built for. The stamp is
+// what invalidates the state when a publish reuses the previous graph
+// pointer (a lazy server's first cover build serves the construction
+// graph as generation 1): Graph() identity alone would keep the stale
+// state, and a cached search could then run over buffers sized for a
+// superseded snapshot.
+type poolSlot struct {
+	st  *search.State
+	gen uint64
+}
 
-	// Bounded search pool: at most SearchWorkers in-flight searches,
-	// each slot holding one reusable state per shard. Waiting respects
-	// the request deadline.
-	var states []*search.State
-	select {
-	case states = <-s.pool:
-	case <-r.Context().Done():
-		if errors.Is(r.Context().Err(), context.Canceled) {
-			// Client went away while waiting; nobody reads the reply,
-			// and "saturated" in logs would send operators chasing
-			// phantom load.
-			writeError(w, http.StatusServiceUnavailable, "client canceled request")
-			return
-		}
-		writeError(w, http.StatusServiceUnavailable, "search pool saturated: %v", r.Context().Err())
-		return
-	}
-	if states == nil {
-		states = make([]*search.State, s.poolWidth)
-	}
-	slot := 0
-	if origin != nil {
-		slot = origin.Shard
-	}
-	st := states[slot]
-	if st == nil || st.Graph() != g {
-		// First use of the slot's shard entry, or its state is bound to
-		// a superseded snapshot's graph: (re)build it over the one this
-		// request saw.
-		st = search.NewState(g, maxDeg)
-		states[slot] = st
-	}
-	defer func() { s.pool <- states }()
-
+// searchOptions resolves the effective core.Options for one request:
+// the server's OCA defaults with the request's overrides applied and
+// the step budget clamped. The result is part of the cache identity,
+// so two requests spelling the same effective parameters differently
+// (e.g. an explicit MaxSteps equal to the server cap vs. none) share
+// one cache entry.
+func (s *Server) searchOptions(req SearchRequest) core.Options {
 	opt := s.cfg.OCA
 	if req.NeighborProb > 0 {
 		opt.NeighborProb = req.NeighborProb
@@ -1284,20 +1333,127 @@ func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchReq
 	if req.MaxCommunitySize > 0 {
 		opt.MaxCommunitySize = req.MaxCommunitySize
 	}
+	return opt
+}
+
+// executeSearch checks a state out of the bounded pool and runs one
+// greedy local search. It is the only path that consumes a pool
+// worker; cache hits and coalesced waiters never reach it. Waiting
+// for a slot respects ctx (the request deadline).
+func (s *Server) executeSearch(ctx context.Context, g *graph.Graph, maxDeg int, gen uint64, slot int, seed int32, c float64, rngSeed int64, opt core.Options) (cover.Community, float64, error) {
+	var slots []poolSlot
+	select {
+	case slots = <-s.pool:
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+	if slots == nil {
+		slots = make([]poolSlot, s.poolWidth)
+	}
+	defer func() { s.pool <- slots }()
+	ps := &slots[slot]
+	if ps.st == nil || ps.st.Graph() != g || ps.gen != gen {
+		// First use of the slot's shard entry, or its state is bound to
+		// a superseded snapshot (by graph identity or by generation):
+		// (re)build it over the one this request saw.
+		ps.st = search.NewState(g, maxDeg)
+		ps.gen = gen
+	}
 	rng := rand.New(rand.NewSource(rngSeed))
-	community, fitness := core.FindCommunityWith(g, st, seed, c, rng, opt)
-	resp := SearchResponse{
-		Seed:    req.Seed,
-		C:       c,
-		Size:    len(community),
-		Fitness: fitness,
-		Members: community,
+	community, fitness := core.FindCommunityWith(g, ps.st, seed, c, rng, opt)
+	return community, fitness, nil
+}
+
+// writeSearchError maps an executeSearch (or coalesced-wait) failure
+// to the response the pool wait has always produced: 503s, with the
+// client's own cancellation distinguished from real saturation so logs
+// don't send operators chasing phantom load.
+func writeSearchError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable, "client canceled request")
+		return
 	}
+	writeError(w, http.StatusServiceUnavailable, "search pool saturated: %v", err)
+}
+
+// runSearch is the execution tail shared by the single and sharded
+// search paths. With caching enabled and a published generation to key
+// on, the request first consults the generation-keyed cache: a hit
+// answers immediately, concurrent identical requests coalesce onto one
+// underlying search, and a miss computes, caches and answers. origin
+// is non-nil on the sharded path; members then translate back to
+// global ids and the response carries the owning shard.
+func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, req SearchRequest, g *graph.Graph, maxDeg int, gen uint64, seed int32, c float64, origin *shard.View) {
+	opt := s.searchOptions(req)
+	slot := 0
 	if origin != nil {
-		sh := origin.Shard
-		resp.Shard = &sh
-		resp.Generation = origin.Snap.Gen
-		resp.Members = origin.Members(community)
+		slot = origin.Shard
 	}
-	writeJSON(w, http.StatusOK, resp)
+
+	compute := func() (*searchEntry, error) {
+		rngSeed := req.RNGSeed
+		if rngSeed == 0 {
+			rngSeed = s.streams.Add(1)
+		}
+		community, fitness, err := s.executeSearch(r.Context(), g, maxDeg, gen, slot, seed, c, rngSeed, opt)
+		if err != nil {
+			return nil, err
+		}
+		resp := SearchResponse{
+			Seed:       req.Seed,
+			C:          c,
+			Size:       len(community),
+			Fitness:    fitness,
+			Members:    community,
+			Generation: gen,
+		}
+		if origin != nil {
+			sh := origin.Shard
+			resp.Shard = &sh
+			resp.Members = origin.Members(community)
+		}
+		return &searchEntry{
+			resp:      resp,
+			local:     community,
+			localSeed: seed,
+			c:         c,
+			rngUsed:   rngSeed,
+			opt:       opt,
+		}, nil
+	}
+
+	if s.cache != nil && gen > 0 {
+		key := searchKey{
+			shard:   slot,
+			gen:     gen,
+			seed:    req.Seed,
+			c:       c,
+			prob:    opt.NeighborProb,
+			steps:   opt.MaxSteps,
+			maxSize: opt.MaxCommunitySize,
+			// The raw request value, not the resolved stream: an explicit
+			// seed keys a deterministic replay, and 0 groups every
+			// "server picks a stream" request for these parameters onto
+			// one shared result — the hot-seed case the cache serves.
+			rngSeed: req.RNGSeed,
+		}
+		ent, fresh, err := s.cache.getOrCompute(r.Context(), key, compute)
+		if err != nil {
+			writeSearchError(w, err)
+			return
+		}
+		// Entries are shared between requests and with the cache:
+		// annotate a value copy, never the entry itself.
+		resp := ent.resp
+		resp.Cached = !fresh
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	ent, err := compute()
+	if err != nil {
+		writeSearchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ent.resp)
 }
