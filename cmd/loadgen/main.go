@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -319,6 +320,14 @@ func run(args []string) error {
 	}
 	log.Printf("stampede: 1 search for %d identical requests (%d coalesced in-flight, %d as hits)",
 		stampedeBurst, report.StampedeCoalesced, served-report.StampedeCoalesced)
+	// On a multi-core host followers genuinely overlap the leader, so
+	// the in-flight coalescing window must be observable; a 1-CPU host
+	// serializes sub-ms searches before followers arrive, so there the
+	// counter stays report-only.
+	if runtime.GOMAXPROCS(0) > 1 && report.StampedeCoalesced == 0 {
+		return fmt.Errorf("stampede: coalesced counter stayed 0 on a %d-proc host; singleflight window never exercised",
+			runtime.GOMAXPROCS(0))
+	}
 
 	// Targeted sub-phase: carry-forward. Cache a seed, mutate a far
 	// community, and the entry must survive to the new generation with

@@ -18,11 +18,20 @@
 // with `-shard-addrs` fanning out to them over HTTP. See "Running
 // multi-process" in README.md.
 //
+// Each shard may additionally be served by read replicas: `-follow`
+// starts a process that mirrors a primary shard server over the same
+// snapshot resolution a router uses and re-serves it read-only, and the
+// router's `-replica-addrs` fans reads out across each shard's replica
+// set (least-loaded selection, generation-floor routing, hedged
+// requests) while writes keep going to the primaries only.
+//
 // Usage:
 //
 //	ocad -in graph.txt [-addr :8080] [-shards K] [flags]            # single process (K in-process shards)
 //	ocad -in graph.txt -shards K -serve-shard i [-addr :9301]       # shard-server role (one per shard)
+//	ocad -follow host:9301 [-addr :9401]                            # replica role (read-only mirror of one shard server)
 //	ocad -shard-addrs host:9301,host:9302,... [-addr :8080]         # router role over shard processes
+//	     [-replica-addrs host:9401,host:9402;host:9501]             #   (per-shard replica lists: ';' between shards, ',' within)
 //
 // Endpoints (router / single-process):
 //
@@ -104,6 +113,9 @@ func run(args []string) error {
 	shardAddrs := fs.String("shard-addrs", "", "router role: comma-separated shard-server addresses (addr i hosts shard i); serves the public API over them")
 	connectTimeout := fs.Duration("shard-connect-timeout", 60*time.Second, "router role: how long to wait for all shard servers to answer at startup")
 	pollInterval := fs.Duration("shard-poll-interval", 100*time.Millisecond, "router role: shard generation poll cadence")
+	follow := fs.String("follow", "", "replica role: mirror this primary shard server and re-serve it read-only behind the wire protocol")
+	replicaAddrs := fs.String("replica-addrs", "", "router role: per-shard replica lists, ';' between shards and ',' within (e.g. \"r0a,r0b;r1a\"); reads fan out across each shard's primary+replicas")
+	hedgeFraction := fs.Float64("hedge-fraction", 0.05, "router role with -replica-addrs: budget for hedged (backup) reads as a fraction of all reads (negative = disable hedging)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +149,18 @@ func run(args []string) error {
 	if *serveShard >= 0 && *shardAddrs != "" {
 		return errors.New("-serve-shard and -shard-addrs are different roles; pick one")
 	}
+	if *follow != "" {
+		if *serveShard >= 0 || *shardAddrs != "" {
+			return errors.New("-follow is its own role; it cannot combine with -serve-shard or -shard-addrs")
+		}
+		if *in != "" || *coverPath != "" || *lazy || *dataDir != "" {
+			return errors.New("-follow mirrors its primary; -in, -cover, -lazy and -data-dir are not supported")
+		}
+		return runReplica(*follow, *addr, *addrFile, *connectTimeout, *pollInterval, *shutdownTimeout)
+	}
+	if *replicaAddrs != "" && *shardAddrs == "" {
+		return errors.New("-replica-addrs requires the router role (-shard-addrs)")
+	}
 	if *dataDir != "" {
 		if *shardAddrs != "" {
 			return errors.New("-data-dir is not supported in the router role (durability lives in the shard servers)")
@@ -152,7 +176,11 @@ func run(args []string) error {
 		if *coverPath != "" || *lazy {
 			return errors.New("-cover and -lazy are not supported in the router role (shard servers own the covers)")
 		}
-		return runRouter(cfg, strings.Split(*shardAddrs, ","), *shards, *in,
+		replicas, err := parseReplicaAddrs(*replicaAddrs, len(strings.Split(*shardAddrs, ",")))
+		if err != nil {
+			return err
+		}
+		return runRouter(cfg, strings.Split(*shardAddrs, ","), replicas, *hedgeFraction, *shards, *in,
 			*addr, *addrFile, *connectTimeout, *pollInterval, *shutdownTimeout)
 	}
 	if *in == "" {
@@ -293,28 +321,83 @@ type persistFlags struct {
 	retain       int
 }
 
+// parseReplicaAddrs splits the -replica-addrs value into per-shard
+// replica lists: ';' separates shards, ',' separates replicas within a
+// shard, and empty entries mean "this shard has no replicas". Returns
+// nil for an empty flag (plain unreplicated topology).
+func parseReplicaAddrs(s string, k int) ([][]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	groups := strings.Split(s, ";")
+	if len(groups) != k {
+		return nil, fmt.Errorf("-replica-addrs names %d shard groups for %d -shard-addrs (separate shards with ';')", len(groups), k)
+	}
+	out := make([][]string, k)
+	for i, g := range groups {
+		for _, a := range strings.Split(g, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				out[i] = append(out[i], a)
+			}
+		}
+	}
+	return out, nil
+}
+
+// runReplica is the replica role: mirror one primary shard server over
+// the snapshot resolution and re-serve it read-only behind the same
+// wire surface, so routers can fan reads out to it.
+func runReplica(primary, addr, addrFile string, connectTimeout, pollInterval, shutdownTimeout time.Duration) error {
+	log.Printf("following primary %s...", primary)
+	start := time.Now()
+	rs, err := transport.NewReplica(context.Background(), primary, transport.ReplicaConfig{
+		Client:         transport.ClientConfig{PollInterval: pollInterval},
+		ConnectTimeout: connectTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("shard %d mirrored at generation %d in %v", rs.Shard(), rs.Gen(), time.Since(start).Round(time.Millisecond))
+	httpSrv := &http.Server{
+		Handler:           rs.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	// Drain order mirrors the shard server: advertise draining first so
+	// replica sets route new reads elsewhere, let in-flight reads finish,
+	// then stop the follow poller.
+	return serveUntilSignal(httpSrv, addr, addrFile, shutdownTimeout, rs.Close,
+		func() { rs.SetDraining(true) })
+}
+
 // runRouter is the multi-process router role: dial the shard servers,
 // assemble a remote-backed provider, and serve the public API over it.
 // The graph lives in the shard processes; -in is accepted but unused
 // beyond a consistency log line.
-func runRouter(cfg server.Config, addrs []string, shardsFlag int, in, addr, addrFile string, connectTimeout, pollInterval time.Duration, shutdownTimeout time.Duration) error {
+func runRouter(cfg server.Config, addrs []string, replicas [][]string, hedgeFraction float64, shardsFlag int, in, addr, addrFile string, connectTimeout, pollInterval time.Duration, shutdownTimeout time.Duration) error {
 	if shardsFlag > 1 && shardsFlag != len(addrs) {
 		return fmt.Errorf("-shards %d disagrees with %d -shard-addrs", shardsFlag, len(addrs))
 	}
 	if in != "" {
 		log.Printf("router role: -in %s ignored (shard servers own the graph)", in)
 	}
-	log.Printf("dialing %d shard servers...", len(addrs))
+	nrep := 0
+	for _, g := range replicas {
+		nrep += len(g)
+	}
+	log.Printf("dialing %d shard servers (+%d replicas)...", len(addrs), nrep)
 	start := time.Now()
 	rt, err := transport.Dial(context.Background(), addrs, transport.Options{
 		Client:         transport.ClientConfig{PollInterval: pollInterval},
 		ConnectTimeout: connectTimeout,
 		MaxPending:     cfg.MaxPendingMutations,
+		Replicas:       replicas,
+		Replication:    shard.ReplicaSetConfig{HedgeFraction: hedgeFraction},
 	})
 	if err != nil {
 		return err
 	}
-	log.Printf("%d shard mirrors ready in %v", len(addrs), time.Since(start).Round(time.Millisecond))
+	log.Printf("%d shard mirrors ready in %v", len(addrs)+nrep, time.Since(start).Round(time.Millisecond))
 	srv, err := server.NewWithProvider(rt, cfg)
 	if err != nil {
 		rt.Close()

@@ -1,0 +1,555 @@
+// Command replicabench gates the shard-replication layer: it boots a
+// real K-shard wire-protocol deployment (shard servers, `-follow`-style
+// replica mirrors, a replicated dial) on this machine and measures the
+// replica set's read path under a mixed read/write load.
+//
+// Replica capacity is modeled explicitly so the gate is meaningful on
+// any host, including single-CPU CI runners: every server's lookup
+// endpoint passes through a concurrency gate of S slots, each holding a
+// slot for a fixed service time. Read throughput is then slot-bound —
+// K×1 offers K·S slots, K×(1+R) offers K·S·(1+R) — and the replicated
+// deployment must convert the extra slots into throughput without
+// giving up tail latency.
+//
+// Three legs:
+//
+//  1. Throughput: the same closed-loop mixed load (batch lookups plus a
+//     mutating writer with flush barriers) against K×1 and K×3; gate:
+//     replicated throughput ≥ 2× the single-member baseline at no worse
+//     p99.
+//  2. Hedging: lookups against one shard's replica set while every
+//     member stalls a small fraction of requests by ~150 ms (the
+//     tail-at-scale scenario); gate: the hedged p99 beats the
+//     hedging-disabled p99 by ≥ 3×.
+//  3. Monotonicity: throughout both legs every reader tracks the
+//     generation of each reply and every flush is followed by an
+//     immediate read; gate: zero generation regressions and zero
+//     reads below a flushed floor — always enforced, even with -short.
+//
+// With -short it runs a scaled-down smoke version (CI): the paths are
+// exercised and the monotonicity/hedge-fired gates enforced, but
+// latency ratios are reported without being judged.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lfr"
+	"repro/internal/shard"
+	"repro/internal/spectral"
+	"repro/internal/transport"
+)
+
+// capacityGate models a replica's finite serving capacity: lookups
+// acquire one of S slots and hold it for the service time; everything
+// else (health polls, snapshot sync) passes untouched so replication
+// lag stays realistic. With stall injection armed, a request first
+// sleeps the stall duration with probability stallP *outside* the
+// slot — a request-level scheduling/network hiccup, the tail hedging
+// can rescue. (A stall that held a serving slot would instead model
+// lost capacity: 3% × 150ms is a full slot-second per second, the
+// group saturates, and every request — hedged or not — queues.)
+type capacityGate struct {
+	h      http.Handler
+	slots  chan struct{}
+	hold   time.Duration
+	stall  atomic.Bool
+	stallP float64
+	stallD time.Duration
+}
+
+func (g *capacityGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == transport.PathLookup {
+		if g.stall.Load() && rand.Float64() < g.stallP {
+			time.Sleep(g.stallD)
+		}
+		g.slots <- struct{}{}
+		defer func() { <-g.slots }()
+		time.Sleep(g.hold)
+	}
+	g.h.ServeHTTP(w, r)
+}
+
+// testbed is the full process-shaped deployment: K primary shard
+// servers and R replica mirrors per shard, every lookup surface behind
+// its own capacity gate.
+type testbed struct {
+	n         int
+	k         int
+	primaries []string
+	replicas  [][]string
+	gates     [][]*capacityGate // [shard][member], member 0 = primary
+	closers   []func()
+}
+
+func (tb *testbed) close() {
+	for i := len(tb.closers) - 1; i >= 0; i-- {
+		tb.closers[i]()
+	}
+}
+
+// setStall arms/disarms stall injection on every member of one shard.
+func (tb *testbed) setStall(s int, on bool) {
+	for _, g := range tb.gates[s] {
+		g.stall.Store(on)
+	}
+}
+
+func buildTestbed(bench *lfr.Benchmark, k, replicasPer, slots int, hold time.Duration, c float64, seed int64) (*testbed, error) {
+	g := bench.Graph
+	pieces, err := shard.Split(g, k)
+	if err != nil {
+		return nil, err
+	}
+	tb := &testbed{n: g.N(), k: k}
+	newGate := func(h http.Handler) *capacityGate {
+		return &capacityGate{
+			h: h, slots: make(chan struct{}, slots), hold: hold,
+			stallP: 0.03, stallD: 150 * time.Millisecond,
+		}
+	}
+	clientCfg := transport.ClientConfig{
+		RequestTimeout:  2 * time.Second,
+		SnapshotTimeout: 5 * time.Second,
+		PollInterval:    10 * time.Millisecond,
+	}
+	for s := 0; s < k; s++ {
+		w, err := shard.NewWorker(pieces[s], k, shard.Config{
+			OCA:                  core.Options{Seed: seed, C: c},
+			Debounce:             time.Millisecond,
+			IncrementalThreshold: 0.5,
+		}, g.N())
+		if err != nil {
+			tb.close()
+			return nil, fmt.Errorf("shard %d worker: %w", s, err)
+		}
+		tb.closers = append(tb.closers, w.Close)
+		ss := transport.NewShardServer(w, transport.ServerConfig{GlobalNodes: g.N(), MaxNodes: g.N()})
+		pg := newGate(ss.Handler())
+		ts := httptest.NewServer(pg)
+		tb.closers = append(tb.closers, ts.Close)
+		tb.primaries = append(tb.primaries, ts.URL)
+		tb.gates = append(tb.gates, []*capacityGate{pg})
+
+		var reps []string
+		for r := 0; r < replicasPer; r++ {
+			rs, err := transport.NewReplica(context.Background(), ts.URL, transport.ReplicaConfig{
+				Client:         clientCfg,
+				ConnectTimeout: 60 * time.Second,
+			})
+			if err != nil {
+				tb.close()
+				return nil, fmt.Errorf("shard %d replica %d: %w", s, r, err)
+			}
+			tb.closers = append(tb.closers, rs.Close)
+			rg := newGate(rs.Handler())
+			rts := httptest.NewServer(rg)
+			tb.closers = append(tb.closers, rts.Close)
+			reps = append(reps, rts.URL)
+			tb.gates[s] = append(tb.gates[s], rg)
+		}
+		tb.replicas = append(tb.replicas, reps)
+	}
+	return tb, nil
+}
+
+// dialGroups dials the testbed with the given per-shard replica lists
+// and hedge budget, returning the replica groups, a router for writes,
+// and a closer.
+func dialGroups(tb *testbed, replicas [][]string, hedgeFraction float64) ([]*transport.ReplicaGroup, *shard.Router, func(), error) {
+	opt := transport.Options{
+		Client: transport.ClientConfig{
+			RequestTimeout:  2 * time.Second,
+			SnapshotTimeout: 5 * time.Second,
+			PollInterval:    10 * time.Millisecond,
+		},
+		ConnectTimeout: 60 * time.Second,
+		Replicas:       replicas,
+		Replication:    shard.ReplicaSetConfig{HedgeFraction: hedgeFraction},
+	}
+	backends, info, err := transport.DialBackends(context.Background(), tb.primaries, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	groups := make([]*transport.ReplicaGroup, len(backends))
+	for i, b := range backends {
+		grp, ok := b.(*transport.ReplicaGroup)
+		if !ok {
+			for _, bb := range backends {
+				bb.Close()
+			}
+			return nil, nil, nil, fmt.Errorf("backend %d is %T, want ReplicaGroup", i, b)
+		}
+		groups[i] = grp
+	}
+	rt, err := shard.NewRouterBackends(backends, info.CurN, info.MaxNodes, 0)
+	if err != nil {
+		for _, b := range backends {
+			b.Close()
+		}
+		return nil, nil, nil, err
+	}
+	return groups, rt, rt.Close, nil
+}
+
+// monoCounters aggregate leg 3 across every load run.
+type monoCounters struct {
+	reads           atomic.Int64
+	regressions     atomic.Int64
+	floorChecks     atomic.Int64
+	floorViolations atomic.Int64
+	readErrors      atomic.Int64
+}
+
+type loadStats struct {
+	Ops     int     `json:"ops"`
+	QPS     float64 `json:"qps"`
+	P50ms   float64 `json:"p50_ms"`
+	P99ms   float64 `json:"p99_ms"`
+	Errors  int64   `json:"errors"`
+	Hedges  uint64  `json:"hedges"`
+	HedgeW  uint64  `json:"hedge_wins"`
+	Members int     `json:"members_per_shard"`
+}
+
+// runLoad drives a closed loop of readers (and optionally one writer
+// with flush barriers) over the groups for the duration, tracking
+// generation monotonicity per reader.
+func runLoad(groups []*transport.ReplicaGroup, rt *shard.Router, readers int, dur time.Duration, writer bool, n int, mono *monoCounters) loadStats {
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		latMu    sync.Mutex
+		allLats  []time.Duration
+		totalOps atomic.Int64
+	)
+	startHedges, startWins := uint64(0), uint64(0)
+	for _, g := range groups {
+		st := g.ReplicaStats()
+		startHedges += st.Hedges
+		startWins += st.HedgeWins
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			lastGen := make([]uint64, len(groups))
+			lats := make([]time.Duration, 0, 4096)
+			for {
+				select {
+				case <-stop:
+					latMu.Lock()
+					allLats = append(allLats, lats...)
+					latMu.Unlock()
+					return
+				default:
+				}
+				gi := rng.Intn(len(groups))
+				ids := []int32{int32(rng.Intn(n)), int32(rng.Intn(n)), int32(rng.Intn(n)), int32(rng.Intn(n))}
+				t0 := time.Now()
+				resp, _, err := groups[gi].LookupAny(context.Background(), ids, false)
+				if err != nil {
+					mono.readErrors.Add(1)
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+				totalOps.Add(1)
+				mono.reads.Add(1)
+				if resp.Generation < lastGen[gi] {
+					mono.regressions.Add(1)
+				}
+				if resp.Generation > lastGen[gi] {
+					lastGen[gi] = resp.Generation
+				}
+			}
+		}(int64(1000 + r))
+	}
+	if writer && rt != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(7))
+			tick := time.NewTicker(40 * time.Millisecond)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				if _, _, _, err := rt.Enqueue([][2]int32{{u, v}}, nil); err != nil {
+					continue
+				}
+				if i%4 != 3 {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				vec, err := rt.Flush(ctx, nil)
+				cancel()
+				if err != nil {
+					continue
+				}
+				// Flush-floor assertion: an immediate read through each
+				// group must answer at or past its flushed generation.
+				for gi, g := range groups {
+					resp, _, err := g.LookupAny(context.Background(), []int32{int32(rng.Intn(n))}, false)
+					mono.floorChecks.Add(1)
+					if err != nil {
+						mono.readErrors.Add(1)
+						continue
+					}
+					if resp.Generation < vec[gi].Gen {
+						mono.floorViolations.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+
+	sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
+	st := loadStats{
+		Ops:     len(allLats),
+		QPS:     float64(totalOps.Load()) / dur.Seconds(),
+		Errors:  mono.readErrors.Load(),
+		Members: 1,
+	}
+	if len(allLats) > 0 {
+		st.P50ms = float64(allLats[len(allLats)/2].Microseconds()) / 1000
+		st.P99ms = float64(allLats[len(allLats)*99/100].Microseconds()) / 1000
+	}
+	for _, g := range groups {
+		s := g.ReplicaStats()
+		st.Hedges += s.Hedges
+		st.HedgeW += s.HedgeWins
+		st.Members = len(s.Members)
+	}
+	st.Hedges -= startHedges
+	st.HedgeW -= startWins
+	return st
+}
+
+type benchReport struct {
+	Nodes       int     `json:"nodes"`
+	Edges       int64   `json:"edges"`
+	Shards      int     `json:"shards"`
+	ReplicasPer int     `json:"replicas_per_shard"`
+	Slots       int     `json:"slots_per_member"`
+	HoldMS      float64 `json:"service_time_ms"`
+	Readers     int     `json:"readers"`
+	Short       bool    `json:"short"`
+
+	Baseline   loadStats `json:"baseline_kx1"`
+	Replicated loadStats `json:"replicated_kx3"`
+	Speedup    float64   `json:"read_speedup"`
+
+	HedgeOff       loadStats `json:"stalled_hedge_off"`
+	HedgeOn        loadStats `json:"stalled_hedge_on"`
+	HedgeP99Ratio  float64   `json:"hedge_p99_improvement"`
+	StallFraction  float64   `json:"stall_fraction"`
+	StallMS        float64   `json:"stall_ms"`
+	HedgeDelayMaxS string    `json:"hedge_delay_max"`
+
+	MonoReads           int64 `json:"monotone_reads"`
+	MonoRegressions     int64 `json:"generation_regressions"`
+	FloorChecks         int64 `json:"flush_floor_checks"`
+	FloorViolations     int64 `json:"flush_floor_violations"`
+	ReadErrors          int64 `json:"read_errors"`
+	GatesEnforced       bool  `json:"perf_gates_enforced"`
+	GeneratedUnixMillis int64 `json:"generated_unix_ms"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "replicabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("replicabench", flag.ContinueOnError)
+	n := fs.Int("n", 1200, "LFR graph size")
+	out := fs.String("out", "BENCH_replica.json", "output report path")
+	seed := fs.Int64("seed", 42, "randomness seed (graph + OCA)")
+	readers := fs.Int("readers", 16, "closed-loop reader goroutines")
+	slots := fs.Int("slots", 2, "lookup concurrency slots per member (capacity model)")
+	hold := fs.Duration("hold", 4*time.Millisecond, "modeled lookup service time per slot")
+	legDur := fs.Duration("dur", 3*time.Second, "duration of each load leg")
+	short := fs.Bool("short", false, "CI smoke mode: small graph, short legs; monotonicity and hedge-fired gates enforced, latency ratios reported but not judged")
+	minSpeedup := fs.Float64("min-speedup", 2, "fail unless replicated read throughput beats the K×1 baseline by this factor (ignored with -short)")
+	minHedge := fs.Float64("min-hedge-improvement", 3, "fail unless hedging improves the stalled p99 by this factor (ignored with -short)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *short {
+		*n = 400
+		*legDur = 1200 * time.Millisecond
+	}
+	const k, replicasPer = 2, 2
+
+	log.Printf("generating LFR graph n=%d", *n)
+	bench, err := lfr.Generate(lfr.Params{
+		N: *n, AvgDeg: 12, MaxDeg: 30, Mu: 0.02,
+		MinCom: *n / 20, MaxCom: *n / 8, Seed: *seed,
+	})
+	if err != nil {
+		return fmt.Errorf("lfr: %w", err)
+	}
+	c, err := spectral.C(bench.Graph, spectral.Options{})
+	if err != nil {
+		return fmt.Errorf("spectral.C: %w", err)
+	}
+	log.Printf("booting %d shards × (1 primary + %d replicas), %d slots × %v per member", k, replicasPer, *slots, *hold)
+	tb, err := buildTestbed(bench, k, replicasPer, *slots, *hold, c, *seed)
+	if err != nil {
+		return err
+	}
+	defer tb.close()
+
+	mono := &monoCounters{}
+	report := benchReport{
+		Nodes: bench.Graph.N(), Edges: bench.Graph.M(),
+		Shards: k, ReplicasPer: replicasPer,
+		Slots: *slots, HoldMS: float64(hold.Microseconds()) / 1000,
+		Readers: *readers, Short: *short,
+		StallFraction: 0.03, StallMS: 150,
+		HedgeDelayMaxS:      "25ms",
+		GatesEnforced:       !*short,
+		GeneratedUnixMillis: time.Now().UnixMilli(),
+	}
+
+	// Leg 1a: K×1 baseline — same code path (single-member groups), so
+	// the comparison isolates the extra members, not the routing layer.
+	emptyLists := make([][]string, k)
+	for i := range emptyLists {
+		emptyLists[i] = nil
+	}
+	groups, rt, closeFn, err := dialGroups(tb, emptyLists, 0.05)
+	if err != nil {
+		return fmt.Errorf("dial baseline: %w", err)
+	}
+	log.Printf("leg 1a: K×1 mixed load for %v", *legDur)
+	report.Baseline = runLoad(groups, rt, *readers, *legDur, true, tb.n, mono)
+	closeFn()
+
+	// Leg 1b: K×(1+R) replicated under the identical load.
+	groups, rt, closeFn, err = dialGroups(tb, tb.replicas, 0.05)
+	if err != nil {
+		return fmt.Errorf("dial replicated: %w", err)
+	}
+	log.Printf("leg 1b: K×%d mixed load for %v", 1+replicasPer, *legDur)
+	report.Replicated = runLoad(groups, rt, *readers, *legDur, true, tb.n, mono)
+	closeFn()
+	if report.Baseline.QPS > 0 {
+		report.Speedup = report.Replicated.QPS / report.Baseline.QPS
+	}
+
+	// Leg 2: tail-at-scale stalls on shard 0's members; hedging off vs
+	// on, reads restricted to the stalled shard.
+	tb.setStall(0, true)
+	groups, rt, closeFn, err = dialGroups(tb, tb.replicas, -1)
+	if err != nil {
+		return fmt.Errorf("dial hedge-off: %w", err)
+	}
+	log.Printf("leg 2a: stalled members, hedging disabled, %v", *legDur)
+	report.HedgeOff = runLoad(groups[:1], rt, *readers/2, *legDur, false, tb.n, mono)
+	closeFn()
+
+	// A stalled request holds a slot for the full stall, so each stall
+	// convoys several queued requests past the hedge delay; the budget
+	// must cover the convoy, not just the 3% stall rate, or real stalls
+	// lose hedges to their own victims.
+	groups, rt, closeFn, err = dialGroups(tb, tb.replicas, 0.30)
+	if err != nil {
+		return fmt.Errorf("dial hedge-on: %w", err)
+	}
+	log.Printf("leg 2b: stalled members, hedging on, %v", *legDur)
+	report.HedgeOn = runLoad(groups[:1], rt, *readers/2, *legDur, false, tb.n, mono)
+	closeFn()
+	tb.setStall(0, false)
+	if report.HedgeOn.P99ms > 0 {
+		report.HedgeP99Ratio = report.HedgeOff.P99ms / report.HedgeOn.P99ms
+	}
+
+	report.MonoReads = mono.reads.Load()
+	report.MonoRegressions = mono.regressions.Load()
+	report.FloorChecks = mono.floorChecks.Load()
+	report.FloorViolations = mono.floorViolations.Load()
+	report.ReadErrors = mono.readErrors.Load()
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("report written to %s", *out)
+	log.Printf("throughput: K×1 %.0f qps (p99 %.1fms) → K×%d %.0f qps (p99 %.1fms), %.2fx",
+		report.Baseline.QPS, report.Baseline.P99ms, 1+replicasPer,
+		report.Replicated.QPS, report.Replicated.P99ms, report.Speedup)
+	log.Printf("hedging: stalled p99 %.1fms → %.1fms (%.2fx, %d hedges / %d wins)",
+		report.HedgeOff.P99ms, report.HedgeOn.P99ms, report.HedgeP99Ratio,
+		report.HedgeOn.Hedges, report.HedgeOn.HedgeW)
+	log.Printf("monotonicity: %d reads, %d regressions; %d floor checks, %d violations; %d read errors",
+		report.MonoReads, report.MonoRegressions, report.FloorChecks, report.FloorViolations, report.ReadErrors)
+
+	// Gates. Monotonicity and liveness always hold; the latency/ratio
+	// gates are judged only in full mode.
+	failed := false
+	if report.MonoRegressions != 0 {
+		log.Printf("GATE FAIL: %d generation regressions (want 0)", report.MonoRegressions)
+		failed = true
+	}
+	if report.FloorViolations != 0 {
+		log.Printf("GATE FAIL: %d flush-floor violations (want 0)", report.FloorViolations)
+		failed = true
+	}
+	if report.ReadErrors != 0 {
+		log.Printf("GATE FAIL: %d read errors (want 0)", report.ReadErrors)
+		failed = true
+	}
+	if report.HedgeOn.Hedges == 0 {
+		log.Printf("GATE FAIL: hedging leg fired no hedges")
+		failed = true
+	}
+	if !*short {
+		if report.Speedup < *minSpeedup {
+			log.Printf("GATE FAIL: replicated read speedup %.2fx < %.1fx", report.Speedup, *minSpeedup)
+			failed = true
+		}
+		if report.Replicated.P99ms > report.Baseline.P99ms*1.1 {
+			log.Printf("GATE FAIL: replicated p99 %.1fms worse than baseline %.1fms", report.Replicated.P99ms, report.Baseline.P99ms)
+			failed = true
+		}
+		if report.HedgeP99Ratio < *minHedge {
+			log.Printf("GATE FAIL: hedge p99 improvement %.2fx < %.1fx", report.HedgeP99Ratio, *minHedge)
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("gates failed (see log)")
+	}
+	log.Printf("all gates passed")
+	return nil
+}

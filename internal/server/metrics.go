@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/persist"
+	"repro/internal/shard"
 )
 
 // latencyBoundsMillis are the histogram bucket upper bounds; one
@@ -151,6 +152,10 @@ type metricsResponse struct {
 	// caching is disabled): occupancy plus the hit / miss / coalesce /
 	// carry-forward counters.
 	SearchCache *searchCacheStats `json:"search_cache,omitempty"`
+	// Replicas is the per-shard replica-set state (replicated routers
+	// only): read/hedge/failover counters plus every member's freshness
+	// lag and live load. Shards without replica sets are omitted.
+	Replicas []*shard.ReplicaSetStats `json:"replicas,omitempty"`
 }
 
 // handleDebugMetrics serves the metrics registry — JSON by default, the
@@ -169,11 +174,35 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.cache.stats()
 		cst = &st
 	}
+	reps := s.replicaStats()
 	if r.URL.Query().Get("format") == "prometheus" {
-		s.metrics.writePrometheus(w, refresh, pst, cst)
+		s.metrics.writePrometheus(w, refresh, pst, cst, reps)
 		return
 	}
-	s.metrics.handleDebug(w, refresh, pst, cst)
+	s.metrics.handleDebug(w, refresh, pst, cst, reps)
+}
+
+// replicaStats asks the provider for per-shard replica-set state; nil
+// when the provider has no replicated backends (single path, plain
+// sharded path) or no shard is replicated.
+func (s *Server) replicaStats() []*shard.ReplicaSetStats {
+	rp, ok := s.sp.(interface {
+		ReplicaStats() []*shard.ReplicaSetStats
+	})
+	if !ok {
+		return nil
+	}
+	all := rp.ReplicaStats()
+	out := all[:0]
+	for _, st := range all {
+		if st != nil {
+			out = append(out, st)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // refreshMetrics assembles the per-shard gauge vector from one status
@@ -207,13 +236,14 @@ func (s *Server) refreshMetrics() []refreshMetrics {
 	return out
 }
 
-func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats) {
+func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats) {
 	resp := metricsResponse{
 		BoundsMillis: latencyBoundsMillis,
 		Routes:       make(map[string]routeMetrics, len(m.names)),
 		Refresh:      refresh,
 		Persist:      pst,
 		SearchCache:  cst,
+		Replicas:     reps,
 	}
 	for _, name := range m.names {
 		rs := m.stats[name]
@@ -242,7 +272,7 @@ func promEscape(v string) string { return promReplacer.Replace(v) }
 // exposition format: per-shard refresh gauges plus per-route request
 // counters. Everything is assembled from the same atomics as the JSON
 // body — no extra bookkeeping on the hot path.
-func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats) {
+func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats) {
 	var b strings.Builder
 	b.WriteString("# HELP ocad_shard_queue_depth Mutations queued on the shard, not yet reflected in any snapshot.\n")
 	b.WriteString("# TYPE ocad_shard_queue_depth gauge\n")
@@ -321,6 +351,34 @@ func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMe
 		b.WriteString("# HELP ocad_search_cache_stale_pruned_total Superseded-generation entries pruned at publish.\n")
 		b.WriteString("# TYPE ocad_search_cache_stale_pruned_total counter\n")
 		fmt.Fprintf(&b, "ocad_search_cache_stale_pruned_total %d\n", cst.StalePruned)
+	}
+	if len(reps) > 0 {
+		b.WriteString("# HELP ocad_replica_lag_generations Generations a replica-set member trails its primary by.\n")
+		b.WriteString("# TYPE ocad_replica_lag_generations gauge\n")
+		for _, st := range reps {
+			for _, mem := range st.Members {
+				fmt.Fprintf(&b, "ocad_replica_lag_generations{shard=\"%d\",replica=\"%s\"} %d\n",
+					st.Shard, promEscape(mem.Addr), mem.Lag)
+			}
+		}
+		b.WriteString("# HELP ocad_replica_inflight Reads in flight per replica-set member.\n")
+		b.WriteString("# TYPE ocad_replica_inflight gauge\n")
+		for _, st := range reps {
+			for _, mem := range st.Members {
+				fmt.Fprintf(&b, "ocad_replica_inflight{shard=\"%d\",replica=\"%s\"} %d\n",
+					st.Shard, promEscape(mem.Addr), mem.InFlight)
+			}
+		}
+		b.WriteString("# HELP ocad_replica_hedges_total Hedged (backup) reads issued, per shard.\n")
+		b.WriteString("# TYPE ocad_replica_hedges_total counter\n")
+		for _, st := range reps {
+			fmt.Fprintf(&b, "ocad_replica_hedges_total{shard=\"%d\"} %d\n", st.Shard, st.Hedges)
+		}
+		b.WriteString("# HELP ocad_replica_hedge_wins_total Hedged reads whose backup answered first, per shard.\n")
+		b.WriteString("# TYPE ocad_replica_hedge_wins_total counter\n")
+		for _, st := range reps {
+			fmt.Fprintf(&b, "ocad_replica_hedge_wins_total{shard=\"%d\"} %d\n", st.Shard, st.HedgeWins)
+		}
 	}
 	b.WriteString("# HELP ocad_http_requests_total Requests served, by route.\n")
 	b.WriteString("# TYPE ocad_http_requests_total counter\n")

@@ -774,6 +774,9 @@ type healthShard struct {
 	LastRebuildMillis int64   `json:"last_rebuild_millis"`
 	LastRefreshError  string  `json:"last_refresh_error,omitempty"`
 	Error             string  `json:"error,omitempty"`
+	// Replicas (replicated routers only) is the shard's replica-set
+	// member vector: per-member generation, lag, load and health.
+	Replicas []shard.ReplicaStat `json:"replicas,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -827,6 +830,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 	views, _ := s.sp.Views()
 	statuses := s.sp.Statuses()
+	var reps []*shard.ReplicaSetStats
+	if rp, ok := s.sp.(interface {
+		ReplicaStats() []*shard.ReplicaSetStats
+	}); ok {
+		reps = rp.ReplicaStats()
+	}
 	resp := healthzResponse{
 		Status:     "ok",
 		CoverReady: true,
@@ -843,7 +852,11 @@ func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 		}
 		snap, meta := v.Snap, v.Meta()
 		if snap == nil || meta == nil {
-			resp.Shards[i] = healthShard{Shard: v.Shard, Error: errString(v.Err)}
+			hs := healthShard{Shard: v.Shard, Error: errString(v.Err)}
+			if i < len(reps) && reps[i] != nil {
+				hs.Replicas = reps[i].Members
+			}
+			resp.Shards[i] = hs
 			if resp.LastRefreshError == "" && v.Err != nil {
 				resp.LastRefreshError = fmt.Sprintf("shard %d: %v", v.Shard, v.Err)
 			}
@@ -862,6 +875,9 @@ func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 			LastRebuildMillis: snap.BuildTime.Milliseconds(),
 			LastRefreshError:  st.LastErr,
 			Error:             errString(v.Err),
+		}
+		if i < len(reps) && reps[i] != nil {
+			hs.Replicas = reps[i].Members
 		}
 		resp.Shards[i] = hs
 		resp.Nodes += hs.Nodes

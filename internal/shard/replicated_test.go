@@ -1,0 +1,464 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/refresh"
+)
+
+// fakeBackend is a scriptable Backend for replica-set routing tests:
+// every signal the selection logic consumes (generation, view error,
+// status error, queue depth, draining) is settable.
+type fakeBackend struct {
+	shardID int
+
+	mu        sync.Mutex
+	gen       uint64
+	viewErr   error
+	statusErr string
+	pending   int
+	draining  bool
+	flushGen  uint64
+	flushErr  error
+	applies   int
+	flushes   int
+	closed    bool
+}
+
+func (f *fakeBackend) set(fn func(*fakeBackend)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f)
+}
+
+func (f *fakeBackend) Lookup(g int32) (int32, bool) { return g, true }
+func (f *fakeBackend) EnsureLocal(g int32) int32    { return g }
+
+func (f *fakeBackend) Apply(add, remove [][2]int32) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.applies++
+	return nil
+}
+
+func (f *fakeBackend) View() View {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return RemoteView(f.shardID, &refresh.Snapshot{Gen: f.gen}, nil, f.viewErr)
+}
+
+func (f *fakeBackend) Flush(ctx context.Context) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flushes++
+	if f.flushErr != nil {
+		return 0, f.flushErr
+	}
+	if f.flushGen > f.gen {
+		f.gen = f.flushGen
+	}
+	return f.gen, nil
+}
+
+func (f *fakeBackend) Status() WorkerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return WorkerStatus{
+		Shard:  f.shardID,
+		Status: refresh.Status{Gen: f.gen, Pending: f.pending},
+		Err:    f.statusErr,
+	}
+}
+
+func (f *fakeBackend) Draining() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.draining
+}
+
+func (f *fakeBackend) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+}
+
+func newTestSet(t *testing.T, gens []uint64, cfg ReplicaSetConfig) (*ReplicaSet, []*fakeBackend) {
+	t.Helper()
+	fakes := make([]*fakeBackend, len(gens))
+	for i, g := range gens {
+		fakes[i] = &fakeBackend{shardID: 0, gen: g}
+	}
+	reps := make([]Backend, 0, len(fakes)-1)
+	for _, f := range fakes[1:] {
+		reps = append(reps, f)
+	}
+	rs := NewReplicaSet(fakes[0], reps, cfg)
+	t.Cleanup(rs.Close)
+	return rs, fakes
+}
+
+// instantRead is a do callback that answers immediately from the
+// member's scripted generation.
+func instantRead(_ context.Context, m Backend, _ int) (uint64, error) {
+	v := m.View()
+	if v.Err != nil {
+		return 0, v.Err
+	}
+	return v.Snap.Gen, nil
+}
+
+// TestReplicaSetRouting is the table-driven failure-mode matrix for
+// read selection: which member a read lands on (or that it fails) for
+// each combination of lag, floor, load, errors and draining.
+func TestReplicaSetRouting(t *testing.T) {
+	cases := []struct {
+		name string
+		gens []uint64 // member generations; [0] is the primary
+		prep func(rs *ReplicaSet, fakes []*fakeBackend)
+
+		wantMember int
+		wantErr    string // substring; empty means success
+	}{
+		{
+			name: "least loaded replica wins",
+			gens: []uint64{5, 5, 5},
+			prep: func(rs *ReplicaSet, _ []*fakeBackend) {
+				rs.load[0].inflight.Store(4)
+				rs.load[1].inflight.Store(1)
+				// member 2 idle
+			},
+			wantMember: 2,
+		},
+		{
+			name:       "primary wins ties",
+			gens:       []uint64{5, 5},
+			wantMember: 0,
+		},
+		{
+			name: "lagging replica excluded by flush floor",
+			gens: []uint64{5, 3},
+			prep: func(rs *ReplicaSet, fakes []*fakeBackend) {
+				fakes[0].set(func(f *fakeBackend) { f.flushGen = 5 })
+				if _, err := rs.Flush(context.Background()); err != nil {
+					panic(err)
+				}
+				// The lagging replica would otherwise win on load.
+				rs.load[0].inflight.Store(10)
+			},
+			wantMember: 0,
+		},
+		{
+			name: "caught-up replica rejoins selection",
+			gens: []uint64{5, 5},
+			prep: func(rs *ReplicaSet, fakes []*fakeBackend) {
+				fakes[0].set(func(f *fakeBackend) { f.flushGen = 5 })
+				if _, err := rs.Flush(context.Background()); err != nil {
+					panic(err)
+				}
+				rs.load[0].inflight.Store(10)
+			},
+			wantMember: 1,
+		},
+		{
+			name: "erroring replica excluded",
+			gens: []uint64{5, 5},
+			prep: func(rs *ReplicaSet, fakes []*fakeBackend) {
+				fakes[1].set(func(f *fakeBackend) { f.viewErr = errors.New("mirror sync failed") })
+				rs.load[0].inflight.Store(10)
+			},
+			wantMember: 0,
+		},
+		{
+			name: "draining replica excluded",
+			gens: []uint64{5, 5},
+			prep: func(rs *ReplicaSet, fakes []*fakeBackend) {
+				fakes[1].set(func(f *fakeBackend) { f.draining = true })
+				rs.load[0].inflight.Store(10)
+			},
+			wantMember: 0,
+		},
+		{
+			name: "dead primary leaves replica serving reads",
+			gens: []uint64{5, 4},
+			prep: func(_ *ReplicaSet, fakes []*fakeBackend) {
+				fakes[0].set(func(f *fakeBackend) {
+					f.viewErr = errors.New("connection refused")
+					f.statusErr = "connection refused"
+				})
+			},
+			wantMember: 1,
+		},
+		{
+			name: "no member at floor fails explicitly",
+			gens: []uint64{5, 4},
+			prep: func(rs *ReplicaSet, fakes []*fakeBackend) {
+				fakes[0].set(func(f *fakeBackend) { f.flushGen = 7 })
+				if _, err := rs.Flush(context.Background()); err != nil {
+					panic(err)
+				}
+				// Primary regresses below the flushed floor (e.g. dies and
+				// its stale mirror is all that's left).
+				fakes[0].set(func(f *fakeBackend) { f.gen = 5; f.viewErr = errors.New("down") })
+			},
+			// The surviving member is tried optimistically (its server could
+			// be ahead of its mirror) but its reply is below the floor and is
+			// rejected — no silent regression, an explicit unavailability.
+			wantErr: "behind floor 7",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rs, fakes := newTestSet(t, tc.gens, ReplicaSetConfig{HedgeFraction: -1})
+			if tc.prep != nil {
+				tc.prep(rs, fakes)
+			}
+			rr, err := rs.Read(context.Background(), instantRead)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("Read err = %v, want substring %q", err, tc.wantErr)
+				}
+				if !errors.Is(err, ErrUnavailable) {
+					t.Fatalf("Read err = %v, want ErrUnavailable", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if rr.Member != tc.wantMember {
+				t.Fatalf("Read served by member %d, want %d", rr.Member, tc.wantMember)
+			}
+		})
+	}
+}
+
+func TestReplicaSetMonotoneReads(t *testing.T) {
+	rs, fakes := newTestSet(t, []uint64{7, 5}, ReplicaSetConfig{HedgeFraction: -1})
+
+	// First read serves the freshest member and ratchets the floor.
+	if rr, err := rs.Read(context.Background(), instantRead); err != nil || rr.Member != 0 {
+		t.Fatalf("Read = member %d, %v; want primary", rr.Member, err)
+	}
+	if got := rs.floor(); got != 7 {
+		t.Fatalf("floor after serving gen 7 = %d, want 7", got)
+	}
+
+	// The gen-7 member dies; the surviving gen-5 member must NOT serve —
+	// a reply may never go backwards for this router's clients.
+	fakes[0].set(func(f *fakeBackend) { f.viewErr = errors.New("down") })
+	if _, err := rs.Read(context.Background(), instantRead); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Read after regression = %v, want ErrUnavailable", err)
+	}
+	if v := rs.View(); v.Err == nil {
+		t.Fatalf("View below floor must carry an error, got generation %d with nil error", v.Snap.Gen)
+	}
+
+	// A reply claiming a generation below the floor (raced snapshot
+	// swap) is rejected, not returned.
+	fakes[0].set(func(f *fakeBackend) { f.viewErr = nil })
+	_, err := rs.Read(context.Background(), func(_ context.Context, _ Backend, _ int) (uint64, error) {
+		return 3, nil // below the served floor of 7
+	})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("stale reply error = %v, want ErrUnavailable", err)
+	}
+	if got := rs.stale.Load(); got == 0 {
+		t.Fatal("stale-reject counter did not move")
+	}
+}
+
+func TestReplicaSetFailoverOnError(t *testing.T) {
+	rs, _ := newTestSet(t, []uint64{5, 5}, ReplicaSetConfig{HedgeFraction: -1})
+	rs.load[0].inflight.Store(10) // make the failing replica the first choice
+
+	calls := 0
+	rr, err := rs.Read(context.Background(), func(_ context.Context, _ Backend, idx int) (uint64, error) {
+		calls++
+		if idx == 1 {
+			return 0, errors.New("connection reset")
+		}
+		return 5, nil
+	})
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if rr.Member != 0 || calls != 2 {
+		t.Fatalf("Read = member %d after %d calls, want member 0 after 2", rr.Member, calls)
+	}
+	if got := rs.failovers.Load(); got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+	if rr.Hedged {
+		t.Fatal("error failover must not count as a hedge")
+	}
+}
+
+func TestReplicaSetHedgeOnStall(t *testing.T) {
+	// HedgeFraction 1 removes the budget from the equation; the tiny
+	// HedgeDelayMax makes the backup fire well before the stall ends.
+	rs, _ := newTestSet(t, []uint64{5, 5}, ReplicaSetConfig{
+		HedgeFraction: 1,
+		HedgeDelayMin: time.Millisecond,
+		HedgeDelayMax: 5 * time.Millisecond,
+	})
+	rs.load[1].inflight.Store(1) // deterministic order: primary first, replica hedge
+
+	release := make(chan struct{})
+	defer close(release)
+	rr, err := rs.Read(context.Background(), func(ctx context.Context, _ Backend, idx int) (uint64, error) {
+		if idx == 0 { // first choice stalls
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return 5, nil
+		}
+		return 5, nil
+	})
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !rr.Hedged || !rr.HedgeWon || rr.Member != 1 {
+		t.Fatalf("ReadResult = %+v, want hedged win by member 1", rr)
+	}
+	if h, w := rs.hedges.Load(), rs.hedgeWins.Load(); h != 1 || w != 1 {
+		t.Fatalf("hedges/wins = %d/%d, want 1/1", h, w)
+	}
+}
+
+func TestReplicaSetHedgeBudget(t *testing.T) {
+	// With the default 5% budget, the very first read may not hedge
+	// (1 > 0.05*1): the stall must be ridden out.
+	rs, _ := newTestSet(t, []uint64{5, 5}, ReplicaSetConfig{
+		HedgeDelayMin: time.Millisecond,
+		HedgeDelayMax: 2 * time.Millisecond,
+	})
+	stalled := make(chan struct{})
+	go func() { time.Sleep(30 * time.Millisecond); close(stalled) }()
+	rr, err := rs.Read(context.Background(), func(ctx context.Context, _ Backend, idx int) (uint64, error) {
+		if idx == 0 {
+			<-stalled
+		}
+		return 5, nil
+	})
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if rr.Hedged || rs.hedges.Load() != 0 {
+		t.Fatalf("budget-starved read hedged anyway: %+v, hedges=%d", rr, rs.hedges.Load())
+	}
+
+	// Once enough reads accumulate, the same stall does hedge. The
+	// first stall's EWMA may have reordered the members, so stall
+	// whichever member the first attempt lands on.
+	rs.reads.Add(1000)
+	stalled2 := make(chan struct{})
+	defer close(stalled2)
+	var first atomic.Bool
+	first.Store(true)
+	rr, err = rs.Read(context.Background(), func(ctx context.Context, _ Backend, _ int) (uint64, error) {
+		if first.CompareAndSwap(true, false) {
+			select {
+			case <-stalled2:
+			case <-ctx.Done():
+			}
+		}
+		return 5, nil
+	})
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !rr.Hedged || !rr.HedgeWon {
+		t.Fatalf("budgeted read did not hedge: %+v", rr)
+	}
+}
+
+func TestReplicaSetWritesGoToPrimary(t *testing.T) {
+	rs, fakes := newTestSet(t, []uint64{3, 3, 3}, ReplicaSetConfig{})
+	fakes[0].set(func(f *fakeBackend) { f.flushGen = 4 })
+
+	if err := rs.Apply([][2]int32{{0, 1}}, nil); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	gen, err := rs.Flush(context.Background())
+	if err != nil || gen != 4 {
+		t.Fatalf("Flush = %d, %v; want 4", gen, err)
+	}
+	for i, f := range fakes {
+		f.mu.Lock()
+		applies, flushes := f.applies, f.flushes
+		f.mu.Unlock()
+		wantA, wantF := 0, 0
+		if i == 0 {
+			wantA, wantF = 1, 1
+		}
+		if applies != wantA || flushes != wantF {
+			t.Fatalf("member %d saw %d applies / %d flushes, want %d/%d", i, applies, flushes, wantA, wantF)
+		}
+	}
+	if got := rs.floor(); got != 4 {
+		t.Fatalf("floor after flush = %d, want 4", got)
+	}
+
+	// Dead primary: Status carries the error (the router 503s writes)
+	// while View still serves from a fresh replica.
+	fakes[0].set(func(f *fakeBackend) {
+		f.statusErr = "connection refused"
+		f.viewErr = errors.New("connection refused")
+	})
+	fakes[1].set(func(f *fakeBackend) { f.gen = 4 })
+	fakes[2].set(func(f *fakeBackend) { f.gen = 4 })
+	if st := rs.Status(); st.Err == "" {
+		t.Fatal("Status with dead primary must carry its error")
+	}
+	if v := rs.View(); v.Err != nil || v.Snap.Gen != 4 {
+		t.Fatalf("View with dead primary = gen %d, err %v; want healthy gen 4", v.Snap.Gen, v.Err)
+	}
+}
+
+func TestReplicaSetStats(t *testing.T) {
+	rs, fakes := newTestSet(t, []uint64{9, 7, 9}, ReplicaSetConfig{HedgeFraction: -1})
+	fakes[2].set(func(f *fakeBackend) { f.pending = 12; f.draining = true })
+	if _, err := rs.Read(context.Background(), instantRead); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	st := rs.ReplicaStats()
+	if st.Shard != 0 || st.Reads != 1 || len(st.Members) != 3 {
+		t.Fatalf("stats = %+v, want shard 0, 1 read, 3 members", st)
+	}
+	if st.Members[0].Role != "primary" || st.Members[1].Role != "replica" {
+		t.Fatalf("roles = %q/%q", st.Members[0].Role, st.Members[1].Role)
+	}
+	if st.Members[1].Lag != 2 || st.Members[0].Lag != 0 || st.Members[2].Lag != 0 {
+		t.Fatalf("lags = %d/%d/%d, want 0/2/0", st.Members[0].Lag, st.Members[1].Lag, st.Members[2].Lag)
+	}
+	if st.Members[2].QueueDepth != 12 || !st.Members[2].Draining {
+		t.Fatalf("member 2 = %+v, want queue depth 12 and draining", st.Members[2])
+	}
+	if !st.Members[0].Healthy {
+		t.Fatal("healthy primary reported unhealthy")
+	}
+	if st.Floor != 9 {
+		t.Fatalf("floor = %d, want 9 (ratcheted by the read)", st.Floor)
+	}
+}
+
+func TestReplicaSetCloseClosesAllMembers(t *testing.T) {
+	rs, fakes := newTestSet(t, []uint64{1, 1, 1}, ReplicaSetConfig{})
+	rs.Close()
+	for i, f := range fakes {
+		f.mu.Lock()
+		closed := f.closed
+		f.mu.Unlock()
+		if !closed {
+			t.Fatalf("member %d not closed", i)
+		}
+	}
+}

@@ -347,6 +347,20 @@ func (r *Router) Statuses() []WorkerStatus {
 	return out
 }
 
+// ReplicaStats reports each shard's replica-set state, with a nil
+// entry for shards whose backend is not a replica set. It never blocks
+// on rebuilds or the network.
+func (r *Router) ReplicaStats() []*ReplicaSetStats {
+	out := make([]*ReplicaSetStats, len(r.backends))
+	for s, b := range r.backends {
+		if rs, ok := b.(interface{ ReplicaStats() ReplicaSetStats }); ok {
+			st := rs.ReplicaStats()
+			out[s] = &st
+		}
+	}
+	return out
+}
+
 // Close stops every shard's backend: in-process refresh workers stop
 // rebuilding (reads keep serving the last published generations),
 // remote clients stop their mirror pollers (the remote processes keep

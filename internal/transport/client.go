@@ -56,6 +56,11 @@ type Client struct {
 
 	syncMu sync.Mutex // singleflight for snapshot sync
 
+	// draining mirrors the remote's advertised shutdown state (from the
+	// last health probe) so a replica set stops routing reads to a
+	// member that is about to go away.
+	draining atomic.Bool
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	started  atomic.Bool
@@ -115,6 +120,34 @@ func newClient(base string, shardID, k int, cfg ClientConfig) *Client {
 
 // Addr returns the client's base URL.
 func (c *Client) Addr() string { return c.base }
+
+// Draining reports whether the remote advertised a shutdown in progress
+// at its last successful health probe.
+func (c *Client) Draining() bool { return c.draining.Load() }
+
+// MirrorGen returns the mirrored snapshot's generation (0 before the
+// first sync) without triggering any I/O.
+func (c *Client) MirrorGen() uint64 {
+	if m := c.mirror.Load(); m != nil && m.snap != nil {
+		return m.snap.Gen
+	}
+	return 0
+}
+
+// tableLen returns the replicated translation-table length.
+func (c *Client) tableLen() int {
+	c.tabMu.RLock()
+	defer c.tabMu.RUnlock()
+	return len(c.locals)
+}
+
+// tableCopy returns a snapshot copy of the replicated translation
+// table, safe to encode without holding the lock.
+func (c *Client) tableCopy() []int32 {
+	c.tabMu.RLock()
+	defer c.tabMu.RUnlock()
+	return append([]int32(nil), c.locals...)
+}
 
 // unavailable wraps a transport failure with the sentinel the serving
 // layer maps to 503.
@@ -327,6 +360,7 @@ func (c *Client) poll() {
 			_ = c.fail(err)
 			continue
 		}
+		c.draining.Store(h.Draining)
 		// A reachable health endpoint alone does not clear degradation:
 		// if the snapshot transfer is what keeps failing, the error (and
 		// the negative cache it feeds) must survive until a sync

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/shard"
@@ -21,6 +22,25 @@ type Options struct {
 	// check assumes; it should match the shard servers' worker
 	// configuration (0 uses refresh.Config's default).
 	MaxPending int
+	// Replicas lists each shard's replica servers (`ocad -follow`
+	// processes mirroring that shard's primary): Replicas[i] belongs to
+	// addrs[i]. When non-nil it must have one entry per shard (empty
+	// lists are fine) and every backend becomes a replica set — reads
+	// route to any sufficiently fresh member with least-loaded selection
+	// and hedging, writes go to the primary only. Nil keeps the plain
+	// one-backend-per-shard topology.
+	Replicas [][]string
+	// Replication tunes the replica sets' hedging (ignored when
+	// Replicas is nil).
+	Replication shard.ReplicaSetConfig
+}
+
+// DeployInfo is what a successful handshake learned about the
+// deployment: the live global id bound (graph nodes plus growth already
+// replicated to the shards) and the growth ceiling.
+type DeployInfo struct {
+	CurN     int
+	MaxNodes int
 }
 
 // Dial connects to K shard servers (addrs[i] must host shard i of a
@@ -28,11 +48,36 @@ type Options struct {
 // mirrors every shard's published snapshot, and assembles a
 // shard.Router over remote backends — a drop-in
 // server.SnapshotProvider, so the HTTP serving layer works unchanged
-// over processes. The returned router's Close stops the mirror pollers;
-// the shard processes keep running.
+// over processes. With Options.Replicas set, each shard's backend is a
+// replica set fanning reads over the primary and its mirrors. The
+// returned router's Close stops the mirror pollers; the shard
+// processes keep running.
 func Dial(ctx context.Context, addrs []string, opt Options) (*shard.Router, error) {
+	backends, info, err := DialBackends(ctx, addrs, opt)
+	if err != nil {
+		return nil, err
+	}
+	r, err := shard.NewRouterBackends(backends, info.CurN, info.MaxNodes, opt.MaxPending)
+	if err != nil {
+		for _, b := range backends {
+			b.Close()
+		}
+		return nil, err
+	}
+	return r, nil
+}
+
+// DialBackends is Dial up to (but not including) router assembly: it
+// returns the validated, polling per-shard backends plus the deployment
+// facts a router needs. Callers that want direct access to the replica
+// groups (hedged remote lookups via ReplicaGroup.LookupAny) use this
+// and build the router themselves.
+func DialBackends(ctx context.Context, addrs []string, opt Options) ([]shard.Backend, DeployInfo, error) {
 	if len(addrs) == 0 {
-		return nil, fmt.Errorf("transport: no shard addresses")
+		return nil, DeployInfo{}, fmt.Errorf("transport: no shard addresses")
+	}
+	if opt.Replicas != nil && len(opt.Replicas) != len(addrs) {
+		return nil, DeployInfo{}, fmt.Errorf("transport: %d replica lists for %d shards", len(opt.Replicas), len(addrs))
 	}
 	if opt.ConnectTimeout <= 0 {
 		opt.ConnectTimeout = 60 * time.Second
@@ -44,45 +89,101 @@ func Dial(ctx context.Context, addrs []string, opt Options) (*shard.Router, erro
 	clients := make([]*Client, k)
 	healths := make([]Health, k)
 	errs := make([]error, k)
-	done := make(chan int, k)
+	rclients := make([][]*Client, k)
+	rhealths := make([][]Health, k)
+	rerrs := make([][]error, k)
+	var wg sync.WaitGroup
 	for i, addr := range addrs {
 		clients[i] = newClient(normalizeAddr(addr), i, k, opt.Client)
+		wg.Add(1)
 		go func(i int) {
+			defer wg.Done()
 			healths[i], errs[i] = clients[i].handshake(ctx)
-			done <- i
 		}(i)
+		if opt.Replicas == nil {
+			continue
+		}
+		rclients[i] = make([]*Client, len(opt.Replicas[i]))
+		rhealths[i] = make([]Health, len(opt.Replicas[i]))
+		rerrs[i] = make([]error, len(opt.Replicas[i]))
+		for j, raddr := range opt.Replicas[i] {
+			rclients[i][j] = newClient(normalizeAddr(raddr), i, k, opt.Client)
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				rhealths[i][j], rerrs[i][j] = rclients[i][j].handshake(ctx)
+			}(i, j)
+		}
 	}
-	for range clients {
-		<-done
-	}
+	wg.Wait()
 	closeAll := func() {
 		for _, c := range clients {
 			c.Close()
+		}
+		for _, rs := range rclients {
+			for _, c := range rs {
+				c.Close()
+			}
 		}
 	}
 	for i, err := range errs {
 		if err != nil {
 			closeAll()
-			return nil, fmt.Errorf("transport: shard %d at %s: %w", i, addrs[i], err)
+			return nil, DeployInfo{}, fmt.Errorf("transport: shard %d at %s: %w", i, addrs[i], err)
 		}
 	}
 	// The K servers must describe one deployment: same partition width,
 	// same global dimensions, each hosting the shard index its position
-	// in addrs claims.
+	// in addrs claims — and each actually writable.
 	for i, h := range healths {
 		if h.Protocol != Version {
 			closeAll()
-			return nil, fmt.Errorf("transport: shard %d speaks protocol %d, this router speaks %d", i, h.Protocol, Version)
+			return nil, DeployInfo{}, fmt.Errorf("transport: shard %d speaks protocol %d, this router speaks %d", i, h.Protocol, Version)
 		}
 		if h.Shard != i || h.Shards != k {
 			closeAll()
-			return nil, fmt.Errorf("transport: %s hosts shard %d of %d, want shard %d of %d",
+			return nil, DeployInfo{}, fmt.Errorf("transport: %s hosts shard %d of %d, want shard %d of %d",
 				addrs[i], h.Shard, h.Shards, i, k)
+		}
+		if h.Role == RoleReplica {
+			closeAll()
+			return nil, DeployInfo{}, fmt.Errorf("transport: %s is a read-only replica (of %s); shard addresses must name primaries",
+				addrs[i], h.Primary)
 		}
 		if h.GlobalNodes != healths[0].GlobalNodes || h.MaxNodes != healths[0].MaxNodes {
 			closeAll()
-			return nil, fmt.Errorf("transport: shard %d disagrees on deployment dimensions (%d/%d nodes vs %d/%d)",
+			return nil, DeployInfo{}, fmt.Errorf("transport: shard %d disagrees on deployment dimensions (%d/%d nodes vs %d/%d)",
 				i, h.GlobalNodes, h.MaxNodes, healths[0].GlobalNodes, healths[0].MaxNodes)
+		}
+	}
+	// Replicas must mirror the shard they are listed under and belong to
+	// the same deployment; a primary listed as a replica is a second
+	// writer and is refused.
+	for i := range rclients {
+		for j, rerr := range rerrs[i] {
+			if rerr != nil {
+				closeAll()
+				return nil, DeployInfo{}, fmt.Errorf("transport: shard %d replica %s: %w", i, opt.Replicas[i][j], rerr)
+			}
+			rh := rhealths[i][j]
+			switch {
+			case rh.Protocol != Version:
+				closeAll()
+				return nil, DeployInfo{}, fmt.Errorf("transport: shard %d replica %s speaks protocol %d, this router speaks %d",
+					i, opt.Replicas[i][j], rh.Protocol, Version)
+			case rh.Role != RoleReplica:
+				closeAll()
+				return nil, DeployInfo{}, fmt.Errorf("transport: %s is not a replica; only `ocad -follow` servers may be listed as replicas",
+					opt.Replicas[i][j])
+			case rh.Shard != i || rh.Shards != k:
+				closeAll()
+				return nil, DeployInfo{}, fmt.Errorf("transport: %s mirrors shard %d of %d, want shard %d of %d",
+					opt.Replicas[i][j], rh.Shard, rh.Shards, i, k)
+			case rh.GlobalNodes != healths[0].GlobalNodes || rh.MaxNodes != healths[0].MaxNodes:
+				closeAll()
+				return nil, DeployInfo{}, fmt.Errorf("transport: shard %d replica %s disagrees on deployment dimensions",
+					i, opt.Replicas[i][j])
+			}
 		}
 	}
 	// The valid global id range must cover growth already applied by a
@@ -90,7 +191,6 @@ func Dial(ctx context.Context, addrs []string, opt Options) (*shard.Router, erro
 	curN := healths[0].GlobalNodes
 	backends := make([]shard.Backend, k)
 	for i, c := range clients {
-		backends[i] = c
 		c.tabMu.RLock()
 		for _, gv := range c.locals {
 			if int(gv) >= curN {
@@ -98,16 +198,57 @@ func Dial(ctx context.Context, addrs []string, opt Options) (*shard.Router, erro
 			}
 		}
 		c.tabMu.RUnlock()
-	}
-	r, err := shard.NewRouterBackends(backends, curN, healths[0].MaxNodes, opt.MaxPending)
-	if err != nil {
-		closeAll()
-		return nil, err
+		if opt.Replicas == nil {
+			backends[i] = c
+			continue
+		}
+		reps := make([]shard.Backend, len(rclients[i]))
+		for j, rc := range rclients[i] {
+			reps[j] = rc
+		}
+		backends[i] = &ReplicaGroup{
+			ReplicaSet: shard.NewReplicaSet(c, reps, opt.Replication),
+			clients:    append([]*Client{c}, rclients[i]...),
+		}
 	}
 	for _, c := range clients {
 		c.startPolling()
 	}
-	return r, nil
+	for _, rs := range rclients {
+		for _, c := range rs {
+			c.startPolling()
+		}
+	}
+	return backends, DeployInfo{CurN: curN, MaxNodes: healths[0].MaxNodes}, nil
+}
+
+// ReplicaGroup is one shard's replica set over transport clients: the
+// shard.ReplicaSet routing plus the remote-lookup fan that rides it.
+type ReplicaGroup struct {
+	*shard.ReplicaSet
+	clients []*Client // parallel to the set's members; [0] is the primary
+}
+
+// LookupAny answers a remote batch lookup through the replica set's
+// read path: least-loaded member selection, failover, floor enforcement
+// and budgeted hedging. The returned ReadResult says which member
+// answered and whether a hedge fired.
+func (g *ReplicaGroup) LookupAny(ctx context.Context, ids []int32, members bool) (LookupResponse, shard.ReadResult, error) {
+	// One slot per member: each member is attempted at most once per
+	// Read, and the winner's slot is written before Read returns.
+	slots := make([]LookupResponse, len(g.clients))
+	rr, err := g.Read(ctx, func(ctx context.Context, _ shard.Backend, idx int) (uint64, error) {
+		resp, err := g.clients[idx].LookupRemote(ctx, ids, members)
+		if err != nil {
+			return 0, err
+		}
+		slots[idx] = resp
+		return resp.Generation, nil
+	})
+	if err != nil {
+		return LookupResponse{}, rr, err
+	}
+	return slots[rr.Member], rr, nil
 }
 
 // handshake probes the shard until it answers (covers may still be
@@ -120,6 +261,7 @@ func (c *Client) handshake(ctx context.Context) (Health, error) {
 		cancel()
 		if err == nil {
 			if err = c.syncSnapshotCtx(ctx); err == nil {
+				c.draining.Store(h.Draining)
 				return h, nil
 			}
 		}

@@ -58,6 +58,7 @@ func TestProtocolDocSync(t *testing.T) {
 		want   []string
 	}{
 		{"<!-- routes:shard -->", Routes},
+		{"<!-- routes:replica -->", ReplicaRoutes},
 		{"<!-- routes:public -->", server.Routes()},
 	} {
 		got := sortedCopy(routesFromDoc(t, doc, tc.marker))
@@ -99,6 +100,9 @@ func TestManifestsMatchMuxes(t *testing.T) {
 		}
 	}
 	check(cl.shards[0].Handler(), Routes)
+
+	rs, _, _ := startReplica(t, cl.addrs[0])
+	check(rs.Handler(), ReplicaRoutes)
 
 	srv, err := server.New(twoCliques(t), server.Config{OCA: testOCA()})
 	if err != nil {

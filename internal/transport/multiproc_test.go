@@ -386,6 +386,212 @@ func TestMultiProcessCluster(t *testing.T) {
 	}
 }
 
+// TestMultiProcessClusterReplicated is the replicated deployment's
+// process-level acceptance gate: one primary plus two real
+// `ocad -follow` replica processes on one shard, behind a real router
+// started with -replica-addrs. The contract proven here: replicas
+// surface in /healthz with role and freshness; read-your-writes holds
+// through the replica set; and when the primary is SIGKILLed
+// mid-traffic, reads keep flowing from the replicas with **zero 5xx**
+// while writes degrade to an explicit 503. Finally SIGTERM drains the
+// router and replicas cleanly.
+func TestMultiProcessClusterReplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and runs an OCA build")
+	}
+	bench, err := lfr.Generate(lfr.Params{
+		N: 250, AvgDeg: 14, MaxDeg: 30, Mu: 0.02,
+		MinCom: 25, MaxCom: 45, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("lfr.Generate: %v", err)
+	}
+	g := bench.Graph
+	n := g.N()
+	c, err := spectral.C(g, spectral.Options{})
+	if err != nil {
+		t.Fatalf("spectral.C: %v", err)
+	}
+
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "graph.txt")
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+
+	// One primary, two replicas following it, one router over all three.
+	primaryAF := filepath.Join(dir, "primary.addr")
+	primary := startOcad(t,
+		"-in", graphPath, "-seed", "11", "-c", fmt.Sprintf("%g", c),
+		"-refresh-debounce", "5ms",
+		"-shards", "1", "-serve-shard", "0",
+		"-addr", "127.0.0.1:0", "-addr-file", primaryAF)
+	primaryAddr := waitAddrFile(t, primary, primaryAF, 60*time.Second)
+
+	replicaProcs := make([]*ocadProc, 2)
+	replicaAddrs := make([]string, 2)
+	for i := range replicaProcs {
+		af := filepath.Join(dir, fmt.Sprintf("replica%d.addr", i))
+		replicaProcs[i] = startOcad(t,
+			"-follow", primaryAddr,
+			"-shard-poll-interval", "10ms",
+			"-addr", "127.0.0.1:0", "-addr-file", af)
+		replicaAddrs[i] = waitAddrFile(t, replicaProcs[i], af, 60*time.Second)
+	}
+	routerAF := filepath.Join(dir, "router.addr")
+	router := startOcad(t,
+		"-shard-addrs", primaryAddr,
+		"-shards", "1",
+		"-replica-addrs", strings.Join(replicaAddrs, ","),
+		"-shard-poll-interval", "10ms",
+		"-addr", "127.0.0.1:0", "-addr-file", routerAF)
+	base := "http://" + waitAddrFile(t, router, routerAF, 60*time.Second)
+
+	// (0) healthz lists all three members with roles.
+	type healthzReply struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Shard    int `json:"shard"`
+			Replicas []struct {
+				Role       string `json:"role"`
+				Generation uint64 `json:"generation"`
+				Healthy    bool   `json:"healthy"`
+			} `json:"replicas"`
+		} `json:"shards"`
+	}
+	var hr healthzReply
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("healthz = %d %q; router logs:\n%s", code, hr.Status, router.logs())
+	}
+	if len(hr.Shards) != 1 || len(hr.Shards[0].Replicas) != 3 {
+		t.Fatalf("healthz members: %+v, want primary + 2 replicas", hr.Shards)
+	}
+	if r := hr.Shards[0].Replicas; r[0].Role != "primary" || r[1].Role != "replica" || r[2].Role != "replica" {
+		t.Fatalf("healthz roles: %+v", hr.Shards[0].Replicas)
+	}
+
+	// (1) Read-your-writes through the replica set.
+	var er struct {
+		Generation uint64 `json:"generation"`
+	}
+	if code := postJSON(t, base+"/v1/edges", map[string]any{"add": [][2]int32{{0, 5}}, "wait": true}, &er); code != http.StatusOK {
+		t.Fatalf("edges wait=true = %d", code)
+	}
+	if code := getJSON(t, base+"/v1/node/0/communities", nil); code != http.StatusOK {
+		t.Fatalf("read-your-writes lookup = %d", code)
+	}
+
+	// (2) Wait until the router sees every member at (or past) the
+	// flushed generation — the read floor — so the kill below cannot
+	// race the replicas' catch-up.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, base+"/healthz", &hr)
+		caughtUp := len(hr.Shards) == 1 && len(hr.Shards[0].Replicas) == 3
+		for _, m := range hr.Shards[0].Replicas {
+			caughtUp = caughtUp && m.Healthy && m.Generation >= er.Generation
+		}
+		if caughtUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never reached generation %d: %+v", er.Generation, hr.Shards)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// (3) Reader barrage across the primary's death: zero 5xx.
+	var (
+		readErrs atomic.Int64
+		reads    atomic.Int64
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			cl := &http.Client{Timeout: 10 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := cl.Get(fmt.Sprintf("%s/v1/node/%d/communities", base, rng.Intn(n)))
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				resp.Body.Close()
+				reads.Add(1)
+				if resp.StatusCode >= 500 {
+					readErrs.Add(1)
+					t.Errorf("read answered %d with replicas serving", resp.StatusCode)
+				}
+			}
+		}(int64(300 + r))
+	}
+
+	if err := primary.cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing primary: %v", err)
+	}
+	// Writes degrade to an explicit 503 once the poller notices.
+	for deadline = time.Now().Add(15 * time.Second); ; time.Sleep(50 * time.Millisecond) {
+		code := postJSON(t, base+"/v1/edges", map[string]any{"add": [][2]int32{{1, 6}}}, nil)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writes after primary kill still answer %d, want 503; router logs:\n%s", code, router.logs())
+		}
+	}
+	// Keep reading well past detection, then assert the count.
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if reads.Load() == 0 {
+		t.Fatal("no reads ran across the kill")
+	}
+	if readErrs.Load() != 0 {
+		t.Fatalf("%d/%d reads answered 5xx across the primary kill, want 0", readErrs.Load(), reads.Load())
+	}
+	// Reads are served, so health stays ok — with the dead primary and
+	// live replicas called out per member.
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK || hr.Status != "ok" {
+		t.Errorf("healthz with dead primary = %d %q, want 200 ok", code, hr.Status)
+	}
+	if r := hr.Shards[0].Replicas; r[0].Healthy || !r[1].Healthy || !r[2].Healthy {
+		t.Errorf("post-kill member health: %+v", r)
+	}
+
+	// (4) Graceful drain: SIGTERM exits cleanly for router and replicas.
+	procs := []*ocadProc{router, replicaProcs[0], replicaProcs[1]}
+	for _, p := range procs {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM: %v", err)
+		}
+	}
+	for i, p := range procs {
+		done := make(chan error, 1)
+		go func() { done <- p.cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("process %d exited with %v; logs:\n%s", i, err, p.logs())
+			}
+		case <-time.After(30 * time.Second):
+			t.Errorf("process %d did not exit after SIGTERM; logs:\n%s", i, p.logs())
+		}
+	}
+}
+
 // exportCover streams /v1/cover/export and reassembles the served
 // communities (global ids) as one cover.
 func exportCover(t *testing.T, base string, n int) *cover.Cover {

@@ -38,6 +38,24 @@ var Routes = []string{
 	"POST " + PathLookup,
 }
 
+// ReplicaRoutes is the manifest a replica server registers: the same
+// surface as a primary so routers and tooling need no special casing —
+// apply and flush answer, but always with 503/not_primary.
+var ReplicaRoutes = []string{
+	"GET " + PathHealth,
+	"GET " + PathSnapshot,
+	"POST " + PathApply,
+	"POST " + PathFlush,
+	"POST " + PathLookup,
+}
+
+// Role values carried in Health.Role. An empty Role (pre-replication
+// servers) means primary.
+const (
+	RolePrimary = "primary"
+	RoleReplica = "replica"
+)
+
 // Machine-readable error codes carried in errorResponse.Code so clients
 // branch on semantics, not message strings.
 const (
@@ -60,6 +78,10 @@ const (
 	// deadline elapsed or it disconnected). The applied mutations stay
 	// queued and will still publish; re-flushing is safe.
 	CodeInterrupted = "interrupted"
+	// CodeNotPrimary: a mutation (apply/flush) was sent to a replica.
+	// Replicas are read-only mirrors; route writes to the primary. Not
+	// retryable against the same server.
+	CodeNotPrimary = "not_primary"
 )
 
 // errorResponse is every non-2xx JSON body.
@@ -87,6 +109,11 @@ type Health struct {
 	// Draining reports a shutdown in progress: mutations are refused,
 	// reads still answer.
 	Draining bool `json:"draining"`
+	// Role distinguishes a writable primary from a read-only replica
+	// mirror; empty (pre-replication builds) means primary. Primary is
+	// the upstream a replica follows, set only when Role is "replica".
+	Role    string `json:"role,omitempty"`
+	Primary string `json:"primary,omitempty"`
 	// Snapshot summarizes the published generation; Status is the
 	// refresh worker's point-in-time state.
 	Snapshot refresh.SnapshotInfo `json:"snapshot"`

@@ -60,15 +60,7 @@ func (s *ShardServer) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathApply, s.handleApply)
 	mux.HandleFunc("POST "+PathFlush, s.handleFlush)
 	mux.HandleFunc("POST "+PathLookup, s.handleLookup)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set(HeaderProtocol, strconv.Itoa(Version))
-		if v := r.Header.Get(HeaderProtocol); v != "" && v != strconv.Itoa(Version) {
-			writeCode(w, http.StatusBadRequest, CodeProtocolMismatch,
-				"protocol version %s not supported, this server speaks %d", v, Version)
-			return
-		}
-		mux.ServeHTTP(w, r)
-	})
+	return protocolMiddleware(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -90,6 +82,7 @@ func (s *ShardServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		MaxNodes:    s.cfg.MaxNodes,
 		TableLen:    len(s.w.Table()),
 		Draining:    s.draining.Load(),
+		Role:        RolePrimary,
 		Snapshot:    s.w.Snapshot().Info(),
 		Status:      s.w.Status(),
 	})
@@ -118,7 +111,11 @@ func (s *ShardServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *ShardServer) decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBody))
+	return decodeJSONBody(w, r, s.cfg.MaxRequestBody, v)
+}
+
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, maxBody int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeCode(w, http.StatusBadRequest, CodeBadRequest, "invalid request body: %v", err)
@@ -189,7 +186,12 @@ func (s *ShardServer) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeCode(w, http.StatusBadRequest, CodeBadRequest, "ids must name at least one node")
 		return
 	}
-	view := s.w.View()
+	writeJSON(w, http.StatusOK, answerLookup(s.w.View(), req))
+}
+
+// answerLookup resolves a lookup batch against one consistent view —
+// shared by the primary (worker view) and replica (mirror view) paths.
+func answerLookup(view shard.View, req LookupRequest) LookupResponse {
 	resp := LookupResponse{
 		Generation: view.Snap.Gen,
 		Results:    make([]LookupResult, len(req.IDs)),
@@ -215,5 +217,5 @@ func (s *ShardServer) handleLookup(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = res
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }

@@ -6,12 +6,16 @@
 # supervisor of choice.
 #
 #   SHARDS     number of shard processes (default 3)
+#   REPLICAS   read replicas per shard, following the shard's primary
+#              (default 0; reads fan out across primary + replicas)
 #   GRAPH      input graph file (default: generate a demo LFR graph)
 #   ADDR       router listen address (default :8080)
-#   BASE_PORT  first shard-server port (default 9301)
+#   BASE_PORT  first shard-server port (default 9301); replicas take
+#              the ports after the primaries
 set -eu
 
 SHARDS="${SHARDS:-3}"
+REPLICAS="${REPLICAS:-0}"
 GRAPH="${GRAPH:-}"
 ADDR="${ADDR:-:8080}"
 BASE_PORT="${BASE_PORT:-9301}"
@@ -49,6 +53,32 @@ while [ "$i" -lt "$SHARDS" ]; do
     i=$((i + 1))
 done
 
+# Replicas follow their shard's primary; the router learns about them
+# via -replica-addrs (';' between shards, ',' within a shard).
+replica_flags=""
+if [ "$REPLICAS" -gt 0 ]; then
+    replica_lists=""
+    port=$((BASE_PORT + SHARDS))
+    i=0
+    while [ "$i" -lt "$SHARDS" ]; do
+        primary="127.0.0.1:$((BASE_PORT + i))"
+        list=""
+        r=0
+        while [ "$r" -lt "$REPLICAS" ]; do
+            "$workdir/ocad" -follow "$primary" -addr "127.0.0.1:$port" &
+            pids="$pids $!"
+            list="${list:+$list,}127.0.0.1:$port"
+            port=$((port + 1))
+            r=$((r + 1))
+        done
+        replica_lists="${replica_lists:+$replica_lists;}$list"
+        i=$((i + 1))
+    done
+    replica_flags="-replica-addrs $replica_lists"
+    echo "run-cluster: $REPLICAS replica(s) per shard: $replica_lists"
+fi
+
 echo "run-cluster: shard servers at $addrs; router on $ADDR (Ctrl-C stops everything)"
 # Foreground: the router waits for every shard's cover before serving.
-"$workdir/ocad" -shard-addrs "$addrs" -shards "$SHARDS" -addr "$ADDR"
+# $replica_flags is intentionally unquoted: empty when REPLICAS=0.
+"$workdir/ocad" -shard-addrs "$addrs" -shards "$SHARDS" -addr "$ADDR" $replica_flags
