@@ -2,16 +2,16 @@
 # same targets, so a green `make check` locally means a green CI run.
 
 GO ?= go
-RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/... ./internal/refresh/... ./internal/shard/... ./internal/postprocess/... ./internal/transport/... ./internal/wal/... ./internal/persist/...
+RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./internal/server/... ./internal/index/... ./internal/refresh/... ./internal/shard/... ./internal/postprocess/... ./internal/transport/... ./internal/wal/... ./internal/persist/... ./internal/resilience/... ./internal/faultinject/...
 # Packages whose statement coverage must stay at or above COVER_MIN:
 # the concurrent serving layer, where untested paths hide races, plus
 # the correctness-critical incremental-rebuild primitives (index
 # patching, incremental merge), the multi-process shard transport, and
 # the durability layer (WAL framing, segment files, crash recovery).
-COVER_PKGS := repro/internal/server repro/internal/refresh repro/internal/shard repro/internal/index repro/internal/postprocess repro/internal/transport repro/internal/wal repro/internal/persist
+COVER_PKGS := repro/internal/server repro/internal/refresh repro/internal/shard repro/internal/index repro/internal/postprocess repro/internal/transport repro/internal/wal repro/internal/persist repro/internal/resilience repro/internal/faultinject
 COVER_MIN := 75
 
-.PHONY: build test race vet fmt-check bench-smoke bench-shard bench-refresh bench-refresh-smoke bench-recovery bench-recovery-smoke bench-search bench-search-smoke bench-replica bench-replica-smoke fuzz-smoke cover-check examples test-cluster run-cluster check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-shard bench-refresh bench-refresh-smoke bench-recovery bench-recovery-smoke bench-search bench-search-smoke bench-replica bench-replica-smoke fuzz-smoke cover-check examples test-cluster test-chaos test-chaos-smoke run-cluster check clean
 
 build:
 	$(GO) build ./...
@@ -133,6 +133,20 @@ cover-check:
 # generation (docs/PERSISTENCE.md), and clean SIGTERM drains.
 test-cluster:
 	$(GO) test -run 'TestMultiProcessCluster' -count=1 -v ./internal/transport
+
+# Deterministic chaos gate: boots the real replicated multi-process
+# cluster with seeded fault plans (internal/faultinject) and drives it
+# through scripted fault storms — a blackholed replica must trip the
+# breaker and reads must route around it without paying its timeout, a
+# stalled primary must shed abandoned writes (deadline_exceeded), and
+# a flapping shard must degrade and recover with monotone generations.
+test-chaos:
+	$(GO) test -run 'TestChaosCluster' -count=1 -v ./internal/transport
+
+# First storm only (breaker trip + routing around the dead member) —
+# the cheap PR-gate variant CI runs on every push.
+test-chaos-smoke:
+	$(GO) test -run 'TestChaosCluster' -short -count=1 -v ./internal/transport
 
 # Local dev convenience: spawn SHARDS shard-server processes plus a
 # router on this machine (generating a demo LFR graph when GRAPH is

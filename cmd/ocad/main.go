@@ -65,6 +65,7 @@ import (
 	"time"
 
 	"repro/internal/cover"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/persist"
 	"repro/internal/refresh"
@@ -113,9 +114,11 @@ func run(args []string) error {
 	shardAddrs := fs.String("shard-addrs", "", "router role: comma-separated shard-server addresses (addr i hosts shard i); serves the public API over them")
 	connectTimeout := fs.Duration("shard-connect-timeout", 60*time.Second, "router role: how long to wait for all shard servers to answer at startup")
 	pollInterval := fs.Duration("shard-poll-interval", 100*time.Millisecond, "router role: shard generation poll cadence")
+	shardReqTimeout := fs.Duration("shard-request-timeout", 0, "router and replica roles: per-RPC deadline against shard servers (0 = default 5s)")
 	follow := fs.String("follow", "", "replica role: mirror this primary shard server and re-serve it read-only behind the wire protocol")
 	replicaAddrs := fs.String("replica-addrs", "", "router role: per-shard replica lists, ';' between shards and ',' within (e.g. \"r0a,r0b;r1a\"); reads fan out across each shard's primary+replicas")
 	hedgeFraction := fs.Float64("hedge-fraction", 0.05, "router role with -replica-addrs: budget for hedged (backup) reads as a fraction of all reads (negative = disable hedging)")
+	faultPlan := fs.String("fault-plan", "", "DEV ONLY: JSON fault-injection plan (docs/OPERATIONS.md) applied to this process's HTTP surface; also serves the runtime "+faultinject.ControlPath+" control endpoint")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +130,10 @@ func run(args []string) error {
 	// defaults non-positive timeouts to 30s).
 	if *reqTimeout <= 0 {
 		*reqTimeout = 30 * time.Second
+	}
+	inj, err := loadFaultInjector(*faultPlan)
+	if err != nil {
+		return err
 	}
 
 	cfg := server.Config{
@@ -156,7 +163,7 @@ func run(args []string) error {
 		if *in != "" || *coverPath != "" || *lazy || *dataDir != "" {
 			return errors.New("-follow mirrors its primary; -in, -cover, -lazy and -data-dir are not supported")
 		}
-		return runReplica(*follow, *addr, *addrFile, *connectTimeout, *pollInterval, *shutdownTimeout)
+		return runReplica(*follow, *addr, *addrFile, *connectTimeout, *pollInterval, *shardReqTimeout, *shutdownTimeout, inj)
 	}
 	if *replicaAddrs != "" && *shardAddrs == "" {
 		return errors.New("-replica-addrs requires the router role (-shard-addrs)")
@@ -181,7 +188,7 @@ func run(args []string) error {
 			return err
 		}
 		return runRouter(cfg, strings.Split(*shardAddrs, ","), replicas, *hedgeFraction, *shards, *in,
-			*addr, *addrFile, *connectTimeout, *pollInterval, *shutdownTimeout)
+			*addr, *addrFile, *connectTimeout, *pollInterval, *shardReqTimeout, *shutdownTimeout, inj)
 	}
 	if *in == "" {
 		fs.Usage()
@@ -196,7 +203,7 @@ func run(args []string) error {
 			return errors.New("-cover and -lazy are not supported in the shard-server role")
 		}
 		return runShardServer(cfg, *in, *serveShard, *shards, *maxNodes, pf,
-			*addr, *addrFile, *shutdownTimeout)
+			*addr, *addrFile, *shutdownTimeout, inj)
 	}
 	if *shards > 1 && *coverPath != "" {
 		return errors.New("-cover is not supported with -shards > 1 (precomputed covers cannot be partitioned)")
@@ -296,7 +303,7 @@ func run(args []string) error {
 	}
 
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           faulty(inj, srv.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 		// WriteTimeout backs up the handler-level deadline with slack
 		// for response transmission.
@@ -311,6 +318,34 @@ func run(args []string) error {
 		}
 	}
 	return serveUntilSignal(httpSrv, *addr, *addrFile, *shutdownTimeout, closeFn, nil)
+}
+
+// loadFaultInjector turns the -fault-plan flag into an Injector (nil
+// when the flag is unset — zero overhead on the serving path). The
+// plan's faults and its runtime control endpoint are strictly a dev
+// and chaos-testing facility, never for production traffic.
+func loadFaultInjector(path string) (*faultinject.Injector, error) {
+	if path == "" {
+		return nil, nil
+	}
+	plan, err := faultinject.LoadPlan(path)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-plan: %w", err)
+	}
+	log.Printf("FAULT INJECTION ENABLED (dev only): plan %s, %d rules, seed %d; control at %s",
+		path, len(plan.Rules), plan.Seed, faultinject.ControlPath)
+	return faultinject.New(plan), nil
+}
+
+// faulty wraps a role's handler with the fault injector (plus its
+// control endpoint, registered outside the injected wrapper so a
+// blackhole-everything plan can still be lifted); identity when no
+// plan was given.
+func faulty(inj *faultinject.Injector, h http.Handler) http.Handler {
+	if inj == nil {
+		return h
+	}
+	return inj.Handler(h)
 }
 
 // persistFlags carries the -data-dir flag group to the role runners.
@@ -347,11 +382,11 @@ func parseReplicaAddrs(s string, k int) ([][]string, error) {
 // runReplica is the replica role: mirror one primary shard server over
 // the snapshot resolution and re-serve it read-only behind the same
 // wire surface, so routers can fan reads out to it.
-func runReplica(primary, addr, addrFile string, connectTimeout, pollInterval, shutdownTimeout time.Duration) error {
+func runReplica(primary, addr, addrFile string, connectTimeout, pollInterval, reqTimeout, shutdownTimeout time.Duration, inj *faultinject.Injector) error {
 	log.Printf("following primary %s...", primary)
 	start := time.Now()
 	rs, err := transport.NewReplica(context.Background(), primary, transport.ReplicaConfig{
-		Client:         transport.ClientConfig{PollInterval: pollInterval},
+		Client:         transport.ClientConfig{PollInterval: pollInterval, RequestTimeout: reqTimeout},
 		ConnectTimeout: connectTimeout,
 	})
 	if err != nil {
@@ -359,7 +394,7 @@ func runReplica(primary, addr, addrFile string, connectTimeout, pollInterval, sh
 	}
 	log.Printf("shard %d mirrored at generation %d in %v", rs.Shard(), rs.Gen(), time.Since(start).Round(time.Millisecond))
 	httpSrv := &http.Server{
-		Handler:           rs.Handler(),
+		Handler:           faulty(inj, rs.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
@@ -374,7 +409,7 @@ func runReplica(primary, addr, addrFile string, connectTimeout, pollInterval, sh
 // assemble a remote-backed provider, and serve the public API over it.
 // The graph lives in the shard processes; -in is accepted but unused
 // beyond a consistency log line.
-func runRouter(cfg server.Config, addrs []string, replicas [][]string, hedgeFraction float64, shardsFlag int, in, addr, addrFile string, connectTimeout, pollInterval time.Duration, shutdownTimeout time.Duration) error {
+func runRouter(cfg server.Config, addrs []string, replicas [][]string, hedgeFraction float64, shardsFlag int, in, addr, addrFile string, connectTimeout, pollInterval, reqTimeout time.Duration, shutdownTimeout time.Duration, inj *faultinject.Injector) error {
 	if shardsFlag > 1 && shardsFlag != len(addrs) {
 		return fmt.Errorf("-shards %d disagrees with %d -shard-addrs", shardsFlag, len(addrs))
 	}
@@ -388,7 +423,7 @@ func runRouter(cfg server.Config, addrs []string, replicas [][]string, hedgeFrac
 	log.Printf("dialing %d shard servers (+%d replicas)...", len(addrs), nrep)
 	start := time.Now()
 	rt, err := transport.Dial(context.Background(), addrs, transport.Options{
-		Client:         transport.ClientConfig{PollInterval: pollInterval},
+		Client:         transport.ClientConfig{PollInterval: pollInterval, RequestTimeout: reqTimeout},
 		ConnectTimeout: connectTimeout,
 		MaxPending:     cfg.MaxPendingMutations,
 		Replicas:       replicas,
@@ -404,7 +439,7 @@ func runRouter(cfg server.Config, addrs []string, replicas [][]string, hedgeFrac
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           faulty(inj, srv.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 		WriteTimeout:      cfg.RequestTimeout + 10*time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -416,7 +451,7 @@ func runRouter(cfg server.Config, addrs []string, replicas [][]string, hedgeFrac
 // deterministically (or recover this shard's slice from its data
 // directory), host this process's shard behind the wire protocol, and
 // drain mutations before shutting down.
-func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int, pf persistFlags, addr, addrFile string, shutdownTimeout time.Duration) error {
+func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int, pf persistFlags, addr, addrFile string, shutdownTimeout time.Duration, inj *faultinject.Injector) error {
 	g, err := loadGraph(in)
 	if err != nil {
 		return err
@@ -525,7 +560,7 @@ func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int,
 	}
 	ss := transport.NewShardServer(w, transport.ServerConfig{GlobalNodes: g.N(), MaxNodes: maxN})
 	httpSrv := &http.Server{
-		Handler:           ss.Handler(),
+		Handler:           faulty(inj, ss.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 		// No WriteTimeout: flush responses block until the rebuild
 		// publishes, bounded by the router's request deadline instead.

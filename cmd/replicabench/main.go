@@ -295,7 +295,7 @@ func runLoad(groups []*transport.ReplicaGroup, rt *shard.Router, readers int, du
 				if u == v {
 					continue
 				}
-				if _, _, _, err := rt.Enqueue([][2]int32{{u, v}}, nil); err != nil {
+				if _, _, _, err := rt.Enqueue(context.Background(), [][2]int32{{u, v}}, nil); err != nil {
 					continue
 				}
 				if i%4 != 3 {

@@ -25,6 +25,28 @@ var ErrBacklogFull = errors.New("refresh: mutation backlog full")
 // ErrClosed is returned by Enqueue and Flush after Close.
 var ErrClosed = errors.New("refresh: worker closed")
 
+// DefaultMaxPending is Config.MaxPending's default backlog capacity.
+const DefaultMaxPending = 1 << 20
+
+// RetryAfter suggests how long a shedding caller should wait before
+// retrying a mutation refused with ErrBacklogFull, scaled by how full
+// the backlog is: a nearly-empty queue drains within a rebuild or two
+// (1s), a saturated one needs the full drain window (10s). Serves the
+// Retry-After headers on 503 responses (docs/OPERATIONS.md).
+func RetryAfter(pending, capacity int) time.Duration {
+	if capacity <= 0 || pending <= 0 {
+		return time.Second
+	}
+	if pending > capacity {
+		pending = capacity
+	}
+	d := time.Duration(float64(10*time.Second) * float64(pending) / float64(capacity))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
 // Rebuild modes recorded in Snapshot.RebuildMode.
 const (
 	// ModeFull is a whole-graph rebuild: OCA seeded over all nodes,
@@ -260,7 +282,7 @@ func New(initial *Snapshot, cfg Config) *Worker {
 		cfg.Debounce = 50 * time.Millisecond
 	}
 	if cfg.MaxPending <= 0 {
-		cfg.MaxPending = 1 << 20
+		cfg.MaxPending = DefaultMaxPending
 	}
 	if initial.Gen == 0 {
 		initial.Gen = 1
@@ -287,6 +309,10 @@ func New(initial *Snapshot, cfg Config) *Worker {
 // Snapshot returns the current generation. It never blocks and the
 // result is immutable; use one snapshot for an entire request.
 func (w *Worker) Snapshot() *Snapshot { return w.cur.Load() }
+
+// MaxPending reports the backlog capacity (Config.MaxPending after
+// defaulting).
+func (w *Worker) MaxPending() int { return w.cfg.MaxPending }
 
 // Status returns a point-in-time view of the worker.
 func (w *Worker) Status() Status {

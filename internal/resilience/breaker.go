@@ -1,0 +1,170 @@
+// Package resilience provides the failure-domain primitives the
+// transport layer composes around remote backends: a three-state
+// circuit breaker, a jittered-exponential retry policy bounded by a
+// token-bucket retry budget, and the Stats carrier that surfaces both
+// through /healthz and /debug/metrics.
+//
+// The package is deliberately dependency-free (standard library only)
+// so both internal/shard and internal/transport can import it without
+// cycles. Nothing here performs I/O: callers report outcomes
+// (Success/Failure) and ask permission (Allow/Probe); the breaker is
+// pure bookkeeping on the caller's goroutine.
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+const (
+	// Closed: requests flow; consecutive failures are counted toward
+	// the trip threshold.
+	Closed State = iota
+	// Open: requests fast-fail without touching the backend until the
+	// cooldown elapses.
+	Open
+	// HalfOpen: one probe is in flight deciding the breaker's fate;
+	// regular requests still fast-fail.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. Zero values take the defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips a closed
+	// breaker open (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker fast-fails before admitting
+	// a half-open probe (default 500ms).
+	Cooldown time.Duration
+	// Now is the clock, injectable in tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-backend three-state circuit breaker. Only
+// network-level failures should be reported as Failure — a backend
+// that answers at all (even with an application error) is alive, and
+// tripping on application errors would turn one poison request into a
+// full outage. Safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    State
+	fails    int
+	openedAt time.Time
+
+	trips     atomic.Uint64
+	fastFails atomic.Uint64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State reports the current position.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a regular request may proceed. Closed admits;
+// Open and HalfOpen fast-fail (counted in FastFails) — recovery rides
+// designated probes (Probe), not regular traffic, so a half-open
+// backend is not stampeded the instant its cooldown elapses.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	ok := b.state == Closed
+	b.mu.Unlock()
+	if !ok {
+		b.fastFails.Add(1)
+	}
+	return ok
+}
+
+// Probe asks to run a recovery probe: true only when the breaker is
+// Open and the cooldown has elapsed, transitioning it to HalfOpen.
+// The caller must follow up with Success or Failure. Periodic pollers
+// call this before their health check; a false return does not forbid
+// the check itself (health probes are cheap and their outcome feeds
+// Success/Failure regardless), it only marks whether this tick is the
+// formal half-open transition.
+func (b *Breaker) Probe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = HalfOpen
+		return true
+	}
+	return false
+}
+
+// Success reports a request that reached the backend and got an
+// answer. Any state closes: a live response is proof of life.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = Closed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Failure reports a network-level failure. Closed counts toward the
+// trip threshold; HalfOpen reopens immediately (the probe failed);
+// Open is a no-op (stragglers from before the trip carry no news).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.trip()
+	}
+}
+
+// trip must run under b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.fails = 0
+	b.openedAt = b.cfg.Now()
+	b.trips.Add(1)
+}
+
+// Trips is the number of Closed/HalfOpen → Open transitions.
+func (b *Breaker) Trips() uint64 { return b.trips.Load() }
+
+// FastFails is the number of requests Allow rejected without touching
+// the backend.
+func (b *Breaker) FastFails() uint64 { return b.fastFails.Load() }

@@ -1,0 +1,220 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable test clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// step is one scripted event against the breaker. anyState skips the
+// post-event state check (for steps where it isn't the point).
+const anyState = State(-1)
+
+type step struct {
+	event     string // "fail", "ok", "allow", "probe", "advance"
+	d         time.Duration
+	wantOK    bool  // for allow/probe
+	wantState State // checked after the event unless anyState
+}
+
+// TestBreakerStateMachine is the table-driven transition matrix:
+// trip threshold, cooldown gating, half-open probe success and
+// failure, and the fast-fail behavior of open/half-open states.
+func TestBreakerStateMachine(t *testing.T) {
+	const cooldown = 100 * time.Millisecond
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"closed allows", []step{
+			{event: "allow", wantOK: true, wantState: Closed},
+		}},
+		{"failures below threshold stay closed", []step{
+			{event: "fail", wantState: Closed},
+			{event: "fail", wantState: Closed},
+			{event: "allow", wantOK: true, wantState: Closed},
+		}},
+		{"success resets the failure count", []step{
+			{event: "fail", wantState: Closed},
+			{event: "fail", wantState: Closed},
+			{event: "ok", wantState: Closed},
+			{event: "fail", wantState: Closed},
+			{event: "fail", wantState: Closed},
+			{event: "allow", wantOK: true, wantState: Closed},
+		}},
+		{"threshold trips open and fast-fails", []step{
+			{event: "fail", wantState: Closed}, {event: "fail", wantState: Closed}, {event: "fail", wantState: Open},
+			{event: "allow", wantOK: false, wantState: Open},
+			{event: "probe", wantOK: false, wantState: Open}, // cooldown not elapsed
+		}},
+		{"cooldown admits one probe into half-open", []step{
+			{event: "fail", wantState: anyState}, {event: "fail", wantState: anyState}, {event: "fail", wantState: Open},
+			{event: "advance", d: cooldown, wantState: Open},
+			{event: "probe", wantOK: true, wantState: HalfOpen},
+			{event: "probe", wantOK: false, wantState: HalfOpen}, // already probing
+			{event: "allow", wantOK: false, wantState: HalfOpen}, // regular traffic still blocked
+		}},
+		{"half-open probe success closes", []step{
+			{event: "fail", wantState: anyState}, {event: "fail", wantState: anyState}, {event: "fail", wantState: Open},
+			{event: "advance", d: cooldown, wantState: Open},
+			{event: "probe", wantOK: true, wantState: HalfOpen},
+			{event: "ok", wantState: Closed},
+			{event: "allow", wantOK: true, wantState: Closed},
+		}},
+		{"half-open probe failure reopens", []step{
+			{event: "fail", wantState: anyState}, {event: "fail", wantState: anyState}, {event: "fail", wantState: Open},
+			{event: "advance", d: cooldown, wantState: Open},
+			{event: "probe", wantOK: true, wantState: HalfOpen},
+			{event: "fail", wantState: Open},
+			{event: "probe", wantOK: false, wantState: Open}, // new cooldown started
+			{event: "advance", d: cooldown, wantState: Open},
+			{event: "probe", wantOK: true, wantState: HalfOpen},
+		}},
+		{"failures while open carry no news", []step{
+			{event: "fail", wantState: anyState}, {event: "fail", wantState: anyState}, {event: "fail", wantState: Open},
+			{event: "advance", d: cooldown / 2, wantState: Open},
+			{event: "fail", wantState: Open}, // straggler must not extend the cooldown
+			{event: "advance", d: cooldown / 2, wantState: Open},
+			{event: "probe", wantOK: true, wantState: HalfOpen},
+		}},
+		{"success while open closes directly", []step{
+			{event: "fail", wantState: anyState}, {event: "fail", wantState: anyState}, {event: "fail", wantState: Open},
+			{event: "ok", wantState: Closed},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := &fakeClock{now: time.Unix(0, 0)}
+			b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: cooldown, Now: clk.Now})
+			for i, s := range tc.steps {
+				var ok bool
+				switch s.event {
+				case "fail":
+					b.Failure()
+				case "ok":
+					b.Success()
+				case "allow":
+					ok = b.Allow()
+				case "probe":
+					ok = b.Probe()
+				case "advance":
+					clk.advance(s.d)
+				default:
+					t.Fatalf("step %d: unknown event %q", i, s.event)
+				}
+				if s.event == "allow" || s.event == "probe" {
+					if ok != s.wantOK {
+						t.Fatalf("step %d (%s): got %v, want %v", i, s.event, ok, s.wantOK)
+					}
+				}
+				if got := b.State(); s.wantState != anyState && got != s.wantState {
+					t.Fatalf("step %d (%s): state = %v, want %v", i, s.event, got, s.wantState)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerCounters checks the trips / fast-fails exports.
+func TestBreakerCounters(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second, Now: clk.Now})
+	b.Failure()
+	b.Failure()
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatal("open breaker allowed a request")
+		}
+	}
+	if b.FastFails() != 3 {
+		t.Fatalf("fast fails = %d, want 3", b.FastFails())
+	}
+	clk.advance(time.Second)
+	if !b.Probe() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Failure() // reopen
+	if b.Trips() != 2 {
+		t.Fatalf("trips after half-open failure = %d, want 2", b.Trips())
+	}
+}
+
+// TestBreakerConcurrentTrippers hammers one breaker from many
+// goroutines (run under -race): the breaker must stay internally
+// consistent and end in a deterministic terminal state.
+func TestBreakerConcurrentTrippers(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 5, Cooldown: time.Hour})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch {
+				case i%7 == 0:
+					b.Probe()
+				case i%3 == 0:
+					b.Allow()
+				default:
+					b.Failure()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// With a 1-hour cooldown and thousands of failures, the breaker
+	// must have tripped and stayed open.
+	if got := b.State(); got != Open {
+		t.Fatalf("state after storm = %v, want open", got)
+	}
+	if b.Trips() == 0 {
+		t.Fatal("no trips recorded")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half_open", State(9): "unknown"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	var agg Stats
+	agg.Add(Stats{BreakerState: "closed", Retries: 2, DeadlineExceeded: 1})
+	agg.Add(Stats{BreakerState: "open", BreakerTrips: 3, BreakerFastFails: 4, RetryBudgetExhausted: 5})
+	if agg.BreakerState != "open" {
+		t.Errorf("aggregate state = %q, want open (pessimistic)", agg.BreakerState)
+	}
+	if agg.Retries != 2 || agg.BreakerTrips != 3 || agg.BreakerFastFails != 4 || agg.RetryBudgetExhausted != 5 || agg.DeadlineExceeded != 1 {
+		t.Errorf("aggregate counters wrong: %+v", agg)
+	}
+	var agg2 Stats
+	agg2.Add(Stats{BreakerState: "half_open"})
+	agg2.Add(Stats{BreakerState: "closed"})
+	if agg2.BreakerState != "half_open" {
+		t.Errorf("aggregate state = %q, want half_open", agg2.BreakerState)
+	}
+}

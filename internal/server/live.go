@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -20,6 +21,30 @@ import (
 	"repro/internal/refresh"
 	"repro/internal/shard"
 )
+
+// setRetryAfter stamps a Retry-After header of d rounded up to whole
+// seconds (minimum 1 — the header speaks integer seconds). Every 503
+// this server sheds with carries one so clients back off by advice
+// instead of guessing.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// retryAfterBacklog stamps Retry-After from the deepest shard backlog:
+// the fuller the queue, the longer the advised wait.
+func (s *Server) retryAfterBacklog(w http.ResponseWriter) {
+	pending := 0
+	for _, st := range s.sp.Statuses() {
+		if st.Status.Pending > pending {
+			pending = st.Status.Pending
+		}
+	}
+	setRetryAfter(w, refresh.RetryAfter(pending, refresh.DefaultMaxPending))
+}
 
 // EdgesRequest is the /v1/edges body: edge endpoints are [u, v] pairs
 // of node ids. The batch is validated atomically — one invalid edge
@@ -68,19 +93,22 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "edges request must add or remove at least one edge")
 		return
 	}
-	vec, queued, touched, err := s.sp.Enqueue(req.Add, req.Remove)
+	vec, queued, touched, err := s.sp.Enqueue(r.Context(), req.Add, req.Remove)
 	var buildErr coverBuildError
 	switch {
 	case errors.Is(err, refresh.ErrBacklogFull):
+		s.retryAfterBacklog(w)
 		writeError(w, http.StatusServiceUnavailable, "refresh backlog full, retry later")
 		return
 	case errors.Is(err, refresh.ErrClosed):
+		setRetryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case errors.Is(err, shard.ErrUnavailable):
 		// A target shard process is down or unreachable: shed load, the
 		// client retries once the shard is back (edge operations are
 		// idempotent, so a retry after a partial fan-out is safe too).
+		setRetryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case errors.As(err, &buildErr):
@@ -97,11 +125,13 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	vec, err = s.sp.Flush(r.Context(), touched)
 	if err != nil {
 		if errors.Is(err, refresh.ErrClosed) {
+			setRetryAfter(w, time.Second)
 			writeError(w, http.StatusServiceUnavailable, "server shutting down")
 			return
 		}
 		// Deadline or client cancellation while waiting: the batch stays
 		// queued and will still be applied.
+		setRetryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, "queued but not yet applied: %v", err)
 		return
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/persist"
+	"repro/internal/resilience"
 	"repro/internal/shard"
 )
 
@@ -138,6 +139,14 @@ type refreshMetrics struct {
 	DirtyNodes              int     `json:"dirty_nodes,omitempty"`
 }
 
+// resilienceMetrics is one shard backend's breaker/retry/deadline
+// counter block in /debug/metrics. Replicated shards aggregate their
+// members (each member's own block rides on the replicas vector).
+type resilienceMetrics struct {
+	Shard int `json:"shard"`
+	resilience.Stats
+}
+
 // metricsResponse is the GET /debug/metrics body.
 type metricsResponse struct {
 	BoundsMillis []float64               `json:"bounds_millis"`
@@ -156,6 +165,10 @@ type metricsResponse struct {
 	// only): read/hedge/failover counters plus every member's freshness
 	// lag and live load. Shards without replica sets are omitted.
 	Replicas []*shard.ReplicaSetStats `json:"replicas,omitempty"`
+	// Resilience is the per-shard breaker/retry/deadline counter vector
+	// (routers with remote backends only): breaker state and trips,
+	// retries spent, budget refusals, RPCs lost to deadlines.
+	Resilience []resilienceMetrics `json:"resilience,omitempty"`
 }
 
 // handleDebugMetrics serves the metrics registry — JSON by default, the
@@ -175,11 +188,12 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 		cst = &st
 	}
 	reps := s.replicaStats()
+	res := s.resilienceStats()
 	if r.URL.Query().Get("format") == "prometheus" {
-		s.metrics.writePrometheus(w, refresh, pst, cst, reps)
+		s.metrics.writePrometheus(w, refresh, pst, cst, reps, res)
 		return
 	}
-	s.metrics.handleDebug(w, refresh, pst, cst, reps)
+	s.metrics.handleDebug(w, refresh, pst, cst, reps, res)
 }
 
 // replicaStats asks the provider for per-shard replica-set state; nil
@@ -201,6 +215,25 @@ func (s *Server) replicaStats() []*shard.ReplicaSetStats {
 	}
 	if len(out) == 0 {
 		return nil
+	}
+	return out
+}
+
+// resilienceStats asks the provider for each shard backend's
+// breaker/retry/deadline counters; nil when no backend has a transport
+// to break (single path, in-process sharded path).
+func (s *Server) resilienceStats() []resilienceMetrics {
+	rp, ok := s.sp.(interface {
+		ResilienceStats() []*resilience.Stats
+	})
+	if !ok {
+		return nil
+	}
+	var out []resilienceMetrics
+	for sh, st := range rp.ResilienceStats() {
+		if st != nil {
+			out = append(out, resilienceMetrics{Shard: sh, Stats: *st})
+		}
 	}
 	return out
 }
@@ -236,7 +269,7 @@ func (s *Server) refreshMetrics() []refreshMetrics {
 	return out
 }
 
-func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats) {
+func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats, res []resilienceMetrics) {
 	resp := metricsResponse{
 		BoundsMillis: latencyBoundsMillis,
 		Routes:       make(map[string]routeMetrics, len(m.names)),
@@ -244,6 +277,7 @@ func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetric
 		Persist:      pst,
 		SearchCache:  cst,
 		Replicas:     reps,
+		Resilience:   res,
 	}
 	for _, name := range m.names {
 		rs := m.stats[name]
@@ -272,7 +306,7 @@ func promEscape(v string) string { return promReplacer.Replace(v) }
 // exposition format: per-shard refresh gauges plus per-route request
 // counters. Everything is assembled from the same atomics as the JSON
 // body — no extra bookkeeping on the hot path.
-func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats) {
+func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats, res []resilienceMetrics) {
 	var b strings.Builder
 	b.WriteString("# HELP ocad_shard_queue_depth Mutations queued on the shard, not yet reflected in any snapshot.\n")
 	b.WriteString("# TYPE ocad_shard_queue_depth gauge\n")
@@ -378,6 +412,45 @@ func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMe
 		b.WriteString("# TYPE ocad_replica_hedge_wins_total counter\n")
 		for _, st := range reps {
 			fmt.Fprintf(&b, "ocad_replica_hedge_wins_total{shard=\"%d\"} %d\n", st.Shard, st.HedgeWins)
+		}
+	}
+	if len(res) > 0 {
+		b.WriteString("# HELP ocad_breaker_state Circuit breaker state per shard backend (0 closed, 1 half-open, 2 open).\n")
+		b.WriteString("# TYPE ocad_breaker_state gauge\n")
+		for _, e := range res {
+			v := 0
+			switch e.BreakerState {
+			case "half_open":
+				v = 1
+			case "open":
+				v = 2
+			}
+			fmt.Fprintf(&b, "ocad_breaker_state{shard=\"%d\"} %d\n", e.Shard, v)
+		}
+		b.WriteString("# HELP ocad_breaker_trips_total Times the shard backend's breaker opened.\n")
+		b.WriteString("# TYPE ocad_breaker_trips_total counter\n")
+		for _, e := range res {
+			fmt.Fprintf(&b, "ocad_breaker_trips_total{shard=\"%d\"} %d\n", e.Shard, e.BreakerTrips)
+		}
+		b.WriteString("# HELP ocad_breaker_fast_fails_total RPCs refused locally because the breaker was open.\n")
+		b.WriteString("# TYPE ocad_breaker_fast_fails_total counter\n")
+		for _, e := range res {
+			fmt.Fprintf(&b, "ocad_breaker_fast_fails_total{shard=\"%d\"} %d\n", e.Shard, e.BreakerFastFails)
+		}
+		b.WriteString("# HELP ocad_retries_total Idempotent-read retry attempts spent against the shard backend.\n")
+		b.WriteString("# TYPE ocad_retries_total counter\n")
+		for _, e := range res {
+			fmt.Fprintf(&b, "ocad_retries_total{shard=\"%d\"} %d\n", e.Shard, e.Retries)
+		}
+		b.WriteString("# HELP ocad_retry_budget_exhausted_total Retries refused by the token-bucket retry budget.\n")
+		b.WriteString("# TYPE ocad_retry_budget_exhausted_total counter\n")
+		for _, e := range res {
+			fmt.Fprintf(&b, "ocad_retry_budget_exhausted_total{shard=\"%d\"} %d\n", e.Shard, e.RetryBudgetExhausted)
+		}
+		b.WriteString("# HELP ocad_deadline_exceeded_total Shard RPCs abandoned to a deadline or caller hang-up.\n")
+		b.WriteString("# TYPE ocad_deadline_exceeded_total counter\n")
+		for _, e := range res {
+			fmt.Fprintf(&b, "ocad_deadline_exceeded_total{shard=\"%d\"} %d\n", e.Shard, e.DeadlineExceeded)
 		}
 	}
 	b.WriteString("# HELP ocad_http_requests_total Requests served, by route.\n")

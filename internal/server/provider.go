@@ -47,8 +47,9 @@ type SnapshotProvider interface {
 	// Enqueue validates and queues a batch of global edge mutations,
 	// returning each shard's generation at enqueue time, the number of
 	// accepted operations, and the shards that received work (what a
-	// waiting client passes to Flush).
-	Enqueue(add, remove [][2]int32) (vec shard.GenVector, queued int, touched []int, err error)
+	// waiting client passes to Flush). ctx bounds the remote fan-out on
+	// multi-process providers; in-process queues never block on it.
+	Enqueue(ctx context.Context, add, remove [][2]int32) (vec shard.GenVector, queued int, touched []int, err error)
 	// Flush blocks until the listed shards (all when nil) have
 	// reflected their previously enqueued mutations, returning the full
 	// generation vector — waiting on only the touched shards keeps one
@@ -119,7 +120,7 @@ type coverBuildError struct{ err error }
 func (e coverBuildError) Error() string { return e.err.Error() }
 func (e coverBuildError) Unwrap() error { return e.err }
 
-func (p singleProvider) Enqueue(add, remove [][2]int32) (shard.GenVector, int, []int, error) {
+func (p singleProvider) Enqueue(_ context.Context, add, remove [][2]int32) (shard.GenVector, int, []int, error) {
 	// Mutating a lazy server materializes the first cover: there must
 	// be a generation 1 for the rebuild to start from.
 	if err := p.s.ensureCover(); err != nil {

@@ -46,6 +46,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/persist"
 	"repro/internal/refresh"
+	"repro/internal/resilience"
 	"repro/internal/search"
 	"repro/internal/shard"
 	"repro/internal/spectral"
@@ -777,6 +778,9 @@ type healthShard struct {
 	// Replicas (replicated routers only) is the shard's replica-set
 	// member vector: per-member generation, lag, load and health.
 	Replicas []shard.ReplicaStat `json:"replicas,omitempty"`
+	// Resilience (remote backends only) is the shard's breaker/retry/
+	// deadline counter block; replicated shards aggregate their members.
+	Resilience *resilience.Stats `json:"resilience,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -836,6 +840,12 @@ func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 	}); ok {
 		reps = rp.ReplicaStats()
 	}
+	var res []*resilience.Stats
+	if rp, ok := s.sp.(interface {
+		ResilienceStats() []*resilience.Stats
+	}); ok {
+		res = rp.ResilienceStats()
+	}
 	resp := healthzResponse{
 		Status:     "ok",
 		CoverReady: true,
@@ -855,6 +865,9 @@ func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 			hs := healthShard{Shard: v.Shard, Error: errString(v.Err)}
 			if i < len(reps) && reps[i] != nil {
 				hs.Replicas = reps[i].Members
+			}
+			if i < len(res) {
+				hs.Resilience = res[i]
 			}
 			resp.Shards[i] = hs
 			if resp.LastRefreshError == "" && v.Err != nil {
@@ -878,6 +891,9 @@ func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 		}
 		if i < len(reps) && reps[i] != nil {
 			hs.Replicas = reps[i].Members
+		}
+		if i < len(res) {
+			hs.Resilience = res[i]
 		}
 		resp.Shards[i] = hs
 		resp.Nodes += hs.Nodes
@@ -1124,6 +1140,7 @@ func (s *Server) handleNodeCommunities(w http.ResponseWriter, r *http.Request) {
 	if view.Err != nil {
 		// The owning shard is unreachable: an explicit 503, never a
 		// silently stale answer (the mirror may be generations behind).
+		setRetryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, "shard %d unavailable: %v", view.Shard, view.Err)
 		return
 	}
@@ -1275,6 +1292,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSearchSharded(w http.ResponseWriter, r *http.Request, req SearchRequest) {
 	view, local, ok, _ := s.sp.ViewFor(req.Seed)
 	if view.Err != nil {
+		setRetryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, "shard %d unavailable: %v", view.Shard, view.Err)
 		return
 	}
@@ -1389,6 +1407,7 @@ func writeSearchError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, "client canceled request")
 		return
 	}
+	setRetryAfter(w, time.Second)
 	writeError(w, http.StatusServiceUnavailable, "search pool saturated: %v", err)
 }
 

@@ -108,7 +108,7 @@ func TestShardPatchEquivalence(t *testing.T) {
 	}
 	apply := func(add, remove [][2]int32) {
 		t.Helper()
-		_, _, touched, err := r.Enqueue(add, remove)
+		_, _, touched, err := r.Enqueue(context.Background(), add, remove)
 		if err != nil {
 			t.Fatalf("Enqueue: %v", err)
 		}
@@ -179,7 +179,7 @@ func TestShardPatchFastpath(t *testing.T) {
 		before[s] = b.(*Worker).Snapshot()
 	}
 
-	_, _, touched, err := r.Enqueue(nil, [][2]int32{{12, 13}})
+	_, _, touched, err := r.Enqueue(context.Background(), nil, [][2]int32{{12, 13}})
 	if err != nil {
 		t.Fatalf("Enqueue: %v", err)
 	}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // ReplicaSetConfig tunes a ReplicaSet's read routing.
@@ -201,6 +203,13 @@ func (rs *ReplicaSet) candidates(fl uint64) []readCandidate {
 		if d, ok := m.(interface{ Draining() bool }); ok && d.Draining() {
 			continue
 		}
+		// A member whose circuit breaker is open (or probing) is skipped
+		// before paying its timeout; mirror reads of the member would
+		// succeed, but routing load to a known-broken backend delays its
+		// recovery and risks stale amplification.
+		if b, ok := m.(interface{ BreakerOpen() bool }); ok && b.BreakerOpen() {
+			continue
+		}
 		out = append(out, readCandidate{idx: i, view: v, score: rs.score(i)})
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].score < out[b].score })
@@ -223,6 +232,9 @@ func (rs *ReplicaSet) staleCandidates() []readCandidate {
 			continue
 		}
 		if d, ok := m.(interface{ Draining() bool }); ok && d.Draining() {
+			continue
+		}
+		if b, ok := m.(interface{ BreakerOpen() bool }); ok && b.BreakerOpen() {
 			continue
 		}
 		out = append(out, readCandidate{idx: i, view: v, score: rs.score(i)})
@@ -377,7 +389,9 @@ func (rs *ReplicaSet) EnsureLocal(global int32) int32 { return rs.members[0].Ens
 
 // Apply ships the batch to the primary; replicas pick it up through
 // their snapshot sync.
-func (rs *ReplicaSet) Apply(add, remove [][2]int32) error { return rs.members[0].Apply(add, remove) }
+func (rs *ReplicaSet) Apply(ctx context.Context, add, remove [][2]int32) error {
+	return rs.members[0].Apply(ctx, add, remove)
+}
 
 // Flush flushes the primary and raises the read-your-writes floor to
 // the flushed generation: until a replica's mirror catches up it is
@@ -451,6 +465,10 @@ type ReplicaStat struct {
 	Healthy  bool   `json:"healthy"`
 	Draining bool   `json:"draining,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Resilience carries the member's breaker/retry/deadline counters
+	// (remote members only — in-process backends have no transport to
+	// break).
+	Resilience *resilience.Stats `json:"resilience,omitempty"`
 }
 
 // ReplicaSetStats is one shard's replica-set state: counters plus every
@@ -464,6 +482,20 @@ type ReplicaSetStats struct {
 	Failovers uint64        `json:"failovers"`
 	Stale     uint64        `json:"stale_rejected"`
 	Members   []ReplicaStat `json:"members"`
+}
+
+// ResilienceStats aggregates every member's breaker/retry/deadline
+// counters (breaker state pessimistically: any open member reports
+// open) — the shard-level rollup the router exports. Members without a
+// transport (in-process workers) contribute nothing.
+func (rs *ReplicaSet) ResilienceStats() resilience.Stats {
+	var agg resilience.Stats
+	for _, m := range rs.members {
+		if rst, ok := m.(interface{ ResilienceStats() resilience.Stats }); ok {
+			agg.Add(rst.ResilienceStats())
+		}
+	}
+	return agg
 }
 
 // ReplicaStats reports the set's counters and per-member freshness. It
@@ -522,6 +554,10 @@ func (rs *ReplicaSet) ReplicaStats() ReplicaSetStats {
 		}
 		if d, ok := m.(interface{ Draining() bool }); ok {
 			r.Draining = d.Draining()
+		}
+		if rst, ok := m.(interface{ ResilienceStats() resilience.Stats }); ok {
+			s := rst.ResilienceStats()
+			r.Resilience = &s
 		}
 		st.Members[i] = r
 	}

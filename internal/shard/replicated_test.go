@@ -18,17 +18,18 @@ import (
 type fakeBackend struct {
 	shardID int
 
-	mu        sync.Mutex
-	gen       uint64
-	viewErr   error
-	statusErr string
-	pending   int
-	draining  bool
-	flushGen  uint64
-	flushErr  error
-	applies   int
-	flushes   int
-	closed    bool
+	mu          sync.Mutex
+	gen         uint64
+	viewErr     error
+	statusErr   string
+	pending     int
+	draining    bool
+	breakerOpen bool
+	flushGen    uint64
+	flushErr    error
+	applies     int
+	flushes     int
+	closed      bool
 }
 
 func (f *fakeBackend) set(fn func(*fakeBackend)) {
@@ -40,7 +41,7 @@ func (f *fakeBackend) set(fn func(*fakeBackend)) {
 func (f *fakeBackend) Lookup(g int32) (int32, bool) { return g, true }
 func (f *fakeBackend) EnsureLocal(g int32) int32    { return g }
 
-func (f *fakeBackend) Apply(add, remove [][2]int32) error {
+func (f *fakeBackend) Apply(_ context.Context, add, remove [][2]int32) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.applies++
@@ -80,6 +81,12 @@ func (f *fakeBackend) Draining() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.draining
+}
+
+func (f *fakeBackend) BreakerOpen() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.breakerOpen
 }
 
 func (f *fakeBackend) Close() {
@@ -182,6 +189,26 @@ func TestReplicaSetRouting(t *testing.T) {
 				rs.load[0].inflight.Store(10)
 			},
 			wantMember: 0,
+		},
+		{
+			// A member whose circuit breaker is open is excluded before any
+			// RPC is attempted — the set never pays a doomed timeout even
+			// though the member's mirror still looks healthy.
+			name: "breaker-open replica excluded",
+			gens: []uint64{5, 5},
+			prep: func(rs *ReplicaSet, fakes []*fakeBackend) {
+				fakes[1].set(func(f *fakeBackend) { f.breakerOpen = true })
+				rs.load[0].inflight.Store(10)
+			},
+			wantMember: 0,
+		},
+		{
+			name: "breaker-open primary leaves replica serving reads",
+			gens: []uint64{5, 5},
+			prep: func(_ *ReplicaSet, fakes []*fakeBackend) {
+				fakes[0].set(func(f *fakeBackend) { f.breakerOpen = true })
+			},
+			wantMember: 1,
 		},
 		{
 			name: "dead primary leaves replica serving reads",
@@ -383,7 +410,7 @@ func TestReplicaSetWritesGoToPrimary(t *testing.T) {
 	rs, fakes := newTestSet(t, []uint64{3, 3, 3}, ReplicaSetConfig{})
 	fakes[0].set(func(f *fakeBackend) { f.flushGen = 4 })
 
-	if err := rs.Apply([][2]int32{{0, 1}}, nil); err != nil {
+	if err := rs.Apply(context.Background(), [][2]int32{{0, 1}}, nil); err != nil {
 		t.Fatalf("Apply: %v", err)
 	}
 	gen, err := rs.Flush(context.Background())

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/refresh"
+	"repro/internal/resilience"
 )
 
 // Config tunes a Router. The zero value runs each shard's OCA with the
@@ -212,7 +213,7 @@ func (r *Router) genVector() GenVector {
 // queued counts the accepted global operations, and touched lists the
 // shards that received work (the ones a waiting client needs to
 // flush).
-func (r *Router) Enqueue(add, remove [][2]int32) (vec GenVector, queued int, touched []int, err error) {
+func (r *Router) Enqueue(ctx context.Context, add, remove [][2]int32) (vec GenVector, queued int, touched []int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -263,7 +264,7 @@ func (r *Router) Enqueue(add, remove [][2]int32) (vec GenVector, queued int, tou
 	// reason.
 	maxPending := r.maxPending
 	if maxPending <= 0 {
-		maxPending = 1 << 20 // refresh.Config's default
+		maxPending = refresh.DefaultMaxPending
 	}
 	for s, n := range counts {
 		if n == 0 {
@@ -296,7 +297,7 @@ func (r *Router) Enqueue(add, remove [][2]int32) (vec GenVector, queued int, tou
 		if len(ops[s].add)+len(ops[s].remove) == 0 {
 			continue
 		}
-		if err := r.backends[s].Apply(ops[s].add, ops[s].remove); err != nil {
+		if err := r.backends[s].Apply(ctx, ops[s].add, ops[s].remove); err != nil {
 			return r.genVector(), 0, nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 		touched = append(touched, s)
@@ -355,6 +356,21 @@ func (r *Router) ReplicaStats() []*ReplicaSetStats {
 	for s, b := range r.backends {
 		if rs, ok := b.(interface{ ReplicaStats() ReplicaSetStats }); ok {
 			st := rs.ReplicaStats()
+			out[s] = &st
+		}
+	}
+	return out
+}
+
+// ResilienceStats reports each shard backend's breaker/retry/deadline
+// counters, with a nil entry for backends without a transport to break
+// (in-process workers). Replica sets aggregate their members. It never
+// blocks and triggers no I/O.
+func (r *Router) ResilienceStats() []*resilience.Stats {
+	out := make([]*resilience.Stats, len(r.backends))
+	for s, b := range r.backends {
+		if rst, ok := b.(interface{ ResilienceStats() resilience.Stats }); ok {
+			st := rst.ResilienceStats()
 			out[s] = &st
 		}
 	}

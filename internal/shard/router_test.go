@@ -114,7 +114,7 @@ func TestRouterEnqueueValidation(t *testing.T) {
 		{"out of range remove", nil, [][2]int32{{0, 99}}},
 	}
 	for _, tc := range cases {
-		if _, queued, _, err := r.Enqueue(tc.add, tc.rm); err == nil || queued != 0 {
+		if _, queued, _, err := r.Enqueue(context.Background(), tc.add, tc.rm); err == nil || queued != 0 {
 			t.Errorf("%s: err=%v queued=%d, want rejection", tc.name, err, queued)
 		}
 	}
@@ -135,11 +135,11 @@ func TestRouterBacklogFullRejectsWholeBatch(t *testing.T) {
 	cfg.Debounce = time.Hour // nothing drains during the test
 	r := newTestRouter(t, 2, cfg)
 	// Two same-shard ops fill shard 0 ({0,6} and {2,8} are both even).
-	if _, _, _, err := r.Enqueue([][2]int32{{0, 6}, {2, 8}}, nil); err != nil {
+	if _, _, _, err := r.Enqueue(context.Background(), [][2]int32{{0, 6}, {2, 8}}, nil); err != nil {
 		t.Fatalf("fill shard 0: %v", err)
 	}
 	// A cross-shard edge needs one slot on each shard; shard 0 has none.
-	if _, _, _, err := r.Enqueue([][2]int32{{0, 9}}, nil); !strings.Contains(fmt.Sprint(err), refresh.ErrBacklogFull.Error()) {
+	if _, _, _, err := r.Enqueue(context.Background(), [][2]int32{{0, 9}}, nil); !strings.Contains(fmt.Sprint(err), refresh.ErrBacklogFull.Error()) {
 		t.Fatalf("over-full cross-shard enqueue: err = %v, want backlog-full", err)
 	}
 	sts := r.Statuses()
@@ -161,7 +161,7 @@ func TestRouterLagVisibleInGenVector(t *testing.T) {
 	before := flushlessGens(r)
 
 	// {0, 6} is a new edge living entirely on shard 0 (both even).
-	gv, queued, touched, err := r.Enqueue([][2]int32{{0, 6}}, nil)
+	gv, queued, touched, err := r.Enqueue(context.Background(), [][2]int32{{0, 6}}, nil)
 	if err != nil || queued != 1 {
 		t.Fatalf("Enqueue: queued=%d err=%v", queued, err)
 	}
@@ -210,7 +210,7 @@ func TestRouterOneShardFailingOthersAdvance(t *testing.T) {
 	r := newTestRouter(t, 2, cfg)
 
 	// A cross-shard edge mutates both shards.
-	if _, _, _, err := r.Enqueue([][2]int32{{0, 9}}, nil); err != nil {
+	if _, _, _, err := r.Enqueue(context.Background(), [][2]int32{{0, 9}}, nil); err != nil {
 		t.Fatalf("Enqueue: %v", err)
 	}
 	gv := flush(t, r)
@@ -250,7 +250,7 @@ func TestRouterGrowth(t *testing.T) {
 	}
 	// 12 is even → owned by shard 0; endpoint 9 is odd → shard 1 gains
 	// 12 as a ghost.
-	if _, queued, _, err := r.Enqueue([][2]int32{{9, 12}}, nil); err != nil || queued != 1 {
+	if _, queued, _, err := r.Enqueue(context.Background(), [][2]int32{{9, 12}}, nil); err != nil || queued != 1 {
 		t.Fatalf("growth enqueue: queued=%d err=%v", queued, err)
 	}
 	flush(t, r)
@@ -275,7 +275,7 @@ func TestRouterGrowth(t *testing.T) {
 		t.Errorf("NodeBound = %d, want 13", r.NodeBound())
 	}
 	// Beyond MaxNodes is still rejected.
-	if _, _, _, err := r.Enqueue([][2]int32{{0, 64}}, nil); err == nil {
+	if _, _, _, err := r.Enqueue(context.Background(), [][2]int32{{0, 64}}, nil); err == nil {
 		t.Error("enqueue past MaxNodes succeeded")
 	}
 }
@@ -302,9 +302,9 @@ func TestRouterConcurrentMutatorsAndFanOutReaders(t *testing.T) {
 				e := [2]int32{int32(m % 4), int32(6 + (i+m)%4)}
 				var err error
 				if i%2 == 0 {
-					_, _, _, err = r.Enqueue([][2]int32{e}, nil)
+					_, _, _, err = r.Enqueue(context.Background(), [][2]int32{e}, nil)
 				} else {
-					_, _, _, err = r.Enqueue(nil, [][2]int32{e})
+					_, _, _, err = r.Enqueue(context.Background(), nil, [][2]int32{e})
 				}
 				if err != nil {
 					errs <- fmt.Errorf("mutator %d: %v", m, err)
@@ -363,7 +363,7 @@ func TestRouterConcurrentMutatorsAndFanOutReaders(t *testing.T) {
 func TestRouterCloseRejectsMutationsKeepsReads(t *testing.T) {
 	r := newTestRouter(t, 2, testRouterConfig())
 	r.Close()
-	if _, _, _, err := r.Enqueue([][2]int32{{0, 9}}, nil); err == nil {
+	if _, _, _, err := r.Enqueue(context.Background(), [][2]int32{{0, 9}}, nil); err == nil {
 		t.Error("Enqueue after Close succeeded")
 	} else if !strings.Contains(err.Error(), refresh.ErrClosed.Error()) && err != refresh.ErrClosed {
 		t.Errorf("Enqueue after Close: %v, want ErrClosed", err)

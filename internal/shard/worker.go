@@ -42,11 +42,12 @@ type Backend interface {
 	// router's mutation lock; the append order defines the shard's id
 	// space, so it must be identical on every replica of the table.
 	EnsureLocal(global int32) int32
-	// Apply queues a batch of translated local-id mutations. The remote
-	// implementation ships any translation-table growth since the last
-	// successful Apply alongside the batch (the ghost-table update
-	// riding the mutation fan-out).
-	Apply(add, remove [][2]int32) error
+	// Apply queues a batch of translated local-id mutations, bounded by
+	// ctx for remote backends (a canceled caller cancels the in-flight
+	// RPC). The remote implementation ships any translation-table growth
+	// since the last successful Apply alongside the batch (the
+	// ghost-table update riding the mutation fan-out).
+	Apply(ctx context.Context, add, remove [][2]int32) error
 	// View returns the shard's current published generation. It never
 	// blocks; a degraded remote shard returns its last mirrored
 	// snapshot with View.Err set.
@@ -270,8 +271,9 @@ func (w *Worker) View() View {
 
 // Apply queues a batch of local-id mutations on the shard's refresh
 // worker. The caller has already translated and validated the batch
-// (router fan-out); the worker re-validates defensively.
-func (w *Worker) Apply(add, remove [][2]int32) error {
+// (router fan-out); the worker re-validates defensively. The enqueue
+// itself never blocks, so ctx is unused in-process.
+func (w *Worker) Apply(_ context.Context, add, remove [][2]int32) error {
 	_, _, err := w.worker.Enqueue(add, remove)
 	return err
 }
@@ -359,6 +361,10 @@ func (w *Worker) Status() WorkerStatus {
 // Snapshot returns the current published generation (the refresh-level
 // view; View adds the id translation).
 func (w *Worker) Snapshot() *refresh.Snapshot { return w.worker.Snapshot() }
+
+// MaxPending is the backlog capacity of the shard's refresh worker,
+// the denominator behind backlog-derived Retry-After hints.
+func (w *Worker) MaxPending() int { return w.worker.MaxPending() }
 
 // Close stops the shard's refresh worker. Reads keep serving the last
 // published generation; mutations fail afterwards.

@@ -1,0 +1,365 @@
+package transport
+
+// Chaos gate (`make test-chaos`): a real multi-process replicated
+// cluster — two shard servers, one replica on shard 0, one router —
+// driven through scripted, deterministic fault storms swapped in at
+// runtime via each process's /debug/fault-plan control endpoint.
+//
+// The invariants asserted across every storm:
+//   - no read answers 5xx while a live quorum exists for its shard;
+//   - per-shard generations never regress;
+//   - a tripped breaker is visible in /debug/metrics and the broken
+//     member is skipped without paying its timeout;
+//   - abandoned downstream work shows up in the deadline-exceeded
+//     counter;
+//   - the cluster recovers when the storm lifts, without restarting
+//     the router.
+//
+// With -short only the first storm (blackholed replica) runs — that is
+// the `make test-chaos-smoke` CI gate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/lfr"
+	"repro/internal/spectral"
+)
+
+// putPlan swaps the fault plan on one process's control endpoint.
+func putPlan(t *testing.T, addr string, p faultinject.Plan) {
+	t.Helper()
+	body, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, "http://"+addr+faultinject.ControlPath, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT fault plan to %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("PUT fault plan to %s = %d: %s", addr, resp.StatusCode, b)
+	}
+}
+
+// chaosResilience is one shard's entry in /debug/metrics "resilience".
+type chaosResilience struct {
+	Shard                int    `json:"shard"`
+	BreakerState         string `json:"breaker_state"`
+	BreakerTrips         uint64 `json:"breaker_trips"`
+	BreakerFastFails     uint64 `json:"breaker_fast_fails"`
+	Retries              uint64 `json:"retries"`
+	RetryBudgetExhausted uint64 `json:"retry_budget_exhausted"`
+	DeadlineExceeded     uint64 `json:"deadline_exceeded"`
+}
+
+// routerResilience fetches the router's per-shard resilience vector.
+func routerResilience(t *testing.T, base string) map[int]chaosResilience {
+	t.Helper()
+	var mr struct {
+		Resilience []chaosResilience `json:"resilience"`
+	}
+	if code := getJSON(t, base+"/debug/metrics", &mr); code != http.StatusOK {
+		t.Fatalf("/debug/metrics = %d", code)
+	}
+	out := make(map[int]chaosResilience, len(mr.Resilience))
+	for _, e := range mr.Resilience {
+		out[e.Shard] = e
+	}
+	return out
+}
+
+// chaosHealthz is the healthz shape the chaos gate inspects.
+type chaosHealthz struct {
+	Status string `json:"status"`
+	Shards []struct {
+		Shard      int    `json:"shard"`
+		Generation uint64 `json:"generation"`
+		Replicas   []struct {
+			Role    string `json:"role"`
+			Healthy bool   `json:"healthy"`
+		} `json:"replicas"`
+	} `json:"shards"`
+}
+
+// shardGens snapshots per-shard generations from healthz.
+func shardGens(t *testing.T, base string) map[int]uint64 {
+	t.Helper()
+	var hr chaosHealthz
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	out := make(map[int]uint64, len(hr.Shards))
+	for _, sh := range hr.Shards {
+		out[sh.Shard] = sh.Generation
+	}
+	return out
+}
+
+// assertGensMonotone fails if any shard's generation regressed.
+func assertGensMonotone(t *testing.T, what string, before, after map[int]uint64) {
+	t.Helper()
+	for sh, g := range after {
+		if prev, ok := before[sh]; ok && g < prev {
+			t.Errorf("%s: shard %d generation regressed %d -> %d", what, sh, prev, g)
+		}
+	}
+}
+
+func TestChaosCluster(t *testing.T) {
+	bench, err := lfr.Generate(lfr.Params{
+		N: 250, AvgDeg: 14, MaxDeg: 30, Mu: 0.02,
+		MinCom: 25, MaxCom: 45, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("lfr.Generate: %v", err)
+	}
+	g := bench.Graph
+	c, err := spectral.C(g, spectral.Options{})
+	if err != nil {
+		t.Fatalf("spectral.C: %v", err)
+	}
+
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "graph.txt")
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+
+	// Every process starts with an empty (inject-nothing) plan; the
+	// storms below swap real plans in over the control endpoint.
+	planPath := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(planPath, []byte(`{"seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shard servers, one replica following shard 0, one router with
+	// a tight shard RPC deadline so paying a blackhole timeout is
+	// measurably different from skipping a broken member.
+	const k = 2
+	common := []string{"-in", graphPath, "-seed", "11", "-c", fmt.Sprintf("%g", c),
+		"-refresh-debounce", "5ms", "-fault-plan", planPath, "-addr", "127.0.0.1:0"}
+	shardProcs := make([]*ocadProc, k)
+	shardAddrs := make([]string, k)
+	for s := 0; s < k; s++ {
+		af := filepath.Join(dir, fmt.Sprintf("shard%d.addr", s))
+		shardProcs[s] = startOcad(t, append(append([]string{}, common...),
+			"-shards", fmt.Sprint(k), "-serve-shard", fmt.Sprint(s), "-addr-file", af)...)
+		shardAddrs[s] = waitAddrFile(t, shardProcs[s], af, 60*time.Second)
+	}
+	replicaAF := filepath.Join(dir, "replica.addr")
+	replica := startOcad(t,
+		"-follow", shardAddrs[0],
+		"-shard-poll-interval", "10ms",
+		"-fault-plan", planPath,
+		"-addr", "127.0.0.1:0", "-addr-file", replicaAF)
+	replicaAddr := waitAddrFile(t, replica, replicaAF, 60*time.Second)
+
+	routerAF := filepath.Join(dir, "router.addr")
+	router := startOcad(t,
+		"-shard-addrs", strings.Join(shardAddrs, ","),
+		"-shards", fmt.Sprint(k),
+		"-replica-addrs", replicaAddr+";",
+		"-shard-poll-interval", "10ms",
+		"-shard-request-timeout", "500ms",
+		"-addr", "127.0.0.1:0", "-addr-file", routerAF)
+	base := "http://" + waitAddrFile(t, router, routerAF, 60*time.Second)
+
+	var hr chaosHealthz
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("boot healthz = %d %q; router logs:\n%s", code, hr.Status, router.logs())
+	}
+	if len(hr.Shards) != k || len(hr.Shards[0].Replicas) != 2 {
+		t.Fatalf("boot healthz shards: %+v, want %d shards with primary+replica on shard 0", hr.Shards, k)
+	}
+	gens := shardGens(t, base)
+
+	// --- Storm 1 (the -short smoke): blackhole the replica's wire
+	// surface. The router's breaker on that member must trip, reads must
+	// keep answering 200 from the primary without paying the blackhole
+	// timeout, and clearing the plan must close the breaker and restore
+	// member health — all without touching the router.
+	putPlan(t, replicaAddr, faultinject.Plan{Seed: 42, Rules: []faultinject.Rule{
+		{Path: "/shard/", Blackhole: true},
+	}})
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if rs := routerResilience(t, base); rs[0].BreakerState != "closed" && rs[0].BreakerTrips >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never tripped on blackholed replica; metrics: %+v; router logs:\n%s",
+				routerResilience(t, base), router.logs())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// With the breaker open the member is excluded before any RPC: 20
+	// sequential reads must come straight from the primary. If each paid
+	// the 500ms blackhole timeout instead, this would take >= 10s.
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if code := getJSON(t, fmt.Sprintf("%s/v1/node/%d/communities", base, (2*i)%g.N()), nil); code != http.StatusOK {
+			t.Fatalf("read %d with breaker-open replica = %d, want 200", i, code)
+		}
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("20 reads with breaker-open replica took %v — the broken member is being paid for", d)
+	}
+
+	// Lift the storm: the poller's half-open probe must close the
+	// breaker and the member must return to healthy, router untouched.
+	putPlan(t, replicaAddr, faultinject.Plan{Seed: 42})
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		rs := routerResilience(t, base)
+		getJSON(t, base+"/healthz", &hr)
+		healthy := hr.Status == "ok" && len(hr.Shards) > 0 && len(hr.Shards[0].Replicas) == 2 &&
+			hr.Shards[0].Replicas[0].Healthy && hr.Shards[0].Replicas[1].Healthy
+		if rs[0].BreakerState == "closed" && healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never recovered after clearing the plan: metrics %+v healthz %+v", rs[0], hr)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	after := shardGens(t, base)
+	assertGensMonotone(t, "storm 1", gens, after)
+	gens = after
+
+	if testing.Short() {
+		return // smoke gate ends here; the full gate runs the remaining storms
+	}
+
+	// --- Storm 2: stall shard 0's primary by 150ms per request. Reads
+	// must stay clean (the replica absorbs them, and 150ms is inside the
+	// 500ms RPC deadline), a wait=true write must still succeed, and a
+	// client that hangs up mid-write must surface in the
+	// deadline-exceeded counter — the downstream RPC was canceled, not
+	// left running.
+	putPlan(t, shardAddrs[0], faultinject.Plan{Seed: 43, Rules: []faultinject.Rule{
+		{Path: "/shard/", LatencyMs: 150},
+	}})
+
+	var (
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		reads    atomic.Int64
+		readErrs atomic.Int64
+	)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			cl := &http.Client{Timeout: 10 * time.Second}
+			for i := seed; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := cl.Get(fmt.Sprintf("%s/v1/node/%d/communities", base, i%g.N()))
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				resp.Body.Close()
+				reads.Add(1)
+				if resp.StatusCode >= 500 {
+					readErrs.Add(1)
+					t.Errorf("read answered %d during primary stall", resp.StatusCode)
+				}
+			}
+		}(100 * r)
+	}
+
+	// wait=true write through the stalled primary: slow but successful.
+	if code := postJSON(t, base+"/v1/edges", map[string]any{"add": [][2]int32{{0, 2}}, "wait": true}, nil); code != http.StatusOK {
+		t.Errorf("edges wait=true through stalled primary = %d, want 200", code)
+	}
+
+	// A client that gives up after 50ms abandons a write the primary is
+	// stalling on; the router must cancel the downstream RPC and count
+	// it.
+	impatient := &http.Client{Timeout: 50 * time.Millisecond}
+	for i := 0; i < 3; i++ {
+		body, _ := json.Marshal(map[string]any{"add": [][2]int32{{4, 6}}})
+		resp, err := impatient.Post(base+"/v1/edges", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if routerResilience(t, base)[0].DeadlineExceeded >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned writes never surfaced in deadline_exceeded; metrics: %+v", routerResilience(t, base))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if reads.Load() == 0 {
+		t.Fatal("no reads ran during the primary stall")
+	}
+	if readErrs.Load() != 0 {
+		t.Fatalf("%d/%d reads answered 5xx during the primary stall, want 0", readErrs.Load(), reads.Load())
+	}
+	putPlan(t, shardAddrs[0], faultinject.Plan{Seed: 43})
+	after = shardGens(t, base)
+	assertGensMonotone(t, "storm 2", gens, after)
+	gens = after
+
+	// --- Storm 3: flap shard 1 — every request errors, then the storm
+	// lifts. Health must degrade and recover (no router restart), shard
+	// 0 reads must never notice, and generations must stay monotone.
+	putPlan(t, shardAddrs[1], faultinject.Plan{Seed: 44, Rules: []faultinject.Rule{
+		{Path: "/shard/", ErrorRate: 1},
+	}})
+	waitForStatus(t, base, "degraded")
+	for i := 0; i < 10; i++ {
+		if code := getJSON(t, fmt.Sprintf("%s/v1/node/%d/communities", base, 2*i), nil); code != http.StatusOK {
+			t.Fatalf("shard-0 read %d during shard-1 flap = %d, want 200", i, code)
+		}
+	}
+	putPlan(t, shardAddrs[1], faultinject.Plan{Seed: 44})
+	waitForStatus(t, base, "ok")
+	after = shardGens(t, base)
+	assertGensMonotone(t, "storm 3", gens, after)
+
+	// The recovered cluster serves both shards again.
+	for _, id := range []int{0, 1, 2, 3} {
+		if code := getJSON(t, fmt.Sprintf("%s/v1/node/%d/communities", base, id), nil); code != http.StatusOK {
+			t.Fatalf("post-recovery read of node %d = %d, want 200", id, code)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/refresh"
+	"repro/internal/resilience"
 	"repro/internal/shard"
 )
 
@@ -61,6 +63,17 @@ type Client struct {
 	// member that is about to go away.
 	draining atomic.Bool
 
+	// breaker trips on consecutive transport-level failures so a dead
+	// backend costs a fast-fail, not a timeout; the generation poller is
+	// its half-open probe vehicle. retryer re-runs idempotent reads
+	// (lookup, snapshot) under the shared budget — never apply, which
+	// stays at-least-once via table reconciliation. deadlineExceeded
+	// counts RPCs abandoned to a deadline or caller hang-up.
+	breaker          *resilience.Breaker
+	retryer          *resilience.Retryer
+	budget           *resilience.Budget
+	deadlineExceeded atomic.Uint64
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	started  atomic.Bool
@@ -104,6 +117,7 @@ func (c ClientConfig) withDefaults() ClientConfig {
 // newClient performs no I/O; Dial handshakes and starts the poller.
 func newClient(base string, shardID, k int, cfg ClientConfig) *Client {
 	cfg = cfg.withDefaults()
+	budget := resilience.NewBudget(0, 0) // package defaults
 	return &Client{
 		base:    base,
 		shardID: shardID,
@@ -115,6 +129,9 @@ func newClient(base string, shardID, k int, cfg ClientConfig) *Client {
 		index:   make(map[int32]int32),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{}),
+		retryer: resilience.NewRetryer(resilience.RetryConfig{}, budget),
+		budget:  budget,
 	}
 }
 
@@ -155,6 +172,40 @@ func (c *Client) unavailable(err error) error {
 	return fmt.Errorf("shard %d (%s): %w: %v", c.shardID, c.base, shard.ErrUnavailable, err)
 }
 
+// errBreakerOpen marks a fast-fail: the RPC was refused locally because
+// the backend's circuit breaker is open. Kept in the error chain (the
+// retry classifier must see it: fast-fails never retry).
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// unavailableCause is unavailable with the cause kept inspectable by
+// errors.Is — used for local refusals the caller branches on.
+func (c *Client) unavailableCause(err error) error {
+	return fmt.Errorf("shard %d (%s): %w: %w", c.shardID, c.base, shard.ErrUnavailable, err)
+}
+
+// noteFailure classifies a transport-level failure for the breaker. A
+// caller hang-up (context.Canceled) says nothing about the backend's
+// health, so it only counts toward deadlineExceeded; a timeout counts
+// both ways; everything else is pure backend failure evidence.
+func (c *Client) noteFailure(err error) {
+	if errors.Is(err, context.Canceled) {
+		c.deadlineExceeded.Add(1)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		c.deadlineExceeded.Add(1)
+	}
+	c.breaker.Failure()
+}
+
+// retryable decides whether a failed idempotent read may re-run:
+// transport-level unavailability retries, a breaker fast-fail never
+// does (the breaker's verdict overrides the retry policy), and protocol
+// errors (conflict, bad request, backlog) surface immediately.
+func (c *Client) retryable(err error) bool {
+	return errors.Is(err, shard.ErrUnavailable) && !errors.Is(err, errBreakerOpen)
+}
+
 // doJSON posts a JSON body and decodes a JSON response, translating
 // protocol error codes to the sentinel errors the router and serving
 // layer branch on.
@@ -163,16 +214,22 @@ func (c *Client) doJSON(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
+	if !c.breaker.Allow() {
+		return c.unavailableCause(errBreakerOpen)
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(HeaderProtocol, strconv.Itoa(Version))
+	stampDeadline(req, ctx)
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.noteFailure(err)
 		return c.unavailable(err)
 	}
+	c.breaker.Success()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var er errorResponse
@@ -193,17 +250,23 @@ func (c *Client) doJSON(ctx context.Context, path string, in, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// health probes the remote generation and worker status.
+// health probes the remote generation and worker status. Deliberately
+// not gated by the breaker: the poller's health probe IS the breaker's
+// recovery signal (its outcome feeds Success/Failure), and gating it
+// would leave an open breaker no way back.
 func (c *Client) health(ctx context.Context) (Health, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathHealth, nil)
 	if err != nil {
 		return Health{}, err
 	}
 	req.Header.Set(HeaderProtocol, strconv.Itoa(Version))
+	stampDeadline(req, ctx)
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.noteFailure(err)
 		return Health{}, c.unavailable(err)
 	}
+	c.breaker.Success()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return Health{}, c.unavailable(fmt.Errorf("health: http %d", resp.StatusCode))
@@ -248,27 +311,51 @@ func (c *Client) syncSnapshotCtx(parent context.Context) error {
 	if since > 0 {
 		url += "?since=" + strconv.FormatUint(since, 10)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	// The transfer is idempotent (a pure read of the published
+	// generation), so transient failures — including a torn stream
+	// mid-decode — retry under the shared budget.
+	var (
+		snap        *refresh.Snapshot
+		table       []int32
+		notModified bool
+	)
+	err := c.retryer.Do(ctx, c.retryable, func() error {
+		if !c.breaker.Allow() {
+			return c.unavailableCause(errBreakerOpen)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set(HeaderProtocol, strconv.Itoa(Version))
+		stampDeadline(req, ctx)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			c.noteFailure(err)
+			return c.unavailable(err)
+		}
+		c.breaker.Success()
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusNotModified:
+			notModified = true
+			return nil
+		case http.StatusOK:
+		default:
+			return c.unavailable(fmt.Errorf("snapshot: http %d", resp.StatusCode))
+		}
+		snap, table, err = decodeSnapshot(resp.Body, c.shardID, c.k)
+		if err != nil {
+			return c.unavailable(err)
+		}
+		return nil
+	})
 	if err != nil {
-		return err
+		return c.fail(err)
 	}
-	req.Header.Set(HeaderProtocol, strconv.Itoa(Version))
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return c.fail(c.unavailable(err))
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusNotModified:
+	if notModified {
 		c.clearErr()
 		return nil
-	case http.StatusOK:
-	default:
-		return c.fail(c.unavailable(fmt.Errorf("snapshot: http %d", resp.StatusCode)))
-	}
-	snap, table, err := decodeSnapshot(resp.Body, c.shardID, c.k)
-	if err != nil {
-		return c.fail(c.unavailable(err))
 	}
 	c.adoptTable(table)
 	// Carry the last health probe's status forward (the poller refreshes
@@ -353,6 +440,12 @@ func (c *Client) poll() {
 			return
 		case <-t.C:
 		}
+		// The poller is the breaker's probe vehicle: while open, skip the
+		// doomed RPC until the cooldown admits a half-open probe; the
+		// probe's health outcome then closes or reopens the breaker.
+		if c.breaker.State() != resilience.Closed && !c.breaker.Probe() {
+			continue
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), c.reqTO)
 		h, err := c.health(ctx)
 		cancel()
@@ -408,9 +501,12 @@ func (c *Client) EnsureLocal(global int32) int32 {
 }
 
 // Apply ships the translated batch plus any table growth since the
-// last acknowledged ship. Retries are safe: the server reconciles
-// re-shipped table entries and edge operations are idempotent.
-func (c *Client) Apply(add, remove [][2]int32) error {
+// last acknowledged ship. Bounded by the caller's context as well as
+// the request timeout, so a canceled client request cancels the
+// downstream RPC. This layer never auto-retries apply — delivery is
+// at-least-once only because the server reconciles re-shipped table
+// entries; the caller owns any re-send.
+func (c *Client) Apply(ctx context.Context, add, remove [][2]int32) error {
 	c.tabMu.RLock()
 	batch := shard.Batch{
 		Base:      c.shipped,
@@ -419,7 +515,7 @@ func (c *Client) Apply(add, remove [][2]int32) error {
 		Remove:    remove,
 	}
 	c.tabMu.RUnlock()
-	ctx, cancel := context.WithTimeout(context.Background(), c.reqTO)
+	ctx, cancel := context.WithTimeout(ctx, c.reqTO)
 	defer cancel()
 	var resp ApplyResponse
 	if err := c.doJSON(ctx, PathApply, ApplyRequest{Protocol: Version, Batch: batch}, &resp); err != nil {
@@ -478,8 +574,9 @@ func (c *Client) Flush(ctx context.Context) (uint64, error) {
 	}
 	// Bring the mirror forward now so the caller's next read — the
 	// /v1/edges wait=true contract — sees the flushed generation without
-	// paying a sync on the read path.
-	_ = c.syncSnapshot()
+	// paying a sync on the read path. Bounded by the caller's context:
+	// a client that already hung up shouldn't fund a snapshot transfer.
+	_ = c.syncSnapshotCtx(ctx)
 	return resp.Generation, nil
 }
 
@@ -495,10 +592,35 @@ func (c *Client) Status() shard.WorkerStatus {
 // Lookup RPC: answer a membership batch directly from the remote
 // shard's current snapshot, bypassing the mirror (used by tooling and
 // tests; the serving path reads the mirror).
+// Idempotent, so transient transport failures retry (jittered backoff,
+// shared budget); breaker fast-fails and protocol errors do not.
 func (c *Client) LookupRemote(ctx context.Context, ids []int32, members bool) (LookupResponse, error) {
 	var resp LookupResponse
-	err := c.doJSON(ctx, PathLookup, LookupRequest{Protocol: Version, IDs: ids, Members: members}, &resp)
+	err := c.retryer.Do(ctx, c.retryable, func() error {
+		actx, cancel := context.WithTimeout(ctx, c.reqTO)
+		defer cancel()
+		resp = LookupResponse{}
+		return c.doJSON(actx, PathLookup, LookupRequest{Protocol: Version, IDs: ids, Members: members}, &resp)
+	})
 	return resp, err
+}
+
+// BreakerOpen reports whether the circuit breaker currently refuses
+// regular traffic (open or half-open). Replica sets exclude such
+// members from read routing before paying a timeout.
+func (c *Client) BreakerOpen() bool { return c.breaker.State() != resilience.Closed }
+
+// ResilienceStats snapshots the client's breaker, retry, and deadline
+// counters for /healthz and /debug/metrics.
+func (c *Client) ResilienceStats() resilience.Stats {
+	return resilience.Stats{
+		BreakerState:         c.breaker.State().String(),
+		BreakerTrips:         c.breaker.Trips(),
+		BreakerFastFails:     c.breaker.FastFails(),
+		Retries:              c.retryer.Retries(),
+		RetryBudgetExhausted: c.budget.Exhausted(),
+		DeadlineExceeded:     c.deadlineExceeded.Load(),
+	}
 }
 
 // Close stops the poller. The remote process keeps running.

@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Deadline propagation (docs/PROTOCOL.md "Deadline propagation").
+//
+// A client whose context carries a deadline stamps the remaining budget
+// on every RPC as Ocad-Deadline-Ms; the server re-imposes that budget
+// on its own handler context so work the caller has already abandoned
+// is shed instead of finished into a closed connection. The header is
+// advisory and additive: servers without it behave as before, requests
+// without it run under the server's own limits only.
+
+// stampDeadline copies ctx's remaining budget onto req as the
+// Ocad-Deadline-Ms header. A deadline already in the past stamps 1ms —
+// the server sheds it immediately, which beats racing the transport.
+func stampDeadline(req *http.Request, ctx context.Context) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	ms := int64(math.Ceil(float64(time.Until(dl)) / float64(time.Millisecond)))
+	if ms < 1 {
+		ms = 1
+	}
+	req.Header.Set(HeaderDeadline, strconv.FormatInt(ms, 10))
+}
+
+// deadlineKey marks a request context whose deadline came from the
+// Ocad-Deadline-Ms header (vs the server's own limits), so handlers can
+// report deadline_exceeded rather than a generic interruption.
+type deadlineKey struct{}
+
+// fromDeadlineHeader reports whether ctx's deadline was imposed by the
+// client's Ocad-Deadline-Ms header and that budget has run out.
+func fromDeadlineHeader(ctx context.Context) bool {
+	flagged, _ := ctx.Value(deadlineKey{}).(bool)
+	return flagged && ctx.Err() != nil
+}
+
+// withDeadlineHeader parses the Ocad-Deadline-Ms header and bounds r's
+// context by it. Returns the possibly-rewrapped request, a cancel the
+// caller must run, and false (after answering 400) on a malformed
+// header.
+func withDeadlineHeader(w http.ResponseWriter, r *http.Request) (*http.Request, context.CancelFunc, bool) {
+	raw := r.Header.Get(HeaderDeadline)
+	if raw == "" {
+		return r, func() {}, true
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms < 1 {
+		writeCode(w, http.StatusBadRequest, CodeBadRequest, "invalid %s header %q", HeaderDeadline, raw)
+		return r, func() {}, false
+	}
+	ctx := context.WithValue(r.Context(), deadlineKey{}, true)
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return r.WithContext(ctx), cancel, true
+}
+
+// retryAfter stamps a Retry-After header of d rounded up to whole
+// seconds (minimum 1 — the header speaks integer seconds). Every 503
+// the protocol emits carries one, derived from the condition: queue
+// depth for backlog, poll cadence for replica misroutes, a fixed floor
+// for plain unavailability (docs/OPERATIONS.md "Failure modes").
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}

@@ -17,6 +17,14 @@ const (
 	// HeaderProtocol is the header both sides stamp with Version.
 	HeaderProtocol = "Ocad-Shard-Protocol"
 
+	// HeaderDeadline carries the caller's remaining time budget in
+	// integer milliseconds. Optional and additive (no version bump):
+	// clients with a context deadline stamp it on every request, servers
+	// that understand it shed work the caller has already abandoned. A
+	// missing header means "no deadline"; a malformed one is rejected
+	// with 400/bad_request.
+	HeaderDeadline = "Ocad-Deadline-Ms"
+
 	// ContentTypeSnapshot is the snapshot transfer's media type: one
 	// JSON header line, then the binary CSR graph (graph.WriteBinary).
 	ContentTypeSnapshot = "application/x-ocad-snapshot"
@@ -82,6 +90,11 @@ const (
 	// Replicas are read-only mirrors; route writes to the primary. Not
 	// retryable against the same server.
 	CodeNotPrimary = "not_primary"
+	// CodeDeadlineExceeded: the caller's Ocad-Deadline-Ms budget ran out
+	// while the server was still working; the work was shed. For flush,
+	// queued mutations stay queued and will still publish — identical
+	// recovery to interrupted.
+	CodeDeadlineExceeded = "deadline_exceeded"
 )
 
 // errorResponse is every non-2xx JSON body.
@@ -109,6 +122,9 @@ type Health struct {
 	// Draining reports a shutdown in progress: mutations are refused,
 	// reads still answer.
 	Draining bool `json:"draining"`
+	// DeadlineShed counts requests abandoned because the caller's
+	// Ocad-Deadline-Ms budget expired before the server finished.
+	DeadlineShed uint64 `json:"deadline_shed,omitempty"`
 	// Role distinguishes a writable primary from a read-only replica
 	// mirror; empty (pre-replication builds) means primary. Primary is
 	// the upstream a replica follows, set only when Role is "replica".

@@ -44,6 +44,7 @@ type ReplicaServer struct {
 	maxNodes    int
 	maxBody     int64
 	draining    atomic.Bool
+	shed        atomic.Uint64
 }
 
 // NewReplica connects to a primary shard server, mirrors its snapshot,
@@ -122,15 +123,28 @@ func (s *ReplicaServer) SetDraining(v bool) { s.draining.Store(v) }
 // Close stops the follow poller.
 func (s *ReplicaServer) Close() { s.c.Close() }
 
-// protocolMiddleware stamps and enforces the protocol-version header —
-// shared by the primary and replica servers so both surfaces negotiate
-// identically.
-func protocolMiddleware(mux http.Handler) http.Handler {
+// protocolMiddleware stamps and enforces the protocol-version header
+// and imposes the client's Ocad-Deadline-Ms budget on the handler
+// context — shared by the primary and replica servers so both surfaces
+// negotiate identically. Requests whose budget is already spent are
+// shed before dispatch (504, counted in shed).
+func protocolMiddleware(mux http.Handler, shed *atomic.Uint64) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(HeaderProtocol, strconv.Itoa(Version))
 		if v := r.Header.Get(HeaderProtocol); v != "" && v != strconv.Itoa(Version) {
 			writeCode(w, http.StatusBadRequest, CodeProtocolMismatch,
 				"protocol version %s not supported, this server speaks %d", v, Version)
+			return
+		}
+		r, cancel, ok := withDeadlineHeader(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		if r.Context().Err() != nil {
+			shed.Add(1)
+			writeCode(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				"caller deadline expired before dispatch")
 			return
 		}
 		mux.ServeHTTP(w, r)
@@ -146,7 +160,7 @@ func (s *ReplicaServer) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathApply, s.handleNotPrimary)
 	mux.HandleFunc("POST "+PathFlush, s.handleNotPrimary)
 	mux.HandleFunc("POST "+PathLookup, s.handleLookup)
-	return protocolMiddleware(mux)
+	return protocolMiddleware(mux, &s.shed)
 }
 
 func (s *ReplicaServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -155,17 +169,18 @@ func (s *ReplicaServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		info = m.snap.Info()
 	}
 	writeJSON(w, http.StatusOK, Health{
-		Protocol:    Version,
-		Shard:       s.shardID,
-		Shards:      s.k,
-		GlobalNodes: s.globalNodes,
-		MaxNodes:    s.maxNodes,
-		TableLen:    s.c.tableLen(),
-		Draining:    s.draining.Load(),
-		Role:        RoleReplica,
-		Primary:     s.primary,
-		Snapshot:    info,
-		Status:      s.c.Status(),
+		Protocol:     Version,
+		Shard:        s.shardID,
+		Shards:       s.k,
+		GlobalNodes:  s.globalNodes,
+		MaxNodes:     s.maxNodes,
+		TableLen:     s.c.tableLen(),
+		Draining:     s.draining.Load(),
+		DeadlineShed: s.shed.Load(),
+		Role:         RoleReplica,
+		Primary:      s.primary,
+		Snapshot:     info,
+		Status:       s.c.Status(),
 	})
 }
 
@@ -178,6 +193,7 @@ func (s *ReplicaServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *ReplicaServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	m := s.c.mirror.Load()
 	if m == nil || m.snap == nil {
+		retryAfter(w, s.c.pollIvl)
 		writeCode(w, http.StatusServiceUnavailable, "", "no snapshot mirrored from primary yet")
 		return
 	}
@@ -213,6 +229,7 @@ func (s *ReplicaServer) handleLookup(w http.ResponseWriter, r *http.Request) {
 	}
 	m := s.c.mirror.Load()
 	if m == nil || m.snap == nil {
+		retryAfter(w, s.c.pollIvl)
 		writeCode(w, http.StatusServiceUnavailable, "", "no snapshot mirrored from primary yet")
 		return
 	}
@@ -221,6 +238,9 @@ func (s *ReplicaServer) handleLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *ReplicaServer) handleNotPrimary(w http.ResponseWriter, _ *http.Request) {
+	// Retrying here is only useful after a failover promotes this
+	// replica; a poll interval is the soonest that could be visible.
+	retryAfter(w, s.c.pollIvl)
 	writeCode(w, http.StatusServiceUnavailable, CodeNotPrimary,
 		"read-only replica of %s: mutations must go to the primary", s.primary)
 }

@@ -138,7 +138,7 @@ func TestReplicaFollowsPrimary(t *testing.T) {
 	if !oka || !okb {
 		t.Fatal("globals 0/7 missing from the single shard's table")
 	}
-	if err := w.Apply([][2]int32{{la, lb}}, nil); err != nil {
+	if err := w.Apply(context.Background(), [][2]int32{{la, lb}}, nil); err != nil {
 		t.Fatalf("primary apply: %v", err)
 	}
 	gen, err := w.Flush(context.Background())
@@ -333,18 +333,30 @@ func TestReplicatedClusterEndToEnd(t *testing.T) {
 			t.Fatalf("lookup id %d with dead primary = %d, want 200 (read %d/50)", id, code, i)
 		}
 	}
-	if code := getJSON(t, ts.URL+"/healthz", &hr); code != http.StatusOK || hr.Status != "ok" {
-		t.Errorf("healthz with dead primary = %d %q, want 200 ok (reads are served)", code, hr.Status)
-	}
-	for _, sh := range hr.Shards {
-		if sh.Shard != 0 {
-			continue
+	// The poller marks the dead primary unhealthy on its own cadence —
+	// the write 503 above can come straight from a refused connection
+	// before the next health tick, so give the poller a beat.
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(10 * time.Millisecond) {
+		if code := getJSON(t, ts.URL+"/healthz", &hr); code != http.StatusOK || hr.Status != "ok" {
+			t.Fatalf("healthz with dead primary = %d %q, want 200 ok (reads are served)", code, hr.Status)
 		}
-		if sh.Replicas[0].Healthy {
-			t.Error("dead primary still reported healthy")
+		settled := true
+		for _, sh := range hr.Shards {
+			if sh.Shard != 0 {
+				continue
+			}
+			if sh.Replicas[0].Healthy {
+				settled = false
+			}
+			if !sh.Replicas[1].Healthy {
+				t.Error("serving replica reported unhealthy")
+			}
 		}
-		if !sh.Replicas[1].Healthy {
-			t.Error("serving replica reported unhealthy")
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead primary still reported healthy")
 		}
 	}
 }
@@ -392,7 +404,7 @@ func TestReplicaRejoin(t *testing.T) {
 	// Kill the replica, then advance the primary past its last mirror.
 	tsA.Close()
 	rsA.Close()
-	if _, _, _, err := rt.Enqueue([][2]int32{{0, 8}}, nil); err != nil {
+	if _, _, _, err := rt.Enqueue(context.Background(), [][2]int32{{0, 8}}, nil); err != nil {
 		t.Fatalf("Enqueue: %v", err)
 	}
 	vec, err := rt.Flush(context.Background(), nil)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/refresh"
 	"repro/internal/shard"
@@ -35,6 +36,7 @@ type ShardServer struct {
 	w        *shard.Worker
 	cfg      ServerConfig
 	draining atomic.Bool
+	shed     atomic.Uint64
 }
 
 // NewShardServer wraps a shard worker for serving.
@@ -60,7 +62,7 @@ func (s *ShardServer) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathApply, s.handleApply)
 	mux.HandleFunc("POST "+PathFlush, s.handleFlush)
 	mux.HandleFunc("POST "+PathLookup, s.handleLookup)
-	return protocolMiddleware(mux)
+	return protocolMiddleware(mux, &s.shed)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -75,16 +77,17 @@ func writeCode(w http.ResponseWriter, status int, code, format string, args ...a
 
 func (s *ShardServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, Health{
-		Protocol:    Version,
-		Shard:       s.w.Shard(),
-		Shards:      s.w.K(),
-		GlobalNodes: s.cfg.GlobalNodes,
-		MaxNodes:    s.cfg.MaxNodes,
-		TableLen:    len(s.w.Table()),
-		Draining:    s.draining.Load(),
-		Role:        RolePrimary,
-		Snapshot:    s.w.Snapshot().Info(),
-		Status:      s.w.Status(),
+		Protocol:     Version,
+		Shard:        s.w.Shard(),
+		Shards:       s.w.K(),
+		GlobalNodes:  s.cfg.GlobalNodes,
+		MaxNodes:     s.cfg.MaxNodes,
+		TableLen:     len(s.w.Table()),
+		Draining:     s.draining.Load(),
+		DeadlineShed: s.shed.Load(),
+		Role:         RolePrimary,
+		Snapshot:     s.w.Snapshot().Info(),
+		Status:       s.w.Status(),
 	})
 }
 
@@ -126,6 +129,7 @@ func decodeJSONBody(w http.ResponseWriter, r *http.Request, maxBody int64, v any
 
 func (s *ShardServer) handleApply(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		retryAfter(w, time.Second)
 		writeCode(w, http.StatusServiceUnavailable, CodeClosed, "shard draining")
 		return
 	}
@@ -136,8 +140,10 @@ func (s *ShardServer) handleApply(w http.ResponseWriter, r *http.Request) {
 	gen, queued, err := s.w.ApplyBatch(req.Batch)
 	switch {
 	case errors.Is(err, refresh.ErrBacklogFull):
+		retryAfter(w, refresh.RetryAfter(s.w.Status().Status.Pending, s.w.MaxPending()))
 		writeCode(w, http.StatusServiceUnavailable, CodeBacklogFull, "%v", err)
 	case errors.Is(err, refresh.ErrClosed):
+		retryAfter(w, time.Second)
 		writeCode(w, http.StatusServiceUnavailable, CodeClosed, "%v", err)
 	case errors.Is(err, shard.ErrTableConflict):
 		writeCode(w, http.StatusConflict, CodeTableConflict, "%v", err)
@@ -154,6 +160,7 @@ func (s *ShardServer) handleApply(w http.ResponseWriter, r *http.Request) {
 // caller's own timeout to enforce.
 func (s *ShardServer) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		retryAfter(w, time.Second)
 		writeCode(w, http.StatusServiceUnavailable, CodeClosed, "shard draining")
 		return
 	}
@@ -164,10 +171,17 @@ func (s *ShardServer) handleFlush(w http.ResponseWriter, r *http.Request) {
 	gen, err := s.w.Flush(r.Context())
 	switch {
 	case errors.Is(err, refresh.ErrClosed):
+		retryAfter(w, time.Second)
 		writeCode(w, http.StatusServiceUnavailable, CodeClosed, "%v", err)
+	case err != nil && fromDeadlineHeader(r.Context()):
+		// The caller's propagated budget ran out mid-wait: shed the work
+		// and say so — the batch stays queued and will still publish.
+		s.shed.Add(1)
+		writeCode(w, http.StatusGatewayTimeout, CodeDeadlineExceeded, "flush abandoned: %v", err)
 	case err != nil:
 		// Context cancellation: the batch stays queued and will still be
 		// applied; the client decides whether to re-flush.
+		retryAfter(w, time.Second)
 		writeCode(w, http.StatusServiceUnavailable, CodeInterrupted, "flush interrupted: %v", err)
 	default:
 		writeJSON(w, http.StatusOK, FlushResponse{Generation: gen})

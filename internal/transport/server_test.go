@@ -84,7 +84,7 @@ func TestShardServerEndpoints(t *testing.T) {
 	// Draining: mutations refused with the closed code, reads and the
 	// health probe keep answering (with draining flagged).
 	cl.shards[0].SetDraining(true)
-	if err := c.Apply([][2]int32{{0, 1}}, nil); err == nil {
+	if err := c.Apply(context.Background(), [][2]int32{{0, 1}}, nil); err == nil {
 		t.Error("apply accepted while draining")
 	} else if !strings.Contains(err.Error(), refresh.ErrClosed.Error()) {
 		t.Errorf("draining apply error = %v, want ErrClosed mapping", err)
@@ -103,7 +103,7 @@ func TestShardServerEndpoints(t *testing.T) {
 		t.Errorf("reads refused while draining: %v", err)
 	}
 	cl.shards[0].SetDraining(false)
-	if err := c.Apply(nil, [][2]int32{{0, 1}}); err != nil {
+	if err := c.Apply(context.Background(), nil, [][2]int32{{0, 1}}); err != nil {
 		t.Errorf("apply after drain cleared: %v", err)
 	}
 }

@@ -12,6 +12,9 @@
 #   ADDR       router listen address (default :8080)
 #   BASE_PORT  first shard-server port (default 9301); replicas take
 #              the ports after the primaries
+#   FAULT_PLAN dev only: path to a fault-plan JSON (docs/OPERATIONS.md)
+#              passed to every process via -fault-plan, for rehearsing
+#              the failure modes the chaos gate scripts
 set -eu
 
 SHARDS="${SHARDS:-3}"
@@ -19,6 +22,15 @@ REPLICAS="${REPLICAS:-0}"
 GRAPH="${GRAPH:-}"
 ADDR="${ADDR:-:8080}"
 BASE_PORT="${BASE_PORT:-9301}"
+FAULT_PLAN="${FAULT_PLAN:-}"
+
+# $fault_flags is intentionally left unquoted at use sites: empty when
+# FAULT_PLAN is unset.
+fault_flags=""
+if [ -n "$FAULT_PLAN" ]; then
+    fault_flags="-fault-plan $FAULT_PLAN"
+    echo "run-cluster: FAULT INJECTION ENABLED (dev only): $FAULT_PLAN"
+fi
 
 workdir="$(mktemp -d)"
 pids=""
@@ -47,7 +59,7 @@ i=0
 while [ "$i" -lt "$SHARDS" ]; do
     port=$((BASE_PORT + i))
     "$workdir/ocad" -in "$GRAPH" -shards "$SHARDS" -serve-shard "$i" \
-        -addr "127.0.0.1:$port" &
+        -addr "127.0.0.1:$port" $fault_flags &
     pids="$pids $!"
     addrs="${addrs:+$addrs,}127.0.0.1:$port"
     i=$((i + 1))
@@ -65,7 +77,7 @@ if [ "$REPLICAS" -gt 0 ]; then
         list=""
         r=0
         while [ "$r" -lt "$REPLICAS" ]; do
-            "$workdir/ocad" -follow "$primary" -addr "127.0.0.1:$port" &
+            "$workdir/ocad" -follow "$primary" -addr "127.0.0.1:$port" $fault_flags &
             pids="$pids $!"
             list="${list:+$list,}127.0.0.1:$port"
             port=$((port + 1))
@@ -81,4 +93,4 @@ fi
 echo "run-cluster: shard servers at $addrs; router on $ADDR (Ctrl-C stops everything)"
 # Foreground: the router waits for every shard's cover before serving.
 # $replica_flags is intentionally unquoted: empty when REPLICAS=0.
-"$workdir/ocad" -shard-addrs "$addrs" -shards "$SHARDS" -addr "$ADDR" $replica_flags
+"$workdir/ocad" -shard-addrs "$addrs" -shards "$SHARDS" -addr "$ADDR" $replica_flags $fault_flags
