@@ -11,7 +11,7 @@ RACE_PKGS := ./internal/core/... ./internal/search/... ./internal/graph/... ./in
 COVER_PKGS := repro/internal/server repro/internal/refresh repro/internal/shard repro/internal/index repro/internal/postprocess repro/internal/transport repro/internal/wal repro/internal/persist repro/internal/resilience repro/internal/faultinject
 COVER_MIN := 75
 
-.PHONY: build test race vet fmt-check bench-smoke bench-shard bench-refresh bench-refresh-smoke bench-recovery bench-recovery-smoke bench-search bench-search-smoke bench-replica bench-replica-smoke fuzz-smoke cover-check examples test-cluster test-chaos test-chaos-smoke run-cluster check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-shard bench-refresh bench-refresh-smoke bench-recovery bench-recovery-smoke bench-search bench-search-smoke bench-replica bench-replica-smoke fuzz-smoke cover-check examples test-cluster test-chaos test-chaos-smoke test-migrate-smoke run-cluster check clean
 
 build:
 	$(GO) build ./...
@@ -108,6 +108,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadAuto$$' -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzPartitionMap$$' -fuzztime $(FUZZTIME) ./internal/shard
 
 # Per-package coverage summary, failing if any COVER_PKGS package drops
 # below COVER_MIN% of statements. Redirect instead of tee so a test
@@ -147,6 +148,14 @@ test-chaos:
 # the cheap PR-gate variant CI runs on every push.
 test-chaos-smoke:
 	$(GO) test -run 'TestChaosCluster' -short -count=1 -v ./internal/transport
+
+# Live-rebalancing smoke gate: a real multi-process cluster runs one
+# mid-traffic partition-map migration (two-generation handoff) with
+# zero 5xx, wire-level epoch agreement afterwards, and the NMI >= 0.99
+# equivalence gate on the post-flip cover. The crash/abort legs run in
+# the full `make test-cluster` gate.
+test-migrate-smoke:
+	$(GO) test -run 'TestMultiProcessClusterMigration' -short -count=1 -v ./internal/transport
 
 # Local dev convenience: spawn SHARDS shard-server processes plus a
 # router on this machine (generating a demo LFR graph when GRAPH is

@@ -511,6 +511,22 @@ func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int,
 			if maxN < st.Segment.MaxNodes {
 				maxN = st.Segment.MaxNodes
 			}
+			// Recover the partition map the shard was routed under and
+			// validate it against the flags before serving anything: a
+			// -shards value that disagrees with the persisted partition
+			// must fail loudly here, not misroute silently later.
+			pm, err := st.PartitionMap()
+			if err != nil {
+				return err
+			}
+			if pm != nil {
+				if pm.K != k {
+					return fmt.Errorf("shard %d: persisted partition map is %d-way at epoch %d but -shards is %d — restart with -shards %d, or point -data-dir at a fresh directory to resplit",
+						shardIdx, pm.K, pm.Epoch, k, pm.K)
+				}
+				scfg.PartitionMap = pm
+				log.Printf("shard %d recovered partition map at epoch %d (%d overrides)", shardIdx, pm.Epoch, len(pm.Ranges))
+			}
 			snap, table, err := persist.ReplayShard(st, shardIdx, k, scfg, maxN)
 			if err != nil {
 				return err
@@ -558,7 +574,18 @@ func runShardServer(cfg server.Config, in string, shardIdx, k, maxNodesFlag int,
 			store.Close()
 		}
 	}
-	ss := transport.NewShardServer(w, transport.ServerConfig{GlobalNodes: g.N(), MaxNodes: maxN})
+	tcfg := transport.ServerConfig{GlobalNodes: g.N(), MaxNodes: maxN}
+	if store != nil {
+		// A final (non-pending) map install is acknowledged only after
+		// it is durable: the store stamps the new epoch and reseals, so
+		// a crash right after the flip recovers at the flipped epoch.
+		tcfg.OnMapChange = func(pm *shard.PartitionMap) error {
+			store.SetPartition(pm.Epoch, pm.Encode())
+			snap := w.Snapshot()
+			return store.Seal(snap, w.Table()[:snap.Graph.N()])
+		}
+	}
+	ss := transport.NewShardServer(w, tcfg)
 	httpSrv := &http.Server{
 		Handler:           faulty(inj, ss.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,

@@ -38,6 +38,32 @@ type State struct {
 	Stats RecoveryStats
 }
 
+// PartitionMap decodes the partition map the recovered segment was
+// sealed under. It returns (nil, nil) on a cold start or for segments
+// sealed at the epoch-0 base map (no map bytes on disk). A segment
+// whose recorded epoch and map bytes disagree is corrupt and errors
+// loudly rather than letting the shard rejoin under the wrong
+// ownership.
+func (st *State) PartitionMap() (*shard.PartitionMap, error) {
+	if st.Segment == nil {
+		return nil, nil
+	}
+	if len(st.Segment.PMap) == 0 {
+		if st.Segment.Epoch != 0 {
+			return nil, fmt.Errorf("persist: %s records partition epoch %d but carries no map — segment corrupt; remove it to fall back to an older one", st.Segment.Path, st.Segment.Epoch)
+		}
+		return nil, nil
+	}
+	pm, err := shard.DecodePartitionMap(st.Segment.PMap)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %s: decoding persisted partition map: %w", st.Segment.Path, err)
+	}
+	if pm.Epoch != st.Segment.Epoch {
+		return nil, fmt.Errorf("persist: %s: partition map is at epoch %d but segment meta records %d — segment corrupt; remove it to fall back to an older one", st.Segment.Path, pm.Epoch, st.Segment.Epoch)
+	}
+	return pm, nil
+}
+
 // Load scans the data directory for the newest valid segment and the
 // WAL tail beyond it. Corrupt or torn segments are skipped in favor of
 // older ones; a torn WAL tail is cut at its last intact record. An
@@ -129,6 +155,13 @@ func (s *Store) Load() (*State, error) {
 
 	s.mu.Lock()
 	s.recovered = st.Stats
+	if st.Segment != nil {
+		// Carry the recovered partition facts forward: seals after a
+		// restart keep stamping the epoch the shard rejoined at, even
+		// if no map change happens in this process's lifetime.
+		s.epoch, s.pmap = st.Segment.Epoch, st.Segment.PMap
+		s.sealedEpoch = st.Segment.Epoch
+	}
 	s.mu.Unlock()
 	return st, nil
 }
@@ -238,8 +271,14 @@ func ReplayShard(st *State, shardID, k int, cfg shard.Config, maxNodes int) (*re
 		return nil, nil, nil
 	}
 	if st.Segment.Shards != k || st.Segment.Shard != shardID {
-		return nil, nil, fmt.Errorf("persist: segment %s belongs to shard %d/%d, replaying as %d/%d",
-			st.Segment.Path, st.Segment.Shard, st.Segment.Shards, shardID, k)
+		return nil, nil, fmt.Errorf("persist: segment %s belongs to shard %d/%d, replaying as %d/%d — the -shard/-shards flags disagree with the persisted partition; restart with -shard %d -shards %d, or point -data-dir at a fresh directory to resplit",
+			st.Segment.Path, st.Segment.Shard, st.Segment.Shards, shardID, k, st.Segment.Shard, st.Segment.Shards)
+	}
+	if cfg.PartitionMap == nil && st.Segment.Epoch != 0 {
+		// Replaying under the base map a history that was routed under
+		// a rebalanced one would reproduce the wrong ownership; the
+		// caller must decode State.PartitionMap into the config first.
+		return nil, nil, fmt.Errorf("persist: segment %s was sealed at partition epoch %d; replay requires the persisted map (State.PartitionMap) in the config", st.Segment.Path, st.Segment.Epoch)
 	}
 	rcfg := cfg
 	rcfg.Debounce = -1

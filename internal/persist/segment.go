@@ -84,6 +84,12 @@ type segMeta struct {
 	Shards int `json:"shards"`
 	// MaxNodes is the growth ceiling the generation was serving under.
 	MaxNodes int `json:"max_nodes"`
+	// Epoch/PMap record the partition map the generation was routed
+	// under (see docs/PROTOCOL.md "Partition map & rebalancing"). Both
+	// are omitted at epoch 0 — the base v mod Shards map — so segments
+	// written before rebalancing existed decode identically.
+	Epoch uint64 `json:"epoch,omitempty"`
+	PMap  []byte `json:"pmap,omitempty"`
 }
 
 // Segment is one decoded snapshot segment. When the file was mmap'd the
@@ -99,6 +105,10 @@ type Segment struct {
 	Shard    int
 	Shards   int
 	MaxNodes int
+	// Epoch/PMap are the persisted partition map facts (zero/nil for
+	// segments written at the epoch-0 base map).
+	Epoch uint64
+	PMap  []byte
 	// Graph and Cover are the persisted state.
 	Graph *graph.Graph
 	Cover *cover.Cover
@@ -147,9 +157,13 @@ type SegmentData struct {
 	Shard    int
 	Shards   int
 	MaxNodes int
-	Graph    *graph.Graph
-	Cover    *cover.Cover
-	Table    []int32
+	// Epoch/PMap stamp the partition map the shard routes under (zero
+	// value = the epoch-0 base map, omitted on disk).
+	Epoch uint64
+	PMap  []byte
+	Graph *graph.Graph
+	Cover *cover.Cover
+	Table []int32
 }
 
 // WriteSegment atomically writes a segment file at path: the bytes land
@@ -163,7 +177,7 @@ func WriteSegment(path string, d SegmentData) error {
 	binary.LittleEndian.PutUint32(v[:], VersionSegment)
 	buf.Write(v[:])
 
-	meta, err := json.Marshal(segMeta{Info: d.Info, Shard: d.Shard, Shards: d.Shards, MaxNodes: d.MaxNodes})
+	meta, err := json.Marshal(segMeta{Info: d.Info, Shard: d.Shard, Shards: d.Shards, MaxNodes: d.MaxNodes, Epoch: d.Epoch, PMap: d.PMap})
 	if err != nil {
 		return fmt.Errorf("persist: encoding segment meta: %w", err)
 	}
@@ -309,6 +323,7 @@ func decodeSegment(path string, data []byte, mapped bool) (*Segment, error) {
 				return nil, fmt.Errorf("persist: %s: decoding meta: %w", path, err)
 			}
 			seg.Info, seg.Shard, seg.Shards, seg.MaxNodes = m.Info, m.Shard, m.Shards, m.MaxNodes
+			seg.Epoch, seg.PMap = m.Epoch, m.PMap
 			sawMeta = true
 		case SecGraph:
 			g, err := decodeGraphPayload(payload, mapped)

@@ -87,6 +87,16 @@ type Store struct {
 	loggedBatches uint64
 	segFailures   uint64
 	recovered     RecoveryStats
+
+	// epoch/pmap are the partition-map facts stamped into every segment
+	// sealed from now on (see SetPartition). Zero/nil = epoch-0 base.
+	// sealedEpoch is the epoch the newest segment carries: Seal's
+	// same-generation skip must not suppress a seal whose only change
+	// is the partition map (a map install on an unaffected shard
+	// advances the epoch without publishing a generation).
+	epoch       uint64
+	pmap        []byte
+	sealedEpoch uint64
 }
 
 // Open creates (if needed) the data directory and returns a Store over
@@ -112,6 +122,19 @@ func Open(opts Options) (*Store, error) {
 
 // Dir returns the store's data directory.
 func (s *Store) Dir() string { return s.opts.Dir }
+
+// SetPartition records the partition map the shard now routes under;
+// every segment sealed afterwards carries it. enc is the map's binary
+// encoding (shard.PartitionMap.Encode) — the store treats it as opaque
+// bytes so persist stays below the shard package. Call it from the
+// rebalance map-change hook before forcing the durability seal, so a
+// recovery after the flip comes back at the flipped epoch.
+func (s *Store) SetPartition(epoch uint64, enc []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch = epoch
+	s.pmap = append([]byte(nil), enc...)
+}
 
 func (s *Store) scanSegments() (count int, newest uint64) {
 	for _, gen := range s.listSegments() {
@@ -235,8 +258,8 @@ func (s *Store) OnPublish(snap *refresh.Snapshot, table []int32) error {
 func (s *Store) Seal(snap *refresh.Snapshot, table []int32) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.newestSeg == snap.Gen && s.segments > 0 {
-		return nil // already sealed at this generation
+	if s.newestSeg == snap.Gen && s.segments > 0 && s.sealedEpoch == s.epoch {
+		return nil // already sealed at this generation and epoch
 	}
 	return s.sealLocked(snap, table)
 }
@@ -252,6 +275,8 @@ func (s *Store) sealLocked(snap *refresh.Snapshot, table []int32) error {
 		Shard:    s.opts.Shard,
 		Shards:   s.opts.Shards,
 		MaxNodes: s.opts.MaxNodes,
+		Epoch:    s.epoch,
+		PMap:     s.pmap,
 		Graph:    snap.Graph,
 		Cover:    snap.Cover,
 		Table:    table,
@@ -259,8 +284,11 @@ func (s *Store) sealLocked(snap *refresh.Snapshot, table []int32) error {
 	if err != nil {
 		return fmt.Errorf("persist: writing segment %d: %w", snap.Gen, err)
 	}
-	s.segments++
+	if snap.Gen != s.newestSeg {
+		s.segments++
+	}
 	s.newestSeg = snap.Gen
+	s.sealedEpoch = s.epoch
 	s.lastSegAt = time.Now()
 	s.pubsSinceSeg = 0
 	if err := s.beginLocked(snap.Gen); err != nil {

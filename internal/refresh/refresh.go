@@ -262,6 +262,7 @@ type Worker struct {
 	rebuilds   uint64
 	lastErr    error
 	closed     bool
+	forceFull  bool // a ForceRebuild is pending: rebuild even with no ops
 
 	// opsSinceC counts mutations applied since c was last derived from
 	// the spectrum; touched only by the rebuild goroutine.
@@ -432,6 +433,35 @@ func (w *Worker) Enqueue(add, remove [][2]int32) (gen uint64, queued int, err er
 	return gen, total, nil
 }
 
+// ForceRebuild queues a full rebuild even when no mutations are
+// pending — the hook a partition-map change uses to re-evaluate
+// ownership (a migrated range's donor drops it, the receiver adopts
+// it) and a halo refresh uses to re-score against re-synced ghost
+// edges. The rebuild publishes generation+1 like any other; it counts
+// as one virtual operation so a subsequent Flush waits for it. Returns
+// the generation current at the call.
+func (w *Worker) ForceRebuild() (uint64, error) {
+	snap := w.cur.Load()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return snap.Gen, ErrClosed
+	}
+	w.forceFull = true
+	w.seq++
+	if len(w.pending) == 0 {
+		w.pendingAt = time.Now()
+	}
+	gen := w.cur.Load().Gen
+	w.mu.Unlock()
+
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	return gen, nil
+}
+
 // Flush blocks until every mutation enqueued before the call is
 // reflected in the current snapshot (skipping the debounce wait), then
 // returns that snapshot. It respects ctx cancellation.
@@ -541,7 +571,9 @@ func (w *Worker) rebuild() {
 	w.pending = nil
 	taken := w.seq
 	growTo := w.nextN
-	if len(ops) == 0 {
+	force := w.forceFull
+	w.forceFull = false
+	if len(ops) == 0 && !force {
 		w.mu.Unlock()
 		return
 	}
@@ -567,7 +599,7 @@ func (w *Worker) rebuild() {
 	}
 	ng := d.Apply()
 
-	if ng == old.Graph {
+	if ng == old.Graph && !force {
 		// Every operation was a no-op: nothing to recompute, the batch
 		// is trivially reflected in the current snapshot.
 		w.finish(taken, nil)
@@ -601,6 +633,13 @@ func (w *Worker) rebuild() {
 	}
 	touched := d.Touched()
 	mode, touchedComms := w.planRebuild(old, touched, ops, rederive)
+	if force {
+		// A forced rebuild re-evaluates the whole cover (ownership
+		// filtering changed, or halo edges were re-synced): incremental
+		// and fastpath shortcuts would skip exactly the re-evaluation
+		// being asked for.
+		mode, touchedComms = ModeFull, nil
+	}
 
 	var (
 		snap *Snapshot
@@ -620,6 +659,11 @@ func (w *Worker) rebuild() {
 		// the carry-over below.
 		if !w.cfg.DisableWarmStart && old.Cover != nil {
 			opt.Warm = carryUnaffected(old.Cover, touched)
+			if force && len(touched) == 0 {
+				// Forced rebuild of an unchanged graph: every previous
+				// community is a valid warm start.
+				opt.Warm = old.Cover.Communities
+			}
 		}
 		var res *core.Result
 		if err == nil {

@@ -169,6 +169,9 @@ type metricsResponse struct {
 	// (routers with remote backends only): breaker state and trips,
 	// retries spent, budget refusals, RPCs lost to deadlines.
 	Resilience []resilienceMetrics `json:"resilience,omitempty"`
+	// Rebalance is the partition-map epoch and migration counters
+	// (providers that can rebalance only).
+	Rebalance *shard.RebalanceStatus `json:"rebalance,omitempty"`
 }
 
 // handleDebugMetrics serves the metrics registry — JSON by default, the
@@ -189,11 +192,16 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	reps := s.replicaStats()
 	res := s.resilienceStats()
+	var rbs *shard.RebalanceStatus
+	if rb, ok := s.sp.(Rebalancer); ok {
+		st := rb.RebalanceStatus()
+		rbs = &st
+	}
 	if r.URL.Query().Get("format") == "prometheus" {
-		s.metrics.writePrometheus(w, refresh, pst, cst, reps, res)
+		s.metrics.writePrometheus(w, refresh, pst, cst, reps, res, rbs)
 		return
 	}
-	s.metrics.handleDebug(w, refresh, pst, cst, reps, res)
+	s.metrics.handleDebug(w, refresh, pst, cst, reps, res, rbs)
 }
 
 // replicaStats asks the provider for per-shard replica-set state; nil
@@ -269,7 +277,7 @@ func (s *Server) refreshMetrics() []refreshMetrics {
 	return out
 }
 
-func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats, res []resilienceMetrics) {
+func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats, res []resilienceMetrics, rbs *shard.RebalanceStatus) {
 	resp := metricsResponse{
 		BoundsMillis: latencyBoundsMillis,
 		Routes:       make(map[string]routeMetrics, len(m.names)),
@@ -278,6 +286,7 @@ func (m *httpMetrics) handleDebug(w http.ResponseWriter, refresh []refreshMetric
 		SearchCache:  cst,
 		Replicas:     reps,
 		Resilience:   res,
+		Rebalance:    rbs,
 	}
 	for _, name := range m.names {
 		rs := m.stats[name]
@@ -306,8 +315,29 @@ func promEscape(v string) string { return promReplacer.Replace(v) }
 // exposition format: per-shard refresh gauges plus per-route request
 // counters. Everything is assembled from the same atomics as the JSON
 // body — no extra bookkeeping on the hot path.
-func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats, res []resilienceMetrics) {
+func (m *httpMetrics) writePrometheus(w http.ResponseWriter, refresh []refreshMetrics, pst *persist.Stats, cst *searchCacheStats, reps []*shard.ReplicaSetStats, res []resilienceMetrics, rbs *shard.RebalanceStatus) {
 	var b strings.Builder
+	if rbs != nil {
+		b.WriteString("# HELP ocad_partition_epoch The partition map epoch the router currently routes under.\n")
+		b.WriteString("# TYPE ocad_partition_epoch gauge\n")
+		fmt.Fprintf(&b, "ocad_partition_epoch %d\n", rbs.Epoch)
+		b.WriteString("# HELP ocad_migration_total Completed shard rebalances (flips).\n")
+		b.WriteString("# TYPE ocad_migration_total counter\n")
+		fmt.Fprintf(&b, "ocad_migration_total %d\n", rbs.Migrations)
+		b.WriteString("# HELP ocad_migration_aborted_total Rebalances rolled back to their old epoch.\n")
+		b.WriteString("# TYPE ocad_migration_aborted_total counter\n")
+		fmt.Fprintf(&b, "ocad_migration_aborted_total %d\n", rbs.Aborted)
+		b.WriteString("# HELP ocad_migration_active Whether a rebalance transfer window is currently open.\n")
+		b.WriteString("# TYPE ocad_migration_active gauge\n")
+		active := 0
+		if rbs.Active {
+			active = 1
+		}
+		fmt.Fprintf(&b, "ocad_migration_active %d\n", active)
+		b.WriteString("# HELP ocad_halo_sync_total Completed halo refresh sweeps.\n")
+		b.WriteString("# TYPE ocad_halo_sync_total counter\n")
+		fmt.Fprintf(&b, "ocad_halo_sync_total %d\n", rbs.HaloSyncs)
+	}
 	b.WriteString("# HELP ocad_shard_queue_depth Mutations queued on the shard, not yet reflected in any snapshot.\n")
 	b.WriteString("# TYPE ocad_shard_queue_depth gauge\n")
 	for _, e := range refresh {

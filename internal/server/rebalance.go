@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/shard"
+)
+
+// Rebalancer is the optional SnapshotProvider extension behind
+// POST /v1/admin/rebalance: a provider that can migrate ownership of a
+// node range between shards live (the shard.Router). Providers without
+// it — the single-graph path, read-only aggregations — answer 501.
+type Rebalancer interface {
+	// Rebalance migrates ownership of [lo, hi) from shard from to
+	// shard to with the two-generation handoff, returning the new
+	// partition epoch (see docs/PROTOCOL.md "Partition map &
+	// rebalancing").
+	Rebalance(ctx context.Context, lo, hi int32, from, to int) (uint64, error)
+	// RebalanceStatus reports the current epoch and migration counters.
+	RebalanceStatus() shard.RebalanceStatus
+}
+
+// HaloRefresher is the optional SnapshotProvider extension behind
+// POST /v1/admin/halo-refresh: re-sync every shard's ghost-ghost halo
+// edges from their owning shards (normal write fan-out skips pure-ghost
+// holders, so halos drift under churn). Providers without it answer
+// 501.
+type HaloRefresher interface {
+	// RefreshHalos runs one sweep over the slice-transfer path.
+	RefreshHalos(ctx context.Context) error
+}
+
+// handleHaloRefresh runs one halo re-sync sweep synchronously.
+func (s *Server) handleHaloRefresh(w http.ResponseWriter, r *http.Request) {
+	hf, ok := s.sp.(HaloRefresher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "this deployment cannot refresh halos (no sharded router provider)")
+		return
+	}
+	if err := hf.RefreshHalos(r.Context()); err != nil {
+		writeError(w, http.StatusInternalServerError, "halo refresh: %v", err)
+		return
+	}
+	resp := map[string]any{"ok": true}
+	if rb, ok := s.sp.(Rebalancer); ok {
+		resp["halo_syncs"] = rb.RebalanceStatus().HaloSyncs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rebalanceRequest is the POST /v1/admin/rebalance body: move every
+// node in [lo, hi) currently owned by shard from to shard to.
+type rebalanceRequest struct {
+	Lo   int32 `json:"lo"`
+	Hi   int32 `json:"hi"`
+	From int   `json:"from"`
+	To   int   `json:"to"`
+}
+
+// rebalanceResponse reports the outcome: the epoch now routing (the
+// new epoch on success; the unchanged one after an abort) and the
+// provider's rebalancing counters.
+type rebalanceResponse struct {
+	Epoch  uint64                `json:"epoch"`
+	Status shard.RebalanceStatus `json:"status"`
+	Error  string                `json:"error,omitempty"`
+}
+
+// handleRebalance runs a live migration synchronously: the response
+// arrives after the flip (or the abort). The request's deadline bounds
+// the transfer; an abort answers 409 with the preserved epoch so the
+// operator sees the cluster is exactly as before.
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	rb, ok := s.sp.(Rebalancer)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "this deployment cannot rebalance (no sharded router provider)")
+		return
+	}
+	var req rebalanceRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	epoch, err := rb.Rebalance(r.Context(), req.Lo, req.Hi, req.From, req.To)
+	resp := rebalanceResponse{Epoch: epoch, Status: rb.RebalanceStatus()}
+	if err != nil {
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

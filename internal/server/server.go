@@ -657,6 +657,11 @@ var routeTable = []route{
 	{pattern: "POST /v1/nodes/communities", handler: func(s *Server) http.HandlerFunc { return s.handleBatchCommunities }},
 	{pattern: "POST /v1/search", handler: func(s *Server) http.HandlerFunc { return s.handleSearch }},
 	{pattern: "POST /v1/edges", handler: func(s *Server) http.HandlerFunc { return s.handleEdges }},
+	// Mounted outside the TimeoutHandler: a slice transfer may
+	// legitimately outlast the read-path request deadline, and cutting
+	// it at the deadline would force a needless abort.
+	{pattern: "POST /v1/admin/rebalance", handler: func(s *Server) http.HandlerFunc { return s.handleRebalance }, streaming: true},
+	{pattern: "POST /v1/admin/halo-refresh", handler: func(s *Server) http.HandlerFunc { return s.handleHaloRefresh }, streaming: true},
 	{pattern: "GET /debug/metrics", handler: func(s *Server) http.HandlerFunc { return s.handleDebugMetrics }, bareMetric: true},
 }
 
@@ -741,6 +746,11 @@ type healthzResponse struct {
 	// LastRebuildMillis is the build duration of the served generation.
 	LastRebuildMillis int64  `json:"last_rebuild_millis"`
 	LastRefreshError  string `json:"last_refresh_error,omitempty"`
+	// Epoch (sharded servers only) is the partition-map epoch the
+	// router currently routes under; Rebalance carries the migration
+	// counters. Both absent on providers that cannot rebalance.
+	Epoch     uint64                 `json:"epoch,omitempty"`
+	Rebalance *shard.RebalanceStatus `json:"rebalance,omitempty"`
 	// Shards (sharded servers only) is the per-shard state vector.
 	Shards []healthShard `json:"shards,omitempty"`
 	// Requests summarizes per-endpoint traffic (full histograms at
@@ -855,6 +865,11 @@ func (s *Server) handleHealthzSharded(w http.ResponseWriter) {
 	if s.cache != nil {
 		cs := s.cache.stats()
 		resp.SearchCache = &cs
+	}
+	if rb, ok := s.sp.(Rebalancer); ok {
+		st := rb.RebalanceStatus()
+		resp.Epoch = st.Epoch
+		resp.Rebalance = &st
 	}
 	for i, v := range views {
 		if v.Err != nil {

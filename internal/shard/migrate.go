@@ -1,0 +1,443 @@
+// Live shard rebalancing: the two-generation handoff that moves a node
+// range between shards with zero downtime. The donor keeps serving the
+// range at generation g for the whole transfer window; the receiver
+// mirrors the donor's snapshot slice (owned nodes, their halo, and the
+// halo's ghost-ghost edges) while the router double-applies in-window
+// mutations to both; the flip atomically installs the epoch e+1 map and
+// only then does the donor drop the range (its generation g+1). A
+// failure anywhere before the flip aborts cleanly back to epoch e.
+package shard
+
+import (
+	"context"
+	"fmt"
+)
+
+// sliceChunk is the number of edges shipped per Ingest call during a
+// slice transfer. Chunks acquire the router's mutation lock one at a
+// time, so normal writes interleave with the transfer instead of
+// stalling behind it.
+const sliceChunk = 2048
+
+// mapInstaller is the optional Backend extension the rebalancer uses to
+// push partition maps to shards. The transport client implements it
+// (POST /shard/v1/map); pending installs are transfer-window state the
+// remote must not persist — a receiver crashing mid-migration rejoins
+// at the old epoch.
+type mapInstaller interface {
+	InstallPartitionMap(pm *PartitionMap, pending bool) error
+}
+
+// partitionSetter is the in-process Worker's map surface; installs
+// through it are always treated as authoritative (the in-process
+// deployment has no crash-recovery distinction to preserve).
+type partitionSetter interface {
+	SetPartitionMap(pm *PartitionMap) error
+}
+
+// slicer is the optional Backend extension for slice-transfer traffic:
+// Apply semantics on a dedicated path, so fault injection (and
+// operators reading access logs) can distinguish migration traffic from
+// normal writes. Backends without it fall back to Apply.
+type slicer interface {
+	Ingest(ctx context.Context, add, remove [][2]int32) error
+}
+
+// RebalanceStatus is the router's rebalancing state for observability
+// endpoints.
+type RebalanceStatus struct {
+	// Epoch is the active partition map's epoch.
+	Epoch uint64 `json:"epoch"`
+	// Active reports an in-flight migration (transfer window open).
+	Active bool `json:"active"`
+	// Migrations counts completed rebalances (flips).
+	Migrations uint64 `json:"migrations"`
+	// Aborted counts rebalances rolled back to their old epoch.
+	Aborted uint64 `json:"aborted"`
+	// HaloSyncs counts completed RefreshHalos sweeps.
+	HaloSyncs uint64 `json:"halo_syncs"`
+}
+
+// RebalanceStatus reports the router's rebalancing counters. It never
+// blocks on an in-flight migration.
+func (r *Router) RebalanceStatus() RebalanceStatus {
+	r.mu.Lock()
+	active := r.mig != nil
+	r.mu.Unlock()
+	return RebalanceStatus{
+		Epoch:      r.pm.Load().Epoch,
+		Active:     active,
+		Migrations: r.migrations.Load(),
+		Aborted:    r.aborted.Load(),
+		HaloSyncs:  r.haloSyncs.Load(),
+	}
+}
+
+// installMap pushes pm to one backend, honoring the pending/final
+// distinction when the backend supports it.
+func installMap(b Backend, pm *PartitionMap, pending bool) error {
+	if mi, ok := b.(mapInstaller); ok {
+		return mi.InstallPartitionMap(pm, pending)
+	}
+	if ps, ok := b.(partitionSetter); ok {
+		return ps.SetPartitionMap(pm)
+	}
+	return fmt.Errorf("shard: backend does not support partition map installs")
+}
+
+// ingestEdges ships translated local-id edges to a backend over its
+// slice-transfer path, falling back to the normal Apply path for
+// backends without one.
+func ingestEdges(ctx context.Context, b Backend, add, remove [][2]int32) error {
+	if ig, ok := b.(slicer); ok {
+		return ig.Ingest(ctx, add, remove)
+	}
+	return b.Apply(ctx, add, remove)
+}
+
+// Rebalance migrates ownership of every node in [lo, hi) currently
+// owned by shard from to shard to, returning the new epoch. The
+// sequence is the two-generation handoff:
+//
+//  1. open the transfer window — from here Enqueue double-applies
+//     mutations touching the range to donor and receiver;
+//  2. flush the donor, so its published snapshot contains every
+//     pre-window mutation;
+//  3. install the epoch e+1 map on the receiver as pending state (its
+//     rebuilds stop ghost-filtering the incoming range; a receiver
+//     crash rejoins at epoch e because pending installs never persist);
+//  4. extract the slice — the moving nodes, their halo, and the halo's
+//     ghost-ghost edges — from the donor's snapshot and ship it in
+//     chunks, each chunk taking the router's mutation lock so it
+//     serializes with writes and skips edges removed in-window;
+//  5. flush the receiver, then atomically flip the router's map to
+//     epoch e+1 and close the window;
+//  6. broadcast the final map to every backend — the donor's forced
+//     ownership rebuild drops the range (its generation g+1) — and
+//     flush the affected shards.
+//
+// Any failure before the flip aborts: the receiver is reset to the
+// epoch e map, the window closes, and the cluster state is exactly as
+// before. Only one rebalance may be in flight at a time.
+func (r *Router) Rebalance(ctx context.Context, lo, hi int32, from, to int) (uint64, error) {
+	// Open the transfer window.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("shard: rebalance: router closed")
+	}
+	if r.mig != nil {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("shard: rebalance already in flight")
+	}
+	cur := r.pm.Load()
+	pending, err := cur.Move(lo, hi, from, to)
+	if err != nil {
+		r.mu.Unlock()
+		return 0, err
+	}
+	mig := &migration{
+		pending: pending,
+		lo:      lo, hi: hi,
+		from: from, to: to,
+		removed: make(map[[2]int32]struct{}),
+		added:   make(map[[2]int32]struct{}),
+	}
+	r.mig = mig
+	r.mu.Unlock()
+
+	epoch, err := r.runMigration(ctx, cur, mig)
+	if err != nil {
+		r.abortMigration(cur, mig)
+		return cur.Epoch, err
+	}
+	return epoch, nil
+}
+
+// runMigration executes steps 2–6 of the handoff. On error the caller
+// aborts; state mutations before the flip are confined to the receiver
+// (pending map, extra ghost edges) and fully undone by the abort.
+func (r *Router) runMigration(ctx context.Context, cur *PartitionMap, mig *migration) (uint64, error) {
+	donor, recv := r.backends[mig.from], r.backends[mig.to]
+
+	// Step 2: the donor's published snapshot must include every
+	// pre-window mutation, or the slice would miss edges no in-window
+	// double-apply will replay.
+	if _, err := donor.Flush(ctx); err != nil {
+		return 0, fmt.Errorf("shard: rebalance: flushing donor %d: %w", mig.from, err)
+	}
+
+	// Step 3: pending map on the receiver, so the range it is about to
+	// ingest is owned — not ghost-filtered away on its next rebuild.
+	if err := installMap(recv, mig.pending, true); err != nil {
+		return 0, fmt.Errorf("shard: rebalance: installing pending map on shard %d: %w", mig.to, err)
+	}
+
+	// Step 4: extract and ship the slice.
+	slice, err := extractSlice(donor.View(), cur, mig.pending, mig.from, mig.to)
+	if err != nil {
+		return 0, err
+	}
+	for off := 0; off < len(slice); off += sliceChunk {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("shard: rebalance: %w", err)
+		}
+		end := off + sliceChunk
+		if end > len(slice) {
+			end = len(slice)
+		}
+		if err := r.shipChunk(ctx, recv, mig, slice[off:end]); err != nil {
+			return 0, fmt.Errorf("shard: rebalance: shipping slice to shard %d: %w", mig.to, err)
+		}
+	}
+
+	// Step 5: receiver catches up, then its stale halo copies of the
+	// moving range are reconciled against the donor's authoritative
+	// slice, then the atomic flip.
+	if _, err := recv.Flush(ctx); err != nil {
+		return 0, fmt.Errorf("shard: rebalance: flushing receiver %d: %w", mig.to, err)
+	}
+	if err := r.reconcileStale(ctx, recv, cur, mig, slice); err != nil {
+		return 0, err
+	}
+	if _, err := recv.Flush(ctx); err != nil {
+		return 0, fmt.Errorf("shard: rebalance: flushing receiver %d: %w", mig.to, err)
+	}
+	r.mu.Lock()
+	r.pm.Store(mig.pending)
+	r.mig = nil
+	r.mu.Unlock()
+	r.migrations.Add(1)
+
+	// Step 6: every backend adopts the final map. The receiver's install
+	// is structurally a no-op rebuild-wise but tells a remote shard to
+	// persist the epoch; the donor's forces the rebuild that drops the
+	// range. A broadcast failure no longer aborts — the flip is
+	// committed and the router's map is the routing truth — but it is
+	// reported so the operator retries the install.
+	for s, b := range r.backends {
+		if err := installMap(b, mig.pending, false); err != nil {
+			return mig.pending.Epoch, fmt.Errorf("shard: rebalance: flip committed at epoch %d, but installing the map on shard %d failed (retry the install): %w",
+				mig.pending.Epoch, s, err)
+		}
+	}
+	for _, s := range []int{mig.from, mig.to} {
+		if _, err := r.backends[s].Flush(ctx); err != nil {
+			return mig.pending.Epoch, fmt.Errorf("shard: rebalance: flip committed at epoch %d, but flushing shard %d failed: %w",
+				mig.pending.Epoch, s, err)
+		}
+	}
+	return mig.pending.Epoch, nil
+}
+
+// abortMigration rolls a failed transfer window back to epoch e: the
+// receiver re-adopts the current map (its forced rebuild re-filters the
+// half-ingested range back to ghost status) and the window closes.
+func (r *Router) abortMigration(cur *PartitionMap, mig *migration) {
+	// Best-effort: the receiver may be the component that failed. Its
+	// pending state is not persisted, so even an unreachable receiver
+	// converges on restart.
+	_ = installMap(r.backends[mig.to], cur, true)
+	r.mu.Lock()
+	if r.mig == mig {
+		r.mig = nil
+	}
+	r.mu.Unlock()
+	r.aborted.Add(1)
+}
+
+// shipChunk translates one slice chunk into the receiver's local id
+// space and ships it, under the router's mutation lock so it serializes
+// with Enqueue — and sees every in-window removal recorded so far.
+func (r *Router) shipChunk(ctx context.Context, recv Backend, mig *migration, chunk [][2]int32) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("router closed")
+	}
+	add := make([][2]int32, 0, len(chunk))
+	for _, e := range chunk {
+		if _, gone := mig.removed[normEdge(e)]; gone {
+			continue // removed mid-window; shipping it would resurrect it
+		}
+		lu, lv := recv.EnsureLocal(e[0]), recv.EnsureLocal(e[1])
+		add = append(add, [2]int32{lu, lv})
+	}
+	if len(add) == 0 {
+		return nil
+	}
+	return ingestEdges(ctx, recv, add, nil)
+}
+
+// reconcileStale drops the receiver's stale halo copies of moving-range
+// edges: an edge it materialized as ghost-ghost that the authoritative
+// donor snapshot no longer has (removed before the window opened,
+// unseen by the receiver because pure-ghost shards skip normal
+// fan-out). Without this, migrating a range onto a shard with a drifted
+// halo would resurrect removed edges as owned truth. Runs under the
+// router's mutation lock; edges touched in-window are exempt (their
+// double-applies are already in the receiver's queue, in order).
+func (r *Router) reconcileStale(ctx context.Context, recv Backend, cur *PartitionMap, mig *migration, slice [][2]int32) error {
+	authoritative := make(map[[2]int32]struct{}, len(slice))
+	for _, e := range slice {
+		authoritative[normEdge(e)] = struct{}{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("shard: rebalance: router closed")
+	}
+	v := recv.View()
+	m := v.Meta()
+	if v.Snap == nil || m == nil {
+		return nil // nothing materialized, nothing stale
+	}
+	moving := func(gv int32) bool {
+		return cur.ShardOf(gv) == mig.from && mig.pending.ShardOf(gv) == mig.to
+	}
+	var stale [][2]int32
+	v.Snap.Graph.Edges(func(lu, lv int32) bool {
+		gu, gv := m.Locals[lu], m.Locals[lv]
+		if !moving(gu) && !moving(gv) {
+			return true
+		}
+		e := normEdge([2]int32{gu, gv})
+		if _, ok := authoritative[e]; ok {
+			return true
+		}
+		if _, ok := mig.added[e]; ok {
+			return true
+		}
+		stale = append(stale, [2]int32{lu, lv})
+		return true
+	})
+	if len(stale) == 0 {
+		return nil
+	}
+	if err := ingestEdges(ctx, recv, nil, stale); err != nil {
+		return fmt.Errorf("shard: rebalance: reconciling %d stale edges on shard %d: %w", len(stale), mig.to, err)
+	}
+	return nil
+}
+
+// extractSlice computes the global-id edge set the receiver needs from
+// the donor's published view: with S the set of nodes moving from donor
+// to receiver, every donor edge with both endpoints in S ∪ N(S). That
+// covers the new owned-owned and owned-ghost edges, and the halo's
+// ghost-ghost edges (present in the donor's graph because each shard
+// materializes its halo's interconnections) — so the receiver's OCA
+// sees the same neighborhood structure the donor's did.
+func extractSlice(v View, cur, pending *PartitionMap, from, to int) ([][2]int32, error) {
+	m := v.Meta()
+	if v.Snap == nil || m == nil {
+		return nil, fmt.Errorf("shard: rebalance: donor %d has no published snapshot", from)
+	}
+	if v.Err != nil {
+		return nil, fmt.Errorf("shard: rebalance: donor %d degraded: %w", from, v.Err)
+	}
+	g, locals := v.Snap.Graph, m.Locals
+	n := g.N()
+	moving := make([]bool, n) // S
+	keep := make([]bool, n)   // S ∪ N(S)
+	for l := 0; l < n; l++ {
+		gv := locals[l]
+		if cur.ShardOf(gv) == from && pending.ShardOf(gv) == to {
+			moving[l] = true
+			keep[l] = true
+		}
+	}
+	g.Edges(func(lu, lv int32) bool {
+		if moving[lu] || moving[lv] {
+			keep[lu], keep[lv] = true, true
+		}
+		return true
+	})
+	var out [][2]int32
+	g.Edges(func(lu, lv int32) bool {
+		if !keep[lu] || !keep[lv] {
+			return true
+		}
+		if !moving[lu] && !moving[lv] {
+			// A ghost-ghost edge of the halo: the donor is not
+			// authoritative for it — its own halo copy may be stale
+			// (normal fan-out skips pure-ghost holders). Ship it only
+			// when the receiver owns neither endpoint, where it is pure
+			// halo padding; if the receiver owns an endpoint, its copy
+			// is the truth and the donor's could resurrect a removed
+			// edge as owned state.
+			gu, gv := locals[lu], locals[lv]
+			if cur.ShardOf(gu) == to || cur.ShardOf(gv) == to {
+				return true
+			}
+		}
+		out = append(out, [2]int32{locals[lu], locals[lv]})
+		return true
+	})
+	return out, nil
+}
+
+// RefreshHalos re-synchronizes every shard's ghost-ghost edges from the
+// shards that own them, riding the slice-transfer path. Normal mutation
+// fan-out skips shards that merely ghost both endpoints of an edge (an
+// accepted approximation — ghost neighborhoods steer OCA quality, never
+// ownership), so halos drift under churn; a periodic sweep bounds the
+// drift. Only edges between nodes a shard has already materialized are
+// re-shipped — the sweep never grows any shard's node set.
+func (r *Router) RefreshHalos(ctx context.Context) error {
+	pm := r.pm.Load()
+	type edge = [2]int32
+	perShard := make([][][2]int32, len(r.backends))
+
+	for src, b := range r.backends {
+		v := b.View()
+		m := v.Meta()
+		if v.Snap == nil || m == nil || v.Err != nil {
+			continue // degraded source: sync what we can from the others
+		}
+		g, locals := v.Snap.Graph, m.Locals
+		var owned []edge // edges this shard is authoritative for
+		g.Edges(func(lu, lv int32) bool {
+			gu, gv := locals[lu], locals[lv]
+			if pm.ShardOf(gu) == src || pm.ShardOf(gv) == src {
+				owned = append(owned, edge{gu, gv})
+			}
+			return true
+		})
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return fmt.Errorf("shard: halo refresh: router closed")
+		}
+		for dst, db := range r.backends {
+			if dst == src {
+				continue
+			}
+			for _, e := range owned {
+				su, sv := pm.ShardOf(e[0]), pm.ShardOf(e[1])
+				if su == dst || sv == dst {
+					continue // dst owns an endpoint: normal fan-out keeps it fresh
+				}
+				lu, ok1 := db.Lookup(e[0])
+				lv, ok2 := db.Lookup(e[1])
+				if ok1 && ok2 {
+					perShard[dst] = append(perShard[dst], edge{lu, lv})
+				}
+			}
+		}
+		r.mu.Unlock()
+	}
+
+	for dst, add := range perShard {
+		if len(add) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("shard: halo refresh: %w", err)
+		}
+		if err := ingestEdges(ctx, r.backends[dst], add, nil); err != nil {
+			return fmt.Errorf("shard: halo refresh: shard %d: %w", dst, err)
+		}
+	}
+	r.haloSyncs.Add(1)
+	return nil
+}

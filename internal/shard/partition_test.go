@@ -148,7 +148,7 @@ func TestSplitMetaEdgeAccounting(t *testing.T) {
 	var total int64
 	for _, pc := range pieces {
 		// An index over an empty cover suffices for edge accounting.
-		m := buildMeta(pc.Shard, k, pc.Graph, emptyIndex(pc.Graph.N()), pc.Locals)
+		m := buildMeta(pc.Shard, &PartitionMap{K: k}, pc.Graph, emptyIndex(pc.Graph.N()), pc.Locals)
 		total += m.OwnedEdges
 		if m.OwnedNodes != pc.Owned {
 			t.Errorf("shard %d: meta owned %d, piece owned %d", pc.Shard, m.OwnedNodes, pc.Owned)

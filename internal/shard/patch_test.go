@@ -45,7 +45,7 @@ func verifyDerivedState(t *testing.T, w *Worker) {
 	if len(meta.Locals) != g.N() {
 		t.Fatalf("shard %d gen %d: Locals has %d entries for %d nodes", w.id, snap.Gen, len(meta.Locals), g.N())
 	}
-	want := buildMeta(w.id, w.k, g, wantIx, meta.Locals)
+	want := buildMeta(w.id, w.PartitionMap(), g, wantIx, meta.Locals)
 	if meta.OwnedNodes != want.OwnedNodes || meta.OwnedEdges != want.OwnedEdges ||
 		meta.CoveredOwned != want.CoveredOwned || meta.OverlapOwned != want.OverlapOwned ||
 		meta.OwnedMemberships != want.OwnedMemberships || meta.MaxMembershipOwned != want.MaxMembershipOwned {

@@ -1,0 +1,290 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPartitionMapBase(t *testing.T) {
+	if _, err := NewPartitionMap(0); err == nil {
+		t.Error("NewPartitionMap(0) succeeded")
+	}
+	pm, err := NewPartitionMap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Epoch != 0 || len(pm.Ranges) != 0 {
+		t.Fatalf("base map = %+v, want epoch 0 with no overrides", pm)
+	}
+	for v := int32(0); v < 40; v++ {
+		if got := pm.ShardOf(v); got != int(v%4) {
+			t.Fatalf("ShardOf(%d) = %d under the base map, want %d", v, got, v%4)
+		}
+	}
+}
+
+func TestPartitionMapValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    PartitionMap
+		want string // substring of the error, "" = valid
+	}{
+		{"base", PartitionMap{K: 3}, ""},
+		{"one override", PartitionMap{K: 3, Ranges: []Range{{Lo: 0, Hi: 9, From: 1, To: 2}}}, ""},
+		{"disjoint same class", PartitionMap{K: 3, Ranges: []Range{
+			{Lo: 0, Hi: 9, From: 1, To: 2}, {Lo: 9, Hi: 18, From: 1, To: 0}}}, ""},
+		{"same span different class", PartitionMap{K: 3, Ranges: []Range{
+			{Lo: 0, Hi: 9, From: 1, To: 2}, {Lo: 0, Hi: 9, From: 2, To: 0}}}, ""},
+		{"zero K", PartitionMap{K: 0}, "at least 1"},
+		{"empty range", PartitionMap{K: 3, Ranges: []Range{{Lo: 5, Hi: 5, From: 0, To: 1}}}, "empty or inverted"},
+		{"inverted range", PartitionMap{K: 3, Ranges: []Range{{Lo: 9, Hi: 3, From: 0, To: 1}}}, "empty or inverted"},
+		{"negative lo", PartitionMap{K: 3, Ranges: []Range{{Lo: -1, Hi: 3, From: 0, To: 1}}}, "empty or inverted"},
+		{"from out of range", PartitionMap{K: 3, Ranges: []Range{{Lo: 0, Hi: 3, From: 3, To: 1}}}, "outside"},
+		{"to out of range", PartitionMap{K: 3, Ranges: []Range{{Lo: 0, Hi: 3, From: 0, To: -1}}}, "outside"},
+		{"self move", PartitionMap{K: 3, Ranges: []Range{{Lo: 0, Hi: 3, From: 1, To: 1}}}, "self-move"},
+		{"overlap", PartitionMap{K: 3, Ranges: []Range{
+			{Lo: 0, Hi: 9, From: 1, To: 2}, {Lo: 6, Hi: 12, From: 1, To: 0}}}, "overlap"},
+	}
+	for _, tc := range cases {
+		err := tc.m.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want ok", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPartitionMapMove(t *testing.T) {
+	pm, _ := NewPartitionMap(4)
+
+	// Bad arguments never produce a map.
+	for _, bad := range []struct{ lo, hi int32 }{{5, 5}, {9, 3}, {-1, 4}} {
+		if _, err := pm.Move(bad.lo, bad.hi, 0, 1); err == nil {
+			t.Errorf("Move([%d,%d)) succeeded", bad.lo, bad.hi)
+		}
+	}
+	if _, err := pm.Move(0, 8, 1, 1); err == nil {
+		t.Error("self-move succeeded")
+	}
+	if _, err := pm.Move(0, 8, 0, 4); err == nil {
+		t.Error("move to out-of-range shard succeeded")
+	}
+	// Shard 2 owns nothing in [0, 2) — nothing to hand off.
+	if _, err := pm.Move(0, 2, 2, 0); err == nil {
+		t.Error("empty-slice move succeeded")
+	}
+
+	// One move: class-1 nodes of [0, 12) belong to shard 3 at epoch 1.
+	m1, err := pm.Move(0, 12, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Epoch != 1 {
+		t.Fatalf("epoch after one move = %d, want 1", m1.Epoch)
+	}
+	for v := int32(0); v < 24; v++ {
+		want := int(v % 4)
+		if v < 12 && want == 1 {
+			want = 3
+		}
+		if got := m1.ShardOf(v); got != want {
+			t.Fatalf("after move, ShardOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if pm.Epoch != 0 || len(pm.Ranges) != 0 {
+		t.Fatal("Move mutated its receiver")
+	}
+
+	// Re-migrating a sub-slice splits the override. The move is
+	// owner-based: everything shard 3 owns in [4, 8) goes — the
+	// migrated class-1 node 5 and the base class-3 node 7.
+	m2, err := m1.Move(4, 8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 24; v++ {
+		want := int(v % 4)
+		if want == 1 && v < 12 {
+			want = 3
+		}
+		if v == 5 || v == 7 {
+			want = 2
+		}
+		if got := m2.ShardOf(v); got != want {
+			t.Fatalf("after split, ShardOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+
+	// Moving a slice back home cancels its override entirely.
+	s1, err := pm.Move(1, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := s1.Move(1, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Ranges) != 0 {
+		t.Fatalf("after round trip the map still carries %d overrides: %+v", len(s2.Ranges), s2.Ranges)
+	}
+	if s2.Epoch != 2 {
+		t.Fatalf("epoch after round trip = %d, want 2", s2.Epoch)
+	}
+
+	// Adjacent equal-owner pieces merge into one canonical override.
+	a, err := pm.Move(0, 8, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Move(8, 16, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Ranges) != 1 || b.Ranges[0] != (Range{Lo: 0, Hi: 16, From: 1, To: 3}) {
+		t.Fatalf("adjacent moves did not merge: %+v", b.Ranges)
+	}
+}
+
+// TestPartitionMapMoveRandomSequences is the map-level property test:
+// arbitrary valid migration sequences composed through Move must always
+// yield a valid (disjoint, canonical) map whose ShardOf agrees with a
+// brute-force replay of the same moves over an explicit ownership
+// array.
+func TestPartitionMapMoveRandomSequences(t *testing.T) {
+	const n = 96
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		pm, _ := NewPartitionMap(k)
+		owner := make([]int, n)
+		for v := range owner {
+			owner[v] = v % k
+		}
+		for step := 0; step < 40; step++ {
+			lo := int32(rng.Intn(n))
+			hi := lo + 1 + int32(rng.Intn(n-int(lo)))
+			from := rng.Intn(k)
+			to := rng.Intn(k)
+			next, err := pm.Move(lo, hi, from, to)
+			if err != nil {
+				continue // self-move or empty slice: legal rejection
+			}
+			if err := next.Validate(); err != nil {
+				t.Fatalf("seed %d step %d: Move produced an invalid map: %v", seed, step, err)
+			}
+			if next.Epoch != pm.Epoch+1 {
+				t.Fatalf("seed %d step %d: epoch %d after %d", seed, step, next.Epoch, pm.Epoch)
+			}
+			for v := int32(lo); v < hi; v++ {
+				if owner[v] == from {
+					owner[v] = to
+				}
+			}
+			pm = next
+			for v := 0; v < n; v++ {
+				if got := pm.ShardOf(int32(v)); got != owner[v] {
+					t.Fatalf("seed %d step %d: ShardOf(%d) = %d, brute force says %d (map %+v)",
+						seed, step, v, got, owner[v], pm.Ranges)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionMapAffectsShard(t *testing.T) {
+	pm, _ := NewPartitionMap(4)
+	m1, err := pm.Move(0, 12, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, want := range []bool{false, true, false, true} {
+		if got := m1.AffectsShard(pm, s); got != want {
+			t.Errorf("AffectsShard(base, %d) = %v, want %v", s, got, want)
+		}
+	}
+	if m1.AffectsShard(m1, 1) || m1.AffectsShard(m1, 3) {
+		t.Error("identical maps report an ownership change")
+	}
+}
+
+func TestPartitionMapEncodeDecode(t *testing.T) {
+	maps := []*PartitionMap{
+		{K: 1},
+		{K: 4},
+		{Epoch: 9, K: 4, Ranges: []Range{{Lo: 0, Hi: 12, From: 1, To: 3}}},
+		{Epoch: 1 << 40, K: 7, Ranges: []Range{
+			{Lo: 3, Hi: 9, From: 2, To: 0}, {Lo: 9, Hi: 14, From: 2, To: 5}, {Lo: 0, Hi: 100, From: 6, To: 1}}},
+	}
+	for _, m := range maps {
+		got, err := DecodePartitionMap(m.Encode())
+		if err != nil {
+			t.Fatalf("round trip of %+v: %v", m, err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("round trip of %+v came back %+v", m, got)
+		}
+	}
+
+	valid := maps[2].Encode()
+	bad := [][]byte{
+		nil,
+		valid[:10],                               // truncated header
+		valid[:len(valid)-1],                     // truncated body
+		append(valid[:len(valid):len(valid)], 0), // trailing byte
+		bytes.Replace(valid, MagicPMap[:], []byte("XXXX"), 1),
+	}
+	vers := append([]byte(nil), valid...)
+	vers[4] = VersionPMap + 1
+	bad = append(bad, vers)
+	for i, data := range bad {
+		if _, err := DecodePartitionMap(data); err == nil {
+			t.Errorf("corrupt input %d decoded", i)
+		}
+	}
+}
+
+// FuzzPartitionMap hammers the decode path — the bytes every shard
+// accepts over POST /shard/v1/map. Whatever the input, decoding must
+// not panic, and anything that decodes must be a valid map (disjoint
+// per-class overrides, shards in range) that re-encodes to the exact
+// same bytes — canonicality is what lets Equal compare maps
+// structurally.
+func FuzzPartitionMap(f *testing.F) {
+	f.Add([]byte(nil))
+	base, _ := NewPartitionMap(4)
+	f.Add(base.Encode())
+	one, _ := base.Move(0, 12, 1, 3)
+	f.Add(one.Encode())
+	two, _ := one.Move(4, 8, 3, 2)
+	f.Add(two.Encode())
+	overlap := &PartitionMap{K: 3, Ranges: []Range{
+		{Lo: 0, Hi: 9, From: 1, To: 2}, {Lo: 6, Hi: 12, From: 1, To: 0}}}
+	f.Add(overlap.Encode())
+	gapped := &PartitionMap{K: 3, Ranges: []Range{{Lo: 5, Hi: 5, From: 0, To: 1}}}
+	f.Add(gapped.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodePartitionMap(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoded map fails Validate: %v", err)
+		}
+		if got := m.Encode(); !bytes.Equal(got, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, got)
+		}
+		// ShardOf must stay in range for arbitrary valid maps.
+		for _, v := range []int32{0, 1, 2, 31, 1 << 20} {
+			if s := m.ShardOf(v); s < 0 || s >= m.K {
+				t.Fatalf("ShardOf(%d) = %d outside [0, %d)", v, s, m.K)
+			}
+		}
+	})
+}

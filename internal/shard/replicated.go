@@ -393,6 +393,20 @@ func (rs *ReplicaSet) Apply(ctx context.Context, add, remove [][2]int32) error {
 	return rs.members[0].Apply(ctx, add, remove)
 }
 
+// InstallPartitionMap forwards a partition-map install to the primary,
+// the set's only writer; replicas adopt the map by mirroring the
+// primary's published state. Without this a replicated backend would
+// refuse the rebalancer's map broadcast.
+func (rs *ReplicaSet) InstallPartitionMap(pm *PartitionMap, pending bool) error {
+	return installMap(rs.members[0], pm, pending)
+}
+
+// Ingest ships slice-transfer traffic to the primary on its dedicated
+// path (falling back to Apply for primaries without one).
+func (rs *ReplicaSet) Ingest(ctx context.Context, add, remove [][2]int32) error {
+	return ingestEdges(ctx, rs.members[0], add, remove)
+}
+
 // Flush flushes the primary and raises the read-your-writes floor to
 // the flushed generation: until a replica's mirror catches up it is
 // excluded from read selection.

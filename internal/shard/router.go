@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -45,6 +46,11 @@ type Config struct {
 	// OnSwap, when set, is called from a shard's worker goroutine after
 	// that shard publishes a new generation.
 	OnSwap func(shard int, snap *refresh.Snapshot)
+	// PartitionMap, when set, is the versioned ownership map workers and
+	// router evaluate ownership under — the persisted map a recovery
+	// passes back in. Nil means the epoch-0 pure modulo-K map. Its K
+	// must match the shard count.
+	PartitionMap *PartitionMap
 	// LogBatch, when set, is called when ApplyBatch accepts a mutation
 	// batch — after validation, before it is queued — with the batch's
 	// translation-table growth attached and the worker's cumulative op
@@ -70,14 +76,45 @@ type Config struct {
 // mirror load remotely), mutations serialize on the router so the
 // global→local translation tables grow consistently.
 type Router struct {
-	part       Partition
+	k          int
 	maxPending int
 	maxN       int // global node-set ceiling
 	backends   []Backend
 
-	mu     sync.Mutex // serializes Enqueue; guards curN and closed
+	// pm is the active partition map: routing reads it lock-free, and
+	// Rebalance swaps it atomically at the flip (epoch e → e+1).
+	pm atomic.Pointer[PartitionMap]
+
+	mu     sync.Mutex // serializes Enqueue; guards curN, closed and mig
 	curN   int        // global node ids in [0, curN) are valid (incl. pending growth)
 	closed bool
+	// mig is the in-flight migration, nil outside a rebalance. While
+	// set, Enqueue double-applies mutations touching the migrating
+	// range to donor and receiver (both maps' owners), so the receiver
+	// observes every mutation the slice transfer might have missed.
+	mig *migration
+
+	migrations atomic.Uint64 // completed rebalances (flips)
+	aborted    atomic.Uint64 // rebalances rolled back to their old epoch
+	haloSyncs  atomic.Uint64 // completed halo refreshes
+}
+
+// migration is the transfer-window state of one in-flight rebalance.
+type migration struct {
+	pending *PartitionMap // the epoch e+1 map the flip will install
+	lo, hi  int32
+	from    int
+	to      int
+	// removed records edge removals accepted during the transfer
+	// window (normalized u<v, global ids): slice chunks extracted from
+	// the donor's pre-window snapshot must skip them, or a re-shipped
+	// chunk would resurrect an edge the receiver already removed.
+	removed map[[2]int32]struct{}
+	// added records edge additions accepted during the window (same
+	// keying): the receiver's stale-halo reconcile must not drop an
+	// edge that is absent from the donor's pre-window snapshot only
+	// because it was added after it.
+	added map[[2]int32]struct{}
 }
 
 // NewRouter splits g into k shards, runs the initial per-shard OCA
@@ -85,6 +122,14 @@ type Router struct {
 // shard with no edges gets an empty cover and no c until mutations give
 // it edges.
 func NewRouter(g *graph.Graph, k int, cfg Config) (*Router, error) {
+	if cfg.PartitionMap != nil && (cfg.PartitionMap.Epoch != 0 || len(cfg.PartitionMap.Ranges) != 0) {
+		// Split materializes each piece by the base modulo-K assignment;
+		// a rebalanced map's ownership would not match the pieces. Fresh
+		// builds start at epoch 0 — recovered maps come back through
+		// NewWorkerFromSnapshot and AdoptPartitionMap.
+		return nil, fmt.Errorf("shard: initial builds start at the epoch-0 map (got epoch %d with %d overrides)",
+			cfg.PartitionMap.Epoch, len(cfg.PartitionMap.Ranges))
+	}
 	pieces, err := Split(g, k)
 	if err != nil {
 		return nil, err
@@ -136,24 +181,50 @@ func NewRouter(g *graph.Graph, k int, cfg Config) (*Router, error) {
 // maxPending bounds each shard's mutation backlog for the router's
 // all-or-nothing admission check (0 uses refresh.Config's default).
 func NewRouterBackends(backends []Backend, curN, maxNodes, maxPending int) (*Router, error) {
-	part, err := NewPartition(len(backends))
+	pm, err := NewPartitionMap(len(backends))
 	if err != nil {
 		return nil, err
 	}
 	if maxNodes < curN {
 		maxNodes = curN
 	}
-	return &Router{
-		part:       part,
+	r := &Router{
+		k:          len(backends),
 		maxPending: maxPending,
 		curN:       curN,
 		maxN:       maxNodes,
 		backends:   backends,
-	}, nil
+	}
+	r.pm.Store(pm)
+	return r, nil
 }
 
+// AdoptPartitionMap installs a recovered or negotiated partition map as
+// the router's routing truth without touching the backends (they carry
+// their own — persisted — copies). Used at multi-process boot, after
+// the handshake agreed on the cluster's epoch.
+func (r *Router) AdoptPartitionMap(pm *PartitionMap) error {
+	if pm == nil {
+		return nil
+	}
+	if pm.K != r.k {
+		return fmt.Errorf("shard: partition map K=%d does not match %d backends", pm.K, r.k)
+	}
+	if err := pm.Validate(); err != nil {
+		return err
+	}
+	r.pm.Store(pm)
+	return nil
+}
+
+// PartitionMap returns the active routing map.
+func (r *Router) PartitionMap() *PartitionMap { return r.pm.Load() }
+
+// PartitionEpoch returns the active map's epoch.
+func (r *Router) PartitionEpoch() uint64 { return r.pm.Load().Epoch }
+
 // NumShards returns K.
-func (r *Router) NumShards() int { return r.part.K() }
+func (r *Router) NumShards() int { return r.k }
 
 // Ready always reports true: the router requires every shard's first
 // generation at construction.
@@ -181,7 +252,7 @@ func (r *Router) ViewFor(global int32) (View, int32, bool, error) {
 	if global < 0 {
 		return View{}, 0, false, nil
 	}
-	view := r.backends[r.part.Shard(global)].View()
+	view := r.backends[r.pm.Load().ShardOf(global)].View()
 	local, ok := view.Local(global)
 	return view, local, ok, nil
 }
@@ -227,6 +298,36 @@ func (r *Router) Enqueue(ctx context.Context, add, remove [][2]int32) (vec GenVe
 		return r.genVector(), 0, nil, err
 	}
 
+	// Target shards of an edge: the owners of both endpoints under the
+	// active map — and, during a migration's transfer window, under the
+	// pending map too, so mutations touching the migrating range land
+	// on donor AND receiver (the double-apply that makes the slice
+	// transfer race-free).
+	pm := r.pm.Load()
+	var pend *PartitionMap
+	if r.mig != nil {
+		pend = r.mig.pending
+	}
+	targets := func(e [2]int32, buf []int) []int {
+		ts := buf[:0]
+		push := func(s int) {
+			for _, t := range ts {
+				if t == s {
+					return
+				}
+			}
+			ts = append(ts, s)
+		}
+		push(pm.ShardOf(e[0]))
+		push(pm.ShardOf(e[1]))
+		if pend != nil {
+			push(pend.ShardOf(e[0]))
+			push(pend.ShardOf(e[1]))
+		}
+		return ts
+	}
+	var tbuf [4]int
+
 	// Resolve removals first — pure lookups, no mapping growth — and
 	// count per-shard add operations, so the backlog admission check
 	// below runs before any state is touched.
@@ -234,23 +335,18 @@ func (r *Router) Enqueue(ctx context.Context, add, remove [][2]int32) (vec GenVe
 	ops := make([]shardOps, len(r.backends))
 	counts := make([]int, len(r.backends))
 	for _, e := range remove {
-		for _, s := range [2]int{r.part.Shard(e[0]), r.part.Shard(e[1])} {
+		for _, s := range targets(e, tbuf[:]) {
 			lu, ok1 := r.backends[s].Lookup(e[0])
 			lv, ok2 := r.backends[s].Lookup(e[1])
 			if ok1 && ok2 {
 				ops[s].remove = append(ops[s].remove, [2]int32{lu, lv})
 				counts[s]++
 			} // else: endpoint never materialized here, removal is a no-op
-			if r.part.Shard(e[1]) == s {
-				break // same-shard edge: don't queue it twice
-			}
 		}
 	}
 	for _, e := range add {
-		su, sv := r.part.Shard(e[0]), r.part.Shard(e[1])
-		counts[su]++
-		if sv != su {
-			counts[sv]++
+		for _, s := range targets(e, tbuf[:]) {
+			counts[s]++
 		}
 	}
 
@@ -279,18 +375,29 @@ func (r *Router) Enqueue(ctx context.Context, add, remove [][2]int32) (vec GenVe
 		}
 	}
 
+	// The batch is admitted: only now may it enter the transfer-window
+	// bookkeeping — a rejected batch's removals must not make slice
+	// chunks skip edges that still exist.
+	if r.mig != nil {
+		for _, e := range remove {
+			r.mig.removed[normEdge(e)] = struct{}{}
+			delete(r.mig.added, normEdge(e))
+		}
+		for _, e := range add {
+			r.mig.added[normEdge(e)] = struct{}{}
+			delete(r.mig.removed, normEdge(e))
+		}
+	}
+
 	for _, e := range add {
-		su, sv := r.part.Shard(e[0]), r.part.Shard(e[1])
-		// Both endpoint shards record the edge; the non-owned endpoint
+		// Every target shard records the edge; the non-owned endpoint
 		// materializes as a ghost. Shards merely ghosting both endpoints
 		// are not updated — their halos are refreshed only by their own
-		// rebuilds, which is an accepted approximation (ghost
-		// neighborhoods steer OCA quality, never ownership).
-		lu, lv := r.backends[su].EnsureLocal(e[0]), r.backends[su].EnsureLocal(e[1])
-		ops[su].add = append(ops[su].add, [2]int32{lu, lv})
-		if sv != su {
-			lu, lv = r.backends[sv].EnsureLocal(e[0]), r.backends[sv].EnsureLocal(e[1])
-			ops[sv].add = append(ops[sv].add, [2]int32{lu, lv})
+		// rebuilds and by RefreshHalos, which is an accepted approximation
+		// (ghost neighborhoods steer OCA quality, never ownership).
+		for _, s := range targets(e, tbuf[:]) {
+			lu, lv := r.backends[s].EnsureLocal(e[0]), r.backends[s].EnsureLocal(e[1])
+			ops[s].add = append(ops[s].add, [2]int32{lu, lv})
 		}
 	}
 	for s := range ops {
@@ -306,8 +413,18 @@ func (r *Router) Enqueue(ctx context.Context, add, remove [][2]int32) (vec GenVe
 	return r.genVector(), len(add) + len(remove), touched, nil
 }
 
-// ShardOf returns the shard owning a (non-negative) global node id.
-func (r *Router) ShardOf(global int32) int { return r.part.Shard(global) }
+// ShardOf returns the shard owning a (non-negative) global node id
+// under the active partition map.
+func (r *Router) ShardOf(global int32) int { return r.pm.Load().ShardOf(global) }
+
+// normEdge normalizes an edge to u < v order so the migration's removal
+// record has one key per undirected edge.
+func normEdge(e [2]int32) [2]int32 {
+	if e[0] > e[1] {
+		return [2]int32{e[1], e[0]}
+	}
+	return e
+}
 
 // Flush blocks until the listed shards (every shard when nil) have
 // reflected their previously enqueued mutations, then returns the full

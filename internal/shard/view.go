@@ -14,9 +14,11 @@ import (
 // contribution to global aggregates, precomputed once per rebuild so
 // observability endpoints stay O(K) per request.
 type Meta struct {
-	// Shard and K identify the shard within its partition.
+	// Shard and K identify the shard within its partition; Epoch is the
+	// partition-map epoch ownership was evaluated under.
 	Shard int
 	K     int
+	Epoch uint64
 	// Locals maps the snapshot graph's local node ids to global ids;
 	// its length equals the snapshot graph's node count. The table is a
 	// stable prefix of the shard's append-only mapping, so it is safe
@@ -42,11 +44,12 @@ type Meta struct {
 }
 
 // buildMeta computes a snapshot's Meta from its graph, index and
-// translation table.
-func buildMeta(shardID, k int, g *graph.Graph, ix *index.Membership, locals []int32) *Meta {
-	m := &Meta{Shard: shardID, K: k, Locals: locals}
+// translation table. Ownership is evaluated under pm — the modulo-K
+// base plus any rebalanced range overrides.
+func buildMeta(shardID int, pm *PartitionMap, g *graph.Graph, ix *index.Membership, locals []int32) *Meta {
+	m := &Meta{Shard: shardID, K: pm.K, Epoch: pm.Epoch, Locals: locals}
 	owns := func(local int32) bool {
-		return int(locals[local])%k == shardID
+		return pm.ShardOf(locals[local]) == shardID
 	}
 	for l := int32(0); int(l) < g.N(); l++ {
 		if owns(l) {
@@ -58,7 +61,7 @@ func buildMeta(shardID, k int, g *graph.Graph, ix *index.Membership, locals []in
 	}
 	g.Edges(func(lu, lv int32) bool {
 		gu, gv := locals[lu], locals[lv]
-		ou, ov := int(gu)%k == shardID, int(gv)%k == shardID
+		ou, ov := pm.ShardOf(gu) == shardID, pm.ShardOf(gv) == shardID
 		switch {
 		case ou && ov:
 			m.OwnedEdges++
@@ -74,7 +77,7 @@ func buildMeta(shardID, k int, g *graph.Graph, ix *index.Membership, locals []in
 // filterOwned drops communities containing no owned node — artifacts of
 // ghost-seeded searches that some other shard serves authoritatively.
 // When nothing is dropped the input cover is returned as-is.
-func filterOwned(cv *cover.Cover, locals []int32, k, shardID int) *cover.Cover {
+func filterOwned(cv *cover.Cover, locals []int32, pm *PartitionMap, shardID int) *cover.Cover {
 	if cv == nil {
 		return cover.NewCover(nil)
 	}
@@ -83,7 +86,7 @@ func filterOwned(cv *cover.Cover, locals []int32, k, shardID int) *cover.Cover {
 	for _, c := range cv.Communities {
 		owned := false
 		for _, l := range c {
-			if int(locals[l])%k == shardID {
+			if pm.ShardOf(locals[l]) == shardID {
 				owned = true
 				break
 			}

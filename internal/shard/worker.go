@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -73,6 +74,11 @@ type Worker struct {
 	k        int
 	maxNodes int
 
+	// pm is the partition map ownership is evaluated under. Reads are
+	// lock-free; SetPartitionMap swaps it and forces an ownership
+	// rebuild when the shard's owned set changes.
+	pm atomic.Pointer[PartitionMap]
+
 	mu     sync.RWMutex // guards locals/index growth vs readers
 	locals []int32
 	index  map[int32]int32
@@ -95,6 +101,9 @@ type Worker struct {
 // set grows a shard locally when new ghosts materialize.
 func NewWorker(pc Piece, k int, cfg Config, maxNodes int) (*Worker, error) {
 	w := &Worker{id: pc.Shard, k: k, maxNodes: maxNodes, locals: pc.Locals}
+	if err := w.initMap(cfg, k); err != nil {
+		return nil, err
+	}
 	w.index = make(map[int32]int32, len(w.locals))
 	for l, gv := range w.locals {
 		w.index[gv] = int32(l)
@@ -148,6 +157,11 @@ func NewWorker(pc Piece, k int, cfg Config, maxNodes int) (*Worker, error) {
 // prefix); growth beyond it replays through ApplyBatch.
 func NewWorkerFromSnapshot(snap *refresh.Snapshot, table []int32, shardID, k int, cfg Config, maxNodes int) *Worker {
 	w := &Worker{id: shardID, k: k, maxNodes: maxNodes}
+	if err := w.initMap(cfg, k); err != nil {
+		// K was validated by every caller already; an invalid recovered
+		// map is caught by cmd/ocad's boot validation before this point.
+		panic(err)
+	}
 	w.locals = append([]int32(nil), table...)
 	w.index = make(map[int32]int32, len(w.locals))
 	for l, gv := range w.locals {
@@ -197,6 +211,59 @@ func (w *Worker) refreshConfig(cfg Config, wopt core.Options) refresh.Config {
 		}
 	}
 	return wcfg
+}
+
+// initMap installs the worker's initial partition map: Config's (the
+// recovered map on restart) or the epoch-0 modulo-K base.
+func (w *Worker) initMap(cfg Config, k int) error {
+	pm := cfg.PartitionMap
+	if pm == nil {
+		var err error
+		if pm, err = NewPartitionMap(k); err != nil {
+			return err
+		}
+	} else {
+		if pm.K != k {
+			return fmt.Errorf("shard %d: partition map K=%d does not match shard count %d", w.id, pm.K, k)
+		}
+		if err := pm.Validate(); err != nil {
+			return err
+		}
+	}
+	w.pm.Store(pm)
+	return nil
+}
+
+// PartitionMap returns the map ownership is currently evaluated under.
+func (w *Worker) PartitionMap() *PartitionMap { return w.pm.Load() }
+
+// SetPartitionMap installs a new partition map. When the shard's owned
+// set changes under it (donor dropping a migrated range, receiver
+// adopting one) a full ownership rebuild is forced, publishing the next
+// generation with the new map's filtering; callers needing the rebuild
+// reflected synchronously Flush afterwards. Installing a structurally
+// identical map is a no-op, so flip broadcasts are idempotent.
+func (w *Worker) SetPartitionMap(pm *PartitionMap) error {
+	if pm == nil {
+		return fmt.Errorf("shard %d: nil partition map", w.id)
+	}
+	if pm.K != w.k {
+		return fmt.Errorf("shard %d: partition map K=%d does not match shard count %d", w.id, pm.K, w.k)
+	}
+	if err := pm.Validate(); err != nil {
+		return err
+	}
+	old := w.pm.Load()
+	if pm.Equal(old) {
+		return nil
+	}
+	w.pm.Store(pm)
+	if pm.AffectsShard(old, w.id) {
+		if _, err := w.worker.ForceRebuild(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Shard returns the worker's shard index within its K-way partition.
@@ -258,8 +325,9 @@ func (w *Worker) Table() []int32 {
 // generation's node set.
 func (w *Worker) buildSnapshot(g *graph.Graph, cv *cover.Cover, res *core.Result, c float64, buildTime time.Duration) *refresh.Snapshot {
 	locals := w.localsPrefix(g.N())
-	snap := refresh.NewSnapshot(g, filterOwned(cv, locals, w.k, w.id), res, c, buildTime)
-	snap.Aux = buildMeta(w.id, w.k, g, snap.Index, locals)
+	pm := w.pm.Load()
+	snap := refresh.NewSnapshot(g, filterOwned(cv, locals, pm, w.id), res, c, buildTime)
+	snap.Aux = buildMeta(w.id, pm, g, snap.Index, locals)
 	return snap
 }
 

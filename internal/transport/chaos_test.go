@@ -355,6 +355,88 @@ func TestChaosCluster(t *testing.T) {
 	waitForStatus(t, base, "ok")
 	after = shardGens(t, base)
 	assertGensMonotone(t, "storm 3", gens, after)
+	gens = after
+
+	// --- Storm 4: migration storm. A live rebalance — donor is the
+	// replicated shard 0, receiver shard 1 — runs while the receiver's
+	// slice-transfer endpoint is degraded: every ingest is slowed and
+	// most responses torn mid-body. The handoff must either complete
+	// (retries absorb the truncation — ingest chunks are idempotent) or
+	// abort cleanly back to epoch 0 with the transfer window closed;
+	// reads stay clean throughout, generations stay monotone, and once
+	// the storm lifts the same migration must complete.
+	putPlan(t, shardAddrs[1], faultinject.Plan{Seed: 45, Rules: []faultinject.Rule{
+		{Path: PathIngest, LatencyMs: 100, TruncateRate: 0.6},
+	}})
+	var (
+		stormStop  = make(chan struct{})
+		stormWG    sync.WaitGroup
+		stormReads atomic.Int64
+		stormErrs  atomic.Int64
+	)
+	for r := 0; r < 3; r++ {
+		stormWG.Add(1)
+		go func(seed int) {
+			defer stormWG.Done()
+			cl := &http.Client{Timeout: 10 * time.Second}
+			for i := seed; ; i++ {
+				select {
+				case <-stormStop:
+					return
+				default:
+				}
+				resp, err := cl.Get(fmt.Sprintf("%s/v1/node/%d/communities", base, i%g.N()))
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				resp.Body.Close()
+				stormReads.Add(1)
+				if resp.StatusCode >= 500 {
+					stormErrs.Add(1)
+					t.Errorf("read answered %d during the migration storm", resp.StatusCode)
+				}
+			}
+		}(200 * r)
+	}
+	code, rr := postRebalance(t, base, 0, 100, 0, 1)
+	switch code {
+	case http.StatusOK:
+		if rr.Epoch != 1 {
+			t.Errorf("stormed handoff completed at epoch %d, want 1", rr.Epoch)
+		}
+	case http.StatusConflict:
+		if rr.Epoch != 0 {
+			t.Errorf("aborted handoff reports epoch %d, want preserved 0", rr.Epoch)
+		}
+	default:
+		t.Fatalf("rebalance under ingest storm = %d (%+v)", code, rr)
+	}
+	if rr.Status.Active {
+		t.Errorf("transfer window left open after the storm: %+v", rr.Status)
+	}
+	time.Sleep(250 * time.Millisecond)
+	close(stormStop)
+	stormWG.Wait()
+	if stormReads.Load() == 0 {
+		t.Fatal("no reads ran during the migration storm")
+	}
+	if stormErrs.Load() != 0 {
+		t.Fatalf("%d/%d reads answered 5xx during the migration storm, want 0", stormErrs.Load(), stormReads.Load())
+	}
+	putPlan(t, shardAddrs[1], faultinject.Plan{Seed: 45})
+	if code == http.StatusConflict {
+		code, rr = postRebalance(t, base, 0, 100, 0, 1)
+		if code != http.StatusOK || rr.Epoch != 1 {
+			t.Fatalf("post-storm retry = %d epoch %d (%s), want 200 at epoch 1", code, rr.Epoch, rr.Error)
+		}
+	}
+	var mhr migrateHealthz
+	if code := getJSON(t, base+"/healthz", &mhr); code != http.StatusOK || mhr.Epoch != 1 {
+		t.Fatalf("post-storm healthz = %d epoch %d, want 200 at epoch 1", code, mhr.Epoch)
+	}
+	after = shardGens(t, base)
+	assertGensMonotone(t, "storm 4", gens, after)
 
 	// The recovered cluster serves both shards again.
 	for _, id := range []int{0, 1, 2, 3} {

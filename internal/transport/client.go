@@ -63,6 +63,11 @@ type Client struct {
 	// member that is about to go away.
 	draining atomic.Bool
 
+	// remoteMap mirrors the remote's advertised partition map (from the
+	// last health probe): the epoch a router's boot validation compares,
+	// and what a replica re-serves on GET /shard/v1/map.
+	remoteMap atomic.Pointer[MapResponse]
+
 	// breaker trips on consecutive transport-level failures so a dead
 	// backend costs a fast-fail, not a timeout; the generation poller is
 	// its half-open probe vehicle. retryer re-runs idempotent reads
@@ -275,8 +280,16 @@ func (c *Client) health(ctx context.Context) (Health, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		return Health{}, c.unavailable(fmt.Errorf("decoding health: %v", err))
 	}
+	if len(h.Map) > 0 {
+		c.remoteMap.Store(&MapResponse{Epoch: h.Epoch, Map: h.Map})
+	}
 	return h, nil
 }
+
+// RemoteMap returns the partition map the remote advertised at its last
+// successful health probe (nil before first contact, or when the remote
+// predates rebalancing and advertises none).
+func (c *Client) RemoteMap() *MapResponse { return c.remoteMap.Load() }
 
 // syncSnapshot fetches the remote snapshot if newer than the mirror,
 // swapping the mirror on success and recording the failure (with the
@@ -527,6 +540,47 @@ func (c *Client) Apply(ctx context.Context, add, remove [][2]int32) error {
 	}
 	c.tabMu.Unlock()
 	return nil
+}
+
+// Ingest ships slice-transfer edges over the dedicated migration path.
+// Identical semantics to Apply — translated local-id operations plus
+// pending table growth — on a separate endpoint so migration traffic is
+// distinguishable from normal writes. Implements the router's optional
+// slicer extension.
+func (c *Client) Ingest(ctx context.Context, add, remove [][2]int32) error {
+	c.tabMu.RLock()
+	batch := shard.Batch{
+		Base:      c.shipped,
+		NewLocals: c.locals[c.shipped:len(c.locals):len(c.locals)],
+		Add:       add,
+		Remove:    remove,
+	}
+	c.tabMu.RUnlock()
+	ctx, cancel := context.WithTimeout(ctx, c.reqTO)
+	defer cancel()
+	var resp ApplyResponse
+	if err := c.doJSON(ctx, PathIngest, ApplyRequest{Protocol: Version, Batch: batch}, &resp); err != nil {
+		return err
+	}
+	c.tabMu.Lock()
+	if s := batch.Base + len(batch.NewLocals); s > c.shipped {
+		c.shipped = s
+	}
+	c.tabMu.Unlock()
+	return nil
+}
+
+// InstallPartitionMap pushes a partition map to the remote shard.
+// Implements the router's mapInstaller extension: pending installs are
+// transfer-window state the remote adopts but does not persist; a final
+// install returns only after the remote has flushed the resulting
+// ownership rebuild and persisted the map. Bounded by the snapshot
+// timeout — a final install can carry a full rebuild.
+func (c *Client) InstallPartitionMap(pm *shard.PartitionMap, pending bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.snapTO)
+	defer cancel()
+	var resp MapResponse
+	return c.doJSON(ctx, PathMap, MapRequest{Protocol: Version, Map: pm.Encode(), Pending: pending}, &resp)
 }
 
 // View returns the mirrored generation. When the mirror is behind the

@@ -37,10 +37,12 @@ type Options struct {
 
 // DeployInfo is what a successful handshake learned about the
 // deployment: the live global id bound (graph nodes plus growth already
-// replicated to the shards) and the growth ceiling.
+// replicated to the shards), the growth ceiling, and the agreed
+// partition map (nil when every shard advertised the epoch-0 base).
 type DeployInfo struct {
 	CurN     int
 	MaxNodes int
+	Map      *shard.PartitionMap
 }
 
 // Dial connects to K shard servers (addrs[i] must host shard i of a
@@ -58,6 +60,9 @@ func Dial(ctx context.Context, addrs []string, opt Options) (*shard.Router, erro
 		return nil, err
 	}
 	r, err := shard.NewRouterBackends(backends, info.CurN, info.MaxNodes, opt.MaxPending)
+	if err == nil && info.Map != nil {
+		err = r.AdoptPartitionMap(info.Map)
+	}
 	if err != nil {
 		for _, b := range backends {
 			b.Close()
@@ -155,6 +160,24 @@ func DialBackends(ctx context.Context, addrs []string, opt Options) ([]shard.Bac
 			return nil, DeployInfo{}, fmt.Errorf("transport: shard %d disagrees on deployment dimensions (%d/%d nodes vs %d/%d)",
 				i, h.GlobalNodes, h.MaxNodes, healths[0].GlobalNodes, healths[0].MaxNodes)
 		}
+		if h.Epoch != healths[0].Epoch {
+			closeAll()
+			return nil, DeployInfo{}, fmt.Errorf(
+				"transport: shards disagree on the partition epoch (shard %d at epoch %d, shard 0 at epoch %d) — "+
+					"a shard likely crashed around a rebalance flip; re-install the newer map on the lagging shard "+
+					"(POST %s with the map from the shard at the higher epoch) and retry",
+				i, h.Epoch, healths[0].Epoch, PathMap)
+		}
+	}
+	// Decode the agreed map once (nil when everyone runs the epoch-0
+	// base — pre-rebalancing servers omit the field entirely).
+	var deployMap *shard.PartitionMap
+	if len(healths[0].Map) > 0 {
+		var err error
+		if deployMap, err = shard.DecodePartitionMap(healths[0].Map); err != nil {
+			closeAll()
+			return nil, DeployInfo{}, fmt.Errorf("transport: shard 0 advertises an invalid partition map: %w", err)
+		}
 	}
 	// Replicas must mirror the shard they are listed under and belong to
 	// the same deployment; a primary listed as a replica is a second
@@ -219,7 +242,7 @@ func DialBackends(ctx context.Context, addrs []string, opt Options) ([]shard.Bac
 			c.startPolling()
 		}
 	}
-	return backends, DeployInfo{CurN: curN, MaxNodes: healths[0].MaxNodes}, nil
+	return backends, DeployInfo{CurN: curN, MaxNodes: healths[0].MaxNodes, Map: deployMap}, nil
 }
 
 // ReplicaGroup is one shard's replica set over transport clients: the

@@ -1,0 +1,424 @@
+package transport
+
+// Live-rebalancing gate (`make test-cluster`, smoke leg in
+// `make test-migrate-smoke`): a real multi-process cluster — three
+// `ocad -serve-shard` processes persisting to a shared -data-dir plus a
+// router process — must survive a live partition-map migration with the
+// two-generation handoff:
+//
+//   - a mid-traffic rebalance flips the router to epoch e+1 with zero
+//     5xx on concurrent reads and writes;
+//   - every shard process adopts and persists the flipped map (their
+//     /shard/v1/health all advertise the new epoch);
+//   - the post-flip served cover still passes the NMI ≥ 0.99
+//     equivalence gate against an unsharded cold run;
+//   - SIGKILLing the receiver mid slice-transfer aborts the handoff
+//     cleanly back to epoch e (409 with the preserved epoch), and the
+//     restarted receiver rejoins at epoch e — pending maps are never
+//     persisted;
+//   - SIGKILLing the donor after a completed flip loses nothing: it
+//     recovers from its data directory already at epoch e+1 with the
+//     migrated range dropped;
+//   - per-shard generations stay monotone throughout, and SIGTERM
+//     drains everything cleanly.
+//
+// With -short only the mid-traffic migration, epoch agreement and NMI
+// legs run — that is the `make test-migrate-smoke` CI gate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/lfr"
+	"repro/internal/metrics"
+	"repro/internal/postprocess"
+	"repro/internal/shard"
+	"repro/internal/spectral"
+)
+
+// migrateHealthz is the healthz shape the migration gate inspects: the
+// router-level partition epoch plus per-shard generations.
+type migrateHealthz struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+	Shards []struct {
+		Shard      int    `json:"shard"`
+		Generation uint64 `json:"generation"`
+	} `json:"shards"`
+}
+
+// rebalanceReply is the POST /v1/admin/rebalance response body.
+type rebalanceReply struct {
+	Epoch  uint64                `json:"epoch"`
+	Status shard.RebalanceStatus `json:"status"`
+	Error  string                `json:"error,omitempty"`
+}
+
+// postRebalance runs one admin rebalance and decodes the reply whatever
+// the status code — the abort contract (409 with the preserved epoch)
+// is as much under test as the success path.
+func postRebalance(t *testing.T, base string, lo, hi int32, from, to int) (int, rebalanceReply) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"lo": lo, "hi": hi, "from": from, "to": to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &http.Client{Timeout: 120 * time.Second}
+	resp, err := cl.Post(base+"/v1/admin/rebalance", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/admin/rebalance: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var rr rebalanceReply
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatalf("rebalance reply %d %q: %v", resp.StatusCode, raw, err)
+	}
+	return resp.StatusCode, rr
+}
+
+// shardEpoch reads one shard process's advertised partition epoch
+// straight off its wire health endpoint.
+func shardEpoch(t *testing.T, addr string) uint64 {
+	t.Helper()
+	var h Health
+	if code := getJSON(t, "http://"+addr+PathHealth, &h); code != http.StatusOK {
+		t.Fatalf("GET %s%s = %d", addr, PathHealth, code)
+	}
+	return h.Epoch
+}
+
+func TestMultiProcessClusterMigration(t *testing.T) {
+	bench, err := lfr.Generate(lfr.Params{
+		N: 250, AvgDeg: 14, MaxDeg: 30, Mu: 0.02,
+		MinCom: 25, MaxCom: 45, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("lfr.Generate: %v", err)
+	}
+	g := bench.Graph
+	n := g.N()
+	c, err := spectral.C(g, spectral.Options{})
+	if err != nil {
+		t.Fatalf("spectral.C: %v", err)
+	}
+
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "graph.txt")
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+
+	// Every shard starts with an empty (inject-nothing) fault plan; the
+	// receiver-kill leg swaps a real one in over the control endpoint.
+	planPath := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(planPath, []byte(`{"seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three shard servers persisting under one -data-dir (the crash legs
+	// recover from it), one router.
+	const k = 3
+	dataDir := filepath.Join(dir, "data")
+	common := []string{"-in", graphPath, "-seed", "11", "-c", fmt.Sprintf("%g", c),
+		"-refresh-debounce", "5ms", "-fault-plan", planPath, "-addr", "127.0.0.1:0"}
+	shardArgs := func(s int, af string) []string {
+		return append(append([]string{}, common...),
+			"-shards", fmt.Sprint(k), "-serve-shard", fmt.Sprint(s),
+			"-data-dir", dataDir, "-addr-file", af)
+	}
+	shardProcs := make([]*ocadProc, k)
+	shardAddrs := make([]string, k)
+	for s := 0; s < k; s++ {
+		af := filepath.Join(dir, fmt.Sprintf("shard%d.addr", s))
+		shardProcs[s] = startOcad(t, shardArgs(s, af)...)
+		shardAddrs[s] = waitAddrFile(t, shardProcs[s], af, 60*time.Second)
+	}
+	routerAF := filepath.Join(dir, "router.addr")
+	router := startOcad(t,
+		"-shard-addrs", strings.Join(shardAddrs, ","),
+		"-shards", fmt.Sprint(k),
+		"-shard-poll-interval", "25ms",
+		"-addr", "127.0.0.1:0", "-addr-file", routerAF)
+	base := "http://" + waitAddrFile(t, router, routerAF, 60*time.Second)
+
+	// (0) Boot: healthy at the epoch-0 base map.
+	var hr migrateHealthz
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("boot healthz = %d %q; router logs:\n%s", code, hr.Status, router.logs())
+	}
+	if hr.Epoch != 0 {
+		t.Fatalf("boot epoch = %d, want 0", hr.Epoch)
+	}
+	gens := shardGens(t, base)
+
+	// Toggle set for the in-window write traffic: real graph edges the
+	// writer removes and re-adds, so the graph is back to its pristine
+	// edge set whenever a toggle round completes — the NMI gate below
+	// compares against a cold run over the original graph.
+	var all [][2]int32
+	g.Edges(func(u, v int32) bool {
+		all = append(all, [2]int32{u, v})
+		return true
+	})
+	toggles := make([][2]int32, 0, 10)
+	for i := 0; i < 10; i++ {
+		toggles = append(toggles, all[(i*len(all))/10])
+	}
+
+	// (1) Mid-traffic migration: readers and a toggle writer run across
+	// the flip; every read and write must stay under 500.
+	var (
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		reads    atomic.Int64
+		fiveXX   atomic.Int64
+		writeRnd atomic.Int64
+	)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			cl := &http.Client{Timeout: 10 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := cl.Get(fmt.Sprintf("%s/v1/node/%d/communities", base, rng.Intn(n)))
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				resp.Body.Close()
+				reads.Add(1)
+				if resp.StatusCode >= 500 {
+					fiveXX.Add(1)
+					t.Errorf("read answered %d during migration", resp.StatusCode)
+				}
+			}
+		}(int64(500 + r))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return // loop top: the previous round re-added its edge
+			default:
+			}
+			e := toggles[i%len(toggles)]
+			for _, req := range []map[string]any{
+				{"remove": [][2]int32{e}},
+				{"add": [][2]int32{e}, "wait": i%3 == 0},
+			} {
+				code := postJSON(t, base+"/v1/edges", req, nil)
+				if code != http.StatusOK && code != http.StatusAccepted {
+					if code >= 500 {
+						fiveXX.Add(1)
+					}
+					t.Errorf("toggle write %d answered %d during migration", i, code)
+				}
+			}
+			writeRnd.Add(1)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// The migration: class-1 nodes of [0, 125) move from shard 1 to
+	// shard 2 while the traffic above keeps flowing.
+	code, rr := postRebalance(t, base, 0, 125, 1, 2)
+	if code != http.StatusOK {
+		t.Fatalf("rebalance = %d (%s); router logs:\n%s", code, rr.Error, router.logs())
+	}
+	if rr.Epoch != 1 || rr.Status.Migrations != 1 || rr.Status.Active {
+		t.Fatalf("rebalance reply: %+v, want epoch 1, one completed migration", rr)
+	}
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if reads.Load() == 0 || writeRnd.Load() == 0 {
+		t.Fatalf("no concurrent traffic ran across the flip (%d reads, %d write rounds)",
+			reads.Load(), writeRnd.Load())
+	}
+	if fiveXX.Load() != 0 {
+		t.Fatalf("%d requests answered 5xx across the flip, want 0", fiveXX.Load())
+	}
+
+	// (2) Epoch agreement: the router and all three shard processes
+	// advertise epoch 1, and migrated nodes still serve.
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK || hr.Epoch != 1 {
+		t.Fatalf("post-flip healthz = %d epoch %d, want 200 at epoch 1", code, hr.Epoch)
+	}
+	for s, addr := range shardAddrs {
+		if ep := shardEpoch(t, addr); ep != 1 {
+			t.Errorf("shard %d advertises epoch %d after the flip, want 1", s, ep)
+		}
+	}
+	for _, id := range []int{1, 4, 7, 124} { // class-1 ids inside the moved range
+		if code := getJSON(t, fmt.Sprintf("%s/v1/node/%d/communities", base, id), nil); code != http.StatusOK {
+			t.Errorf("migrated node %d lookup = %d, want 200", id, code)
+		}
+	}
+	after := shardGens(t, base)
+	assertGensMonotone(t, "migration", gens, after)
+	gens = after
+
+	// The operator halo-refresh sweep rides the same ingest path; it
+	// must run cleanly against the migrated cluster — and change no
+	// ownership, which the NMI gate below would catch.
+	var hrefresh struct {
+		HaloSyncs uint64 `json:"halo_syncs"`
+	}
+	if code := postJSON(t, base+"/v1/admin/halo-refresh", map[string]any{}, &hrefresh); code != http.StatusOK || hrefresh.HaloSyncs == 0 {
+		t.Errorf("halo refresh = %d with %d sweeps, want 200 with a counted sweep", code, hrefresh.HaloSyncs)
+	}
+
+	// (3) Equivalence: the served cover after the migration still
+	// matches an unsharded cold run. A wait=true no-op write first, as a
+	// barrier past the last toggle round.
+	if code := postJSON(t, base+"/v1/edges", map[string]any{"add": [][2]int32{toggles[0]}, "wait": true}, nil); code != http.StatusOK {
+		t.Fatalf("barrier write = %d", code)
+	}
+	exported := exportCover(t, base, n)
+	cold, err := core.Run(g, core.Options{Seed: 11, C: c})
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	merged := postprocess.Merge(exported, postprocess.DefaultMergeThreshold)
+	if nmi := metrics.NMI(merged, cold.Cover, n); nmi < 0.99 {
+		t.Errorf("post-migration NMI(exported, cold) = %.4f, want >= 0.99 (exported %d communities, cold %d)",
+			nmi, merged.Len(), cold.Cover.Len())
+	}
+	if truthNMI := metrics.NMI(merged, bench.Communities, n); truthNMI < 0.6 {
+		t.Errorf("post-migration cover vs planted truth NMI = %.4f, suspiciously low", truthNMI)
+	}
+
+	if testing.Short() {
+		return // smoke gate ends here; the crash legs need the full gate
+	}
+
+	// (4) Receiver crash mid slice-transfer: slow shard 0's ingest path
+	// so the transfer window is reliably open, SIGKILL the receiver
+	// mid-chunk, and the handoff must abort cleanly back to epoch 1 —
+	// then the restarted receiver rejoins at epoch 1 because pending
+	// maps are never persisted.
+	putPlan(t, shardAddrs[0], faultinject.Plan{Seed: 7, Rules: []faultinject.Rule{
+		{Path: PathIngest, LatencyMs: 4000},
+	}})
+	type rbResult struct {
+		code int
+		rr   rebalanceReply
+	}
+	done := make(chan rbResult, 1)
+	go func() {
+		code, rr := postRebalance(t, base, 0, 60, 2, 0)
+		done <- rbResult{code, rr}
+	}()
+	time.Sleep(750 * time.Millisecond) // flush+map install are ms; the chunk is held 4s
+	if err := shardProcs[0].cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing receiver: %v", err)
+	}
+	res := <-done
+	if res.code != http.StatusConflict {
+		t.Fatalf("rebalance with dead receiver = %d (%+v), want 409", res.code, res.rr)
+	}
+	if res.rr.Epoch != 1 || res.rr.Status.Aborted == 0 || res.rr.Status.Active {
+		t.Fatalf("abort reply: %+v, want preserved epoch 1 with an aborted count", res.rr)
+	}
+	waitForStatus(t, base, "degraded")
+	af0 := filepath.Join(dir, "shard0-restart.addr")
+	shardProcs[0] = startOcad(t, append(shardArgs(0, af0), "-addr", shardAddrs[0])...)
+	if got := waitAddrFile(t, shardProcs[0], af0, 60*time.Second); got != shardAddrs[0] {
+		t.Fatalf("restarted receiver bound %s, want %s", got, shardAddrs[0])
+	}
+	waitForStatus(t, base, "ok")
+	if ep := shardEpoch(t, shardAddrs[0]); ep != 1 {
+		t.Errorf("restarted receiver rejoined at epoch %d, want pre-abort epoch 1", ep)
+	}
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK || hr.Epoch != 1 {
+		t.Errorf("post-abort healthz = %d epoch %d, want 200 at epoch 1", code, hr.Epoch)
+	}
+	if logs := shardProcs[0].logs(); !strings.Contains(logs, "recovered generation") {
+		t.Errorf("restarted receiver did not log recovery:\n%s", logs)
+	}
+	after = shardGens(t, base)
+	assertGensMonotone(t, "aborted migration", gens, after)
+	gens = after
+
+	// (5) Donor crash after the flip: rerun the same migration to
+	// completion (the restarted receiver's fault plan is clean), then
+	// SIGKILL the donor. It must recover from its data directory
+	// already at epoch 2 — the flip was persisted before the rebalance
+	// answered.
+	code, rr = postRebalance(t, base, 0, 60, 2, 0)
+	if code != http.StatusOK || rr.Epoch != 2 {
+		t.Fatalf("retried rebalance = %d epoch %d (%s), want 200 at epoch 2", code, rr.Epoch, rr.Error)
+	}
+	if err := shardProcs[2].cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing donor: %v", err)
+	}
+	waitForStatus(t, base, "degraded")
+	af2 := filepath.Join(dir, "shard2-restart.addr")
+	shardProcs[2] = startOcad(t, append(shardArgs(2, af2), "-addr", shardAddrs[2])...)
+	if got := waitAddrFile(t, shardProcs[2], af2, 60*time.Second); got != shardAddrs[2] {
+		t.Fatalf("restarted donor bound %s, want %s", got, shardAddrs[2])
+	}
+	waitForStatus(t, base, "ok")
+	if ep := shardEpoch(t, shardAddrs[2]); ep != 2 {
+		t.Errorf("restarted donor rejoined at epoch %d, want post-flip epoch 2", ep)
+	}
+	if code := getJSON(t, base+"/healthz", &hr); code != http.StatusOK || hr.Epoch != 2 {
+		t.Errorf("post-donor-restart healthz = %d epoch %d, want 200 at epoch 2", code, hr.Epoch)
+	}
+	for _, id := range []int{2, 5, 59, 62} { // ids across the twice-moved range
+		if code := getJSON(t, fmt.Sprintf("%s/v1/node/%d/communities", base, id), nil); code != http.StatusOK {
+			t.Errorf("post-recovery lookup of node %d = %d, want 200", id, code)
+		}
+	}
+	after = shardGens(t, base)
+	assertGensMonotone(t, "donor crash", gens, after)
+
+	// (6) Graceful drain.
+	procs := []*ocadProc{router, shardProcs[0], shardProcs[1], shardProcs[2]}
+	for _, p := range procs {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM: %v", err)
+		}
+	}
+	for i, p := range procs {
+		exit := make(chan error, 1)
+		go func() { exit <- p.cmd.Wait() }()
+		select {
+		case err := <-exit:
+			if err != nil {
+				t.Errorf("process %d exited with %v; logs:\n%s", i, err, p.logs())
+			}
+		case <-time.After(30 * time.Second):
+			t.Errorf("process %d did not exit after SIGTERM; logs:\n%s", i, p.logs())
+		}
+	}
+}

@@ -34,6 +34,14 @@ const (
 	PathApply    = "/shard/v1/apply"
 	PathFlush    = "/shard/v1/flush"
 	PathLookup   = "/shard/v1/lookup"
+	// PathMap reads (GET) and installs (POST) the shard's partition
+	// map. Additive v1 extension — see docs/PROTOCOL.md "Partition map
+	// & rebalancing".
+	PathMap = "/shard/v1/map"
+	// PathIngest is the slice-transfer endpoint: Apply semantics on a
+	// dedicated path, so migration traffic is distinguishable from
+	// normal writes (access logs, fault injection).
+	PathIngest = "/shard/v1/ingest"
 )
 
 // Routes is the manifest of every (method, pattern) a shard server
@@ -44,17 +52,24 @@ var Routes = []string{
 	"POST " + PathApply,
 	"POST " + PathFlush,
 	"POST " + PathLookup,
+	"GET " + PathMap,
+	"POST " + PathMap,
+	"POST " + PathIngest,
 }
 
 // ReplicaRoutes is the manifest a replica server registers: the same
 // surface as a primary so routers and tooling need no special casing —
-// apply and flush answer, but always with 503/not_primary.
+// apply, flush, map installs and ingest answer, but always with
+// 503/not_primary.
 var ReplicaRoutes = []string{
 	"GET " + PathHealth,
 	"GET " + PathSnapshot,
 	"POST " + PathApply,
 	"POST " + PathFlush,
 	"POST " + PathLookup,
+	"GET " + PathMap,
+	"POST " + PathMap,
+	"POST " + PathIngest,
 }
 
 // Role values carried in Health.Role. An empty Role (pre-replication
@@ -119,6 +134,12 @@ type Health struct {
 	// TableLen is the current translation-table length, including
 	// entries pending publication.
 	TableLen int `json:"table_len"`
+	// Epoch is the partition-map epoch the shard currently evaluates
+	// ownership under; Map is the map itself in its binary encoding
+	// (base64 in JSON). Additive: pre-rebalancing servers omit both,
+	// which routers read as the epoch-0 modulo-K map.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Map   []byte `json:"map,omitempty"`
 	// Draining reports a shutdown in progress: mutations are refused,
 	// reads still answer.
 	Draining bool `json:"draining"`
@@ -160,12 +181,35 @@ type SnapshotHeader struct {
 // MetaWire is shard.Meta without its Locals table (derived from
 // SnapshotHeader.Table on the receiving side).
 type MetaWire struct {
-	OwnedNodes         int   `json:"owned_nodes"`
-	OwnedEdges         int64 `json:"owned_edges"`
-	CoveredOwned       int   `json:"covered_owned"`
-	OverlapOwned       int   `json:"overlap_owned"`
-	OwnedMemberships   int64 `json:"owned_memberships"`
-	MaxMembershipOwned int   `json:"max_membership_owned"`
+	// Epoch is the partition-map epoch the generation's ownership was
+	// evaluated under (0 on pre-rebalancing senders).
+	Epoch              uint64 `json:"epoch,omitempty"`
+	OwnedNodes         int    `json:"owned_nodes"`
+	OwnedEdges         int64  `json:"owned_edges"`
+	CoveredOwned       int    `json:"covered_owned"`
+	OverlapOwned       int    `json:"overlap_owned"`
+	OwnedMemberships   int64  `json:"owned_memberships"`
+	MaxMembershipOwned int    `json:"max_membership_owned"`
+}
+
+// MapRequest is the POST /shard/v1/map body: a partition map to
+// install, in its binary encoding. Pending marks a transfer-window
+// install (the receiver's map during a migration): the shard adopts it
+// for ownership evaluation but must NOT persist it, so a crash during
+// the window recovers at the old epoch. Final installs (Pending false)
+// are flushed and persisted before the response — the server's 200 is
+// the durability acknowledgment the flip relies on.
+type MapRequest struct {
+	Protocol int    `json:"protocol"`
+	Map      []byte `json:"map"`
+	Pending  bool   `json:"pending,omitempty"`
+}
+
+// MapResponse answers both GET and POST /shard/v1/map with the shard's
+// (now) active map.
+type MapResponse struct {
+	Epoch uint64 `json:"epoch"`
+	Map   []byte `json:"map"`
 }
 
 // ApplyRequest is the POST /shard/v1/apply body: one shard's slice of a

@@ -160,7 +160,28 @@ func (s *ReplicaServer) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathApply, s.handleNotPrimary)
 	mux.HandleFunc("POST "+PathFlush, s.handleNotPrimary)
 	mux.HandleFunc("POST "+PathLookup, s.handleLookup)
+	mux.HandleFunc("GET "+PathMap, s.handleMapGet)
+	mux.HandleFunc("POST "+PathMap, s.handleNotPrimary)
+	mux.HandleFunc("POST "+PathIngest, s.handleNotPrimary)
 	return protocolMiddleware(mux, &s.shed)
+}
+
+// mirroredMap is the partition map this replica re-advertises: the
+// primary's last advertised map, or the epoch-0 base when the primary
+// never advertised one.
+func (s *ReplicaServer) mirroredMap() MapResponse {
+	if mr := s.c.RemoteMap(); mr != nil {
+		return *mr
+	}
+	pm, _ := shard.NewPartitionMap(s.k)
+	return MapResponse{Epoch: 0, Map: pm.Encode()}
+}
+
+// handleMapGet re-serves the primary's partition map from the mirror —
+// like every replica read, deliberately even while the primary is
+// unreachable.
+func (s *ReplicaServer) handleMapGet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mirroredMap())
 }
 
 func (s *ReplicaServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -168,7 +189,10 @@ func (s *ReplicaServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if m := s.c.mirror.Load(); m != nil && m.snap != nil {
 		info = m.snap.Info()
 	}
+	mm := s.mirroredMap()
 	writeJSON(w, http.StatusOK, Health{
+		Epoch:        mm.Epoch,
+		Map:          mm.Map,
 		Protocol:     Version,
 		Shard:        s.shardID,
 		Shards:       s.k,

@@ -23,6 +23,12 @@ type ServerConfig struct {
 	// MaxRequestBody caps apply/lookup body sizes. Default 32 MiB (a
 	// mutation fan-out slice can legitimately be large).
 	MaxRequestBody int64
+	// OnMapChange, when set, is called after a final (non-pending)
+	// partition-map install has been adopted and flushed — the
+	// persistence hook: cmd/ocad records the map and seals a segment so
+	// a crash right after the flip recovers at the new epoch. An error
+	// fails the install request (the map stays adopted in memory).
+	OnMapChange func(pm *shard.PartitionMap) error
 }
 
 // ShardServer hosts one shard.Worker behind the wire protocol: the
@@ -62,6 +68,9 @@ func (s *ShardServer) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathApply, s.handleApply)
 	mux.HandleFunc("POST "+PathFlush, s.handleFlush)
 	mux.HandleFunc("POST "+PathLookup, s.handleLookup)
+	mux.HandleFunc("GET "+PathMap, s.handleMapGet)
+	mux.HandleFunc("POST "+PathMap, s.handleMapPost)
+	mux.HandleFunc("POST "+PathIngest, s.handleApply)
 	return protocolMiddleware(mux, &s.shed)
 }
 
@@ -76,6 +85,7 @@ func writeCode(w http.ResponseWriter, status int, code, format string, args ...a
 }
 
 func (s *ShardServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	pm := s.w.PartitionMap()
 	writeJSON(w, http.StatusOK, Health{
 		Protocol:     Version,
 		Shard:        s.w.Shard(),
@@ -85,10 +95,65 @@ func (s *ShardServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		TableLen:     len(s.w.Table()),
 		Draining:     s.draining.Load(),
 		DeadlineShed: s.shed.Load(),
+		Epoch:        pm.Epoch,
+		Map:          pm.Encode(),
 		Role:         RolePrimary,
 		Snapshot:     s.w.Snapshot().Info(),
 		Status:       s.w.Status(),
 	})
+}
+
+// handleMapGet answers the shard's active partition map.
+func (s *ShardServer) handleMapGet(w http.ResponseWriter, _ *http.Request) {
+	pm := s.w.PartitionMap()
+	writeJSON(w, http.StatusOK, MapResponse{Epoch: pm.Epoch, Map: pm.Encode()})
+}
+
+// handleMapPost installs a partition map. A pending install is
+// transfer-window state: adopted for ownership evaluation, never
+// persisted, so a crash mid-migration rejoins at the old epoch. A final
+// install flushes the worker (the forced ownership rebuild publishes
+// under the new map) and then fires the persistence hook — the 200 is
+// the durability acknowledgment the router's flip broadcast waits for.
+func (s *ShardServer) handleMapPost(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		retryAfter(w, time.Second)
+		writeCode(w, http.StatusServiceUnavailable, CodeClosed, "shard draining")
+		return
+	}
+	var req MapRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	pm, err := shard.DecodePartitionMap(req.Map)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if err := s.w.SetPartitionMap(pm); err != nil {
+		if errors.Is(err, refresh.ErrClosed) {
+			retryAfter(w, time.Second)
+			writeCode(w, http.StatusServiceUnavailable, CodeClosed, "%v", err)
+			return
+		}
+		writeCode(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if !req.Pending {
+		if _, err := s.w.Flush(r.Context()); err != nil {
+			retryAfter(w, time.Second)
+			writeCode(w, http.StatusServiceUnavailable, CodeInterrupted, "map adopted, rebuild wait interrupted: %v", err)
+			return
+		}
+		if s.cfg.OnMapChange != nil {
+			if err := s.cfg.OnMapChange(pm); err != nil {
+				writeCode(w, http.StatusInternalServerError, CodeBadRequest, "map adopted but not persisted: %v", err)
+				return
+			}
+		}
+	}
+	act := s.w.PartitionMap()
+	writeJSON(w, http.StatusOK, MapResponse{Epoch: act.Epoch, Map: act.Encode()})
 }
 
 // handleSnapshot streams the published generation, or 304 when the

@@ -30,6 +30,7 @@ func encodeSnapshot(w io.Writer, shardID, k int, snap *refresh.Snapshot, table [
 		Table:    table,
 		Cover:    make([][]int32, snap.Cover.Len()),
 		Meta: MetaWire{
+			Epoch:              meta.Epoch,
 			OwnedNodes:         meta.OwnedNodes,
 			OwnedEdges:         meta.OwnedEdges,
 			CoveredOwned:       meta.CoveredOwned,
@@ -100,6 +101,7 @@ func decodeSnapshot(r io.Reader, wantShard, wantK int) (*refresh.Snapshot, []int
 	snap.Aux = &shard.Meta{
 		Shard:              hdr.Shard,
 		K:                  hdr.Shards,
+		Epoch:              hdr.Meta.Epoch,
 		Locals:             hdr.Table[:g.N():g.N()],
 		OwnedNodes:         hdr.Meta.OwnedNodes,
 		OwnedEdges:         hdr.Meta.OwnedEdges,
