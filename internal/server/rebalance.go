@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 
 	"repro/internal/shard"
@@ -60,18 +61,23 @@ type rebalanceRequest struct {
 }
 
 // rebalanceResponse reports the outcome: the epoch now routing (the
-// new epoch on success; the unchanged one after an abort) and the
-// provider's rebalancing counters.
+// new epoch on success; the unchanged one after an abort), the
+// provider's rebalancing counters, and — when the flip committed but a
+// post-flip install failed — a warning naming the step to retry.
 type rebalanceResponse struct {
-	Epoch  uint64                `json:"epoch"`
-	Status shard.RebalanceStatus `json:"status"`
-	Error  string                `json:"error,omitempty"`
+	Epoch   uint64                `json:"epoch"`
+	Status  shard.RebalanceStatus `json:"status"`
+	Error   string                `json:"error,omitempty"`
+	Warning string                `json:"warning,omitempty"`
 }
 
 // handleRebalance runs a live migration synchronously: the response
 // arrives after the flip (or the abort). The request's deadline bounds
-// the transfer; an abort answers 409 with the preserved epoch so the
-// operator sees the cluster is exactly as before.
+// the transfer. Outcomes: 200 with the new epoch on success (with a
+// warning in the body when the flip committed but a post-flip install
+// needs a retry), 400 for a malformed move request (nothing was
+// attempted), 409 for an in-flight conflict or a genuine abort — the
+// preserved epoch tells the operator the cluster is exactly as before.
 func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	rb, ok := s.sp.(Rebalancer)
 	if !ok {
@@ -83,12 +89,23 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
-	epoch, err := rb.Rebalance(r.Context(), req.Lo, req.Hi, req.From, req.To)
-	resp := rebalanceResponse{Epoch: epoch, Status: rb.RebalanceStatus()}
-	if err != nil {
+	_, err := rb.Rebalance(r.Context(), req.Lo, req.Hi, req.From, req.To)
+	// The status epoch is the router's actual routing truth, which on
+	// the post-flip-failure path differs from "unchanged".
+	status := rb.RebalanceStatus()
+	resp := rebalanceResponse{Epoch: status.Epoch, Status: status}
+	var fc *shard.FlipCommittedError
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.As(err, &fc):
+		resp.Warning = err.Error()
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, shard.ErrInvalidMove):
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusBadRequest, resp)
+	default:
 		resp.Error = err.Error()
 		writeJSON(w, http.StatusConflict, resp)
-		return
 	}
-	writeJSON(w, http.StatusOK, resp)
 }

@@ -10,8 +10,38 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 )
+
+// ErrRebalanceInFlight rejects a Rebalance while another migration's
+// transfer window is open; only one may be in flight per router.
+var ErrRebalanceInFlight = errors.New("shard: rebalance already in flight")
+
+// ErrInvalidMove wraps Rebalance argument-validation failures (inverted
+// or empty range, shard index out of bounds, self-move, nothing owned
+// in the range) — the request was malformed and nothing was attempted,
+// as opposed to a migration that started and aborted.
+var ErrInvalidMove = errors.New("invalid rebalance request")
+
+// FlipCommittedError reports a rebalance failure after the flip: the
+// router routes at Epoch, the migration is NOT aborted and must not be
+// treated as one — the remedy is retrying the idempotent post-flip
+// step (the map install or flush named in Err) on the lagging shard,
+// not re-running the migration.
+type FlipCommittedError struct {
+	// Epoch is the committed epoch the router now routes at.
+	Epoch uint64
+	// Err is the post-flip install/flush failure.
+	Err error
+}
+
+func (e *FlipCommittedError) Error() string {
+	return fmt.Sprintf("shard: rebalance: flip committed at epoch %d, but a post-flip step failed (retry the install on the lagging shard): %v", e.Epoch, e.Err)
+}
+
+// Unwrap exposes the underlying install/flush error.
+func (e *FlipCommittedError) Unwrap() error { return e.Err }
 
 // sliceChunk is the number of edges shipped per Ingest call during a
 // slice transfer. Chunks acquire the router's mutation lock one at a
@@ -25,7 +55,7 @@ const sliceChunk = 2048
 // remote must not persist — a receiver crashing mid-migration rejoins
 // at the old epoch.
 type mapInstaller interface {
-	InstallPartitionMap(pm *PartitionMap, pending bool) error
+	InstallPartitionMap(ctx context.Context, pm *PartitionMap, pending bool) error
 }
 
 // partitionSetter is the in-process Worker's map surface; installs
@@ -75,9 +105,9 @@ func (r *Router) RebalanceStatus() RebalanceStatus {
 
 // installMap pushes pm to one backend, honoring the pending/final
 // distinction when the backend supports it.
-func installMap(b Backend, pm *PartitionMap, pending bool) error {
+func installMap(ctx context.Context, b Backend, pm *PartitionMap, pending bool) error {
 	if mi, ok := b.(mapInstaller); ok {
-		return mi.InstallPartitionMap(pm, pending)
+		return mi.InstallPartitionMap(ctx, pm, pending)
 	}
 	if ps, ok := b.(partitionSetter); ok {
 		return ps.SetPartitionMap(pm)
@@ -118,7 +148,10 @@ func ingestEdges(ctx context.Context, b Backend, add, remove [][2]int32) error {
 //
 // Any failure before the flip aborts: the receiver is reset to the
 // epoch e map, the window closes, and the cluster state is exactly as
-// before. Only one rebalance may be in flight at a time.
+// before. A failure after the flip does NOT abort — the committed
+// epoch is returned alongside a *FlipCommittedError naming the
+// post-flip step to retry. Only one rebalance may be in flight at a
+// time.
 func (r *Router) Rebalance(ctx context.Context, lo, hi int32, from, to int) (uint64, error) {
 	// Open the transfer window.
 	r.mu.Lock()
@@ -128,13 +161,13 @@ func (r *Router) Rebalance(ctx context.Context, lo, hi int32, from, to int) (uin
 	}
 	if r.mig != nil {
 		r.mu.Unlock()
-		return 0, fmt.Errorf("shard: rebalance already in flight")
+		return 0, ErrRebalanceInFlight
 	}
 	cur := r.pm.Load()
 	pending, err := cur.Move(lo, hi, from, to)
 	if err != nil {
 		r.mu.Unlock()
-		return 0, err
+		return 0, fmt.Errorf("%w: %w", ErrInvalidMove, err)
 	}
 	mig := &migration{
 		pending: pending,
@@ -148,6 +181,14 @@ func (r *Router) Rebalance(ctx context.Context, lo, hi int32, from, to int) (uin
 
 	epoch, err := r.runMigration(ctx, cur, mig)
 	if err != nil {
+		if mig.flipped {
+			// The flip committed: the router routes at e+1 and the
+			// migration counters already reflect a completed rebalance.
+			// Aborting here would install the stale epoch-e map on the
+			// receiver — ghost-filtering the range it now owns — so the
+			// failure surfaces as a retry-the-install warning instead.
+			return mig.pending.Epoch, &FlipCommittedError{Epoch: mig.pending.Epoch, Err: err}
+		}
 		r.abortMigration(cur, mig)
 		return cur.Epoch, err
 	}
@@ -169,7 +210,7 @@ func (r *Router) runMigration(ctx context.Context, cur *PartitionMap, mig *migra
 
 	// Step 3: pending map on the receiver, so the range it is about to
 	// ingest is owned — not ghost-filtered away on its next rebuild.
-	if err := installMap(recv, mig.pending, true); err != nil {
+	if err := installMap(ctx, recv, mig.pending, true); err != nil {
 		return 0, fmt.Errorf("shard: rebalance: installing pending map on shard %d: %w", mig.to, err)
 	}
 
@@ -205,6 +246,7 @@ func (r *Router) runMigration(ctx context.Context, cur *PartitionMap, mig *migra
 	}
 	r.mu.Lock()
 	r.pm.Store(mig.pending)
+	mig.flipped = true // from here a failure must NOT abort to epoch e
 	r.mig = nil
 	r.mu.Unlock()
 	r.migrations.Add(1)
@@ -212,19 +254,17 @@ func (r *Router) runMigration(ctx context.Context, cur *PartitionMap, mig *migra
 	// Step 6: every backend adopts the final map. The receiver's install
 	// is structurally a no-op rebuild-wise but tells a remote shard to
 	// persist the epoch; the donor's forces the rebuild that drops the
-	// range. A broadcast failure no longer aborts — the flip is
-	// committed and the router's map is the routing truth — but it is
-	// reported so the operator retries the install.
+	// range. A broadcast failure does not abort — the flip is committed
+	// and the router's map is the routing truth — it surfaces as a
+	// FlipCommittedError so the operator retries the install.
 	for s, b := range r.backends {
-		if err := installMap(b, mig.pending, false); err != nil {
-			return mig.pending.Epoch, fmt.Errorf("shard: rebalance: flip committed at epoch %d, but installing the map on shard %d failed (retry the install): %w",
-				mig.pending.Epoch, s, err)
+		if err := installMap(ctx, b, mig.pending, false); err != nil {
+			return mig.pending.Epoch, fmt.Errorf("installing the map on shard %d: %w", s, err)
 		}
 	}
 	for _, s := range []int{mig.from, mig.to} {
 		if _, err := r.backends[s].Flush(ctx); err != nil {
-			return mig.pending.Epoch, fmt.Errorf("shard: rebalance: flip committed at epoch %d, but flushing shard %d failed: %w",
-				mig.pending.Epoch, s, err)
+			return mig.pending.Epoch, fmt.Errorf("flushing shard %d: %w", s, err)
 		}
 	}
 	return mig.pending.Epoch, nil
@@ -236,8 +276,10 @@ func (r *Router) runMigration(ctx context.Context, cur *PartitionMap, mig *migra
 func (r *Router) abortMigration(cur *PartitionMap, mig *migration) {
 	// Best-effort: the receiver may be the component that failed. Its
 	// pending state is not persisted, so even an unreachable receiver
-	// converges on restart.
-	_ = installMap(r.backends[mig.to], cur, true)
+	// converges on restart. A fresh context, not the migration's — the
+	// rollback must still be attempted when the caller's ctx is what
+	// cancelled the transfer (remote installs bound themselves).
+	_ = installMap(context.Background(), r.backends[mig.to], cur, true)
 	r.mu.Lock()
 	if r.mig == mig {
 		r.mig = nil

@@ -184,6 +184,16 @@ func TestEnqueueDoubleAppliesDuringWindow(t *testing.T) {
 		t.Error("in-window removal not recorded in the migration window")
 	}
 
+	// A mutation NOT touching the migrating range is not recorded: the
+	// window maps are bounded by migration-relevant traffic, not by all
+	// write traffic during a long transfer.
+	if _, _, _, err := r.Enqueue(context.Background(), nil, [][2]int32{{1, 3}}); err != nil {
+		t.Fatalf("in-window unrelated remove: %v", err)
+	}
+	if _, ok := mig.removed[normEdge([2]int32{1, 3})]; ok {
+		t.Error("unrelated removal recorded in the migration window")
+	}
+
 	r.mu.Lock()
 	r.mig = nil
 	r.mu.Unlock()
@@ -258,6 +268,95 @@ func TestMigrationAbortRestoresEpoch(t *testing.T) {
 	}
 	if st := r.RebalanceStatus(); st.Migrations != 1 || st.Aborted != 1 {
 		t.Fatalf("status after retry = %+v", st)
+	}
+}
+
+// failingInstaller wraps a Worker backend and fails final (non-pending)
+// map installs on demand — the shard-missed-the-broadcast case, in
+// process. Pending installs and the rollback path stay healthy.
+type failingInstaller struct {
+	*Worker
+	failFinal atomic.Bool
+}
+
+func (f *failingInstaller) InstallPartitionMap(ctx context.Context, pm *PartitionMap, pending bool) error {
+	if !pending && f.failFinal.Load() {
+		return errors.New("injected final-install failure")
+	}
+	return f.Worker.SetPartitionMap(pm)
+}
+
+// TestMigrationPostFlipFailureDoesNotAbort fails the final map
+// broadcast — a step that runs only after the flip committed — and
+// checks the post-flip contract: no abort (an abort would install the
+// stale epoch-e map on the receiver, ghost-filtering the range it now
+// owns), the committed epoch is returned inside a *FlipCommittedError,
+// routing serves at e+1, and retrying the named install converges the
+// lagging shard.
+func TestMigrationPostFlipFailureDoesNotAbort(t *testing.T) {
+	g := twoCliques()
+	const k = 2
+	backends := make([]Backend, k)
+	var donor *failingInstaller
+	for s := 0; s < k; s++ {
+		pc, err := SplitOne(g, k, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorker(pc, k, testRouterConfig(), g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == 0 {
+			donor = &failingInstaller{Worker: w}
+			backends[s] = donor
+		} else {
+			backends[s] = w
+		}
+	}
+	r, err := NewRouterBackends(backends, g.N(), g.N(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	donor.failFinal.Store(true)
+	epoch, err := r.Rebalance(context.Background(), 0, 6, 0, 1)
+	if err == nil {
+		t.Fatal("rebalance with a failing final install reported clean success")
+	}
+	var fc *FlipCommittedError
+	if !errors.As(err, &fc) || fc.Epoch != 1 {
+		t.Fatalf("post-flip failure = %v, want *FlipCommittedError at epoch 1", err)
+	}
+	if epoch != 1 {
+		t.Fatalf("returned epoch = %d alongside the post-flip error, want committed 1", epoch)
+	}
+	st := r.RebalanceStatus()
+	if st.Epoch != 1 || st.Migrations != 1 || st.Aborted != 0 || st.Active {
+		t.Fatalf("status after post-flip failure = %+v, want committed epoch 1 and no abort", st)
+	}
+	// The receiver keeps the flipped map and serves the moved range.
+	if pm := backends[1].(*Worker).PartitionMap(); pm.Epoch != 1 {
+		t.Fatalf("receiver at epoch %d after post-flip failure, want 1", pm.Epoch)
+	}
+	for _, v := range []int32{0, 2, 4} {
+		if s := r.ShardOf(v); s != 1 {
+			t.Fatalf("ShardOf(%d) = %d after the flip, want receiver 1", v, s)
+		}
+		if view, _, ok, err := r.ViewFor(v); err != nil || !ok || view.Shard != 1 {
+			t.Fatalf("ViewFor(%d): shard=%d ok=%v err=%v", v, view.Shard, ok, err)
+		}
+	}
+
+	// The remedy the error names: retry the idempotent install on the
+	// lagging shard — not the whole migration.
+	donor.failFinal.Store(false)
+	if err := installMap(context.Background(), donor, r.PartitionMap(), false); err != nil {
+		t.Fatalf("retried final install: %v", err)
+	}
+	if pm := donor.Worker.PartitionMap(); pm.Epoch != 1 {
+		t.Fatalf("donor at epoch %d after the retried install, want 1", pm.Epoch)
 	}
 }
 

@@ -105,18 +105,21 @@ func (m *PartitionMap) Clone() *PartitionMap {
 	return &PartitionMap{Epoch: m.Epoch, K: m.K, Ranges: append([]Range(nil), m.Ranges...)}
 }
 
-// firstOfClass returns the smallest v >= lo with v mod K == class.
-func firstOfClass(lo int32, class, k int) int32 {
-	rem := int32(class) - lo%int32(k)
+// firstOfClass returns the smallest v >= lo with v mod K == class, in
+// int64 — lo + rem overflows int32 when lo is within K of MaxInt32,
+// and a negative id would make ShardOf report a bogus owner for ranges
+// reaching the top of the id space.
+func firstOfClass(lo int32, class, k int) int64 {
+	rem := int64(class) - int64(lo%int32(k))
 	if rem < 0 {
-		rem += int32(k)
+		rem += int64(k)
 	}
-	return lo + rem
+	return int64(lo) + rem
 }
 
 // hasNodeOfClass reports whether [lo, hi) contains a node of class.
 func hasNodeOfClass(lo, hi int32, class, k int) bool {
-	return firstOfClass(lo, class, k) < hi
+	return firstOfClass(lo, class, k) < int64(hi)
 }
 
 // Move returns the successor map (Epoch+1) reassigning every node of
@@ -158,7 +161,9 @@ func (m *PartitionMap) Move(lo, hi int32, from, to int) (*PartitionMap, error) {
 			if a >= b || !hasNodeOfClass(a, b, class, m.K) {
 				continue
 			}
-			owner := m.ShardOf(firstOfClass(a, class, m.K))
+			// The int32 cast is safe: hasNodeOfClass guaranteed the
+			// first node of the class sits below b <= MaxInt32.
+			owner := m.ShardOf(int32(firstOfClass(a, class, m.K)))
 			if owner == from && a >= lo && b <= hi {
 				owner = to
 				moved = true

@@ -2,10 +2,36 @@ package shard
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
 )
+
+// TestPartitionMapMoveNearMaxInt32 moves a range reaching the top of
+// the id space: firstOfClass used to compute lo + rem in int32, which
+// overflows when lo is within K of MaxInt32 — the negative id made
+// ShardOf report a bogus owner and the whole Move fail via Validate.
+func TestPartitionMapMoveNearMaxInt32(t *testing.T) {
+	m, err := NewPartitionMap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lo = math.MaxInt32 - 2 // 2147483645, class 1 mod 4
+	next, err := m.Move(lo, math.MaxInt32, 1, 2)
+	if err != nil {
+		t.Fatalf("Move([%d, MaxInt32) 1→2): %v", int32(lo), err)
+	}
+	if got := next.ShardOf(lo); got != 2 {
+		t.Errorf("ShardOf(%d) = %d after the move, want 2", int32(lo), got)
+	}
+	if got := next.ShardOf(lo - 4); got != 1 { // same class, below the range
+		t.Errorf("ShardOf(%d) = %d, want base class 1", int32(lo-4), got)
+	}
+	if got := next.ShardOf(math.MaxInt32 - 1); got != 2 { // class 2, untouched
+		t.Errorf("ShardOf(MaxInt32-1) = %d, want base class 2", got)
+	}
+}
 
 func TestPartitionMapBase(t *testing.T) {
 	if _, err := NewPartitionMap(0); err == nil {

@@ -397,8 +397,8 @@ func (rs *ReplicaSet) Apply(ctx context.Context, add, remove [][2]int32) error {
 // the set's only writer; replicas adopt the map by mirroring the
 // primary's published state. Without this a replicated backend would
 // refuse the rebalancer's map broadcast.
-func (rs *ReplicaSet) InstallPartitionMap(pm *PartitionMap, pending bool) error {
-	return installMap(rs.members[0], pm, pending)
+func (rs *ReplicaSet) InstallPartitionMap(ctx context.Context, pm *PartitionMap, pending bool) error {
+	return installMap(ctx, rs.members[0], pm, pending)
 }
 
 // Ingest ships slice-transfer traffic to the primary on its dedicated

@@ -115,6 +115,10 @@ type migration struct {
 	// edge that is absent from the donor's pre-window snapshot only
 	// because it was added after it.
 	added map[[2]int32]struct{}
+	// flipped is set (under the router's mutex) the moment the epoch
+	// e+1 map is stored as routing truth: from then on a failure must
+	// surface as a FlipCommittedError, never an abort back to epoch e.
+	flipped bool
 }
 
 // NewRouter splits g into k shards, runs the initial per-shard OCA
@@ -377,13 +381,28 @@ func (r *Router) Enqueue(ctx context.Context, add, remove [][2]int32) (vec GenVe
 
 	// The batch is admitted: only now may it enter the transfer-window
 	// bookkeeping — a rejected batch's removals must not make slice
-	// chunks skip edges that still exist.
+	// chunks skip edges that still exist. Only edges touching the
+	// migrating range (an endpoint whose owner differs between the
+	// active and pending maps) are recorded: they are all
+	// shipChunk/reconcileStale ever consult, and recording every edge
+	// would grow the window maps without bound under sustained
+	// unrelated write traffic during a long migration.
 	if r.mig != nil {
+		inWindow := func(e [2]int32) bool {
+			return pm.ShardOf(e[0]) != pend.ShardOf(e[0]) ||
+				pm.ShardOf(e[1]) != pend.ShardOf(e[1])
+		}
 		for _, e := range remove {
+			if !inWindow(e) {
+				continue
+			}
 			r.mig.removed[normEdge(e)] = struct{}{}
 			delete(r.mig.added, normEdge(e))
 		}
 		for _, e := range add {
+			if !inWindow(e) {
+				continue
+			}
 			r.mig.added[normEdge(e)] = struct{}{}
 			delete(r.mig.removed, normEdge(e))
 		}

@@ -574,10 +574,11 @@ func (c *Client) Ingest(ctx context.Context, add, remove [][2]int32) error {
 // Implements the router's mapInstaller extension: pending installs are
 // transfer-window state the remote adopts but does not persist; a final
 // install returns only after the remote has flushed the resulting
-// ownership rebuild and persisted the map. Bounded by the snapshot
-// timeout — a final install can carry a full rebuild.
-func (c *Client) InstallPartitionMap(pm *shard.PartitionMap, pending bool) error {
-	ctx, cancel := context.WithTimeout(context.Background(), c.snapTO)
+// ownership rebuild and persisted the map. Bounded by the caller's ctx
+// (cancelling the admin rebalance call cancels in-flight installs) and
+// the snapshot timeout — a final install can carry a full rebuild.
+func (c *Client) InstallPartitionMap(ctx context.Context, pm *shard.PartitionMap, pending bool) error {
+	ctx, cancel := context.WithTimeout(ctx, c.snapTO)
 	defer cancel()
 	var resp MapResponse
 	return c.doJSON(ctx, PathMap, MapRequest{Protocol: Version, Map: pm.Encode(), Pending: pending}, &resp)

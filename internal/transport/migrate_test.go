@@ -64,9 +64,10 @@ type migrateHealthz struct {
 
 // rebalanceReply is the POST /v1/admin/rebalance response body.
 type rebalanceReply struct {
-	Epoch  uint64                `json:"epoch"`
-	Status shard.RebalanceStatus `json:"status"`
-	Error  string                `json:"error,omitempty"`
+	Epoch   uint64                `json:"epoch"`
+	Status  shard.RebalanceStatus `json:"status"`
+	Error   string                `json:"error,omitempty"`
+	Warning string                `json:"warning,omitempty"`
 }
 
 // postRebalance runs one admin rebalance and decodes the reply whatever
@@ -286,6 +287,15 @@ func TestMultiProcessClusterMigration(t *testing.T) {
 	after := shardGens(t, base)
 	assertGensMonotone(t, "migration", gens, after)
 	gens = after
+
+	// Malformed moves are 400s that attempt nothing: no abort counted,
+	// and the reported epoch is the actual routing truth.
+	if code, rr := postRebalance(t, base, 9, 3, 1, 2); code != http.StatusBadRequest || rr.Epoch != 1 {
+		t.Errorf("inverted-range rebalance = %d epoch %d (%s), want 400 at epoch 1", code, rr.Epoch, rr.Error)
+	}
+	if code, rr := postRebalance(t, base, 0, 125, 1, 1); code != http.StatusBadRequest || rr.Status.Aborted != 0 {
+		t.Errorf("self-move rebalance = %d (%+v), want 400 with no abort counted", code, rr)
+	}
 
 	// The operator halo-refresh sweep rides the same ingest path; it
 	// must run cleanly against the migrated cluster — and change no
